@@ -1,0 +1,133 @@
+// Command cpbench regenerates the paper's evaluation tables and figures
+// (see DESIGN.md for the experiment index):
+//
+//	cpbench table2 table3 table5 table6 table7 fig5 fig6 fig7 fig8 fig9 ablation
+//	cpbench all
+//
+// Flags scale the synthetic datasets; the defaults run each experiment in
+// seconds to minutes on a laptop. Fig. 5 writes PPM images to -out; pass
+// -csv to additionally export every table as CSV for plotting.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	ocean := flag.String("ocean", "384x288", "Ocean dims (NXxNY)")
+	hurr := flag.String("hurricane", "64x64x32", "Hurricane dims (NXxNYxNZ)")
+	nek := flag.Int("nek", 64, "Nek5000 cube side")
+	rdnek := flag.Int("rdnek", 40, "Nek5000 cube side for Fig.6")
+	turb := flag.Int("turb-block", 24, "Turbulence per-rank block side (Fig.9)")
+	fig9grids := flag.String("fig9-grids", "2,4", "comma-separated rank-grid sides for Fig.9 (ranks = side³)")
+	tau := flag.Float64("tau", 0.01, "our method's range-relative error bound")
+	out := flag.String("out", ".", "output directory for Fig.5 images")
+	csvDir := flag.String("csv", "", "when set, also write each table as CSV into this directory")
+	flag.Parse()
+
+	cfg := experiments.Config{
+		NekN: *nek, RDNekN: *rdnek, TurbBlock: *turb, TauRel: *tau,
+	}
+	for _, part := range strings.Split(*fig9grids, ",") {
+		g, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || g < 1 {
+			fatal(fmt.Errorf("bad -fig9-grids entry %q", part))
+		}
+		cfg.Fig9Grids = append(cfg.Fig9Grids, g)
+	}
+	if _, err := fmt.Sscanf(*ocean, "%dx%d", &cfg.OceanNX, &cfg.OceanNY); err != nil {
+		fatal(fmt.Errorf("bad -ocean: %w", err))
+	}
+	if _, err := fmt.Sscanf(*hurr, "%dx%dx%d", &cfg.HurrNX, &cfg.HurrNY, &cfg.HurrNZ); err != nil {
+		fatal(fmt.Errorf("bad -hurricane: %w", err))
+	}
+
+	args := flag.Args()
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: cpbench [flags] <table2|table3|table5|table6|table7|fig5|fig6|fig7|fig8|fig9|ablation|all>...")
+		os.Exit(2)
+	}
+	if len(args) == 1 && args[0] == "all" {
+		args = []string{"table2", "table3", "table5", "table6", "table7",
+			"fig5", "fig6", "fig7", "fig8", "fig9", "ablation"}
+	}
+	for _, name := range args {
+		start := time.Now()
+		tbl, err := run(name, cfg, *out)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", name, err))
+		}
+		tbl.Format(os.Stdout)
+		if *csvDir != "" {
+			if err := writeCSV(tbl, filepath.Join(*csvDir, name+".csv")); err != nil {
+				fatal(err)
+			}
+		}
+		fmt.Printf("[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func run(name string, cfg experiments.Config, outDir string) (*experiments.Table, error) {
+	switch name {
+	case "table2":
+		res, err := experiments.Table2(cfg)
+		return &res.Table, err
+	case "table3":
+		res, err := experiments.Table3(cfg)
+		return &res.Table, err
+	case "table5":
+		res, err := experiments.Table5(cfg)
+		return &res.Table, err
+	case "table6":
+		res, err := experiments.Table6(cfg)
+		return &res.Table, err
+	case "table7":
+		res, err := experiments.Table7(cfg)
+		return &res.Table, err
+	case "fig5":
+		_, tbl, err := experiments.Fig5(cfg, outDir)
+		return &tbl, err
+	case "fig6":
+		_, tbl, err := experiments.Fig6(cfg)
+		return &tbl, err
+	case "fig7":
+		_, tbl, err := experiments.Fig7(cfg)
+		return &tbl, err
+	case "fig8":
+		_, tbl, err := experiments.Fig8(cfg)
+		return &tbl, err
+	case "fig9":
+		_, tbl, err := experiments.Fig9(cfg)
+		return &tbl, err
+	case "ablation":
+		_, tbl, err := experiments.Ablation(cfg)
+		return &tbl, err
+	default:
+		return nil, fmt.Errorf("unknown experiment %q", name)
+	}
+}
+
+func writeCSV(tbl *experiments.Table, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tbl.CSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cpbench:", err)
+	os.Exit(1)
+}

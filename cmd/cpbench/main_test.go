@@ -1,0 +1,56 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+var tinyCfg = experiments.Config{
+	OceanNX: 64, OceanNY: 48,
+	HurrNX: 16, HurrNY: 16, HurrNZ: 8,
+	NekN: 12, RDNekN: 10, TurbBlock: 6,
+}
+
+func TestRunKnownExperiments(t *testing.T) {
+	// Table3 and fig9 are the cheapest full experiments; they cover the
+	// dispatch plumbing.
+	for _, name := range []string{"table3", "fig9"} {
+		tbl, err := run(name, tinyCfg, t.TempDir())
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(tbl.Rows) == 0 {
+			t.Errorf("%s produced no rows", name)
+		}
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if _, err := run("table99", tinyCfg, "."); err == nil {
+		t.Fatal("unknown experiment must fail")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	tbl := &experiments.Table{Columns: []string{"a"}, Rows: [][]string{{"1"}}}
+	path := filepath.Join(t.TempDir(), "t.csv")
+	if err := writeCSV(tbl, path); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeCSV(tbl, filepath.Join(t.TempDir(), "missing", "t.csv")); err == nil {
+		t.Fatal("unwritable path must fail")
+	}
+}
+
+func TestTableTitlesMentionPaperArtifacts(t *testing.T) {
+	tbl, err := run("table3", tinyCfg, ".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tbl.Title, "Table III") {
+		t.Errorf("title %q", tbl.Title)
+	}
+}

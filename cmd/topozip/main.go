@@ -1,0 +1,367 @@
+// Command topozip is the command-line front end of the critical-point-
+// preserving compressor: it compresses and decompresses raw float32
+// vector fields (components stored one after another, little endian),
+// verifies topology preservation, and generates the synthetic evaluation
+// datasets.
+//
+// Usage:
+//
+//	topozip gen        -data ocean|hurricane|nek5000|turbulence -dims 384x288 -out field.f32
+//	topozip compress   -in field.f32 -dims 384x288 -tau 0.01 -spec ST4 -out field.szp
+//	topozip decompress -in field.szp -out restored.f32
+//	topozip verify     -orig field.f32 -comp field.szp
+//	topozip info       -in field.szp
+//
+// -dims takes NXxNY (2D, two components) or NXxNYxNZ (3D, three
+// components). -tau is relative to the value range by default; pass
+// -abs to interpret it as an absolute bound.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/cp"
+	"repro/internal/datagen"
+	"repro/internal/field"
+	"repro/internal/fixed"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "gen":
+		err = cmdGen(os.Args[2:])
+	case "compress":
+		err = cmdCompress(os.Args[2:])
+	case "decompress":
+		err = cmdDecompress(os.Args[2:])
+	case "verify":
+		err = cmdVerify(os.Args[2:])
+	case "info":
+		err = cmdInfo(os.Args[2:])
+	case "pack-series":
+		err = cmdPackSeries(os.Args[2:])
+	case "track":
+		err = cmdTrack(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "topozip:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: topozip <gen|compress|decompress|verify|info|pack-series|track> [flags]
+run "topozip <cmd> -h" for command flags`)
+}
+
+func parseDims(s string) ([]int, error) {
+	parts := strings.Split(strings.ToLower(s), "x")
+	if len(parts) != 2 && len(parts) != 3 {
+		return nil, fmt.Errorf("dims must be NXxNY or NXxNYxNZ, got %q", s)
+	}
+	dims := make([]int, len(parts))
+	for i, p := range parts {
+		v, err := strconv.Atoi(p)
+		if err != nil || v < 2 {
+			return nil, fmt.Errorf("bad dimension %q", p)
+		}
+		dims[i] = v
+	}
+	return dims, nil
+}
+
+func parseSpec(s string) (core.Speculation, error) {
+	switch strings.ToUpper(s) {
+	case "", "NOSPEC", "NONE":
+		return core.NoSpec, nil
+	case "ST1":
+		return core.ST1, nil
+	case "ST2":
+		return core.ST2, nil
+	case "ST3":
+		return core.ST3, nil
+	case "ST4":
+		return core.ST4, nil
+	default:
+		return 0, fmt.Errorf("unknown speculation target %q", s)
+	}
+}
+
+func cmdGen(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	data := fs.String("data", "ocean", "dataset: ocean, hurricane, nek5000, turbulence")
+	dimsFlag := fs.String("dims", "384x288", "grid dimensions")
+	out := fs.String("out", "", "output raw float32 file")
+	seed := fs.Int64("seed", 0, "realization seed (turbulence)")
+	fs.Parse(args)
+	if *out == "" {
+		return fmt.Errorf("-out is required")
+	}
+	dims, err := parseDims(*dimsFlag)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	switch *data {
+	case "ocean":
+		if len(dims) != 2 {
+			return fmt.Errorf("ocean is 2D")
+		}
+		fl := datagen.Ocean(dims[0], dims[1])
+		return field.WriteRaw(f, fl.U, fl.V)
+	case "hurricane":
+		if len(dims) != 3 {
+			return fmt.Errorf("hurricane is 3D")
+		}
+		fl := datagen.Hurricane(dims[0], dims[1], dims[2])
+		return field.WriteRaw(f, fl.U, fl.V, fl.W)
+	case "nek5000":
+		if len(dims) != 3 {
+			return fmt.Errorf("nek5000 is 3D")
+		}
+		fl := datagen.Nek5000(dims[0], dims[1], dims[2])
+		return field.WriteRaw(f, fl.U, fl.V, fl.W)
+	case "turbulence":
+		if len(dims) != 3 {
+			return fmt.Errorf("turbulence is 3D")
+		}
+		fl := datagen.Turbulence(dims[0], dims[1], dims[2], *seed)
+		return field.WriteRaw(f, fl.U, fl.V, fl.W)
+	default:
+		return fmt.Errorf("unknown dataset %q", *data)
+	}
+}
+
+func loadRaw(path string, dims []int) (*field.Field2D, *field.Field3D, error) {
+	r, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer r.Close()
+	if len(dims) == 2 {
+		f := field.NewField2D(dims[0], dims[1])
+		if err := field.ReadRaw(r, f.U, f.V); err != nil {
+			return nil, nil, err
+		}
+		return f, nil, nil
+	}
+	f := field.NewField3D(dims[0], dims[1], dims[2])
+	if err := field.ReadRaw(r, f.U, f.V, f.W); err != nil {
+		return nil, nil, err
+	}
+	return nil, f, nil
+}
+
+func cmdCompress(args []string) error {
+	fs := flag.NewFlagSet("compress", flag.ExitOnError)
+	in := fs.String("in", "", "input raw float32 file")
+	dimsFlag := fs.String("dims", "", "grid dimensions NXxNY[xNZ]")
+	out := fs.String("out", "", "output compressed file")
+	tau := fs.Float64("tau", 0.01, "error bound")
+	abs := fs.Bool("abs", false, "interpret -tau as an absolute bound (default: relative to value range)")
+	specFlag := fs.String("spec", "NoSpec", "speculation target: NoSpec, ST1..ST4")
+	fs.Parse(args)
+	if *in == "" || *out == "" || *dimsFlag == "" {
+		return fmt.Errorf("-in, -dims and -out are required")
+	}
+	dims, err := parseDims(*dimsFlag)
+	if err != nil {
+		return err
+	}
+	spec, err := parseSpec(*specFlag)
+	if err != nil {
+		return err
+	}
+	f2, f3, err := loadRaw(*in, dims)
+	if err != nil {
+		return err
+	}
+	var blob []byte
+	var rawBytes int
+	if f2 != nil {
+		t := *tau
+		if !*abs {
+			t *= rangeOf(f2.U, f2.V)
+		}
+		blob, _, err = core.Compress2D(f2, core.Options{Tau: t, Spec: spec})
+		rawBytes = 8 * len(f2.U)
+	} else {
+		t := *tau
+		if !*abs {
+			t *= rangeOf(f3.U, f3.V, f3.W)
+		}
+		blob, _, err = core.Compress3D(f3, core.Options{Tau: t, Spec: spec})
+		rawBytes = 12 * len(f3.U)
+	}
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out, blob, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("compressed %d -> %d bytes (ratio %.2f, %s)\n",
+		rawBytes, len(blob), float64(rawBytes)/float64(len(blob)), spec)
+	return nil
+}
+
+func rangeOf(comps ...[]float32) float64 {
+	var lo, hi float32 = comps[0][0], comps[0][0]
+	for _, c := range comps {
+		for _, v := range c {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+	}
+	if hi <= lo {
+		return 1
+	}
+	return float64(hi - lo)
+}
+
+func cmdDecompress(args []string) error {
+	fs := flag.NewFlagSet("decompress", flag.ExitOnError)
+	in := fs.String("in", "", "input compressed file")
+	out := fs.String("out", "", "output raw float32 file")
+	fs.Parse(args)
+	if *in == "" || *out == "" {
+		return fmt.Errorf("-in and -out are required")
+	}
+	blob, err := os.ReadFile(*in)
+	if err != nil {
+		return err
+	}
+	ndim, _, _, _, err := core.PeekHeader(blob)
+	if err != nil {
+		return err
+	}
+	w, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer w.Close()
+	if ndim == 2 {
+		f, err := core.Decompress2D(blob)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("decompressed 2D field %dx%d\n", f.NX, f.NY)
+		return field.WriteRaw(w, f.U, f.V)
+	}
+	f, err := core.Decompress3D(blob)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("decompressed 3D field %dx%dx%d\n", f.NX, f.NY, f.NZ)
+	return field.WriteRaw(w, f.U, f.V, f.W)
+}
+
+func cmdVerify(args []string) error {
+	fs := flag.NewFlagSet("verify", flag.ExitOnError)
+	orig := fs.String("orig", "", "original raw float32 file")
+	comp := fs.String("comp", "", "compressed file")
+	fs.Parse(args)
+	if *orig == "" || *comp == "" {
+		return fmt.Errorf("-orig and -comp are required")
+	}
+	blob, err := os.ReadFile(*comp)
+	if err != nil {
+		return err
+	}
+	ndim, nx, ny, nz, err := core.PeekHeader(blob)
+	if err != nil {
+		return err
+	}
+	dims := []int{nx, ny}
+	if ndim == 3 {
+		dims = append(dims, nz)
+	}
+	f2, f3, err := loadRaw(*orig, dims)
+	if err != nil {
+		return err
+	}
+	if ndim == 2 {
+		dec, err := core.Decompress2D(blob)
+		if err != nil {
+			return err
+		}
+		tr, err := fixed.Fit(f2.U, f2.V)
+		if err != nil {
+			return err
+		}
+		rep := cp.Compare(cp.DetectField2D(f2, tr), cp.DetectField2D(dec, tr))
+		fmt.Printf("critical points: %v\n", rep)
+		fmt.Printf("max abs error: %.6g  PSNR: %.2f dB\n",
+			analysis.MaxAbsError(f2.Components(), dec.Components()),
+			analysis.PSNR(f2.Components(), dec.Components()))
+		if !rep.Preserved() {
+			return fmt.Errorf("critical points NOT preserved")
+		}
+		fmt.Println("all critical points preserved")
+		return nil
+	}
+	dec, err := core.Decompress3D(blob)
+	if err != nil {
+		return err
+	}
+	tr, err := fixed.Fit(f3.U, f3.V, f3.W)
+	if err != nil {
+		return err
+	}
+	rep := cp.Compare(cp.DetectField3D(f3, tr), cp.DetectField3D(dec, tr))
+	fmt.Printf("critical points: %v\n", rep)
+	fmt.Printf("max abs error: %.6g  PSNR: %.2f dB\n",
+		analysis.MaxAbsError(f3.Components(), dec.Components()),
+		analysis.PSNR(f3.Components(), dec.Components()))
+	if !rep.Preserved() {
+		return fmt.Errorf("critical points NOT preserved")
+	}
+	fmt.Println("all critical points preserved")
+	return nil
+}
+
+func cmdInfo(args []string) error {
+	fs := flag.NewFlagSet("info", flag.ExitOnError)
+	in := fs.String("in", "", "compressed file")
+	fs.Parse(args)
+	if *in == "" {
+		return fmt.Errorf("-in is required")
+	}
+	blob, err := os.ReadFile(*in)
+	if err != nil {
+		return err
+	}
+	ndim, nx, ny, nz, err := core.PeekHeader(blob)
+	if err != nil {
+		return err
+	}
+	if ndim == 2 {
+		fmt.Printf("2D block %dx%d, %d compressed bytes (%.2fx vs raw)\n",
+			nx, ny, len(blob), float64(8*nx*ny)/float64(len(blob)))
+	} else {
+		fmt.Printf("3D block %dx%dx%d, %d compressed bytes (%.2fx vs raw)\n",
+			nx, ny, nz, len(blob), float64(12*nx*ny*nz)/float64(len(blob)))
+	}
+	return nil
+}

@@ -1,0 +1,129 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestParseDims(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []int
+		err  bool
+	}{
+		{"64x48", []int{64, 48}, false},
+		{"8X8X8", []int{8, 8, 8}, false},
+		{"64", nil, true},
+		{"2x3x4x5", nil, true},
+		{"64xfoo", nil, true},
+		{"1x5", nil, true}, // below minimum
+	}
+	for _, c := range cases {
+		got, err := parseDims(c.in)
+		if (err != nil) != c.err {
+			t.Errorf("parseDims(%q) err = %v", c.in, err)
+			continue
+		}
+		if err == nil {
+			for i := range c.want {
+				if got[i] != c.want[i] {
+					t.Errorf("parseDims(%q) = %v", c.in, got)
+				}
+			}
+		}
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	for in, want := range map[string]core.Speculation{
+		"": core.NoSpec, "none": core.NoSpec, "NoSpec": core.NoSpec,
+		"st1": core.ST1, "ST2": core.ST2, "St3": core.ST3, "ST4": core.ST4,
+	} {
+		got, err := parseSpec(in)
+		if err != nil || got != want {
+			t.Errorf("parseSpec(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := parseSpec("ST9"); err == nil {
+		t.Error("unknown spec must fail")
+	}
+}
+
+func TestRangeOf(t *testing.T) {
+	if got := rangeOf([]float32{1, 5}, []float32{-3, 2}); got != 8 {
+		t.Errorf("rangeOf = %v", got)
+	}
+	if got := rangeOf([]float32{7, 7}); got != 1 {
+		t.Errorf("constant data range = %v, want 1 fallback", got)
+	}
+}
+
+// TestCLIWorkflow drives gen → compress → verify → decompress → info
+// in-process, the full user path.
+func TestCLIWorkflow(t *testing.T) {
+	dir := t.TempDir()
+	raw := filepath.Join(dir, "ocean.f32")
+	comp := filepath.Join(dir, "ocean.szp")
+	back := filepath.Join(dir, "back.f32")
+
+	if err := cmdGen([]string{"-data", "ocean", "-dims", "48x40", "-out", raw}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdCompress([]string{"-in", raw, "-dims", "48x40", "-tau", "0.01", "-spec", "ST2", "-out", comp}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdVerify([]string{"-orig", raw, "-comp", comp}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdInfo([]string{"-in", comp}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdDecompress([]string{"-in", comp, "-out", back}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := os.Stat(back)
+	if err != nil || st.Size() != 48*40*2*4 {
+		t.Fatalf("decompressed size %v, err %v", st, err)
+	}
+}
+
+func TestCLISeriesWorkflow(t *testing.T) {
+	dir := t.TempDir()
+	for s := 0; s < 3; s++ {
+		path := filepath.Join(dir, fmt.Sprintf("frame%03d.f32", s))
+		if err := cmdGen([]string{"-data", "turbulence", "-dims", "12x12x12",
+			"-seed", fmt.Sprint(s), "-out", path}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	arch := filepath.Join(dir, "series.scar")
+	if err := cmdPackSeries([]string{"-in", filepath.Join(dir, "frame%03d.f32"),
+		"-steps", "3", "-dims", "12x12x12", "-tau", "0.02", "-out", arch}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdTrack([]string{"-in", arch, "-radius", "3"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	if err := cmdGen([]string{"-data", "unknown", "-out", filepath.Join(t.TempDir(), "x")}); err == nil {
+		t.Error("unknown dataset must fail")
+	}
+	if err := cmdGen([]string{"-data", "ocean", "-dims", "8x8x8", "-out", filepath.Join(t.TempDir(), "x")}); err == nil {
+		t.Error("3D dims for ocean must fail")
+	}
+	if err := cmdCompress([]string{}); err == nil {
+		t.Error("missing flags must fail")
+	}
+	if err := cmdInfo([]string{"-in", "/nonexistent"}); err == nil {
+		t.Error("missing file must fail")
+	}
+	if err := cmdTrack([]string{"-in", "/nonexistent"}); err == nil {
+		t.Error("missing archive must fail")
+	}
+}

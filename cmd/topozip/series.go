@@ -1,0 +1,166 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/archive"
+	"repro/internal/core"
+	"repro/internal/cp"
+	"repro/internal/fixed"
+	"repro/internal/tracking"
+)
+
+// cmdPackSeries compresses a sequence of raw frames into one archive.
+// Frame paths are produced with fmt.Sprintf(pattern, step).
+func cmdPackSeries(args []string) error {
+	fs := flag.NewFlagSet("pack-series", flag.ExitOnError)
+	pattern := fs.String("in", "", "input frame pattern, e.g. frame%03d.f32")
+	steps := fs.Int("steps", 0, "number of frames")
+	dimsFlag := fs.String("dims", "", "grid dimensions NXxNY[xNZ]")
+	out := fs.String("out", "", "output archive")
+	tau := fs.Float64("tau", 0.01, "error bound (range-relative unless -abs)")
+	abs := fs.Bool("abs", false, "interpret -tau as absolute")
+	specFlag := fs.String("spec", "NoSpec", "speculation target")
+	temporal := fs.Bool("temporal", false, "predict each frame from the previous decompressed frame")
+	fs.Parse(args)
+	if *pattern == "" || *out == "" || *dimsFlag == "" || *steps < 1 {
+		return fmt.Errorf("-in, -dims, -steps and -out are required")
+	}
+	dims, err := parseDims(*dimsFlag)
+	if err != nil {
+		return err
+	}
+	spec, err := parseSpec(*specFlag)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := archive.NewWriter(f)
+	var rawTotal int
+	for s := 0; s < *steps; s++ {
+		path := fmt.Sprintf(*pattern, s)
+		f2, f3, err := loadRaw(path, dims)
+		if err != nil {
+			return fmt.Errorf("frame %d (%s): %w", s, path, err)
+		}
+		if f2 != nil {
+			t := *tau
+			if !*abs {
+				t *= rangeOf(f2.U, f2.V)
+			}
+			opts := core.Options{Tau: t, Spec: spec}
+			if *temporal {
+				err = w.Append2DTemporal(f2, opts)
+			} else {
+				err = w.Append2D(f2, opts)
+			}
+			rawTotal += 8 * len(f2.U)
+		} else {
+			t := *tau
+			if !*abs {
+				t *= rangeOf(f3.U, f3.V, f3.W)
+			}
+			opts := core.Options{Tau: t, Spec: spec}
+			if *temporal {
+				err = w.Append3DTemporal(f3, opts)
+			} else {
+				err = w.Append3D(f3, opts)
+			}
+			rawTotal += 12 * len(f3.U)
+		}
+		if err != nil {
+			return fmt.Errorf("frame %d: %w", s, err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		return err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("packed %d frames: %d -> %d bytes (ratio %.2f)\n",
+		*steps, rawTotal, st.Size(), float64(rawTotal)/float64(st.Size()))
+	return nil
+}
+
+// cmdTrack extracts and tracks critical points through an archive.
+func cmdTrack(args []string) error {
+	fs := flag.NewFlagSet("track", flag.ExitOnError)
+	in := fs.String("in", "", "input archive")
+	radius := fs.Float64("radius", 2, "max per-step motion (grid units)")
+	fs.Parse(args)
+	if *in == "" {
+		return fmt.Errorf("-in is required")
+	}
+	data, err := os.ReadFile(*in)
+	if err != nil {
+		return err
+	}
+	r, err := archive.NewReader(data)
+	if err != nil {
+		return err
+	}
+	if r.Steps() == 0 {
+		return fmt.Errorf("archive is empty")
+	}
+	// Decode the whole series (handles temporal chaining) and use the
+	// first frame's transform so detection is consistent across steps.
+	first, err := r.Blob(0)
+	if err != nil {
+		return err
+	}
+	ndim, _, _, _, err := core.PeekHeader(first)
+	if err != nil {
+		return err
+	}
+	var steps [][]cp.Point
+	var tr fixed.Transform
+	if ndim == 2 {
+		frames, err := r.DecodeSeries2D()
+		if err != nil {
+			return err
+		}
+		if tr, err = fixed.Fit(frames[0].U, frames[0].V); err != nil {
+			return err
+		}
+		for _, f := range frames {
+			steps = append(steps, cp.DetectField2D(f, tr))
+		}
+	} else {
+		frames, err := r.DecodeSeries3D()
+		if err != nil {
+			return err
+		}
+		if tr, err = fixed.Fit(frames[0].U, frames[0].V, frames[0].W); err != nil {
+			return err
+		}
+		for _, f := range frames {
+			steps = append(steps, cp.DetectField3D(f, tr))
+		}
+	}
+	tracks := tracking.Build(steps, tracking.Options{Radius: *radius, MatchType: true})
+	sum := tracking.Summarize(tracks)
+	fmt.Printf("%d steps, %d tracks (mean length %.1f, max %d, %d singletons)\n",
+		r.Steps(), sum.Tracks, sum.MeanLen, sum.MaxLen, sum.Singleton)
+	// Print the longest tracks.
+	printed := 0
+	for _, t := range tracks {
+		if t.Length() >= sum.MaxLen && printed < 5 {
+			first := t.Points[0]
+			last := t.Points[len(t.Points)-1]
+			fmt.Printf("  track steps %d..%d %-18s (%.1f,%.1f,%.1f) -> (%.1f,%.1f,%.1f)\n",
+				t.Start, t.End(), first.Type,
+				first.Pos[0], first.Pos[1], first.Pos[2],
+				last.Pos[0], last.Pos[1], last.Pos[2])
+			printed++
+		}
+	}
+	return nil
+}

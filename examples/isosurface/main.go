@@ -1,0 +1,73 @@
+// Isosurface: the Lemma 2 extension — error-bounded compression of a
+// scalar field that preserves the marching-cubes topology of chosen
+// isosurfaces exactly. This is the "more features expressed by the sign
+// of determinants" direction the paper's conclusion announces.
+//
+// Usage: go run ./examples/isosurface [-dims 96x96x48]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+
+	"repro/internal/isosurface"
+)
+
+func main() {
+	dims := flag.String("dims", "96x96x48", "grid dimensions")
+	flag.Parse()
+	var nx, ny, nz int
+	if _, err := fmt.Sscanf(*dims, "%dx%dx%d", &nx, &ny, &nz); err != nil {
+		log.Fatal("bad -dims: ", err)
+	}
+
+	// A "temperature" field with nested level sets.
+	f := isosurface.NewField(nx, ny, nz)
+	for k := 0; k < nz; k++ {
+		for j := 0; j < ny; j++ {
+			for i := 0; i < nx; i++ {
+				x := float64(i)/float64(nx-1) - 0.5
+				y := float64(j)/float64(ny-1) - 0.5
+				z := float64(k)/float64(nz-1) - 0.5
+				r := math.Sqrt(x*x + y*y + 2*z*z)
+				f.Data[(k*ny+j)*nx+i] = float32(math.Exp(-4*r*r) +
+					0.15*math.Sin(9*x)*math.Cos(7*y)*math.Cos(5*z))
+			}
+		}
+	}
+
+	isos := []float64{0.2, 0.5, 0.8}
+	blob, err := isosurface.Compress(f, isosurface.Options{Tau: 0.02, Isovalues: isos})
+	if err != nil {
+		log.Fatal(err)
+	}
+	raw := 4 * len(f.Data)
+	fmt.Printf("%s compressed %d -> %d bytes (ratio %.1fx)\n",
+		f, raw, len(blob), float64(raw)/float64(len(blob)))
+
+	dec, err := isosurface.Decompress(blob)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, iso := range isos {
+		a := isosurface.CellCases(f, iso)
+		b := isosurface.CellCases(dec, iso)
+		changed := 0
+		active := 0
+		for c := range a {
+			if a[c] != 0 && a[c] != 0xFF {
+				active++
+			}
+			if a[c] != b[c] {
+				changed++
+			}
+		}
+		fmt.Printf("isovalue %.2f: %6d surface cells, %d topology changes\n", iso, active, changed)
+		if changed != 0 {
+			log.Fatal("isosurface topology was not preserved!")
+		}
+	}
+	fmt.Println("all isosurfaces preserved cell-exactly ✓")
+}

@@ -1,0 +1,135 @@
+// Tracking: the paper's motivating downstream analysis. A vortex drifts
+// across the domain over several time steps; each step is compressed
+// independently. Topology-agnostic compression can flip detections in
+// single steps, splitting the vortex's track into fragments ("broken or
+// branched traces"); the critical-point-preserving compressor keeps every
+// track intact by construction.
+//
+// Usage: go run ./examples/tracking [-steps 12] [-n 48]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/cp"
+	"repro/internal/field"
+	"repro/internal/fixed"
+	"repro/internal/tracking"
+)
+
+func main() {
+	steps := flag.Int("steps", 12, "number of time steps")
+	n := flag.Int("n", 48, "grid side")
+	flag.Parse()
+
+	fields := sequence(*steps, *n)
+	tr, err := fixed.Fit(fields[0].U, fields[0].V)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tau := 0.05 * rangeOf(fields[0].U, fields[0].V)
+
+	var orig, ours, generic [][]cp.Point
+	var ourBytes, genBytes, raw int
+	for _, f := range fields {
+		raw += 4 * 2 * len(f.U)
+		orig = append(orig, cp.DetectField2D(f, tr))
+
+		blob, err := core.CompressField2D(f, tr, core.Options{Tau: tau, Spec: core.ST2})
+		if err != nil {
+			log.Fatal(err)
+		}
+		ourBytes += len(blob)
+		dec, err := core.Decompress2D(blob)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ours = append(ours, cp.DetectField2D(dec, tr))
+
+		// Generic compressor with the same error bound — pointwise error
+		// control without topology awareness.
+		gblob, err := baselines.SZLike{Abs: tau * 2}.Compress2D(f)
+		if err != nil {
+			log.Fatal(err)
+		}
+		genBytes += len(gblob)
+		gdec, err := baselines.SZLike{}.Decompress2D(gblob)
+		if err != nil {
+			log.Fatal(err)
+		}
+		generic = append(generic, cp.DetectField2D(gdec, tr))
+	}
+
+	opts := tracking.Options{Radius: 3, MatchType: true}
+	base := tracking.Summarize(tracking.Build(orig, opts))
+	fmt.Printf("original:  %3d tracks, longest %d steps, %d singletons\n",
+		base.Tracks, base.MaxLen, base.Singleton)
+
+	rep := tracking.Compare(orig, ours, opts)
+	fmt.Printf("ours ST2:  %3d tracks, longest %d steps, %d singletons   (ratio %.1fx)\n",
+		rep.Decompressed.Tracks, rep.Decompressed.MaxLen, rep.Decompressed.Singleton,
+		float64(raw)/float64(ourBytes))
+	if rep.ExtraTracks != 0 {
+		log.Fatal("the preserving compressor must not break tracks")
+	}
+
+	grep := tracking.Compare(orig, generic, opts)
+	fmt.Printf("SZ-like:   %3d tracks, longest %d steps, %d singletons   (ratio %.1fx)\n",
+		grep.Decompressed.Tracks, grep.Decompressed.MaxLen, grep.Decompressed.Singleton,
+		float64(raw)/float64(genBytes))
+	switch {
+	case grep.ExtraTracks > 0:
+		fmt.Printf("the generic compressor split the motion into %d extra tracks — the broken-trace failure the paper motivates\n",
+			grep.ExtraTracks)
+	case grep.ExtraTracks < 0 || grep.Decompressed.MaxLen != base.MaxLen:
+		fmt.Println("the generic compressor destroyed or merged tracks — the temporal topology is gone")
+	default:
+		fmt.Println("(the generic compressor happened to preserve the tracks at this scale)")
+	}
+}
+
+// sequence builds a drifting vortex plus saddle background.
+func sequence(steps, n int) []*field.Field2D {
+	out := make([]*field.Field2D, steps)
+	for t := range out {
+		f := field.NewField2D(n, n)
+		cx := 5 + float64(t)*float64(n-10)/float64(steps)
+		cy := float64(n)/2 + 3*math.Sin(float64(t)*0.7)
+		for j := 0; j < n; j++ {
+			for i := 0; i < n; i++ {
+				x, y := float64(i), float64(j)
+				idx := f.Idx(i, j)
+				// Vortex with finite core plus a weak cellular background.
+				dx, dy := x-cx, y-cy
+				r2 := dx*dx + dy*dy
+				s := math.Exp(-r2 / 64)
+				u := -dy*s + 0.12*math.Sin(2*math.Pi*x/float64(n)*3)
+				v := dx*s + 0.12*math.Cos(2*math.Pi*y/float64(n)*3)
+				f.U[idx] = float32(u)
+				f.V[idx] = float32(v)
+			}
+		}
+		out[t] = f
+	}
+	return out
+}
+
+func rangeOf(comps ...[]float32) float64 {
+	var lo, hi float32 = comps[0][0], comps[0][0]
+	for _, c := range comps {
+		for _, v := range c {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+	}
+	return float64(hi - lo)
+}

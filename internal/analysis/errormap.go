@@ -1,0 +1,90 @@
+package analysis
+
+import (
+	"math"
+	"sort"
+)
+
+// Error-distribution utilities: the paper reports maxima and PSNR, but
+// understanding *where* a topology-preserving compressor spends its error
+// budget (tiny errors near critical points, large errors in relaxed
+// regions) needs the full distribution.
+
+// ErrorStats summarizes the pointwise absolute error distribution across
+// all components.
+type ErrorStats struct {
+	Max    float64
+	Mean   float64
+	RMSE   float64
+	P50    float64 // median
+	P99    float64
+	Within float64 // fraction of samples with error <= Bound
+	Bound  float64 // the bound Within was computed against
+}
+
+// ComputeErrorStats builds the distribution summary. bound is the user's
+// τ (used for the Within fraction); pass 0 to skip it.
+func ComputeErrorStats(orig, dec [][]float32, bound float64) ErrorStats {
+	var errs []float64
+	var sum, sq float64
+	for c := range orig {
+		for i := range orig[c] {
+			d := math.Abs(float64(orig[c][i]) - float64(dec[c][i]))
+			errs = append(errs, d)
+			sum += d
+			sq += d * d
+		}
+	}
+	st := ErrorStats{Bound: bound}
+	if len(errs) == 0 {
+		return st
+	}
+	sort.Float64s(errs)
+	n := len(errs)
+	st.Max = errs[n-1]
+	st.Mean = sum / float64(n)
+	st.RMSE = math.Sqrt(sq / float64(n))
+	st.P50 = errs[n/2]
+	st.P99 = errs[min2(n-1, n*99/100)]
+	if bound > 0 {
+		cnt := sort.SearchFloat64s(errs, bound)
+		// SearchFloat64s returns the first index >= bound; samples equal
+		// to the bound still satisfy it.
+		for cnt < n && errs[cnt] <= bound {
+			cnt++
+		}
+		st.Within = float64(cnt) / float64(n)
+	}
+	return st
+}
+
+func min2(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// ErrorMap2D returns a grayscale image of the per-vertex maximum
+// component error, normalized to the largest error (useful for
+// visualizing where relaxed/speculated regions absorbed error).
+func ErrorMap2D(origU, origV, decU, decV []float32, nx, ny int) []uint8 {
+	img := make([]uint8, nx*ny)
+	maxErr := 0.0
+	errs := make([]float64, nx*ny)
+	for i := range errs {
+		du := math.Abs(float64(origU[i]) - float64(decU[i]))
+		dv := math.Abs(float64(origV[i]) - float64(decV[i]))
+		errs[i] = math.Max(du, dv)
+		if errs[i] > maxErr {
+			maxErr = errs[i]
+		}
+	}
+	if maxErr == 0 {
+		return img
+	}
+	for i, e := range errs {
+		img[i] = uint8(255 * e / maxErr)
+	}
+	return img
+}

@@ -1,0 +1,65 @@
+package analysis
+
+import "testing"
+
+func TestComputeErrorStats(t *testing.T) {
+	// Exactly representable float32 values avoid rounding artifacts.
+	orig := [][]float32{{0, 0, 0, 0}}
+	dec := [][]float32{{0.125, 0.25, 0.375, 0.5}}
+	st := ComputeErrorStats(orig, dec, 0.25)
+	if st.Max != 0.5 {
+		t.Errorf("Max = %v", st.Max)
+	}
+	if st.Mean != 0.3125 {
+		t.Errorf("Mean = %v", st.Mean)
+	}
+	if st.P50 < 0.25 || st.P50 > 0.375 {
+		t.Errorf("P50 = %v", st.P50)
+	}
+	if st.Within != 0.5 {
+		t.Errorf("Within = %v, want 0.5", st.Within)
+	}
+	if st.RMSE <= st.Mean-1e-9 {
+		t.Errorf("RMSE %v should be >= mean %v", st.RMSE, st.Mean)
+	}
+}
+
+func TestComputeErrorStatsEmpty(t *testing.T) {
+	st := ComputeErrorStats(nil, nil, 0.1)
+	if st.Max != 0 || st.Within != 0 {
+		t.Errorf("empty stats = %+v", st)
+	}
+}
+
+func TestComputeErrorStatsExactBound(t *testing.T) {
+	orig := [][]float32{{0, 0}}
+	dec := [][]float32{{0.25, 0.75}}
+	st := ComputeErrorStats(orig, dec, 0.25)
+	if st.Within != 0.5 {
+		t.Errorf("errors equal to the bound must count as within: %v", st.Within)
+	}
+}
+
+func TestErrorMap2D(t *testing.T) {
+	origU := []float32{0, 0, 0, 0}
+	origV := []float32{0, 0, 0, 0}
+	decU := []float32{0, 0.5, 0, 1}
+	decV := []float32{0, 0, 0.25, 0}
+	img := ErrorMap2D(origU, origV, decU, decV, 2, 2)
+	if img[0] != 0 {
+		t.Errorf("zero-error pixel = %d", img[0])
+	}
+	if img[3] != 255 {
+		t.Errorf("max-error pixel = %d", img[3])
+	}
+	if img[1] <= img[2] {
+		t.Errorf("ordering wrong: %v", img)
+	}
+	// All-zero errors produce a black image, not NaN garbage.
+	zero := ErrorMap2D(origU, origV, origU, origV, 2, 2)
+	for _, p := range zero {
+		if p != 0 {
+			t.Fatal("zero error map must be black")
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package analysis
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/cp"
+	"repro/internal/field"
+)
+
+// The topology graph of a 2D vector field: critical points are the nodes
+// and separatrices the edges (each branch connects its saddle to the
+// critical point it converges to, if any). This is the combinatorial
+// object flow-visualization pipelines ultimately consume; comparing the
+// graphs of original and decompressed data is the strongest end-to-end
+// check of what the compressor claims to preserve.
+
+// GraphEdge is one separatrix connection.
+type GraphEdge struct {
+	// FromCell and ToCell identify the endpoints by their mesh cell ids
+	// (stable across compression when topology is preserved).
+	FromCell, ToCell int
+	// Unstable marks outgoing (forward-time) branches.
+	Unstable bool
+}
+
+// TopologyGraph is the extracted skeleton.
+type TopologyGraph struct {
+	Nodes []cp.Point
+	Edges []GraphEdge
+	// Dangling counts branches that left the domain or did not converge
+	// to a critical point.
+	Dangling int
+}
+
+// BuildTopologyGraph traces all separatrices and connects each branch to
+// the critical point nearest its endpoint (within radius).
+func BuildTopologyGraph(f *field.Field2D, pts []cp.Point, radius float64) TopologyGraph {
+	g := TopologyGraph{Nodes: pts}
+	seps := Separatrices(f, pts, 0.2, 600)
+	for _, s := range seps {
+		if len(s.Line) == 0 {
+			g.Dangling++
+			continue
+		}
+		end := s.Line[len(s.Line)-1]
+		to := -1
+		best := radius
+		for i, p := range pts {
+			d := math.Hypot(end.X-p.Pos[0], end.Y-p.Pos[1])
+			if d <= best {
+				best = d
+				to = i
+			}
+		}
+		if to < 0 {
+			g.Dangling++
+			continue
+		}
+		g.Edges = append(g.Edges, GraphEdge{
+			FromCell: pts[s.Saddle].Cell,
+			ToCell:   pts[to].Cell,
+			Unstable: s.Unstable,
+		})
+	}
+	sortEdges(g.Edges)
+	return g
+}
+
+func sortEdges(e []GraphEdge) {
+	sort.Slice(e, func(i, j int) bool {
+		if e[i].FromCell != e[j].FromCell {
+			return e[i].FromCell < e[j].FromCell
+		}
+		if e[i].ToCell != e[j].ToCell {
+			return e[i].ToCell < e[j].ToCell
+		}
+		return !e[i].Unstable && e[j].Unstable
+	})
+}
+
+// SameTopology reports whether two graphs have identical node sets
+// (cell + type) and identical edge sets. Because topology-preserving
+// compression keeps every critical point in its cell, cell ids are a
+// stable node identity.
+func SameTopology(a, b TopologyGraph) bool {
+	if len(a.Nodes) != len(b.Nodes) || len(a.Edges) != len(b.Edges) {
+		return false
+	}
+	an := map[int]cp.Type{}
+	for _, p := range a.Nodes {
+		an[p.Cell] = p.Type
+	}
+	for _, p := range b.Nodes {
+		if t, ok := an[p.Cell]; !ok || t != p.Type {
+			return false
+		}
+	}
+	for i := range a.Edges {
+		if a.Edges[i] != b.Edges[i] {
+			return false
+		}
+	}
+	return true
+}

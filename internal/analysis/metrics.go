@@ -1,0 +1,67 @@
+// Package analysis provides the evaluation machinery of Section VII:
+// rate–distortion metrics (PSNR, maximum error, bit rate), streamline
+// tracing for the qualitative 3D comparisons (Figs. 7–8), and Line
+// Integral Convolution rendering for the 2D Ocean figure (Fig. 5).
+package analysis
+
+import (
+	"math"
+)
+
+// PSNR computes the peak signal-to-noise ratio (dB) over all components,
+// using the global value range as the peak, the convention of the paper's
+// rate–distortion plots.
+func PSNR(orig, dec [][]float32) float64 {
+	var lo, hi float64 = math.Inf(1), math.Inf(-1)
+	var sum float64
+	n := 0
+	for c := range orig {
+		for i := range orig[c] {
+			v := float64(orig[c][i])
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+			d := v - float64(dec[c][i])
+			sum += d * d
+			n++
+		}
+	}
+	if n == 0 || hi <= lo {
+		return math.Inf(1)
+	}
+	rmse := math.Sqrt(sum / float64(n))
+	if rmse == 0 {
+		return math.Inf(1)
+	}
+	return 20 * math.Log10((hi-lo)/rmse)
+}
+
+// MaxAbsError returns the largest pointwise absolute error over all
+// components.
+func MaxAbsError(orig, dec [][]float32) float64 {
+	m := 0.0
+	for c := range orig {
+		for i := range orig[c] {
+			d := math.Abs(float64(orig[c][i]) - float64(dec[c][i]))
+			if d > m {
+				m = d
+			}
+		}
+	}
+	return m
+}
+
+// BitRate returns the average bits per scalar value for a compressed size.
+func BitRate(compressedBytes, numValues int) float64 {
+	if numValues == 0 {
+		return 0
+	}
+	return float64(compressedBytes) * 8 / float64(numValues)
+}
+
+// Ratio returns the compression ratio for float32 data.
+func Ratio(compressedBytes, numValues int) float64 {
+	if compressedBytes == 0 {
+		return 0
+	}
+	return float64(numValues) * 4 / float64(compressedBytes)
+}

@@ -1,0 +1,133 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cp"
+	"repro/internal/datagen"
+	"repro/internal/field"
+	"repro/internal/fixed"
+)
+
+// saddleField builds u = x−c, v = −(y−c): a pure saddle at (c, c) with
+// separatrices along the axes.
+func saddleField(n int, c float64) *field.Field2D {
+	f := field.NewField2D(n, n)
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			idx := f.Idx(i, j)
+			f.U[idx] = float32(float64(i) - c)
+			f.V[idx] = float32(-(float64(j) - c))
+		}
+	}
+	return f
+}
+
+func TestEigenvectors2Saddle(t *testing.T) {
+	v1, v2, ok := eigenvectors2([2][2]float64{{1, 0}, {0, -1}})
+	if !ok {
+		t.Fatal("real spectrum not detected")
+	}
+	// λ=+1 direction is ±x, λ=−1 direction is ±y.
+	if math.Abs(math.Abs(v1[0])-1) > 1e-9 || math.Abs(v1[1]) > 1e-9 {
+		t.Errorf("v1 = %v, want ±x", v1)
+	}
+	if math.Abs(math.Abs(v2[1])-1) > 1e-9 || math.Abs(v2[0]) > 1e-9 {
+		t.Errorf("v2 = %v, want ±y", v2)
+	}
+	if _, _, ok := eigenvectors2([2][2]float64{{0, -1}, {1, 0}}); ok {
+		t.Error("rotation has no real eigenvectors")
+	}
+}
+
+func TestSeparatricesOfPureSaddle(t *testing.T) {
+	n := 17
+	c := 8.0
+	f := saddleField(n, c)
+	tr, err := fixed.Fit(f.U, f.V)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := cp.DetectField2D(f, tr)
+	if len(pts) != 1 || pts[0].Type != cp.TypeSaddle {
+		t.Fatalf("expected a single saddle, got %v", pts)
+	}
+	seps := Separatrices(f, pts, 0.1, 300)
+	if len(seps) != 4 {
+		t.Fatalf("saddle should spawn 4 branches, got %d", len(seps))
+	}
+	for _, s := range seps {
+		if len(s.Line) < 10 {
+			t.Fatalf("branch too short: %d points", len(s.Line))
+		}
+		end := s.Line[len(s.Line)-1]
+		if s.Unstable {
+			// Outgoing branches follow ±x: y stays near c.
+			if math.Abs(end.Y-c) > 1 {
+				t.Errorf("unstable branch drifted off the x-axis: %+v", end)
+			}
+		} else {
+			// Stable branches (traced backward) follow ±y.
+			if math.Abs(end.X-c) > 1 {
+				t.Errorf("stable branch drifted off the y-axis: %+v", end)
+			}
+		}
+	}
+}
+
+func TestSeparatricesSkipNonSaddles(t *testing.T) {
+	f := field.NewField2D(9, 9)
+	for j := 0; j < 9; j++ {
+		for i := 0; i < 9; i++ {
+			idx := f.Idx(i, j)
+			f.U[idx] = float32(float64(i) - 4)
+			f.V[idx] = float32(float64(j) - 4)
+		}
+	}
+	tr, _ := fixed.Fit(f.U, f.V)
+	pts := cp.DetectField2D(f, tr)
+	if got := Separatrices(f, pts, 0.1, 50); len(got) != 0 {
+		t.Errorf("source spawned %d branches", len(got))
+	}
+}
+
+func TestSkeletonPreservedUnderCompression(t *testing.T) {
+	f := datagen.Ocean(128, 96)
+	tr, err := fixed.Fit(f.U, f.V)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := cp.DetectField2D(f, tr)
+	base := Separatrices(f, pts, 0.2, 200)
+	if len(base) == 0 {
+		t.Skip("no saddles in test field")
+	}
+	blob, err := core.CompressField2D(f, tr, core.Options{Tau: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := core.Decompress2D(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decPts := cp.DetectField2D(dec, tr)
+	if len(decPts) != len(pts) {
+		t.Fatalf("critical point count changed: %d vs %d", len(decPts), len(pts))
+	}
+	decSeps := Separatrices(dec, decPts, 0.2, 200)
+	if len(decSeps) != len(base) {
+		t.Fatalf("branch count changed: %d vs %d", len(decSeps), len(base))
+	}
+	div := SkeletonDivergence(base, decSeps)
+	if math.IsNaN(div) || div > 5 {
+		t.Errorf("skeleton divergence too large: %v", div)
+	}
+}
+
+func TestSkeletonDivergenceMismatch(t *testing.T) {
+	if !math.IsNaN(SkeletonDivergence(nil, []Separatrix{{}})) {
+		t.Error("mismatched input should be NaN")
+	}
+}

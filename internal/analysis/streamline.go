@@ -1,0 +1,122 @@
+package analysis
+
+import (
+	"math"
+
+	"repro/internal/field"
+)
+
+// Point3 is one streamline sample.
+type Point3 struct{ X, Y, Z float64 }
+
+// TraceStreamline3D integrates a streamline with RK4 from (x,y,z) through
+// the trilinearly interpolated field, for at most steps steps of size h.
+// Integration stops when the velocity magnitude vanishes or the seed
+// leaves the domain.
+func TraceStreamline3D(f *field.Field3D, x, y, z, h float64, steps int) []Point3 {
+	pts := make([]Point3, 0, steps+1)
+	pts = append(pts, Point3{x, y, z})
+	for s := 0; s < steps; s++ {
+		k1x, k1y, k1z := f.Trilinear(x, y, z)
+		if tiny3(k1x, k1y, k1z) {
+			break
+		}
+		k2x, k2y, k2z := f.Trilinear(x+h/2*k1x, y+h/2*k1y, z+h/2*k1z)
+		k3x, k3y, k3z := f.Trilinear(x+h/2*k2x, y+h/2*k2y, z+h/2*k2z)
+		k4x, k4y, k4z := f.Trilinear(x+h*k3x, y+h*k3y, z+h*k3z)
+		x += h / 6 * (k1x + 2*k2x + 2*k3x + k4x)
+		y += h / 6 * (k1y + 2*k2y + 2*k3y + k4y)
+		z += h / 6 * (k1z + 2*k2z + 2*k3z + k4z)
+		if x < 0 || y < 0 || z < 0 || x > float64(f.NX-1) || y > float64(f.NY-1) || z > float64(f.NZ-1) {
+			break
+		}
+		pts = append(pts, Point3{x, y, z})
+	}
+	return pts
+}
+
+// TraceStreamline2D integrates a 2D streamline with RK4.
+func TraceStreamline2D(f *field.Field2D, x, y, h float64, steps int) []Point3 {
+	pts := make([]Point3, 0, steps+1)
+	pts = append(pts, Point3{x, y, 0})
+	for s := 0; s < steps; s++ {
+		k1x, k1y := f.Bilinear(x, y)
+		if tiny3(k1x, k1y, 0) {
+			break
+		}
+		k2x, k2y := f.Bilinear(x+h/2*k1x, y+h/2*k1y)
+		k3x, k3y := f.Bilinear(x+h/2*k2x, y+h/2*k2y)
+		k4x, k4y := f.Bilinear(x+h*k3x, y+h*k3y)
+		x += h / 6 * (k1x + 2*k2x + 2*k3x + k4x)
+		y += h / 6 * (k1y + 2*k2y + 2*k3y + k4y)
+		if x < 0 || y < 0 || x > float64(f.NX-1) || y > float64(f.NY-1) {
+			break
+		}
+		pts = append(pts, Point3{x, y, 0})
+	}
+	return pts
+}
+
+func tiny3(a, b, c float64) bool {
+	return math.Abs(a)+math.Abs(b)+math.Abs(c) < 1e-12
+}
+
+// StreamlineDivergence quantifies how far two sets of streamlines traced
+// from the same seeds diverge: the mean over seeds of the average
+// pointwise distance up to the shorter trace length. It is the
+// quantitative stand-in for the paper's visual streamline comparisons
+// (Figs. 7 and 8).
+func StreamlineDivergence(a, b [][]Point3) float64 {
+	if len(a) != len(b) || len(a) == 0 {
+		return math.NaN()
+	}
+	total := 0.0
+	for s := range a {
+		n := len(a[s])
+		if len(b[s]) < n {
+			n = len(b[s])
+		}
+		if n == 0 {
+			continue
+		}
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			dx := a[s][i].X - b[s][i].X
+			dy := a[s][i].Y - b[s][i].Y
+			dz := a[s][i].Z - b[s][i].Z
+			sum += math.Sqrt(dx*dx + dy*dy + dz*dz)
+		}
+		sum /= float64(n)
+		// Penalize early termination mismatches.
+		diff := len(a[s]) - len(b[s])
+		if diff < 0 {
+			diff = -diff
+		}
+		total += sum + 0.01*float64(diff)
+	}
+	return total / float64(len(a))
+}
+
+// DiagonalSeeds3D returns n seeds along the volume diagonal, the seeding
+// used for the paper's qualitative 3D figures.
+func DiagonalSeeds3D(f *field.Field3D, n int) []Point3 {
+	seeds := make([]Point3, n)
+	for i := range seeds {
+		t := (float64(i) + 0.5) / float64(n)
+		seeds[i] = Point3{
+			X: t * float64(f.NX-1),
+			Y: t * float64(f.NY-1),
+			Z: t * float64(f.NZ-1),
+		}
+	}
+	return seeds
+}
+
+// TraceAll3D traces one streamline per seed.
+func TraceAll3D(f *field.Field3D, seeds []Point3, h float64, steps int) [][]Point3 {
+	out := make([][]Point3, len(seeds))
+	for i, s := range seeds {
+		out[i] = TraceStreamline3D(f, s.X, s.Y, s.Z, h, steps)
+	}
+	return out
+}

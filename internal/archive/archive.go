@@ -1,0 +1,270 @@
+// Package archive stores time-varying vector field sequences: one
+// compressed block per time step plus an index, so individual steps can
+// be decoded without reading the whole series. This is the on-disk layout
+// scientific workflows use for the write-once/read-many pattern the
+// paper's I/O study targets, and the input format of the critical point
+// tracking example.
+//
+// Layout (little endian):
+//
+//	magic "SCAR" | version u8 | step count uvarint
+//	per step: blob length uvarint
+//	concatenated blobs
+//
+// Blobs are the self-describing outputs of core.Compress2D/3D, so the
+// archive itself needs no field metadata.
+package archive
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/field"
+	"repro/internal/fixed"
+)
+
+var magic = [4]byte{'S', 'C', 'A', 'R'}
+
+const version = 1
+
+// Writer streams an archive to an io.Writer. Steps are buffered until
+// Close because the index precedes the data.
+type Writer struct {
+	w     io.Writer
+	blobs [][]byte
+	// Temporal-series state: the transform is fitted on the first frame
+	// and shared by the whole series; prev holds the previous frame's
+	// decompressed output (the predictor both sides agree on).
+	tr    fixed.Transform
+	trSet bool
+	prev2 *field.Field2D
+	prev3 *field.Field3D
+}
+
+// NewWriter returns a Writer that emits the archive on Close.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: w}
+}
+
+// AppendBlob adds one pre-compressed time step.
+func (a *Writer) AppendBlob(blob []byte) {
+	a.blobs = append(a.blobs, blob)
+}
+
+// Append2D compresses and adds a 2D time step.
+func (a *Writer) Append2D(f *field.Field2D, opts core.Options) error {
+	blob, _, err := core.Compress2D(f, opts)
+	if err != nil {
+		return err
+	}
+	a.AppendBlob(blob)
+	return nil
+}
+
+// Append3D compresses and adds a 3D time step.
+func (a *Writer) Append3D(f *field.Field3D, opts core.Options) error {
+	blob, _, err := core.Compress3D(f, opts)
+	if err != nil {
+		return err
+	}
+	a.AppendBlob(blob)
+	return nil
+}
+
+// Append2DTemporal compresses a 2D time step against the previous
+// appended frame (spatial prediction for the first frame): on slowly
+// evolving series this beats spatial prediction considerably. The
+// fixed-point transform is fitted on the first frame and shared by the
+// series, so later frames must stay within its magnitude range.
+func (a *Writer) Append2DTemporal(f *field.Field2D, opts core.Options) error {
+	if !a.trSet {
+		tr, err := fixed.Fit(f.U, f.V)
+		if err != nil {
+			return err
+		}
+		a.tr, a.trSet = tr, true
+	}
+	blk := core.Block2D{
+		NX: f.NX, NY: f.NY, U: f.U, V: f.V,
+		Transform: a.tr, Opts: opts,
+	}
+	if a.prev2 != nil {
+		if a.prev2.NX != f.NX || a.prev2.NY != f.NY {
+			return errors.New("archive: frame dimensions changed mid-series")
+		}
+		blk.PrevU, blk.PrevV = a.prev2.U, a.prev2.V
+	}
+	enc, err := core.NewEncoder2D(blk)
+	if err != nil {
+		return err
+	}
+	enc.Run()
+	blob, err := enc.Finish()
+	if err != nil {
+		return err
+	}
+	u, v := enc.Decompressed()
+	a.prev2 = &field.Field2D{NX: f.NX, NY: f.NY, U: u, V: v}
+	a.AppendBlob(blob)
+	return nil
+}
+
+// Append3DTemporal is the 3D variant of Append2DTemporal.
+func (a *Writer) Append3DTemporal(f *field.Field3D, opts core.Options) error {
+	if !a.trSet {
+		tr, err := fixed.Fit(f.U, f.V, f.W)
+		if err != nil {
+			return err
+		}
+		a.tr, a.trSet = tr, true
+	}
+	blk := core.Block3D{
+		NX: f.NX, NY: f.NY, NZ: f.NZ, U: f.U, V: f.V, W: f.W,
+		Transform: a.tr, Opts: opts,
+	}
+	if a.prev3 != nil {
+		if a.prev3.NX != f.NX || a.prev3.NY != f.NY || a.prev3.NZ != f.NZ {
+			return errors.New("archive: frame dimensions changed mid-series")
+		}
+		blk.PrevU, blk.PrevV, blk.PrevW = a.prev3.U, a.prev3.V, a.prev3.W
+	}
+	enc, err := core.NewEncoder3D(blk)
+	if err != nil {
+		return err
+	}
+	enc.Run()
+	blob, err := enc.Finish()
+	if err != nil {
+		return err
+	}
+	u, v, w := enc.Decompressed()
+	a.prev3 = &field.Field3D{NX: f.NX, NY: f.NY, NZ: f.NZ, U: u, V: v, W: w}
+	a.AppendBlob(blob)
+	return nil
+}
+
+// Close writes the archive.
+func (a *Writer) Close() error {
+	var head []byte
+	head = append(head, magic[:]...)
+	head = append(head, version)
+	head = binary.AppendUvarint(head, uint64(len(a.blobs)))
+	for _, b := range a.blobs {
+		head = binary.AppendUvarint(head, uint64(len(b)))
+	}
+	if _, err := a.w.Write(head); err != nil {
+		return err
+	}
+	for _, b := range a.blobs {
+		if _, err := a.w.Write(b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Reader provides random access to the steps of an archive held in
+// memory.
+type Reader struct {
+	blobs [][]byte
+}
+
+// ErrCorrupt reports a malformed archive.
+var ErrCorrupt = errors.New("archive: corrupt")
+
+// NewReader parses an archive.
+func NewReader(data []byte) (*Reader, error) {
+	if len(data) < 6 || string(data[:4]) != string(magic[:]) || data[4] != version {
+		return nil, ErrCorrupt
+	}
+	data = data[5:]
+	n, k := binary.Uvarint(data)
+	if k <= 0 || n > uint64(len(data)) {
+		return nil, ErrCorrupt
+	}
+	data = data[k:]
+	lengths := make([]uint64, n)
+	var total uint64
+	for i := range lengths {
+		l, k := binary.Uvarint(data)
+		if k <= 0 {
+			return nil, ErrCorrupt
+		}
+		lengths[i] = l
+		total += l
+		data = data[k:]
+	}
+	if total > uint64(len(data)) {
+		return nil, ErrCorrupt
+	}
+	r := &Reader{blobs: make([][]byte, n)}
+	for i, l := range lengths {
+		r.blobs[i] = data[:l]
+		data = data[l:]
+	}
+	return r, nil
+}
+
+// Steps returns the number of time steps.
+func (r *Reader) Steps() int { return len(r.blobs) }
+
+// Blob returns the raw compressed block of one step.
+func (r *Reader) Blob(step int) ([]byte, error) {
+	if step < 0 || step >= len(r.blobs) {
+		return nil, fmt.Errorf("archive: step %d out of range [0,%d)", step, len(r.blobs))
+	}
+	return r.blobs[step], nil
+}
+
+// Decode2D decodes one 2D step.
+func (r *Reader) Decode2D(step int) (*field.Field2D, error) {
+	blob, err := r.Blob(step)
+	if err != nil {
+		return nil, err
+	}
+	return core.Decompress2D(blob)
+}
+
+// Decode3D decodes one 3D step.
+func (r *Reader) Decode3D(step int) (*field.Field3D, error) {
+	blob, err := r.Blob(step)
+	if err != nil {
+		return nil, err
+	}
+	return core.Decompress3D(blob)
+}
+
+// DecodeSeries2D decodes all steps in order, chaining temporally
+// predicted frames through their predecessors. Works for purely spatial
+// archives too.
+func (r *Reader) DecodeSeries2D() ([]*field.Field2D, error) {
+	out := make([]*field.Field2D, len(r.blobs))
+	var prev *field.Field2D
+	for i, blob := range r.blobs {
+		f, err := core.Decompress2DWithPrev(blob, prev)
+		if err != nil {
+			return nil, fmt.Errorf("archive: step %d: %w", i, err)
+		}
+		out[i] = f
+		prev = f
+	}
+	return out, nil
+}
+
+// DecodeSeries3D decodes all 3D steps in order with temporal chaining.
+func (r *Reader) DecodeSeries3D() ([]*field.Field3D, error) {
+	out := make([]*field.Field3D, len(r.blobs))
+	var prev *field.Field3D
+	for i, blob := range r.blobs {
+		f, err := core.Decompress3DWithPrev(blob, prev)
+		if err != nil {
+			return nil, fmt.Errorf("archive: step %d: %w", i, err)
+		}
+		out[i] = f
+		prev = f
+	}
+	return out, nil
+}

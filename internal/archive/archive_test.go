@@ -1,0 +1,165 @@
+package archive
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cp"
+	"repro/internal/field"
+	"repro/internal/fixed"
+)
+
+func step2D(t int, n int) *field.Field2D {
+	f := field.NewField2D(n, n)
+	cx := 4 + float64(t)
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			idx := f.Idx(i, j)
+			f.U[idx] = float32(-(float64(j) - float64(n)/2))
+			f.V[idx] = float32(float64(i) - cx)
+		}
+	}
+	return f
+}
+
+func TestArchiveRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	const steps = 5
+	for s := 0; s < steps; s++ {
+		if err := w.Append2D(step2D(s, 16), core.Options{Tau: 0.1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Steps() != steps {
+		t.Fatalf("Steps = %d", r.Steps())
+	}
+	for s := 0; s < steps; s++ {
+		g, err := r.Decode2D(s)
+		if err != nil {
+			t.Fatalf("step %d: %v", s, err)
+		}
+		orig := step2D(s, 16)
+		for i := range orig.U {
+			if math.Abs(float64(orig.U[i])-float64(g.U[i])) > 0.1 {
+				t.Fatalf("step %d error bound violated", s)
+			}
+		}
+	}
+}
+
+func TestArchivePreservesTopologyPerStep(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	fields := make([]*field.Field2D, 4)
+	for s := range fields {
+		fields[s] = step2D(s, 20)
+		if err := w.Append2D(fields[s], core.Options{Tau: 0.2, Spec: core.ST2}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s, f := range fields {
+		tr, _ := fixed.Fit(f.U, f.V)
+		g, err := r.Decode2D(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep := cp.Compare(cp.DetectField2D(f, tr), cp.DetectField2D(g, tr))
+		if !rep.Preserved() {
+			t.Fatalf("step %d: %v", s, rep)
+		}
+	}
+}
+
+func TestArchive3D(t *testing.T) {
+	f := field.NewField3D(8, 8, 8)
+	for k := 0; k < 8; k++ {
+		for j := 0; j < 8; j++ {
+			for i := 0; i < 8; i++ {
+				idx := f.Idx(i, j, k)
+				f.U[idx] = float32(i) - 3.5
+				f.V[idx] = float32(j) - 3.5
+				f.W[idx] = float32(k) - 3.5
+			}
+		}
+	}
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Append3D(f, core.Options{Tau: 0.1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Decode3D(0); err != nil {
+		t.Fatal(err)
+	}
+	// Decoding a 3D step as 2D must fail cleanly.
+	if _, err := r.Decode2D(0); err == nil {
+		t.Error("3D step decoded as 2D")
+	}
+}
+
+func TestReaderErrors(t *testing.T) {
+	if _, err := NewReader(nil); err == nil {
+		t.Error("empty archive must fail")
+	}
+	if _, err := NewReader([]byte("SCARx")); err == nil {
+		t.Error("bad version must fail")
+	}
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.AppendBlob([]byte{1, 2, 3})
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Blob(5); err == nil {
+		t.Error("out-of-range step must fail")
+	}
+	if _, err := r.Blob(-1); err == nil {
+		t.Error("negative step must fail")
+	}
+	// Truncated payload.
+	data := buf.Bytes()
+	if _, err := NewReader(data[:len(data)-2]); err == nil {
+		t.Error("truncated payload must fail")
+	}
+}
+
+func TestEmptyArchive(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewWriter(&buf).Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Steps() != 0 {
+		t.Errorf("Steps = %d", r.Steps())
+	}
+}

@@ -1,0 +1,64 @@
+package archive
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+// Property: the archive container reproduces arbitrary blob sequences
+// byte-exactly, in order.
+func TestQuickArchiveRoundTrip(t *testing.T) {
+	f := func(blobs [][]byte) bool {
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		for _, b := range blobs {
+			w.AppendBlob(b)
+		}
+		if err := w.Close(); err != nil {
+			return false
+		}
+		r, err := NewReader(buf.Bytes())
+		if err != nil {
+			return false
+		}
+		if r.Steps() != len(blobs) {
+			return false
+		}
+		for i, want := range blobs {
+			got, err := r.Blob(i)
+			if err != nil || !bytes.Equal(got, want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: truncating an archive anywhere yields an error or a reader
+// whose blobs are still in-bounds slices (never a panic).
+func TestQuickTruncationSafety(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for i := 0; i < 5; i++ {
+		w.AppendBlob(bytes.Repeat([]byte{byte(i)}, 20+i*7))
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	for cut := 0; cut <= len(data); cut++ {
+		r, err := NewReader(data[:cut])
+		if err != nil {
+			continue
+		}
+		for s := 0; s < r.Steps(); s++ {
+			if _, err := r.Blob(s); err != nil {
+				t.Fatalf("cut %d: in-range blob errored: %v", cut, err)
+			}
+		}
+	}
+}

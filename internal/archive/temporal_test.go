@@ -1,0 +1,179 @@
+package archive
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cp"
+	"repro/internal/field"
+	"repro/internal/fixed"
+)
+
+// slowSeries builds a slowly rotating vortex — the regime where temporal
+// prediction should dominate.
+func slowSeries(steps, n int) []*field.Field2D {
+	out := make([]*field.Field2D, steps)
+	for t := range out {
+		f := field.NewField2D(n, n)
+		cx := float64(n)/2 + 0.15*float64(t)
+		cy := float64(n) / 2
+		for j := 0; j < n; j++ {
+			for i := 0; i < n; i++ {
+				dx, dy := float64(i)-cx, float64(j)-cy
+				g := math.Exp(-(dx*dx + dy*dy) / float64(n))
+				idx := f.Idx(i, j)
+				f.U[idx] = float32(-dy * g)
+				f.V[idx] = float32(dx * g)
+			}
+		}
+		out[t] = f
+	}
+	return out
+}
+
+func TestTemporalSeriesRoundTrip(t *testing.T) {
+	fields := slowSeries(6, 24)
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, f := range fields {
+		if err := w.Append2DTemporal(f, core.Options{Tau: 0.01}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := r.DecodeSeries2D()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, _ := fixed.Fit(fields[0].U, fields[0].V)
+	for s := range fields {
+		for i := range fields[s].U {
+			if math.Abs(float64(fields[s].U[i])-float64(dec[s].U[i])) > 0.01 {
+				t.Fatalf("step %d error bound violated", s)
+			}
+		}
+		rep := cp.Compare(cp.DetectField2D(fields[s], tr), cp.DetectField2D(dec[s], tr))
+		if !rep.Preserved() {
+			t.Fatalf("step %d: %v", s, rep)
+		}
+	}
+}
+
+func TestTemporalBeatsSpatialOnSlowSeries(t *testing.T) {
+	fields := slowSeries(8, 32)
+	size := func(temporal bool) int {
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		for _, f := range fields {
+			var err error
+			if temporal {
+				err = w.Append2DTemporal(f, core.Options{Tau: 0.005})
+			} else {
+				err = w.Append2D(f, core.Options{Tau: 0.005})
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Len()
+	}
+	spatial := size(false)
+	temporal := size(true)
+	if temporal >= spatial {
+		t.Errorf("temporal prediction (%d bytes) should beat spatial (%d bytes) on a slow series",
+			temporal, spatial)
+	}
+	t.Logf("spatial %d bytes, temporal %d bytes (%.1f%% saved)",
+		spatial, temporal, 100*(1-float64(temporal)/float64(spatial)))
+}
+
+func TestTemporalNeedsPrevFrame(t *testing.T) {
+	fields := slowSeries(2, 16)
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, f := range fields {
+		if err := w.Append2DTemporal(f, core.Options{Tau: 0.01}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, _ := NewReader(buf.Bytes())
+	// Step 1 is temporally predicted: decoding without its predecessor
+	// must fail cleanly.
+	if _, err := r.Decode2D(1); err == nil {
+		t.Fatal("temporal frame decoded without previous frame")
+	}
+	// Step 0 has no predecessor and decodes directly.
+	if _, err := r.Decode2D(0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTemporal3DSeries(t *testing.T) {
+	mk := func(t0 float64) *field.Field3D {
+		f := field.NewField3D(10, 10, 10)
+		for k := 0; k < 10; k++ {
+			for j := 0; j < 10; j++ {
+				for i := 0; i < 10; i++ {
+					idx := f.Idx(i, j, k)
+					f.U[idx] = float32(math.Sin(float64(i)/3 + t0))
+					f.V[idx] = float32(math.Cos(float64(j)/3 + t0))
+					f.W[idx] = float32(math.Sin(float64(k)/3 - t0))
+				}
+			}
+		}
+		return f
+	}
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	var fields []*field.Field3D
+	for s := 0; s < 4; s++ {
+		f := mk(float64(s) * 0.05)
+		fields = append(fields, f)
+		if err := w.Append3DTemporal(f, core.Options{Tau: 0.01}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := r.DecodeSeries3D()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := range fields {
+		for i := range fields[s].U {
+			if math.Abs(float64(fields[s].U[i])-float64(dec[s].U[i])) > 0.01 {
+				t.Fatalf("step %d error bound violated", s)
+			}
+		}
+	}
+}
+
+func TestTemporalDimensionChangeRejected(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Append2DTemporal(slowSeries(1, 16)[0], core.Options{Tau: 0.01}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append2DTemporal(slowSeries(1, 20)[0], core.Options{Tau: 0.01}); err == nil {
+		t.Fatal("dimension change must be rejected")
+	}
+}

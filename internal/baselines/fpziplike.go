@@ -1,0 +1,247 @@
+package baselines
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/bitstream"
+	"repro/internal/encoder"
+	"repro/internal/field"
+	"repro/internal/huffman"
+)
+
+// FPZIPLike is a predictive compressor with precision-bit truncation
+// ("-P" in the paper's tables): each float32 keeps its top Precision bits
+// in a monotonic integer mapping, which behaves like a pointwise relative
+// error control, and Lorenzo prediction residuals are entropy-coded with a
+// leading-bit-class scheme.
+type FPZIPLike struct {
+	// Precision is the number of most-significant bits kept (1..32).
+	Precision int
+}
+
+const fpMagic = 0x5A46 // "FZ"
+
+// monotonic maps float32 bits to an order-preserving uint32 (sign-magnitude
+// to biased), so truncation and integer prediction behave sensibly.
+func monotonic(f float32) uint32 {
+	b := math.Float32bits(f)
+	if b>>31 != 0 {
+		return ^b
+	}
+	return b | 0x80000000
+}
+
+func unmonotonic(m uint32) float32 {
+	var b uint32
+	if m>>31 != 0 {
+		b = m &^ 0x80000000
+	} else {
+		b = ^m
+	}
+	return math.Float32frombits(b)
+}
+
+// Compress2D compresses a 2D field.
+func (z FPZIPLike) Compress2D(f *field.Field2D) ([]byte, error) {
+	return z.compress(2, f.NX, f.NY, 1, f.Components())
+}
+
+// Compress3D compresses a 3D field.
+func (z FPZIPLike) Compress3D(f *field.Field3D) ([]byte, error) {
+	return z.compress(3, f.NX, f.NY, f.NZ, f.Components())
+}
+
+// CompressedSizeOne compresses a single component over the given grid and
+// returns the compressed size (per-component table columns).
+func (z FPZIPLike) CompressedSizeOne(nx, ny, nz int, comp []float32) (int, error) {
+	ndim := 3
+	if nz <= 1 {
+		ndim, nz = 2, 1
+	}
+	blob, err := z.compress(ndim, nx, ny, nz, [][]float32{comp})
+	return len(blob), err
+}
+
+func (z FPZIPLike) compress(ndim, nx, ny, nz int, comps [][]float32) ([]byte, error) {
+	if z.Precision < 1 || z.Precision > 32 {
+		return nil, fmt.Errorf("baselines: precision %d out of range", z.Precision)
+	}
+	shift := uint(32 - z.Precision)
+	n := nx * ny * nz
+	var classSyms []uint32
+	var bits bitstream.Writer
+	for _, c := range comps {
+		rec := make([]int64, n) // truncated monotonic values, as int64
+		for k := 0; k < nz; k++ {
+			for j := 0; j < ny; j++ {
+				for i := 0; i < nx; i++ {
+					idx := (k*ny+j)*nx + i
+					trunc := int64(monotonic(c[idx]) >> shift)
+					pred := lorenzoI(rec, nx, ny, i, j, k)
+					resid := trunc - pred
+					zz := zigzag64(resid)
+					// Class = number of significant bits; the class is
+					// Huffman-coded, the payload bits are raw.
+					cls := uint(bitsLen(zz))
+					classSyms = append(classSyms, uint32(cls))
+					if cls > 1 {
+						// The top bit of a cls-bit number is implicit.
+						bits.WriteBits(zz&((1<<(cls-1))-1), cls-1)
+					}
+					rec[idx] = trunc
+				}
+			}
+		}
+	}
+	head := szHeader(fpMagic, ndim, nx, ny, nz)
+	head = append(head, byte(z.Precision))
+	return encoder.Pack(head, huffman.Compress(classSyms), bits.Bytes())
+}
+
+// zigzag64 maps a signed residual to an unsigned integer with small
+// magnitudes first; residuals in the monotonic domain can exceed 32 bits,
+// so the package-local 64-bit variant is used instead of huffman.Zigzag.
+func zigzag64(v int64) uint64 {
+	return uint64((v << 1) ^ (v >> 63))
+}
+
+func unzigzag64(u uint64) int64 {
+	return int64(u>>1) ^ -int64(u&1)
+}
+
+// bitsLen returns the bit length of v (0 for 0).
+func bitsLen(v uint64) int {
+	n := 0
+	for v != 0 {
+		n++
+		v >>= 1
+	}
+	return n
+}
+
+// Decompress2D reconstructs a 2D field.
+func (z FPZIPLike) Decompress2D(blob []byte) (*field.Field2D, error) {
+	ndim, nx, ny, _, comps, err := z.decompress(blob)
+	if err != nil {
+		return nil, err
+	}
+	if ndim != 2 {
+		return nil, errors.New("baselines: not a 2D stream")
+	}
+	f := field.NewField2D(nx, ny)
+	copy(f.U, comps[0])
+	copy(f.V, comps[1])
+	return f, nil
+}
+
+// Decompress3D reconstructs a 3D field.
+func (z FPZIPLike) Decompress3D(blob []byte) (*field.Field3D, error) {
+	ndim, nx, ny, nz, comps, err := z.decompress(blob)
+	if err != nil {
+		return nil, err
+	}
+	if ndim != 3 {
+		return nil, errors.New("baselines: not a 3D stream")
+	}
+	f := field.NewField3D(nx, ny, nz)
+	copy(f.U, comps[0])
+	copy(f.V, comps[1])
+	copy(f.W, comps[2])
+	return f, nil
+}
+
+func (z FPZIPLike) decompress(blob []byte) (ndim, nx, ny, nz int, comps [][]float32, err error) {
+	sections, err := encoder.Unpack(blob)
+	if err != nil {
+		return 0, 0, 0, 0, nil, err
+	}
+	if len(sections) != 3 {
+		return 0, 0, 0, 0, nil, errors.New("baselines: wrong section count")
+	}
+	head := sections[0]
+	ndim, nx, ny, nz, head, err = szReadHeader(head, fpMagic)
+	if err != nil {
+		return 0, 0, 0, 0, nil, err
+	}
+	if len(head) < 1 {
+		return 0, 0, 0, 0, nil, errors.New("baselines: truncated header")
+	}
+	prec := int(head[0])
+	shift := uint(32 - prec)
+	classSyms, err := huffman.Decompress(sections[1])
+	if err != nil {
+		return 0, 0, 0, 0, nil, err
+	}
+	bits := bitstream.NewReader(sections[2])
+	n := nx * ny * nz
+	ncomp := ndim
+	if len(classSyms) != n*ncomp {
+		return 0, 0, 0, 0, nil, errors.New("baselines: stream length mismatch")
+	}
+	comps = make([][]float32, ncomp)
+	pos := 0
+	for c := 0; c < ncomp; c++ {
+		rec := make([]int64, n)
+		out := make([]float32, n)
+		for k := 0; k < nz; k++ {
+			for j := 0; j < ny; j++ {
+				for i := 0; i < nx; i++ {
+					idx := (k*ny+j)*nx + i
+					cls := uint(classSyms[pos])
+					pos++
+					// Valid residual classes stay below ~37 bits; reject
+					// corrupt symbols before they reach the bit reader's
+					// width limit.
+					if cls > 48 {
+						return 0, 0, 0, 0, nil, errors.New("baselines: corrupt residual class")
+					}
+					var zz uint64
+					if cls == 1 {
+						zz = 1
+					} else if cls > 1 {
+						low, err := bits.ReadBits(cls - 1)
+						if err != nil {
+							return 0, 0, 0, 0, nil, err
+						}
+						zz = low | 1<<(cls-1)
+					}
+					resid := unzigzag64(zz)
+					pred := lorenzoI(rec, nx, ny, i, j, k)
+					trunc := pred + resid
+					rec[idx] = trunc
+					out[idx] = unmonotonic(uint32(trunc) << shift)
+				}
+			}
+		}
+		comps[c] = out
+	}
+	return ndim, nx, ny, nz, comps, nil
+}
+
+// lorenzoI is the integer Lorenzo predictor used in the monotonic domain.
+func lorenzoI(rec []int64, nx, ny, i, j, k int) int64 {
+	sx, sy, sz := 1, nx, nx*ny
+	idx := (k*ny+j)*nx + i
+	switch {
+	case i > 0 && j > 0 && k > 0:
+		return rec[idx-sx] + rec[idx-sy] + rec[idx-sz] -
+			rec[idx-sx-sy] - rec[idx-sx-sz] - rec[idx-sy-sz] +
+			rec[idx-sx-sy-sz]
+	case i > 0 && j > 0:
+		return rec[idx-sx] + rec[idx-sy] - rec[idx-sx-sy]
+	case i > 0 && k > 0:
+		return rec[idx-sx] + rec[idx-sz] - rec[idx-sx-sz]
+	case j > 0 && k > 0:
+		return rec[idx-sy] + rec[idx-sz] - rec[idx-sy-sz]
+	case i > 0:
+		return rec[idx-sx]
+	case j > 0:
+		return rec[idx-sy]
+	case k > 0:
+		return rec[idx-sz]
+	default:
+		return 0
+	}
+}

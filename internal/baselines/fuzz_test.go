@@ -1,0 +1,70 @@
+package baselines
+
+import "testing"
+
+// Decoder robustness for the three baseline codecs: corrupt or truncated
+// input must error, never panic or allocate unboundedly.
+
+func FuzzSZLikeDecompress(f *testing.F) {
+	fld := smooth2D(60, 12, 10)
+	blob, err := SZLike{Abs: 0.01}.Compress2D(fld)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(blob)
+	f.Add(blob[:len(blob)/3])
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		SZLike{}.Decompress2D(data)
+		SZLike{}.Decompress3D(data)
+	})
+}
+
+func FuzzZFPLikeDecompress(f *testing.F) {
+	fld := smooth2D(61, 12, 10)
+	blob, err := ZFPLike{Accuracy: 0.01}.Compress2D(fld)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(blob)
+	f.Add(blob[:len(blob)/3])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ZFPLike{}.Decompress2D(data)
+		ZFPLike{}.Decompress3D(data)
+	})
+}
+
+func FuzzFPZIPLikeDecompress(f *testing.F) {
+	fld := smooth2D(62, 12, 10)
+	blob, err := FPZIPLike{Precision: 16}.Compress2D(fld)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(blob)
+	f.Add(blob[:len(blob)/3])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		FPZIPLike{}.Decompress2D(data)
+		FPZIPLike{}.Decompress3D(data)
+	})
+}
+
+func TestBaselineTruncationsNeverPanic(t *testing.T) {
+	fld := smooth2D(63, 16, 12)
+	blobs := [][]byte{}
+	if b, err := (SZLike{Abs: 0.01}).Compress2D(fld); err == nil {
+		blobs = append(blobs, b)
+	}
+	if b, err := (ZFPLike{Precision: 12}).Compress2D(fld); err == nil {
+		blobs = append(blobs, b)
+	}
+	if b, err := (FPZIPLike{Precision: 16}).Compress2D(fld); err == nil {
+		blobs = append(blobs, b)
+	}
+	for _, blob := range blobs {
+		for cut := 0; cut < len(blob); cut += 11 {
+			SZLike{}.Decompress2D(blob[:cut])
+			ZFPLike{}.Decompress2D(blob[:cut])
+			FPZIPLike{}.Decompress2D(blob[:cut])
+		}
+	}
+}

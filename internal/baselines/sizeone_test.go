@@ -1,0 +1,60 @@
+package baselines
+
+import "testing"
+
+// CompressedSizeOne feeds the per-component ratio columns of the paper's
+// tables; the single-component size must be plausible relative to the
+// full multi-component blob.
+func TestCompressedSizeOne(t *testing.T) {
+	f2 := smooth2D(70, 32, 24)
+	f3 := smooth3D(71, 10)
+
+	t.Run("szlike", func(t *testing.T) {
+		sz := SZLike{Abs: 0.01}
+		full, err := sz.Compress2D(f2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		one, err := sz.CompressedSizeOne(f2.NX, f2.NY, 1, f2.U)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if one <= 0 || one >= len(full) {
+			t.Errorf("single-component size %d vs full %d", one, len(full))
+		}
+		if _, err := sz.CompressedSizeOne(f3.NX, f3.NY, f3.NZ, f3.U); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Run("zfplike", func(t *testing.T) {
+		z := ZFPLike{Accuracy: 0.01}
+		full, err := z.Compress2D(f2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		one, err := z.CompressedSizeOne(f2.NX, f2.NY, 1, f2.U)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if one <= 0 || one >= len(full) {
+			t.Errorf("single-component size %d vs full %d", one, len(full))
+		}
+	})
+	t.Run("fpziplike", func(t *testing.T) {
+		z := FPZIPLike{Precision: 14}
+		full, err := z.Compress2D(f2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		one, err := z.CompressedSizeOne(f2.NX, f2.NY, 1, f2.U)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if one <= 0 || one >= len(full) {
+			t.Errorf("single-component size %d vs full %d", one, len(full))
+		}
+		if _, err := z.CompressedSizeOne(f3.NX, f3.NY, f3.NZ, f3.W); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

@@ -1,0 +1,89 @@
+package bitstream
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	var w Writer
+	w.WriteBits(0b101, 3)
+	w.WriteBits(0xFFFF, 16)
+	w.WriteBit(1)
+	w.WriteBits(42, 7)
+	data := w.Bytes()
+	r := NewReader(data)
+	if v, _ := r.ReadBits(3); v != 0b101 {
+		t.Errorf("got %b", v)
+	}
+	if v, _ := r.ReadBits(16); v != 0xFFFF {
+		t.Errorf("got %x", v)
+	}
+	if v, _ := r.ReadBit(); v != 1 {
+		t.Errorf("got %d", v)
+	}
+	if v, _ := r.ReadBits(7); v != 42 {
+		t.Errorf("got %d", v)
+	}
+}
+
+func TestRandomRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(200) + 1
+		widths := make([]uint, n)
+		vals := make([]uint64, n)
+		var w Writer
+		for i := 0; i < n; i++ {
+			widths[i] = uint(rng.Intn(57) + 1)
+			vals[i] = rng.Uint64() & ((1 << widths[i]) - 1)
+			w.WriteBits(vals[i], widths[i])
+		}
+		r := NewReader(w.Bytes())
+		for i := 0; i < n; i++ {
+			v, err := r.ReadBits(widths[i])
+			if err != nil || v != vals[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShortStream(t *testing.T) {
+	r := NewReader([]byte{0xFF})
+	if _, err := r.ReadBits(16); !errors.Is(err, ErrShortStream) {
+		t.Fatalf("expected ErrShortStream, got %v", err)
+	}
+}
+
+func TestBitLenAndReset(t *testing.T) {
+	var w Writer
+	w.WriteBits(1, 5)
+	if w.BitLen() != 5 {
+		t.Errorf("BitLen = %d", w.BitLen())
+	}
+	w.WriteBits(0, 3)
+	if w.Len() != 1 {
+		t.Errorf("Len = %d", w.Len())
+	}
+	w.Reset()
+	if w.BitLen() != 0 || len(w.Bytes()) != 0 {
+		t.Error("Reset did not clear")
+	}
+}
+
+func TestWritePanicsOnWideWrite(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	var w Writer
+	w.WriteBits(0, 60)
+}

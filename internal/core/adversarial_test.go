@@ -1,0 +1,195 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cp"
+	"repro/internal/field"
+	"repro/internal/fixed"
+)
+
+// Adversarial preservation tests: tiny-integer fields sit exactly on the
+// degeneracy set of the orientation predicates (zero determinants,
+// duplicated vectors, components exactly zero), so every SoS tie-break,
+// relaxation edge and speculation rollback path gets exercised. These
+// configurations are where a sloppy strictness margin or an inconsistent
+// tie-break would show up as FP/FN/FT.
+
+func tinyField2D(seed int64, nx, ny int) *field.Field2D {
+	rng := rand.New(rand.NewSource(seed))
+	f := field.NewField2D(nx, ny)
+	for i := range f.U {
+		f.U[i] = float32(rng.Intn(7) - 3)
+		f.V[i] = float32(rng.Intn(7) - 3)
+	}
+	return f
+}
+
+func tinyField3D(seed int64, n int) *field.Field3D {
+	rng := rand.New(rand.NewSource(seed))
+	f := field.NewField3D(n, n, n)
+	for i := range f.U {
+		f.U[i] = float32(rng.Intn(5) - 2)
+		f.V[i] = float32(rng.Intn(5) - 2)
+		f.W[i] = float32(rng.Intn(5) - 2)
+	}
+	return f
+}
+
+func TestAdversarialDegenerate2D(t *testing.T) {
+	specs := []Speculation{NoSpec, ST1, ST2, ST3, ST4}
+	for seed := int64(0); seed < 12; seed++ {
+		f := tinyField2D(400+seed, 20, 16)
+		tr, err := fixed.Fit(f.U, f.V)
+		if err != nil {
+			t.Fatal(err)
+		}
+		orig := cp.DetectField2D(f, tr)
+		for _, spec := range specs {
+			blob, err := CompressField2D(f, tr, Options{Tau: 1.5, Spec: spec})
+			if err != nil {
+				t.Fatalf("seed %d %v: %v", seed, spec, err)
+			}
+			dec, err := Decompress2D(blob)
+			if err != nil {
+				t.Fatalf("seed %d %v: %v", seed, spec, err)
+			}
+			rep := cp.Compare(orig, cp.DetectField2D(dec, tr))
+			if !rep.Preserved() {
+				t.Errorf("seed %d %v: degenerate field broke: %v (of %d)", seed, spec, rep, len(orig))
+			}
+		}
+	}
+}
+
+func TestAdversarialDegenerate3D(t *testing.T) {
+	specs := []Speculation{NoSpec, ST2, ST4}
+	for seed := int64(0); seed < 6; seed++ {
+		f := tinyField3D(500+seed, 8)
+		tr, err := fixed.Fit(f.U, f.V, f.W)
+		if err != nil {
+			t.Fatal(err)
+		}
+		orig := cp.DetectField3D(f, tr)
+		for _, spec := range specs {
+			blob, err := CompressField3D(f, tr, Options{Tau: 1.5, Spec: spec})
+			if err != nil {
+				t.Fatalf("seed %d %v: %v", seed, spec, err)
+			}
+			dec, err := Decompress3D(blob)
+			if err != nil {
+				t.Fatalf("seed %d %v: %v", seed, spec, err)
+			}
+			rep := cp.Compare(orig, cp.DetectField3D(dec, tr))
+			if !rep.Preserved() {
+				t.Errorf("seed %d %v: degenerate 3D field broke: %v (of %d)", seed, spec, rep, len(orig))
+			}
+		}
+	}
+}
+
+// TestAdversarialConstantComponent exercises the planar-data degeneracy
+// (one component identically zero) that floods the SoS fallback.
+func TestAdversarialConstantComponent(t *testing.T) {
+	rng := rand.New(rand.NewSource(600))
+	f := field.NewField3D(10, 10, 6)
+	for i := range f.U {
+		f.U[i] = float32(rng.Intn(9) - 4)
+		f.V[i] = float32(rng.Intn(9) - 4)
+		f.W[i] = 0 // planar field: every 4×4 orientation det vanishes
+	}
+	tr, err := fixed.Fit(f.U, f.V, f.W)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := cp.DetectField3D(f, tr)
+	for _, spec := range []Speculation{NoSpec, ST4} {
+		blob, err := CompressField3D(f, tr, Options{Tau: 1.5, Spec: spec})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, err := Decompress3D(blob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep := cp.Compare(orig, cp.DetectField3D(dec, tr))
+		if !rep.Preserved() {
+			t.Errorf("%v: planar field broke: %v (of %d)", spec, rep, len(orig))
+		}
+	}
+}
+
+// TestAdversarialDistributedDegenerate puts the degenerate data on rank
+// borders, where tie-break consistency across blocks is essential.
+func TestAdversarialDistributedDegenerateBorders(t *testing.T) {
+	f := tinyField2D(700, 24, 24)
+	tr, err := fixed.Fit(f.U, f.V)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := cp.DetectField2D(f, tr)
+
+	// Manual 1×2 two-phase pair (reuses the wiring of TestTwoPhasePair).
+	half := 12
+	sub := func(x0, w int) ([]float32, []float32) {
+		u := make([]float32, w*24)
+		v := make([]float32, w*24)
+		for j := 0; j < 24; j++ {
+			copy(u[j*w:], f.U[j*24+x0:j*24+x0+w])
+			copy(v[j*w:], f.V[j*24+x0:j*24+x0+w])
+		}
+		return u, v
+	}
+	u0, v0 := sub(0, half)
+	u1, v1 := sub(half, half)
+	opts := Options{Tau: 1.5, Spec: ST2}
+	left, err := NewEncoder2D(Block2D{
+		NX: half, NY: 24, U: u0, V: v0, Transform: tr, Opts: opts,
+		GlobalNX: 24, GlobalNY: 24,
+		Neighbor: [4]bool{SideMaxX: true}, TwoPhase: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	right, err := NewEncoder2D(Block2D{
+		NX: half, NY: 24, U: u1, V: v1, Transform: tr, Opts: opts,
+		GlobalX0: half, GlobalNX: 24, GlobalNY: 24,
+		Neighbor: [4]bool{SideMinX: true}, TwoPhase: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ru, rv := right.BorderLine(SideMinX)
+	if err := left.SetGhostLine(SideMaxX, ru, rv); err != nil {
+		t.Fatal(err)
+	}
+	lu, lv := left.BorderLine(SideMaxX)
+	if err := right.SetGhostLine(SideMinX, lu, lv); err != nil {
+		t.Fatal(err)
+	}
+	left.Prepare()
+	right.Prepare()
+	left.RunPhase1()
+	right.RunPhase1()
+	ru, rv = right.BorderLine(SideMinX)
+	if err := left.SetGhostLine(SideMaxX, ru, rv); err != nil {
+		t.Fatal(err)
+	}
+	left.RunPhase2()
+	right.RunPhase2()
+
+	lu2, lv2 := left.Decompressed()
+	ru2, rv2 := right.Decompressed()
+	g := field.NewField2D(24, 24)
+	for j := 0; j < 24; j++ {
+		copy(g.U[j*24:], lu2[j*half:(j+1)*half])
+		copy(g.V[j*24:], lv2[j*half:(j+1)*half])
+		copy(g.U[j*24+half:], ru2[j*half:(j+1)*half])
+		copy(g.V[j*24+half:], rv2[j*half:(j+1)*half])
+	}
+	rep := cp.Compare(orig, cp.DetectField2D(g, tr))
+	if !rep.Preserved() {
+		t.Fatalf("degenerate border data broke across ranks: %v (of %d)", rep, len(orig))
+	}
+}

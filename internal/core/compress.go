@@ -1,0 +1,56 @@
+package core
+
+import (
+	"repro/internal/field"
+	"repro/internal/fixed"
+)
+
+// Compress2D compresses a 2D vector field with a transform fitted to the
+// field itself. For distributed runs or when the transform must be shared
+// (e.g. with ground-truth detection), use CompressField2D.
+func Compress2D(f *field.Field2D, opts Options) ([]byte, fixed.Transform, error) {
+	tr, err := fixed.Fit(f.U, f.V)
+	if err != nil {
+		return nil, tr, err
+	}
+	blob, err := CompressField2D(f, tr, opts)
+	return blob, tr, err
+}
+
+// CompressField2D compresses a single-node 2D field with the given
+// transform.
+func CompressField2D(f *field.Field2D, tr fixed.Transform, opts Options) ([]byte, error) {
+	enc, err := NewEncoder2D(Block2D{
+		NX: f.NX, NY: f.NY, U: f.U, V: f.V,
+		Transform: tr, Opts: opts,
+	})
+	if err != nil {
+		return nil, err
+	}
+	enc.Run()
+	return enc.Finish()
+}
+
+// Compress3D compresses a 3D vector field with a fitted transform.
+func Compress3D(f *field.Field3D, opts Options) ([]byte, fixed.Transform, error) {
+	tr, err := fixed.Fit(f.U, f.V, f.W)
+	if err != nil {
+		return nil, tr, err
+	}
+	blob, err := CompressField3D(f, tr, opts)
+	return blob, tr, err
+}
+
+// CompressField3D compresses a single-node 3D field with the given
+// transform.
+func CompressField3D(f *field.Field3D, tr fixed.Transform, opts Options) ([]byte, error) {
+	enc, err := NewEncoder3D(Block3D{
+		NX: f.NX, NY: f.NY, NZ: f.NZ, U: f.U, V: f.V, W: f.W,
+		Transform: tr, Opts: opts,
+	})
+	if err != nil {
+		return nil, err
+	}
+	enc.Run()
+	return enc.Finish()
+}

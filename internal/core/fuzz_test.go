@@ -1,0 +1,108 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/fixed"
+)
+
+// Decoder robustness: arbitrary input bytes must produce an error, never a
+// panic or a hang. Seeds include valid blobs and their mutations; `go test`
+// runs the seed corpus, `go test -fuzz=FuzzDecompress2D` explores further.
+
+func fuzzSeeds2D(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x43, 0x53, 1, 2})
+	fld := smooth2D(77, 12, 10)
+	tr, _ := fixed.Fit(fld.U, fld.V)
+	blob, err := CompressField2D(fld, tr, Options{Tau: 0.05})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(blob)
+	// Truncations and bit flips of a valid blob.
+	f.Add(blob[:len(blob)/2])
+	mut := append([]byte(nil), blob...)
+	for i := 0; i < len(mut); i += 7 {
+		mut[i] ^= 0x55
+	}
+	f.Add(mut)
+}
+
+func FuzzDecompress2D(f *testing.F) {
+	fuzzSeeds2D(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fld, err := Decompress2D(data)
+		if err == nil && fld == nil {
+			t.Fatal("nil field without error")
+		}
+		if fld != nil && len(fld.U) != fld.NX*fld.NY {
+			t.Fatal("inconsistent field")
+		}
+	})
+}
+
+func FuzzDecompress3D(f *testing.F) {
+	f.Add([]byte{})
+	fld := smooth3D(78, 8, 8, 6)
+	tr, _ := fixed.Fit(fld.U, fld.V, fld.W)
+	blob, err := CompressField3D(fld, tr, Options{Tau: 0.05})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(blob)
+	f.Add(blob[:len(blob)-4])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fld, err := Decompress3D(data)
+		if err == nil && fld == nil {
+			t.Fatal("nil field without error")
+		}
+		if fld != nil && len(fld.U) != fld.NX*fld.NY*fld.NZ {
+			t.Fatal("inconsistent field")
+		}
+	})
+}
+
+// FuzzRoundTrip2D asserts the end-to-end invariants on arbitrary small
+// fields: decompression inverts compression within τ everywhere. The
+// relaxation is disabled because it deliberately exceeds τ where the data
+// provably carries no topology; without it the L∞ bound is strict.
+func FuzzRoundTrip2D(f *testing.F) {
+	f.Add(uint16(5), uint16(4), int64(1), 0.05)
+	f.Add(uint16(9), uint16(3), int64(42), 0.001)
+	f.Fuzz(func(t *testing.T, nxr, nyr uint16, seed int64, tau float64) {
+		nx := int(nxr%14) + 2
+		ny := int(nyr%14) + 2
+		if tau <= 0 || tau > 10 || tau != tau {
+			t.Skip()
+		}
+		fld := smooth2D(seed, nx, ny)
+		tr, err := fixed.Fit(fld.U, fld.V)
+		if err != nil {
+			t.Skip()
+		}
+		if tau < tr.Resolution() {
+			// Bounds below the fixed-point resolution are rejected by
+			// the encoder (found by this fuzzer).
+			if _, err := CompressField2D(fld, tr, Options{Tau: tau}); err == nil {
+				t.Fatal("sub-resolution Tau must be rejected")
+			}
+			t.Skip()
+		}
+		blob, err := CompressField2D(fld, tr, Options{Tau: tau, DisableRelaxation: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, err := Decompress2D(blob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range fld.U {
+			du := float64(fld.U[i]) - float64(dec.U[i])
+			dv := float64(fld.V[i]) - float64(dec.V[i])
+			if du > tau || -du > tau || dv > tau || -dv > tau {
+				t.Fatalf("error bound violated at %d: du=%v dv=%v tau=%v", i, du, dv, tau)
+			}
+		}
+	})
+}

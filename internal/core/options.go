@@ -1,0 +1,254 @@
+// Package core implements the paper's critical-point-preserving lossy
+// compressor (Algorithm 2): a coupled prediction-based pipeline whose
+// per-vertex error bounds come from the sign-of-determinant derivation
+// theory (package derive), with the sign-uniformity relaxation, the
+// speculative compression scheme of Section V-B, and block-level entry
+// points used by the distributed strategies of Section VI.
+//
+// The compressor converts the float32 field to fixed point (package
+// fixed), precomputes which cells contain critical points under the robust
+// point-in-simplex test (package cp), and then visits vertices in a
+// deterministic order. For each vertex it derives a sufficient bound,
+// optionally speculates a larger one, quantizes all vector components
+// against a Lorenzo prediction, and immediately replaces the input with
+// the decompressed value so that later derivations and predictions see
+// exactly what the decompressor will see.
+//
+// The decompressor never re-derives bounds or runs any topology code: it
+// replays the visit order and reconstructs from the stored bound exponents
+// and quantization codes. That asymmetry is why decompression is several
+// times faster than compression, matching the paper's measurements.
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Speculation selects the speculative compression target (Table I).
+type Speculation uint8
+
+const (
+	// NoSpec compresses with the derived bounds only.
+	NoSpec Speculation = iota
+	// ST1 speculates on the derived error bound: it compresses with a
+	// relaxed bound and accepts when the realized error still meets the
+	// derived bound. Cheapest target; n_l = 1.
+	ST1
+	// ST2 speculates on FN preservation (n_l = 1): it skips derivation,
+	// compresses with a relaxed bound, and verifies that no adjacent cell
+	// gains a critical point.
+	ST2
+	// ST3 is ST2 with n_l = 3 (more retries, larger initial relaxation).
+	ST3
+	// ST4 speculates on the entire preservation procedure (n_l = 3):
+	// detection result and critical point type are verified on every
+	// adjacent cell, so even vertices of cells containing critical points
+	// may be compressed lossily.
+	ST4
+)
+
+// String returns the abbreviation used in the paper's tables.
+func (s Speculation) String() string {
+	switch s {
+	case NoSpec:
+		return "NoSpec"
+	case ST1:
+		return "ST1"
+	case ST2:
+		return "ST2"
+	case ST3:
+		return "ST3"
+	case ST4:
+		return "ST4"
+	default:
+		return fmt.Sprintf("Speculation(%d)", uint8(s))
+	}
+}
+
+// retries returns n_l, the speculation failure limit.
+func (s Speculation) retries() int {
+	switch s {
+	case ST1, ST2:
+		return 1
+	case ST3, ST4:
+		return 3
+	default:
+		return 0
+	}
+}
+
+// Options configures compression.
+type Options struct {
+	// Tau is the user-specified absolute error bound τ (in the units of
+	// the input field). Errors stay within τ except where the
+	// sign-uniformity relaxation or speculation proves the data carries
+	// no critical point topology.
+	Tau float64
+	// Spec selects the speculation target; the zero value is NoSpec.
+	Spec Speculation
+
+	// Ablation knobs (default false = the paper's Algorithm 2). They
+	// exist for the ablation study in DESIGN.md.
+
+	// DisableRelaxation skips the sign-uniformity relaxation (Algorithm 2
+	// lines 11–15). Still sound; typically lowers the ratio on data with
+	// sign-uniform regions.
+	DisableRelaxation bool
+	// OrientationOnly derives bounds from the simplex orientation
+	// determinant alone, dropping the origin-substituted submatrix
+	// predicates of Theorem 2. UNSOUND — preservation can fail; the
+	// ablation demonstrates why the extra predicates are necessary.
+	OrientationOnly bool
+}
+
+// Stats reports what the encoder did; useful for tuning and for the
+// ablation study.
+type Stats struct {
+	// Vertices is the number of own vertices compressed.
+	Vertices int
+	// Lossless counts vertices stored with bound 0.
+	Lossless int
+	// Relaxed counts vertices where the sign-uniformity relaxation
+	// raised at least one adjacent cell's bound beyond min(Ψ, τ′).
+	Relaxed int
+	// SpecTrials and SpecFails count speculation attempts and rejected
+	// attempts.
+	SpecTrials, SpecFails int
+	// Literals counts component values escaped to the literal stream.
+	Literals int
+}
+
+// Validate reports whether the options are usable.
+func (o Options) Validate() error {
+	if o.Tau <= 0 {
+		return errors.New("core: Tau must be positive")
+	}
+	if o.Spec > ST4 {
+		return fmt.Errorf("core: unknown speculation target %d", o.Spec)
+	}
+	return nil
+}
+
+// orderMode identifies the vertex visit order stored in the header.
+type orderMode uint8
+
+const (
+	orderRaster   orderMode = 0 // plain raster scan
+	orderTwoPhase orderMode = 1 // ratio-oriented: interior first, max planes last
+)
+
+const (
+	magic   = 0x5343 // "SC"
+	version = 1
+)
+
+// header is the self-describing prefix of a compressed block.
+type header struct {
+	NDim     int
+	NX, NY   int
+	NZ       int // 0 in 2D
+	Shift    int // fixed-point transform exponent
+	Tau      int64
+	Spec     Speculation
+	Order    orderMode
+	HasGhost [6]bool // minX, maxX, minY, maxY, minZ, maxZ
+	Border   bool    // lossless-border mode (informational)
+	Temporal bool    // temporal prediction: decoder needs the previous frame
+}
+
+func (h *header) marshal() []byte {
+	var b []byte
+	b = binary.LittleEndian.AppendUint16(b, magic)
+	b = append(b, version, byte(h.NDim))
+	b = binary.AppendUvarint(b, uint64(h.NX))
+	b = binary.AppendUvarint(b, uint64(h.NY))
+	if h.NDim == 3 {
+		b = binary.AppendUvarint(b, uint64(h.NZ))
+	}
+	b = binary.AppendVarint(b, int64(h.Shift))
+	b = binary.AppendVarint(b, h.Tau)
+	b = append(b, byte(h.Spec), byte(h.Order))
+	var ghost byte
+	for i, g := range h.HasGhost {
+		if g {
+			ghost |= 1 << i
+		}
+	}
+	b = append(b, ghost)
+	var flags byte
+	if h.Border {
+		flags |= 1
+	}
+	if h.Temporal {
+		flags |= 2
+	}
+	b = append(b, flags)
+	return b
+}
+
+var errHeader = errors.New("core: malformed header")
+
+func (h *header) unmarshal(b []byte) error {
+	if len(b) < 4 || binary.LittleEndian.Uint16(b) != magic || b[2] != version {
+		return errHeader
+	}
+	h.NDim = int(b[3])
+	if h.NDim != 2 && h.NDim != 3 {
+		return errHeader
+	}
+	b = b[4:]
+	read := func() (int, error) {
+		v, k := binary.Uvarint(b)
+		if k <= 0 {
+			return 0, errHeader
+		}
+		b = b[k:]
+		return int(v), nil
+	}
+	var err error
+	if h.NX, err = read(); err != nil {
+		return err
+	}
+	if h.NY, err = read(); err != nil {
+		return err
+	}
+	if h.NDim == 3 {
+		if h.NZ, err = read(); err != nil {
+			return err
+		}
+	}
+	// Sanity-bound dimensions so corrupt headers cannot cause overflowing
+	// products or absurd allocations downstream.
+	const maxDim = 1 << 28
+	if h.NX < 2 || h.NY < 2 || h.NX > maxDim || h.NY > maxDim {
+		return errHeader
+	}
+	if h.NDim == 3 && (h.NZ < 2 || h.NZ > maxDim) {
+		return errHeader
+	}
+	sv, k := binary.Varint(b)
+	if k <= 0 {
+		return errHeader
+	}
+	h.Shift = int(sv)
+	b = b[k:]
+	tv, k := binary.Varint(b)
+	if k <= 0 {
+		return errHeader
+	}
+	h.Tau = tv
+	b = b[k:]
+	if len(b) < 4 {
+		return errHeader
+	}
+	h.Spec = Speculation(b[0])
+	h.Order = orderMode(b[1])
+	for i := range h.HasGhost {
+		h.HasGhost[i] = b[2]&(1<<i) != 0
+	}
+	h.Border = b[3]&1 != 0
+	h.Temporal = b[3]&2 != 0
+	return nil
+}

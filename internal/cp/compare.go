@@ -1,0 +1,59 @@
+package cp
+
+import "fmt"
+
+// Report counts the false cases of Section III: a true positive (TP) is a
+// critical point present in the same cell with the same type in both the
+// original and the decompressed data; FP exists only in the decompressed
+// data, FN only in the original, and FT is present in both but with
+// different types.
+type Report struct {
+	TP, FP, FN, FT int
+}
+
+// Preserved reports whether compression preserved every critical point
+// exactly (no false cases of any kind).
+func (r Report) Preserved() bool { return r.FP == 0 && r.FN == 0 && r.FT == 0 }
+
+// String formats the report in the paper's table layout.
+func (r Report) String() string {
+	return fmt.Sprintf("TP=%d FP=%d FN=%d FT=%d", r.TP, r.FP, r.FN, r.FT)
+}
+
+// Compare matches critical points of the original and decompressed fields
+// cell by cell.
+func Compare(orig, dec []Point) Report {
+	om := make(map[int]Type, len(orig))
+	for _, p := range orig {
+		om[p.Cell] = p.Type
+	}
+	var rep Report
+	seen := make(map[int]bool, len(dec))
+	for _, p := range dec {
+		seen[p.Cell] = true
+		ot, ok := om[p.Cell]
+		switch {
+		case !ok:
+			rep.FP++
+		case ot == p.Type:
+			rep.TP++
+		default:
+			rep.FT++
+		}
+	}
+	for c := range om {
+		if !seen[c] {
+			rep.FN++
+		}
+	}
+	return rep
+}
+
+// Add accumulates another report (used to aggregate per-rank reports in
+// the distributed experiments).
+func (r *Report) Add(o Report) {
+	r.TP += o.TP
+	r.FP += o.FP
+	r.FN += o.FN
+	r.FT += o.FT
+}

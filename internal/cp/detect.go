@@ -1,0 +1,399 @@
+package cp
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/exact"
+	"repro/internal/field"
+	"repro/internal/fixed"
+)
+
+// Detector2D detects critical points on a fixed-point 2D vector field.
+// U and V are fixed-point component arrays indexed like the mesh vertices.
+type Detector2D struct {
+	Mesh field.Mesh2D
+	U, V []int64
+	// GlobalID maps a mesh vertex index to a globally unique id used for
+	// the SoS perturbation indices. It must be set (to the same mapping)
+	// on every rank of a distributed run so that tie-breaking is
+	// consistent for cells shared across block boundaries; nil means the
+	// local index is already global.
+	GlobalID func(v int) int
+}
+
+func (d *Detector2D) gid(v int) int {
+	if d.GlobalID != nil {
+		return d.GlobalID(v)
+	}
+	return v
+}
+
+// CellContains reports whether triangle c contains a critical point
+// according to the robust point-in-simplex test (Algorithm 1) with SoS
+// tie-breaking. Fully degenerate cells — every vector exactly zero, as in
+// masked land regions — carry no feature by convention.
+func (d *Detector2D) CellContains(c int) bool {
+	vs := d.Mesh.CellVertices(c)
+	if d.U[vs[0]] == 0 && d.V[vs[0]] == 0 &&
+		d.U[vs[1]] == 0 && d.V[vs[1]] == 0 &&
+		d.U[vs[2]] == 0 && d.V[vs[2]] == 0 {
+		return false
+	}
+	gids := [3]int{d.gid(vs[0]), d.gid(vs[1]), d.gid(vs[2])}
+	s := orientSign2(d.U, d.V, vs, gids, -1)
+	for i := 0; i < 3; i++ {
+		if orientSign2(d.U, d.V, vs, gids, i) != s {
+			return false
+		}
+	}
+	return true
+}
+
+// CellType classifies the critical point in cell c from the current
+// (fixed-point) values. The classification is scale-invariant, so the
+// fixed-point scale does not matter.
+func (d *Detector2D) CellType(c int) Type {
+	return extract2D(d.Mesh, c, d.U, d.V, 1).Type
+}
+
+// DetectCells returns the sorted ids of all cells containing a critical
+// point. Cells are tested concurrently on multi-core hosts; the result
+// order is deterministic.
+func (d *Detector2D) DetectCells() []int {
+	return detectCellsParallel(d.Mesh.NumCells(), d.CellContains)
+}
+
+// orientSign2 returns the SoS-resolved sign of the orientation determinant
+// of the triangle vs, with vertex `replace` (or none if -1) substituted by
+// the origin. gids are the global perturbation identities of the vertices.
+func orientSign2(u, v []int64, vs [3]int, gids [3]int, replace int) int {
+	var m [3][3]int64
+	for r, vi := range vs {
+		if r == replace {
+			m[r] = [3]int64{0, 0, 1}
+		} else {
+			m[r] = [3]int64{u[vi], v[vi], 1}
+		}
+	}
+	if s := exact.Det3(&m).Sign(); s != 0 {
+		return s
+	}
+	// Degenerate: cached Simulation of Simplicity.
+	rows := [3][]int64{m[0][:], m[1][:], m[2][:]}
+	return exact.SoSOrientSign(rows[:], gids[:], replace)
+}
+
+// Detector3D detects critical points on a fixed-point 3D vector field.
+type Detector3D struct {
+	Mesh    field.Mesh3D
+	U, V, W []int64
+	// GlobalID maps a mesh vertex index to a globally unique id; see
+	// Detector2D.GlobalID.
+	GlobalID func(v int) int
+}
+
+func (d *Detector3D) gid(v int) int {
+	if d.GlobalID != nil {
+		return d.GlobalID(v)
+	}
+	return v
+}
+
+// CellContains reports whether tetrahedron c contains a critical point.
+// Fully degenerate cells carry no feature by convention.
+func (d *Detector3D) CellContains(c int) bool {
+	vs := d.Mesh.CellVertices(c)
+	zero := true
+	for _, vi := range vs {
+		if d.U[vi] != 0 || d.V[vi] != 0 || d.W[vi] != 0 {
+			zero = false
+			break
+		}
+	}
+	if zero {
+		return false
+	}
+	gids := [4]int{d.gid(vs[0]), d.gid(vs[1]), d.gid(vs[2]), d.gid(vs[3])}
+	s := orientSign3(d.U, d.V, d.W, vs, gids, -1)
+	for i := 0; i < 4; i++ {
+		if orientSign3(d.U, d.V, d.W, vs, gids, i) != s {
+			return false
+		}
+	}
+	return true
+}
+
+// CellType classifies the critical point in cell c from the current
+// (fixed-point) values.
+func (d *Detector3D) CellType(c int) Type {
+	return extract3D(d.Mesh, c, d.U, d.V, d.W, 1).Type
+}
+
+// DetectCells returns the sorted ids of all cells containing a critical
+// point. Cells are tested concurrently on multi-core hosts; the result
+// order is deterministic.
+func (d *Detector3D) DetectCells() []int {
+	return detectCellsParallel(d.Mesh.NumCells(), d.CellContains)
+}
+
+// detectCellsParallel fans the per-cell containment test over the
+// available cores in contiguous chunks and concatenates the hits in cell
+// order. The test is pure (reads only), so this is safe and
+// deterministic.
+func detectCellsParallel(nc int, contains func(int) bool) []int {
+	workers := runtime.GOMAXPROCS(0)
+	const minChunk = 4096
+	if workers <= 1 || nc < 2*minChunk {
+		var out []int
+		for c := 0; c < nc; c++ {
+			if contains(c) {
+				out = append(out, c)
+			}
+		}
+		return out
+	}
+	if workers > (nc+minChunk-1)/minChunk {
+		workers = (nc + minChunk - 1) / minChunk
+	}
+	parts := make([][]int, workers)
+	var wg sync.WaitGroup
+	chunk := (nc + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		start := w * chunk
+		end := start + chunk
+		if end > nc {
+			end = nc
+		}
+		if start >= end {
+			continue
+		}
+		wg.Add(1)
+		go func(w, start, end int) {
+			defer wg.Done()
+			var local []int
+			for c := start; c < end; c++ {
+				if contains(c) {
+					local = append(local, c)
+				}
+			}
+			parts[w] = local
+		}(w, start, end)
+	}
+	wg.Wait()
+	var out []int
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
+}
+
+func orientSign3(u, v, w []int64, vs [4]int, gids [4]int, replace int) int {
+	var m [4][4]int64
+	for r, vi := range vs {
+		if r == replace {
+			m[r] = [4]int64{0, 0, 0, 1}
+		} else {
+			m[r] = [4]int64{u[vi], v[vi], w[vi], 1}
+		}
+	}
+	if s := exact.Det4(&m).Sign(); s != 0 {
+		return s
+	}
+	rows := [4][]int64{m[0][:], m[1][:], m[2][:], m[3][:]}
+	return exact.SoSOrientSign(rows[:], gids[:], replace)
+}
+
+// DetectField2D converts f to fixed point with tr and extracts all
+// critical points with position and type.
+func DetectField2D(f *field.Field2D, tr fixed.Transform) []Point {
+	n := len(f.U)
+	u := make([]int64, n)
+	v := make([]int64, n)
+	tr.ToFixed(f.U, u)
+	tr.ToFixed(f.V, v)
+	d := &Detector2D{Mesh: field.Mesh2D{NX: f.NX, NY: f.NY}, U: u, V: v}
+	cells := d.DetectCells()
+	pts := make([]Point, 0, len(cells))
+	for _, c := range cells {
+		pts = append(pts, extract2D(d.Mesh, c, u, v, tr.Scale))
+	}
+	return pts
+}
+
+// DetectField3D converts f to fixed point with tr and extracts all
+// critical points with position and type.
+func DetectField3D(f *field.Field3D, tr fixed.Transform) []Point {
+	n := len(f.U)
+	u := make([]int64, n)
+	v := make([]int64, n)
+	w := make([]int64, n)
+	tr.ToFixed(f.U, u)
+	tr.ToFixed(f.V, v)
+	tr.ToFixed(f.W, w)
+	d := &Detector3D{Mesh: field.Mesh3D{NX: f.NX, NY: f.NY, NZ: f.NZ}, U: u, V: v, W: w}
+	cells := d.DetectCells()
+	pts := make([]Point, 0, len(cells))
+	for _, c := range cells {
+		pts = append(pts, extract3D(d.Mesh, c, u, v, w, tr.Scale))
+	}
+	return pts
+}
+
+// extract2D computes the position (numerical barycentric solve) and type
+// (Jacobian eigenvalues) of the critical point in triangle c.
+func extract2D(mesh field.Mesh2D, c int, u, v []int64, scale float64) Point {
+	vs := mesh.CellVertices(c)
+	var fu, fv [3]float64
+	var px, py [3]float64
+	for i, vi := range vs {
+		fu[i] = float64(u[vi]) / scale
+		fv[i] = float64(v[vi]) / scale
+		xi, yi := mesh.VertexPos(vi)
+		px[i], py[i] = float64(xi), float64(yi)
+	}
+	mu := solveBary2(fu, fv)
+	pos := [3]float64{
+		mu[0]*px[0] + mu[1]*px[1] + mu[2]*px[2],
+		mu[0]*py[0] + mu[1]*py[1] + mu[2]*py[2],
+		0,
+	}
+	// Jacobian J = G D⁻¹ with D the position difference matrix.
+	d1x, d1y := px[1]-px[0], py[1]-py[0]
+	d2x, d2y := px[2]-px[0], py[2]-py[0]
+	det := d1x*d2y - d2x*d1y
+	g1u, g1v := fu[1]-fu[0], fv[1]-fv[0]
+	g2u, g2v := fu[2]-fu[0], fv[2]-fv[0]
+	inv := 1 / det
+	var j [2][2]float64
+	j[0][0] = (g1u*d2y - g2u*d1y) * inv
+	j[0][1] = (g2u*d1x - g1u*d2x) * inv
+	j[1][0] = (g1v*d2y - g2v*d1y) * inv
+	j[1][1] = (g2v*d1x - g1v*d2x) * inv
+	return Point{Cell: c, Type: classify2(j), Pos: pos}
+}
+
+// solveBary2 solves [[u0,u1,u2],[v0,v1,v2],[1,1,1]] μ = (0,0,1)ᵀ with
+// Cramer's rule. Degenerate systems return the simplex centroid weights.
+func solveBary2(u, v [3]float64) [3]float64 {
+	det := u[0]*(v[1]-v[2]) - u[1]*(v[0]-v[2]) + u[2]*(v[0]-v[1])
+	if det == 0 {
+		return [3]float64{1.0 / 3, 1.0 / 3, 1.0 / 3}
+	}
+	m0 := u[1]*v[2] - u[2]*v[1]
+	m1 := u[2]*v[0] - u[0]*v[2]
+	m2 := u[0]*v[1] - u[1]*v[0]
+	return [3]float64{m0 / det, m1 / det, m2 / det}
+}
+
+// extract3D computes position and type of the critical point in
+// tetrahedron c.
+func extract3D(mesh field.Mesh3D, c int, u, v, w []int64, scale float64) Point {
+	vs := mesh.CellVertices(c)
+	var f [3][4]float64 // component × vertex
+	var p [3][4]float64 // axis × vertex
+	for i, vi := range vs {
+		f[0][i] = float64(u[vi]) / scale
+		f[1][i] = float64(v[vi]) / scale
+		f[2][i] = float64(w[vi]) / scale
+		xi, yi, zi := mesh.VertexPos(vi)
+		p[0][i], p[1][i], p[2][i] = float64(xi), float64(yi), float64(zi)
+	}
+	mu := solveBary3(f)
+	var pos [3]float64
+	for a := 0; a < 3; a++ {
+		for i := 0; i < 4; i++ {
+			pos[a] += mu[i] * p[a][i]
+		}
+	}
+	// J = G D⁻¹; D columns are position differences, G columns vector
+	// differences (both 3×3).
+	var dm, gm [3][3]float64
+	for col := 0; col < 3; col++ {
+		for a := 0; a < 3; a++ {
+			dm[a][col] = p[a][col+1] - p[a][0]
+			gm[a][col] = f[a][col+1] - f[a][0]
+		}
+	}
+	inv, ok := invert3(dm)
+	if !ok {
+		return Point{Cell: c, Type: TypeDegenerate, Pos: pos}
+	}
+	var j [3][3]float64
+	for r := 0; r < 3; r++ {
+		for cc := 0; cc < 3; cc++ {
+			for k := 0; k < 3; k++ {
+				j[r][cc] += gm[r][k] * inv[k][cc]
+			}
+		}
+	}
+	return Point{Cell: c, Type: classify3(j), Pos: pos}
+}
+
+// solveBary3 solves the 4×4 barycentric system for a 3D simplex.
+func solveBary3(f [3][4]float64) [4]float64 {
+	// Solve [[u...],[v...],[w...],[1,1,1,1]] μ = (0,0,0,1)ᵀ by Gaussian
+	// elimination with partial pivoting.
+	var a [4][5]float64
+	for c := 0; c < 4; c++ {
+		a[0][c] = f[0][c]
+		a[1][c] = f[1][c]
+		a[2][c] = f[2][c]
+		a[3][c] = 1
+	}
+	a[3][4] = 1
+	for col := 0; col < 4; col++ {
+		piv := col
+		for r := col + 1; r < 4; r++ {
+			if abs(a[r][col]) > abs(a[piv][col]) {
+				piv = r
+			}
+		}
+		if a[piv][col] == 0 {
+			return [4]float64{0.25, 0.25, 0.25, 0.25}
+		}
+		a[col], a[piv] = a[piv], a[col]
+		for r := 0; r < 4; r++ {
+			if r == col {
+				continue
+			}
+			fac := a[r][col] / a[col][col]
+			for cc := col; cc < 5; cc++ {
+				a[r][cc] -= fac * a[col][cc]
+			}
+		}
+	}
+	var mu [4]float64
+	for r := 0; r < 4; r++ {
+		mu[r] = a[r][4] / a[r][r]
+	}
+	return mu
+}
+
+func invert3(m [3][3]float64) ([3][3]float64, bool) {
+	det := m[0][0]*(m[1][1]*m[2][2]-m[1][2]*m[2][1]) -
+		m[0][1]*(m[1][0]*m[2][2]-m[1][2]*m[2][0]) +
+		m[0][2]*(m[1][0]*m[2][1]-m[1][1]*m[2][0])
+	if det == 0 {
+		return [3][3]float64{}, false
+	}
+	inv := 1 / det
+	var r [3][3]float64
+	r[0][0] = (m[1][1]*m[2][2] - m[1][2]*m[2][1]) * inv
+	r[0][1] = (m[0][2]*m[2][1] - m[0][1]*m[2][2]) * inv
+	r[0][2] = (m[0][1]*m[1][2] - m[0][2]*m[1][1]) * inv
+	r[1][0] = (m[1][2]*m[2][0] - m[1][0]*m[2][2]) * inv
+	r[1][1] = (m[0][0]*m[2][2] - m[0][2]*m[2][0]) * inv
+	r[1][2] = (m[0][2]*m[1][0] - m[0][0]*m[1][2]) * inv
+	r[2][0] = (m[1][0]*m[2][1] - m[1][1]*m[2][0]) * inv
+	r[2][1] = (m[0][1]*m[2][0] - m[0][0]*m[2][1]) * inv
+	r[2][2] = (m[0][0]*m[1][1] - m[0][1]*m[1][0]) * inv
+	return r, true
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,342 @@
+package cp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/field"
+	"repro/internal/fixed"
+)
+
+// linear2D builds u = ax(x-cx), v = ay(y-cy) on an n×n grid.
+func linear2D(n int, cx, cy, ax, ay float64) *field.Field2D {
+	f := field.NewField2D(n, n)
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			idx := f.Idx(i, j)
+			f.U[idx] = float32(ax * (float64(i) - cx))
+			f.V[idx] = float32(ay * (float64(j) - cy))
+		}
+	}
+	return f
+}
+
+func mustFit2D(t *testing.T, f *field.Field2D) fixed.Transform {
+	t.Helper()
+	tr, err := fixed.Fit(f.U, f.V)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestDetectSingleSource2D(t *testing.T) {
+	f := linear2D(8, 3.4, 2.6, 1, 1)
+	tr := mustFit2D(t, f)
+	pts := DetectField2D(f, tr)
+	if len(pts) != 1 {
+		t.Fatalf("detected %d critical points, want 1", len(pts))
+	}
+	p := pts[0]
+	if p.Type != TypeRepellingNode {
+		t.Errorf("type = %v, want repelling node", p.Type)
+	}
+	if math.Abs(p.Pos[0]-3.4) > 0.02 || math.Abs(p.Pos[1]-2.6) > 0.02 {
+		t.Errorf("position = %v, want (3.4, 2.6)", p.Pos)
+	}
+}
+
+func TestDetectSink2D(t *testing.T) {
+	f := linear2D(8, 3.4, 2.6, -1, -1)
+	pts := DetectField2D(f, mustFit2D(t, f))
+	if len(pts) != 1 || pts[0].Type != TypeAttractingNode {
+		t.Fatalf("got %v", pts)
+	}
+}
+
+func TestDetectSaddle2D(t *testing.T) {
+	f := linear2D(8, 3.4, 2.6, 1, -1)
+	pts := DetectField2D(f, mustFit2D(t, f))
+	if len(pts) != 1 || pts[0].Type != TypeSaddle {
+		t.Fatalf("got %v", pts)
+	}
+}
+
+func TestDetectCenter2D(t *testing.T) {
+	n := 8
+	f := field.NewField2D(n, n)
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			idx := f.Idx(i, j)
+			f.U[idx] = float32(-(float64(j) - 3.5))
+			f.V[idx] = float32(float64(i) - 3.5)
+		}
+	}
+	pts := DetectField2D(f, mustFit2D(t, f))
+	if len(pts) != 1 || pts[0].Type != TypeCenter {
+		t.Fatalf("got %v", pts)
+	}
+}
+
+func TestDetectFocus2D(t *testing.T) {
+	// Spiral sink: u = -(x-c) - (y-c), v = (x-c) - (y-c).
+	n := 8
+	f := field.NewField2D(n, n)
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			idx := f.Idx(i, j)
+			x, y := float64(i)-3.3, float64(j)-3.3
+			f.U[idx] = float32(-x - y)
+			f.V[idx] = float32(x - y)
+		}
+	}
+	pts := DetectField2D(f, mustFit2D(t, f))
+	if len(pts) != 1 || pts[0].Type != TypeAttractingFocus {
+		t.Fatalf("got %v", pts)
+	}
+}
+
+func TestSoSUniquenessOnVertex2D(t *testing.T) {
+	// The zero sits exactly on grid vertex (3,3), shared by 6 triangles.
+	// SoS must attribute the critical point to exactly one cell —
+	// the consistency property numerical methods lack.
+	f := linear2D(8, 3, 3, 1, 1)
+	pts := DetectField2D(f, mustFit2D(t, f))
+	if len(pts) != 1 {
+		t.Fatalf("vertex-centered critical point detected in %d cells, want exactly 1", len(pts))
+	}
+}
+
+func TestSoSUniquenessOnEdge2D(t *testing.T) {
+	// Zero on the shared edge between two triangles.
+	f := linear2D(8, 3, 2.5, 1, 1)
+	pts := DetectField2D(f, mustFit2D(t, f))
+	if len(pts) != 1 {
+		t.Fatalf("edge critical point detected in %d cells, want exactly 1", len(pts))
+	}
+}
+
+func linear3D(n int, c [3]float64, a [3]float64) *field.Field3D {
+	f := field.NewField3D(n, n, n)
+	for k := 0; k < n; k++ {
+		for j := 0; j < n; j++ {
+			for i := 0; i < n; i++ {
+				idx := f.Idx(i, j, k)
+				f.U[idx] = float32(a[0] * (float64(i) - c[0]))
+				f.V[idx] = float32(a[1] * (float64(j) - c[1]))
+				f.W[idx] = float32(a[2] * (float64(k) - c[2]))
+			}
+		}
+	}
+	return f
+}
+
+func mustFit3D(t *testing.T, f *field.Field3D) fixed.Transform {
+	t.Helper()
+	tr, err := fixed.Fit(f.U, f.V, f.W)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestDetectSource3D(t *testing.T) {
+	f := linear3D(6, [3]float64{2.3, 2.7, 2.5}, [3]float64{1, 1, 1})
+	pts := DetectField3D(f, mustFit3D(t, f))
+	if len(pts) != 1 {
+		t.Fatalf("detected %d, want 1", len(pts))
+	}
+	if pts[0].Type != TypeRepellingNode {
+		t.Errorf("type = %v", pts[0].Type)
+	}
+	for a, want := range []float64{2.3, 2.7, 2.5} {
+		if math.Abs(pts[0].Pos[a]-want) > 0.02 {
+			t.Errorf("pos[%d] = %v, want %v", a, pts[0].Pos[a], want)
+		}
+	}
+}
+
+func TestDetectSaddle3D(t *testing.T) {
+	f := linear3D(6, [3]float64{2.3, 2.7, 2.5}, [3]float64{1, 1, -1})
+	pts := DetectField3D(f, mustFit3D(t, f))
+	if len(pts) != 1 || pts[0].Type != TypeSaddle12 {
+		t.Fatalf("got %v", pts)
+	}
+	f2 := linear3D(6, [3]float64{2.3, 2.7, 2.5}, [3]float64{-1, -1, 1})
+	pts2 := DetectField3D(f2, mustFit3D(t, f2))
+	if len(pts2) != 1 || pts2[0].Type != TypeSaddle21 {
+		t.Fatalf("got %v", pts2)
+	}
+}
+
+func TestSoSUniquenessOnVertex3D(t *testing.T) {
+	f := linear3D(6, [3]float64{3, 3, 3}, [3]float64{1, 1, 1})
+	pts := DetectField3D(f, mustFit3D(t, f))
+	if len(pts) != 1 {
+		t.Fatalf("vertex-centered 3D critical point detected in %d cells, want 1", len(pts))
+	}
+}
+
+func TestNoFalseDetectionsOnUniformField(t *testing.T) {
+	f := field.NewField2D(10, 10)
+	for i := range f.U {
+		f.U[i], f.V[i] = 1, 2
+	}
+	if pts := DetectField2D(f, mustFit2D(t, f)); len(pts) != 0 {
+		t.Fatalf("uniform field has %d critical points", len(pts))
+	}
+	g := field.NewField3D(5, 5, 5)
+	for i := range g.U {
+		g.U[i], g.V[i], g.W[i] = 1, -1, 2
+	}
+	if pts := DetectField3D(g, mustFit3D(t, g)); len(pts) != 0 {
+		t.Fatalf("uniform 3D field has %d critical points", len(pts))
+	}
+}
+
+func TestDetectionDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	f := field.NewField2D(16, 16)
+	for i := range f.U {
+		f.U[i] = float32(rng.NormFloat64())
+		f.V[i] = float32(rng.NormFloat64())
+	}
+	tr := mustFit2D(t, f)
+	a := DetectField2D(f, tr)
+	b := DetectField2D(f, tr)
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic detection")
+	}
+	for i := range a {
+		if a[i].Cell != b[i].Cell || a[i].Type != b[i].Type {
+			t.Fatal("nondeterministic detection result")
+		}
+	}
+}
+
+func TestNumericalMostlyAgreesWithRobust2D(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	f := field.NewField2D(24, 24)
+	for i := range f.U {
+		f.U[i] = float32(rng.NormFloat64())
+		f.V[i] = float32(rng.NormFloat64())
+	}
+	tr := mustFit2D(t, f)
+	robust := map[int]bool{}
+	for _, p := range DetectField2D(f, tr) {
+		robust[p.Cell] = true
+	}
+	mesh := field.Mesh2D{NX: 24, NY: 24}
+	numeric := 0
+	agree := 0
+	for c := 0; c < mesh.NumCells(); c++ {
+		if NumericalCellContains2D(mesh, c, f.U, f.V) {
+			numeric++
+			if robust[c] {
+				agree++
+			}
+		}
+	}
+	if numeric == 0 {
+		t.Skip("no critical points in random field")
+	}
+	if float64(agree) < 0.9*float64(numeric) {
+		t.Errorf("numerical and robust detection diverge: %d/%d agree (robust total %d)", agree, numeric, len(robust))
+	}
+}
+
+func TestEigen3KnownMatrices(t *testing.T) {
+	// Diagonal matrix: eigenvalues are the diagonal.
+	re, im := eigen3([3][3]float64{{1, 0, 0}, {0, 2, 0}, {0, 0, 3}})
+	got := []float64{re[0], re[1], re[2]}
+	sum := got[0] + got[1] + got[2]
+	if math.Abs(sum-6) > 1e-9 || im[0] != 0 {
+		t.Errorf("diagonal eigen: re=%v im=%v", re, im)
+	}
+	// Rotation block ⇒ complex pair.
+	_, im2 := eigen3([3][3]float64{{0, -1, 0}, {1, 0, 0}, {0, 0, 1}})
+	hasImag := im2[0] != 0 || im2[1] != 0 || im2[2] != 0
+	if !hasImag {
+		t.Error("rotation matrix should have complex eigenvalues")
+	}
+}
+
+func TestClassify2Table(t *testing.T) {
+	cases := []struct {
+		j    [2][2]float64
+		want Type
+	}{
+		{[2][2]float64{{1, 0}, {0, 1}}, TypeRepellingNode},
+		{[2][2]float64{{-1, 0}, {0, -1}}, TypeAttractingNode},
+		{[2][2]float64{{1, 0}, {0, -1}}, TypeSaddle},
+		{[2][2]float64{{0, -1}, {1, 0}}, TypeCenter},
+		{[2][2]float64{{-1, -2}, {2, -1}}, TypeAttractingFocus},
+		{[2][2]float64{{1, -2}, {2, 1}}, TypeRepellingFocus},
+		{[2][2]float64{{0, 0}, {0, 0}}, TypeDegenerate},
+	}
+	for _, c := range cases {
+		if got := classify2(c.j); got != c.want {
+			t.Errorf("classify2(%v) = %v, want %v", c.j, got, c.want)
+		}
+	}
+}
+
+func TestCompareReport(t *testing.T) {
+	orig := []Point{{Cell: 1, Type: TypeSaddle}, {Cell: 2, Type: TypeCenter}, {Cell: 3, Type: TypeSaddle}}
+	dec := []Point{{Cell: 1, Type: TypeSaddle}, {Cell: 2, Type: TypeSaddle}, {Cell: 9, Type: TypeCenter}}
+	r := Compare(orig, dec)
+	if r.TP != 1 || r.FT != 1 || r.FP != 1 || r.FN != 1 {
+		t.Errorf("report = %+v", r)
+	}
+	if r.Preserved() {
+		t.Error("should not be preserved")
+	}
+	var sum Report
+	sum.Add(r)
+	sum.Add(r)
+	if sum.TP != 2 || sum.FN != 2 {
+		t.Errorf("Add = %+v", sum)
+	}
+	if r.String() == "" {
+		t.Error("empty String")
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	if TypeSaddle.String() != "saddle" {
+		t.Error(TypeSaddle.String())
+	}
+	if Type(200).String() == "" {
+		t.Error("unknown type should still format")
+	}
+}
+
+func BenchmarkDetect2D64(b *testing.B) {
+	rng := rand.New(rand.NewSource(23))
+	f := field.NewField2D(64, 64)
+	for i := range f.U {
+		f.U[i] = float32(rng.NormFloat64())
+		f.V[i] = float32(rng.NormFloat64())
+	}
+	tr, _ := fixed.Fit(f.U, f.V)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		DetectField2D(f, tr)
+	}
+}
+
+func BenchmarkDetect3D16(b *testing.B) {
+	rng := rand.New(rand.NewSource(24))
+	f := field.NewField3D(16, 16, 16)
+	for i := range f.U {
+		f.U[i] = float32(rng.NormFloat64())
+		f.V[i] = float32(rng.NormFloat64())
+		f.W[i] = float32(rng.NormFloat64())
+	}
+	tr, _ := fixed.Fit(f.U, f.V, f.W)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		DetectField3D(f, tr)
+	}
+}

@@ -1,0 +1,45 @@
+package cp_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/cp"
+	"repro/internal/field"
+	"repro/internal/fixed"
+)
+
+// Example detects and classifies the critical point of a rotating flow.
+func Example() {
+	// u = −(y−4), v = x−4: a center at (4, 4).
+	f := field.NewField2D(9, 9)
+	for j := 0; j < 9; j++ {
+		for i := 0; i < 9; i++ {
+			idx := f.Idx(i, j)
+			f.U[idx] = float32(-(j - 4))
+			f.V[idx] = float32(i - 4)
+		}
+	}
+	tr, err := fixed.Fit(f.U, f.V)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pts := cp.DetectField2D(f, tr)
+	for _, p := range pts {
+		fmt.Printf("%s at (%.0f, %.0f)\n", p.Type, p.Pos[0], p.Pos[1])
+	}
+	// Output:
+	// center at (4, 4)
+}
+
+// ExampleCompare matches critical point sets cell by cell.
+func ExampleCompare() {
+	orig := []cp.Point{{Cell: 3, Type: cp.TypeSaddle}, {Cell: 9, Type: cp.TypeCenter}}
+	dec := []cp.Point{{Cell: 3, Type: cp.TypeSaddle}}
+	rep := cp.Compare(orig, dec)
+	fmt.Println(rep)
+	fmt.Println("preserved:", rep.Preserved())
+	// Output:
+	// TP=1 FP=0 FN=1 FT=0
+	// preserved: false
+}

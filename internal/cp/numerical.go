@@ -1,0 +1,56 @@
+package cp
+
+import "repro/internal/field"
+
+// Numerical (floating-point barycentric) critical point detection.
+//
+// This is the extraction method the cpSZ baseline derives its error bounds
+// from. Because it decides containment by solving a linear system in
+// inexact floating-point arithmetic, near-degenerate configurations can be
+// decided differently from the robust SoS test — the "ambiguity issue"
+// the paper's Section II describes, and the reason cpSZ can exhibit a small
+// number of false cases when evaluated under robust extraction
+// (cf. Table VII, cpSZ coupled row).
+
+// NumericalCellContains2D reports whether triangle c of the float field
+// contains a zero of the linear interpolant, decided numerically.
+func NumericalCellContains2D(mesh field.Mesh2D, c int, u, v []float32) bool {
+	vs := mesh.CellVertices(c)
+	var fu, fv [3]float64
+	for i, vi := range vs {
+		fu[i] = float64(u[vi])
+		fv[i] = float64(v[vi])
+	}
+	mu := solveBary2(fu, fv)
+	for _, m := range mu {
+		if m < 0 || m > 1 {
+			return false
+		}
+	}
+	// Degenerate systems (all-equal vectors) report no critical point,
+	// mirroring a typical numerical implementation.
+	det := fu[0]*(fv[1]-fv[2]) - fu[1]*(fv[0]-fv[2]) + fu[2]*(fv[0]-fv[1])
+	return det != 0
+}
+
+// NumericalCellContains3D reports whether tetrahedron c contains a zero of
+// the linear interpolant, decided numerically.
+func NumericalCellContains3D(mesh field.Mesh3D, c int, u, v, w []float32) bool {
+	vs := mesh.CellVertices(c)
+	var f [3][4]float64
+	for i, vi := range vs {
+		f[0][i] = float64(u[vi])
+		f[1][i] = float64(v[vi])
+		f[2][i] = float64(w[vi])
+	}
+	mu := solveBary3(f)
+	sum := 0.0
+	for _, m := range mu {
+		if m < 0 || m > 1 {
+			return false
+		}
+		sum += m
+	}
+	// Reject the fallback output of a singular solve.
+	return sum > 0.999 && sum < 1.001 && !(mu[0] == 0.25 && mu[1] == 0.25 && mu[2] == 0.25)
+}

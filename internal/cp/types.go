@@ -1,0 +1,192 @@
+// Package cp implements robust critical point detection, classification,
+// extraction and comparison for piecewise-linear vector fields.
+//
+// Detection follows Algorithm 1 of the paper: a simplex contains a critical
+// point iff the origin lies inside the convex hull of the vectors at its
+// vertices, decided by comparing the sign of the simplex orientation
+// determinant with the signs obtained after replacing each vertex by the
+// origin. All signs are evaluated exactly on fixed-point data with
+// Simulation-of-Simplicity tie-breaking (package exact), so the outcome is
+// deterministic and independent of vertex order — the robustness property
+// that separates this work from numerical-method extraction.
+package cp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Type classifies a critical point by the eigenvalues of the Jacobian of
+// the linearly interpolated field over the containing simplex.
+type Type uint8
+
+// Critical point types. The 2D types follow Helman & Hesselink; the 3D
+// types additionally distinguish 1:2 and 2:1 saddles and their spiraling
+// variants.
+const (
+	TypeNone Type = iota
+	// 2D and 3D.
+	TypeAttractingNode // all eigenvalue real parts negative, no rotation
+	TypeRepellingNode  // all real parts positive, no rotation
+	TypeSaddle         // mixed-sign real eigenvalues (2D)
+	TypeAttractingFocus
+	TypeRepellingFocus
+	TypeCenter
+	// 3D-only.
+	TypeSaddle12 // one negative, two positive real eigenvalues
+	TypeSaddle21 // two negative, one positive
+	TypeSpiralSaddle12
+	TypeSpiralSaddle21
+	TypeDegenerate
+)
+
+var typeNames = map[Type]string{
+	TypeNone:            "none",
+	TypeAttractingNode:  "attracting node",
+	TypeRepellingNode:   "repelling node",
+	TypeSaddle:          "saddle",
+	TypeAttractingFocus: "attracting focus",
+	TypeRepellingFocus:  "repelling focus",
+	TypeCenter:          "center",
+	TypeSaddle12:        "1:2 saddle",
+	TypeSaddle21:        "2:1 saddle",
+	TypeSpiralSaddle12:  "1:2 spiral saddle",
+	TypeSpiralSaddle21:  "2:1 spiral saddle",
+	TypeDegenerate:      "degenerate",
+}
+
+// String returns a human-readable type name.
+func (t Type) String() string {
+	if s, ok := typeNames[t]; ok {
+		return s
+	}
+	return fmt.Sprintf("Type(%d)", uint8(t))
+}
+
+// Point is one extracted critical point.
+type Point struct {
+	Cell int        // simplicial cell id (see field.Mesh2D/Mesh3D)
+	Type Type       // eigenvalue classification
+	Pos  [3]float64 // grid-space position (z unused in 2D)
+}
+
+// classify2 maps a 2×2 Jacobian to a critical point type.
+func classify2(j [2][2]float64) Type {
+	tr := j[0][0] + j[1][1]
+	det := j[0][0]*j[1][1] - j[0][1]*j[1][0]
+	if det == 0 {
+		return TypeDegenerate
+	}
+	if det < 0 {
+		return TypeSaddle
+	}
+	disc := tr*tr - 4*det
+	switch {
+	case disc >= 0 && tr < 0:
+		return TypeAttractingNode
+	case disc >= 0 && tr > 0:
+		return TypeRepellingNode
+	case disc >= 0:
+		return TypeDegenerate
+	case tr < 0:
+		return TypeAttractingFocus
+	case tr > 0:
+		return TypeRepellingFocus
+	default:
+		return TypeCenter
+	}
+}
+
+// classify3 maps a 3×3 Jacobian to a critical point type using the real
+// parts and imaginary presence of its eigenvalues.
+func classify3(j [3][3]float64) Type {
+	re, im := eigen3(j)
+	pos, neg := 0, 0
+	spiral := false
+	for i := 0; i < 3; i++ {
+		switch {
+		case re[i] > 0:
+			pos++
+		case re[i] < 0:
+			neg++
+		}
+		if im[i] != 0 {
+			spiral = true
+		}
+	}
+	switch {
+	case pos == 3 && !spiral:
+		return TypeRepellingNode
+	case neg == 3 && !spiral:
+		return TypeAttractingNode
+	case pos == 3:
+		return TypeRepellingFocus
+	case neg == 3:
+		return TypeAttractingFocus
+	case pos == 2 && neg == 1:
+		if spiral {
+			return TypeSpiralSaddle12
+		}
+		return TypeSaddle12
+	case pos == 1 && neg == 2:
+		if spiral {
+			return TypeSpiralSaddle21
+		}
+		return TypeSaddle21
+	default:
+		return TypeDegenerate
+	}
+}
+
+// eigen3 returns the real parts and imaginary parts of the eigenvalues of
+// a 3×3 matrix, solving the characteristic cubic with Cardano's method.
+func eigen3(m [3][3]float64) (re, im [3]float64) {
+	// λ³ - c2 λ² + c1 λ - c0 = 0
+	c2 := m[0][0] + m[1][1] + m[2][2]
+	c1 := m[0][0]*m[1][1] - m[0][1]*m[1][0] +
+		m[0][0]*m[2][2] - m[0][2]*m[2][0] +
+		m[1][1]*m[2][2] - m[1][2]*m[2][1]
+	c0 := m[0][0]*(m[1][1]*m[2][2]-m[1][2]*m[2][1]) -
+		m[0][1]*(m[1][0]*m[2][2]-m[1][2]*m[2][0]) +
+		m[0][2]*(m[1][0]*m[2][1]-m[1][1]*m[2][0])
+	// Depressed cubic t³ + pt + q with λ = t + s, s = c2/3:
+	// p = c1 - c2²/3 and q = f(s) where f(λ) = λ³ - c2λ² + c1λ - c0.
+	s := c2 / 3
+	p := c1 - c2*c2/3
+	q := s*s*s - c2*s*s + c1*s - c0
+	disc := (q/2)*(q/2) + (p/3)*(p/3)*(p/3)
+	switch {
+	case disc > 0:
+		// One real root, one complex conjugate pair.
+		sq := math.Sqrt(disc)
+		u := math.Cbrt(-q/2 + sq)
+		v := math.Cbrt(-q/2 - sq)
+		t0 := u + v
+		re[0] = t0 + s
+		im[0] = 0
+		re[1] = -t0/2 + s
+		re[2] = -t0/2 + s
+		imag := math.Sqrt(3) / 2 * math.Abs(u-v)
+		im[1], im[2] = imag, -imag
+	case disc == 0:
+		t0 := 3 * q / p // triple/double root handling
+		if p == 0 {
+			t0 = 0
+		}
+		t1 := -t0 / 2
+		re[0], re[1], re[2] = t0+s, t1+s, t1+s
+	default:
+		// Three distinct real roots (trigonometric form).
+		r := math.Sqrt(-p * p * p / 27)
+		phi := math.Acos(clampf(-q/2/r, -1, 1))
+		mfac := 2 * math.Sqrt(-p/3)
+		for k := 0; k < 3; k++ {
+			re[k] = mfac*math.Cos((phi+2*math.Pi*float64(k))/3) + s
+		}
+	}
+	return re, im
+}
+
+func clampf(v, lo, hi float64) float64 {
+	return math.Min(math.Max(v, lo), hi)
+}

@@ -1,0 +1,40 @@
+package cpsz
+
+import (
+	"testing"
+)
+
+// FuzzDecompress asserts the decoder never panics on corrupt input.
+func FuzzDecompress(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x43, 0x5A, 2, 0})
+	fld := smooth2D(55, 10, 8)
+	blob, err := Compress2D(fld, Options{Rel: 0.1, Scheme: Coupled})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(blob)
+	f.Add(blob[:len(blob)/2])
+	mut := append([]byte(nil), blob...)
+	for i := 3; i < len(mut); i += 5 {
+		mut[i] ^= 0xA5
+	}
+	f.Add(mut)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		f2, f3, err := Decompress(data)
+		if err == nil && f2 == nil && f3 == nil {
+			t.Fatal("no result and no error")
+		}
+	})
+}
+
+func TestDecompressTruncationsNeverPanic(t *testing.T) {
+	fld := smooth2D(56, 16, 12)
+	blob, err := Compress2D(fld, Options{Rel: 0.1, Scheme: Decoupled})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(blob); cut += 13 {
+		Decompress(blob[:cut]) // must not panic
+	}
+}

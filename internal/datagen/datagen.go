@@ -1,0 +1,248 @@
+// Package datagen synthesizes the four evaluation datasets. The paper
+// uses Ocean (2D currents), Hurricane-ISABEL (3D atmospheric), Nek5000
+// (3D fluid simulation) and the JHU forced isotropic Turbulence volume;
+// those archives are not redistributable, so this package generates
+// deterministic synthetic fields with the same dimensionality, component
+// count and qualitative structure (see DESIGN.md, substitutions):
+//
+//   - Ocean: wind-driven double-gyre circulation from an analytic stream
+//     function (divergence-free), plus land masses where the velocity is
+//     identically zero — reproducing the masked-region behaviour the
+//     paper's Fig. 5 discussion depends on.
+//   - Hurricane: a Holland-profile vortex with a calm eye, eyewall
+//     updraft, vertical intensity decay and environmental shear.
+//   - Nek5000 / Turbulence: solenoidal multi-scale turbulence built from
+//     the curl of a random-phase Fourier vector potential with a
+//     Kolmogorov-like k^(-5/3) energy spectrum (exactly divergence-free
+//     mode by mode).
+package datagen
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/field"
+)
+
+// Ocean generates a 2D current field with gyres and land masks.
+func Ocean(nx, ny int) *field.Field2D {
+	rng := rand.New(rand.NewSource(101))
+	f := field.NewField2D(nx, ny)
+	// Stream function: large-scale double gyre plus mesoscale eddies.
+	type mode struct{ kx, ky, phx, phy, amp float64 }
+	modes := []mode{
+		{1, 2, 0, 0, 1.0}, // double gyre
+		{2, 1, 1.3, 0.4, 0.55},
+	}
+	for i := 0; i < 14; i++ {
+		modes = append(modes, mode{
+			kx:  float64(2 + rng.Intn(6)),
+			ky:  float64(2 + rng.Intn(6)),
+			phx: rng.Float64() * 2 * math.Pi,
+			phy: rng.Float64() * 2 * math.Pi,
+			amp: 0.35 / (1 + rng.Float64()*3),
+		})
+	}
+	// Land mask from low-frequency noise: continents on the west and
+	// east margins plus islands.
+	land := func(x, y float64) bool {
+		n := math.Sin(3.1*x+1.7)*math.Cos(2.3*y+0.5) +
+			0.7*math.Sin(5.9*x-1.1)*math.Sin(3.7*y+2.2)
+		margin := math.Min(x, 1-x)
+		return n > 1.05 || margin < 0.02*(1+0.6*math.Sin(9*y))
+	}
+	for j := 0; j < ny; j++ {
+		for i := 0; i < nx; i++ {
+			x := float64(i) / float64(nx-1)
+			y := float64(j) / float64(ny-1)
+			idx := f.Idx(i, j)
+			if land(x, y) {
+				continue // velocity stays exactly zero on land
+			}
+			var u, v float64
+			for _, m := range modes {
+				// ψ = amp sin(kx πx + phx) sin(ky πy + phy)
+				// u = -∂ψ/∂y, v = ∂ψ/∂x  (divergence-free)
+				sx := math.Sin(m.kx*math.Pi*x + m.phx)
+				cx := math.Cos(m.kx*math.Pi*x + m.phx)
+				sy := math.Sin(m.ky*math.Pi*y + m.phy)
+				cy := math.Cos(m.ky*math.Pi*y + m.phy)
+				u -= m.amp * m.ky * math.Pi * sx * cy
+				v += m.amp * m.kx * math.Pi * cx * sy
+			}
+			f.U[idx] = float32(u)
+			f.V[idx] = float32(v)
+		}
+	}
+	return f
+}
+
+// Hurricane generates a 3D tropical-cyclone-like field: a Holland-profile
+// vortex with eyewall updraft, eye subsidence turning into ascent aloft
+// (which puts genuine critical points on the tilted core line), vertical
+// intensity decay, environmental shear, and weak background eddies.
+func Hurricane(nx, ny, nz int) *field.Field3D {
+	f := field.NewField3D(nx, ny, nz)
+	bg := turbulenceModes(404, 32, 1.5, 8)
+	cx, cy := 0.45*float64(nx), 0.55*float64(ny)
+	rmax := 0.07 * float64(nx) // radius of maximum wind
+	vmax := 1.0
+	// Ambient eddies strong enough to create stagnation points away from
+	// the vortex — the real Hurricane-ISABEL data carries ~10³ critical
+	// points, most of them in the environmental flow, not the eye.
+	const bgAmp = 0.12
+	for k := 0; k < nz; k++ {
+		zf := float64(k) / math.Max(float64(nz-1), 1)
+		decay := 1 - 0.65*zf            // intensity decays with height
+		shear := 0.06 * zf              // environmental shear
+		tilt := 0.06 * float64(nx) * zf // vortex tilt with height
+		ccx, ccy := cx+tilt, cy+0.4*tilt
+		z := 2 * math.Pi * float64(k) / float64(nz)
+		for j := 0; j < ny; j++ {
+			y := 2 * math.Pi * float64(j) / float64(ny)
+			for i := 0; i < nx; i++ {
+				x2 := 2 * math.Pi * float64(i) / float64(nx)
+				dx := float64(i) - ccx
+				dy := float64(j) - ccy
+				r := math.Hypot(dx, dy)
+				idx := f.Idx(i, j, k)
+				// Holland-like tangential wind profile.
+				var vt float64
+				if r > 1e-9 {
+					x := r / rmax
+					vt = vmax * decay * x * math.Exp(1-x)
+				}
+				var ux, uy float64
+				if r > 1e-9 {
+					ux = -vt * dy / r
+					uy = vt * dx / r
+				}
+				// Radial inflow near the surface, outflow aloft.
+				radial := 0.25 * vt * (0.5 - zf)
+				if r > 1e-9 {
+					ux += radial * dx / r
+					uy += radial * dy / r
+				}
+				// Eyewall updraft ring, eye subsidence near the surface
+				// flipping to ascent aloft (a zero of w on the core line).
+				ring := math.Exp(-math.Pow((r-rmax)/(0.35*rmax), 2))
+				eye := math.Exp(-math.Pow(r/(0.5*rmax), 2))
+				w := 0.5*decay*ring*(1-zf*0.5) + eye*(0.3*zf-0.12)
+				// Background flow with shear plus weak eddies.
+				ux += shear
+				uy += 0.3 * shear
+				for _, m := range bg {
+					ph := m.k[0]*x2 + m.k[1]*y + m.k[2]*z + m.phi
+					cs := math.Cos(ph)
+					ux += bgAmp * m.c[0] * cs
+					uy += bgAmp * m.c[1] * cs
+					w += bgAmp * m.c[2] * cs
+				}
+				f.U[idx] = float32(ux)
+				f.V[idx] = float32(uy)
+				f.W[idx] = float32(w)
+			}
+		}
+	}
+	return f
+}
+
+// turbMode is one solenoidal Fourier mode: velocity contribution
+// (k × a) cos(k·x + φ) is exactly divergence-free.
+type turbMode struct {
+	k   [3]float64
+	c   [3]float64 // k × a
+	phi float64
+}
+
+func turbulenceModes(seed int64, nmodes int, kmin, kmax float64) []turbMode {
+	rng := rand.New(rand.NewSource(seed))
+	modes := make([]turbMode, 0, nmodes)
+	for len(modes) < nmodes {
+		// Sample a wavevector with log-uniform magnitude in [kmin,kmax].
+		km := kmin * math.Pow(kmax/kmin, rng.Float64())
+		theta := math.Acos(2*rng.Float64() - 1)
+		phi := rng.Float64() * 2 * math.Pi
+		k := [3]float64{
+			km * math.Sin(theta) * math.Cos(phi),
+			km * math.Sin(theta) * math.Sin(phi),
+			km * math.Cos(theta),
+		}
+		// Random amplitude direction; energy ~ k^(-5/3) Kolmogorov-like.
+		a := [3]float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		amp := math.Pow(km, -5.0/6.0) / math.Sqrt(float64(nmodes)) // E(k) ∝ k^-5/3 ⇒ |u| ∝ k^-5/6
+		c := [3]float64{
+			k[1]*a[2] - k[2]*a[1],
+			k[2]*a[0] - k[0]*a[2],
+			k[0]*a[1] - k[1]*a[0],
+		}
+		norm := math.Sqrt(c[0]*c[0] + c[1]*c[1] + c[2]*c[2])
+		if norm < 1e-12 {
+			continue
+		}
+		for d := 0; d < 3; d++ {
+			c[d] *= amp / norm * km // |k×a|-normalized, scaled by spectrum
+		}
+		modes = append(modes, turbMode{k: k, c: c, phi: rng.Float64() * 2 * math.Pi})
+	}
+	return modes
+}
+
+func synthesize(f *field.Field3D, modes []turbMode) {
+	nx, ny, nz := f.NX, f.NY, f.NZ
+	for k := 0; k < nz; k++ {
+		z := 2 * math.Pi * float64(k) / float64(nz)
+		for j := 0; j < ny; j++ {
+			y := 2 * math.Pi * float64(j) / float64(ny)
+			for i := 0; i < nx; i++ {
+				x := 2 * math.Pi * float64(i) / float64(nx)
+				var u, v, w float64
+				for _, m := range modes {
+					ph := m.k[0]*x + m.k[1]*y + m.k[2]*z + m.phi
+					cs := math.Cos(ph)
+					u += m.c[0] * cs
+					v += m.c[1] * cs
+					w += m.c[2] * cs
+				}
+				idx := f.Idx(i, j, k)
+				f.U[idx] = float32(u)
+				f.V[idx] = float32(v)
+				f.W[idx] = float32(w)
+			}
+		}
+	}
+}
+
+// Nek5000 generates a multi-scale solenoidal field standing in for the
+// Nek5000 fluid simulation output (512³ in the paper; size configurable).
+func Nek5000(nx, ny, nz int) *field.Field3D {
+	f := field.NewField3D(nx, ny, nz)
+	synthesize(f, turbulenceModes(202, 48, 1, 10))
+	return f
+}
+
+// Turbulence generates forced-isotropic-turbulence-like data standing in
+// for the JHU 4096³ volume. The seed selects the realization so that
+// distributed experiments can generate distinct per-rank time steps.
+// The spectral cutoff adapts to the resolution (a DNS resolves flow well
+// below the grid Nyquist scale, so the smallest generated eddies span
+// several cells).
+func Turbulence(nx, ny, nz int, seed int64) *field.Field3D {
+	f := field.NewField3D(nx, ny, nz)
+	minDim := nx
+	if ny < minDim {
+		minDim = ny
+	}
+	if nz < minDim {
+		minDim = nz
+	}
+	kmax := float64(minDim) / 8
+	if kmax < 3 {
+		kmax = 3
+	}
+	if kmax > 16 {
+		kmax = 16
+	}
+	synthesize(f, turbulenceModes(303+seed, 64, 1, kmax))
+	return f
+}

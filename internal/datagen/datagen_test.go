@@ -1,0 +1,185 @@
+package datagen
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cp"
+	"repro/internal/field"
+	"repro/internal/fixed"
+)
+
+func TestOceanHasLandAndCurrents(t *testing.T) {
+	f := Ocean(128, 96)
+	zero, nonzero := 0, 0
+	for i := range f.U {
+		if f.U[i] == 0 && f.V[i] == 0 {
+			zero++
+		} else {
+			nonzero++
+		}
+	}
+	if zero == 0 {
+		t.Error("ocean should have land (zero) regions")
+	}
+	if nonzero < len(f.U)/2 {
+		t.Error("ocean should be mostly water")
+	}
+}
+
+func TestOceanHasCriticalPoints(t *testing.T) {
+	f := Ocean(128, 96)
+	tr, err := fixed.Fit(f.U, f.V)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := cp.DetectField2D(f, tr)
+	if len(pts) < 10 {
+		t.Errorf("ocean has only %d critical points", len(pts))
+	}
+	types := map[cp.Type]int{}
+	for _, p := range pts {
+		types[p.Type]++
+	}
+	if len(types) < 2 {
+		t.Errorf("ocean critical points lack type diversity: %v", types)
+	}
+}
+
+func TestOceanDeterministic(t *testing.T) {
+	a := Ocean(64, 48)
+	b := Ocean(64, 48)
+	for i := range a.U {
+		if a.U[i] != b.U[i] || a.V[i] != b.V[i] {
+			t.Fatal("Ocean not deterministic")
+		}
+	}
+}
+
+func TestHurricaneStructure(t *testing.T) {
+	f := Hurricane(48, 48, 16)
+	// The eye (vortex center) should be calm at the surface relative to
+	// the eyewall.
+	eye := mag3(f, 21, 26, 0) // center at (0.45*48, 0.55*48)
+	wall := mag3(f, 21+6, 26, 0)
+	if eye > wall {
+		t.Errorf("eye speed %v should be below eyewall %v", eye, wall)
+	}
+	// Updraft exists in the eyewall.
+	foundUp := false
+	for i := range f.W {
+		if f.W[i] > 0.1 {
+			foundUp = true
+			break
+		}
+	}
+	if !foundUp {
+		t.Error("no eyewall updraft")
+	}
+	// Intensity decays with height.
+	lo := avgSpeed(f, 0)
+	hi := avgSpeed(f, f.NZ-1)
+	if hi >= lo {
+		t.Errorf("wind should decay with height: %v at surface, %v aloft", lo, hi)
+	}
+}
+
+func mag3(f *field.Field3D, i, j, k int) float64 {
+	u, v, w := f.At(i, j, k)
+	return math.Sqrt(float64(u*u + v*v + w*w))
+}
+
+func avgSpeed(f *field.Field3D, k int) float64 {
+	total := 0.0
+	for j := 0; j < f.NY; j++ {
+		for i := 0; i < f.NX; i++ {
+			total += mag3(f, i, j, k)
+		}
+	}
+	return total / float64(f.NX*f.NY)
+}
+
+func TestHurricaneHasCriticalPoints(t *testing.T) {
+	f := Hurricane(32, 32, 12)
+	tr, err := fixed.Fit(f.U, f.V, f.W)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := cp.DetectField3D(f, tr)
+	if len(pts) == 0 {
+		t.Error("hurricane should contain critical points (vortex core line)")
+	}
+}
+
+func TestNek5000Solenoidal(t *testing.T) {
+	// The generator is exactly divergence-free in the continuum; the
+	// discrete central-difference divergence must be small relative to
+	// the gradient magnitude.
+	f := Nek5000(24, 24, 24)
+	var divSum, gradSum float64
+	h := 1.0
+	for k := 1; k < f.NZ-1; k++ {
+		for j := 1; j < f.NY-1; j++ {
+			for i := 1; i < f.NX-1; i++ {
+				dudx := float64(f.U[f.Idx(i+1, j, k)]-f.U[f.Idx(i-1, j, k)]) / (2 * h)
+				dvdy := float64(f.V[f.Idx(i, j+1, k)]-f.V[f.Idx(i, j-1, k)]) / (2 * h)
+				dwdz := float64(f.W[f.Idx(i, j, k+1)]-f.W[f.Idx(i, j, k-1)]) / (2 * h)
+				divSum += math.Abs(dudx + dvdy + dwdz)
+				gradSum += math.Abs(dudx) + math.Abs(dvdy) + math.Abs(dwdz)
+			}
+		}
+	}
+	if divSum > 0.25*gradSum {
+		t.Errorf("divergence %.3g too large vs gradient %.3g", divSum, gradSum)
+	}
+}
+
+func TestNek5000HasManyCriticalPoints(t *testing.T) {
+	f := Nek5000(24, 24, 24)
+	tr, err := fixed.Fit(f.U, f.V, f.W)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := cp.DetectField3D(f, tr)
+	if len(pts) < 5 {
+		t.Errorf("turbulent field has only %d critical points", len(pts))
+	}
+}
+
+func TestTurbulenceSeedsDiffer(t *testing.T) {
+	a := Turbulence(16, 16, 16, 0)
+	b := Turbulence(16, 16, 16, 1)
+	same := true
+	for i := range a.U {
+		if a.U[i] != b.U[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds must give different realizations")
+	}
+}
+
+func TestTurbulenceSpectrumDecays(t *testing.T) {
+	// Large-scale energy should dominate small-scale energy: smooth the
+	// field and compare variance of the smooth part vs the residual.
+	f := Turbulence(32, 32, 32, 0)
+	var smooth, rough float64
+	for k := 1; k < f.NZ-1; k++ {
+		for j := 1; j < f.NY-1; j++ {
+			for i := 1; i < f.NX-1; i++ {
+				c := float64(f.U[f.Idx(i, j, k)])
+				avg := (float64(f.U[f.Idx(i-1, j, k)]) + float64(f.U[f.Idx(i+1, j, k)]) +
+					float64(f.U[f.Idx(i, j-1, k)]) + float64(f.U[f.Idx(i, j+1, k)]) +
+					float64(f.U[f.Idx(i, j, k-1)]) + float64(f.U[f.Idx(i, j, k+1)])) / 6
+				smooth += avg * avg
+				d := c - avg
+				rough += d * d
+			}
+		}
+	}
+	if rough > smooth {
+		t.Errorf("small scales dominate: rough %.3g vs smooth %.3g", rough, smooth)
+	}
+}

@@ -1,0 +1,91 @@
+package derive
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/exact"
+)
+
+// TestOrientationOnlyPreservesOrientationSign verifies the partial
+// guarantee the ablation variant does provide: the full orientation
+// determinant's sign is preserved (even though the origin-substituted
+// predicates are not).
+func TestOrientationOnlyPreservesOrientationSign2D(t *testing.T) {
+	rng := rand.New(rand.NewSource(80))
+	for trial := 0; trial < 3000; trial++ {
+		u := []int64{rng.Int63n(200) - 100, rng.Int63n(200) - 100, rng.Int63n(200) - 100}
+		v := []int64{rng.Int63n(200) - 100, rng.Int63n(200) - 100, rng.Int63n(200) - 100}
+		psi := Psi2DOrientationOnly(u, v, 0, 1, 2)
+		if psi <= 0 || psi == Unbounded {
+			continue
+		}
+		lam := [3][3]int64{{u[0], v[0], 1}, {u[1], v[1], 1}, {u[2], v[2], 1}}
+		before := exact.Det3(&lam).Sign()
+		if before == 0 {
+			t.Fatal("positive Ψ on singular orientation")
+		}
+		for k := 0; k < 5; k++ {
+			l2 := lam
+			l2[2][0] += rng.Int63n(2*psi+1) - psi
+			l2[2][1] += rng.Int63n(2*psi+1) - psi
+			if exact.Det3(&l2).Sign() != before {
+				t.Fatalf("orientation sign flipped within orientation-only Ψ=%d", psi)
+			}
+		}
+	}
+}
+
+func TestOrientationOnlyPreservesOrientationSign3D(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	for trial := 0; trial < 1500; trial++ {
+		us := make([]int64, 4)
+		vs := make([]int64, 4)
+		ws := make([]int64, 4)
+		for r := range us {
+			us[r] = rng.Int63n(100) - 50
+			vs[r] = rng.Int63n(100) - 50
+			ws[r] = rng.Int63n(100) - 50
+		}
+		psi := Psi3DOrientationOnly(us, vs, ws, 0, 1, 2, 3)
+		if psi <= 0 || psi == Unbounded {
+			continue
+		}
+		var lam [4][4]int64
+		for r := 0; r < 4; r++ {
+			lam[r] = [4]int64{us[r], vs[r], ws[r], 1}
+		}
+		before := exact.Det4(&lam).Sign()
+		for k := 0; k < 4; k++ {
+			l2 := lam
+			for c := 0; c < 3; c++ {
+				l2[3][c] += rng.Int63n(2*psi+1) - psi
+			}
+			if exact.Det4(&l2).Sign() != before {
+				t.Fatalf("3D orientation sign flipped within orientation-only Ψ=%d", psi)
+			}
+		}
+	}
+}
+
+// TestOrientationOnlyIsLooser confirms the ablation variant never gives a
+// tighter bound than the full derivation (it drops constraints).
+func TestOrientationOnlyIsLooser(t *testing.T) {
+	rng := rand.New(rand.NewSource(82))
+	for trial := 0; trial < 3000; trial++ {
+		u := []int64{rng.Int63n(200) - 100, rng.Int63n(200) - 100, rng.Int63n(200) - 100}
+		v := []int64{rng.Int63n(200) - 100, rng.Int63n(200) - 100, rng.Int63n(200) - 100}
+		full := Psi2D(u, v, 0, 1, 2)
+		loose := Psi2DOrientationOnly(u, v, 0, 1, 2)
+		if loose < full {
+			t.Fatalf("orientation-only bound %d tighter than full %d", loose, full)
+		}
+	}
+}
+
+func TestDetNExported(t *testing.T) {
+	m := [][]int64{{2, 0}, {0, 3}}
+	if got, ok := exact.DetN(m).Int64(); !ok || got != 6 {
+		t.Errorf("DetN = %v ok=%v", got, ok)
+	}
+}

@@ -1,0 +1,239 @@
+// Package derive implements the paper's error bound derivation theory:
+// sufficient per-vertex perturbation bounds that preserve the sign of the
+// orientation determinants, and therefore the outcome of the robust
+// point-in-simplex critical point test.
+//
+// Theorem 1: for an (n+1)×(n+1) matrix Λ, perturbing the entries of row m
+// by at most Ψ(Λ) = |det Λ| / Σᵢ |det A_{mi}| (0 when det Λ = 0) preserves
+// sign(det Λ), where A_{mi} removes row m and column i.
+//
+// Lemma 1: when the last column of Λ is all ones (homogeneous orientation
+// matrices) and that column is never perturbed, the sum only ranges over
+// the data columns.
+//
+// Theorem 2 with Lemmas 3/4 instantiate the bound for the point-in-simplex
+// test: the simplex orientation matrix plus the data submatrices obtained
+// by substituting each other vertex with the origin.
+//
+// Integer strictness: the fixed-point bounds returned here are
+// ⌊(|det|−1)/Σ|minor|⌋ rather than the paper's real-valued quotient, so
+// |Δdet| ≤ Ψ·Σ|minor| ≤ |det|−1 < |det| holds with certainty — the sign
+// can never collapse to zero, even when the quantizer realizes the bound
+// exactly.
+package derive
+
+import (
+	"math"
+
+	"repro/internal/exact"
+)
+
+// Unbounded is returned when a predicate imposes no constraint on the
+// perturbed row (all relevant minors vanish, so the determinant is
+// invariant under any perturbation of that row). Callers clamp to the
+// user bound τ′.
+const Unbounded = math.MaxInt64
+
+// PsiRow is the generic Theorem 1 bound for perturbing every entry of
+// `row` in the n×n matrix m (n ≤ 4). Column `onesCol` (or -1) is treated
+// as exact and excluded from the denominator (Lemma 1).
+func PsiRow(m [][]int64, row, onesCol int) int64 {
+	n := len(m)
+	det := exact.DetN(m)
+	if det.IsZero() {
+		return 0
+	}
+	denom := int64(0)
+	for c := 0; c < n; c++ {
+		if c == onesCol {
+			continue
+		}
+		sub := minorOf(m, row, c)
+		md, ok := exact.DetN(sub).Abs().Int64()
+		if !ok {
+			// Saturate: a denominator this large forces bound 0.
+			return 0
+		}
+		denom += md
+	}
+	if denom == 0 {
+		return Unbounded
+	}
+	return det.Abs().Sub(exact.Int128FromInt64(1)).DivFloor64(denom)
+}
+
+func minorOf(m [][]int64, row, col int) [][]int64 {
+	n := len(m)
+	sub := make([][]int64, 0, n-1)
+	for r := 0; r < n; r++ {
+		if r == row {
+			continue
+		}
+		rw := make([]int64, 0, n-1)
+		for c := 0; c < n; c++ {
+			if c != col {
+				rw = append(rw, m[r][c])
+			}
+		}
+		sub = append(sub, rw)
+	}
+	return sub
+}
+
+// PsiEdge is Lemma 2: the sufficient bound for preserving which side of
+// the isovalue f each endpoint of an edge lies on — min(|f−f0|, |f−f1|)
+// (minus the integer strictness margin).
+func PsiEdge(f0, f1, f int64) int64 {
+	a := absInt64(f - f0)
+	b := absInt64(f - f1)
+	if b < a {
+		a = b
+	}
+	if a == 0 {
+		return 0
+	}
+	return a - 1
+}
+
+// Psi2DOrientationOnly is the ablation variant of Psi2D that keeps only
+// the Ψ(Λ) term of Theorem 2 and drops the origin-substituted submatrix
+// bounds. It preserves sign(s) but not sign(s_i) and is therefore
+// UNSOUND for critical point preservation — it exists to let the
+// ablation study demonstrate why Theorem 2 needs the extra predicates.
+func Psi2DOrientationOnly(u, v []int64, a, b, last int) int64 {
+	var lam [3][3]int64
+	lam[0] = [3]int64{u[a], v[a], 1}
+	lam[1] = [3]int64{u[b], v[b], 1}
+	lam[2] = [3]int64{u[last], v[last], 1}
+	return psiFromParts(exact.Det3(&lam), absInt64(v[a]-v[b])+absInt64(u[a]-u[b]))
+}
+
+// Psi2D is Lemma 3: the sufficient bound for perturbing both components of
+// the vertex `last` of the triangle (a, b, last) while preserving the
+// outcome of the point-in-simplex critical point test.
+func Psi2D(u, v []int64, a, b, last int) int64 {
+	// Ψ(Λ) for the homogeneous orientation matrix, Lemma 1 denominator:
+	// |v_a − v_b| + |u_a − u_b|.
+	var lam [3][3]int64
+	lam[0] = [3]int64{u[a], v[a], 1}
+	lam[1] = [3]int64{u[b], v[b], 1}
+	lam[2] = [3]int64{u[last], v[last], 1}
+	best := psiFromParts(exact.Det3(&lam), absInt64(v[a]-v[b])+absInt64(u[a]-u[b]))
+
+	// Ψ of the data submatrices [[u_b,v_b],[u_last,v_last]] and
+	// [[u_a,v_a],[u_last,v_last]] (origin substituted for the other
+	// vertex).
+	for _, o := range [2]int{b, a} {
+		det := exact.Mul64(u[o], v[last]).Sub(exact.Mul64(v[o], u[last]))
+		psi := psiFromParts(det, absInt64(u[o])+absInt64(v[o]))
+		if psi < best {
+			best = psi
+		}
+	}
+	return best
+}
+
+// Psi3DOrientationOnly is the 3D ablation variant; see
+// Psi2DOrientationOnly.
+func Psi3DOrientationOnly(u, v, w []int64, a, b, c, last int) int64 {
+	vs := [4]int{a, b, c, last}
+	var lam [4][4]int64
+	for r, vi := range vs {
+		lam[r] = [4]int64{u[vi], v[vi], w[vi], 1}
+	}
+	var mvw, muw, muv [3][3]int64
+	for r := 0; r < 3; r++ {
+		vi := vs[r]
+		mvw[r] = [3]int64{v[vi], w[vi], 1}
+		muw[r] = [3]int64{u[vi], w[vi], 1}
+		muv[r] = [3]int64{u[vi], v[vi], 1}
+	}
+	denom := absInt128(exact.Det3(&mvw)) + absInt128(exact.Det3(&muw)) + absInt128(exact.Det3(&muv))
+	return psiFromParts(exact.Det4(&lam), denom)
+}
+
+// Psi3D is Lemma 4: the sufficient bound for perturbing the three
+// components of vertex `last` of the tetrahedron (a, b, c, last).
+func Psi3D(u, v, w []int64, a, b, c, last int) int64 {
+	vs := [4]int{a, b, c, last}
+	var lam [4][4]int64
+	for r, vi := range vs {
+		lam[r] = [4]int64{u[vi], v[vi], w[vi], 1}
+	}
+	// Lemma 1 denominator: homogeneous 3×3 minors over the data columns.
+	var mvw, muw, muv [3][3]int64
+	for r := 0; r < 3; r++ {
+		vi := vs[r]
+		mvw[r] = [3]int64{v[vi], w[vi], 1}
+		muw[r] = [3]int64{u[vi], w[vi], 1}
+		muv[r] = [3]int64{u[vi], v[vi], 1}
+	}
+	denom := absInt128(exact.Det3(&mvw)) + absInt128(exact.Det3(&muw)) + absInt128(exact.Det3(&muv))
+	best := psiFromParts(exact.Det4(&lam), denom)
+
+	// Data submatrices: drop each non-perturbed vertex in turn; the
+	// remaining rows (two data rows + the perturbed row last) form a 3×3
+	// pure-data matrix whose last row is perturbed.
+	for drop := 0; drop < 3; drop++ {
+		var rows [2]int
+		k := 0
+		for r := 0; r < 3; r++ {
+			if r != drop {
+				rows[k] = vs[r]
+				k++
+			}
+		}
+		var m3 [3][3]int64
+		m3[0] = [3]int64{u[rows[0]], v[rows[0]], w[rows[0]]}
+		m3[1] = [3]int64{u[rows[1]], v[rows[1]], w[rows[1]]}
+		m3[2] = [3]int64{u[last], v[last], w[last]}
+		det := exact.Det3(&m3)
+		d := absInt64(exact.Det2(v[rows[0]], w[rows[0]], v[rows[1]], w[rows[1]])) +
+			absInt64(exact.Det2(u[rows[0]], w[rows[0]], u[rows[1]], w[rows[1]])) +
+			absInt64(exact.Det2(u[rows[0]], v[rows[0]], u[rows[1]], v[rows[1]]))
+		psi := psiFromParts(det, d)
+		if psi < best {
+			best = psi
+		}
+	}
+	return best
+}
+
+// SignPreservingBound is the relaxation of Algorithm 2 lines 11–15: when a
+// component has a uniform strict sign over all vertices of a cell, the
+// bound at this vertex may grow to |z|−1, which keeps the component's sign
+// (strictly) and therefore keeps the cell free of critical points.
+func SignPreservingBound(z int64) int64 {
+	a := absInt64(z)
+	if a == 0 {
+		return 0
+	}
+	return a - 1
+}
+
+// psiFromParts computes ⌊(|det|−1)/denom⌋ with the degenerate and
+// unconstrained cases of Theorem 1.
+func psiFromParts(det exact.Int128, denom int64) int64 {
+	if det.IsZero() {
+		return 0
+	}
+	if denom == 0 {
+		return Unbounded
+	}
+	return det.Abs().Sub(exact.Int128FromInt64(1)).DivFloor64(denom)
+}
+
+func absInt64(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func absInt128(v exact.Int128) int64 {
+	a, ok := v.Abs().Int64()
+	if !ok {
+		return math.MaxInt64
+	}
+	return a
+}

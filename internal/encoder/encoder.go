@@ -1,0 +1,87 @@
+// Package encoder is the final lossless stage of the compression pipeline.
+//
+// Huffman-coded quantization streams and literal bytes are packed into a
+// length-prefixed container and passed through DEFLATE — the stdlib
+// stand-in for the ZSTD backend used in the paper (see DESIGN.md,
+// substitutions).
+package encoder
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Deflate compresses data with DEFLATE at the default level.
+func Deflate(data []byte) ([]byte, error) {
+	var buf bytes.Buffer
+	w, err := flate.NewWriter(&buf, flate.DefaultCompression)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := w.Write(data); err != nil {
+		return nil, err
+	}
+	if err := w.Close(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Inflate decompresses DEFLATE data.
+func Inflate(data []byte) ([]byte, error) {
+	r := flate.NewReader(bytes.NewReader(data))
+	defer r.Close()
+	out, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("encoder: inflate: %w", err)
+	}
+	return out, nil
+}
+
+// Pack concatenates sections with uvarint length prefixes and DEFLATEs the
+// container.
+func Pack(sections ...[]byte) ([]byte, error) {
+	var raw []byte
+	raw = binary.AppendUvarint(raw, uint64(len(sections)))
+	for _, s := range sections {
+		raw = binary.AppendUvarint(raw, uint64(len(s)))
+		raw = append(raw, s...)
+	}
+	return Deflate(raw)
+}
+
+// ErrCorrupt indicates a malformed container.
+var ErrCorrupt = errors.New("encoder: corrupt container")
+
+// Unpack reverses Pack.
+func Unpack(data []byte) ([][]byte, error) {
+	raw, err := Inflate(data)
+	if err != nil {
+		return nil, err
+	}
+	n, k := binary.Uvarint(raw)
+	if k <= 0 {
+		return nil, ErrCorrupt
+	}
+	raw = raw[k:]
+	// Each section costs at least a one-byte length prefix; a corrupt
+	// count beyond that cannot be valid and must not drive a huge
+	// preallocation.
+	if n > uint64(len(raw))+1 {
+		return nil, ErrCorrupt
+	}
+	sections := make([][]byte, 0, n)
+	for i := uint64(0); i < n; i++ {
+		l, k := binary.Uvarint(raw)
+		if k <= 0 || uint64(len(raw)-k) < l {
+			return nil, ErrCorrupt
+		}
+		sections = append(sections, raw[k:k+int(l)])
+		raw = raw[k+int(l):]
+	}
+	return sections, nil
+}

@@ -1,0 +1,105 @@
+package encoder
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeflateInflate(t *testing.T) {
+	data := bytes.Repeat([]byte("compressible content "), 100)
+	z, err := Deflate(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(z) >= len(data) {
+		t.Errorf("no compression: %d -> %d", len(data), len(z))
+	}
+	back, err := Inflate(z)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back, data) {
+		t.Fatal("round trip mismatch")
+	}
+}
+
+func TestPackUnpack(t *testing.T) {
+	sections := [][]byte{
+		[]byte("header"),
+		nil,
+		bytes.Repeat([]byte{7}, 1000),
+		{0xFF},
+	}
+	blob, err := Pack(sections...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unpack(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(sections) {
+		t.Fatalf("got %d sections", len(got))
+	}
+	for i := range sections {
+		if !bytes.Equal(got[i], sections[i]) {
+			t.Fatalf("section %d mismatch", i)
+		}
+	}
+}
+
+func TestPackEmpty(t *testing.T) {
+	blob, err := Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unpack(blob)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("got %v, %v", got, err)
+	}
+}
+
+func TestUnpackCorrupt(t *testing.T) {
+	if _, err := Unpack([]byte{1, 2, 3}); err == nil {
+		t.Error("garbage should fail to inflate")
+	}
+	// Valid deflate stream of a truncated container.
+	z, _ := Deflate([]byte{5}) // claims 5 sections, provides none
+	if _, err := Unpack(z); err == nil {
+		t.Error("truncated container should error")
+	}
+}
+
+func TestQuickPackRoundTrip(t *testing.T) {
+	f := func(a, b, c []byte) bool {
+		blob, err := Pack(a, b, c)
+		if err != nil {
+			return false
+		}
+		got, err := Unpack(blob)
+		if err != nil || len(got) != 3 {
+			return false
+		}
+		return bytes.Equal(got[0], a) && bytes.Equal(got[1], b) && bytes.Equal(got[2], c)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkDeflate(b *testing.B) {
+	rng := rand.New(rand.NewSource(40))
+	data := make([]byte, 1<<20)
+	for i := range data {
+		data[i] = byte(rng.Intn(16)) // compressible
+	}
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Deflate(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,151 @@
+package exact
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+// bigDet computes the determinant of an n×n matrix with math/big for
+// cross-checking.
+func bigDet(m [][]int64) *big.Int {
+	n := len(m)
+	if n == 1 {
+		return big.NewInt(m[0][0])
+	}
+	d := new(big.Int)
+	sign := int64(1)
+	for c := 0; c < n; c++ {
+		sub := make([][]int64, n-1)
+		for r := 1; r < n; r++ {
+			row := make([]int64, 0, n-1)
+			for c2 := 0; c2 < n; c2++ {
+				if c2 != c {
+					row = append(row, m[r][c2])
+				}
+			}
+			sub[r-1] = row
+		}
+		term := new(big.Int).Mul(big.NewInt(sign*m[0][c]), bigDet(sub))
+		d.Add(d, term)
+		sign = -sign
+	}
+	return d
+}
+
+func randMat(rng *rand.Rand, n int, bound int64) [][]int64 {
+	m := make([][]int64, n)
+	for i := range m {
+		m[i] = make([]int64, n)
+		for j := range m[i] {
+			m[i][j] = rng.Int63n(2*bound+1) - bound
+		}
+	}
+	return m
+}
+
+func TestDet2(t *testing.T) {
+	if got := Det2(1, 2, 3, 4); got != -2 {
+		t.Errorf("Det2 = %d, want -2", got)
+	}
+	if got := Det2(2, 0, 0, 3); got != 6 {
+		t.Errorf("Det2 = %d, want 6", got)
+	}
+}
+
+func TestDet3MatchesBig(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	const bound = 1 << 21
+	for i := 0; i < 500; i++ {
+		g := randMat(rng, 3, bound)
+		var m [3][3]int64
+		for r := 0; r < 3; r++ {
+			copy(m[r][:], g[r])
+		}
+		got := toBig(Det3(&m))
+		want := bigDet(g)
+		if got.Cmp(want) != 0 {
+			t.Fatalf("Det3(%v) = %v, want %v", g, got, want)
+		}
+	}
+}
+
+func TestDet4MatchesBig(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const bound = 1 << 21
+	for i := 0; i < 500; i++ {
+		g := randMat(rng, 4, bound)
+		var m [4][4]int64
+		for r := 0; r < 4; r++ {
+			copy(m[r][:], g[r])
+		}
+		got := toBig(Det4(&m))
+		want := bigDet(g)
+		if got.Cmp(want) != 0 {
+			t.Fatalf("Det4(%v) = %v, want %v", g, got, want)
+		}
+	}
+}
+
+func TestDet4OrientationStyle(t *testing.T) {
+	// Orientation matrices carry a homogeneous column of ones; exercise
+	// that pattern specifically.
+	rng := rand.New(rand.NewSource(4))
+	const bound = 1 << 21
+	for i := 0; i < 300; i++ {
+		g := randMat(rng, 4, bound)
+		for r := 0; r < 4; r++ {
+			g[r][3] = 1
+		}
+		var m [4][4]int64
+		for r := 0; r < 4; r++ {
+			copy(m[r][:], g[r])
+		}
+		if toBig(Det4(&m)).Cmp(bigDet(g)) != 0 {
+			t.Fatalf("orientation Det4 mismatch on %v", g)
+		}
+	}
+}
+
+func TestDetNMatchesBig(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for n := 1; n <= 4; n++ {
+		for i := 0; i < 200; i++ {
+			g := randMat(rng, n, 1<<21)
+			if toBig(detN(g)).Cmp(bigDet(g)) != 0 {
+				t.Fatalf("detN(%v) mismatch", g)
+			}
+		}
+	}
+}
+
+func TestSingularDet(t *testing.T) {
+	// Duplicate rows ⇒ zero determinant.
+	m3 := [3][3]int64{{1, 2, 3}, {1, 2, 3}, {4, 5, 6}}
+	if !Det3(&m3).IsZero() {
+		t.Error("Det3 of singular matrix not zero")
+	}
+	m4 := [4][4]int64{{1, 2, 3, 1}, {4, 5, 6, 1}, {1, 2, 3, 1}, {7, 8, 9, 1}}
+	if !Det4(&m4).IsZero() {
+		t.Error("Det4 of singular matrix not zero")
+	}
+}
+
+func BenchmarkDet3(b *testing.B) {
+	m := [3][3]int64{{123456, -654321, 1}, {222222, 333333, 1}, {-111111, 999999, 1}}
+	for i := 0; i < b.N; i++ {
+		_ = Det3(&m)
+	}
+}
+
+func BenchmarkDet4(b *testing.B) {
+	m := [4][4]int64{
+		{123456, -654321, 77777, 1},
+		{222222, 333333, -88888, 1},
+		{-111111, 999999, 44444, 1},
+		{555555, -222222, 66666, 1},
+	}
+	for i := 0; i < b.N; i++ {
+		_ = Det4(&m)
+	}
+}

@@ -1,0 +1,171 @@
+// Package exact provides exact integer arithmetic for geometric predicates.
+//
+// The compression pipeline converts floating-point vector fields to a
+// fixed-point representation (see package fixed) whose magnitudes are small
+// enough that every orientation determinant used by the point-in-simplex
+// test can be evaluated without rounding: 2×2 and 3×3 determinants fit in
+// int64, 4×4 determinants fit in the 128-bit signed integers implemented
+// here. Exactness is what makes the critical point detection robust — the
+// outcome never depends on evaluation order or floating-point rounding.
+package exact
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Int128 is a signed 128-bit integer in two's complement representation.
+// The zero value is the number zero.
+type Int128 struct {
+	Hi int64  // upper 64 bits, including the sign
+	Lo uint64 // lower 64 bits
+}
+
+// Int128FromInt64 sign-extends v to 128 bits.
+func Int128FromInt64(v int64) Int128 {
+	hi := int64(0)
+	if v < 0 {
+		hi = -1
+	}
+	return Int128{Hi: hi, Lo: uint64(v)}
+}
+
+// Mul64 returns the full 128-bit product a*b of two signed 64-bit integers.
+func Mul64(a, b int64) Int128 {
+	hi, lo := bits.Mul64(uint64(a), uint64(b))
+	// Convert the unsigned product to the signed product.
+	if a < 0 {
+		hi -= uint64(b)
+	}
+	if b < 0 {
+		hi -= uint64(a)
+	}
+	return Int128{Hi: int64(hi), Lo: lo}
+}
+
+// Add returns a+b. Overflow past 128 bits wraps (never happens for the
+// determinant magnitudes produced in this repository; see package fixed).
+func (a Int128) Add(b Int128) Int128 {
+	lo, carry := bits.Add64(a.Lo, b.Lo, 0)
+	return Int128{Hi: a.Hi + b.Hi + int64(carry), Lo: lo}
+}
+
+// Sub returns a-b.
+func (a Int128) Sub(b Int128) Int128 {
+	lo, borrow := bits.Sub64(a.Lo, b.Lo, 0)
+	return Int128{Hi: a.Hi - b.Hi - int64(borrow), Lo: lo}
+}
+
+// Neg returns -a.
+func (a Int128) Neg() Int128 {
+	return Int128{}.Sub(a)
+}
+
+// IsZero reports whether a == 0.
+func (a Int128) IsZero() bool { return a.Hi == 0 && a.Lo == 0 }
+
+// Sign returns -1, 0, or +1 according to the sign of a.
+func (a Int128) Sign() int {
+	switch {
+	case a.Hi < 0:
+		return -1
+	case a.Hi == 0 && a.Lo == 0:
+		return 0
+	default:
+		return 1
+	}
+}
+
+// Cmp compares a and b and returns -1, 0, or +1.
+func (a Int128) Cmp(b Int128) int {
+	if a.Hi != b.Hi {
+		if a.Hi < b.Hi {
+			return -1
+		}
+		return 1
+	}
+	if a.Lo != b.Lo {
+		if a.Lo < b.Lo {
+			return -1
+		}
+		return 1
+	}
+	return 0
+}
+
+// Abs returns |a|. The (unrepresentable) absolute value of the minimum
+// 128-bit integer wraps; that magnitude never arises here.
+func (a Int128) Abs() Int128 {
+	if a.Hi < 0 {
+		return a.Neg()
+	}
+	return a
+}
+
+// Int64 returns the low 64 bits as a signed integer and whether the value
+// was exactly representable in 64 bits.
+func (a Int128) Int64() (int64, bool) {
+	v := int64(a.Lo)
+	ok := (a.Hi == 0 && v >= 0) || (a.Hi == -1 && v < 0)
+	return v, ok
+}
+
+// DivFloor64 returns floor(a / d) for d > 0, saturated to
+// [math.MinInt64, math.MaxInt64] when the quotient does not fit.
+func (a Int128) DivFloor64(d int64) int64 {
+	if d <= 0 {
+		panic("exact: DivFloor64 requires positive divisor")
+	}
+	neg := a.Sign() < 0
+	m := a.Abs()
+	const maxInt64 = 1<<63 - 1
+	if uint64(m.Hi) >= uint64(d) {
+		// Quotient magnitude >= 2^64: saturate.
+		if neg {
+			return -maxInt64 - 1
+		}
+		return maxInt64
+	}
+	q, r := bits.Div64(uint64(m.Hi), m.Lo, uint64(d))
+	if !neg {
+		if q > maxInt64 {
+			return maxInt64
+		}
+		return int64(q)
+	}
+	// Negative quotient: floor rounds away from zero when a remainder exists.
+	if r != 0 {
+		q++
+	}
+	if q > 1<<63 {
+		return -maxInt64 - 1
+	}
+	return -int64(q)
+}
+
+// String formats a in decimal.
+func (a Int128) String() string {
+	if a.Hi == 0 && int64(a.Lo) >= 0 {
+		return fmt.Sprintf("%d", int64(a.Lo))
+	}
+	neg := a.Sign() < 0
+	m := a.Abs()
+	// Repeated division by 1e18 using two-word division.
+	const chunk = 1_000_000_000_000_000_000
+	hi, lo := uint64(m.Hi), m.Lo
+	var parts []uint64
+	for hi != 0 {
+		q1, r1 := bits.Div64(0, hi, chunk)
+		q0, r0 := bits.Div64(r1, lo, chunk)
+		hi, lo = q1, q0
+		parts = append(parts, r0)
+	}
+	s := fmt.Sprintf("%d", lo)
+	for i := len(parts) - 1; i >= 0; i-- {
+		s += fmt.Sprintf("%018d", parts[i])
+	}
+	if neg {
+		s = "-" + s
+	}
+	return s
+}

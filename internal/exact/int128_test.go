@@ -1,0 +1,138 @@
+package exact
+
+import (
+	"math"
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func toBig(a Int128) *big.Int {
+	b := new(big.Int).SetInt64(a.Hi)
+	b.Lsh(b, 64)
+	return b.Add(b, new(big.Int).SetUint64(a.Lo))
+}
+
+func TestInt128FromInt64(t *testing.T) {
+	for _, v := range []int64{0, 1, -1, math.MaxInt64, math.MinInt64, 42, -42} {
+		got := Int128FromInt64(v)
+		if toBig(got).Cmp(big.NewInt(v)) != 0 {
+			t.Errorf("FromInt64(%d) = %v", v, got)
+		}
+	}
+}
+
+func TestMul64MatchesBig(t *testing.T) {
+	f := func(a, b int64) bool {
+		got := toBig(Mul64(a, b))
+		want := new(big.Int).Mul(big.NewInt(a), big.NewInt(b))
+		return got.Cmp(want) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddSubMatchesBig(t *testing.T) {
+	f := func(a1, b1, a2, b2 int64) bool {
+		x := Mul64(a1, b1)
+		y := Mul64(a2, b2)
+		sum := new(big.Int).Add(toBig(x), toBig(y))
+		diff := new(big.Int).Sub(toBig(x), toBig(y))
+		return toBig(x.Add(y)).Cmp(sum) == 0 && toBig(x.Sub(y)).Cmp(diff) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSignAndAbs(t *testing.T) {
+	cases := []struct {
+		v    Int128
+		sign int
+	}{
+		{Int128{}, 0},
+		{Int128FromInt64(5), 1},
+		{Int128FromInt64(-5), -1},
+		{Mul64(math.MaxInt64, math.MaxInt64), 1},
+		{Mul64(math.MaxInt64, math.MinInt64), -1},
+	}
+	for _, c := range cases {
+		if got := c.v.Sign(); got != c.sign {
+			t.Errorf("Sign(%v) = %d, want %d", c.v, got, c.sign)
+		}
+		if c.v.Abs().Sign() < 0 {
+			t.Errorf("Abs(%v) negative", c.v)
+		}
+	}
+}
+
+func TestCmp(t *testing.T) {
+	vals := []Int128{
+		Mul64(math.MinInt64, math.MaxInt64),
+		Int128FromInt64(-100),
+		Int128{},
+		Int128FromInt64(7),
+		Mul64(math.MaxInt64, 12345),
+	}
+	for i := range vals {
+		for j := range vals {
+			want := toBig(vals[i]).Cmp(toBig(vals[j]))
+			if got := vals[i].Cmp(vals[j]); got != want {
+				t.Errorf("Cmp(%v,%v) = %d, want %d", vals[i], vals[j], got, want)
+			}
+		}
+	}
+}
+
+func TestDivFloor64(t *testing.T) {
+	f := func(a, b int64, d uint32) bool {
+		div := int64(d%1000000) + 1
+		x := Mul64(a, b)
+		want := new(big.Int).Div(toBig(x), big.NewInt(div)) // Euclidean-ish; big.Div is floor for positive divisor
+		got := x.DivFloor64(div)
+		if !want.IsInt64() {
+			// Saturation expected.
+			return got == math.MaxInt64 || got == math.MinInt64
+		}
+		return got == want.Int64()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDivFloor64Panics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on non-positive divisor")
+		}
+	}()
+	Int128FromInt64(1).DivFloor64(0)
+}
+
+func TestString(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		x := Mul64(rng.Int63()-rng.Int63(), rng.Int63()-rng.Int63())
+		if got, want := x.String(), toBig(x).String(); got != want {
+			t.Fatalf("String() = %q, want %q", got, want)
+		}
+	}
+	if got := Int128FromInt64(0).String(); got != "0" {
+		t.Errorf("String(0) = %q", got)
+	}
+}
+
+func TestInt64RoundTrip(t *testing.T) {
+	for _, v := range []int64{0, 1, -1, math.MaxInt64, math.MinInt64} {
+		got, ok := Int128FromInt64(v).Int64()
+		if !ok || got != v {
+			t.Errorf("Int64 round trip failed for %d: got %d ok=%v", v, got, ok)
+		}
+	}
+	if _, ok := Mul64(math.MaxInt64, 3).Int64(); ok {
+		t.Error("expected overflow indication")
+	}
+}

@@ -1,0 +1,90 @@
+package exact
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestSoSOrientSignMatchesGeneric cross-validates the cached fast path
+// against the generic SoSSign on random (frequently degenerate) inputs:
+// the rank-surrogate index trick must never change the decision.
+func TestSoSOrientSignMatchesGeneric(t *testing.T) {
+	rng := rand.New(rand.NewSource(90))
+	for trial := 0; trial < 4000; trial++ {
+		n := 3 + rng.Intn(2) // 3 or 4
+		ids := rng.Perm(1000)[:n]
+		replace := rng.Intn(n+1) - 1 // -1..n-1
+		m := make([][]int64, n)
+		pert := make([][]int, n)
+		for r := 0; r < n; r++ {
+			m[r] = make([]int64, n)
+			pert[r] = make([]int, n)
+			for c := 0; c < n; c++ {
+				// Small values make exact degeneracies common.
+				m[r][c] = rng.Int63n(5) - 2
+				pert[r][c] = -1
+			}
+			m[r][n-1] = 1 // homogeneous column
+			if r == replace {
+				for c := 0; c < n-1; c++ {
+					m[r][c] = 0
+				}
+			} else {
+				for c := 0; c < n-1; c++ {
+					pert[r][c] = ids[r]*(n-1) + c
+				}
+			}
+		}
+		want := SoSSign(m, pert)
+		got := SoSOrientSign(m, ids, replace)
+		if got != want {
+			t.Fatalf("fast path disagrees: got %d want %d (m=%v ids=%v replace=%d)",
+				got, want, m, ids, replace)
+		}
+	}
+}
+
+// TestSoSOrientSignSharedCellConsistency rebuilds the detection-consistency
+// argument at the predicate level: evaluating the same degenerate simplex
+// with rows in a different order (and the matching ids) must flip the sign
+// with the permutation parity, exactly as a real determinant would.
+func TestSoSOrientSignSharedCellConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	for trial := 0; trial < 2000; trial++ {
+		ids := rng.Perm(100)[:3]
+		m := make([][]int64, 3)
+		for r := range m {
+			m[r] = []int64{rng.Int63n(3) - 1, rng.Int63n(3) - 1, 1}
+		}
+		s := SoSOrientSign(m, ids, -1)
+		// Swap rows 0 and 1.
+		m2 := [][]int64{m[1], m[0], m[2]}
+		ids2 := []int{ids[1], ids[0], ids[2]}
+		s2 := SoSOrientSign(m2, ids2, -1)
+		if s2 != -s {
+			t.Fatalf("row swap did not flip sign: %d then %d (m=%v ids=%v)", s, s2, m, ids)
+		}
+	}
+}
+
+// TestSoSOrientSignCacheStability hammers one degenerate configuration to
+// confirm cache hits return identical answers.
+func TestSoSOrientSignCacheStability(t *testing.T) {
+	m := [][]int64{{1, 2, 1}, {2, 4, 1}, {3, 6, 1}}
+	ids := []int{42, 7, 99}
+	want := SoSOrientSign(m, ids, -1)
+	for i := 0; i < 100; i++ {
+		if got := SoSOrientSign(m, ids, -1); got != want {
+			t.Fatalf("cache instability at %d", i)
+		}
+	}
+}
+
+func BenchmarkSoSOrientSignDegenerate(b *testing.B) {
+	m := [][]int64{{1, 2, 1}, {2, 4, 1}, {3, 6, 1}}
+	ids := []int{5, 17, 23}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = SoSOrientSign(m, ids, -1)
+	}
+}

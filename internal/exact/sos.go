@@ -1,0 +1,253 @@
+package exact
+
+import (
+	"sort"
+	"sync"
+)
+
+// Simulation of Simplicity (Edelsbrunner & Mücke, ACM TOG 1990).
+//
+// When an orientation determinant is exactly zero the point-in-simplex test
+// is ambiguous: depending on evaluation order a critical point sitting on a
+// cell boundary may be reported by both neighbouring cells or by neither.
+// SoS resolves every such tie deterministically by evaluating the sign of
+// the determinant of a symbolically perturbed matrix, where data entry
+// (vertex g, component c) is perturbed by ε^(2^idx) with a globally unique
+// index idx. For sufficiently small ε > 0 the perturbed determinant is
+// nonzero and its sign is the coefficient of the lowest-order surviving
+// monomial — which this package finds by enumerating the partial matchings
+// of perturbable entries in increasing ε-order and returning the first
+// nonzero mixed partial derivative (a minor of the original matrix).
+//
+// Because the perturbation is attached to global (vertex, component) pairs,
+// two cells sharing a vertex always see the same perturbed value, so the
+// resolved detection result is globally consistent: a critical point on a
+// shared face is reported by exactly one of the incident simplices.
+
+// SoSSign returns the sign of det(m) under Simulation of Simplicity.
+// m is an n×n matrix (n <= 4 in this repository); pert has the same shape
+// and holds the global perturbation index for each perturbable entry, or
+// -1 for entries that are exact by construction (the homogeneous column of
+// ones and the query point's row).
+//
+// The result is never 0 as long as some transversal of perturbable entries
+// exists whose complementary minor is nonzero — true for every orientation
+// matrix built by package cp.
+func SoSSign(m [][]int64, pert [][]int) int {
+	if s := detSignN(m); s != 0 {
+		return s
+	}
+	subsets := perturbationSubsets(pert)
+	n := len(m)
+	work := make([][]int64, n)
+	rowbuf := make([]int64, n*n)
+	for i := range work {
+		work[i] = rowbuf[i*n : (i+1)*n]
+	}
+	for _, s := range subsets {
+		for r := 0; r < n; r++ {
+			copy(work[r], m[r])
+		}
+		for _, p := range s.positions {
+			for c := 0; c < n; c++ {
+				work[p.r][c] = 0
+			}
+			work[p.r][p.c] = 1
+		}
+		if sg := detSignN(work); sg != 0 {
+			return sg
+		}
+	}
+	return 0
+}
+
+type matchPos struct{ r, c int }
+
+type matching struct {
+	positions []matchPos
+	// indices holds the global perturbation indices, sorted descending,
+	// used to order matchings by the magnitude of their ε-monomial.
+	indices []int
+}
+
+// perturbationSubsets enumerates every nonempty partial matching of
+// perturbable positions (distinct rows; duplicate columns are allowed and
+// simply yield zero minors) ordered by increasing ε-exponent, i.e. the
+// order in which SoS inspects the mixed partial derivatives.
+func perturbationSubsets(pert [][]int) []matching {
+	n := len(pert)
+	var all []matching
+	var rec func(row int, cur []matchPos)
+	rec = func(row int, cur []matchPos) {
+		if row == n {
+			if len(cur) > 0 {
+				pos := make([]matchPos, len(cur))
+				copy(pos, cur)
+				idx := make([]int, len(cur))
+				for i, p := range cur {
+					idx[i] = pert[p.r][p.c]
+				}
+				sort.Sort(sort.Reverse(sort.IntSlice(idx)))
+				all = append(all, matching{positions: pos, indices: idx})
+			}
+			return
+		}
+		// Skip this row.
+		rec(row+1, cur)
+		// Or perturb one entry of this row.
+		for c := range pert[row] {
+			if pert[row][c] >= 0 {
+				rec(row+1, append(cur, matchPos{row, c}))
+			}
+		}
+	}
+	rec(0, nil)
+	sort.Slice(all, func(i, j int) bool {
+		return lessEps(all[i].indices, all[j].indices)
+	})
+	return all
+}
+
+// lessEps reports whether the ε-monomial with exponent Σ 2^a[i] is larger
+// (i.e. earlier in SoS order) than the one with exponent Σ 2^b[i].
+// A larger monomial corresponds to a smaller exponent bitset, compared as
+// binary numbers via the descending-sorted index lists.
+func lessEps(a, b []int) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+// SoSOrientSign is a fast-path SoS evaluator for orientation matrices:
+// row r carries the data of vertex ids[r] (perturbation index of entry
+// (r,c) is ids[r]*(n-1)+c for the n-1 data columns; the ones column is
+// exact), and row `replace` (or none if -1) is the unperturbed origin row.
+//
+// Because the perturbation indices are an order-preserving function of the
+// vertex ids, the ε-order of the perturbation subsets depends only on the
+// *rank permutation* of the ids and on `replace` — so the ordered subset
+// list is cached per (n, replace, rank pattern) and each call reduces to
+// walking precomputed minors until one is nonzero. This is what keeps
+// detection fast on heavily degenerate data (masked regions, planar
+// fields) where the plain determinant is zero for a large fraction of
+// cells.
+func SoSOrientSign(m [][]int64, ids []int, replace int) int {
+	if s := detSignN(m); s != 0 {
+		return s
+	}
+	n := len(m)
+	key := sosKey(n, replace, ids)
+	cached, ok := sosCache.Load(key)
+	if !ok {
+		pert := make([][]int, n)
+		for r := 0; r < n; r++ {
+			pert[r] = make([]int, n)
+			for c := 0; c < n; c++ {
+				if r == replace || c == n-1 {
+					pert[r][c] = -1
+				} else {
+					// Rank-based surrogate indices: same relative order
+					// as the true global indices.
+					pert[r][c] = rankOf(ids, r)*(n-1) + c
+				}
+			}
+		}
+		subs := perturbationSubsets(pert)
+		plans := make([][]matchPos, len(subs))
+		for i, s := range subs {
+			plans[i] = s.positions
+		}
+		cached, _ = sosCache.LoadOrStore(key, plans)
+	}
+	plans := cached.([][]matchPos)
+	work := make([][]int64, n)
+	rowbuf := make([]int64, n*n)
+	for i := range work {
+		work[i] = rowbuf[i*n : (i+1)*n]
+	}
+	for _, positions := range plans {
+		for r := 0; r < n; r++ {
+			copy(work[r], m[r])
+		}
+		for _, p := range positions {
+			for c := 0; c < n; c++ {
+				work[p.r][c] = 0
+			}
+			work[p.r][p.c] = 1
+		}
+		if sg := detSignN(work); sg != 0 {
+			return sg
+		}
+	}
+	return 0
+}
+
+var sosCache sync.Map // sosCacheKey → [][]matchPos
+
+type sosCacheKey struct {
+	n, replace int
+	perm       uint16
+}
+
+func sosKey(n, replace int, ids []int) sosCacheKey {
+	var perm uint16
+	for r := 0; r < n; r++ {
+		perm = perm<<2 | uint16(rankOf(ids, r))
+	}
+	return sosCacheKey{n: n, replace: replace, perm: perm}
+}
+
+// rankOf returns the rank of ids[r] among ids (ids are distinct).
+func rankOf(ids []int, r int) int {
+	rank := 0
+	for _, id := range ids {
+		if id < ids[r] {
+			rank++
+		}
+	}
+	return rank
+}
+
+// DetN returns the exact determinant of an n×n int64 matrix, n <= 4,
+// using 128-bit accumulation (entries must obey the fixed-point magnitude
+// contract).
+func DetN(m [][]int64) Int128 { return detN(m) }
+
+// detSignN returns the exact sign of the determinant of an n×n int64
+// matrix, n <= 4, using 128-bit accumulation.
+func detSignN(m [][]int64) int {
+	return detN(m).Sign()
+}
+
+func detN(m [][]int64) Int128 {
+	switch len(m) {
+	case 1:
+		return Int128FromInt64(m[0][0])
+	case 2:
+		return Mul64(m[0][0], m[1][1]).Sub(Mul64(m[0][1], m[1][0]))
+	default:
+		var d Int128
+		sign := int64(1)
+		n := len(m)
+		for c := 0; c < n; c++ {
+			if m[0][c] != 0 {
+				sub := make([][]int64, n-1)
+				for r := 1; r < n; r++ {
+					row := make([]int64, 0, n-1)
+					for c2 := 0; c2 < n; c2++ {
+						if c2 != c {
+							row = append(row, m[r][c2])
+						}
+					}
+					sub[r-1] = row
+				}
+				d = d.Add(mulInt128ByInt64(detN(sub), sign*m[0][c]))
+			}
+			sign = -sign
+		}
+		return d
+	}
+}

@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"sync"
+
+	"repro/internal/datagen"
+	"repro/internal/field"
+)
+
+// Dataset construction is deterministic; cache instances so that several
+// experiments in one process share them.
+var (
+	dsMu    sync.Mutex
+	ocean2D = map[[2]int]*field.Field2D{}
+	hurr3D  = map[[3]int]*field.Field3D{}
+	nek3D   = map[int]*field.Field3D{}
+)
+
+func oceanField(cfg Config) *field.Field2D {
+	dsMu.Lock()
+	defer dsMu.Unlock()
+	key := [2]int{cfg.OceanNX, cfg.OceanNY}
+	f, ok := ocean2D[key]
+	if !ok {
+		f = datagen.Ocean(cfg.OceanNX, cfg.OceanNY)
+		ocean2D[key] = f
+	}
+	return f
+}
+
+func hurricaneField(cfg Config) *field.Field3D {
+	dsMu.Lock()
+	defer dsMu.Unlock()
+	key := [3]int{cfg.HurrNX, cfg.HurrNY, cfg.HurrNZ}
+	f, ok := hurr3D[key]
+	if !ok {
+		f = datagen.Hurricane(cfg.HurrNX, cfg.HurrNY, cfg.HurrNZ)
+		hurr3D[key] = f
+	}
+	return f
+}
+
+func nekField(cfg Config) *field.Field3D {
+	dsMu.Lock()
+	defer dsMu.Unlock()
+	f, ok := nek3D[cfg.NekN]
+	if !ok {
+		f = datagen.Nek5000(cfg.NekN, cfg.NekN, cfg.NekN)
+		nek3D[cfg.NekN] = f
+	}
+	return f
+}

@@ -1,0 +1,177 @@
+package field
+
+// Simplicial meshes over structured grids.
+//
+// Cell identifiers are dense integers:
+//
+//	2D: cell = (j*(NX-1) + i)*2 + t          with t ∈ {0,1}
+//	3D: cell = ((k*(NY-1) + j)*(NX-1) + i)*6 + t  with t ∈ {0..5}
+//
+// where (i,j[,k]) addresses the quad/cube whose lowest corner is that grid
+// point and t selects the triangle/tetrahedron inside it.
+
+// Mesh2D is the 2-triangles-per-quad decomposition of an NX×NY grid.
+type Mesh2D struct {
+	NX, NY int
+}
+
+// NumVertices returns the number of grid points.
+func (m Mesh2D) NumVertices() int { return m.NX * m.NY }
+
+// NumCells returns 2*(NX-1)*(NY-1).
+func (m Mesh2D) NumCells() int { return 2 * (m.NX - 1) * (m.NY - 1) }
+
+// MaxVertexCells is the maximum number of triangles incident to a vertex.
+const MaxVertexCells2D = 6
+
+// CellVertices returns the three vertex indices of triangle c.
+// Quad (i,j) splits along the v00–v11 diagonal:
+//
+//	t=0: {v00, v10, v11}   t=1: {v00, v11, v01}
+func (m Mesh2D) CellVertices(c int) [3]int {
+	t := c & 1
+	q := c >> 1
+	i := q % (m.NX - 1)
+	j := q / (m.NX - 1)
+	v00 := j*m.NX + i
+	v10 := v00 + 1
+	v01 := v00 + m.NX
+	v11 := v01 + 1
+	if t == 0 {
+		return [3]int{v00, v10, v11}
+	}
+	return [3]int{v00, v11, v01}
+}
+
+// VertexCells appends the triangles incident to vertex v to buf and
+// returns the result. An interior vertex has exactly 6 incident triangles.
+func (m Mesh2D) VertexCells(v int, buf []int) []int {
+	i := v % m.NX
+	j := v / m.NX
+	// Quad (qi,qj) contains the vertex as corner (ci,cj) = (i-qi, j-qj).
+	for dj := -1; dj <= 0; dj++ {
+		qj := j + dj
+		if qj < 0 || qj >= m.NY-1 {
+			continue
+		}
+		for di := -1; di <= 0; di++ {
+			qi := i + di
+			if qi < 0 || qi >= m.NX-1 {
+				continue
+			}
+			base := (qj*(m.NX-1) + qi) * 2
+			ci, cj := -di, -dj
+			// Membership per corner: v00 ∈ {t0,t1}, v10 ∈ {t0},
+			// v01 ∈ {t1}, v11 ∈ {t0,t1}.
+			switch {
+			case ci == 0 && cj == 0, ci == 1 && cj == 1:
+				buf = append(buf, base, base+1)
+			case ci == 1 && cj == 0:
+				buf = append(buf, base)
+			default: // ci == 0 && cj == 1
+				buf = append(buf, base+1)
+			}
+		}
+	}
+	return buf
+}
+
+// VertexPos returns the grid coordinates of vertex v.
+func (m Mesh2D) VertexPos(v int) (i, j int) {
+	return v % m.NX, v / m.NX
+}
+
+// Mesh3D is the 6-tetrahedra-per-cube (Freudenthal) decomposition.
+type Mesh3D struct {
+	NX, NY, NZ int
+}
+
+// MaxVertexCells3D is the maximum number of tetrahedra incident to a vertex.
+const MaxVertexCells3D = 24
+
+// tetCorners lists, for each of the 6 tetrahedra of a unit cube, its 4
+// corners encoded as bitmasks ox | oy<<1 | oz<<2. Tetrahedron p follows the
+// monotone lattice path 000 → e_{a} → e_{a}+e_{b} → 111 for each
+// permutation (a,b,c) of the axes.
+var tetCorners [6][4]int
+
+// cornerTets[c] lists the tetrahedra containing cube corner c.
+var cornerTets [8][]int
+
+func init() {
+	perms := [6][3]int{{0, 1, 2}, {0, 2, 1}, {1, 0, 2}, {1, 2, 0}, {2, 0, 1}, {2, 1, 0}}
+	for t, p := range perms {
+		c0 := 0
+		c1 := c0 | 1<<p[0]
+		c2 := c1 | 1<<p[1]
+		c3 := 7
+		tetCorners[t] = [4]int{c0, c1, c2, c3}
+	}
+	for t := range tetCorners {
+		for _, c := range tetCorners[t] {
+			cornerTets[c] = append(cornerTets[c], t)
+		}
+	}
+}
+
+// NumVertices returns the number of grid points.
+func (m Mesh3D) NumVertices() int { return m.NX * m.NY * m.NZ }
+
+// NumCells returns 6*(NX-1)*(NY-1)*(NZ-1).
+func (m Mesh3D) NumCells() int { return 6 * (m.NX - 1) * (m.NY - 1) * (m.NZ - 1) }
+
+// CellVertices returns the four vertex indices of tetrahedron c.
+func (m Mesh3D) CellVertices(c int) [4]int {
+	t := c % 6
+	q := c / 6
+	i := q % (m.NX - 1)
+	q /= m.NX - 1
+	j := q % (m.NY - 1)
+	k := q / (m.NY - 1)
+	var vs [4]int
+	for n, corner := range tetCorners[t] {
+		ox := corner & 1
+		oy := (corner >> 1) & 1
+		oz := (corner >> 2) & 1
+		vs[n] = ((k+oz)*m.NY+(j+oy))*m.NX + (i + ox)
+	}
+	return vs
+}
+
+// VertexPos returns the grid coordinates of vertex v.
+func (m Mesh3D) VertexPos(v int) (i, j, k int) {
+	return v % m.NX, (v / m.NX) % m.NY, v / (m.NX * m.NY)
+}
+
+// VertexCells appends the tetrahedra incident to vertex v to buf and
+// returns the result. An interior vertex has exactly 24 incident
+// tetrahedra (matching the cost analysis in the paper).
+func (m Mesh3D) VertexCells(v int, buf []int) []int {
+	i := v % m.NX
+	j := (v / m.NX) % m.NY
+	k := v / (m.NX * m.NY)
+	for dk := -1; dk <= 0; dk++ {
+		qk := k + dk
+		if qk < 0 || qk >= m.NZ-1 {
+			continue
+		}
+		for dj := -1; dj <= 0; dj++ {
+			qj := j + dj
+			if qj < 0 || qj >= m.NY-1 {
+				continue
+			}
+			for di := -1; di <= 0; di++ {
+				qi := i + di
+				if qi < 0 || qi >= m.NX-1 {
+					continue
+				}
+				corner := (-di) | (-dj)<<1 | (-dk)<<2
+				base := ((qk*(m.NY-1)+qj)*(m.NX-1) + qi) * 6
+				for _, t := range cornerTets[corner] {
+					buf = append(buf, base+t)
+				}
+			}
+		}
+	}
+	return buf
+}

@@ -1,0 +1,93 @@
+package field
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Property: for random mesh dimensions, vertex↔cell adjacency is
+// symmetric and incidence counts are exact.
+func TestQuickMesh2DAdjacency(t *testing.T) {
+	f := func(nxr, nyr uint8) bool {
+		nx := int(nxr%14) + 2
+		ny := int(nyr%14) + 2
+		m := Mesh2D{NX: nx, NY: ny}
+		// Total incidences = 3 per cell.
+		total := 0
+		for v := 0; v < m.NumVertices(); v++ {
+			cells := m.VertexCells(v, nil)
+			total += len(cells)
+			for _, c := range cells {
+				found := false
+				for _, cv := range m.CellVertices(c) {
+					if cv == v {
+						found = true
+					}
+				}
+				if !found {
+					return false
+				}
+			}
+		}
+		return total == 3*m.NumCells()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickMesh3DAdjacency(t *testing.T) {
+	f := func(nxr, nyr, nzr uint8) bool {
+		nx := int(nxr%5) + 2
+		ny := int(nyr%5) + 2
+		nz := int(nzr%5) + 2
+		m := Mesh3D{NX: nx, NY: ny, NZ: nz}
+		total := 0
+		for v := 0; v < m.NumVertices(); v++ {
+			cells := m.VertexCells(v, nil)
+			total += len(cells)
+			for _, c := range cells {
+				found := false
+				for _, cv := range m.CellVertices(c) {
+					if cv == v {
+						found = true
+					}
+				}
+				if !found {
+					return false
+				}
+			}
+		}
+		return total == 4*m.NumCells()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every cell id decodes to vertices inside the grid, and
+// distinct cells never share all their vertices.
+func TestQuickMesh2DCellsDistinct(t *testing.T) {
+	f := func(nxr, nyr uint8) bool {
+		nx := int(nxr%10) + 2
+		ny := int(nyr%10) + 2
+		m := Mesh2D{NX: nx, NY: ny}
+		seen := map[[3]int]bool{}
+		for c := 0; c < m.NumCells(); c++ {
+			vs := m.CellVertices(c)
+			for _, v := range vs {
+				if v < 0 || v >= m.NumVertices() {
+					return false
+				}
+			}
+			if seen[vs] {
+				return false
+			}
+			seen[vs] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

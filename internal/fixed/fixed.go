@@ -1,0 +1,125 @@
+// Package fixed converts floating-point vector fields to the fixed-point
+// integer representation consumed by the compression pipeline.
+//
+// Algorithm 2 of the paper takes an "input fixed-point vector field" and a
+// "fixed-point error bound τ′ transformed from the user-specified error
+// bound τ". Working on integers makes every determinant predicate exact
+// (see package exact) and makes compression/decompression bit-reproducible
+// across platforms.
+//
+// The scale is a power of two chosen so that every fixed-point magnitude is
+// at most MaxMagnitude = 2^20. Under that contract all 3×3 orientation
+// determinants fit in int64 and all 4×4 determinants fit in Int128, and the
+// reconstruction fixed/scale is exactly representable in float32.
+package fixed
+
+import (
+	"errors"
+	"math"
+)
+
+// MaxMagnitude bounds |fixed-point value|; it is the contract that makes
+// the predicates in package exact overflow-free.
+const MaxMagnitude = 1 << 20
+
+// Transform holds the float↔fixed mapping for one dataset. All components
+// of a vector field share a single transform so that the user's absolute
+// error bound τ means the same thing for every component.
+type Transform struct {
+	// Scale is the power-of-two multiplier: fixed = round(value * Scale).
+	Scale float64
+	// Shift is log2(Scale); kept for headers/serialization.
+	Shift int
+}
+
+// ErrEmpty is returned by Fit when no values are provided.
+var ErrEmpty = errors.New("fixed: no data to fit")
+
+// Fit chooses the largest power-of-two scale such that the fixed-point
+// magnitude of every value stays within MaxMagnitude/2 (the halving leaves
+// headroom for the error bound relaxation, which may push a perturbed value
+// up to τ′ beyond its original magnitude).
+func Fit(components ...[]float32) (Transform, error) {
+	maxAbs := 0.0
+	n := 0
+	for _, c := range components {
+		n += len(c)
+		for _, v := range c {
+			a := math.Abs(float64(v))
+			if a > maxAbs {
+				maxAbs = a
+			}
+		}
+	}
+	if n == 0 {
+		return Transform{}, ErrEmpty
+	}
+	return FromMaxAbs(maxAbs), nil
+}
+
+// FromMaxAbs builds the transform for data whose absolute values do not
+// exceed maxAbs. Distributed programs compute maxAbs with an allreduce
+// over per-rank maxima and call this on every rank, yielding the same
+// transform everywhere.
+func FromMaxAbs(maxAbs float64) Transform {
+	if maxAbs <= 0 || math.IsNaN(maxAbs) || math.IsInf(maxAbs, 0) {
+		return Transform{Scale: 1, Shift: 0}
+	}
+	// Largest k with maxAbs * 2^k <= MaxMagnitude/2.
+	k := int(math.Floor(math.Log2(float64(MaxMagnitude/2) / maxAbs)))
+	// Guard against pathological tiny fields blowing up the scale: beyond
+	// 2^40 additional precision is meaningless for float32 inputs.
+	if k > 40 {
+		k = 40
+	}
+	return Transform{Scale: math.Ldexp(1, k), Shift: k}
+}
+
+// FromShift rebuilds a Transform from its serialized Shift.
+func FromShift(shift int) Transform {
+	return Transform{Scale: math.Ldexp(1, shift), Shift: shift}
+}
+
+// ToFixed converts src to fixed point into dst (which must have the same
+// length), rounding to nearest.
+func (t Transform) ToFixed(src []float32, dst []int64) {
+	if len(src) != len(dst) {
+		panic("fixed: length mismatch")
+	}
+	for i, v := range src {
+		dst[i] = int64(math.RoundToEven(float64(v) * t.Scale))
+	}
+}
+
+// ToFloat converts fixed-point values back to float32 into dst.
+// Because the scale is a power of two and magnitudes are below 2^24, the
+// conversion is exact.
+func (t Transform) ToFloat(src []int64, dst []float32) {
+	if len(src) != len(dst) {
+		panic("fixed: length mismatch")
+	}
+	inv := 1 / t.Scale
+	for i, v := range src {
+		dst[i] = float32(float64(v) * inv)
+	}
+}
+
+// Resolution returns the representable error floor of the transform: the
+// float→fixed rounding alone introduces errors up to half this value, so
+// absolute error bounds below Resolution() cannot be honored even by
+// lossless fixed-point storage.
+func (t Transform) Resolution() float64 {
+	return 1 / t.Scale
+}
+
+// Bound converts the user-specified absolute error bound τ (in original
+// float units) to a fixed-point bound τ′. One unit is subtracted so the
+// total error — quantization error of at most τ′ units plus the half-unit
+// float→fixed rounding — never exceeds τ in the original units.
+func (t Transform) Bound(tau float64) int64 {
+	b := int64(math.Floor(tau*t.Scale)) - 1
+	if b < 0 {
+		b = 0
+	}
+	return b
+}

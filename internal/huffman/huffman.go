@@ -1,0 +1,321 @@
+// Package huffman implements a canonical Huffman coder over non-negative
+// integer alphabets. It is the first lossless stage of the compression
+// pipeline: quantization codes and error-bound exponents are Huffman-coded
+// before the byte stream is handed to DEFLATE (package encoder).
+package huffman
+
+import (
+	"container/heap"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/bitstream"
+)
+
+// maxCodeLen bounds code lengths so codes always fit a single
+// bitstream write. Frequencies are rescaled if the tree gets deeper.
+const maxCodeLen = 48
+
+// Compress encodes syms into a self-contained block (count, code length
+// table, padded code bits).
+func Compress(syms []uint32) []byte {
+	lengths := codeLengths(syms)
+	codes := canonicalCodes(lengths)
+
+	var head []byte
+	head = binary.AppendUvarint(head, uint64(len(syms)))
+	// Serialize the nonzero code lengths as (delta symbol, length) pairs.
+	var nz []uint32
+	for s, l := range lengths {
+		if l > 0 {
+			nz = append(nz, s)
+		}
+	}
+	sort.Slice(nz, func(i, j int) bool { return nz[i] < nz[j] })
+	head = binary.AppendUvarint(head, uint64(len(nz)))
+	prev := uint32(0)
+	for _, s := range nz {
+		head = binary.AppendUvarint(head, uint64(s-prev))
+		head = append(head, byte(lengths[s]))
+		prev = s
+	}
+
+	var w bitstream.Writer
+	for _, s := range syms {
+		c := codes[s]
+		w.WriteBits(c.bits, uint(c.len))
+	}
+	return append(head, w.Bytes()...)
+}
+
+// Decompress decodes a block produced by Compress.
+func Decompress(data []byte) ([]uint32, error) {
+	n, k := binary.Uvarint(data)
+	if k <= 0 {
+		return nil, errors.New("huffman: bad count")
+	}
+	data = data[k:]
+	// Every symbol costs at least one bit; reject counts a corrupt header
+	// could not possibly back with data (prevents huge allocations).
+	if n > uint64(len(data))*8+1 {
+		return nil, errors.New("huffman: symbol count exceeds stream capacity")
+	}
+	nnz, k := binary.Uvarint(data)
+	if k <= 0 {
+		return nil, errors.New("huffman: bad table size")
+	}
+	data = data[k:]
+	if nnz > uint64(len(data)) {
+		return nil, errors.New("huffman: table size exceeds stream capacity")
+	}
+	lengths := map[uint32]uint8{}
+	prev := uint32(0)
+	for i := uint64(0); i < nnz; i++ {
+		d, k := binary.Uvarint(data)
+		if k <= 0 || len(data) < k+1 {
+			return nil, errors.New("huffman: truncated table")
+		}
+		sym := prev + uint32(d)
+		lengths[sym] = data[k]
+		data = data[k+1:]
+		prev = sym
+	}
+	dec, err := newDecoder(lengths)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]uint32, n)
+	r := bitstream.NewReader(data)
+	for i := range out {
+		s, err := dec.decode(r)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
+type code struct {
+	bits uint64
+	len  uint8
+}
+
+// codeLengths computes Huffman code lengths for the symbols appearing in
+// syms, rescaling frequencies until the depth limit is met.
+func codeLengths(syms []uint32) map[uint32]uint8 {
+	freq := map[uint32]uint64{}
+	for _, s := range syms {
+		freq[s]++
+	}
+	lengths := map[uint32]uint8{}
+	switch len(freq) {
+	case 0:
+		return lengths
+	case 1:
+		for s := range freq {
+			lengths[s] = 1
+		}
+		return lengths
+	}
+	for {
+		l := buildLengths(freq)
+		deep := false
+		for s, d := range l {
+			if d > maxCodeLen {
+				deep = true
+			}
+			lengths[s] = d
+		}
+		if !deep {
+			return lengths
+		}
+		for s := range freq {
+			freq[s] = freq[s]/2 + 1
+		}
+	}
+}
+
+type hnode struct {
+	freq        uint64
+	sym         uint32
+	left, right *hnode
+	order       int // tie-break for determinism
+}
+
+type hheap []*hnode
+
+func (h hheap) Len() int { return len(h) }
+func (h hheap) Less(i, j int) bool {
+	if h[i].freq != h[j].freq {
+		return h[i].freq < h[j].freq
+	}
+	return h[i].order < h[j].order
+}
+func (h hheap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *hheap) Push(x interface{}) { *h = append(*h, x.(*hnode)) }
+func (h *hheap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+func buildLengths(freq map[uint32]uint64) map[uint32]uint8 {
+	syms := make([]uint32, 0, len(freq))
+	for s := range freq {
+		syms = append(syms, s)
+	}
+	sort.Slice(syms, func(i, j int) bool { return syms[i] < syms[j] })
+	h := make(hheap, 0, len(syms))
+	order := 0
+	for _, s := range syms {
+		h = append(h, &hnode{freq: freq[s], sym: s, order: order})
+		order++
+	}
+	heap.Init(&h)
+	for h.Len() > 1 {
+		a := heap.Pop(&h).(*hnode)
+		b := heap.Pop(&h).(*hnode)
+		heap.Push(&h, &hnode{freq: a.freq + b.freq, left: a, right: b, order: order})
+		order++
+	}
+	root := h[0]
+	lengths := map[uint32]uint8{}
+	var walk func(n *hnode, depth uint8)
+	walk = func(n *hnode, depth uint8) {
+		if n.left == nil {
+			if depth == 0 {
+				depth = 1
+			}
+			lengths[n.sym] = depth
+			return
+		}
+		walk(n.left, depth+1)
+		walk(n.right, depth+1)
+	}
+	walk(root, 0)
+	return lengths
+}
+
+// canonicalCodes assigns canonical codes (shorter codes numerically first,
+// ties broken by symbol order). Code bits are stored MSB-first within the
+// code so decoding can proceed bit by bit.
+func canonicalCodes(lengths map[uint32]uint8) map[uint32]code {
+	type sl struct {
+		sym uint32
+		len uint8
+	}
+	list := make([]sl, 0, len(lengths))
+	for s, l := range lengths {
+		list = append(list, sl{s, l})
+	}
+	sort.Slice(list, func(i, j int) bool {
+		if list[i].len != list[j].len {
+			return list[i].len < list[j].len
+		}
+		return list[i].sym < list[j].sym
+	})
+	codes := make(map[uint32]code, len(list))
+	c := uint64(0)
+	prevLen := uint8(0)
+	for _, e := range list {
+		c <<= uint(e.len - prevLen)
+		codes[e.sym] = code{bits: reverseBits(c, e.len), len: e.len}
+		c++
+		prevLen = e.len
+	}
+	return codes
+}
+
+// reverseBits reverses the low n bits of v so that an MSB-first canonical
+// code can be emitted through the LSB-first bitstream writer.
+func reverseBits(v uint64, n uint8) uint64 {
+	var r uint64
+	for i := uint8(0); i < n; i++ {
+		r = (r << 1) | (v & 1)
+		v >>= 1
+	}
+	return r
+}
+
+// decoder performs canonical decoding with the first-code-per-length
+// method.
+type decoder struct {
+	// For each length l: firstCode[l] is the numeric value of the first
+	// canonical code of that length, and symbols[l] the symbols in order.
+	firstCode [maxCodeLen + 1]uint64
+	symbols   [maxCodeLen + 1][]uint32
+	maxLen    uint8
+}
+
+func newDecoder(lengths map[uint32]uint8) (*decoder, error) {
+	d := &decoder{}
+	type sl struct {
+		sym uint32
+		len uint8
+	}
+	list := make([]sl, 0, len(lengths))
+	for s, l := range lengths {
+		if l == 0 || l > maxCodeLen {
+			return nil, fmt.Errorf("huffman: invalid code length %d", l)
+		}
+		list = append(list, sl{s, l})
+		if l > d.maxLen {
+			d.maxLen = l
+		}
+	}
+	sort.Slice(list, func(i, j int) bool {
+		if list[i].len != list[j].len {
+			return list[i].len < list[j].len
+		}
+		return list[i].sym < list[j].sym
+	})
+	c := uint64(0)
+	prevLen := uint8(0)
+	for _, e := range list {
+		c <<= uint(e.len - prevLen)
+		if len(d.symbols[e.len]) == 0 {
+			d.firstCode[e.len] = c
+		}
+		d.symbols[e.len] = append(d.symbols[e.len], e.sym)
+		c++
+		prevLen = e.len
+	}
+	return d, nil
+}
+
+func (d *decoder) decode(r *bitstream.Reader) (uint32, error) {
+	var c uint64
+	for l := uint8(1); l <= d.maxLen; l++ {
+		b, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		c = (c << 1) | uint64(b)
+		syms := d.symbols[l]
+		if len(syms) > 0 {
+			idx := c - d.firstCode[l]
+			if c >= d.firstCode[l] && idx < uint64(len(syms)) {
+				return syms[idx], nil
+			}
+		}
+	}
+	return 0, errors.New("huffman: invalid code")
+}
+
+// Zigzag maps a signed integer to an unsigned one with small magnitudes
+// first (0→0, -1→1, 1→2, ...), the standard preparation of quantization
+// codes for entropy coding.
+func Zigzag(v int64) uint32 {
+	return uint32((v << 1) ^ (v >> 63))
+}
+
+// Unzigzag inverts Zigzag.
+func Unzigzag(u uint32) int64 {
+	v := int64(u)
+	return (v >> 1) ^ -(v & 1)
+}

@@ -1,0 +1,169 @@
+package huffman
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func roundTrip(t *testing.T, syms []uint32) {
+	t.Helper()
+	blob := Compress(syms)
+	got, err := Decompress(blob)
+	if err != nil {
+		t.Fatalf("decompress: %v", err)
+	}
+	if len(got) != len(syms) {
+		t.Fatalf("length %d, want %d", len(got), len(syms))
+	}
+	for i := range syms {
+		if got[i] != syms[i] {
+			t.Fatalf("symbol %d: %d != %d", i, got[i], syms[i])
+		}
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	roundTrip(t, nil)
+}
+
+func TestSingleSymbol(t *testing.T) {
+	roundTrip(t, []uint32{7})
+	roundTrip(t, []uint32{7, 7, 7, 7, 7})
+}
+
+func TestTwoSymbols(t *testing.T) {
+	roundTrip(t, []uint32{0, 1, 0, 0, 1, 0})
+}
+
+func TestSkewedDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	syms := make([]uint32, 10000)
+	for i := range syms {
+		// Geometric-ish distribution like quantization codes.
+		v := uint32(0)
+		for rng.Float64() < 0.5 && v < 40 {
+			v++
+		}
+		syms[i] = v
+	}
+	blob := Compress(syms)
+	if len(blob) >= 2*len(syms) {
+		t.Errorf("no compression achieved: %d bytes for %d symbols", len(blob), len(syms))
+	}
+	roundTrip(t, syms)
+}
+
+func TestSparseAlphabet(t *testing.T) {
+	roundTrip(t, []uint32{0, 1000000, 5, 1000000, 0, 42})
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(raw []uint16) bool {
+		syms := make([]uint32, len(raw))
+		for i, v := range raw {
+			syms[i] = uint32(v)
+		}
+		blob := Compress(syms)
+		got, err := Decompress(blob)
+		if err != nil || len(got) != len(syms) {
+			return false
+		}
+		for i := range syms {
+			if got[i] != syms[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompressionBeatsRawOnRealisticCodes(t *testing.T) {
+	// Mostly-zero quantization codes: Huffman should get close to the
+	// entropy, far below 4 bytes/symbol.
+	rng := rand.New(rand.NewSource(32))
+	syms := make([]uint32, 100000)
+	for i := range syms {
+		if rng.Float64() < 0.9 {
+			syms[i] = 0
+		} else {
+			syms[i] = uint32(rng.Intn(16))
+		}
+	}
+	blob := Compress(syms)
+	if len(blob) > len(syms) {
+		t.Errorf("blob %d bytes for %d mostly-zero symbols", len(blob), len(syms))
+	}
+}
+
+func TestDecompressCorrupt(t *testing.T) {
+	if _, err := Decompress(nil); err == nil {
+		t.Error("nil input should error")
+	}
+	blob := Compress([]uint32{1, 2, 3, 4, 5, 6, 7, 8})
+	if _, err := Decompress(blob[:2]); err == nil {
+		t.Error("truncated input should error")
+	}
+}
+
+func TestZigzag(t *testing.T) {
+	cases := map[int64]uint32{0: 0, -1: 1, 1: 2, -2: 3, 2: 4, 100: 200, -100: 199}
+	for v, want := range cases {
+		if got := Zigzag(v); got != want {
+			t.Errorf("Zigzag(%d) = %d, want %d", v, got, want)
+		}
+		if back := Unzigzag(want); back != v {
+			t.Errorf("Unzigzag(%d) = %d, want %d", want, back, v)
+		}
+	}
+}
+
+func TestZigzagRoundTripQuick(t *testing.T) {
+	f := func(v int32) bool {
+		return Unzigzag(Zigzag(int64(v))) == int64(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeterministicOutput(t *testing.T) {
+	syms := []uint32{3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5}
+	a := Compress(syms)
+	b := Compress(syms)
+	if string(a) != string(b) {
+		t.Error("Compress not deterministic")
+	}
+}
+
+func BenchmarkCompress(b *testing.B) {
+	rng := rand.New(rand.NewSource(33))
+	syms := make([]uint32, 1<<16)
+	for i := range syms {
+		syms[i] = uint32(rng.Intn(64))
+	}
+	b.SetBytes(int64(len(syms) * 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Compress(syms)
+	}
+}
+
+func BenchmarkDecompress(b *testing.B) {
+	rng := rand.New(rand.NewSource(34))
+	syms := make([]uint32, 1<<16)
+	for i := range syms {
+		syms[i] = uint32(rng.Intn(64))
+	}
+	blob := Compress(syms)
+	b.SetBytes(int64(len(syms) * 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decompress(blob); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

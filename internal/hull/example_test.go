@@ -1,0 +1,45 @@
+package hull_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/hull"
+)
+
+// Example compresses a point cloud while preserving its convex hull.
+func Example() {
+	pts := []hull.Point{
+		{0, 0}, {4, 0}, {4, 4}, {0, 4}, // hull corners
+		{2, 2}, {1, 3}, {3, 1}, {2, 1}, // interior
+	}
+	tr, err := hull.FitTransform(pts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	before := hull.HullWithTransform(pts, tr)
+
+	blob, err := hull.Compress(pts, hull.Options{Tau: 0.3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	dec, err := hull.Decompress(blob)
+	if err != nil {
+		log.Fatal(err)
+	}
+	after := hull.HullWithTransform(dec, tr)
+
+	fmt.Println("hull size before:", len(before))
+	fmt.Println("hull size after: ", len(after))
+	same := len(before) == len(after)
+	for i := range before {
+		if before[i] != after[i] {
+			same = false
+		}
+	}
+	fmt.Println("hull preserved:", same)
+	// Output:
+	// hull size before: 4
+	// hull size after:  4
+	// hull preserved: true
+}

@@ -1,0 +1,193 @@
+package hull
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func square() []Point {
+	return []Point{{0, 0}, {4, 0}, {4, 4}, {0, 4}, {2, 2}, {1, 3}, {3, 1}}
+}
+
+func TestConvexHullSquare(t *testing.T) {
+	pts := square()
+	hull, err := HullOf(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hull) != 4 {
+		t.Fatalf("hull has %d vertices, want 4 (%v)", len(hull), hull)
+	}
+	want := map[int]bool{0: true, 1: true, 2: true, 3: true}
+	for _, h := range hull {
+		if !want[h] {
+			t.Errorf("interior point %d on hull", h)
+		}
+	}
+}
+
+func TestConvexHullCollinear(t *testing.T) {
+	// All points on a line: the hull degenerates; it must not contain
+	// interior collinear points more than once or panic.
+	pts := []Point{{0, 0}, {1, 1}, {2, 2}, {3, 3}}
+	hull, err := HullOf(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hull) == 0 || len(hull) > 4 {
+		t.Fatalf("degenerate hull %v", hull)
+	}
+}
+
+func TestConvexHullDuplicates(t *testing.T) {
+	pts := []Point{{0, 0}, {0, 0}, {1, 0}, {1, 0}, {0.5, 2}, {0.5, 2}}
+	hull, err := HullOf(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hull) != 3 {
+		t.Fatalf("hull %v, want a triangle", hull)
+	}
+}
+
+func TestConvexHullCCWOrientation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pts := make([]Point, 60)
+	for i := range pts {
+		pts[i] = Point{rng.Float64()*10 - 5, rng.Float64()*10 - 5}
+	}
+	tr, err := FitTransform(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hull := HullWithTransform(pts, tr)
+	if len(hull) < 3 {
+		t.Fatalf("hull too small: %v", hull)
+	}
+	// Signed area must be positive (counterclockwise).
+	area := 0.0
+	for i := 0; i < len(hull); i++ {
+		a := pts[hull[i]]
+		b := pts[hull[(i+1)%len(hull)]]
+		area += a.X*b.Y - b.X*a.Y
+	}
+	if area <= 0 {
+		t.Errorf("hull not counterclockwise (area %v)", area)
+	}
+}
+
+func TestCompressPreservesHull(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 15; trial++ {
+		n := 20 + rng.Intn(60)
+		pts := make([]Point, n)
+		for i := range pts {
+			pts[i] = Point{rng.NormFloat64() * 3, rng.NormFloat64() * 3}
+		}
+		tr, err := FitTransform(pts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		before := HullWithTransform(pts, tr)
+
+		blob, err := Compress(pts, Options{Tau: 0.2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, err := Decompress(blob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		after := HullWithTransform(dec, tr)
+		if len(after) != len(before) {
+			t.Fatalf("trial %d: hull size changed %d -> %d", trial, len(before), len(after))
+		}
+		for i := range before {
+			if before[i] != after[i] {
+				t.Fatalf("trial %d: hull changed at position %d: %v -> %v", trial, i, before, after)
+			}
+		}
+		// Error bound holds.
+		for i := range pts {
+			if math.Abs(pts[i].X-dec[i].X) > 0.2 || math.Abs(pts[i].Y-dec[i].Y) > 0.2 {
+				t.Fatalf("trial %d: coordinate error exceeds bound", trial)
+			}
+		}
+	}
+}
+
+func TestCompressAchievesReduction(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pts := make([]Point, 4000)
+	for i := range pts {
+		pts[i] = Point{rng.NormFloat64(), rng.NormFloat64()}
+	}
+	blob, err := Compress(pts, Options{Tau: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := 8 * len(pts)
+	if len(blob) >= raw {
+		t.Errorf("no reduction: %d raw vs %d compressed", raw, len(blob))
+	}
+	t.Logf("point cloud %d -> %d bytes (%.1fx)", raw, len(blob), float64(raw)/float64(len(blob)))
+}
+
+func TestHullPointsStayPut(t *testing.T) {
+	// Hull vertices are heavily constrained; their positions must move
+	// far less than interior points' bound allows.
+	pts := square()
+	tr, _ := FitTransform(pts)
+	before := HullWithTransform(pts, tr)
+	blob, err := Compress(pts, Options{Tau: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := Decompress(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := HullWithTransform(dec, tr)
+	if len(before) != len(after) {
+		t.Fatalf("hull changed: %v -> %v", before, after)
+	}
+}
+
+func TestCompressErrors(t *testing.T) {
+	if _, err := Compress(nil, Options{Tau: 0.1}); err == nil {
+		t.Error("empty set must fail")
+	}
+	if _, err := Compress(square(), Options{}); err == nil {
+		t.Error("zero Tau must fail")
+	}
+	if _, err := Decompress([]byte{1, 2, 3}); err == nil {
+		t.Error("garbage must fail")
+	}
+}
+
+func TestDegenerateOnEdgePreserved(t *testing.T) {
+	// A point exactly on a hull edge: Ψ = 0 pins it and the edge
+	// endpoints; the SoS-resolved hull must be identical after
+	// compression.
+	pts := []Point{{0, 0}, {4, 0}, {4, 4}, {0, 4}, {2, 0}, {1, 1}}
+	tr, _ := FitTransform(pts)
+	before := HullWithTransform(pts, tr)
+	blob, err := Compress(pts, Options{Tau: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := Decompress(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := HullWithTransform(dec, tr)
+	if len(before) != len(after) {
+		t.Fatalf("degenerate hull changed: %v -> %v", before, after)
+	}
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatalf("degenerate hull changed: %v -> %v", before, after)
+		}
+	}
+}

@@ -1,0 +1,51 @@
+// Package iosim models a parallel filesystem (GPFS-class) for the I/O
+// performance study of Fig. 9: reading and writing time is governed by an
+// aggregate backend bandwidth shared by all nodes, a per-node injection
+// cap, and a per-operation latency.
+package iosim
+
+import "time"
+
+// FileSystem is the cost model of the parallel filesystem.
+type FileSystem struct {
+	// Aggregate is the backend bandwidth in bytes/second shared by all
+	// writers/readers (default 40 GB/s).
+	Aggregate float64
+	// PerNode caps each node's injection bandwidth (default 3 GB/s).
+	PerNode float64
+	// Latency is the per-operation overhead (default 2ms).
+	Latency time.Duration
+	// CoresPerNode maps ranks to nodes (default 128, the paper's nodes).
+	CoresPerNode int
+}
+
+func (fs FileSystem) withDefaults() FileSystem {
+	if fs.Aggregate == 0 {
+		fs.Aggregate = 40e9
+	}
+	if fs.PerNode == 0 {
+		fs.PerNode = 3e9
+	}
+	if fs.Latency == 0 {
+		fs.Latency = 2 * time.Millisecond
+	}
+	if fs.CoresPerNode == 0 {
+		fs.CoresPerNode = 128
+	}
+	return fs
+}
+
+// TransferTime returns the time for `ranks` processes to collectively move
+// totalBytes to or from the filesystem.
+func (fs FileSystem) TransferTime(totalBytes int64, ranks int) time.Duration {
+	fs = fs.withDefaults()
+	nodes := (ranks + fs.CoresPerNode - 1) / fs.CoresPerNode
+	if nodes < 1 {
+		nodes = 1
+	}
+	bw := fs.Aggregate
+	if nb := float64(nodes) * fs.PerNode; nb < bw {
+		bw = nb
+	}
+	return fs.Latency + time.Duration(float64(totalBytes)/bw*float64(time.Second))
+}

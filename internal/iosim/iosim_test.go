@@ -1,0 +1,46 @@
+package iosim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTransferTimeScalesWithSize(t *testing.T) {
+	fs := FileSystem{}
+	small := fs.TransferTime(1<<20, 512)
+	large := fs.TransferTime(1<<30, 512)
+	if large <= small {
+		t.Errorf("larger transfer should take longer: %v vs %v", small, large)
+	}
+}
+
+func TestTransferTimeNodeCap(t *testing.T) {
+	fs := FileSystem{Aggregate: 40e9, PerNode: 3e9, CoresPerNode: 128, Latency: time.Millisecond}
+	// 1 node (128 ranks) is capped at 3 GB/s; 512 ranks = 4 nodes = 12 GB/s.
+	one := fs.TransferTime(3e9, 128)
+	four := fs.TransferTime(3e9, 512)
+	if four >= one {
+		t.Errorf("more nodes should be faster below the aggregate cap: %v vs %v", four, one)
+	}
+	// Beyond the aggregate cap adding nodes does not help.
+	many := fs.TransferTime(3e9, 128*100)
+	agg := fs.TransferTime(3e9, 128*14) // 14 nodes * 3 = 42 > 40 GB/s cap
+	diff := many - agg
+	if diff < -time.Millisecond || diff > time.Millisecond {
+		t.Errorf("aggregate cap not respected: %v vs %v", many, agg)
+	}
+}
+
+func TestTransferTimeIncludesLatency(t *testing.T) {
+	fs := FileSystem{Latency: 50 * time.Millisecond}
+	if got := fs.TransferTime(0, 1); got < 50*time.Millisecond {
+		t.Errorf("latency missing: %v", got)
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	fs := FileSystem{}.withDefaults()
+	if fs.Aggregate == 0 || fs.PerNode == 0 || fs.Latency == 0 || fs.CoresPerNode == 0 {
+		t.Error("defaults not applied")
+	}
+}

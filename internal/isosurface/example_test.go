@@ -1,0 +1,41 @@
+package isosurface_test
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"repro/internal/isosurface"
+)
+
+// Example compresses a scalar field while preserving the topology of the
+// 0.5-level isosurface.
+func Example() {
+	f := isosurface.NewField(32, 32, 1)
+	for j := 0; j < 32; j++ {
+		for i := 0; i < 32; i++ {
+			x := float64(i)/31 - 0.5
+			y := float64(j)/31 - 0.5
+			f.Data[j*32+i] = float32(math.Exp(-8 * (x*x + y*y)))
+		}
+	}
+	blob, err := isosurface.Compress(f, isosurface.Options{Tau: 0.05, Isovalues: []float64{0.5}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	dec, err := isosurface.Decompress(blob)
+	if err != nil {
+		log.Fatal(err)
+	}
+	a := isosurface.CellCases(f, 0.5)
+	b := isosurface.CellCases(dec, 0.5)
+	same := true
+	for c := range a {
+		if a[c] != b[c] {
+			same = false
+		}
+	}
+	fmt.Println("isosurface preserved:", same)
+	// Output:
+	// isosurface preserved: true
+}

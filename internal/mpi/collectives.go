@@ -1,0 +1,79 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"math"
+	"time"
+)
+
+// Collective operations built from point-to-point messages, with the same
+// tree communication patterns (and therefore cost accounting) an MPI
+// implementation would use. Tags are drawn from a reserved high range so
+// they never collide with application traffic.
+
+const (
+	tagReduce = 1 << 20
+	tagBcast  = 1<<20 + 1
+)
+
+// AllReduceMax returns the maximum of x across all ranks (binomial-tree
+// reduce to rank 0, then broadcast).
+func (c *Comm) AllReduceMax(x float64) float64 {
+	v := c.reduceMax(x)
+	return c.bcastFloat(v)
+}
+
+func (c *Comm) reduceMax(x float64) float64 {
+	n := c.w.cfg.Ranks
+	// Binomial tree: at step s, ranks with bit s set send to rank-2^s.
+	for s := 1; s < n; s <<= 1 {
+		if c.Rank&s != 0 {
+			c.Send(c.Rank-s, tagReduce+c.Rank, floatBytes(x))
+			return x // non-roots return their partial; only rank 0's value matters
+		}
+		if c.Rank+s < n {
+			other := bytesFloat(c.Recv(c.Rank+s, tagReduce+c.Rank+s))
+			x = math.Max(x, other)
+		}
+	}
+	return x
+}
+
+// bcastFloat distributes rank 0's value down the same binomial tree.
+func (c *Comm) bcastFloat(x float64) float64 {
+	n := c.w.cfg.Ranks
+	// Find the highest power of two covering all ranks.
+	top := 1
+	for top < n {
+		top <<= 1
+	}
+	for s := top >> 1; s >= 1; s >>= 1 {
+		if c.Rank&(s-1) == 0 { // aligned ranks participate at this level
+			if c.Rank&s != 0 {
+				x = bytesFloat(c.Recv(c.Rank-s, tagBcast+c.Rank))
+			} else if c.Rank+s < n {
+				c.Send(c.Rank+s, tagBcast+c.Rank+s, floatBytes(x))
+			}
+		}
+	}
+	return x
+}
+
+// Barrier synchronizes virtual clocks: every rank resumes at the latest
+// clock among them (an allreduce over time).
+func (c *Comm) Barrier() {
+	t := c.AllReduceMax(c.clock.Seconds())
+	if d := time.Duration(t * float64(time.Second)); d > c.clock {
+		c.clock = d
+	}
+}
+
+func floatBytes(x float64) []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], math.Float64bits(x))
+	return b[:]
+}
+
+func bytesFloat(b []byte) float64 {
+	return math.Float64frombits(binary.LittleEndian.Uint64(b))
+}

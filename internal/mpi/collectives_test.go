@@ -1,0 +1,70 @@
+package mpi
+
+import (
+	"testing"
+	"time"
+)
+
+func TestAllReduceMax(t *testing.T) {
+	for _, ranks := range []int{1, 2, 3, 4, 5, 8, 16, 17} {
+		got := make([]float64, ranks)
+		Run(Config{Ranks: ranks}, func(c *Comm) {
+			got[c.Rank] = c.AllReduceMax(float64(c.Rank * 10))
+		})
+		want := float64((ranks - 1) * 10)
+		for r, v := range got {
+			if v != want {
+				t.Errorf("ranks=%d rank %d got %v, want %v", ranks, r, v, want)
+			}
+		}
+	}
+}
+
+func TestAllReduceMaxNegative(t *testing.T) {
+	got := make([]float64, 4)
+	Run(Config{Ranks: 4}, func(c *Comm) {
+		got[c.Rank] = c.AllReduceMax(-float64(c.Rank + 1))
+	})
+	for _, v := range got {
+		if v != -1 {
+			t.Errorf("got %v, want -1", v)
+		}
+	}
+}
+
+func TestBarrierAlignsClocks(t *testing.T) {
+	clocks := make([]time.Duration, 4)
+	Run(Config{Ranks: 4}, func(c *Comm) {
+		c.Compute(time.Duration(c.Rank+1) * time.Millisecond)
+		c.Barrier()
+		clocks[c.Rank] = c.Elapsed()
+	})
+	for r, d := range clocks {
+		if d < 4*time.Millisecond {
+			t.Errorf("rank %d clock %v below the slowest rank", r, d)
+		}
+	}
+}
+
+func TestAllReduceAccountsMessages(t *testing.T) {
+	st := Run(Config{Ranks: 8}, func(c *Comm) {
+		c.AllReduceMax(1)
+	})
+	if st.Messages == 0 {
+		t.Error("collectives must account communication")
+	}
+}
+
+func TestLargeWorld512Ranks(t *testing.T) {
+	// The paper's smaller configuration: 512 ranks. The simulated world
+	// must handle the goroutine count and the collective tree depth.
+	st := Run(Config{Ranks: 512}, func(c *Comm) {
+		got := c.AllReduceMax(float64(c.Rank))
+		if got != 511 {
+			t.Errorf("rank %d got %v", c.Rank, got)
+		}
+	})
+	if st.Ranks != 512 {
+		t.Errorf("ranks %d", st.Ranks)
+	}
+}

@@ -1,0 +1,133 @@
+package mpi
+
+import (
+	"testing"
+	"time"
+)
+
+func TestPingPong(t *testing.T) {
+	st := Run(Config{Ranks: 2}, func(c *Comm) {
+		if c.Rank == 0 {
+			c.Send(1, 0, []byte("hello"))
+			got := c.Recv(1, 1)
+			if string(got) != "world" {
+				t.Errorf("rank 0 got %q", got)
+			}
+		} else {
+			got := c.Recv(0, 0)
+			if string(got) != "hello" {
+				t.Errorf("rank 1 got %q", got)
+			}
+			c.Send(0, 1, []byte("world"))
+		}
+	})
+	if st.Messages != 2 || st.TotalBytes != 10 {
+		t.Errorf("stats %+v", st)
+	}
+	if st.Makespan <= 0 {
+		t.Error("makespan should be positive (latency accrued)")
+	}
+}
+
+func TestClockAdvancesByCompute(t *testing.T) {
+	st := Run(Config{Ranks: 3}, func(c *Comm) {
+		c.Compute(time.Duration(c.Rank+1) * time.Millisecond)
+	})
+	if st.Makespan != 3*time.Millisecond {
+		t.Errorf("makespan %v, want 3ms", st.Makespan)
+	}
+	if st.RankClocks[0] != time.Millisecond {
+		t.Errorf("rank 0 clock %v", st.RankClocks[0])
+	}
+}
+
+func TestMessageCostModel(t *testing.T) {
+	lat := time.Millisecond
+	bw := 1e6 // 1 MB/s
+	st := Run(Config{Ranks: 2, Latency: lat, Bandwidth: bw}, func(c *Comm) {
+		if c.Rank == 0 {
+			c.Send(1, 0, make([]byte, 1000)) // 1ms transfer at 1MB/s
+		} else {
+			c.Recv(0, 0)
+		}
+	})
+	// Receiver clock = 0 (sender clock) + 1ms latency + 1ms transfer.
+	want := 2 * time.Millisecond
+	if st.RankClocks[1] != want {
+		t.Errorf("receiver clock %v, want %v", st.RankClocks[1], want)
+	}
+}
+
+func TestRecvWaitsForArrival(t *testing.T) {
+	st := Run(Config{Ranks: 2, Latency: time.Millisecond, Bandwidth: 1e9}, func(c *Comm) {
+		if c.Rank == 0 {
+			c.Compute(10 * time.Millisecond)
+			c.Send(1, 0, []byte{1})
+		} else {
+			c.Recv(0, 0)
+			// Receiver idled until the message arrived at ~11ms.
+		}
+	})
+	if st.RankClocks[1] < 10*time.Millisecond {
+		t.Errorf("receiver clock %v ignores sender progress", st.RankClocks[1])
+	}
+}
+
+func TestTimeMeasuresWork(t *testing.T) {
+	st := Run(Config{Ranks: 1}, func(c *Comm) {
+		c.Time(func() {
+			time.Sleep(5 * time.Millisecond)
+		})
+	})
+	if st.Makespan < 5*time.Millisecond {
+		t.Errorf("measured makespan %v too small", st.Makespan)
+	}
+}
+
+func TestInt64Helpers(t *testing.T) {
+	vals := []int64{0, 1, -1, 1 << 40, -(1 << 40)}
+	Run(Config{Ranks: 2}, func(c *Comm) {
+		if c.Rank == 0 {
+			c.SendInt64s(1, 7, vals)
+		} else {
+			got := c.RecvInt64s(0, 7)
+			if len(got) != len(vals) {
+				t.Errorf("length %d", len(got))
+				return
+			}
+			for i := range vals {
+				if got[i] != vals[i] {
+					t.Errorf("val %d: %d != %d", i, got[i], vals[i])
+				}
+			}
+		}
+	})
+}
+
+func TestManyRanksStencil(t *testing.T) {
+	// A ring exchange across 16 ranks must not deadlock (buffered sends).
+	const n = 16
+	st := Run(Config{Ranks: n}, func(c *Comm) {
+		right := (c.Rank + 1) % n
+		left := (c.Rank + n - 1) % n
+		c.Send(right, 0, []byte{byte(c.Rank)})
+		got := c.Recv(left, 0)
+		if got[0] != byte(left) {
+			t.Errorf("rank %d got %d", c.Rank, got[0])
+		}
+	})
+	if st.Messages != n {
+		t.Errorf("messages %d", st.Messages)
+	}
+}
+
+func TestSendPanics(t *testing.T) {
+	Run(Config{Ranks: 1}, func(c *Comm) {
+		defer func() {
+			if recover() == nil {
+				t.Error("send to self must panic")
+			}
+		}()
+		c.Send(0, 0, nil)
+	})
+}

@@ -1,0 +1,229 @@
+package parallel
+
+import (
+	"repro/internal/core"
+	"repro/internal/field"
+	"repro/internal/fixed"
+	"repro/internal/mpi"
+)
+
+// Result summarizes a distributed compression run.
+type Result struct {
+	// Blobs holds the per-rank compressed blocks (rank order).
+	Blobs [][]byte
+	// RawBytes and CompressedBytes give the global compression ratio.
+	RawBytes, CompressedBytes int64
+	// Stats carries the simulated-run timing (makespan = compression
+	// wall time on the virtual machine) and communication volume.
+	Stats mpi.Stats
+}
+
+// Ratio returns the global compression ratio.
+func (r Result) Ratio() float64 {
+	if r.CompressedBytes == 0 {
+		return 0
+	}
+	return float64(r.RawBytes) / float64(r.CompressedBytes)
+}
+
+// ThroughputMBps returns the aggregate compression throughput implied by
+// the virtual makespan, in MB/s.
+func (r Result) ThroughputMBps() float64 {
+	s := r.Stats.Makespan.Seconds()
+	if s == 0 {
+		return 0
+	}
+	return float64(r.RawBytes) / 1e6 / s
+}
+
+// Message tags: phase-1 ghosts carry the sender's side index; phase-2
+// ghosts are offset by 10.
+const phase2TagOffset = 10
+
+// opposite2D maps a side to the side seen by the neighbor across it.
+func opposite(side int) int {
+	if side%2 == 0 {
+		return side + 1
+	}
+	return side - 1
+}
+
+// CompressDistributed2D compresses f on a simulated PX×PY machine.
+func CompressDistributed2D(f *field.Field2D, tr fixed.Transform, opts core.Options,
+	grid Grid2D, strat Strategy, mcfg mpi.Config) (Result, error) {
+
+	if grid.Ranks() < 1 {
+		return Result{}, errGrid
+	}
+	xs, err := partition(f.NX, grid.PX)
+	if err != nil {
+		return Result{}, err
+	}
+	ys, err := partition(f.NY, grid.PY)
+	if err != nil {
+		return Result{}, err
+	}
+	mcfg.Ranks = grid.Ranks()
+
+	blobs := make([][]byte, grid.Ranks())
+	errs := make([]error, grid.Ranks())
+
+	st := mpi.Run(mcfg, func(c *mpi.Comm) {
+		px := c.Rank % grid.PX
+		py := c.Rank / grid.PX
+		sx, sy := xs[px], ys[py]
+		bu := make([]float32, sx.size*sy.size)
+		bv := make([]float32, sx.size*sy.size)
+		for j := 0; j < sy.size; j++ {
+			copy(bu[j*sx.size:], f.U[(sy.start+j)*f.NX+sx.start:][:sx.size])
+			copy(bv[j*sx.size:], f.V[(sy.start+j)*f.NX+sx.start:][:sx.size])
+		}
+		blk := core.Block2D{
+			NX: sx.size, NY: sy.size, U: bu, V: bv,
+			Transform: tr, Opts: opts,
+			GlobalX0: sx.start, GlobalY0: sy.start,
+			GlobalNX: f.NX, GlobalNY: f.NY,
+		}
+		nb := [4]int{-1, -1, -1, -1}
+		if px > 0 {
+			nb[core.SideMinX] = c.Rank - 1
+		}
+		if px < grid.PX-1 {
+			nb[core.SideMaxX] = c.Rank + 1
+		}
+		if py > 0 {
+			nb[core.SideMinY] = c.Rank - grid.PX
+		}
+		if py < grid.PY-1 {
+			nb[core.SideMaxY] = c.Rank + grid.PX
+		}
+		for s, r := range nb {
+			if r >= 0 && strat != Naive {
+				blk.Neighbor[s] = true
+			}
+		}
+		switch strat {
+		case LosslessBorders:
+			blk.LosslessBorder = true
+		case RatioOriented:
+			blk.TwoPhase = true
+		}
+
+		enc, err := core.NewEncoder2D(blk)
+		if err != nil {
+			errs[c.Rank] = err
+			return
+		}
+
+		if strat != RatioOriented {
+			var blob []byte
+			c.Time(func() {
+				enc.Run()
+				blob, err = enc.Finish()
+			})
+			blobs[c.Rank], errs[c.Rank] = blob, err
+			return
+		}
+
+		// Phase-1 exchange: original border values to every neighbor.
+		for s, r := range nb {
+			if r < 0 {
+				continue
+			}
+			u, v := enc.BorderLine(s)
+			c.SendInt64s(r, s, append(u, v...))
+		}
+		for s, r := range nb {
+			if r < 0 {
+				continue
+			}
+			vals := c.RecvInt64s(r, opposite(s))
+			half := len(vals) / 2
+			if err := enc.SetGhostLine(s, vals[:half], vals[half:]); err != nil {
+				errs[c.Rank] = err
+				return
+			}
+		}
+		c.Time(func() {
+			enc.Prepare()
+			enc.RunPhase1()
+		})
+		// Phase-2 exchange: decompressed min borders flow to min-side
+		// neighbors, becoming their max-side ghosts.
+		for _, s := range [2]int{core.SideMinX, core.SideMinY} {
+			if r := nb[s]; r >= 0 {
+				u, v := enc.BorderLine(s)
+				c.SendInt64s(r, phase2TagOffset+s, append(u, v...))
+			}
+		}
+		for _, s := range [2]int{core.SideMaxX, core.SideMaxY} {
+			if r := nb[s]; r >= 0 {
+				vals := c.RecvInt64s(r, phase2TagOffset+opposite(s))
+				half := len(vals) / 2
+				if err := enc.SetGhostLine(s, vals[:half], vals[half:]); err != nil {
+					errs[c.Rank] = err
+					return
+				}
+			}
+		}
+		var blob []byte
+		var ferr error
+		c.Time(func() {
+			enc.RunPhase2()
+			blob, ferr = enc.Finish()
+		})
+		blobs[c.Rank], errs[c.Rank] = blob, ferr
+	})
+
+	for _, err := range errs {
+		if err != nil {
+			return Result{}, err
+		}
+	}
+	res := Result{Blobs: blobs, Stats: st, RawBytes: int64(len(f.U)+len(f.V)) * 4}
+	for _, b := range blobs {
+		res.CompressedBytes += int64(len(b))
+	}
+	return res, nil
+}
+
+// DecompressDistributed2D decodes the per-rank blobs on the simulated
+// machine and reassembles the global field. The returned stats carry the
+// decompression makespan.
+func DecompressDistributed2D(blobs [][]byte, grid Grid2D, nx, ny int, mcfg mpi.Config) (*field.Field2D, mpi.Stats, error) {
+	xs, err := partition(nx, grid.PX)
+	if err != nil {
+		return nil, mpi.Stats{}, err
+	}
+	ys, err := partition(ny, grid.PY)
+	if err != nil {
+		return nil, mpi.Stats{}, err
+	}
+	out := field.NewField2D(nx, ny)
+	errs := make([]error, grid.Ranks())
+	mcfg.Ranks = grid.Ranks()
+	st := mpi.Run(mcfg, func(c *mpi.Comm) {
+		px := c.Rank % grid.PX
+		py := c.Rank / grid.PX
+		sx, sy := xs[px], ys[py]
+		var bf *field.Field2D
+		var err error
+		c.Time(func() {
+			bf, err = core.Decompress2D(blobs[c.Rank])
+		})
+		if err != nil {
+			errs[c.Rank] = err
+			return
+		}
+		for j := 0; j < sy.size; j++ {
+			copy(out.U[(sy.start+j)*nx+sx.start:][:sx.size], bf.U[j*sx.size:])
+			copy(out.V[(sy.start+j)*nx+sx.start:][:sx.size], bf.V[j*sx.size:])
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, st, err
+		}
+	}
+	return out, st, nil
+}

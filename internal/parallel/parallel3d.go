@@ -1,0 +1,255 @@
+package parallel
+
+import (
+	"repro/internal/core"
+	"repro/internal/field"
+	"repro/internal/fixed"
+	"repro/internal/mpi"
+)
+
+// CompressDistributed3D compresses f on a simulated PX×PY×PZ machine.
+func CompressDistributed3D(f *field.Field3D, tr fixed.Transform, opts core.Options,
+	grid Grid3D, strat Strategy, mcfg mpi.Config) (Result, error) {
+
+	if grid.Ranks() < 1 {
+		return Result{}, errGrid
+	}
+	xs, err := partition(f.NX, grid.PX)
+	if err != nil {
+		return Result{}, err
+	}
+	ys, err := partition(f.NY, grid.PY)
+	if err != nil {
+		return Result{}, err
+	}
+	zs, err := partition(f.NZ, grid.PZ)
+	if err != nil {
+		return Result{}, err
+	}
+	mcfg.Ranks = grid.Ranks()
+
+	blobs := make([][]byte, grid.Ranks())
+	errs := make([]error, grid.Ranks())
+
+	st := mpi.Run(mcfg, func(c *mpi.Comm) {
+		px := c.Rank % grid.PX
+		py := (c.Rank / grid.PX) % grid.PY
+		pz := c.Rank / (grid.PX * grid.PY)
+		sx, sy, sz := xs[px], ys[py], zs[pz]
+		n := sx.size * sy.size * sz.size
+		bu := make([]float32, n)
+		bv := make([]float32, n)
+		bw := make([]float32, n)
+		for k := 0; k < sz.size; k++ {
+			for j := 0; j < sy.size; j++ {
+				src := ((sz.start+k)*f.NY+(sy.start+j))*f.NX + sx.start
+				dst := (k*sy.size + j) * sx.size
+				copy(bu[dst:dst+sx.size], f.U[src:])
+				copy(bv[dst:dst+sx.size], f.V[src:])
+				copy(bw[dst:dst+sx.size], f.W[src:])
+			}
+		}
+		blk := core.Block3D{
+			NX: sx.size, NY: sy.size, NZ: sz.size, U: bu, V: bv, W: bw,
+			Transform: tr, Opts: opts,
+			GlobalX0: sx.start, GlobalY0: sy.start, GlobalZ0: sz.start,
+			GlobalNX: f.NX, GlobalNY: f.NY, GlobalNZ: f.NZ,
+		}
+		nb := [6]int{-1, -1, -1, -1, -1, -1}
+		if px > 0 {
+			nb[core.SideMinX] = c.Rank - 1
+		}
+		if px < grid.PX-1 {
+			nb[core.SideMaxX] = c.Rank + 1
+		}
+		if py > 0 {
+			nb[core.SideMinY] = c.Rank - grid.PX
+		}
+		if py < grid.PY-1 {
+			nb[core.SideMaxY] = c.Rank + grid.PX
+		}
+		if pz > 0 {
+			nb[core.SideMinZ] = c.Rank - grid.PX*grid.PY
+		}
+		if pz < grid.PZ-1 {
+			nb[core.SideMaxZ] = c.Rank + grid.PX*grid.PY
+		}
+		for s, r := range nb {
+			if r >= 0 && strat != Naive {
+				blk.Neighbor[s] = true
+			}
+		}
+		switch strat {
+		case LosslessBorders:
+			blk.LosslessBorder = true
+		case RatioOriented:
+			blk.TwoPhase = true
+		}
+
+		enc, err := core.NewEncoder3D(blk)
+		if err != nil {
+			errs[c.Rank] = err
+			return
+		}
+
+		if strat != RatioOriented {
+			var blob []byte
+			c.Time(func() {
+				enc.Run()
+				blob, err = enc.Finish()
+			})
+			blobs[c.Rank], errs[c.Rank] = blob, err
+			return
+		}
+
+		for s, r := range nb {
+			if r < 0 {
+				continue
+			}
+			u, v, w := enc.BorderFace(s)
+			c.SendInt64s(r, s, concat3(u, v, w))
+		}
+		for s, r := range nb {
+			if r < 0 {
+				continue
+			}
+			vals := c.RecvInt64s(r, opposite(s))
+			u, v, w := split3(vals)
+			if err := enc.SetGhostFace(s, u, v, w); err != nil {
+				errs[c.Rank] = err
+				return
+			}
+		}
+		c.Time(func() {
+			enc.Prepare()
+			enc.RunPhase1()
+		})
+		for _, s := range [3]int{core.SideMinX, core.SideMinY, core.SideMinZ} {
+			if r := nb[s]; r >= 0 {
+				u, v, w := enc.BorderFace(s)
+				c.SendInt64s(r, phase2TagOffset+s, concat3(u, v, w))
+			}
+		}
+		for _, s := range [3]int{core.SideMaxX, core.SideMaxY, core.SideMaxZ} {
+			if r := nb[s]; r >= 0 {
+				vals := c.RecvInt64s(r, phase2TagOffset+opposite(s))
+				u, v, w := split3(vals)
+				if err := enc.SetGhostFace(s, u, v, w); err != nil {
+					errs[c.Rank] = err
+					return
+				}
+			}
+		}
+		var blob []byte
+		var ferr error
+		c.Time(func() {
+			enc.RunPhase2()
+			blob, ferr = enc.Finish()
+		})
+		blobs[c.Rank], errs[c.Rank] = blob, ferr
+	})
+
+	for _, err := range errs {
+		if err != nil {
+			return Result{}, err
+		}
+	}
+	res := Result{Blobs: blobs, Stats: st, RawBytes: int64(len(f.U)+len(f.V)+len(f.W)) * 4}
+	for _, b := range blobs {
+		res.CompressedBytes += int64(len(b))
+	}
+	return res, nil
+}
+
+func concat3(u, v, w []int64) []int64 {
+	out := make([]int64, 0, 3*len(u))
+	out = append(out, u...)
+	out = append(out, v...)
+	return append(out, w...)
+}
+
+func split3(vals []int64) (u, v, w []int64) {
+	third := len(vals) / 3
+	return vals[:third], vals[third : 2*third], vals[2*third:]
+}
+
+// DecompressDistributed3D decodes the per-rank blobs and reassembles the
+// global field.
+func DecompressDistributed3D(blobs [][]byte, grid Grid3D, nx, ny, nz int, mcfg mpi.Config) (*field.Field3D, mpi.Stats, error) {
+	xs, err := partition(nx, grid.PX)
+	if err != nil {
+		return nil, mpi.Stats{}, err
+	}
+	ys, err := partition(ny, grid.PY)
+	if err != nil {
+		return nil, mpi.Stats{}, err
+	}
+	zs, err := partition(nz, grid.PZ)
+	if err != nil {
+		return nil, mpi.Stats{}, err
+	}
+	out := field.NewField3D(nx, ny, nz)
+	errs := make([]error, grid.Ranks())
+	mcfg.Ranks = grid.Ranks()
+	st := mpi.Run(mcfg, func(c *mpi.Comm) {
+		px := c.Rank % grid.PX
+		py := (c.Rank / grid.PX) % grid.PY
+		pz := c.Rank / (grid.PX * grid.PY)
+		sx, sy, sz := xs[px], ys[py], zs[pz]
+		var bf *field.Field3D
+		var err error
+		c.Time(func() {
+			bf, err = core.Decompress3D(blobs[c.Rank])
+		})
+		if err != nil {
+			errs[c.Rank] = err
+			return
+		}
+		for k := 0; k < sz.size; k++ {
+			for j := 0; j < sy.size; j++ {
+				dst := ((sz.start+k)*ny+(sy.start+j))*nx + sx.start
+				src := (k*sy.size + j) * sx.size
+				copy(out.U[dst:dst+sx.size], bf.U[src:])
+				copy(out.V[dst:dst+sx.size], bf.V[src:])
+				copy(out.W[dst:dst+sx.size], bf.W[src:])
+			}
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, st, err
+		}
+	}
+	return out, st, nil
+}
+
+// GlobalTransform fits the shared fixed-point transform for a distributed
+// run (in a real MPI program this is an allreduce over the data range).
+func GlobalTransform2D(f *field.Field2D) (fixed.Transform, error) {
+	return fixed.Fit(f.U, f.V)
+}
+
+// GlobalTransform3D fits the shared transform for a 3D field.
+func GlobalTransform3D(f *field.Field3D) (fixed.Transform, error) {
+	return fixed.Fit(f.U, f.V, f.W)
+}
+
+// FitTransformDistributed computes the shared transform the way a real
+// MPI program does: every rank reduces the absolute maximum of its local
+// components, the maxima are combined with an allreduce, and each rank
+// derives the (identical) transform from the global maximum.
+func FitTransformDistributed(c *mpi.Comm, comps ...[]float32) fixed.Transform {
+	localMax := 0.0
+	for _, comp := range comps {
+		for _, v := range comp {
+			a := float64(v)
+			if a < 0 {
+				a = -a
+			}
+			if a > localMax {
+				localMax = a
+			}
+		}
+	}
+	return fixed.FromMaxAbs(c.AllReduceMax(localMax))
+}

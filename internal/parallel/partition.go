@@ -1,0 +1,79 @@
+// Package parallel implements the paper's distributed compression
+// strategies (Section VI) on top of the simulated message-passing runtime
+// (package mpi): naive block-independent compression (which breaks
+// critical points in border cells), the simple lossless-border strategy
+// (no communication, degraded ratio), and the ratio-oriented two-phase
+// strategy (ghost exchange, near-single-node ratios).
+package parallel
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Strategy selects the distributed compression scheme.
+type Strategy int
+
+const (
+	// Naive compresses blocks independently; critical points in cells
+	// spanning rank boundaries are not protected.
+	Naive Strategy = iota
+	// LosslessBorders stores every border vertex losslessly — no
+	// communication, full preservation, reduced ratio.
+	LosslessBorders
+	// RatioOriented runs the two-phase ghost-exchange protocol of Fig. 4:
+	// full preservation with near-single-node ratios at the cost of two
+	// communication rounds.
+	RatioOriented
+)
+
+// String returns the name used in the tables.
+func (s Strategy) String() string {
+	switch s {
+	case Naive:
+		return "naive"
+	case LosslessBorders:
+		return "lossless-borders"
+	case RatioOriented:
+		return "ratio-oriented"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// Grid2D is a PX×PY rank decomposition.
+type Grid2D struct{ PX, PY int }
+
+// Ranks returns the number of ranks.
+func (g Grid2D) Ranks() int { return g.PX * g.PY }
+
+// Grid3D is a PX×PY×PZ rank decomposition.
+type Grid3D struct{ PX, PY, PZ int }
+
+// Ranks returns the number of ranks.
+func (g Grid3D) Ranks() int { return g.PX * g.PY * g.PZ }
+
+// span is one rank's extent along one axis.
+type span struct{ start, size int }
+
+// partition splits n grid points into p spans of near-equal size.
+func partition(n, p int) ([]span, error) {
+	if p <= 0 || n < 2*p {
+		return nil, fmt.Errorf("parallel: cannot split %d points into %d blocks of >=2", n, p)
+	}
+	base := n / p
+	rem := n % p
+	spans := make([]span, p)
+	pos := 0
+	for i := range spans {
+		size := base
+		if i < rem {
+			size++
+		}
+		spans[i] = span{start: pos, size: size}
+		pos += size
+	}
+	return spans, nil
+}
+
+var errGrid = errors.New("parallel: invalid rank grid")

@@ -1,0 +1,59 @@
+// Package predictor implements the Lorenzo predictors used by the
+// prediction-based compression pipelines (ours, cpSZ, and the SZ3-like
+// baseline).
+//
+// The Lorenzo predictor estimates a value from its already-reconstructed
+// lower neighbors by inclusion–exclusion over the corner of the (hyper)cube
+// behind it. Predictions are always made from *decompressed* values so the
+// decompressor can reproduce them exactly (the "coupled" property the
+// paper inherits from SZ).
+package predictor
+
+// Lorenzo1D predicts data[i] in a row; boundary predicts 0.
+func Lorenzo1D(data []int64, i int) int64 {
+	if i == 0 {
+		return 0
+	}
+	return data[i-1]
+}
+
+// Lorenzo2D predicts the value at (i, j) of an nx-wide row-major grid.
+func Lorenzo2D(data []int64, nx, i, j int) int64 {
+	idx := j*nx + i
+	switch {
+	case i > 0 && j > 0:
+		return data[idx-1] + data[idx-nx] - data[idx-nx-1]
+	case i > 0:
+		return data[idx-1]
+	case j > 0:
+		return data[idx-nx]
+	default:
+		return 0
+	}
+}
+
+// Lorenzo3D predicts the value at (i, j, k) of an nx×ny row-major volume.
+func Lorenzo3D(data []int64, nx, ny, i, j, k int) int64 {
+	idx := (k*ny+j)*nx + i
+	sx, sy, sz := 1, nx, nx*ny
+	switch {
+	case i > 0 && j > 0 && k > 0:
+		return data[idx-sx] + data[idx-sy] + data[idx-sz] -
+			data[idx-sx-sy] - data[idx-sx-sz] - data[idx-sy-sz] +
+			data[idx-sx-sy-sz]
+	case i > 0 && j > 0:
+		return data[idx-sx] + data[idx-sy] - data[idx-sx-sy]
+	case i > 0 && k > 0:
+		return data[idx-sx] + data[idx-sz] - data[idx-sx-sz]
+	case j > 0 && k > 0:
+		return data[idx-sy] + data[idx-sz] - data[idx-sy-sz]
+	case i > 0:
+		return data[idx-sx]
+	case j > 0:
+		return data[idx-sy]
+	case k > 0:
+		return data[idx-sz]
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,23 @@
+package tracking_test
+
+import (
+	"fmt"
+
+	"repro/internal/cp"
+	"repro/internal/tracking"
+)
+
+// Example follows a drifting saddle over four time steps.
+func Example() {
+	steps := [][]cp.Point{
+		{{Cell: 10, Type: cp.TypeSaddle, Pos: [3]float64{1.0, 1.0, 0}}},
+		{{Cell: 11, Type: cp.TypeSaddle, Pos: [3]float64{1.6, 1.1, 0}}},
+		{{Cell: 12, Type: cp.TypeSaddle, Pos: [3]float64{2.2, 1.3, 0}}},
+		{{Cell: 13, Type: cp.TypeSaddle, Pos: [3]float64{2.9, 1.4, 0}}},
+	}
+	tracks := tracking.Build(steps, tracking.Options{Radius: 1})
+	sum := tracking.Summarize(tracks)
+	fmt.Printf("%d track(s), length %d\n", sum.Tracks, sum.MaxLen)
+	// Output:
+	// 1 track(s), length 4
+}

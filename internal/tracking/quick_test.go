@@ -1,0 +1,80 @@
+package tracking
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cp"
+)
+
+// Property: every input point lands in exactly one track (tracks
+// partition the points), for arbitrary random sequences.
+func TestQuickTracksPartitionPoints(t *testing.T) {
+	f := func(seed int64, stepsRaw, perStepRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nsteps := int(stepsRaw%6) + 1
+		steps := make([][]cp.Point, nsteps)
+		total := 0
+		for s := range steps {
+			n := int(perStepRaw % 8)
+			pts := make([]cp.Point, n)
+			for i := range pts {
+				pts[i] = cp.Point{
+					Cell: s*1000 + i,
+					Type: cp.Type(rng.Intn(3) + 1),
+					Pos:  [3]float64{rng.Float64() * 20, rng.Float64() * 20, 0},
+				}
+			}
+			steps[s] = pts
+			total += n
+		}
+		tracks := Build(steps, Options{Radius: 3})
+		covered := 0
+		for _, tr := range tracks {
+			covered += tr.Length()
+			// Track steps must be contiguous and within range.
+			if tr.Start < 0 || tr.End() >= nsteps {
+				return false
+			}
+		}
+		return covered == total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: per-step points are matched at most once — no two tracks may
+// claim the same (step, cell) pair.
+func TestQuickNoDoubleClaim(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		steps := make([][]cp.Point, 4)
+		for s := range steps {
+			n := rng.Intn(6)
+			for i := 0; i < n; i++ {
+				steps[s] = append(steps[s], cp.Point{
+					Cell: s*100 + i,
+					Type: cp.TypeSaddle,
+					Pos:  [3]float64{rng.Float64() * 5, rng.Float64() * 5, 0},
+				})
+			}
+		}
+		tracks := Build(steps, Options{Radius: 10})
+		claimed := map[[2]int]bool{}
+		for _, tr := range tracks {
+			for k, p := range tr.Points {
+				key := [2]int{tr.Start + k, p.Cell}
+				if claimed[key] {
+					return false
+				}
+				claimed[key] = true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,162 @@
+// Package tracking follows critical points through time-varying vector
+// fields — the downstream analysis whose robustness motivates the paper's
+// use of the SoS point-in-simplex test (Section II cites "broken or
+// branched traces in critical point tracing" as the failure mode of
+// inexact detection).
+//
+// Tracks are built by greedy nearest-neighbour association between the
+// critical points of consecutive time steps (same type, within a motion
+// radius). Comparing the track sets extracted from original and
+// decompressed sequences quantifies whether a compressor damaged the
+// temporal topology: a single flipped detection splits or truncates a
+// track.
+package tracking
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/cp"
+)
+
+// Track is one critical point followed over time.
+type Track struct {
+	// Start is the time step of the first point.
+	Start int
+	// Points holds one critical point per covered step.
+	Points []cp.Point
+}
+
+// End returns the last covered time step.
+func (t *Track) End() int { return t.Start + len(t.Points) - 1 }
+
+// Length returns the number of covered steps.
+func (t *Track) Length() int { return len(t.Points) }
+
+// Options configures the tracker.
+type Options struct {
+	// Radius is the maximum per-step motion (grid units, default 2).
+	Radius float64
+	// MatchType requires the classified type to stay identical along a
+	// track (default true; spiral↔node transitions then split tracks,
+	// which is the strict FTK-style notion).
+	MatchType bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Radius == 0 {
+		o.Radius = 2
+	}
+	return o
+}
+
+// Build assembles tracks from per-step critical point lists.
+func Build(steps [][]cp.Point, opts Options) []*Track {
+	opts = opts.withDefaults()
+	var tracks []*Track
+	open := map[int]*Track{} // index into current step's points → track
+	for t, pts := range steps {
+		next := map[int]*Track{}
+		used := make([]bool, len(pts))
+		// Greedy matching: consider candidate pairs by increasing
+		// distance so close continuations win.
+		type cand struct {
+			prevIdx, curIdx int
+			d               float64
+		}
+		var cands []cand
+		for prevIdx, tr := range open {
+			last := tr.Points[len(tr.Points)-1]
+			for curIdx, p := range pts {
+				if opts.MatchType && p.Type != last.Type {
+					continue
+				}
+				d := dist(last.Pos, p.Pos)
+				if d <= opts.Radius {
+					cands = append(cands, cand{prevIdx, curIdx, d})
+				}
+			}
+		}
+		sort.Slice(cands, func(i, j int) bool {
+			if cands[i].d != cands[j].d {
+				return cands[i].d < cands[j].d
+			}
+			if cands[i].prevIdx != cands[j].prevIdx {
+				return cands[i].prevIdx < cands[j].prevIdx
+			}
+			return cands[i].curIdx < cands[j].curIdx
+		})
+		taken := map[int]bool{}
+		for _, c := range cands {
+			if taken[c.prevIdx] || used[c.curIdx] {
+				continue
+			}
+			taken[c.prevIdx] = true
+			used[c.curIdx] = true
+			tr := open[c.prevIdx]
+			tr.Points = append(tr.Points, pts[c.curIdx])
+			next[c.curIdx] = tr
+		}
+		// Unmatched current points start new tracks.
+		for curIdx, p := range pts {
+			if !used[curIdx] {
+				tr := &Track{Start: t, Points: []cp.Point{p}}
+				tracks = append(tracks, tr)
+				next[curIdx] = tr
+			}
+		}
+		open = next
+	}
+	return tracks
+}
+
+func dist(a, b [3]float64) float64 {
+	dx := a[0] - b[0]
+	dy := a[1] - b[1]
+	dz := a[2] - b[2]
+	return math.Sqrt(dx*dx + dy*dy + dz*dz)
+}
+
+// Summary aggregates a track set.
+type Summary struct {
+	Tracks    int
+	MeanLen   float64
+	MaxLen    int
+	Singleton int // tracks covering one step only (typical of breakage)
+}
+
+// Summarize computes track statistics.
+func Summarize(tracks []*Track) Summary {
+	s := Summary{Tracks: len(tracks)}
+	total := 0
+	for _, t := range tracks {
+		l := t.Length()
+		total += l
+		if l > s.MaxLen {
+			s.MaxLen = l
+		}
+		if l == 1 {
+			s.Singleton++
+		}
+	}
+	if len(tracks) > 0 {
+		s.MeanLen = float64(total) / float64(len(tracks))
+	}
+	return s
+}
+
+// CompareReport quantifies how compression changed the temporal topology.
+type CompareReport struct {
+	Original, Decompressed Summary
+	// ExtraTracks is how many more (typically broken) tracks the
+	// decompressed sequence produced.
+	ExtraTracks int
+}
+
+// Compare builds tracks for both sequences with the same options and
+// reports the difference.
+func Compare(orig, dec [][]cp.Point, opts Options) CompareReport {
+	a := Summarize(Build(orig, opts))
+	b := Summarize(Build(dec, opts))
+	return CompareReport{Original: a, Decompressed: b, ExtraTracks: b.Tracks - a.Tracks}
+}

@@ -1,0 +1,163 @@
+package tracking
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cp"
+	"repro/internal/field"
+	"repro/internal/fixed"
+)
+
+func mkpt(cell int, t cp.Type, x, y float64) cp.Point {
+	return cp.Point{Cell: cell, Type: t, Pos: [3]float64{x, y, 0}}
+}
+
+func TestBuildSingleMovingPoint(t *testing.T) {
+	steps := [][]cp.Point{
+		{mkpt(1, cp.TypeSaddle, 1, 1)},
+		{mkpt(2, cp.TypeSaddle, 1.5, 1.2)},
+		{mkpt(3, cp.TypeSaddle, 2.1, 1.4)},
+	}
+	tracks := Build(steps, Options{})
+	if len(tracks) != 1 {
+		t.Fatalf("%d tracks, want 1", len(tracks))
+	}
+	if tracks[0].Length() != 3 || tracks[0].Start != 0 || tracks[0].End() != 2 {
+		t.Errorf("track %+v", tracks[0])
+	}
+}
+
+func TestBuildBreaksOnLargeJump(t *testing.T) {
+	steps := [][]cp.Point{
+		{mkpt(1, cp.TypeSaddle, 1, 1)},
+		{mkpt(2, cp.TypeSaddle, 30, 30)},
+	}
+	tracks := Build(steps, Options{Radius: 2})
+	if len(tracks) != 2 {
+		t.Fatalf("%d tracks, want 2 (broken)", len(tracks))
+	}
+}
+
+func TestBuildTypeChangeSplits(t *testing.T) {
+	steps := [][]cp.Point{
+		{mkpt(1, cp.TypeSaddle, 1, 1)},
+		{mkpt(2, cp.TypeCenter, 1.1, 1)},
+	}
+	if got := len(Build(steps, Options{MatchType: true})); got != 2 {
+		t.Errorf("type change should split with MatchType: %d tracks", got)
+	}
+	if got := len(Build(steps, Options{MatchType: false})); got != 1 {
+		t.Errorf("type change should continue without MatchType: %d tracks", got)
+	}
+}
+
+func TestBuildPrefersNearest(t *testing.T) {
+	steps := [][]cp.Point{
+		{mkpt(1, cp.TypeSaddle, 0, 0), mkpt(2, cp.TypeSaddle, 10, 0)},
+		{mkpt(3, cp.TypeSaddle, 0.5, 0), mkpt(4, cp.TypeSaddle, 9.5, 0)},
+	}
+	tracks := Build(steps, Options{Radius: 12})
+	if len(tracks) != 2 {
+		t.Fatalf("%d tracks", len(tracks))
+	}
+	for _, tr := range tracks {
+		d := dist(tr.Points[0].Pos, tr.Points[1].Pos)
+		if d > 1 {
+			t.Errorf("greedy matching picked a far continuation (d=%v)", d)
+		}
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	tracks := []*Track{
+		{Start: 0, Points: make([]cp.Point, 5)},
+		{Start: 2, Points: make([]cp.Point, 1)},
+	}
+	s := Summarize(tracks)
+	if s.Tracks != 2 || s.MaxLen != 5 || s.Singleton != 1 || s.MeanLen != 3 {
+		t.Errorf("summary %+v", s)
+	}
+	if empty := Summarize(nil); empty.Tracks != 0 || empty.MeanLen != 0 {
+		t.Error("empty summary")
+	}
+}
+
+// movingVortex builds a time sequence with one vortex translating across
+// the grid.
+func movingVortex(steps, n int) []*field.Field2D {
+	out := make([]*field.Field2D, steps)
+	for t := range out {
+		f := field.NewField2D(n, n)
+		cx := 4 + float64(t)*0.8
+		cy := float64(n) / 2
+		for j := 0; j < n; j++ {
+			for i := 0; i < n; i++ {
+				idx := f.Idx(i, j)
+				f.U[idx] = float32(-(float64(j) - cy))
+				f.V[idx] = float32(float64(i) - cx)
+			}
+		}
+		out[t] = f
+	}
+	return out
+}
+
+func TestCompressionPreservesTracks(t *testing.T) {
+	fields := movingVortex(8, 24)
+	tr, err := fixed.Fit(fields[0].U, fields[0].V)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var orig, dec [][]cp.Point
+	for _, f := range fields {
+		orig = append(orig, cp.DetectField2D(f, tr))
+		blob, err := core.CompressField2D(f, tr, core.Options{Tau: 0.5, Spec: core.ST4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := core.Decompress2D(blob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec = append(dec, cp.DetectField2D(g, tr))
+	}
+	rep := Compare(orig, dec, Options{Radius: 2})
+	if rep.ExtraTracks != 0 {
+		t.Errorf("compression broke tracks: %+v", rep)
+	}
+	if rep.Original.Tracks != 1 {
+		t.Errorf("expected a single vortex track, got %d", rep.Original.Tracks)
+	}
+	if rep.Decompressed.MaxLen != rep.Original.MaxLen {
+		t.Errorf("track length changed: %d vs %d", rep.Decompressed.MaxLen, rep.Original.MaxLen)
+	}
+}
+
+func TestBrokenDetectionBreaksTracks(t *testing.T) {
+	// Simulate a lossy pipeline that drops the vortex in one middle step:
+	// the track must split, which Compare reports as extra tracks.
+	fields := movingVortex(6, 24)
+	tr, _ := fixed.Fit(fields[0].U, fields[0].V)
+	var orig, broken [][]cp.Point
+	for i, f := range fields {
+		pts := cp.DetectField2D(f, tr)
+		orig = append(orig, pts)
+		if i == 3 {
+			broken = append(broken, nil) // false negative at step 3
+		} else {
+			broken = append(broken, pts)
+		}
+	}
+	rep := Compare(orig, broken, Options{Radius: 2})
+	if rep.ExtraTracks < 1 {
+		t.Errorf("a dropped detection must split the track: %+v", rep)
+	}
+}
+
+func TestDist(t *testing.T) {
+	if d := dist([3]float64{0, 0, 0}, [3]float64{3, 4, 0}); math.Abs(d-5) > 1e-12 {
+		t.Errorf("dist = %v", d)
+	}
+}
