@@ -1,0 +1,39 @@
+GO ?= go
+
+# Tier-1 gate: what CI (and the seed) requires to stay green.
+.PHONY: check
+check: vet build test
+
+.PHONY: vet
+vet:
+	$(GO) vet ./...
+
+.PHONY: build
+build:
+	$(GO) build ./...
+
+.PHONY: test
+test:
+	$(GO) test ./...
+
+# Race-detector pass over the concurrently instrumented packages
+# (telemetry counters, simulated MPI ranks, distributed strategies).
+.PHONY: race
+race:
+	$(GO) test -race ./internal/telemetry/ ./internal/mpi/ ./internal/parallel/
+
+.PHONY: bench
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .
+
+# Machine-readable benchmark baseline (Tables V-VII ratios, throughputs,
+# preservation counts, stage timings) at default dataset sizes.
+results/BENCH_baseline.json:
+	$(GO) run ./cmd/cpbench -baseline-out $@ baseline
+
+.PHONY: baseline
+baseline:
+	$(GO) run ./cmd/cpbench -baseline-out results/BENCH_baseline.json baseline
+
+.PHONY: all
+all: check race

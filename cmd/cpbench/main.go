@@ -2,11 +2,16 @@
 // (see DESIGN.md for the experiment index):
 //
 //	cpbench table2 table3 table5 table6 table7 fig5 fig6 fig7 fig8 fig9 ablation
+//	cpbench baseline
 //	cpbench all
 //
 // Flags scale the synthetic datasets; the defaults run each experiment in
 // seconds to minutes on a laptop. Fig. 5 writes PPM images to -out; pass
-// -csv to additionally export every table as CSV for plotting.
+// -csv to additionally export every table as CSV for plotting, -metrics
+// to write per-experiment telemetry JSON (stage spans + counters).
+//
+// The baseline command runs Tables V–VII and writes BENCH_baseline.json:
+// ratios, throughputs, preservation counts, and per-stage timings.
 package main
 
 import (
@@ -19,6 +24,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -31,6 +37,8 @@ func main() {
 	tau := flag.Float64("tau", 0.01, "our method's range-relative error bound")
 	out := flag.String("out", ".", "output directory for Fig.5 images")
 	csvDir := flag.String("csv", "", "when set, also write each table as CSV into this directory")
+	metricsDir := flag.String("metrics", "", "when set, write per-experiment telemetry JSON into this directory")
+	baselineOut := flag.String("baseline-out", "BENCH_baseline.json", "output path of the baseline command")
 	flag.Parse()
 
 	cfg := experiments.Config{
@@ -52,7 +60,7 @@ func main() {
 
 	args := flag.Args()
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: cpbench [flags] <table2|table3|table5|table6|table7|fig5|fig6|fig7|fig8|fig9|ablation|all>...")
+		fmt.Fprintln(os.Stderr, "usage: cpbench [flags] <table2|table3|table5|table6|table7|fig5|fig6|fig7|fig8|fig9|ablation|baseline|all>...")
 		os.Exit(2)
 	}
 	if len(args) == 1 && args[0] == "all" {
@@ -61,6 +69,16 @@ func main() {
 	}
 	for _, name := range args {
 		start := time.Now()
+		if name == "baseline" {
+			if err := writeBaseline(cfg, *baselineOut); err != nil {
+				fatal(fmt.Errorf("baseline: %w", err))
+			}
+			fmt.Printf("[baseline written to %s in %v]\n\n", *baselineOut, time.Since(start).Round(time.Millisecond))
+			continue
+		}
+		if *metricsDir != "" {
+			cfg.Tel = telemetry.New()
+		}
 		tbl, err := run(name, cfg, *out)
 		if err != nil {
 			fatal(fmt.Errorf("%s: %w", name, err))
@@ -71,8 +89,37 @@ func main() {
 				fatal(err)
 			}
 		}
+		if *metricsDir != "" {
+			if err := writeMetrics(cfg.Tel, filepath.Join(*metricsDir, name+".metrics.json")); err != nil {
+				fatal(err)
+			}
+		}
 		fmt.Printf("[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
 	}
+}
+
+func writeMetrics(tel *telemetry.Collector, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tel.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func writeBaseline(cfg experiments.Config, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := experiments.WriteBaseline(cfg, f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func run(name string, cfg experiments.Config, outDir string) (*experiments.Table, error) {

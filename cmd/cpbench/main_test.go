@@ -1,11 +1,14 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
 	"repro/internal/experiments"
+	"repro/internal/telemetry"
 )
 
 var tinyCfg = experiments.Config{
@@ -42,6 +45,72 @@ func TestWriteCSV(t *testing.T) {
 	}
 	if err := writeCSV(tbl, filepath.Join(t.TempDir(), "missing", "t.csv")); err == nil {
 		t.Fatal("unwritable path must fail")
+	}
+}
+
+func TestWriteMetrics(t *testing.T) {
+	cfg := tinyCfg
+	cfg.Tel = telemetry.New()
+	if _, err := run("table3", cfg, t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "table3.metrics.json")
+	if err := writeMetrics(cfg.Tel, path); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		Counters map[string]int64 `json:"counters"`
+	}
+	if err := json.Unmarshal(b, &snap); err != nil {
+		t.Fatalf("metrics file is not valid JSON: %v", err)
+	}
+	if snap.Counters["mpi.p2p.msgs"] == 0 {
+		t.Error("table3 (ratio-oriented distributed) must record p2p traffic")
+	}
+}
+
+func TestWriteBaseline(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_baseline.json")
+	if err := writeBaseline(tinyCfg, path); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Tables map[string]struct {
+			Rows []struct {
+				Compressor string  `json:"compressor"`
+				CRAll      float64 `json:"cr_all"`
+			} `json:"rows"`
+			Metrics struct {
+				Spans []struct {
+					Name string `json:"name"`
+				} `json:"spans"`
+			} `json:"metrics"`
+		} `json:"tables"`
+	}
+	if err := json.Unmarshal(b, &rep); err != nil {
+		t.Fatalf("baseline file is not valid JSON: %v", err)
+	}
+	for _, name := range []string{"table5", "table6", "table7"} {
+		tbl, ok := rep.Tables[name]
+		if !ok || len(tbl.Rows) == 0 {
+			t.Fatalf("baseline missing %s rows", name)
+		}
+		for _, r := range tbl.Rows {
+			if r.CRAll <= 0 {
+				t.Errorf("%s: %s has non-positive ratio", name, r.Compressor)
+			}
+		}
+		if len(tbl.Metrics.Spans) == 0 {
+			t.Errorf("%s: no stage spans recorded", name)
+		}
 	}
 }
 

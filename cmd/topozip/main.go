@@ -21,6 +21,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -30,6 +32,7 @@ import (
 	"repro/internal/datagen"
 	"repro/internal/field"
 	"repro/internal/fixed"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -178,6 +181,9 @@ func cmdCompress(args []string) error {
 	tau := fs.Float64("tau", 0.01, "error bound")
 	abs := fs.Bool("abs", false, "interpret -tau as an absolute bound (default: relative to value range)")
 	specFlag := fs.String("spec", "NoSpec", "speculation target: NoSpec, ST1..ST4")
+	metrics := fs.String("metrics", "", "write telemetry (span tree + counters) as JSON to this file")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the compression to this file")
+	memprofile := fs.String("memprofile", "", "write a heap profile taken after compression to this file")
 	fs.Parse(args)
 	if *in == "" || *out == "" || *dimsFlag == "" {
 		return fmt.Errorf("-in, -dims and -out are required")
@@ -194,21 +200,45 @@ func cmdCompress(args []string) error {
 	if err != nil {
 		return err
 	}
+	var tel *telemetry.Collector
+	if *metrics != "" {
+		tel = telemetry.New()
+	}
+	if *cpuprofile != "" {
+		pf, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer pf.Close()
+		if err := pprof.StartCPUProfile(pf); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
 	var blob []byte
+	var st core.Stats
 	var rawBytes int
 	if f2 != nil {
 		t := *tau
 		if !*abs {
 			t *= rangeOf(f2.U, f2.V)
 		}
-		blob, _, err = core.Compress2D(f2, core.Options{Tau: t, Spec: spec})
+		tr, ferr := fixed.Fit(f2.U, f2.V)
+		if ferr != nil {
+			return ferr
+		}
+		blob, st, err = core.CompressField2DStats(f2, tr, core.Options{Tau: t, Spec: spec, Tel: tel})
 		rawBytes = 8 * len(f2.U)
 	} else {
 		t := *tau
 		if !*abs {
 			t *= rangeOf(f3.U, f3.V, f3.W)
 		}
-		blob, _, err = core.Compress3D(f3, core.Options{Tau: t, Spec: spec})
+		tr, ferr := fixed.Fit(f3.U, f3.V, f3.W)
+		if ferr != nil {
+			return ferr
+		}
+		blob, st, err = core.CompressField3DStats(f3, tr, core.Options{Tau: t, Spec: spec, Tel: tel})
 		rawBytes = 12 * len(f3.U)
 	}
 	if err != nil {
@@ -219,6 +249,29 @@ func cmdCompress(args []string) error {
 	}
 	fmt.Printf("compressed %d -> %d bytes (ratio %.2f, %s)\n",
 		rawBytes, len(blob), float64(rawBytes)/float64(len(blob)), spec)
+	fmt.Printf("vertices %d: %d lossless, %d relaxed, %d literal escapes; speculation %d trials / %d fails / %d cutoffs\n",
+		st.Vertices, st.Lossless, st.Relaxed, st.Literals, st.SpecTrials, st.SpecFails, st.SpecCutoffs)
+	if *metrics != "" {
+		mf, err := os.Create(*metrics)
+		if err != nil {
+			return err
+		}
+		defer mf.Close()
+		if err := tel.WriteJSON(mf); err != nil {
+			return err
+		}
+	}
+	if *memprofile != "" {
+		pf, err := os.Create(*memprofile)
+		if err != nil {
+			return err
+		}
+		defer pf.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(pf); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -301,6 +354,8 @@ func cmdVerify(args []string) error {
 	if err != nil {
 		return err
 	}
+	var rep cp.Report
+	var orig2, dec2 [][]float32
 	if ndim == 2 {
 		dec, err := core.Decompress2D(blob)
 		if err != nil {
@@ -310,35 +365,56 @@ func cmdVerify(args []string) error {
 		if err != nil {
 			return err
 		}
-		rep := cp.Compare(cp.DetectField2D(f2, tr), cp.DetectField2D(dec, tr))
-		fmt.Printf("critical points: %v\n", rep)
-		fmt.Printf("max abs error: %.6g  PSNR: %.2f dB\n",
-			analysis.MaxAbsError(f2.Components(), dec.Components()),
-			analysis.PSNR(f2.Components(), dec.Components()))
-		if !rep.Preserved() {
-			return fmt.Errorf("critical points NOT preserved")
+		rep = cp.Compare(cp.DetectField2D(f2, tr), cp.DetectField2D(dec, tr))
+		orig2, dec2 = f2.Components(), dec.Components()
+	} else {
+		dec, err := core.Decompress3D(blob)
+		if err != nil {
+			return err
 		}
-		fmt.Println("all critical points preserved")
-		return nil
+		tr, err := fixed.Fit(f3.U, f3.V, f3.W)
+		if err != nil {
+			return err
+		}
+		rep = cp.Compare(cp.DetectField3D(f3, tr), cp.DetectField3D(dec, tr))
+		orig2, dec2 = f3.Components(), dec.Components()
 	}
-	dec, err := core.Decompress3D(blob)
-	if err != nil {
-		return err
-	}
-	tr, err := fixed.Fit(f3.U, f3.V, f3.W)
-	if err != nil {
-		return err
-	}
-	rep := cp.Compare(cp.DetectField3D(f3, tr), cp.DetectField3D(dec, tr))
+	maxErr := analysis.MaxAbsError(orig2, dec2)
+	psnr := analysis.PSNR(orig2, dec2)
 	fmt.Printf("critical points: %v\n", rep)
-	fmt.Printf("max abs error: %.6g  PSNR: %.2f dB\n",
-		analysis.MaxAbsError(f3.Components(), dec.Components()),
-		analysis.PSNR(f3.Components(), dec.Components()))
+	fmt.Printf("max abs error: %.6g  PSNR: %.2f dB\n", maxErr, psnr)
+	rawBytes := 0
+	for _, c := range orig2 {
+		rawBytes += 4 * len(c)
+	}
+	// Machine-readable one-line summary (deterministic field order).
+	if err := telemetry.EncodeJSONLine(os.Stdout, verifySummary{
+		TP: rep.TP, FP: rep.FP, FN: rep.FN, FT: rep.FT,
+		Ratio:       float64(rawBytes) / float64(len(blob)),
+		MaxAbsError: maxErr,
+		PSNRdB:      psnr,
+		Preserved:   rep.Preserved(),
+	}); err != nil {
+		return err
+	}
 	if !rep.Preserved() {
 		return fmt.Errorf("critical points NOT preserved")
 	}
 	fmt.Println("all critical points preserved")
 	return nil
+}
+
+// verifySummary is the machine-readable verify result; encoded with the
+// telemetry JSON writer so the field order is deterministic.
+type verifySummary struct {
+	TP          int     `json:"tp"`
+	FP          int     `json:"fp"`
+	FN          int     `json:"fn"`
+	FT          int     `json:"ft"`
+	Ratio       float64 `json:"ratio"`
+	MaxAbsError float64 `json:"max_abs_error"`
+	PSNRdB      float64 `json:"psnr_db"`
+	Preserved   bool    `json:"preserved"`
 }
 
 func cmdInfo(args []string) error {

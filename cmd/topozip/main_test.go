@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -88,6 +89,52 @@ func TestCLIWorkflow(t *testing.T) {
 	st, err := os.Stat(back)
 	if err != nil || st.Size() != 48*40*2*4 {
 		t.Fatalf("decompressed size %v, err %v", st, err)
+	}
+}
+
+// TestCLIMetricsAndProfiles checks the observability flags: -metrics
+// produces a JSON document with the stage span tree and counters, and the
+// pprof flags produce non-empty profile files.
+func TestCLIMetricsAndProfiles(t *testing.T) {
+	dir := t.TempDir()
+	raw := filepath.Join(dir, "ocean.f32")
+	comp := filepath.Join(dir, "ocean.szp")
+	metrics := filepath.Join(dir, "m.json")
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+
+	if err := cmdGen([]string{"-data", "ocean", "-dims", "48x40", "-out", raw}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdCompress([]string{"-in", raw, "-dims", "48x40", "-tau", "0.01", "-spec", "ST3",
+		"-out", comp, "-metrics", metrics, "-cpuprofile", cpu, "-memprofile", mem}); err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		Counters map[string]int64 `json:"counters"`
+		Spans    []struct {
+			Name     string            `json:"name"`
+			Children []json.RawMessage `json:"children"`
+		} `json:"spans"`
+	}
+	b, err := os.ReadFile(metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(b, &snap); err != nil {
+		t.Fatalf("metrics file is not valid JSON: %v", err)
+	}
+	if snap.Counters["core.2d.ST3.vertices"] != 48*40 {
+		t.Errorf("vertices counter = %d, want %d", snap.Counters["core.2d.ST3.vertices"], 48*40)
+	}
+	if len(snap.Spans) != 1 || snap.Spans[0].Name != "core.compress2d" || len(snap.Spans[0].Children) == 0 {
+		t.Errorf("unexpected span tree: %+v", snap.Spans)
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil || st.Size() == 0 {
+			t.Errorf("profile %s missing or empty (err %v)", p, err)
+		}
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 	"repro/internal/encoder"
 	"repro/internal/field"
 	"repro/internal/huffman"
+	"repro/internal/telemetry"
 )
 
 // FPZIPLike is a predictive compressor with precision-bit truncation
@@ -19,6 +20,8 @@ import (
 type FPZIPLike struct {
 	// Precision is the number of most-significant bits kept (1..32).
 	Precision int
+	// Tel, when non-nil, receives a span per compress/decompress call.
+	Tel *telemetry.Collector
 }
 
 const fpMagic = 0x5A46 // "FZ"
@@ -45,11 +48,13 @@ func unmonotonic(m uint32) float32 {
 
 // Compress2D compresses a 2D field.
 func (z FPZIPLike) Compress2D(f *field.Field2D) ([]byte, error) {
+	defer z.Tel.Span("baselines.fpzip.compress2d").End()
 	return z.compress(2, f.NX, f.NY, 1, f.Components())
 }
 
 // Compress3D compresses a 3D field.
 func (z FPZIPLike) Compress3D(f *field.Field3D) ([]byte, error) {
+	defer z.Tel.Span("baselines.fpzip.compress3d").End()
 	return z.compress(3, f.NX, f.NY, f.NZ, f.Components())
 }
 
@@ -123,6 +128,7 @@ func bitsLen(v uint64) int {
 
 // Decompress2D reconstructs a 2D field.
 func (z FPZIPLike) Decompress2D(blob []byte) (*field.Field2D, error) {
+	defer z.Tel.Span("baselines.fpzip.decompress2d").End()
 	ndim, nx, ny, _, comps, err := z.decompress(blob)
 	if err != nil {
 		return nil, err
@@ -138,6 +144,7 @@ func (z FPZIPLike) Decompress2D(blob []byte) (*field.Field2D, error) {
 
 // Decompress3D reconstructs a 3D field.
 func (z FPZIPLike) Decompress3D(blob []byte) (*field.Field3D, error) {
+	defer z.Tel.Span("baselines.fpzip.decompress3d").End()
 	ndim, nx, ny, nz, comps, err := z.decompress(blob)
 	if err != nil {
 		return nil, err

@@ -20,6 +20,7 @@ import (
 	"repro/internal/field"
 	"repro/internal/huffman"
 	"repro/internal/quantizer"
+	"repro/internal/telemetry"
 )
 
 // SZLike is a prediction-based compressor with a global absolute error
@@ -27,17 +28,21 @@ import (
 type SZLike struct {
 	// Abs is the absolute error bound.
 	Abs float64
+	// Tel, when non-nil, receives a span per compress/decompress call.
+	Tel *telemetry.Collector
 }
 
 const szMagic = 0x5A53 // "SZ"
 
 // Compress2D compresses a 2D field.
 func (s SZLike) Compress2D(f *field.Field2D) ([]byte, error) {
+	defer s.Tel.Span("baselines.sz.compress2d").End()
 	return szCompress(s.Abs, 2, f.NX, f.NY, 1, f.Components())
 }
 
 // Compress3D compresses a 3D field.
 func (s SZLike) Compress3D(f *field.Field3D) ([]byte, error) {
+	defer s.Tel.Span("baselines.sz.compress3d").End()
 	return szCompress(s.Abs, 3, f.NX, f.NY, f.NZ, f.Components())
 }
 
@@ -93,6 +98,7 @@ const escSym = uint32(2 * quantizer.Radius)
 
 // Decompress2D reconstructs a 2D field compressed by SZLike.
 func (s SZLike) Decompress2D(blob []byte) (*field.Field2D, error) {
+	defer s.Tel.Span("baselines.sz.decompress2d").End()
 	ndim, nx, ny, _, comps, err := szDecompress(blob)
 	if err != nil {
 		return nil, err
@@ -108,6 +114,7 @@ func (s SZLike) Decompress2D(blob []byte) (*field.Field2D, error) {
 
 // Decompress3D reconstructs a 3D field compressed by SZLike.
 func (s SZLike) Decompress3D(blob []byte) (*field.Field3D, error) {
+	defer s.Tel.Span("baselines.sz.decompress3d").End()
 	ndim, nx, ny, nz, comps, err := szDecompress(blob)
 	if err != nil {
 		return nil, err

@@ -9,6 +9,7 @@ import (
 	"repro/internal/bitstream"
 	"repro/internal/encoder"
 	"repro/internal/field"
+	"repro/internal/telemetry"
 )
 
 // ZFPLike is a transform-based compressor working on 4^d blocks: block
@@ -26,6 +27,8 @@ type ZFPLike struct {
 	// Accuracy, when positive, selects fixed-accuracy mode with the given
 	// absolute error tolerance.
 	Accuracy float64
+	// Tel, when non-nil, receives a span per compress/decompress call.
+	Tel *telemetry.Collector
 }
 
 const (
@@ -40,11 +43,13 @@ const (
 
 // Compress2D compresses a 2D field.
 func (z ZFPLike) Compress2D(f *field.Field2D) ([]byte, error) {
+	defer z.Tel.Span("baselines.zfp.compress2d").End()
 	return z.compress(2, f.NX, f.NY, 1, f.Components())
 }
 
 // Compress3D compresses a 3D field.
 func (z ZFPLike) Compress3D(f *field.Field3D) ([]byte, error) {
+	defer z.Tel.Span("baselines.zfp.compress3d").End()
 	return z.compress(3, f.NX, f.NY, f.NZ, f.Components())
 }
 
@@ -329,6 +334,7 @@ func decodeBlock(r *bitstream.Reader, block []int64, planes int) error {
 
 // Decompress2D reconstructs a 2D field.
 func (z ZFPLike) Decompress2D(blob []byte) (*field.Field2D, error) {
+	defer z.Tel.Span("baselines.zfp.decompress2d").End()
 	ndim, nx, ny, _, comps, err := z.decompress(blob)
 	if err != nil {
 		return nil, err
@@ -344,6 +350,7 @@ func (z ZFPLike) Decompress2D(blob []byte) (*field.Field2D, error) {
 
 // Decompress3D reconstructs a 3D field.
 func (z ZFPLike) Decompress3D(blob []byte) (*field.Field3D, error) {
+	defer z.Tel.Span("baselines.zfp.decompress3d").End()
 	ndim, nx, ny, nz, comps, err := z.decompress(blob)
 	if err != nil {
 		return nil, err

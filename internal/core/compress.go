@@ -20,15 +20,24 @@ func Compress2D(f *field.Field2D, opts Options) ([]byte, fixed.Transform, error)
 // CompressField2D compresses a single-node 2D field with the given
 // transform.
 func CompressField2D(f *field.Field2D, tr fixed.Transform, opts Options) ([]byte, error) {
+	blob, _, err := CompressField2DStats(f, tr, opts)
+	return blob, err
+}
+
+// CompressField2DStats is CompressField2D returning the encoder's Stats
+// alongside the blob, so callers can report speculation and relaxation
+// behaviour without reaching into the encoder.
+func CompressField2DStats(f *field.Field2D, tr fixed.Transform, opts Options) ([]byte, Stats, error) {
 	enc, err := NewEncoder2D(Block2D{
 		NX: f.NX, NY: f.NY, U: f.U, V: f.V,
 		Transform: tr, Opts: opts,
 	})
 	if err != nil {
-		return nil, err
+		return nil, Stats{}, err
 	}
 	enc.Run()
-	return enc.Finish()
+	blob, err := enc.Finish()
+	return blob, enc.Stats(), err
 }
 
 // Compress3D compresses a 3D vector field with a fitted transform.
@@ -44,13 +53,21 @@ func Compress3D(f *field.Field3D, opts Options) ([]byte, fixed.Transform, error)
 // CompressField3D compresses a single-node 3D field with the given
 // transform.
 func CompressField3D(f *field.Field3D, tr fixed.Transform, opts Options) ([]byte, error) {
+	blob, _, err := CompressField3DStats(f, tr, opts)
+	return blob, err
+}
+
+// CompressField3DStats is CompressField3D returning the encoder's Stats
+// alongside the blob.
+func CompressField3DStats(f *field.Field3D, tr fixed.Transform, opts Options) ([]byte, Stats, error) {
 	enc, err := NewEncoder3D(Block3D{
 		NX: f.NX, NY: f.NY, NZ: f.NZ, U: f.U, V: f.V, W: f.W,
 		Transform: tr, Opts: opts,
 	})
 	if err != nil {
-		return nil, err
+		return nil, Stats{}, err
 	}
 	enc.Run()
-	return enc.Finish()
+	blob, err := enc.Finish()
+	return blob, enc.Stats(), err
 }

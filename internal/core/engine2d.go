@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/cp"
 	"repro/internal/derive"
@@ -80,6 +81,7 @@ type Encoder2D struct {
 	literals     []byte
 	cellBuf      []int
 	stats        Stats
+	tel          engineTel
 	prepared     bool
 	finished     bool
 }
@@ -140,7 +142,9 @@ func NewEncoder2D(blk Block2D) (*Encoder2D, error) {
 		blk.Transform.ToFixed(blk.PrevV, e.prevV)
 	}
 	e.mesh = field.Mesh2D{NX: e.extNX, NY: e.extNY}
+	e.tel = newEngineTel(blk.Opts, "2d")
 	// Fill own region.
+	convert := e.tel.stage("fixed-convert")
 	row := make([]int64, blk.NX)
 	for j := 0; j < blk.NY; j++ {
 		blk.Transform.ToFixed(blk.U[j*blk.NX:(j+1)*blk.NX], row)
@@ -151,6 +155,7 @@ func NewEncoder2D(blk Block2D) (*Encoder2D, error) {
 			e.valid[(j+e.offY)*e.extNX+e.offX+i] = true
 		}
 	}
+	convert.End()
 	return e, nil
 }
 
@@ -233,6 +238,8 @@ func (e *Encoder2D) BorderLine(side int) (u, v []int64) {
 // For two-phase blocks all ghost lines must have been set (with the
 // neighbors' original values).
 func (e *Encoder2D) Prepare() {
+	precompute := e.tel.stage("cp-precompute")
+	defer precompute.End()
 	gx0 := e.blk.GlobalX0 - e.offX
 	gy0 := e.blk.GlobalY0 - e.offY
 	gnx := e.blk.GlobalNX
@@ -305,11 +312,13 @@ func (e *Encoder2D) Run() {
 		e.RunPhase2()
 		return
 	}
+	process := e.tel.stage("process")
 	for oj := 0; oj < e.blk.NY; oj++ {
 		for oi := 0; oi < e.blk.NX; oi++ {
 			e.processVertex(oi, oj)
 		}
 	}
+	process.End()
 }
 
 // RunPhase1 compresses every vertex except those on neighbor-facing max
@@ -318,6 +327,7 @@ func (e *Encoder2D) RunPhase1() {
 	if !e.prepared {
 		e.Prepare()
 	}
+	process := e.tel.stage("process-phase1")
 	for oj := 0; oj < e.blk.NY; oj++ {
 		for oi := 0; oi < e.blk.NX; oi++ {
 			if e.phase2Vertex(oi, oj) {
@@ -326,12 +336,14 @@ func (e *Encoder2D) RunPhase1() {
 			e.processVertex(oi, oj)
 		}
 	}
+	process.End()
 }
 
 // RunPhase2 compresses the remaining max-plane vertices. Ghost lines on
 // the max sides should have been refreshed with the neighbors'
 // decompressed borders.
 func (e *Encoder2D) RunPhase2() {
+	process := e.tel.stage("process-phase2")
 	for oj := 0; oj < e.blk.NY; oj++ {
 		for oi := 0; oi < e.blk.NX; oi++ {
 			if e.phase2Vertex(oi, oj) {
@@ -339,6 +351,7 @@ func (e *Encoder2D) RunPhase2() {
 			}
 		}
 	}
+	process.End()
 }
 
 func (e *Encoder2D) phase2Vertex(oi, oj int) bool {
@@ -390,6 +403,7 @@ func (e *Encoder2D) processVertex(oi, oj int) {
 			xi, relaxed = e.deriveBound(vid)
 			if relaxed {
 				e.stats.Relaxed++
+				e.tel.relaxed.Inc()
 			}
 		}
 		sym, snapped = quantizer.BoundSym(xi, e.tau)
@@ -407,6 +421,9 @@ func (e *Encoder2D) processVertex(oi, oj int) {
 // deriveBound is Algorithm 2 lines 5–17: the minimum over adjacent cells
 // of min(Ψ, τ′), with the sign-uniformity relaxation.
 func (e *Encoder2D) deriveBound(vid int) (xi int64, relaxed bool) {
+	if e.tel.deriveNS != nil {
+		defer e.tel.deriveNS.AddSince(time.Now())
+	}
 	e.cellBuf = e.mesh.VertexCells(vid, e.cellBuf[:0])
 	xi = e.tau
 	for _, c := range e.cellBuf {
@@ -485,19 +502,21 @@ func (e *Encoder2D) speculateST1(oi, oj, vid int, cpA bool) (uint8, int64) {
 	fails := 0
 	for {
 		e.stats.SpecTrials++
+		e.tel.specTrials.Inc()
 		sym, snapped := quantizer.BoundSym(try, e.tau)
 		_, recons, _ := e.tryQuantize(oi, oj, vid, snapped)
 		if absDiff(recons[0], e.u[vid]) <= xi && absDiff(recons[1], e.v[vid]) <= xi {
 			return sym, snapped
 		}
 		e.stats.SpecFails++
+		e.tel.specFails.Inc()
 		fails++
 		if fails > nl {
-			return quantizer.LosslessSym, 0
+			return e.specCutoff()
 		}
 		try >>= 1
 		if try <= 0 {
-			return quantizer.LosslessSym, 0
+			return e.specCutoff()
 		}
 	}
 }
@@ -535,6 +554,7 @@ func (e *Encoder2D) speculateVerify(oi, oj, vid int, check func(c int) bool) (ui
 	origU, origV := e.u[vid], e.v[vid]
 	for {
 		e.stats.SpecTrials++
+		e.tel.specTrials.Inc()
 		sym, snapped := quantizer.BoundSym(try, e.tau)
 		_, recons, _ := e.tryQuantize(oi, oj, vid, snapped)
 		e.u[vid], e.v[vid] = recons[0], recons[1]
@@ -551,15 +571,25 @@ func (e *Encoder2D) speculateVerify(oi, oj, vid int, check func(c int) bool) (ui
 			return sym, snapped
 		}
 		e.stats.SpecFails++
+		e.tel.specFails.Inc()
 		fails++
 		if fails > nl {
-			return quantizer.LosslessSym, 0
+			return e.specCutoff()
 		}
 		try >>= 1
 		if try <= 0 {
-			return quantizer.LosslessSym, 0
+			return e.specCutoff()
 		}
 	}
+}
+
+// specCutoff records the hard cut-off to lossless storage after
+// speculation exhausts its retry budget (n_l failures or a trial bound
+// shrunk to zero).
+func (e *Encoder2D) specCutoff() (uint8, int64) {
+	e.stats.SpecCutoffs++
+	e.tel.specCutoffs.Inc()
+	return quantizer.LosslessSym, 0
 }
 
 // tryQuantize quantizes both components of the vertex against the snapped
@@ -623,12 +653,16 @@ func predictOwn2D(z []int64, done []bool, nx, oi, oj int) int64 {
 // arrays with the decompressed values (Algorithm 2 lines 18–22).
 func (e *Encoder2D) commit(vid, oi, oj int, sym uint8, codes, recons [2]int64, esc [2]bool) {
 	e.stats.Vertices++
+	e.tel.vertices.Inc()
+	e.tel.boundExp.Observe(int64(sym))
 	if sym == quantizer.LosslessSym {
 		e.stats.Lossless++
+		e.tel.lossless.Inc()
 	}
 	for _, esc1 := range esc {
 		if esc1 {
 			e.stats.Literals++
+			e.tel.literals.Inc()
 		}
 	}
 	e.expSyms = append(e.expSyms, uint32(sym))
@@ -670,7 +704,11 @@ func (e *Encoder2D) Finish() ([]byte, error) {
 	}
 	h.Border = e.blk.LosslessBorder
 	h.Temporal = e.prevU != nil
-	return encoder.Pack(h.marshal(), huffman.Compress(e.expSyms), huffman.Compress(e.codeSyms), e.literals)
+	entropy := e.tel.stage("entropy-code")
+	blob, err := encoder.Pack(h.marshal(), huffman.Compress(e.expSyms), huffman.Compress(e.codeSyms), e.literals)
+	entropy.End()
+	e.tel.finish()
+	return blob, err
 }
 
 // Decompressed returns the reconstructed own block as float32 components

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/cp"
 	"repro/internal/derive"
@@ -52,6 +53,7 @@ type Encoder3D struct {
 	literals            []byte
 	cellBuf             []int
 	stats               Stats
+	tel                 engineTel
 	prepared, finished  bool
 }
 
@@ -120,6 +122,8 @@ func NewEncoder3D(blk Block3D) (*Encoder3D, error) {
 		blk.Transform.ToFixed(blk.PrevW, e.prevW)
 	}
 	e.mesh = field.Mesh3D{NX: e.extNX, NY: e.extNY, NZ: e.extNZ}
+	e.tel = newEngineTel(blk.Opts, "3d")
+	convert := e.tel.stage("fixed-convert")
 	row := make([]int64, blk.NX)
 	for k := 0; k < blk.NZ; k++ {
 		for j := 0; j < blk.NY; j++ {
@@ -136,6 +140,7 @@ func NewEncoder3D(blk Block3D) (*Encoder3D, error) {
 			}
 		}
 	}
+	convert.End()
 	return e, nil
 }
 
@@ -228,6 +233,8 @@ func (e *Encoder3D) BorderFace(side int) (u, v, w []int64) {
 
 // Prepare precomputes the critical point map.
 func (e *Encoder3D) Prepare() {
+	precompute := e.tel.stage("cp-precompute")
+	defer precompute.End()
 	gx0 := e.blk.GlobalX0 - e.offX
 	gy0 := e.blk.GlobalY0 - e.offY
 	gz0 := e.blk.GlobalZ0 - e.offZ
@@ -305,6 +312,7 @@ func (e *Encoder3D) Run() {
 		e.RunPhase2()
 		return
 	}
+	process := e.tel.stage("process")
 	for ok := 0; ok < e.blk.NZ; ok++ {
 		for oj := 0; oj < e.blk.NY; oj++ {
 			for oi := 0; oi < e.blk.NX; oi++ {
@@ -312,6 +320,7 @@ func (e *Encoder3D) Run() {
 			}
 		}
 	}
+	process.End()
 }
 
 // RunPhase1 compresses every vertex not on a neighbor-facing max plane.
@@ -319,6 +328,8 @@ func (e *Encoder3D) RunPhase1() {
 	if !e.prepared {
 		e.Prepare()
 	}
+	process := e.tel.stage("process-phase1")
+	defer process.End()
 	for ok := 0; ok < e.blk.NZ; ok++ {
 		for oj := 0; oj < e.blk.NY; oj++ {
 			for oi := 0; oi < e.blk.NX; oi++ {
@@ -333,6 +344,8 @@ func (e *Encoder3D) RunPhase1() {
 // RunPhase2 compresses the max-plane vertices after the decompressed
 // ghost faces have been refreshed.
 func (e *Encoder3D) RunPhase2() {
+	process := e.tel.stage("process-phase2")
+	defer process.End()
 	for ok := 0; ok < e.blk.NZ; ok++ {
 		for oj := 0; oj < e.blk.NY; oj++ {
 			for oi := 0; oi < e.blk.NX; oi++ {
@@ -397,6 +410,7 @@ func (e *Encoder3D) processVertex(oi, oj, ok int) {
 			xi, relaxed = e.deriveBound(vid)
 			if relaxed {
 				e.stats.Relaxed++
+				e.tel.relaxed.Inc()
 			}
 		}
 		sym, snapped = quantizer.BoundSym(xi, e.tau)
@@ -412,6 +426,9 @@ func (e *Encoder3D) processVertex(oi, oj, ok int) {
 }
 
 func (e *Encoder3D) deriveBound(vid int) (xi int64, relaxed bool) {
+	if e.tel.deriveNS != nil {
+		defer e.tel.deriveNS.AddSince(time.Now())
+	}
 	e.cellBuf = e.mesh.VertexCells(vid, e.cellBuf[:0])
 	xi = e.tau
 	for _, c := range e.cellBuf {
@@ -484,6 +501,7 @@ func (e *Encoder3D) speculateST1(oi, oj, ok, vid int, cpA bool) (uint8, int64) {
 	fails := 0
 	for {
 		e.stats.SpecTrials++
+		e.tel.specTrials.Inc()
 		sym, snapped := quantizer.BoundSym(try, e.tau)
 		_, recons, _ := e.tryQuantize(oi, oj, ok, vid, snapped)
 		if absDiff(recons[0], e.u[vid]) <= xi &&
@@ -492,13 +510,14 @@ func (e *Encoder3D) speculateST1(oi, oj, ok, vid int, cpA bool) (uint8, int64) {
 			return sym, snapped
 		}
 		e.stats.SpecFails++
+		e.tel.specFails.Inc()
 		fails++
 		if fails > nl {
-			return quantizer.LosslessSym, 0
+			return e.specCutoff()
 		}
 		try >>= 1
 		if try <= 0 {
-			return quantizer.LosslessSym, 0
+			return e.specCutoff()
 		}
 	}
 }
@@ -528,6 +547,7 @@ func (e *Encoder3D) speculateVerify(oi, oj, ok, vid int, check func(c int) bool)
 	origU, origV, origW := e.u[vid], e.v[vid], e.w[vid]
 	for {
 		e.stats.SpecTrials++
+		e.tel.specTrials.Inc()
 		sym, snapped := quantizer.BoundSym(try, e.tau)
 		_, recons, _ := e.tryQuantize(oi, oj, ok, vid, snapped)
 		e.u[vid], e.v[vid], e.w[vid] = recons[0], recons[1], recons[2]
@@ -544,15 +564,24 @@ func (e *Encoder3D) speculateVerify(oi, oj, ok, vid int, check func(c int) bool)
 			return sym, snapped
 		}
 		e.stats.SpecFails++
+		e.tel.specFails.Inc()
 		fails++
 		if fails > nl {
-			return quantizer.LosslessSym, 0
+			return e.specCutoff()
 		}
 		try >>= 1
 		if try <= 0 {
-			return quantizer.LosslessSym, 0
+			return e.specCutoff()
 		}
 	}
+}
+
+// specCutoff records the hard cut-off to lossless storage after
+// speculation exhausts its retry budget.
+func (e *Encoder3D) specCutoff() (uint8, int64) {
+	e.stats.SpecCutoffs++
+	e.tel.specCutoffs.Inc()
+	return quantizer.LosslessSym, 0
 }
 
 func (e *Encoder3D) ownComp(comp int) []int64 {
@@ -639,12 +668,16 @@ func predictOwn3D(z []int64, done []bool, nx, ny, oi, oj, ok int) int64 {
 
 func (e *Encoder3D) commit(vid, own int, sym uint8, codes, recons [3]int64, esc [3]bool) {
 	e.stats.Vertices++
+	e.tel.vertices.Inc()
+	e.tel.boundExp.Observe(int64(sym))
 	if sym == quantizer.LosslessSym {
 		e.stats.Lossless++
+		e.tel.lossless.Inc()
 	}
 	for _, esc1 := range esc {
 		if esc1 {
 			e.stats.Literals++
+			e.tel.literals.Inc()
 		}
 	}
 	e.expSyms = append(e.expSyms, uint32(sym))
@@ -684,7 +717,11 @@ func (e *Encoder3D) Finish() ([]byte, error) {
 	copy(h.HasGhost[:], e.blk.Neighbor[:])
 	h.Border = e.blk.LosslessBorder
 	h.Temporal = e.prevU != nil
-	return encoder.Pack(h.marshal(), huffman.Compress(e.expSyms), huffman.Compress(e.codeSyms), e.literals)
+	entropy := e.tel.stage("entropy-code")
+	blob, err := encoder.Pack(h.marshal(), huffman.Compress(e.expSyms), huffman.Compress(e.codeSyms), e.literals)
+	entropy.End()
+	e.tel.finish()
+	return blob, err
 }
 
 // Stats reports what the encoder did so far.

@@ -24,6 +24,8 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+
+	"repro/internal/telemetry"
 )
 
 // Speculation selects the speculative compression target (Table I).
@@ -101,6 +103,16 @@ type Options struct {
 	// predicates of Theorem 2. UNSOUND — preservation can fail; the
 	// ablation demonstrates why the extra predicates are necessary.
 	OrientationOnly bool
+
+	// Tel, when non-nil, receives per-stage spans, speculation and
+	// relaxation counters, and the bound-exponent histogram of the run.
+	// nil (the default) disables telemetry; instrumented paths then cost
+	// one nil check per event.
+	Tel *telemetry.Collector
+	// TelSpan optionally parents the encoder's stage spans (the
+	// distributed strategies pass a per-rank span here). When nil and Tel
+	// is set, the encoder opens its own root span.
+	TelSpan *telemetry.Span
 }
 
 // Stats reports what the encoder did; useful for tuning and for the
@@ -116,8 +128,24 @@ type Stats struct {
 	// SpecTrials and SpecFails count speculation attempts and rejected
 	// attempts.
 	SpecTrials, SpecFails int
+	// SpecCutoffs counts vertices where speculation hit the hard cut-off
+	// (n_l failures, or the trial bound shrank to zero) and fell back to
+	// lossless storage.
+	SpecCutoffs int
 	// Literals counts component values escaped to the literal stream.
 	Literals int
+}
+
+// Add accumulates o into s, for aggregating per-block stats of a
+// distributed run.
+func (s *Stats) Add(o Stats) {
+	s.Vertices += o.Vertices
+	s.Lossless += o.Lossless
+	s.Relaxed += o.Relaxed
+	s.SpecTrials += o.SpecTrials
+	s.SpecFails += o.SpecFails
+	s.SpecCutoffs += o.SpecCutoffs
+	s.Literals += o.Literals
 }
 
 // Validate reports whether the options are usable.

@@ -1,0 +1,66 @@
+package core
+
+import (
+	"repro/internal/telemetry"
+)
+
+// engineTel bundles the instrument handles of one encoder. Handles are
+// resolved once at construction; when telemetry is disabled every field
+// is nil and each instrumented event costs exactly one nil check.
+//
+// Metric names are per-dimension and per-speculation-target
+// (core.<2d|3d>.<target>.<metric>) so a comparator run that exercises
+// several targets keeps them apart; the bound-exponent histogram is
+// per-dimension only, giving the overall tightness distribution of the
+// stored bounds.
+type engineTel struct {
+	vertices    *telemetry.Counter // own vertices committed
+	lossless    *telemetry.Counter // vertices stored with bound 0
+	relaxed     *telemetry.Counter // sign-uniformity relaxation hits
+	specTrials  *telemetry.Counter // speculation attempts
+	specFails   *telemetry.Counter // rejected attempts (rollbacks)
+	specCutoffs *telemetry.Counter // hard cut-offs to lossless
+	literals    *telemetry.Counter // literal-stream escapes
+	deriveNS    *telemetry.Counter // accumulated wall time in deriveBound
+	boundExp    *telemetry.Histogram
+	span        *telemetry.Span
+	ownSpan     bool // span opened by the encoder; ended in Finish
+}
+
+// newEngineTel resolves the handles for one encoder; dim is "2d" or "3d".
+func newEngineTel(opts Options, dim string) engineTel {
+	c := opts.Tel
+	if c == nil {
+		return engineTel{}
+	}
+	p := "core." + dim + "." + opts.Spec.String() + "."
+	t := engineTel{
+		vertices:    c.Counter(p + "vertices"),
+		lossless:    c.Counter(p + "lossless"),
+		relaxed:     c.Counter(p + "relaxed"),
+		specTrials:  c.Counter(p + "spec_trials"),
+		specFails:   c.Counter(p + "spec_fails"),
+		specCutoffs: c.Counter(p + "spec_cutoffs"),
+		literals:    c.Counter(p + "literal_escapes"),
+		deriveNS:    c.Counter(p + "derive_ns"),
+		boundExp:    c.Histogram("core." + dim + ".bound_exp_sym"),
+		span:        opts.TelSpan,
+	}
+	if t.span == nil {
+		t.span = c.Span("core.compress" + dim)
+		t.ownSpan = true
+	}
+	return t
+}
+
+// stage opens a stage-scoped child span; nil-safe.
+func (t *engineTel) stage(name string) *telemetry.Span {
+	return t.span.Child(name)
+}
+
+// finish ends the encoder's root span if the encoder opened it.
+func (t *engineTel) finish() {
+	if t.ownSpan {
+		t.span.End()
+	}
+}

@@ -34,6 +34,7 @@ import (
 	"repro/internal/field"
 	"repro/internal/huffman"
 	"repro/internal/quantizer"
+	"repro/internal/telemetry"
 )
 
 // Scheme selects the cpSZ variant.
@@ -61,6 +62,45 @@ type Options struct {
 	// authors).
 	Rel    float64
 	Scheme Scheme
+	// Tel, when non-nil, receives stage spans and per-vertex counters
+	// (lossless vertices, literal escapes). TelSpan optionally parents
+	// the stage spans (e.g. under a benchmark-run span).
+	Tel     *telemetry.Collector
+	TelSpan *telemetry.Span
+}
+
+// cpszTel bundles the instrumentation handles of one compression run; the
+// zero value (telemetry disabled) makes every use a no-op.
+type cpszTel struct {
+	vertices, lossless, escapes *telemetry.Counter
+	span                        *telemetry.Span
+	ownSpan                     bool
+}
+
+func newCpszTel(opts Options, dim string) cpszTel {
+	if opts.Tel == nil {
+		return cpszTel{}
+	}
+	p := "cpsz." + dim + "." + opts.Scheme.String() + "."
+	t := cpszTel{
+		vertices: opts.Tel.Counter(p + "vertices"),
+		lossless: opts.Tel.Counter(p + "lossless"),
+		escapes:  opts.Tel.Counter(p + "literal_escapes"),
+		span:     opts.TelSpan,
+	}
+	if t.span == nil {
+		t.span = opts.Tel.Span("cpsz.compress" + dim)
+		t.ownSpan = true
+	}
+	return t
+}
+
+func (t cpszTel) stage(name string) *telemetry.Span { return t.span.Child(name) }
+
+func (t cpszTel) finish() {
+	if t.ownSpan {
+		t.span.End()
+	}
 }
 
 // Validate reports whether the options are usable.
@@ -89,12 +129,15 @@ func Compress2D(f *field.Field2D, opts Options) ([]byte, error) {
 	nx, ny := f.NX, f.NY
 	mesh := field.Mesh2D{NX: nx, NY: ny}
 	n := nx * ny
+	tel := newCpszTel(opts, "2d")
+	defer tel.finish()
 
 	// Working copies (float64; overwritten with decompressed values).
 	u := toF64(f.U)
 	v := toF64(f.V)
 
 	// Numerical critical point detection on the original data.
+	sp := tel.stage("cp-detect")
 	nc := mesh.NumCells()
 	cpCell := make([]bool, nc)
 	for c := 0; c < nc; c++ {
@@ -107,21 +150,26 @@ func Compress2D(f *field.Field2D, opts Options) ([]byte, error) {
 		for _, c := range cellBuf {
 			if cpCell[c] {
 				lossless[i] = true
+				tel.lossless.Inc()
 				break
 			}
 		}
 	}
+	sp.End()
 
 	// Decoupled: derive every bound up front from the original data,
 	// shared among the 3 vertices of each cell.
 	var preBounds []float64
 	if opts.Scheme == Decoupled {
+		sp = tel.stage("derive-bounds")
 		preBounds = make([]float64, n)
 		for i := 0; i < n; i++ {
 			preBounds[i] = deriveVertex2D(mesh, i, u, v, cellBuf) / 3
 		}
+		sp.End()
 	}
 
+	sp = tel.stage("quantize")
 	st := newStreams(n, 2)
 	delta := math.Log2(1 + opts.Rel)
 	logU := make([]float64, n) // reconstructed log-domain values
@@ -182,6 +230,11 @@ func Compress2D(f *field.Field2D, opts Options) ([]byte, error) {
 			st.done[idx] = true
 		}
 	}
+	sp.End()
+	tel.vertices.Add(int64(n))
+	tel.escapes.Add(int64(len(st.literals) / 4))
+	sp = tel.stage("entropy-code")
+	defer sp.End()
 	return st.pack(2, nx, ny, 0, opts)
 }
 
@@ -193,11 +246,14 @@ func Compress3D(f *field.Field3D, opts Options) ([]byte, error) {
 	nx, ny, nz := f.NX, f.NY, f.NZ
 	mesh := field.Mesh3D{NX: nx, NY: ny, NZ: nz}
 	n := nx * ny * nz
+	tel := newCpszTel(opts, "3d")
+	defer tel.finish()
 
 	u := toF64(f.U)
 	v := toF64(f.V)
 	w := toF64(f.W)
 
+	sp := tel.stage("cp-detect")
 	nc := mesh.NumCells()
 	cpCell := make([]bool, nc)
 	for c := 0; c < nc; c++ {
@@ -210,18 +266,23 @@ func Compress3D(f *field.Field3D, opts Options) ([]byte, error) {
 		for _, c := range cellBuf {
 			if cpCell[c] {
 				lossless[i] = true
+				tel.lossless.Inc()
 				break
 			}
 		}
 	}
+	sp.End()
 	var preBounds []float64
 	if opts.Scheme == Decoupled {
+		sp = tel.stage("derive-bounds")
 		preBounds = make([]float64, n)
 		for i := 0; i < n; i++ {
 			preBounds[i] = deriveVertex3D(mesh, i, u, v, w, cellBuf) / 4
 		}
+		sp.End()
 	}
 
+	sp = tel.stage("quantize")
 	st := newStreams(n, 3)
 	delta := math.Log2(1 + opts.Rel)
 	logs3 := [3][]float64{make([]float64, n), make([]float64, n), make([]float64, n)}
@@ -277,6 +338,11 @@ func Compress3D(f *field.Field3D, opts Options) ([]byte, error) {
 			}
 		}
 	}
+	sp.End()
+	tel.vertices.Add(int64(n))
+	tel.escapes.Add(int64(len(st.literals) / 4))
+	sp = tel.stage("entropy-code")
+	defer sp.End()
 	return st.pack(3, nx, ny, nz, opts)
 }
 

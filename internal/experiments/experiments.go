@@ -23,6 +23,8 @@ import (
 	"math"
 	"strings"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // Config scales the experiments.
@@ -34,6 +36,10 @@ type Config struct {
 	TurbBlock              int     // Fig. 9 per-rank block side (default 24)
 	Fig9Grids              []int   // Fig. 9 rank-grid sides; ranks = side³ (default {2, 4} ⇒ 8 and 64 ranks)
 	TauRel                 float64 // our method's bound as a fraction of the value range (default 0.01)
+
+	// Tel, when non-nil, collects per-run stage spans and the engine and
+	// communication counters of every compression the experiment performs.
+	Tel *telemetry.Collector `json:"-"`
 }
 
 // WithDefaults fills unset fields.

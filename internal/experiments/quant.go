@@ -88,14 +88,17 @@ func quant2D(cfg Config, title string) (QuantResult, error) {
 	for _, spec := range []core.Speculation{core.NoSpec, core.ST1, core.ST2, core.ST3, core.ST4} {
 		var blob []byte
 		var cerr error
+		sp := cfg.Tel.Span("ours-" + spec.String())
 		dc := timeIt(func() {
-			blob, cerr = core.CompressField2D(f, tr, core.Options{Tau: tau, Spec: spec})
+			blob, cerr = core.CompressField2D(f, tr, core.Options{Tau: tau, Spec: spec, Tel: cfg.Tel, TelSpan: sp})
 		})
 		if cerr != nil {
 			return QuantResult{}, cerr
 		}
 		var g *field.Field2D
 		dd := timeIt(func() { g, cerr = core.Decompress2D(blob) })
+		sp.AddChild("decompress", dd)
+		sp.End()
 		if cerr != nil {
 			return QuantResult{}, cerr
 		}
@@ -114,12 +117,17 @@ func quant2D(cfg Config, title string) (QuantResult, error) {
 	for _, scheme := range []cpsz.Scheme{cpsz.Decoupled, cpsz.Coupled} {
 		var blob []byte
 		var cerr error
-		dc := timeIt(func() { blob, cerr = cpsz.Compress2D(f, cpsz.Options{Rel: 0.1, Scheme: scheme}) })
+		sp := cfg.Tel.Span("cpsz-" + scheme.String())
+		dc := timeIt(func() {
+			blob, cerr = cpsz.Compress2D(f, cpsz.Options{Rel: 0.1, Scheme: scheme, Tel: cfg.Tel, TelSpan: sp})
+		})
 		if cerr != nil {
 			return QuantResult{}, cerr
 		}
 		var g *field.Field2D
 		dd := timeIt(func() { g, _, cerr = cpsz.Decompress(blob) })
+		sp.AddChild("decompress", dd)
+		sp.End()
 		if cerr != nil {
 			return QuantResult{}, cerr
 		}
@@ -139,7 +147,7 @@ func quant2D(cfg Config, title string) (QuantResult, error) {
 		b, _ := baselines.SZLike{Abs: p}.Compress2D(f)
 		return len(b)
 	})
-	sz := baselines.SZLike{Abs: szAbs}
+	sz := baselines.SZLike{Abs: szAbs, Tel: cfg.Tel}
 	rows = append(rows, evalBaseline2D(f, tr, orig, raw,
 		"SZ3", fmt.Sprintf("-A %.3g", szAbs),
 		func() ([]byte, error) { return sz.Compress2D(f) },
@@ -152,7 +160,7 @@ func quant2D(cfg Config, title string) (QuantResult, error) {
 		b, _ := baselines.ZFPLike{Accuracy: p}.Compress2D(f)
 		return len(b)
 	})
-	za := baselines.ZFPLike{Accuracy: zfpAcc}
+	za := baselines.ZFPLike{Accuracy: zfpAcc, Tel: cfg.Tel}
 	rows = append(rows, evalBaseline2D(f, tr, orig, raw,
 		"ZFP", fmt.Sprintf("-A %.3g", zfpAcc),
 		func() ([]byte, error) { return za.Compress2D(f) },
@@ -165,7 +173,7 @@ func quant2D(cfg Config, title string) (QuantResult, error) {
 		b, _ := baselines.ZFPLike{Precision: p}.Compress2D(f)
 		return len(b)
 	})
-	zp := baselines.ZFPLike{Precision: zfpP}
+	zp := baselines.ZFPLike{Precision: zfpP, Tel: cfg.Tel}
 	rows = append(rows, evalBaseline2D(f, tr, orig, raw,
 		"ZFP", fmt.Sprintf("-P %d", zfpP),
 		func() ([]byte, error) { return zp.Compress2D(f) },
@@ -178,7 +186,7 @@ func quant2D(cfg Config, title string) (QuantResult, error) {
 		b, _ := baselines.FPZIPLike{Precision: p}.Compress2D(f)
 		return len(b)
 	})
-	fp := baselines.FPZIPLike{Precision: fpP}
+	fp := baselines.FPZIPLike{Precision: fpP, Tel: cfg.Tel}
 	rows = append(rows, evalBaseline2D(f, tr, orig, raw,
 		"FPZIP", fmt.Sprintf("-P %d", fpP),
 		func() ([]byte, error) { return fp.Compress2D(f) },
@@ -256,14 +264,17 @@ func quant3D(cfg Config, f *field.Field3D, title string) (QuantResult, error) {
 	for _, spec := range []core.Speculation{core.NoSpec, core.ST1, core.ST2, core.ST3, core.ST4} {
 		var blob []byte
 		var cerr error
+		sp := cfg.Tel.Span("ours-" + spec.String())
 		dc := timeIt(func() {
-			blob, cerr = core.CompressField3D(f, tr, core.Options{Tau: tau, Spec: spec})
+			blob, cerr = core.CompressField3D(f, tr, core.Options{Tau: tau, Spec: spec, Tel: cfg.Tel, TelSpan: sp})
 		})
 		if cerr != nil {
 			return QuantResult{}, cerr
 		}
 		var g *field.Field3D
 		dd := timeIt(func() { g, cerr = core.Decompress3D(blob) })
+		sp.AddChild("decompress", dd)
+		sp.End()
 		if cerr != nil {
 			return QuantResult{}, cerr
 		}
@@ -281,12 +292,17 @@ func quant3D(cfg Config, f *field.Field3D, title string) (QuantResult, error) {
 	for _, scheme := range []cpsz.Scheme{cpsz.Decoupled, cpsz.Coupled} {
 		var blob []byte
 		var cerr error
-		dc := timeIt(func() { blob, cerr = cpsz.Compress3D(f, cpsz.Options{Rel: 0.05, Scheme: scheme}) })
+		sp := cfg.Tel.Span("cpsz-" + scheme.String())
+		dc := timeIt(func() {
+			blob, cerr = cpsz.Compress3D(f, cpsz.Options{Rel: 0.05, Scheme: scheme, Tel: cfg.Tel, TelSpan: sp})
+		})
 		if cerr != nil {
 			return QuantResult{}, cerr
 		}
 		var g *field.Field3D
 		dd := timeIt(func() { _, g, cerr = cpsz.Decompress(blob) })
+		sp.AddChild("decompress", dd)
+		sp.End()
 		if cerr != nil {
 			return QuantResult{}, cerr
 		}
@@ -303,7 +319,7 @@ func quant3D(cfg Config, f *field.Field3D, title string) (QuantResult, error) {
 		b, _ := baselines.SZLike{Abs: p}.Compress3D(f)
 		return len(b)
 	})
-	sz := baselines.SZLike{Abs: szAbs}
+	sz := baselines.SZLike{Abs: szAbs, Tel: cfg.Tel}
 	rows = append(rows, evalBaseline3D(f, tr, orig, raw,
 		"SZ3", fmt.Sprintf("-A %.3g", szAbs),
 		func() ([]byte, error) { return sz.Compress3D(f) },
@@ -315,7 +331,7 @@ func quant3D(cfg Config, f *field.Field3D, title string) (QuantResult, error) {
 		b, _ := baselines.ZFPLike{Accuracy: p}.Compress3D(f)
 		return len(b)
 	})
-	za := baselines.ZFPLike{Accuracy: zfpAcc}
+	za := baselines.ZFPLike{Accuracy: zfpAcc, Tel: cfg.Tel}
 	rows = append(rows, evalBaseline3D(f, tr, orig, raw,
 		"ZFP", fmt.Sprintf("-A %.3g", zfpAcc),
 		func() ([]byte, error) { return za.Compress3D(f) },
@@ -327,7 +343,7 @@ func quant3D(cfg Config, f *field.Field3D, title string) (QuantResult, error) {
 		b, _ := baselines.ZFPLike{Precision: p}.Compress3D(f)
 		return len(b)
 	})
-	zp := baselines.ZFPLike{Precision: zfpP}
+	zp := baselines.ZFPLike{Precision: zfpP, Tel: cfg.Tel}
 	rows = append(rows, evalBaseline3D(f, tr, orig, raw,
 		"ZFP", fmt.Sprintf("-P %d", zfpP),
 		func() ([]byte, error) { return zp.Compress3D(f) },
@@ -339,7 +355,7 @@ func quant3D(cfg Config, f *field.Field3D, title string) (QuantResult, error) {
 		b, _ := baselines.FPZIPLike{Precision: p}.Compress3D(f)
 		return len(b)
 	})
-	fp := baselines.FPZIPLike{Precision: fpP}
+	fp := baselines.FPZIPLike{Precision: fpP, Tel: cfg.Tel}
 	rows = append(rows, evalBaseline3D(f, tr, orig, raw,
 		"FPZIP", fmt.Sprintf("-P %d", fpP),
 		func() ([]byte, error) { return fp.Compress3D(f) },

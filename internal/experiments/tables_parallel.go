@@ -69,11 +69,11 @@ func parallelRuns(cfg Config, strats []parallel.Strategy, specs []core.Speculati
 		for _, strat := range strats {
 			for _, spec := range specs {
 				res, err := parallel.CompressDistributed3D(f, tr,
-					core.Options{Tau: tau, Spec: spec}, grid, strat, mpi.Config{})
+					core.Options{Tau: tau, Spec: spec, Tel: cfg.Tel}, grid, strat, mpi.Config{})
 				if err != nil {
 					return nil, err
 				}
-				g, dst, err := parallel.DecompressDistributed3D(res.Blobs, grid, f.NX, f.NY, f.NZ, mpi.Config{})
+				g, dst, err := parallel.DecompressDistributed3D(res.Blobs, grid, f.NX, f.NY, f.NZ, mpi.Config{Tel: cfg.Tel})
 				if err != nil {
 					return nil, err
 				}

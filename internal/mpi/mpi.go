@@ -15,6 +15,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // Config describes the simulated machine.
@@ -26,6 +28,11 @@ type Config struct {
 	Latency time.Duration
 	// Bandwidth is the link bandwidth in bytes/second (default 12.5 GB/s).
 	Bandwidth float64
+	// Tel, when non-nil, receives the communication metrics of the run:
+	// message and byte counts split into point-to-point and collective
+	// traffic, a message-size histogram, and the accumulated virtual
+	// receive-stall time.
+	Tel *telemetry.Collector
 }
 
 func (c Config) withDefaults() Config {
@@ -56,6 +63,12 @@ type World struct {
 	bytes  int64
 	msgs   int
 	clocks []time.Duration
+
+	// Telemetry handles; all nil when cfg.Tel is nil.
+	cP2PMsgs, cP2PBytes *telemetry.Counter
+	cCollMsgs           *telemetry.Counter
+	cRecvWait           *telemetry.Counter
+	hMsgBytes           *telemetry.Histogram
 }
 
 // Comm is one rank's endpoint.
@@ -82,6 +95,14 @@ func Run(cfg Config, body func(c *Comm)) Stats {
 		cfg:    cfg,
 		boxes:  make(map[mailKey]chan message),
 		clocks: make([]time.Duration, cfg.Ranks),
+	}
+	if tel := cfg.Tel; tel != nil {
+		tel.Gauge("mpi.ranks").Set(int64(cfg.Ranks))
+		w.cP2PMsgs = tel.Counter("mpi.p2p.msgs")
+		w.cP2PBytes = tel.Counter("mpi.p2p.bytes")
+		w.cCollMsgs = tel.Counter("mpi.collective.msgs")
+		w.cRecvWait = tel.Counter("mpi.recv_wait_ns")
+		w.hMsgBytes = tel.Histogram("mpi.msg_bytes")
 	}
 	var wg sync.WaitGroup
 	for r := 0; r < cfg.Ranks; r++ {
@@ -123,15 +144,17 @@ func (c *Comm) Compute(d time.Duration) {
 }
 
 // Time runs f as a measured compute segment: the wall time of f advances
-// the virtual clock. Segments are serialized across ranks so measurements
-// on an oversubscribed host remain accurate.
-func (c *Comm) Time(f func()) {
+// the virtual clock and is returned, so callers can attribute the segment
+// to a telemetry span. Segments are serialized across ranks so
+// measurements on an oversubscribed host remain accurate.
+func (c *Comm) Time(f func()) time.Duration {
 	c.w.comp.Lock()
 	start := time.Now()
 	f()
 	d := time.Since(start)
 	c.w.comp.Unlock()
 	c.clock += d
+	return d
 }
 
 // Elapsed returns the rank's current virtual time.
@@ -153,6 +176,13 @@ func (c *Comm) Send(to, tag int, data []byte) {
 	c.w.bytes += int64(len(data))
 	c.w.msgs++
 	c.w.mu.Unlock()
+	if tag >= tagReduce {
+		c.w.cCollMsgs.Inc()
+	} else {
+		c.w.cP2PMsgs.Inc()
+		c.w.cP2PBytes.Add(int64(len(data)))
+	}
+	c.w.hMsgBytes.Observe(int64(len(data)))
 	c.w.box(mailKey{c.Rank, to, tag}) <- m
 }
 
@@ -161,6 +191,7 @@ func (c *Comm) Send(to, tag int, data []byte) {
 func (c *Comm) Recv(from, tag int) []byte {
 	m := <-c.w.box(mailKey{from, c.Rank, tag})
 	if m.arrival > c.clock {
+		c.w.cRecvWait.Add(int64(m.arrival - c.clock))
 		c.clock = m.arrival
 	}
 	return m.data

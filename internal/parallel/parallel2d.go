@@ -1,10 +1,13 @@
 package parallel
 
 import (
+	"fmt"
+
 	"repro/internal/core"
 	"repro/internal/field"
 	"repro/internal/fixed"
 	"repro/internal/mpi"
+	"repro/internal/telemetry"
 )
 
 // Result summarizes a distributed compression run.
@@ -16,6 +19,66 @@ type Result struct {
 	// Stats carries the simulated-run timing (makespan = compression
 	// wall time on the virtual machine) and communication volume.
 	Stats mpi.Stats
+	// EncStats aggregates the per-rank encoder stats (speculation,
+	// relaxation, lossless escapes) across the whole machine.
+	EncStats core.Stats
+}
+
+// runTel carries the telemetry wiring of one distributed run. All fields
+// are nil (and every method a no-op) when telemetry is disabled.
+type runTel struct {
+	run   *telemetry.Span
+	ranks []*telemetry.Span
+	p1Msgs, p1Bytes,
+	p2Msgs, p2Bytes *telemetry.Counter
+}
+
+// newRunTel pre-creates the run span and one child span per rank, in rank
+// order, so the snapshot layout is deterministic regardless of how the
+// rank goroutines are scheduled.
+func newRunTel(tel *telemetry.Collector, name string, ranks int) runTel {
+	if tel == nil {
+		return runTel{}
+	}
+	rt := runTel{
+		run:     tel.Span(name),
+		ranks:   make([]*telemetry.Span, ranks),
+		p1Msgs:  tel.Counter("parallel.phase1.msgs"),
+		p1Bytes: tel.Counter("parallel.phase1.bytes"),
+		p2Msgs:  tel.Counter("parallel.phase2.msgs"),
+		p2Bytes: tel.Counter("parallel.phase2.bytes"),
+	}
+	for r := range rt.ranks {
+		rt.ranks[r] = rt.run.Child(fmt.Sprintf("rank%d", r))
+	}
+	return rt
+}
+
+// rank returns rank r's span (nil when disabled).
+func (rt runTel) rank(r int) *telemetry.Span {
+	if rt.ranks == nil {
+		return nil
+	}
+	return rt.ranks[r]
+}
+
+// sent records a phase-1 or phase-2 ghost message of n payload bytes.
+func (rt runTel) sent(phase2 bool, n int) {
+	if phase2 {
+		rt.p2Msgs.Inc()
+		rt.p2Bytes.Add(int64(n))
+	} else {
+		rt.p1Msgs.Inc()
+		rt.p1Bytes.Add(int64(n))
+	}
+}
+
+// finish ends every rank span and the run span.
+func (rt runTel) finish() {
+	for _, sp := range rt.ranks {
+		sp.End()
+	}
+	rt.run.End()
 }
 
 // Ratio returns the global compression ratio.
@@ -64,9 +127,14 @@ func CompressDistributed2D(f *field.Field2D, tr fixed.Transform, opts core.Optio
 		return Result{}, err
 	}
 	mcfg.Ranks = grid.Ranks()
+	if mcfg.Tel == nil {
+		mcfg.Tel = opts.Tel
+	}
+	rt := newRunTel(mcfg.Tel, "parallel.compress2d", grid.Ranks())
 
 	blobs := make([][]byte, grid.Ranks())
 	errs := make([]error, grid.Ranks())
+	stats := make([]core.Stats, grid.Ranks())
 
 	st := mpi.Run(mcfg, func(c *mpi.Comm) {
 		px := c.Rank % grid.PX
@@ -84,6 +152,8 @@ func CompressDistributed2D(f *field.Field2D, tr fixed.Transform, opts core.Optio
 			GlobalX0: sx.start, GlobalY0: sy.start,
 			GlobalNX: f.NX, GlobalNY: f.NY,
 		}
+		blk.Opts.Tel = mcfg.Tel
+		blk.Opts.TelSpan = rt.rank(c.Rank)
 		nb := [4]int{-1, -1, -1, -1}
 		if px > 0 {
 			nb[core.SideMinX] = c.Rank - 1
@@ -122,16 +192,22 @@ func CompressDistributed2D(f *field.Field2D, tr fixed.Transform, opts core.Optio
 				blob, err = enc.Finish()
 			})
 			blobs[c.Rank], errs[c.Rank] = blob, err
+			stats[c.Rank] = enc.Stats()
 			return
 		}
 
 		// Phase-1 exchange: original border values to every neighbor.
+		// Exchange spans report virtual time (clock advance across the
+		// exchange), since the data movement itself is simulated.
+		x0 := c.Elapsed()
 		for s, r := range nb {
 			if r < 0 {
 				continue
 			}
 			u, v := enc.BorderLine(s)
-			c.SendInt64s(r, s, append(u, v...))
+			vals := append(u, v...)
+			rt.sent(false, 8*len(vals))
+			c.SendInt64s(r, s, vals)
 		}
 		for s, r := range nb {
 			if r < 0 {
@@ -144,16 +220,20 @@ func CompressDistributed2D(f *field.Field2D, tr fixed.Transform, opts core.Optio
 				return
 			}
 		}
+		rt.rank(c.Rank).AddChild("ghost-exchange-p1", c.Elapsed()-x0)
 		c.Time(func() {
 			enc.Prepare()
 			enc.RunPhase1()
 		})
 		// Phase-2 exchange: decompressed min borders flow to min-side
 		// neighbors, becoming their max-side ghosts.
+		x1 := c.Elapsed()
 		for _, s := range [2]int{core.SideMinX, core.SideMinY} {
 			if r := nb[s]; r >= 0 {
 				u, v := enc.BorderLine(s)
-				c.SendInt64s(r, phase2TagOffset+s, append(u, v...))
+				vals := append(u, v...)
+				rt.sent(true, 8*len(vals))
+				c.SendInt64s(r, phase2TagOffset+s, vals)
 			}
 		}
 		for _, s := range [2]int{core.SideMaxX, core.SideMaxY} {
@@ -166,6 +246,7 @@ func CompressDistributed2D(f *field.Field2D, tr fixed.Transform, opts core.Optio
 				}
 			}
 		}
+		rt.rank(c.Rank).AddChild("ghost-exchange-p2", c.Elapsed()-x1)
 		var blob []byte
 		var ferr error
 		c.Time(func() {
@@ -173,7 +254,9 @@ func CompressDistributed2D(f *field.Field2D, tr fixed.Transform, opts core.Optio
 			blob, ferr = enc.Finish()
 		})
 		blobs[c.Rank], errs[c.Rank] = blob, ferr
+		stats[c.Rank] = enc.Stats()
 	})
+	rt.finish()
 
 	for _, err := range errs {
 		if err != nil {
@@ -183,6 +266,9 @@ func CompressDistributed2D(f *field.Field2D, tr fixed.Transform, opts core.Optio
 	res := Result{Blobs: blobs, Stats: st, RawBytes: int64(len(f.U)+len(f.V)) * 4}
 	for _, b := range blobs {
 		res.CompressedBytes += int64(len(b))
+	}
+	for _, s := range stats {
+		res.EncStats.Add(s)
 	}
 	return res, nil
 }
@@ -202,15 +288,17 @@ func DecompressDistributed2D(blobs [][]byte, grid Grid2D, nx, ny int, mcfg mpi.C
 	out := field.NewField2D(nx, ny)
 	errs := make([]error, grid.Ranks())
 	mcfg.Ranks = grid.Ranks()
+	rt := newRunTel(mcfg.Tel, "parallel.decompress2d", grid.Ranks())
 	st := mpi.Run(mcfg, func(c *mpi.Comm) {
 		px := c.Rank % grid.PX
 		py := c.Rank / grid.PX
 		sx, sy := xs[px], ys[py]
 		var bf *field.Field2D
 		var err error
-		c.Time(func() {
+		d := c.Time(func() {
 			bf, err = core.Decompress2D(blobs[c.Rank])
 		})
+		rt.rank(c.Rank).AddChild("decode", d)
 		if err != nil {
 			errs[c.Rank] = err
 			return
@@ -220,6 +308,7 @@ func DecompressDistributed2D(blobs [][]byte, grid Grid2D, nx, ny int, mcfg mpi.C
 			copy(out.V[(sy.start+j)*nx+sx.start:][:sx.size], bf.V[j*sx.size:])
 		}
 	})
+	rt.finish()
 	for _, err := range errs {
 		if err != nil {
 			return nil, st, err

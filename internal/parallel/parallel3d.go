@@ -27,9 +27,14 @@ func CompressDistributed3D(f *field.Field3D, tr fixed.Transform, opts core.Optio
 		return Result{}, err
 	}
 	mcfg.Ranks = grid.Ranks()
+	if mcfg.Tel == nil {
+		mcfg.Tel = opts.Tel
+	}
+	rt := newRunTel(mcfg.Tel, "parallel.compress3d", grid.Ranks())
 
 	blobs := make([][]byte, grid.Ranks())
 	errs := make([]error, grid.Ranks())
+	stats := make([]core.Stats, grid.Ranks())
 
 	st := mpi.Run(mcfg, func(c *mpi.Comm) {
 		px := c.Rank % grid.PX
@@ -55,6 +60,8 @@ func CompressDistributed3D(f *field.Field3D, tr fixed.Transform, opts core.Optio
 			GlobalX0: sx.start, GlobalY0: sy.start, GlobalZ0: sz.start,
 			GlobalNX: f.NX, GlobalNY: f.NY, GlobalNZ: f.NZ,
 		}
+		blk.Opts.Tel = mcfg.Tel
+		blk.Opts.TelSpan = rt.rank(c.Rank)
 		nb := [6]int{-1, -1, -1, -1, -1, -1}
 		if px > 0 {
 			nb[core.SideMinX] = c.Rank - 1
@@ -99,15 +106,19 @@ func CompressDistributed3D(f *field.Field3D, tr fixed.Transform, opts core.Optio
 				blob, err = enc.Finish()
 			})
 			blobs[c.Rank], errs[c.Rank] = blob, err
+			stats[c.Rank] = enc.Stats()
 			return
 		}
 
+		x0 := c.Elapsed()
 		for s, r := range nb {
 			if r < 0 {
 				continue
 			}
 			u, v, w := enc.BorderFace(s)
-			c.SendInt64s(r, s, concat3(u, v, w))
+			vals := concat3(u, v, w)
+			rt.sent(false, 8*len(vals))
+			c.SendInt64s(r, s, vals)
 		}
 		for s, r := range nb {
 			if r < 0 {
@@ -120,14 +131,18 @@ func CompressDistributed3D(f *field.Field3D, tr fixed.Transform, opts core.Optio
 				return
 			}
 		}
+		rt.rank(c.Rank).AddChild("ghost-exchange-p1", c.Elapsed()-x0)
 		c.Time(func() {
 			enc.Prepare()
 			enc.RunPhase1()
 		})
+		x1 := c.Elapsed()
 		for _, s := range [3]int{core.SideMinX, core.SideMinY, core.SideMinZ} {
 			if r := nb[s]; r >= 0 {
 				u, v, w := enc.BorderFace(s)
-				c.SendInt64s(r, phase2TagOffset+s, concat3(u, v, w))
+				vals := concat3(u, v, w)
+				rt.sent(true, 8*len(vals))
+				c.SendInt64s(r, phase2TagOffset+s, vals)
 			}
 		}
 		for _, s := range [3]int{core.SideMaxX, core.SideMaxY, core.SideMaxZ} {
@@ -140,6 +155,7 @@ func CompressDistributed3D(f *field.Field3D, tr fixed.Transform, opts core.Optio
 				}
 			}
 		}
+		rt.rank(c.Rank).AddChild("ghost-exchange-p2", c.Elapsed()-x1)
 		var blob []byte
 		var ferr error
 		c.Time(func() {
@@ -147,7 +163,9 @@ func CompressDistributed3D(f *field.Field3D, tr fixed.Transform, opts core.Optio
 			blob, ferr = enc.Finish()
 		})
 		blobs[c.Rank], errs[c.Rank] = blob, ferr
+		stats[c.Rank] = enc.Stats()
 	})
+	rt.finish()
 
 	for _, err := range errs {
 		if err != nil {
@@ -157,6 +175,9 @@ func CompressDistributed3D(f *field.Field3D, tr fixed.Transform, opts core.Optio
 	res := Result{Blobs: blobs, Stats: st, RawBytes: int64(len(f.U)+len(f.V)+len(f.W)) * 4}
 	for _, b := range blobs {
 		res.CompressedBytes += int64(len(b))
+	}
+	for _, s := range stats {
+		res.EncStats.Add(s)
 	}
 	return res, nil
 }
@@ -191,6 +212,7 @@ func DecompressDistributed3D(blobs [][]byte, grid Grid3D, nx, ny, nz int, mcfg m
 	out := field.NewField3D(nx, ny, nz)
 	errs := make([]error, grid.Ranks())
 	mcfg.Ranks = grid.Ranks()
+	rt := newRunTel(mcfg.Tel, "parallel.decompress3d", grid.Ranks())
 	st := mpi.Run(mcfg, func(c *mpi.Comm) {
 		px := c.Rank % grid.PX
 		py := (c.Rank / grid.PX) % grid.PY
@@ -198,9 +220,10 @@ func DecompressDistributed3D(blobs [][]byte, grid Grid3D, nx, ny, nz int, mcfg m
 		sx, sy, sz := xs[px], ys[py], zs[pz]
 		var bf *field.Field3D
 		var err error
-		c.Time(func() {
+		d := c.Time(func() {
 			bf, err = core.Decompress3D(blobs[c.Rank])
 		})
+		rt.rank(c.Rank).AddChild("decode", d)
 		if err != nil {
 			errs[c.Rank] = err
 			return
@@ -215,6 +238,7 @@ func DecompressDistributed3D(blobs [][]byte, grid Grid3D, nx, ny, nz int, mcfg m
 			}
 		}
 	})
+	rt.finish()
 	for _, err := range errs {
 		if err != nil {
 			return nil, st, err

@@ -1,0 +1,70 @@
+package telemetry_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/fixed"
+	"repro/internal/telemetry"
+)
+
+// The pair BenchmarkCompressOceanTelemetryOff / ...On quantifies the cost
+// of the instrumentation on a Table V-style workload. "Off" runs the
+// instrumented code with a nil collector — the configuration the ≤2%
+// overhead budget applies to (every event is a single nil check); "On"
+// shows the full recording cost for comparison:
+//
+//	go test -bench=CompressOceanTelemetry -benchtime=5x ./internal/telemetry/
+func benchCompressOcean(b *testing.B, tel *telemetry.Collector) {
+	f := datagen.Ocean(256, 192)
+	tr, err := fixed.Fit(f.U, f.V)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(4 * 2 * len(f.U)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.CompressField2D(f, tr, core.Options{Tau: 0.05, Spec: core.ST2, Tel: tel}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCompressOceanTelemetryOff(b *testing.B) {
+	benchCompressOcean(b, nil)
+}
+
+func BenchmarkCompressOceanTelemetryOn(b *testing.B) {
+	benchCompressOcean(b, telemetry.New())
+}
+
+// Micro-benchmarks of the disabled fast path itself.
+
+func BenchmarkDisabledCounterInc(b *testing.B) {
+	var c *telemetry.Counter
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkDisabledHistogramObserve(b *testing.B) {
+	var h *telemetry.Histogram
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i))
+	}
+}
+
+func BenchmarkEnabledCounterInc(b *testing.B) {
+	c := telemetry.New().Counter("bench")
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkEnabledHistogramObserve(b *testing.B) {
+	h := telemetry.New().Histogram("bench")
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i))
+	}
+}
