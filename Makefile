@@ -17,10 +17,22 @@ test:
 	$(GO) test ./...
 
 # Race-detector pass over the concurrently instrumented packages
-# (telemetry counters, simulated MPI ranks, distributed strategies).
+# (telemetry counters, simulated MPI ranks, distributed strategies) and
+# the compression kernel they drive.
 .PHONY: race
 race:
-	$(GO) test -race ./internal/telemetry/ ./internal/mpi/ ./internal/parallel/
+	$(GO) test -race ./internal/telemetry/ ./internal/mpi/ ./internal/parallel/ ./internal/core/
+
+# Coverage gate for the compression kernel: fails below COVER_MIN%.
+COVER_MIN ?= 85
+.PHONY: cover
+cover:
+	$(GO) test -coverprofile=coverage.out ./internal/core/
+	@$(GO) tool cover -func=coverage.out | tail -1
+	@total=$$($(GO) tool cover -func=coverage.out | tail -1 | awk '{print $$3}' | tr -d '%'); \
+	if [ $$(printf '%.0f' $$total) -lt $(COVER_MIN) ]; then \
+		echo "coverage $$total% below minimum $(COVER_MIN)%"; exit 1; \
+	fi
 
 .PHONY: bench
 bench:

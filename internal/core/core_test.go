@@ -449,11 +449,11 @@ func TestCompressRejectsBadInput(t *testing.T) {
 
 func TestVisitOrderCoversAllVertices(t *testing.T) {
 	for _, mode := range []orderMode{orderRaster, orderTwoPhase} {
-		order := visitOrder2D(5, 4, mode, true, true)
+		order := visitOrder(5, 4, 1, mode, true, true, false)
 		if len(order) != 20 {
 			t.Fatalf("order covers %d vertices", len(order))
 		}
-		seen := map[[2]int]bool{}
+		seen := map[[3]int]bool{}
 		for _, v := range order {
 			if seen[v] {
 				t.Fatalf("vertex %v visited twice", v)
@@ -461,14 +461,14 @@ func TestVisitOrderCoversAllVertices(t *testing.T) {
 			seen[v] = true
 		}
 	}
-	o3 := visitOrder3D(3, 3, 3, orderTwoPhase, true, false, true)
+	o3 := visitOrder(3, 3, 3, orderTwoPhase, true, false, true)
 	if len(o3) != 27 {
 		t.Fatalf("3D order covers %d", len(o3))
 	}
 }
 
 func TestTwoPhaseOrderPutsMaxPlanesLast(t *testing.T) {
-	order := visitOrder2D(4, 3, orderTwoPhase, true, false)
+	order := visitOrder(4, 3, 1, orderTwoPhase, true, false, false)
 	// Vertices with i == 3 must all come after the others.
 	phase2Started := false
 	for _, v := range order {

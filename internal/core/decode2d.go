@@ -2,47 +2,10 @@ package core
 
 import (
 	"errors"
-	"fmt"
 
-	"repro/internal/encoder"
 	"repro/internal/field"
 	"repro/internal/fixed"
-	"repro/internal/huffman"
-	"repro/internal/quantizer"
 )
-
-// visitOrder2D yields the own-coordinate vertices of a block in
-// compression order: plain raster, or (two-phase mode) raster excluding
-// neighbor-facing max planes followed by a raster over those planes.
-func visitOrder2D(nx, ny int, mode orderMode, hasMaxX, hasMaxY bool) [][2]int {
-	order := make([][2]int, 0, nx*ny)
-	if mode != orderTwoPhase {
-		for j := 0; j < ny; j++ {
-			for i := 0; i < nx; i++ {
-				order = append(order, [2]int{i, j})
-			}
-		}
-		return order
-	}
-	phase2 := func(i, j int) bool {
-		return (hasMaxX && i == nx-1) || (hasMaxY && j == ny-1)
-	}
-	for j := 0; j < ny; j++ {
-		for i := 0; i < nx; i++ {
-			if !phase2(i, j) {
-				order = append(order, [2]int{i, j})
-			}
-		}
-	}
-	for j := 0; j < ny; j++ {
-		for i := 0; i < nx; i++ {
-			if phase2(i, j) {
-				order = append(order, [2]int{i, j})
-			}
-		}
-	}
-	return order
-}
 
 // Decompress2D reconstructs a 2D block compressed with Encoder2D. Note
 // that decompression replays the visit order and the stored bounds only —
@@ -56,88 +19,30 @@ func Decompress2D(blob []byte) (*field.Field2D, error) {
 // against the previous decompressed frame (which must be the exact output
 // of decoding the preceding archive step).
 func Decompress2DWithPrev(blob []byte, prev *field.Field2D) (*field.Field2D, error) {
-	h, u, v, err := decode2DFixed(blob, prev)
+	h, comps, err := decodeFixed(blob, 2, func(h *header) ([][]int64, error) {
+		if prev == nil || prev.NX != h.NX || prev.NY != h.NY {
+			return nil, errors.New("core: temporally predicted block needs the matching previous frame (Decompress2DWithPrev)")
+		}
+		return prevFixed(h, [][]float32{prev.U, prev.V}), nil
+	})
 	if err != nil {
 		return nil, err
 	}
 	f := field.NewField2D(h.NX, h.NY)
 	tr := fixed.FromShift(h.Shift)
-	tr.ToFloat(u, f.U)
-	tr.ToFloat(v, f.V)
+	tr.ToFloat(comps[0], f.U)
+	tr.ToFloat(comps[1], f.V)
 	return f, nil
 }
 
-func decode2DFixed(blob []byte, prev *field.Field2D) (*header, []int64, []int64, error) {
-	sections, err := encoder.Unpack(blob)
-	if err != nil {
-		return nil, nil, nil, err
+// prevFixed converts a previous frame's float components to fixed point
+// under the block's transform, for temporal prediction during decode.
+func prevFixed(h *header, srcs [][]float32) [][]int64 {
+	tr := fixed.FromShift(h.Shift)
+	prevs := make([][]int64, len(srcs))
+	for c, src := range srcs {
+		prevs[c] = make([]int64, len(src))
+		tr.ToFixed(src, prevs[c])
 	}
-	if len(sections) != 4 {
-		return nil, nil, nil, errors.New("core: wrong section count")
-	}
-	var h header
-	if err := h.unmarshal(sections[0]); err != nil {
-		return nil, nil, nil, err
-	}
-	if h.NDim != 2 {
-		return nil, nil, nil, fmt.Errorf("core: expected 2D block, got %dD", h.NDim)
-	}
-	expSyms, err := huffman.Decompress(sections[1])
-	if err != nil {
-		return nil, nil, nil, fmt.Errorf("core: bound stream: %w", err)
-	}
-	codeSyms, err := huffman.Decompress(sections[2])
-	if err != nil {
-		return nil, nil, nil, fmt.Errorf("core: code stream: %w", err)
-	}
-	literals := sections[3]
-	n := h.NX * h.NY
-	if len(expSyms) != n || len(codeSyms) != 2*n {
-		return nil, nil, nil, errors.New("core: stream length mismatch")
-	}
-	var prevU, prevV []int64
-	if h.Temporal {
-		if prev == nil || prev.NX != h.NX || prev.NY != h.NY {
-			return nil, nil, nil, errors.New("core: temporally predicted block needs the matching previous frame (Decompress2DWithPrev)")
-		}
-		tr := fixed.FromShift(h.Shift)
-		prevU = make([]int64, n)
-		prevV = make([]int64, n)
-		tr.ToFixed(prev.U, prevU)
-		tr.ToFixed(prev.V, prevV)
-	}
-	u := make([]int64, n)
-	v := make([]int64, n)
-	done := make([]bool, n)
-	order := visitOrder2D(h.NX, h.NY, h.Order, h.HasGhost[SideMaxX], h.HasGhost[SideMaxY])
-	k := 0
-	for _, ov := range order {
-		oi, oj := ov[0], ov[1]
-		idx := oj*h.NX + oi
-		bound := quantizer.BoundFromSym(uint8(expSyms[k]), h.Tau)
-		for comp, z := range [2][]int64{u, v} {
-			sym := codeSyms[2*k+comp]
-			if sym == escapeSym {
-				if len(literals) < 4 {
-					return nil, nil, nil, errors.New("core: literal stream underrun")
-				}
-				z[idx], literals = readLiteral(literals)
-				continue
-			}
-			var pred int64
-			if h.Temporal {
-				if comp == 0 {
-					pred = prevU[idx]
-				} else {
-					pred = prevV[idx]
-				}
-			} else {
-				pred = predictOwn2D(z, done, h.NX, oi, oj)
-			}
-			z[idx] = quantizer.Reconstruct(huffman.Unzigzag(sym), pred, bound)
-		}
-		done[idx] = true
-		k++
-	}
-	return &h, u, v, nil
+	return prevs
 }

@@ -2,52 +2,10 @@ package core
 
 import (
 	"errors"
-	"fmt"
 
-	"repro/internal/encoder"
 	"repro/internal/field"
 	"repro/internal/fixed"
-	"repro/internal/huffman"
-	"repro/internal/quantizer"
 )
-
-// visitOrder3D yields the own-coordinate vertices of a 3D block in
-// compression order.
-func visitOrder3D(nx, ny, nz int, mode orderMode, hasMaxX, hasMaxY, hasMaxZ bool) [][3]int {
-	order := make([][3]int, 0, nx*ny*nz)
-	phase2 := func(i, j, k int) bool {
-		return (hasMaxX && i == nx-1) || (hasMaxY && j == ny-1) || (hasMaxZ && k == nz-1)
-	}
-	if mode != orderTwoPhase {
-		for k := 0; k < nz; k++ {
-			for j := 0; j < ny; j++ {
-				for i := 0; i < nx; i++ {
-					order = append(order, [3]int{i, j, k})
-				}
-			}
-		}
-		return order
-	}
-	for k := 0; k < nz; k++ {
-		for j := 0; j < ny; j++ {
-			for i := 0; i < nx; i++ {
-				if !phase2(i, j, k) {
-					order = append(order, [3]int{i, j, k})
-				}
-			}
-		}
-	}
-	for k := 0; k < nz; k++ {
-		for j := 0; j < ny; j++ {
-			for i := 0; i < nx; i++ {
-				if phase2(i, j, k) {
-					order = append(order, [3]int{i, j, k})
-				}
-			}
-		}
-	}
-	return order
-}
 
 // Decompress3D reconstructs a 3D block compressed with Encoder3D.
 func Decompress3D(blob []byte) (*field.Field3D, error) {
@@ -57,104 +15,19 @@ func Decompress3D(blob []byte) (*field.Field3D, error) {
 // Decompress3DWithPrev reconstructs a temporally predicted 3D block
 // against the previous decompressed frame.
 func Decompress3DWithPrev(blob []byte, prev *field.Field3D) (*field.Field3D, error) {
-	h, u, v, w, err := decode3DFixed(blob, prev)
+	h, comps, err := decodeFixed(blob, 3, func(h *header) ([][]int64, error) {
+		if prev == nil || prev.NX != h.NX || prev.NY != h.NY || prev.NZ != h.NZ {
+			return nil, errors.New("core: temporally predicted block needs the matching previous frame (Decompress3DWithPrev)")
+		}
+		return prevFixed(h, [][]float32{prev.U, prev.V, prev.W}), nil
+	})
 	if err != nil {
 		return nil, err
 	}
 	f := field.NewField3D(h.NX, h.NY, h.NZ)
 	tr := fixed.FromShift(h.Shift)
-	tr.ToFloat(u, f.U)
-	tr.ToFloat(v, f.V)
-	tr.ToFloat(w, f.W)
+	tr.ToFloat(comps[0], f.U)
+	tr.ToFloat(comps[1], f.V)
+	tr.ToFloat(comps[2], f.W)
 	return f, nil
-}
-
-func decode3DFixed(blob []byte, prev *field.Field3D) (*header, []int64, []int64, []int64, error) {
-	sections, err := encoder.Unpack(blob)
-	if err != nil {
-		return nil, nil, nil, nil, err
-	}
-	if len(sections) != 4 {
-		return nil, nil, nil, nil, errors.New("core: wrong section count")
-	}
-	var h header
-	if err := h.unmarshal(sections[0]); err != nil {
-		return nil, nil, nil, nil, err
-	}
-	if h.NDim != 3 {
-		return nil, nil, nil, nil, fmt.Errorf("core: expected 3D block, got %dD", h.NDim)
-	}
-	expSyms, err := huffman.Decompress(sections[1])
-	if err != nil {
-		return nil, nil, nil, nil, fmt.Errorf("core: bound stream: %w", err)
-	}
-	codeSyms, err := huffman.Decompress(sections[2])
-	if err != nil {
-		return nil, nil, nil, nil, fmt.Errorf("core: code stream: %w", err)
-	}
-	literals := sections[3]
-	n := h.NX * h.NY * h.NZ
-	if len(expSyms) != n || len(codeSyms) != 3*n {
-		return nil, nil, nil, nil, errors.New("core: stream length mismatch")
-	}
-	var prevs [3][]int64
-	if h.Temporal {
-		if prev == nil || prev.NX != h.NX || prev.NY != h.NY || prev.NZ != h.NZ {
-			return nil, nil, nil, nil, errors.New("core: temporally predicted block needs the matching previous frame (Decompress3DWithPrev)")
-		}
-		tr := fixed.FromShift(h.Shift)
-		for c, src := range [3][]float32{prev.U, prev.V, prev.W} {
-			prevs[c] = make([]int64, n)
-			tr.ToFixed(src, prevs[c])
-		}
-	}
-	u := make([]int64, n)
-	v := make([]int64, n)
-	w := make([]int64, n)
-	done := make([]bool, n)
-	order := visitOrder3D(h.NX, h.NY, h.NZ, h.Order,
-		h.HasGhost[SideMaxX], h.HasGhost[SideMaxY], h.HasGhost[SideMaxZ])
-	kth := 0
-	for _, ov := range order {
-		oi, oj, ok := ov[0], ov[1], ov[2]
-		idx := (ok*h.NY+oj)*h.NX + oi
-		bound := quantizer.BoundFromSym(uint8(expSyms[kth]), h.Tau)
-		for comp, z := range [3][]int64{u, v, w} {
-			sym := codeSyms[3*kth+comp]
-			if sym == escapeSym {
-				if len(literals) < 4 {
-					return nil, nil, nil, nil, errors.New("core: literal stream underrun")
-				}
-				z[idx], literals = readLiteral(literals)
-				continue
-			}
-			var pred int64
-			if h.Temporal {
-				pred = prevs[comp][idx]
-			} else {
-				pred = predictOwn3D(z, done, h.NX, h.NY, oi, oj, ok)
-			}
-			z[idx] = quantizer.Reconstruct(huffman.Unzigzag(sym), pred, bound)
-		}
-		done[idx] = true
-		kth++
-	}
-	return &h, u, v, w, nil
-}
-
-// PeekHeader reports the dimensionality and sizes of a compressed block
-// without decoding the payload.
-func PeekHeader(blob []byte) (ndim, nx, ny, nz int, err error) {
-	sections, err := encoder.Unpack(blob)
-	if err != nil {
-		return 0, 0, 0, 0, err
-	}
-	if len(sections) < 1 {
-		return 0, 0, 0, 0, errors.New("core: empty container")
-	}
-	var h header
-	if err := h.unmarshal(sections[0]); err != nil {
-		return 0, 0, 0, 0, err
-	}
-	return h.NDim, h.NX, h.NY, h.NZ, nil
 }

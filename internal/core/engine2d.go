@@ -1,34 +1,12 @@
 package core
 
 import (
-	"errors"
 	"fmt"
-	"time"
 
-	"repro/internal/cp"
-	"repro/internal/derive"
-	"repro/internal/encoder"
-	"repro/internal/field"
 	"repro/internal/fixed"
-	"repro/internal/huffman"
-	"repro/internal/quantizer"
 )
 
-// Ghost side indices for Block2D.Neighbor and the ghost setters.
-const (
-	SideMinX = 0
-	SideMaxX = 1
-	SideMinY = 2
-	SideMaxY = 3
-	SideMinZ = 4
-	SideMaxZ = 5
-)
-
-// escapeSym is the quantization-code symbol marking a literal escape. It
-// is outside the zigzag range of valid codes (|code| < Radius).
-const escapeSym = uint32(2 * quantizer.Radius)
-
-// Block2D describes one (possibly distributed) sub-domain to compress.
+// Block2D describes one (possibly distributed) 2D sub-domain to compress.
 // The zero value of the positional fields describes a single-node run.
 type Block2D struct {
 	NX, NY int       // own grid dimensions
@@ -57,106 +35,35 @@ type Block2D struct {
 	PrevU, PrevV []float32
 }
 
-// Encoder2D compresses one 2D block. For single-node use call
-// CompressField2D instead; the parallel strategies drive the encoder
-// phase by phase.
+// Encoder2D compresses one 2D block: a thin adapter over the
+// dimension-generic kernel. For single-node use call CompressField2D
+// instead; the parallel strategies drive the encoder phase by phase.
 type Encoder2D struct {
-	blk          Block2D
-	tau          int64
-	extNX, extNY int
-	offX, offY   int
-	u, v         []int64 // extended working arrays
-	ownU, ownV   []int64 // own-layout reconstructed values (prediction)
-	prevU, prevV []int64 // previous-frame fixed values (temporal prediction)
-	valid        []bool  // extended vertex validity
-	ownDone      []bool  // own-indexed processed mask (prediction guard)
-	mesh         field.Mesh2D
-	det          *cp.Detector2D
-	cellValid    []bool
-	cpCell       []bool
-	origType     map[int]cp.Type
-	cpAdj        []bool // own-indexed
-	expSyms      []uint32
-	codeSyms     []uint32
-	literals     []byte
-	cellBuf      []int
-	stats        Stats
-	tel          engineTel
-	prepared     bool
-	finished     bool
+	k *kernel
 }
 
 // NewEncoder2D validates the block and allocates the extended arrays.
 // Ghost values (for two-phase blocks) must be supplied with SetGhostLine
 // before Prepare.
 func NewEncoder2D(blk Block2D) (*Encoder2D, error) {
-	if err := blk.Opts.Validate(); err != nil {
+	spec := blockSpec{
+		ndim: 2, nc: 2,
+		nx: blk.NX, ny: blk.NY, nz: 1,
+		comps:     [maxComps][]float32{blk.U, blk.V},
+		prev:      [maxComps][]float32{blk.PrevU, blk.PrevV},
+		transform: blk.Transform,
+		opts:      blk.Opts,
+		gx0:       blk.GlobalX0, gy0: blk.GlobalY0,
+		gnx: blk.GlobalNX, gny: blk.GlobalNY,
+		losslessBord: blk.LosslessBorder,
+		twoPhase:     blk.TwoPhase,
+	}
+	copy(spec.neighbor[:], blk.Neighbor[:])
+	k, err := newKernel(spec)
+	if err != nil {
 		return nil, err
 	}
-	if blk.NX < 2 || blk.NY < 2 {
-		return nil, errors.New("core: block must be at least 2x2")
-	}
-	if len(blk.U) != blk.NX*blk.NY || len(blk.V) != blk.NX*blk.NY {
-		return nil, errors.New("core: component length mismatch")
-	}
-	if blk.GlobalNX == 0 {
-		blk.GlobalNX, blk.GlobalNY = blk.NX, blk.NY
-	}
-	if blk.Opts.Tau < blk.Transform.Resolution() {
-		return nil, fmt.Errorf("core: Tau %g is below the fixed-point resolution %g of this field; use lossless storage instead",
-			blk.Opts.Tau, blk.Transform.Resolution())
-	}
-	e := &Encoder2D{blk: blk, tau: blk.Transform.Bound(blk.Opts.Tau)}
-	e.offX, e.offY = 0, 0
-	e.extNX, e.extNY = blk.NX, blk.NY
-	if blk.TwoPhase {
-		if blk.Neighbor[SideMinX] {
-			e.offX = 1
-			e.extNX++
-		}
-		if blk.Neighbor[SideMaxX] {
-			e.extNX++
-		}
-		if blk.Neighbor[SideMinY] {
-			e.offY = 1
-			e.extNY++
-		}
-		if blk.Neighbor[SideMaxY] {
-			e.extNY++
-		}
-	}
-	n := e.extNX * e.extNY
-	e.u = make([]int64, n)
-	e.v = make([]int64, n)
-	e.valid = make([]bool, n)
-	e.ownU = make([]int64, blk.NX*blk.NY)
-	e.ownV = make([]int64, blk.NX*blk.NY)
-	e.ownDone = make([]bool, blk.NX*blk.NY)
-	if blk.PrevU != nil || blk.PrevV != nil {
-		if len(blk.PrevU) != blk.NX*blk.NY || len(blk.PrevV) != blk.NX*blk.NY {
-			return nil, errors.New("core: previous-frame length mismatch")
-		}
-		e.prevU = make([]int64, blk.NX*blk.NY)
-		e.prevV = make([]int64, blk.NX*blk.NY)
-		blk.Transform.ToFixed(blk.PrevU, e.prevU)
-		blk.Transform.ToFixed(blk.PrevV, e.prevV)
-	}
-	e.mesh = field.Mesh2D{NX: e.extNX, NY: e.extNY}
-	e.tel = newEngineTel(blk.Opts, "2d")
-	// Fill own region.
-	convert := e.tel.stage("fixed-convert")
-	row := make([]int64, blk.NX)
-	for j := 0; j < blk.NY; j++ {
-		blk.Transform.ToFixed(blk.U[j*blk.NX:(j+1)*blk.NX], row)
-		copy(e.u[(j+e.offY)*e.extNX+e.offX:], row)
-		blk.Transform.ToFixed(blk.V[j*blk.NX:(j+1)*blk.NX], row)
-		copy(e.v[(j+e.offY)*e.extNX+e.offX:], row)
-		for i := 0; i < blk.NX; i++ {
-			e.valid[(j+e.offY)*e.extNX+e.offX+i] = true
-		}
-	}
-	convert.End()
-	return e, nil
+	return &Encoder2D{k: k}, nil
 }
 
 // SetGhostLine supplies the fixed-point ghost values for one side
@@ -167,589 +74,62 @@ func (e *Encoder2D) SetGhostLine(side int, u, v []int64) error {
 	if side < 0 || side > SideMaxY {
 		return fmt.Errorf("core: invalid 2D side %d", side)
 	}
-	if !e.blk.TwoPhase || !e.blk.Neighbor[side] {
-		return fmt.Errorf("core: no ghost layer on side %d", side)
-	}
-	set := func(i, j int, uu, vv int64) {
-		idx := j*e.extNX + i
-		e.u[idx], e.v[idx] = uu, vv
-		e.valid[idx] = true
-	}
-	switch side {
-	case SideMinX, SideMaxX:
-		if len(u) != e.blk.NY || len(v) != e.blk.NY {
-			return errors.New("core: ghost column length mismatch")
-		}
-		x := 0
-		if side == SideMaxX {
-			x = e.extNX - 1
-		}
-		for j := 0; j < e.blk.NY; j++ {
-			set(x, j+e.offY, u[j], v[j])
-		}
-	case SideMinY, SideMaxY:
-		if len(u) != e.blk.NX || len(v) != e.blk.NX {
-			return errors.New("core: ghost row length mismatch")
-		}
-		y := 0
-		if side == SideMaxY {
-			y = e.extNY - 1
-		}
-		for i := 0; i < e.blk.NX; i++ {
-			set(i+e.offX, y, u[i], v[i])
-		}
-	default:
-		return fmt.Errorf("core: invalid 2D side %d", side)
-	}
-	return nil
+	return e.k.setGhostPlane(side, [][]int64{u, v})
+}
+
+// SetGhostPlane is the dimension-generic form of SetGhostLine (one slice
+// per component), used by the distributed drivers.
+func (e *Encoder2D) SetGhostPlane(side int, vals [][]int64) error {
+	return e.k.setGhostPlane(side, vals)
 }
 
 // BorderLine returns the current (decompressed once processed) fixed-point
 // values of one own border line, for the phase exchanges.
 func (e *Encoder2D) BorderLine(side int) (u, v []int64) {
-	switch side {
-	case SideMinX, SideMaxX:
-		x := e.offX
-		if side == SideMaxX {
-			x = e.offX + e.blk.NX - 1
-		}
-		u = make([]int64, e.blk.NY)
-		v = make([]int64, e.blk.NY)
-		for j := 0; j < e.blk.NY; j++ {
-			idx := (j+e.offY)*e.extNX + x
-			u[j], v[j] = e.u[idx], e.v[idx]
-		}
-	case SideMinY, SideMaxY:
-		y := e.offY
-		if side == SideMaxY {
-			y = e.offY + e.blk.NY - 1
-		}
-		u = make([]int64, e.blk.NX)
-		v = make([]int64, e.blk.NX)
-		for i := 0; i < e.blk.NX; i++ {
-			idx := y*e.extNX + i + e.offX
-			u[i], v[i] = e.u[idx], e.v[idx]
-		}
+	p := e.k.borderPlane(side)
+	if p == nil {
+		return nil, nil
 	}
-	return u, v
+	return p[0], p[1]
+}
+
+// BorderPlane is the dimension-generic form of BorderLine (one slice per
+// component), used by the distributed drivers.
+func (e *Encoder2D) BorderPlane(side int) [][]int64 {
+	return e.k.borderPlane(side)
 }
 
 // Prepare precomputes the critical point map (Algorithm 2 lines 1–3).
 // For two-phase blocks all ghost lines must have been set (with the
 // neighbors' original values).
-func (e *Encoder2D) Prepare() {
-	precompute := e.tel.stage("cp-precompute")
-	defer precompute.End()
-	gx0 := e.blk.GlobalX0 - e.offX
-	gy0 := e.blk.GlobalY0 - e.offY
-	gnx := e.blk.GlobalNX
-	e.det = &cp.Detector2D{
-		Mesh: e.mesh, U: e.u, V: e.v,
-		GlobalID: func(v int) int {
-			i, j := v%e.extNX, v/e.extNX
-			return (gy0+j)*gnx + (gx0 + i)
-		},
-	}
-	nc := e.mesh.NumCells()
-	e.cellValid = make([]bool, nc)
-	e.cpCell = make([]bool, nc)
-	for c := 0; c < nc; c++ {
-		vs := e.mesh.CellVertices(c)
-		if e.valid[vs[0]] && e.valid[vs[1]] && e.valid[vs[2]] {
-			e.cellValid[c] = true
-			if !allZero2(e.u, e.v, vs[:]) {
-				e.cpCell[c] = e.det.CellContains(c)
-			}
-		}
-	}
-	if e.blk.Opts.Spec == ST4 {
-		e.origType = make(map[int]cp.Type)
-		for c := 0; c < nc; c++ {
-			if e.cpCell[c] {
-				e.origType[c] = e.det.CellType(c)
-			}
-		}
-	}
-	e.cpAdj = make([]bool, e.blk.NX*e.blk.NY)
-	for oj := 0; oj < e.blk.NY; oj++ {
-		for oi := 0; oi < e.blk.NX; oi++ {
-			vid := (oj+e.offY)*e.extNX + (oi + e.offX)
-			e.cellBuf = e.mesh.VertexCells(vid, e.cellBuf[:0])
-			for _, c := range e.cellBuf {
-				if e.cellValid[c] && e.cpCell[c] {
-					e.cpAdj[oj*e.blk.NX+oi] = true
-					break
-				}
-			}
-		}
-	}
-	e.prepared = true
-}
-
-// allZero2 reports whether every vector of the cell is exactly zero — a
-// fully degenerate cell (e.g. masked land areas) that by convention
-// carries no critical point.
-func allZero2(u, v []int64, vs []int) bool {
-	for _, vi := range vs {
-		if u[vi] != 0 || v[vi] != 0 {
-			return false
-		}
-	}
-	return true
-}
+func (e *Encoder2D) Prepare() { e.k.prepare() }
 
 // Run compresses every vertex in raster order (single-node and
 // lossless-border blocks). On a two-phase block it runs both phases
 // back-to-back — callers that exchange ghosts between the phases must
 // drive RunPhase1/RunPhase2 themselves, but the visit order stays
 // consistent with the decoder either way.
-func (e *Encoder2D) Run() {
-	if !e.prepared {
-		e.Prepare()
-	}
-	if e.blk.TwoPhase {
-		e.RunPhase1()
-		e.RunPhase2()
-		return
-	}
-	process := e.tel.stage("process")
-	for oj := 0; oj < e.blk.NY; oj++ {
-		for oi := 0; oi < e.blk.NX; oi++ {
-			e.processVertex(oi, oj)
-		}
-	}
-	process.End()
-}
+func (e *Encoder2D) Run() { e.k.run() }
 
 // RunPhase1 compresses every vertex except those on neighbor-facing max
 // planes (ratio-oriented strategy, first phase).
-func (e *Encoder2D) RunPhase1() {
-	if !e.prepared {
-		e.Prepare()
-	}
-	process := e.tel.stage("process-phase1")
-	for oj := 0; oj < e.blk.NY; oj++ {
-		for oi := 0; oi < e.blk.NX; oi++ {
-			if e.phase2Vertex(oi, oj) {
-				continue
-			}
-			e.processVertex(oi, oj)
-		}
-	}
-	process.End()
-}
+func (e *Encoder2D) RunPhase1() { e.k.runPhase1() }
 
 // RunPhase2 compresses the remaining max-plane vertices. Ghost lines on
 // the max sides should have been refreshed with the neighbors'
 // decompressed borders.
-func (e *Encoder2D) RunPhase2() {
-	process := e.tel.stage("process-phase2")
-	for oj := 0; oj < e.blk.NY; oj++ {
-		for oi := 0; oi < e.blk.NX; oi++ {
-			if e.phase2Vertex(oi, oj) {
-				e.processVertex(oi, oj)
-			}
-		}
-	}
-	process.End()
-}
-
-func (e *Encoder2D) phase2Vertex(oi, oj int) bool {
-	return (e.blk.Neighbor[SideMaxX] && oi == e.blk.NX-1) ||
-		(e.blk.Neighbor[SideMaxY] && oj == e.blk.NY-1)
-}
-
-// forcedLossless reports whether the strategy pins this vertex to zero
-// error: neighbor-facing borders in LosslessBorder mode, and vertices on
-// two or more neighbor-facing planes (block corners, whose derivation
-// would need diagonal ghosts) in two-phase mode.
-func (e *Encoder2D) forcedLossless(oi, oj int) bool {
-	planes := 0
-	if e.blk.Neighbor[SideMinX] && oi == 0 {
-		planes++
-	}
-	if e.blk.Neighbor[SideMaxX] && oi == e.blk.NX-1 {
-		planes++
-	}
-	if e.blk.Neighbor[SideMinY] && oj == 0 {
-		planes++
-	}
-	if e.blk.Neighbor[SideMaxY] && oj == e.blk.NY-1 {
-		planes++
-	}
-	if e.blk.LosslessBorder {
-		return planes >= 1
-	}
-	if e.blk.TwoPhase {
-		return planes >= 2
-	}
-	return false
-}
-
-func (e *Encoder2D) processVertex(oi, oj int) {
-	vid := (oj+e.offY)*e.extNX + (oi + e.offX)
-	spec := e.blk.Opts.Spec
-	cpA := e.cpAdj[oj*e.blk.NX+oi]
-
-	var sym uint8
-	var snapped int64
-	switch {
-	case e.forcedLossless(oi, oj):
-		sym, snapped = quantizer.LosslessSym, 0
-	case spec == NoSpec:
-		xi := int64(0)
-		if !cpA {
-			var relaxed bool
-			xi, relaxed = e.deriveBound(vid)
-			if relaxed {
-				e.stats.Relaxed++
-				e.tel.relaxed.Inc()
-			}
-		}
-		sym, snapped = quantizer.BoundSym(xi, e.tau)
-	case spec == ST1:
-		sym, snapped = e.speculateST1(oi, oj, vid, cpA)
-	case spec == ST2 || spec == ST3:
-		sym, snapped = e.speculateFN(oi, oj, vid, cpA)
-	default: // ST4
-		sym, snapped = e.speculateFull(oi, oj, vid)
-	}
-	codes, recons, esc := e.tryQuantize(oi, oj, vid, snapped)
-	e.commit(vid, oi, oj, sym, codes, recons, esc)
-}
-
-// deriveBound is Algorithm 2 lines 5–17: the minimum over adjacent cells
-// of min(Ψ, τ′), with the sign-uniformity relaxation.
-func (e *Encoder2D) deriveBound(vid int) (xi int64, relaxed bool) {
-	if e.tel.deriveNS != nil {
-		defer e.tel.deriveNS.AddSince(time.Now())
-	}
-	e.cellBuf = e.mesh.VertexCells(vid, e.cellBuf[:0])
-	xi = e.tau
-	for _, c := range e.cellBuf {
-		if !e.cellValid[c] {
-			continue
-		}
-		if e.cpCell[c] {
-			return 0, false
-		}
-		vs := e.mesh.CellVertices(c)
-		a, b := otherTwo(vs, vid)
-		var cb int64
-		if e.blk.Opts.OrientationOnly {
-			cb = derive.Psi2DOrientationOnly(e.u, e.v, a, b, vid)
-		} else {
-			cb = derive.Psi2D(e.u, e.v, a, b, vid)
-		}
-		if cb > e.tau {
-			cb = e.tau
-		}
-		// Relaxation: a component with uniform strict sign over the cell
-		// keeps the cell critical-point-free as long as the sign at this
-		// vertex survives.
-		if !e.blk.Opts.DisableRelaxation {
-			for _, z := range [2][]int64{e.u, e.v} {
-				s := sgn(z[vs[0]])
-				if s != 0 && sgn(z[vs[1]]) == s && sgn(z[vs[2]]) == s {
-					if r := derive.SignPreservingBound(z[vid]); r > cb {
-						cb = r
-						relaxed = true
-					}
-				}
-			}
-		}
-		if cb < xi {
-			xi = cb
-		}
-	}
-	return xi, relaxed
-}
-
-func otherTwo(vs [3]int, vid int) (a, b int) {
-	switch vid {
-	case vs[0]:
-		return vs[1], vs[2]
-	case vs[1]:
-		return vs[0], vs[2]
-	default:
-		return vs[0], vs[1]
-	}
-}
-
-// speculateST1 relaxes the derived bound and accepts when the realized
-// quantization error still meets the derived bound.
-func (e *Encoder2D) speculateST1(oi, oj, vid int, cpA bool) (uint8, int64) {
-	if cpA {
-		return quantizer.LosslessSym, 0
-	}
-	xi, _ := e.deriveBound(vid)
-	if xi <= 0 {
-		return quantizer.LosslessSym, 0
-	}
-	nl := e.blk.Opts.Spec.retries()
-	// Relax the bound, capped at max(τ′, ξ): ST1 recovers the precision
-	// lost when the derived bound is floor-snapped onto the exponent
-	// grid, and never discards a relaxation-derived ξ above τ′; pushing
-	// past both is left to the FN-level targets.
-	try := xi << uint(nl)
-	limit := e.tau
-	if xi > limit {
-		limit = xi
-	}
-	if try > limit {
-		try = limit
-	}
-	fails := 0
-	for {
-		e.stats.SpecTrials++
-		e.tel.specTrials.Inc()
-		sym, snapped := quantizer.BoundSym(try, e.tau)
-		_, recons, _ := e.tryQuantize(oi, oj, vid, snapped)
-		if absDiff(recons[0], e.u[vid]) <= xi && absDiff(recons[1], e.v[vid]) <= xi {
-			return sym, snapped
-		}
-		e.stats.SpecFails++
-		e.tel.specFails.Inc()
-		fails++
-		if fails > nl {
-			return e.specCutoff()
-		}
-		try >>= 1
-		if try <= 0 {
-			return e.specCutoff()
-		}
-	}
-}
-
-// speculateFN (ST2/ST3) skips derivation: it compresses with a relaxed
-// bound and verifies that no adjacent cell gains a critical point.
-func (e *Encoder2D) speculateFN(oi, oj, vid int, cpA bool) (uint8, int64) {
-	if cpA {
-		return quantizer.LosslessSym, 0
-	}
-	return e.speculateVerify(oi, oj, vid, func(c int) bool {
-		return !e.det.CellContains(c)
-	})
-}
-
-// speculateFull (ST4) verifies detection result and critical point type on
-// every adjacent cell, including cells that contain critical points.
-func (e *Encoder2D) speculateFull(oi, oj, vid int) (uint8, int64) {
-	return e.speculateVerify(oi, oj, vid, func(c int) bool {
-		if e.det.CellContains(c) != e.cpCell[c] {
-			return false
-		}
-		return !e.cpCell[c] || e.det.CellType(c) == e.origType[c]
-	})
-}
-
-// speculateVerify is the trial loop of Fig. 2: relax, compress, verify the
-// target on the adjacent cells with the candidate reconstruction in
-// place, restrict on failure, and hard cut-off to lossless after n_l
-// failures.
-func (e *Encoder2D) speculateVerify(oi, oj, vid int, check func(c int) bool) (uint8, int64) {
-	nl := e.blk.Opts.Spec.retries()
-	try := e.tau << uint(nl)
-	fails := 0
-	origU, origV := e.u[vid], e.v[vid]
-	for {
-		e.stats.SpecTrials++
-		e.tel.specTrials.Inc()
-		sym, snapped := quantizer.BoundSym(try, e.tau)
-		_, recons, _ := e.tryQuantize(oi, oj, vid, snapped)
-		e.u[vid], e.v[vid] = recons[0], recons[1]
-		ok := true
-		e.cellBuf = e.mesh.VertexCells(vid, e.cellBuf[:0])
-		for _, c := range e.cellBuf {
-			if e.cellValid[c] && !check(c) {
-				ok = false
-				break
-			}
-		}
-		e.u[vid], e.v[vid] = origU, origV
-		if ok {
-			return sym, snapped
-		}
-		e.stats.SpecFails++
-		e.tel.specFails.Inc()
-		fails++
-		if fails > nl {
-			return e.specCutoff()
-		}
-		try >>= 1
-		if try <= 0 {
-			return e.specCutoff()
-		}
-	}
-}
-
-// specCutoff records the hard cut-off to lossless storage after
-// speculation exhausts its retry budget (n_l failures or a trial bound
-// shrunk to zero).
-func (e *Encoder2D) specCutoff() (uint8, int64) {
-	e.stats.SpecCutoffs++
-	e.tel.specCutoffs.Inc()
-	return quantizer.LosslessSym, 0
-}
-
-// tryQuantize quantizes both components of the vertex against the snapped
-// bound without committing anything.
-func (e *Encoder2D) tryQuantize(oi, oj, vid int, snapped int64) (codes, recons [2]int64, esc [2]bool) {
-	for comp, z := range [2][]int64{e.u, e.v} {
-		var pred int64
-		if e.prevU != nil {
-			pred = e.prevComp(comp)[oj*e.blk.NX+oi]
-		} else {
-			pred = predictOwn2D(e.ownComp(comp), e.ownDone, e.blk.NX, oi, oj)
-		}
-		code, recon, ok := quantizer.Quantize(z[vid], pred, snapped)
-		if !ok {
-			esc[comp] = true
-			recons[comp] = z[vid]
-		} else {
-			codes[comp] = code
-			recons[comp] = recon
-		}
-	}
-	return codes, recons, esc
-}
-
-func (e *Encoder2D) ownComp(comp int) []int64 {
-	if comp == 0 {
-		return e.ownU
-	}
-	return e.ownV
-}
-
-func (e *Encoder2D) prevComp(comp int) []int64 {
-	if comp == 0 {
-		return e.prevU
-	}
-	return e.prevV
-}
-
-// predictOwn2D is the Lorenzo predictor restricted to own,
-// already-processed neighbors. The decompressor calls the exact same
-// function, which guarantees bit-identical predictions even in the
-// two-phase visit order.
-func predictOwn2D(z []int64, done []bool, nx, oi, oj int) int64 {
-	idx := oj*nx + oi
-	w := oi > 0 && done[idx-1]
-	s := oj > 0 && done[idx-nx]
-	sw := oi > 0 && oj > 0 && done[idx-nx-1]
-	switch {
-	case w && s && sw:
-		return z[idx-1] + z[idx-nx] - z[idx-nx-1]
-	case w:
-		return z[idx-1]
-	case s:
-		return z[idx-nx]
-	default:
-		return 0
-	}
-}
-
-// commit emits the streams for the vertex and overwrites the working
-// arrays with the decompressed values (Algorithm 2 lines 18–22).
-func (e *Encoder2D) commit(vid, oi, oj int, sym uint8, codes, recons [2]int64, esc [2]bool) {
-	e.stats.Vertices++
-	e.tel.vertices.Inc()
-	e.tel.boundExp.Observe(int64(sym))
-	if sym == quantizer.LosslessSym {
-		e.stats.Lossless++
-		e.tel.lossless.Inc()
-	}
-	for _, esc1 := range esc {
-		if esc1 {
-			e.stats.Literals++
-			e.tel.literals.Inc()
-		}
-	}
-	e.expSyms = append(e.expSyms, uint32(sym))
-	vals := [2]int64{e.u[vid], e.v[vid]}
-	for comp := 0; comp < 2; comp++ {
-		if esc[comp] {
-			e.codeSyms = append(e.codeSyms, escapeSym)
-			e.literals = appendLiteral(e.literals, vals[comp])
-		} else {
-			e.codeSyms = append(e.codeSyms, huffman.Zigzag(codes[comp]))
-		}
-	}
-	e.u[vid], e.v[vid] = recons[0], recons[1]
-	own := oj*e.blk.NX + oi
-	e.ownU[own], e.ownV[own] = recons[0], recons[1]
-	e.ownDone[own] = true
-}
+func (e *Encoder2D) RunPhase2() { e.k.runPhase2() }
 
 // Finish packs the compressed block.
-func (e *Encoder2D) Finish() ([]byte, error) {
-	if e.finished {
-		return nil, errors.New("core: Finish called twice")
-	}
-	e.finished = true
-	h := header{
-		NDim:  2,
-		NX:    e.blk.NX,
-		NY:    e.blk.NY,
-		Shift: e.blk.Transform.Shift,
-		Tau:   e.tau,
-		Spec:  e.blk.Opts.Spec,
-		Order: orderRaster,
-	}
-	if e.blk.TwoPhase {
-		h.Order = orderTwoPhase
-	}
-	for i := 0; i < 4; i++ {
-		h.HasGhost[i] = e.blk.Neighbor[i]
-	}
-	h.Border = e.blk.LosslessBorder
-	h.Temporal = e.prevU != nil
-	entropy := e.tel.stage("entropy-code")
-	blob, err := encoder.Pack(h.marshal(), huffman.Compress(e.expSyms), huffman.Compress(e.codeSyms), e.literals)
-	entropy.End()
-	e.tel.finish()
-	return blob, err
-}
+func (e *Encoder2D) Finish() ([]byte, error) { return e.k.finish() }
 
 // Decompressed returns the reconstructed own block as float32 components
 // (available after all phases have run). Useful for in-process
 // verification without a decode round trip.
 func (e *Encoder2D) Decompressed() (u, v []float32) {
-	n := e.blk.NX * e.blk.NY
-	u = make([]float32, n)
-	v = make([]float32, n)
-	e.blk.Transform.ToFloat(e.ownU, u)
-	e.blk.Transform.ToFloat(e.ownV, v)
-	return u, v
+	d := e.k.decompressed()
+	return d[0], d[1]
 }
 
 // Stats reports what the encoder did so far.
-func (e *Encoder2D) Stats() Stats { return e.stats }
-
-func appendLiteral(dst []byte, v int64) []byte {
-	u := uint32(int32(v))
-	return append(dst, byte(u), byte(u>>8), byte(u>>16), byte(u>>24))
-}
-
-func readLiteral(src []byte) (int64, []byte) {
-	u := uint32(src[0]) | uint32(src[1])<<8 | uint32(src[2])<<16 | uint32(src[3])<<24
-	return int64(int32(u)), src[4:]
-}
-
-func sgn(v int64) int {
-	switch {
-	case v > 0:
-		return 1
-	case v < 0:
-		return -1
-	default:
-		return 0
-	}
-}
-
-func absDiff(a, b int64) int64 {
-	if a > b {
-		return a - b
-	}
-	return b - a
-}
+func (e *Encoder2D) Stats() Stats { return e.k.stats }

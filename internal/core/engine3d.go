@@ -1,17 +1,7 @@
 package core
 
 import (
-	"errors"
-	"fmt"
-	"time"
-
-	"repro/internal/cp"
-	"repro/internal/derive"
-	"repro/internal/encoder"
-	"repro/internal/field"
 	"repro/internal/fixed"
-	"repro/internal/huffman"
-	"repro/internal/quantizer"
 )
 
 // Block3D describes one (possibly distributed) 3D sub-domain to compress.
@@ -31,710 +21,84 @@ type Block3D struct {
 	PrevU, PrevV, PrevW []float32
 }
 
-// Encoder3D compresses one 3D block; see Encoder2D for the lifecycle.
+// Encoder3D compresses one 3D block: a thin adapter over the
+// dimension-generic kernel. See Encoder2D for the lifecycle.
 type Encoder3D struct {
-	blk                 Block3D
-	tau                 int64
-	extNX, extNY, extNZ int
-	offX, offY, offZ    int
-	u, v, w             []int64
-	ownU, ownV, ownW    []int64
-	prevU, prevV, prevW []int64
-	valid               []bool
-	ownDone             []bool
-	mesh                field.Mesh3D
-	det                 *cp.Detector3D
-	cellValid           []bool
-	cpCell              []bool
-	origType            map[int]cp.Type
-	cpAdj               []bool
-	expSyms             []uint32
-	codeSyms            []uint32
-	literals            []byte
-	cellBuf             []int
-	stats               Stats
-	tel                 engineTel
-	prepared, finished  bool
+	k *kernel
 }
 
 // NewEncoder3D validates the block and allocates the extended arrays.
 func NewEncoder3D(blk Block3D) (*Encoder3D, error) {
-	if err := blk.Opts.Validate(); err != nil {
+	spec := blockSpec{
+		ndim: 3, nc: 3,
+		nx: blk.NX, ny: blk.NY, nz: blk.NZ,
+		comps:     [maxComps][]float32{blk.U, blk.V, blk.W},
+		prev:      [maxComps][]float32{blk.PrevU, blk.PrevV, blk.PrevW},
+		transform: blk.Transform,
+		opts:      blk.Opts,
+		gx0:       blk.GlobalX0, gy0: blk.GlobalY0, gz0: blk.GlobalZ0,
+		gnx: blk.GlobalNX, gny: blk.GlobalNY, gnz: blk.GlobalNZ,
+		losslessBord: blk.LosslessBorder,
+		twoPhase:     blk.TwoPhase,
+		neighbor:     blk.Neighbor,
+	}
+	k, err := newKernel(spec)
+	if err != nil {
 		return nil, err
 	}
-	if blk.NX < 2 || blk.NY < 2 || blk.NZ < 2 {
-		return nil, errors.New("core: block must be at least 2x2x2")
-	}
-	n := blk.NX * blk.NY * blk.NZ
-	if len(blk.U) != n || len(blk.V) != n || len(blk.W) != n {
-		return nil, errors.New("core: component length mismatch")
-	}
-	if blk.GlobalNX == 0 {
-		blk.GlobalNX, blk.GlobalNY, blk.GlobalNZ = blk.NX, blk.NY, blk.NZ
-	}
-	if blk.Opts.Tau < blk.Transform.Resolution() {
-		return nil, fmt.Errorf("core: Tau %g is below the fixed-point resolution %g of this field; use lossless storage instead",
-			blk.Opts.Tau, blk.Transform.Resolution())
-	}
-	e := &Encoder3D{blk: blk, tau: blk.Transform.Bound(blk.Opts.Tau)}
-	e.extNX, e.extNY, e.extNZ = blk.NX, blk.NY, blk.NZ
-	if blk.TwoPhase {
-		if blk.Neighbor[SideMinX] {
-			e.offX = 1
-			e.extNX++
-		}
-		if blk.Neighbor[SideMaxX] {
-			e.extNX++
-		}
-		if blk.Neighbor[SideMinY] {
-			e.offY = 1
-			e.extNY++
-		}
-		if blk.Neighbor[SideMaxY] {
-			e.extNY++
-		}
-		if blk.Neighbor[SideMinZ] {
-			e.offZ = 1
-			e.extNZ++
-		}
-		if blk.Neighbor[SideMaxZ] {
-			e.extNZ++
-		}
-	}
-	en := e.extNX * e.extNY * e.extNZ
-	e.u = make([]int64, en)
-	e.v = make([]int64, en)
-	e.w = make([]int64, en)
-	e.valid = make([]bool, en)
-	e.ownU = make([]int64, n)
-	e.ownV = make([]int64, n)
-	e.ownW = make([]int64, n)
-	e.ownDone = make([]bool, n)
-	if blk.PrevU != nil || blk.PrevV != nil || blk.PrevW != nil {
-		if len(blk.PrevU) != n || len(blk.PrevV) != n || len(blk.PrevW) != n {
-			return nil, errors.New("core: previous-frame length mismatch")
-		}
-		e.prevU = make([]int64, n)
-		e.prevV = make([]int64, n)
-		e.prevW = make([]int64, n)
-		blk.Transform.ToFixed(blk.PrevU, e.prevU)
-		blk.Transform.ToFixed(blk.PrevV, e.prevV)
-		blk.Transform.ToFixed(blk.PrevW, e.prevW)
-	}
-	e.mesh = field.Mesh3D{NX: e.extNX, NY: e.extNY, NZ: e.extNZ}
-	e.tel = newEngineTel(blk.Opts, "3d")
-	convert := e.tel.stage("fixed-convert")
-	row := make([]int64, blk.NX)
-	for k := 0; k < blk.NZ; k++ {
-		for j := 0; j < blk.NY; j++ {
-			src := (k*blk.NY + j) * blk.NX
-			dst := ((k+e.offZ)*e.extNY+(j+e.offY))*e.extNX + e.offX
-			blk.Transform.ToFixed(blk.U[src:src+blk.NX], row)
-			copy(e.u[dst:], row)
-			blk.Transform.ToFixed(blk.V[src:src+blk.NX], row)
-			copy(e.v[dst:], row)
-			blk.Transform.ToFixed(blk.W[src:src+blk.NX], row)
-			copy(e.w[dst:], row)
-			for i := 0; i < blk.NX; i++ {
-				e.valid[dst+i] = true
-			}
-		}
-	}
-	convert.End()
-	return e, nil
-}
-
-// faceDims returns the in-face dimensions (d0 fast axis, d1 slow axis) of
-// a ghost face.
-func (e *Encoder3D) faceDims(side int) (d0, d1 int) {
-	switch side {
-	case SideMinX, SideMaxX:
-		return e.blk.NY, e.blk.NZ
-	case SideMinY, SideMaxY:
-		return e.blk.NX, e.blk.NZ
-	default:
-		return e.blk.NX, e.blk.NY
-	}
+	return &Encoder3D{k: k}, nil
 }
 
 // SetGhostFace supplies fixed-point ghost values for one face, laid out
-// with faceDims (fast axis first).
+// fast-axis first: X faces are NY×NZ, Y faces NX×NZ, Z faces NX×NY.
 func (e *Encoder3D) SetGhostFace(side int, u, v, w []int64) error {
-	if !e.blk.TwoPhase || side < 0 || side > SideMaxZ || !e.blk.Neighbor[side] {
-		return fmt.Errorf("core: no ghost layer on side %d", side)
-	}
-	d0, d1 := e.faceDims(side)
-	if len(u) != d0*d1 || len(v) != d0*d1 || len(w) != d0*d1 {
-		return errors.New("core: ghost face length mismatch")
-	}
-	for b := 0; b < d1; b++ {
-		for a := 0; a < d0; a++ {
-			idx := e.faceIndex(side, a, b)
-			f := b*d0 + a
-			e.u[idx], e.v[idx], e.w[idx] = u[f], v[f], w[f]
-			e.valid[idx] = true
-		}
-	}
-	return nil
+	return e.k.setGhostPlane(side, [][]int64{u, v, w})
 }
 
-// faceIndex maps in-face coordinates (a fast, b slow) to the extended
-// array index of the ghost (for SetGhostFace) of the given side.
-func (e *Encoder3D) faceIndex(side, a, b int) int {
-	var i, j, k int
-	switch side {
-	case SideMinX:
-		i, j, k = 0, a+e.offY, b+e.offZ
-	case SideMaxX:
-		i, j, k = e.extNX-1, a+e.offY, b+e.offZ
-	case SideMinY:
-		i, j, k = a+e.offX, 0, b+e.offZ
-	case SideMaxY:
-		i, j, k = a+e.offX, e.extNY-1, b+e.offZ
-	case SideMinZ:
-		i, j, k = a+e.offX, b+e.offY, 0
-	default:
-		i, j, k = a+e.offX, b+e.offY, e.extNZ-1
-	}
-	return (k*e.extNY+j)*e.extNX + i
+// SetGhostPlane is the dimension-generic form of SetGhostFace (one slice
+// per component), used by the distributed drivers.
+func (e *Encoder3D) SetGhostPlane(side int, vals [][]int64) error {
+	return e.k.setGhostPlane(side, vals)
 }
 
 // BorderFace returns the current fixed-point values of one own border
-// face (fast axis first, per faceDims).
+// face (fast axis first, matching SetGhostFace).
 func (e *Encoder3D) BorderFace(side int) (u, v, w []int64) {
-	d0, d1 := e.faceDims(side)
-	u = make([]int64, d0*d1)
-	v = make([]int64, d0*d1)
-	w = make([]int64, d0*d1)
-	for b := 0; b < d1; b++ {
-		for a := 0; a < d0; a++ {
-			var i, j, k int
-			switch side {
-			case SideMinX:
-				i, j, k = e.offX, a+e.offY, b+e.offZ
-			case SideMaxX:
-				i, j, k = e.offX+e.blk.NX-1, a+e.offY, b+e.offZ
-			case SideMinY:
-				i, j, k = a+e.offX, e.offY, b+e.offZ
-			case SideMaxY:
-				i, j, k = a+e.offX, e.offY+e.blk.NY-1, b+e.offZ
-			case SideMinZ:
-				i, j, k = a+e.offX, b+e.offY, e.offZ
-			default:
-				i, j, k = a+e.offX, b+e.offY, e.offZ+e.blk.NZ-1
-			}
-			idx := (k*e.extNY+j)*e.extNX + i
-			f := b*d0 + a
-			u[f], v[f], w[f] = e.u[idx], e.v[idx], e.w[idx]
-		}
+	p := e.k.borderPlane(side)
+	if p == nil {
+		return nil, nil, nil
 	}
-	return u, v, w
+	return p[0], p[1], p[2]
+}
+
+// BorderPlane is the dimension-generic form of BorderFace (one slice per
+// component), used by the distributed drivers.
+func (e *Encoder3D) BorderPlane(side int) [][]int64 {
+	return e.k.borderPlane(side)
 }
 
 // Prepare precomputes the critical point map.
-func (e *Encoder3D) Prepare() {
-	precompute := e.tel.stage("cp-precompute")
-	defer precompute.End()
-	gx0 := e.blk.GlobalX0 - e.offX
-	gy0 := e.blk.GlobalY0 - e.offY
-	gz0 := e.blk.GlobalZ0 - e.offZ
-	gnx, gny := e.blk.GlobalNX, e.blk.GlobalNY
-	e.det = &cp.Detector3D{
-		Mesh: e.mesh, U: e.u, V: e.v, W: e.w,
-		GlobalID: func(v int) int {
-			i := v % e.extNX
-			j := (v / e.extNX) % e.extNY
-			k := v / (e.extNX * e.extNY)
-			return ((gz0+k)*gny+(gy0+j))*gnx + (gx0 + i)
-		},
-	}
-	nc := e.mesh.NumCells()
-	e.cellValid = make([]bool, nc)
-	e.cpCell = make([]bool, nc)
-	for c := 0; c < nc; c++ {
-		vs := e.mesh.CellVertices(c)
-		ok := true
-		zero := true
-		for _, vi := range vs {
-			if !e.valid[vi] {
-				ok = false
-				break
-			}
-			if e.u[vi] != 0 || e.v[vi] != 0 || e.w[vi] != 0 {
-				zero = false
-			}
-		}
-		if ok {
-			e.cellValid[c] = true
-			if !zero {
-				e.cpCell[c] = e.det.CellContains(c)
-			}
-		}
-	}
-	if e.blk.Opts.Spec == ST4 {
-		e.origType = make(map[int]cp.Type)
-		for c := 0; c < nc; c++ {
-			if e.cpCell[c] {
-				e.origType[c] = e.det.CellType(c)
-			}
-		}
-	}
-	e.cpAdj = make([]bool, e.blk.NX*e.blk.NY*e.blk.NZ)
-	for ok2 := 0; ok2 < e.blk.NZ; ok2++ {
-		for oj := 0; oj < e.blk.NY; oj++ {
-			for oi := 0; oi < e.blk.NX; oi++ {
-				vid := e.extIdx(oi, oj, ok2)
-				e.cellBuf = e.mesh.VertexCells(vid, e.cellBuf[:0])
-				for _, c := range e.cellBuf {
-					if e.cellValid[c] && e.cpCell[c] {
-						e.cpAdj[(ok2*e.blk.NY+oj)*e.blk.NX+oi] = true
-						break
-					}
-				}
-			}
-		}
-	}
-	e.prepared = true
-}
-
-func (e *Encoder3D) extIdx(oi, oj, ok int) int {
-	return ((ok+e.offZ)*e.extNY+(oj+e.offY))*e.extNX + (oi + e.offX)
-}
+func (e *Encoder3D) Prepare() { e.k.prepare() }
 
 // Run compresses every vertex in raster order; see Encoder2D.Run for the
 // two-phase behaviour.
-func (e *Encoder3D) Run() {
-	if !e.prepared {
-		e.Prepare()
-	}
-	if e.blk.TwoPhase {
-		e.RunPhase1()
-		e.RunPhase2()
-		return
-	}
-	process := e.tel.stage("process")
-	for ok := 0; ok < e.blk.NZ; ok++ {
-		for oj := 0; oj < e.blk.NY; oj++ {
-			for oi := 0; oi < e.blk.NX; oi++ {
-				e.processVertex(oi, oj, ok)
-			}
-		}
-	}
-	process.End()
-}
+func (e *Encoder3D) Run() { e.k.run() }
 
 // RunPhase1 compresses every vertex not on a neighbor-facing max plane.
-func (e *Encoder3D) RunPhase1() {
-	if !e.prepared {
-		e.Prepare()
-	}
-	process := e.tel.stage("process-phase1")
-	defer process.End()
-	for ok := 0; ok < e.blk.NZ; ok++ {
-		for oj := 0; oj < e.blk.NY; oj++ {
-			for oi := 0; oi < e.blk.NX; oi++ {
-				if !e.phase2Vertex(oi, oj, ok) {
-					e.processVertex(oi, oj, ok)
-				}
-			}
-		}
-	}
-}
+func (e *Encoder3D) RunPhase1() { e.k.runPhase1() }
 
 // RunPhase2 compresses the max-plane vertices after the decompressed
 // ghost faces have been refreshed.
-func (e *Encoder3D) RunPhase2() {
-	process := e.tel.stage("process-phase2")
-	defer process.End()
-	for ok := 0; ok < e.blk.NZ; ok++ {
-		for oj := 0; oj < e.blk.NY; oj++ {
-			for oi := 0; oi < e.blk.NX; oi++ {
-				if e.phase2Vertex(oi, oj, ok) {
-					e.processVertex(oi, oj, ok)
-				}
-			}
-		}
-	}
-}
-
-func (e *Encoder3D) phase2Vertex(oi, oj, ok int) bool {
-	return (e.blk.Neighbor[SideMaxX] && oi == e.blk.NX-1) ||
-		(e.blk.Neighbor[SideMaxY] && oj == e.blk.NY-1) ||
-		(e.blk.Neighbor[SideMaxZ] && ok == e.blk.NZ-1)
-}
-
-func (e *Encoder3D) forcedLossless(oi, oj, ok int) bool {
-	planes := 0
-	if e.blk.Neighbor[SideMinX] && oi == 0 {
-		planes++
-	}
-	if e.blk.Neighbor[SideMaxX] && oi == e.blk.NX-1 {
-		planes++
-	}
-	if e.blk.Neighbor[SideMinY] && oj == 0 {
-		planes++
-	}
-	if e.blk.Neighbor[SideMaxY] && oj == e.blk.NY-1 {
-		planes++
-	}
-	if e.blk.Neighbor[SideMinZ] && ok == 0 {
-		planes++
-	}
-	if e.blk.Neighbor[SideMaxZ] && ok == e.blk.NZ-1 {
-		planes++
-	}
-	if e.blk.LosslessBorder {
-		return planes >= 1
-	}
-	if e.blk.TwoPhase {
-		return planes >= 2
-	}
-	return false
-}
-
-func (e *Encoder3D) processVertex(oi, oj, ok int) {
-	vid := e.extIdx(oi, oj, ok)
-	own := (ok*e.blk.NY+oj)*e.blk.NX + oi
-	spec := e.blk.Opts.Spec
-	cpA := e.cpAdj[own]
-
-	var sym uint8
-	var snapped int64
-	switch {
-	case e.forcedLossless(oi, oj, ok):
-		sym, snapped = quantizer.LosslessSym, 0
-	case spec == NoSpec:
-		xi := int64(0)
-		if !cpA {
-			var relaxed bool
-			xi, relaxed = e.deriveBound(vid)
-			if relaxed {
-				e.stats.Relaxed++
-				e.tel.relaxed.Inc()
-			}
-		}
-		sym, snapped = quantizer.BoundSym(xi, e.tau)
-	case spec == ST1:
-		sym, snapped = e.speculateST1(oi, oj, ok, vid, cpA)
-	case spec == ST2 || spec == ST3:
-		sym, snapped = e.speculateFN(oi, oj, ok, vid, cpA)
-	default: // ST4
-		sym, snapped = e.speculateFull(oi, oj, ok, vid)
-	}
-	codes, recons, esc := e.tryQuantize(oi, oj, ok, vid, snapped)
-	e.commit(vid, own, sym, codes, recons, esc)
-}
-
-func (e *Encoder3D) deriveBound(vid int) (xi int64, relaxed bool) {
-	if e.tel.deriveNS != nil {
-		defer e.tel.deriveNS.AddSince(time.Now())
-	}
-	e.cellBuf = e.mesh.VertexCells(vid, e.cellBuf[:0])
-	xi = e.tau
-	for _, c := range e.cellBuf {
-		if !e.cellValid[c] {
-			continue
-		}
-		if e.cpCell[c] {
-			return 0, false
-		}
-		vs := e.mesh.CellVertices(c)
-		a, b, cc := otherThree(vs, vid)
-		var cb int64
-		if e.blk.Opts.OrientationOnly {
-			cb = derive.Psi3DOrientationOnly(e.u, e.v, e.w, a, b, cc, vid)
-		} else {
-			cb = derive.Psi3D(e.u, e.v, e.w, a, b, cc, vid)
-		}
-		if cb > e.tau {
-			cb = e.tau
-		}
-		if !e.blk.Opts.DisableRelaxation {
-			for _, z := range [3][]int64{e.u, e.v, e.w} {
-				s := sgn(z[vs[0]])
-				if s != 0 && sgn(z[vs[1]]) == s && sgn(z[vs[2]]) == s && sgn(z[vs[3]]) == s {
-					if r := derive.SignPreservingBound(z[vid]); r > cb {
-						cb = r
-						relaxed = true
-					}
-				}
-			}
-		}
-		if cb < xi {
-			xi = cb
-		}
-	}
-	return xi, relaxed
-}
-
-func otherThree(vs [4]int, vid int) (a, b, c int) {
-	out := make([]int, 0, 3)
-	for _, v := range vs {
-		if v != vid {
-			out = append(out, v)
-		}
-	}
-	return out[0], out[1], out[2]
-}
-
-func (e *Encoder3D) speculateST1(oi, oj, ok, vid int, cpA bool) (uint8, int64) {
-	if cpA {
-		return quantizer.LosslessSym, 0
-	}
-	xi, _ := e.deriveBound(vid)
-	if xi <= 0 {
-		return quantizer.LosslessSym, 0
-	}
-	nl := e.blk.Opts.Spec.retries()
-	// Relax the bound, capped at max(τ′, ξ): ST1 recovers the precision
-	// lost when the derived bound is floor-snapped onto the exponent
-	// grid, and never discards a relaxation-derived ξ above τ′; pushing
-	// past both is left to the FN-level targets.
-	try := xi << uint(nl)
-	limit := e.tau
-	if xi > limit {
-		limit = xi
-	}
-	if try > limit {
-		try = limit
-	}
-	fails := 0
-	for {
-		e.stats.SpecTrials++
-		e.tel.specTrials.Inc()
-		sym, snapped := quantizer.BoundSym(try, e.tau)
-		_, recons, _ := e.tryQuantize(oi, oj, ok, vid, snapped)
-		if absDiff(recons[0], e.u[vid]) <= xi &&
-			absDiff(recons[1], e.v[vid]) <= xi &&
-			absDiff(recons[2], e.w[vid]) <= xi {
-			return sym, snapped
-		}
-		e.stats.SpecFails++
-		e.tel.specFails.Inc()
-		fails++
-		if fails > nl {
-			return e.specCutoff()
-		}
-		try >>= 1
-		if try <= 0 {
-			return e.specCutoff()
-		}
-	}
-}
-
-func (e *Encoder3D) speculateFN(oi, oj, ok, vid int, cpA bool) (uint8, int64) {
-	if cpA {
-		return quantizer.LosslessSym, 0
-	}
-	return e.speculateVerify(oi, oj, ok, vid, func(c int) bool {
-		return !e.det.CellContains(c)
-	})
-}
-
-func (e *Encoder3D) speculateFull(oi, oj, ok, vid int) (uint8, int64) {
-	return e.speculateVerify(oi, oj, ok, vid, func(c int) bool {
-		if e.det.CellContains(c) != e.cpCell[c] {
-			return false
-		}
-		return !e.cpCell[c] || e.det.CellType(c) == e.origType[c]
-	})
-}
-
-func (e *Encoder3D) speculateVerify(oi, oj, ok, vid int, check func(c int) bool) (uint8, int64) {
-	nl := e.blk.Opts.Spec.retries()
-	try := e.tau << uint(nl)
-	fails := 0
-	origU, origV, origW := e.u[vid], e.v[vid], e.w[vid]
-	for {
-		e.stats.SpecTrials++
-		e.tel.specTrials.Inc()
-		sym, snapped := quantizer.BoundSym(try, e.tau)
-		_, recons, _ := e.tryQuantize(oi, oj, ok, vid, snapped)
-		e.u[vid], e.v[vid], e.w[vid] = recons[0], recons[1], recons[2]
-		okAll := true
-		e.cellBuf = e.mesh.VertexCells(vid, e.cellBuf[:0])
-		for _, c := range e.cellBuf {
-			if e.cellValid[c] && !check(c) {
-				okAll = false
-				break
-			}
-		}
-		e.u[vid], e.v[vid], e.w[vid] = origU, origV, origW
-		if okAll {
-			return sym, snapped
-		}
-		e.stats.SpecFails++
-		e.tel.specFails.Inc()
-		fails++
-		if fails > nl {
-			return e.specCutoff()
-		}
-		try >>= 1
-		if try <= 0 {
-			return e.specCutoff()
-		}
-	}
-}
-
-// specCutoff records the hard cut-off to lossless storage after
-// speculation exhausts its retry budget.
-func (e *Encoder3D) specCutoff() (uint8, int64) {
-	e.stats.SpecCutoffs++
-	e.tel.specCutoffs.Inc()
-	return quantizer.LosslessSym, 0
-}
-
-func (e *Encoder3D) ownComp(comp int) []int64 {
-	switch comp {
-	case 0:
-		return e.ownU
-	case 1:
-		return e.ownV
-	default:
-		return e.ownW
-	}
-}
-
-func (e *Encoder3D) prevComp(comp int) []int64 {
-	switch comp {
-	case 0:
-		return e.prevU
-	case 1:
-		return e.prevV
-	default:
-		return e.prevW
-	}
-}
-
-func (e *Encoder3D) tryQuantize(oi, oj, ok, vid int, snapped int64) (codes, recons [3]int64, esc [3]bool) {
-	for comp, z := range [3][]int64{e.u, e.v, e.w} {
-		var pred int64
-		if e.prevU != nil {
-			pred = e.prevComp(comp)[(ok*e.blk.NY+oj)*e.blk.NX+oi]
-		} else {
-			pred = predictOwn3D(e.ownComp(comp), e.ownDone, e.blk.NX, e.blk.NY, oi, oj, ok)
-		}
-		code, recon, qok := quantizer.Quantize(z[vid], pred, snapped)
-		if !qok {
-			esc[comp] = true
-			recons[comp] = z[vid]
-		} else {
-			codes[comp] = code
-			recons[comp] = recon
-		}
-	}
-	return codes, recons, esc
-}
-
-// predictOwn3D is the masked Lorenzo predictor shared with the
-// decompressor.
-func predictOwn3D(z []int64, done []bool, nx, ny, oi, oj, ok int) int64 {
-	idx := (ok*ny+oj)*nx + oi
-	sx, sy, sz := 1, nx, nx*ny
-	av := func(di, dj, dk int) bool {
-		if oi+di < 0 || oj+dj < 0 || ok+dk < 0 {
-			return false
-		}
-		return done[idx+di*sx+dj*sy+dk*sz]
-	}
-	x := av(-1, 0, 0)
-	y := av(0, -1, 0)
-	zz := av(0, 0, -1)
-	xy := av(-1, -1, 0)
-	xz := av(-1, 0, -1)
-	yz := av(0, -1, -1)
-	xyz := av(-1, -1, -1)
-	switch {
-	case x && y && zz && xy && xz && yz && xyz:
-		return z[idx-sx] + z[idx-sy] + z[idx-sz] -
-			z[idx-sx-sy] - z[idx-sx-sz] - z[idx-sy-sz] +
-			z[idx-sx-sy-sz]
-	case x && y && xy:
-		return z[idx-sx] + z[idx-sy] - z[idx-sx-sy]
-	case x && zz && xz:
-		return z[idx-sx] + z[idx-sz] - z[idx-sx-sz]
-	case y && zz && yz:
-		return z[idx-sy] + z[idx-sz] - z[idx-sy-sz]
-	case x:
-		return z[idx-sx]
-	case y:
-		return z[idx-sy]
-	case zz:
-		return z[idx-sz]
-	default:
-		return 0
-	}
-}
-
-func (e *Encoder3D) commit(vid, own int, sym uint8, codes, recons [3]int64, esc [3]bool) {
-	e.stats.Vertices++
-	e.tel.vertices.Inc()
-	e.tel.boundExp.Observe(int64(sym))
-	if sym == quantizer.LosslessSym {
-		e.stats.Lossless++
-		e.tel.lossless.Inc()
-	}
-	for _, esc1 := range esc {
-		if esc1 {
-			e.stats.Literals++
-			e.tel.literals.Inc()
-		}
-	}
-	e.expSyms = append(e.expSyms, uint32(sym))
-	vals := [3]int64{e.u[vid], e.v[vid], e.w[vid]}
-	for comp := 0; comp < 3; comp++ {
-		if esc[comp] {
-			e.codeSyms = append(e.codeSyms, escapeSym)
-			e.literals = appendLiteral(e.literals, vals[comp])
-		} else {
-			e.codeSyms = append(e.codeSyms, huffman.Zigzag(codes[comp]))
-		}
-	}
-	e.u[vid], e.v[vid], e.w[vid] = recons[0], recons[1], recons[2]
-	e.ownU[own], e.ownV[own], e.ownW[own] = recons[0], recons[1], recons[2]
-	e.ownDone[own] = true
-}
+func (e *Encoder3D) RunPhase2() { e.k.runPhase2() }
 
 // Finish packs the compressed block.
-func (e *Encoder3D) Finish() ([]byte, error) {
-	if e.finished {
-		return nil, errors.New("core: Finish called twice")
-	}
-	e.finished = true
-	h := header{
-		NDim:  3,
-		NX:    e.blk.NX,
-		NY:    e.blk.NY,
-		NZ:    e.blk.NZ,
-		Shift: e.blk.Transform.Shift,
-		Tau:   e.tau,
-		Spec:  e.blk.Opts.Spec,
-		Order: orderRaster,
-	}
-	if e.blk.TwoPhase {
-		h.Order = orderTwoPhase
-	}
-	copy(h.HasGhost[:], e.blk.Neighbor[:])
-	h.Border = e.blk.LosslessBorder
-	h.Temporal = e.prevU != nil
-	entropy := e.tel.stage("entropy-code")
-	blob, err := encoder.Pack(h.marshal(), huffman.Compress(e.expSyms), huffman.Compress(e.codeSyms), e.literals)
-	entropy.End()
-	e.tel.finish()
-	return blob, err
-}
-
-// Stats reports what the encoder did so far.
-func (e *Encoder3D) Stats() Stats { return e.stats }
+func (e *Encoder3D) Finish() ([]byte, error) { return e.k.finish() }
 
 // Decompressed returns the reconstructed own block as float32 components.
 func (e *Encoder3D) Decompressed() (u, v, w []float32) {
-	n := e.blk.NX * e.blk.NY * e.blk.NZ
-	u = make([]float32, n)
-	v = make([]float32, n)
-	w = make([]float32, n)
-	e.blk.Transform.ToFloat(e.ownU, u)
-	e.blk.Transform.ToFloat(e.ownV, v)
-	e.blk.Transform.ToFloat(e.ownW, w)
-	return u, v, w
+	d := e.k.decompressed()
+	return d[0], d[1], d[2]
 }
+
+// Stats reports what the encoder did so far.
+func (e *Encoder3D) Stats() Stats { return e.k.stats }

@@ -1,0 +1,430 @@
+package core_test
+
+// Golden byte-identity corpus for the compression kernel. The testdata
+// under testdata/golden was produced by the pre-refactor (seed) engines;
+// the kernel refactor must reproduce every stream byte for byte and every
+// decoded field bit for bit, which pins the on-disk format, the SoS
+// consistency, and the zero-FP/FN/FT guarantees across refactors.
+//
+// Regenerate (only when the format intentionally changes) with:
+//
+//	go test ./internal/core/ -run TestGolden -update
+//
+// and explain the format change in the commit message.
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/field"
+	"repro/internal/fixed"
+	"repro/internal/mpi"
+	"repro/internal/parallel"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden testdata")
+
+// goldenField2D builds a deterministic 2D field: smooth trigonometric
+// flow (which carries critical points) plus LCG noise (which exercises
+// escapes and speculation failures). No math/rand, so the corpus is
+// reproducible independent of the standard library's generator.
+func goldenField2D(seed uint64, nx, ny int) *field.Field2D {
+	f := field.NewField2D(nx, ny)
+	rnd := lcg(seed)
+	for j := 0; j < ny; j++ {
+		for i := 0; i < nx; i++ {
+			x, y := float64(i)*0.37, float64(j)*0.29
+			idx := j*nx + i
+			f.U[idx] = float32(math.Sin(x)*math.Cos(y)) + 0.1*rnd()
+			f.V[idx] = float32(math.Cos(x)*math.Sin(y)) + 0.1*rnd()
+		}
+	}
+	return f
+}
+
+func goldenField3D(seed uint64, nx, ny, nz int) *field.Field3D {
+	f := field.NewField3D(nx, ny, nz)
+	rnd := lcg(seed)
+	for k := 0; k < nz; k++ {
+		for j := 0; j < ny; j++ {
+			for i := 0; i < nx; i++ {
+				x, y, z := float64(i)*0.41, float64(j)*0.31, float64(k)*0.23
+				idx := (k*ny+j)*nx + i
+				f.U[idx] = float32(math.Sin(x)*math.Cos(y)) + 0.1*rnd()
+				f.V[idx] = float32(math.Cos(y)*math.Sin(z)) + 0.1*rnd()
+				f.W[idx] = float32(math.Cos(z)*math.Sin(x)) + 0.1*rnd()
+			}
+		}
+	}
+	return f
+}
+
+func lcg(s uint64) func() float32 {
+	return func() float32 {
+		s = s*6364136223846793005 + 1442695040888963407
+		return float32(int32(s>>33)) / float32(1<<31)
+	}
+}
+
+// evolve2D derives the "next frame" for the temporal cases: a small
+// deterministic drift of the base field.
+func evolve2D(f *field.Field2D) *field.Field2D {
+	g := field.NewField2D(f.NX, f.NY)
+	for i := range f.U {
+		g.U[i] = f.U[i] + 0.01*float32(math.Sin(float64(i)*0.13))
+		g.V[i] = f.V[i] + 0.01*float32(math.Cos(float64(i)*0.17))
+	}
+	return g
+}
+
+func evolve3D(f *field.Field3D) *field.Field3D {
+	g := field.NewField3D(f.NX, f.NY, f.NZ)
+	for i := range f.U {
+		g.U[i] = f.U[i] + 0.01*float32(math.Sin(float64(i)*0.13))
+		g.V[i] = f.V[i] + 0.01*float32(math.Cos(float64(i)*0.17))
+		g.W[i] = f.W[i] + 0.01*float32(math.Sin(float64(i)*0.19))
+	}
+	return g
+}
+
+type goldenCase struct {
+	name string
+	run  func(t *testing.T) (blobs [][]byte, decoded [][]float32)
+}
+
+func goldenCases() []goldenCase {
+	const (
+		nx2, ny2      = 23, 17
+		nx3, ny3, nz3 = 11, 9, 8
+		tau           = 0.02
+	)
+	cases := []goldenCase{}
+
+	// Plain single-node compression across the speculation ladder.
+	for _, spec := range []core.Speculation{core.NoSpec, core.ST1, core.ST2, core.ST3, core.ST4} {
+		spec := spec
+		cases = append(cases, goldenCase{
+			name: "2d-plain-" + spec.String(),
+			run: func(t *testing.T) ([][]byte, [][]float32) {
+				f := goldenField2D(11, nx2, ny2)
+				tr := mustFit(t, f.U, f.V)
+				blob, err := core.CompressField2D(f, tr, core.Options{Tau: tau, Spec: spec})
+				if err != nil {
+					t.Fatal(err)
+				}
+				dec, err := core.Decompress2D(blob)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return [][]byte{blob}, [][]float32{dec.U, dec.V}
+			},
+		}, goldenCase{
+			name: "3d-plain-" + spec.String(),
+			run: func(t *testing.T) ([][]byte, [][]float32) {
+				f := goldenField3D(13, nx3, ny3, nz3)
+				tr := mustFit(t, f.U, f.V, f.W)
+				blob, err := core.CompressField3D(f, tr, core.Options{Tau: tau, Spec: spec})
+				if err != nil {
+					t.Fatal(err)
+				}
+				dec, err := core.Decompress3D(blob)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return [][]byte{blob}, [][]float32{dec.U, dec.V, dec.W}
+			},
+		})
+	}
+
+	// Temporal prediction against a previous frame.
+	cases = append(cases, goldenCase{
+		name: "2d-temporal",
+		run: func(t *testing.T) ([][]byte, [][]float32) {
+			prev := goldenField2D(21, nx2, ny2)
+			cur := evolve2D(prev)
+			tr := mustFit(t, cur.U, cur.V)
+			enc, err := core.NewEncoder2D(core.Block2D{
+				NX: nx2, NY: ny2, U: cur.U, V: cur.V,
+				Transform: tr, Opts: core.Options{Tau: tau, Spec: core.ST2},
+				PrevU: prev.U, PrevV: prev.V,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			enc.Run()
+			blob, err := enc.Finish()
+			if err != nil {
+				t.Fatal(err)
+			}
+			dec, err := core.Decompress2DWithPrev(blob, prev)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return [][]byte{blob}, [][]float32{dec.U, dec.V}
+		},
+	}, goldenCase{
+		name: "3d-temporal",
+		run: func(t *testing.T) ([][]byte, [][]float32) {
+			prev := goldenField3D(23, nx3, ny3, nz3)
+			cur := evolve3D(prev)
+			tr := mustFit(t, cur.U, cur.V, cur.W)
+			enc, err := core.NewEncoder3D(core.Block3D{
+				NX: nx3, NY: ny3, NZ: nz3, U: cur.U, V: cur.V, W: cur.W,
+				Transform: tr, Opts: core.Options{Tau: tau, Spec: core.ST2},
+				PrevU: prev.U, PrevV: prev.V, PrevW: prev.W,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			enc.Run()
+			blob, err := enc.Finish()
+			if err != nil {
+				t.Fatal(err)
+			}
+			dec, err := core.Decompress3DWithPrev(blob, prev)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return [][]byte{blob}, [][]float32{dec.U, dec.V, dec.W}
+		},
+	})
+
+	// Lossless-border block carved out of a larger global domain (global
+	// placement exercises the SoS GlobalID path).
+	cases = append(cases, goldenCase{
+		name: "2d-border",
+		run: func(t *testing.T) ([][]byte, [][]float32) {
+			f := goldenField2D(31, nx2, ny2)
+			tr := mustFit(t, f.U, f.V)
+			enc, err := core.NewEncoder2D(core.Block2D{
+				NX: nx2, NY: ny2, U: f.U, V: f.V,
+				Transform: tr, Opts: core.Options{Tau: tau, Spec: core.ST1},
+				GlobalX0: 3, GlobalY0: 5, GlobalNX: 64, GlobalNY: 64,
+				Neighbor:       [4]bool{true, true, false, true},
+				LosslessBorder: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			enc.Run()
+			blob, err := enc.Finish()
+			if err != nil {
+				t.Fatal(err)
+			}
+			dec, err := core.Decompress2D(blob)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return [][]byte{blob}, [][]float32{dec.U, dec.V}
+		},
+	}, goldenCase{
+		name: "3d-border",
+		run: func(t *testing.T) ([][]byte, [][]float32) {
+			f := goldenField3D(33, nx3, ny3, nz3)
+			tr := mustFit(t, f.U, f.V, f.W)
+			enc, err := core.NewEncoder3D(core.Block3D{
+				NX: nx3, NY: ny3, NZ: nz3, U: f.U, V: f.V, W: f.W,
+				Transform: tr, Opts: core.Options{Tau: tau, Spec: core.ST1},
+				GlobalX0: 2, GlobalY0: 4, GlobalZ0: 6,
+				GlobalNX: 32, GlobalNY: 32, GlobalNZ: 32,
+				Neighbor:       [6]bool{true, false, true, true, false, true},
+				LosslessBorder: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			enc.Run()
+			blob, err := enc.Finish()
+			if err != nil {
+				t.Fatal(err)
+			}
+			dec, err := core.Decompress3D(blob)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return [][]byte{blob}, [][]float32{dec.U, dec.V, dec.W}
+		},
+	})
+
+	// Two-phase (ratio-oriented) distributed runs: per-rank streams and
+	// the reassembled global field.
+	cases = append(cases, goldenCase{
+		name: "2d-twophase",
+		run: func(t *testing.T) ([][]byte, [][]float32) {
+			f := goldenField2D(41, 2*nx2, 2*ny2)
+			tr := mustFit(t, f.U, f.V)
+			grid := parallel.Grid2D{PX: 2, PY: 2}
+			res, err := parallel.CompressDistributed2D(f, tr,
+				core.Options{Tau: tau, Spec: core.ST2}, grid, parallel.RatioOriented, mpi.Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			dec, _, err := parallel.DecompressDistributed2D(res.Blobs, grid, f.NX, f.NY, mpi.Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res.Blobs, [][]float32{dec.U, dec.V}
+		},
+	}, goldenCase{
+		name: "3d-twophase",
+		run: func(t *testing.T) ([][]byte, [][]float32) {
+			f := goldenField3D(43, 2*nx3, 2*ny3, nz3)
+			tr := mustFit(t, f.U, f.V, f.W)
+			grid := parallel.Grid3D{PX: 2, PY: 2, PZ: 1}
+			res, err := parallel.CompressDistributed3D(f, tr,
+				core.Options{Tau: tau, Spec: core.ST2}, grid, parallel.RatioOriented, mpi.Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			dec, _, err := parallel.DecompressDistributed3D(res.Blobs, grid, f.NX, f.NY, f.NZ, mpi.Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res.Blobs, [][]float32{dec.U, dec.V, dec.W}
+		},
+	})
+	return cases
+}
+
+func mustFit(t *testing.T, comps ...[]float32) fixed.Transform {
+	t.Helper()
+	tr, err := fixed.Fit(comps...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// packBlobs frames the per-rank streams of one case into a single golden
+// file: uvarint count, then uvarint length + bytes per blob.
+func packBlobs(blobs [][]byte) []byte {
+	out := binary.AppendUvarint(nil, uint64(len(blobs)))
+	for _, b := range blobs {
+		out = binary.AppendUvarint(out, uint64(len(b)))
+		out = append(out, b...)
+	}
+	return out
+}
+
+// hashDecoded digests the decoded components as little-endian float32
+// bits, pinning the decoder output exactly (not within epsilon).
+func hashDecoded(decoded [][]float32) string {
+	h := sha256.New()
+	var buf [4]byte
+	for _, comp := range decoded {
+		for _, v := range comp {
+			binary.LittleEndian.PutUint32(buf[:], math.Float32bits(v))
+			h.Write(buf[:])
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+func TestGolden(t *testing.T) {
+	dir := filepath.Join("testdata", "golden")
+	if *updateGolden {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, c := range goldenCases() {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			blobs, decoded := c.run(t)
+			got := packBlobs(blobs)
+			sum := hashDecoded(decoded)
+			binPath := filepath.Join(dir, c.name+".bin")
+			sumPath := filepath.Join(dir, c.name+".sum")
+			if *updateGolden {
+				if err := os.WriteFile(binPath, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(sumPath, []byte(sum+"\n"), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(binPath)
+			if err != nil {
+				t.Fatalf("missing golden stream (run with -update to regenerate): %v", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("compressed stream differs from golden %s (len got=%d want=%d)", binPath, len(got), len(want))
+			}
+			wantSum, err := os.ReadFile(sumPath)
+			if err != nil {
+				t.Fatalf("missing golden digest: %v", err)
+			}
+			if sum != string(bytes.TrimSpace(wantSum)) {
+				t.Errorf("decoded field digest differs from golden %s", sumPath)
+			}
+		})
+	}
+}
+
+// TestGoldenDecodeFromDisk re-decodes the stored golden streams directly,
+// so a refactored decoder is checked against seed-produced bytes even if
+// the encoder changed in lockstep.
+func TestGoldenDecodeFromDisk(t *testing.T) {
+	if *updateGolden {
+		t.Skip("regenerating")
+	}
+	data, err := os.ReadFile(filepath.Join("testdata", "golden", "3d-plain-NoSpec.bin"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	blobs, err := unpackBlobs(data)
+	if err != nil || len(blobs) != 1 {
+		t.Fatalf("bad golden container: %v", err)
+	}
+	dec, err := core.Decompress3D(blobs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := hashDecoded([][]float32{dec.U, dec.V, dec.W}); got == "" {
+		t.Fatal("empty digest")
+	}
+	data2, err := os.ReadFile(filepath.Join("testdata", "golden", "2d-plain-NoSpec.bin"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	blobs2, err := unpackBlobs(data2)
+	if err != nil || len(blobs2) != 1 {
+		t.Fatalf("bad golden container: %v", err)
+	}
+	if _, err := core.Decompress2D(blobs2[0]); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func unpackBlobs(data []byte) ([][]byte, error) {
+	n, k := binary.Uvarint(data)
+	if k <= 0 {
+		return nil, errTruncated
+	}
+	data = data[k:]
+	blobs := make([][]byte, 0, n)
+	for i := uint64(0); i < n; i++ {
+		ln, k := binary.Uvarint(data)
+		if k <= 0 || uint64(len(data)-k) < ln {
+			return nil, errTruncated
+		}
+		blobs = append(blobs, data[k:k+int(ln)])
+		data = data[k+int(ln):]
+	}
+	return blobs, nil
+}
+
+var errTruncated = errTruncatedT{}
+
+type errTruncatedT struct{}
+
+func (errTruncatedT) Error() string { return "golden: truncated container" }

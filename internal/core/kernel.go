@@ -1,0 +1,794 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/cp"
+	"repro/internal/encoder"
+	"repro/internal/fixed"
+	"repro/internal/huffman"
+	"repro/internal/quantizer"
+)
+
+// The dimension-generic compression kernel. Algorithm 2 and the ST1–ST4
+// speculation ladder are dimension-independent: only the stencil, the
+// adjacent-cell determinant predicates, and the component count differ
+// between 2D and 3D. The kernel owns the shared machinery — the vertex
+// sweep, Lorenzo/temporal prediction, bound derivation with the
+// sign-uniformity relaxation, the speculation state machine with
+// rollback, quantize/escape/commit, ghost/border handling, and the
+// two-phase protocol — and delegates the per-dimension parts to a small
+// dimOps plug (see dims.go). Encoder2D/Encoder3D are thin adapters.
+//
+// All index arithmetic is shared by treating a 2D block as nz == 1 with
+// no Z neighbors: every extended/own index formula, the face/ghost
+// indexing, the visit orders, and the masked Lorenzo predictor then
+// reduce bit-exactly to their 2D forms.
+
+// Ghost side indices for the Neighbor arrays and the ghost setters.
+const (
+	SideMinX = 0
+	SideMaxX = 1
+	SideMinY = 2
+	SideMaxY = 3
+	SideMinZ = 4
+	SideMaxZ = 5
+)
+
+// maxComps is the largest component count (3D fields have u, v, w).
+const maxComps = 3
+
+// blockSpec is the dimension-erased description of one block to
+// compress. The Block2D/Block3D adapters flatten into it; a 2D block has
+// nz = 1, nc = 2, and no Z neighbors.
+type blockSpec struct {
+	ndim, nc      int
+	nx, ny, nz    int
+	comps         [maxComps][]float32
+	prev          [maxComps][]float32
+	transform     fixed.Transform
+	opts          Options
+	gx0, gy0, gz0 int
+	gnx, gny, gnz int
+	neighbor      [6]bool
+	losslessBord  bool
+	twoPhase      bool
+}
+
+// kernel is one in-flight block compression. It mirrors the lifecycle of
+// the public encoders: construct, optionally set ghosts, prepare, run
+// (or run phase by phase), finish.
+type kernel struct {
+	blk       blockSpec
+	tau       int64
+	ext       [3]int // extended dims (ghost layers included)
+	off       [3]int // own-region offset inside the extended arrays
+	comps     [maxComps][]int64
+	own       [maxComps][]int64
+	prev      [maxComps][]int64
+	temporal  bool
+	valid     []bool
+	ownDone   []bool
+	dim       dimOps
+	det       cellChecker
+	cellValid []bool
+	cpCell    []bool
+	origType  map[int]cp.Type
+	cpAdj     []bool
+	expSyms   []uint32
+	codeSyms  []uint32
+	literals  []byte
+	cellBuf   []int
+	stats     Stats
+	tel       engineTel
+	prepared  bool
+	finished  bool
+}
+
+// newKernel validates the block, allocates the extended arrays, converts
+// the own region to fixed point, and binds the per-dimension plug.
+func newKernel(blk blockSpec) (*kernel, error) {
+	if err := blk.opts.Validate(); err != nil {
+		return nil, err
+	}
+	if blk.nx < 2 || blk.ny < 2 || (blk.ndim == 3 && blk.nz < 2) {
+		if blk.ndim == 2 {
+			return nil, errors.New("core: block must be at least 2x2")
+		}
+		return nil, errors.New("core: block must be at least 2x2x2")
+	}
+	n := blk.nx * blk.ny * blk.nz
+	for c := 0; c < blk.nc; c++ {
+		if len(blk.comps[c]) != n {
+			return nil, errors.New("core: component length mismatch")
+		}
+	}
+	if blk.gnx == 0 {
+		blk.gnx, blk.gny, blk.gnz = blk.nx, blk.ny, blk.nz
+	}
+	if blk.opts.Tau < blk.transform.Resolution() {
+		return nil, fmt.Errorf("core: Tau %g is below the fixed-point resolution %g of this field; use lossless storage instead",
+			blk.opts.Tau, blk.transform.Resolution())
+	}
+	k := &kernel{blk: blk, tau: blk.transform.Bound(blk.opts.Tau)}
+	k.ext = [3]int{blk.nx, blk.ny, blk.nz}
+	if blk.twoPhase {
+		for a := 0; a < 3; a++ {
+			if blk.neighbor[2*a] {
+				k.off[a] = 1
+				k.ext[a]++
+			}
+			if blk.neighbor[2*a+1] {
+				k.ext[a]++
+			}
+		}
+	}
+	en := k.ext[0] * k.ext[1] * k.ext[2]
+	for c := 0; c < blk.nc; c++ {
+		k.comps[c] = make([]int64, en)
+		k.own[c] = make([]int64, n)
+	}
+	k.valid = make([]bool, en)
+	k.ownDone = make([]bool, n)
+	temporal := false
+	for c := 0; c < blk.nc; c++ {
+		if blk.prev[c] != nil {
+			temporal = true
+		}
+	}
+	if temporal {
+		for c := 0; c < blk.nc; c++ {
+			if len(blk.prev[c]) != n {
+				return nil, errors.New("core: previous-frame length mismatch")
+			}
+		}
+		for c := 0; c < blk.nc; c++ {
+			k.prev[c] = make([]int64, n)
+			blk.transform.ToFixed(blk.prev[c], k.prev[c])
+		}
+		k.temporal = true
+	}
+	k.dim = newDimOps(blk.ndim, k.ext, k.comps)
+	k.tel = newEngineTel(blk.opts, k.dim.name())
+	// Fill the own region.
+	convert := k.tel.stage("fixed-convert")
+	row := make([]int64, blk.nx)
+	for kk := 0; kk < blk.nz; kk++ {
+		for j := 0; j < blk.ny; j++ {
+			src := (kk*blk.ny + j) * blk.nx
+			dst := ((kk+k.off[2])*k.ext[1]+(j+k.off[1]))*k.ext[0] + k.off[0]
+			for c := 0; c < blk.nc; c++ {
+				blk.transform.ToFixed(blk.comps[c][src:src+blk.nx], row)
+				copy(k.comps[c][dst:], row)
+			}
+			for i := 0; i < blk.nx; i++ {
+				k.valid[dst+i] = true
+			}
+		}
+	}
+	convert.End()
+	return k, nil
+}
+
+// extIdx maps own coordinates to the extended-array vertex index.
+func (k *kernel) extIdx(oi, oj, ok int) int {
+	return ((ok+k.off[2])*k.ext[1]+(oj+k.off[1]))*k.ext[0] + (oi + k.off[0])
+}
+
+// ownIdx maps own coordinates to the own-layout index.
+func (k *kernel) ownIdx(oi, oj, ok int) int {
+	return (ok*k.blk.ny+oj)*k.blk.nx + oi
+}
+
+// faceDims returns the in-face dimensions (d0 fast axis, d1 slow axis) of
+// a ghost plane. In 2D the slow axis is degenerate (d1 == 1), so a plane
+// is a line.
+func (k *kernel) faceDims(side int) (d0, d1 int) {
+	switch side {
+	case SideMinX, SideMaxX:
+		return k.blk.ny, k.blk.nz
+	case SideMinY, SideMaxY:
+		return k.blk.nx, k.blk.nz
+	default:
+		return k.blk.nx, k.blk.ny
+	}
+}
+
+// faceIndex maps in-face coordinates (a fast, b slow) to the extended
+// array index of the ghost vertex on the given side.
+func (k *kernel) faceIndex(side, a, b int) int {
+	var i, j, kk int
+	switch side {
+	case SideMinX:
+		i, j, kk = 0, a+k.off[1], b+k.off[2]
+	case SideMaxX:
+		i, j, kk = k.ext[0]-1, a+k.off[1], b+k.off[2]
+	case SideMinY:
+		i, j, kk = a+k.off[0], 0, b+k.off[2]
+	case SideMaxY:
+		i, j, kk = a+k.off[0], k.ext[1]-1, b+k.off[2]
+	case SideMinZ:
+		i, j, kk = a+k.off[0], b+k.off[1], 0
+	default:
+		i, j, kk = a+k.off[0], b+k.off[1], k.ext[2]-1
+	}
+	return (kk*k.ext[1]+j)*k.ext[0] + i
+}
+
+// setGhostPlane supplies the fixed-point ghost values for one side, one
+// slice per component, laid out fast-axis first (per faceDims). For
+// two-phase blocks the min/max sides carry the neighbors' border values:
+// originals before phase 1, decompressed values before phase 2.
+func (k *kernel) setGhostPlane(side int, vals [][]int64) error {
+	if side < 0 || side >= 2*k.blk.ndim || !k.blk.twoPhase || !k.blk.neighbor[side] {
+		return fmt.Errorf("core: no ghost layer on side %d", side)
+	}
+	d0, d1 := k.faceDims(side)
+	if len(vals) != k.blk.nc {
+		return errors.New("core: ghost component count mismatch")
+	}
+	for _, z := range vals {
+		if len(z) != d0*d1 {
+			return errors.New("core: ghost face length mismatch")
+		}
+	}
+	for b := 0; b < d1; b++ {
+		for a := 0; a < d0; a++ {
+			idx := k.faceIndex(side, a, b)
+			f := b*d0 + a
+			for c := 0; c < k.blk.nc; c++ {
+				k.comps[c][idx] = vals[c][f]
+			}
+			k.valid[idx] = true
+		}
+	}
+	return nil
+}
+
+// borderPlane returns the current (decompressed once processed)
+// fixed-point values of one own border plane, one freshly allocated slice
+// per component, for the phase exchanges. Unknown sides return nil.
+func (k *kernel) borderPlane(side int) [][]int64 {
+	if side < 0 || side >= 2*k.blk.ndim {
+		return nil
+	}
+	d0, d1 := k.faceDims(side)
+	out := make([][]int64, k.blk.nc)
+	for c := range out[:k.blk.nc] {
+		out[c] = make([]int64, d0*d1)
+	}
+	for b := 0; b < d1; b++ {
+		for a := 0; a < d0; a++ {
+			var i, j, kk int
+			switch side {
+			case SideMinX:
+				i, j, kk = k.off[0], a+k.off[1], b+k.off[2]
+			case SideMaxX:
+				i, j, kk = k.off[0]+k.blk.nx-1, a+k.off[1], b+k.off[2]
+			case SideMinY:
+				i, j, kk = a+k.off[0], k.off[1], b+k.off[2]
+			case SideMaxY:
+				i, j, kk = a+k.off[0], k.off[1]+k.blk.ny-1, b+k.off[2]
+			case SideMinZ:
+				i, j, kk = a+k.off[0], b+k.off[1], k.off[2]
+			default:
+				i, j, kk = a+k.off[0], b+k.off[1], k.off[2]+k.blk.nz-1
+			}
+			idx := (kk*k.ext[1]+j)*k.ext[0] + i
+			f := b*d0 + a
+			for c := 0; c < k.blk.nc; c++ {
+				out[c][f] = k.comps[c][idx]
+			}
+		}
+	}
+	return out
+}
+
+// prepare precomputes the critical point map (Algorithm 2 lines 1–3).
+// For two-phase blocks all ghost planes must have been set (with the
+// neighbors' original values).
+func (k *kernel) prepare() {
+	precompute := k.tel.stage("cp-precompute")
+	defer precompute.End()
+	gx0 := k.blk.gx0 - k.off[0]
+	gy0 := k.blk.gy0 - k.off[1]
+	gz0 := k.blk.gz0 - k.off[2]
+	gnx, gny := k.blk.gnx, k.blk.gny
+	extNX, extNY := k.ext[0], k.ext[1]
+	// The SoS identity runs on every exact-predicate tie, so the 2D form
+	// skips the plane division (gz0 == 0 there makes the 3D form reduce to
+	// it exactly).
+	gid := func(v int) int {
+		i := v % extNX
+		j := (v / extNX) % extNY
+		kk := v / (extNX * extNY)
+		return ((gz0+kk)*gny+(gy0+j))*gnx + (gx0 + i)
+	}
+	if k.blk.ndim == 2 {
+		gid = func(v int) int {
+			i, j := v%extNX, v/extNX
+			return (gy0+j)*gnx + (gx0 + i)
+		}
+	}
+	k.det = k.dim.makeDetector(gid)
+	nc := k.dim.numCells()
+	k.cellValid = make([]bool, nc)
+	k.cpCell = make([]bool, nc)
+	var vsbuf [4]int
+	nv := k.blk.ndim + 1
+	for c := 0; c < nc; c++ {
+		k.dim.cellVertices(c, &vsbuf)
+		vs := vsbuf[:nv]
+		ok := true
+		zero := true
+		for _, vi := range vs {
+			if !k.valid[vi] {
+				ok = false
+				break
+			}
+			for comp := 0; comp < k.blk.nc; comp++ {
+				if k.comps[comp][vi] != 0 {
+					zero = false
+					break
+				}
+			}
+		}
+		if ok {
+			k.cellValid[c] = true
+			if !zero {
+				k.cpCell[c] = k.det.CellContains(c)
+			}
+		}
+	}
+	if k.blk.opts.Spec == ST4 {
+		k.origType = make(map[int]cp.Type)
+		for c := 0; c < nc; c++ {
+			if k.cpCell[c] {
+				k.origType[c] = k.det.CellType(c)
+			}
+		}
+	}
+	k.cpAdj = make([]bool, k.blk.nx*k.blk.ny*k.blk.nz)
+	for ok2 := 0; ok2 < k.blk.nz; ok2++ {
+		for oj := 0; oj < k.blk.ny; oj++ {
+			for oi := 0; oi < k.blk.nx; oi++ {
+				vid := k.extIdx(oi, oj, ok2)
+				k.cellBuf = k.dim.vertexCells(vid, k.cellBuf[:0])
+				for _, c := range k.cellBuf {
+					if k.cellValid[c] && k.cpCell[c] {
+						k.cpAdj[k.ownIdx(oi, oj, ok2)] = true
+						break
+					}
+				}
+			}
+		}
+	}
+	k.prepared = true
+}
+
+// run compresses every vertex in raster order (single-node and
+// lossless-border blocks). On a two-phase block it runs both phases
+// back-to-back — callers that exchange ghosts between the phases must
+// drive runPhase1/runPhase2 themselves, but the visit order stays
+// consistent with the decoder either way.
+func (k *kernel) run() {
+	if !k.prepared {
+		k.prepare()
+	}
+	if k.blk.twoPhase {
+		k.runPhase1()
+		k.runPhase2()
+		return
+	}
+	process := k.tel.stage("process")
+	for ok := 0; ok < k.blk.nz; ok++ {
+		for oj := 0; oj < k.blk.ny; oj++ {
+			for oi := 0; oi < k.blk.nx; oi++ {
+				k.processVertex(oi, oj, ok)
+			}
+		}
+	}
+	process.End()
+}
+
+// runPhase1 compresses every vertex except those on neighbor-facing max
+// planes (ratio-oriented strategy, first phase).
+func (k *kernel) runPhase1() {
+	if !k.prepared {
+		k.prepare()
+	}
+	process := k.tel.stage("process-phase1")
+	defer process.End()
+	for ok := 0; ok < k.blk.nz; ok++ {
+		for oj := 0; oj < k.blk.ny; oj++ {
+			for oi := 0; oi < k.blk.nx; oi++ {
+				if !k.phase2Vertex(oi, oj, ok) {
+					k.processVertex(oi, oj, ok)
+				}
+			}
+		}
+	}
+}
+
+// runPhase2 compresses the remaining max-plane vertices. Ghost planes on
+// the max sides should have been refreshed with the neighbors'
+// decompressed borders.
+func (k *kernel) runPhase2() {
+	process := k.tel.stage("process-phase2")
+	defer process.End()
+	for ok := 0; ok < k.blk.nz; ok++ {
+		for oj := 0; oj < k.blk.ny; oj++ {
+			for oi := 0; oi < k.blk.nx; oi++ {
+				if k.phase2Vertex(oi, oj, ok) {
+					k.processVertex(oi, oj, ok)
+				}
+			}
+		}
+	}
+}
+
+func (k *kernel) phase2Vertex(oi, oj, ok int) bool {
+	return (k.blk.neighbor[SideMaxX] && oi == k.blk.nx-1) ||
+		(k.blk.neighbor[SideMaxY] && oj == k.blk.ny-1) ||
+		(k.blk.neighbor[SideMaxZ] && ok == k.blk.nz-1)
+}
+
+// forcedLossless reports whether the strategy pins this vertex to zero
+// error: neighbor-facing borders in LosslessBorder mode, and vertices on
+// two or more neighbor-facing planes (block corners/edges, whose
+// derivation would need diagonal ghosts) in two-phase mode.
+func (k *kernel) forcedLossless(oi, oj, ok int) bool {
+	planes := 0
+	o := [3]int{oi, oj, ok}
+	lim := [3]int{k.blk.nx - 1, k.blk.ny - 1, k.blk.nz - 1}
+	for a := 0; a < 3; a++ {
+		if k.blk.neighbor[2*a] && o[a] == 0 {
+			planes++
+		}
+		if k.blk.neighbor[2*a+1] && o[a] == lim[a] {
+			planes++
+		}
+	}
+	if k.blk.losslessBord {
+		return planes >= 1
+	}
+	if k.blk.twoPhase {
+		return planes >= 2
+	}
+	return false
+}
+
+func (k *kernel) processVertex(oi, oj, ok int) {
+	vid := k.extIdx(oi, oj, ok)
+	own := k.ownIdx(oi, oj, ok)
+	spec := k.blk.opts.Spec
+	cpA := k.cpAdj[own]
+
+	var sym uint8
+	var snapped int64
+	switch {
+	case k.forcedLossless(oi, oj, ok):
+		sym, snapped = quantizer.LosslessSym, 0
+	case spec == NoSpec:
+		xi := int64(0)
+		if !cpA {
+			var relaxed bool
+			xi, relaxed = k.deriveBound(vid)
+			if relaxed {
+				k.stats.Relaxed++
+				k.tel.relaxed.Inc()
+			}
+		}
+		sym, snapped = quantizer.BoundSym(xi, k.tau)
+	case spec == ST1:
+		sym, snapped = k.speculateST1(oi, oj, ok, vid, cpA)
+	case spec == ST2 || spec == ST3:
+		sym, snapped = k.speculateFN(oi, oj, ok, vid, cpA)
+	default: // ST4
+		sym, snapped = k.speculateFull(oi, oj, ok, vid)
+	}
+	codes, recons, esc := k.tryQuantize(oi, oj, ok, vid, snapped)
+	k.commit(vid, own, sym, codes, recons, esc)
+}
+
+// deriveBound is Algorithm 2 lines 5–17: the minimum over adjacent cells
+// of min(Ψ, τ′), with the sign-uniformity relaxation.
+func (k *kernel) deriveBound(vid int) (xi int64, relaxed bool) {
+	if k.tel.deriveNS != nil {
+		defer k.tel.deriveNS.AddSince(time.Now())
+	}
+	k.cellBuf = k.dim.vertexCells(vid, k.cellBuf[:0])
+	xi = k.tau
+	orientOnly := k.blk.opts.OrientationOnly
+	relax := !k.blk.opts.DisableRelaxation
+	for _, c := range k.cellBuf {
+		if !k.cellValid[c] {
+			continue
+		}
+		if k.cpCell[c] {
+			return 0, false
+		}
+		cb, rlx := k.dim.cellBound(vid, c, k.tau, orientOnly, relax)
+		if rlx {
+			relaxed = true
+		}
+		if cb < xi {
+			xi = cb
+		}
+	}
+	return xi, relaxed
+}
+
+// speculateST1 relaxes the derived bound and accepts when the realized
+// quantization error still meets the derived bound.
+func (k *kernel) speculateST1(oi, oj, ok, vid int, cpA bool) (uint8, int64) {
+	if cpA {
+		return quantizer.LosslessSym, 0
+	}
+	xi, _ := k.deriveBound(vid)
+	if xi <= 0 {
+		return quantizer.LosslessSym, 0
+	}
+	nl := k.blk.opts.Spec.retries()
+	// Relax the bound, capped at max(τ′, ξ): ST1 recovers the precision
+	// lost when the derived bound is floor-snapped onto the exponent
+	// grid, and never discards a relaxation-derived ξ above τ′; pushing
+	// past both is left to the FN-level targets.
+	try := xi << uint(nl)
+	limit := k.tau
+	if xi > limit {
+		limit = xi
+	}
+	if try > limit {
+		try = limit
+	}
+	fails := 0
+	for {
+		k.stats.SpecTrials++
+		k.tel.specTrials.Inc()
+		sym, snapped := quantizer.BoundSym(try, k.tau)
+		_, recons, _ := k.tryQuantize(oi, oj, ok, vid, snapped)
+		within := true
+		for c := 0; c < k.blk.nc; c++ {
+			if absDiff(recons[c], k.comps[c][vid]) > xi {
+				within = false
+				break
+			}
+		}
+		if within {
+			return sym, snapped
+		}
+		k.stats.SpecFails++
+		k.tel.specFails.Inc()
+		fails++
+		if fails > nl {
+			return k.specCutoff()
+		}
+		try >>= 1
+		if try <= 0 {
+			return k.specCutoff()
+		}
+	}
+}
+
+// speculateFN (ST2/ST3) skips derivation: it compresses with a relaxed
+// bound and verifies that no adjacent cell gains a critical point.
+func (k *kernel) speculateFN(oi, oj, ok, vid int, cpA bool) (uint8, int64) {
+	if cpA {
+		return quantizer.LosslessSym, 0
+	}
+	return k.speculateVerify(oi, oj, ok, vid, func(c int) bool {
+		return !k.det.CellContains(c)
+	})
+}
+
+// speculateFull (ST4) verifies detection result and critical point type on
+// every adjacent cell, including cells that contain critical points.
+func (k *kernel) speculateFull(oi, oj, ok, vid int) (uint8, int64) {
+	return k.speculateVerify(oi, oj, ok, vid, func(c int) bool {
+		if k.det.CellContains(c) != k.cpCell[c] {
+			return false
+		}
+		return !k.cpCell[c] || k.det.CellType(c) == k.origType[c]
+	})
+}
+
+// speculateVerify is the trial loop of Fig. 2: relax, compress, verify the
+// target on the adjacent cells with the candidate reconstruction in
+// place, restrict on failure, and hard cut-off to lossless after n_l
+// failures.
+func (k *kernel) speculateVerify(oi, oj, ok, vid int, check func(c int) bool) (uint8, int64) {
+	nl := k.blk.opts.Spec.retries()
+	try := k.tau << uint(nl)
+	fails := 0
+	var orig [maxComps]int64
+	for c := 0; c < k.blk.nc; c++ {
+		orig[c] = k.comps[c][vid]
+	}
+	for {
+		k.stats.SpecTrials++
+		k.tel.specTrials.Inc()
+		sym, snapped := quantizer.BoundSym(try, k.tau)
+		_, recons, _ := k.tryQuantize(oi, oj, ok, vid, snapped)
+		for c := 0; c < k.blk.nc; c++ {
+			k.comps[c][vid] = recons[c]
+		}
+		okAll := true
+		k.cellBuf = k.dim.vertexCells(vid, k.cellBuf[:0])
+		for _, c := range k.cellBuf {
+			if k.cellValid[c] && !check(c) {
+				okAll = false
+				break
+			}
+		}
+		for c := 0; c < k.blk.nc; c++ {
+			k.comps[c][vid] = orig[c]
+		}
+		if okAll {
+			return sym, snapped
+		}
+		k.stats.SpecFails++
+		k.tel.specFails.Inc()
+		fails++
+		if fails > nl {
+			return k.specCutoff()
+		}
+		try >>= 1
+		if try <= 0 {
+			return k.specCutoff()
+		}
+	}
+}
+
+// specCutoff records the hard cut-off to lossless storage after
+// speculation exhausts its retry budget (n_l failures or a trial bound
+// shrunk to zero).
+func (k *kernel) specCutoff() (uint8, int64) {
+	k.stats.SpecCutoffs++
+	k.tel.specCutoffs.Inc()
+	return quantizer.LosslessSym, 0
+}
+
+// tryQuantize quantizes every component of the vertex against the snapped
+// bound without committing anything.
+func (k *kernel) tryQuantize(oi, oj, ok, vid int, snapped int64) (codes, recons [maxComps]int64, esc [maxComps]bool) {
+	own := k.ownIdx(oi, oj, ok)
+	for c := 0; c < k.blk.nc; c++ {
+		var pred int64
+		if k.temporal {
+			pred = k.prev[c][own]
+		} else {
+			pred = predictLorenzo(k.own[c], k.ownDone, k.blk.nx, k.blk.ny, oi, oj, ok)
+		}
+		code, recon, qok := quantizer.Quantize(k.comps[c][vid], pred, snapped)
+		if !qok {
+			esc[c] = true
+			recons[c] = k.comps[c][vid]
+		} else {
+			codes[c] = code
+			recons[c] = recon
+		}
+	}
+	return codes, recons, esc
+}
+
+// predictLorenzo is the masked Lorenzo predictor restricted to own,
+// already-processed neighbors, shared by the encoder and the decoder —
+// which guarantees bit-identical predictions even in the two-phase visit
+// order. With ok == 0 on an nz == 1 block the Z terms vanish and the
+// stencil reduces exactly to the 2D Lorenzo predictor.
+func predictLorenzo(z []int64, done []bool, nx, ny, oi, oj, ok int) int64 {
+	idx := (ok*ny+oj)*nx + oi
+	sx, sy, sz := 1, nx, nx*ny
+	av := func(di, dj, dk int) bool {
+		if oi+di < 0 || oj+dj < 0 || ok+dk < 0 {
+			return false
+		}
+		return done[idx+di*sx+dj*sy+dk*sz]
+	}
+	x := av(-1, 0, 0)
+	y := av(0, -1, 0)
+	zz := av(0, 0, -1)
+	xy := av(-1, -1, 0)
+	xz := av(-1, 0, -1)
+	yz := av(0, -1, -1)
+	xyz := av(-1, -1, -1)
+	switch {
+	case x && y && zz && xy && xz && yz && xyz:
+		return z[idx-sx] + z[idx-sy] + z[idx-sz] -
+			z[idx-sx-sy] - z[idx-sx-sz] - z[idx-sy-sz] +
+			z[idx-sx-sy-sz]
+	case x && y && xy:
+		return z[idx-sx] + z[idx-sy] - z[idx-sx-sy]
+	case x && zz && xz:
+		return z[idx-sx] + z[idx-sz] - z[idx-sx-sz]
+	case y && zz && yz:
+		return z[idx-sy] + z[idx-sz] - z[idx-sy-sz]
+	case x:
+		return z[idx-sx]
+	case y:
+		return z[idx-sy]
+	case zz:
+		return z[idx-sz]
+	default:
+		return 0
+	}
+}
+
+// commit emits the streams for the vertex and overwrites the working
+// arrays with the decompressed values (Algorithm 2 lines 18–22).
+func (k *kernel) commit(vid, own int, sym uint8, codes, recons [maxComps]int64, esc [maxComps]bool) {
+	k.stats.Vertices++
+	k.tel.vertices.Inc()
+	k.tel.boundExp.Observe(int64(sym))
+	if sym == quantizer.LosslessSym {
+		k.stats.Lossless++
+		k.tel.lossless.Inc()
+	}
+	for c := 0; c < k.blk.nc; c++ {
+		if esc[c] {
+			k.stats.Literals++
+			k.tel.literals.Inc()
+		}
+	}
+	k.expSyms = append(k.expSyms, uint32(sym))
+	for c := 0; c < k.blk.nc; c++ {
+		if esc[c] {
+			k.codeSyms = append(k.codeSyms, escapeSym)
+			k.literals = appendLiteral(k.literals, k.comps[c][vid])
+		} else {
+			k.codeSyms = append(k.codeSyms, huffman.Zigzag(codes[c]))
+		}
+	}
+	for c := 0; c < k.blk.nc; c++ {
+		k.comps[c][vid] = recons[c]
+		k.own[c][own] = recons[c]
+	}
+	k.ownDone[own] = true
+}
+
+// finish packs the compressed block.
+func (k *kernel) finish() ([]byte, error) {
+	if k.finished {
+		return nil, errors.New("core: Finish called twice")
+	}
+	k.finished = true
+	h := header{
+		NDim:  k.blk.ndim,
+		NX:    k.blk.nx,
+		NY:    k.blk.ny,
+		Shift: k.blk.transform.Shift,
+		Tau:   k.tau,
+		Spec:  k.blk.opts.Spec,
+		Order: orderRaster,
+	}
+	if k.blk.ndim == 3 {
+		h.NZ = k.blk.nz
+	}
+	if k.blk.twoPhase {
+		h.Order = orderTwoPhase
+	}
+	h.HasGhost = k.blk.neighbor
+	h.Border = k.blk.losslessBord
+	h.Temporal = k.temporal
+	entropy := k.tel.stage("entropy-code")
+	blob, err := encoder.Pack(h.marshal(), huffman.Compress(k.expSyms), huffman.Compress(k.codeSyms), k.literals)
+	entropy.End()
+	k.tel.finish()
+	return blob, err
+}
+
+// decompressed returns the reconstructed own block as float32 components
+// (available after all phases have run). Useful for in-process
+// verification without a decode round trip.
+func (k *kernel) decompressed() [][]float32 {
+	n := k.blk.nx * k.blk.ny * k.blk.nz
+	out := make([][]float32, k.blk.nc)
+	for c := 0; c < k.blk.nc; c++ {
+		out[c] = make([]float32, n)
+		k.blk.transform.ToFloat(k.own[c], out[c])
+	}
+	return out
+}

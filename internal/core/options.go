@@ -21,7 +21,6 @@
 package core
 
 import (
-	"encoding/binary"
 	"errors"
 	"fmt"
 
@@ -156,127 +155,5 @@ func (o Options) Validate() error {
 	if o.Spec > ST4 {
 		return fmt.Errorf("core: unknown speculation target %d", o.Spec)
 	}
-	return nil
-}
-
-// orderMode identifies the vertex visit order stored in the header.
-type orderMode uint8
-
-const (
-	orderRaster   orderMode = 0 // plain raster scan
-	orderTwoPhase orderMode = 1 // ratio-oriented: interior first, max planes last
-)
-
-const (
-	magic   = 0x5343 // "SC"
-	version = 1
-)
-
-// header is the self-describing prefix of a compressed block.
-type header struct {
-	NDim     int
-	NX, NY   int
-	NZ       int // 0 in 2D
-	Shift    int // fixed-point transform exponent
-	Tau      int64
-	Spec     Speculation
-	Order    orderMode
-	HasGhost [6]bool // minX, maxX, minY, maxY, minZ, maxZ
-	Border   bool    // lossless-border mode (informational)
-	Temporal bool    // temporal prediction: decoder needs the previous frame
-}
-
-func (h *header) marshal() []byte {
-	var b []byte
-	b = binary.LittleEndian.AppendUint16(b, magic)
-	b = append(b, version, byte(h.NDim))
-	b = binary.AppendUvarint(b, uint64(h.NX))
-	b = binary.AppendUvarint(b, uint64(h.NY))
-	if h.NDim == 3 {
-		b = binary.AppendUvarint(b, uint64(h.NZ))
-	}
-	b = binary.AppendVarint(b, int64(h.Shift))
-	b = binary.AppendVarint(b, h.Tau)
-	b = append(b, byte(h.Spec), byte(h.Order))
-	var ghost byte
-	for i, g := range h.HasGhost {
-		if g {
-			ghost |= 1 << i
-		}
-	}
-	b = append(b, ghost)
-	var flags byte
-	if h.Border {
-		flags |= 1
-	}
-	if h.Temporal {
-		flags |= 2
-	}
-	b = append(b, flags)
-	return b
-}
-
-var errHeader = errors.New("core: malformed header")
-
-func (h *header) unmarshal(b []byte) error {
-	if len(b) < 4 || binary.LittleEndian.Uint16(b) != magic || b[2] != version {
-		return errHeader
-	}
-	h.NDim = int(b[3])
-	if h.NDim != 2 && h.NDim != 3 {
-		return errHeader
-	}
-	b = b[4:]
-	read := func() (int, error) {
-		v, k := binary.Uvarint(b)
-		if k <= 0 {
-			return 0, errHeader
-		}
-		b = b[k:]
-		return int(v), nil
-	}
-	var err error
-	if h.NX, err = read(); err != nil {
-		return err
-	}
-	if h.NY, err = read(); err != nil {
-		return err
-	}
-	if h.NDim == 3 {
-		if h.NZ, err = read(); err != nil {
-			return err
-		}
-	}
-	// Sanity-bound dimensions so corrupt headers cannot cause overflowing
-	// products or absurd allocations downstream.
-	const maxDim = 1 << 28
-	if h.NX < 2 || h.NY < 2 || h.NX > maxDim || h.NY > maxDim {
-		return errHeader
-	}
-	if h.NDim == 3 && (h.NZ < 2 || h.NZ > maxDim) {
-		return errHeader
-	}
-	sv, k := binary.Varint(b)
-	if k <= 0 {
-		return errHeader
-	}
-	h.Shift = int(sv)
-	b = b[k:]
-	tv, k := binary.Varint(b)
-	if k <= 0 {
-		return errHeader
-	}
-	h.Tau = tv
-	b = b[k:]
-	if len(b) < 4 {
-		return errHeader
-	}
-	h.Spec = Speculation(b[0])
-	h.Order = orderMode(b[1])
-	for i := range h.HasGhost {
-		h.HasGhost[i] = b[2]&(1<<i) != 0
-	}
-	h.Border = b[3]&1 != 0
-	h.Temporal = b[3]&2 != 0
 	return nil
 }

@@ -1,0 +1,302 @@
+package parallel
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/mpi"
+	"repro/internal/telemetry"
+)
+
+// The dimension-generic distributed driver. CompressDistributed2D/3D and
+// DecompressDistributed2D/3D are thin wrappers that extract the per-rank
+// sub-blocks and scatter the decoded blocks; everything else — rank
+// topology, the phase-1/phase-2 ghost exchanges of the ratio-oriented
+// protocol (Fig. 4), timing, and result aggregation — lives here once.
+
+// Result summarizes a distributed compression run.
+type Result struct {
+	// Blobs holds the per-rank compressed blocks (rank order).
+	Blobs [][]byte
+	// RawBytes and CompressedBytes give the global compression ratio.
+	RawBytes, CompressedBytes int64
+	// Stats carries the simulated-run timing (makespan = compression
+	// wall time on the virtual machine) and communication volume.
+	Stats mpi.Stats
+	// EncStats aggregates the per-rank encoder stats (speculation,
+	// relaxation, lossless escapes) across the whole machine.
+	EncStats core.Stats
+}
+
+// Ratio returns the global compression ratio.
+func (r Result) Ratio() float64 {
+	if r.CompressedBytes == 0 {
+		return 0
+	}
+	return float64(r.RawBytes) / float64(r.CompressedBytes)
+}
+
+// ThroughputMBps returns the aggregate compression throughput implied by
+// the virtual makespan, in MB/s.
+func (r Result) ThroughputMBps() float64 {
+	s := r.Stats.Makespan.Seconds()
+	if s == 0 {
+		return 0
+	}
+	return float64(r.RawBytes) / 1e6 / s
+}
+
+// runTel carries the telemetry wiring of one distributed run. All fields
+// are nil (and every method a no-op) when telemetry is disabled.
+type runTel struct {
+	run   *telemetry.Span
+	ranks []*telemetry.Span
+	p1Msgs, p1Bytes,
+	p2Msgs, p2Bytes *telemetry.Counter
+}
+
+// newRunTel pre-creates the run span and one child span per rank, in rank
+// order, so the snapshot layout is deterministic regardless of how the
+// rank goroutines are scheduled.
+func newRunTel(tel *telemetry.Collector, name string, ranks int) runTel {
+	if tel == nil {
+		return runTel{}
+	}
+	rt := runTel{
+		run:     tel.Span(name),
+		ranks:   make([]*telemetry.Span, ranks),
+		p1Msgs:  tel.Counter("parallel.phase1.msgs"),
+		p1Bytes: tel.Counter("parallel.phase1.bytes"),
+		p2Msgs:  tel.Counter("parallel.phase2.msgs"),
+		p2Bytes: tel.Counter("parallel.phase2.bytes"),
+	}
+	for r := range rt.ranks {
+		rt.ranks[r] = rt.run.Child(fmt.Sprintf("rank%d", r))
+	}
+	return rt
+}
+
+// rank returns rank r's span (nil when disabled).
+func (rt runTel) rank(r int) *telemetry.Span {
+	if rt.ranks == nil {
+		return nil
+	}
+	return rt.ranks[r]
+}
+
+// sent records a phase-1 or phase-2 ghost message of n payload bytes.
+func (rt runTel) sent(phase2 bool, n int) {
+	if phase2 {
+		rt.p2Msgs.Inc()
+		rt.p2Bytes.Add(int64(n))
+	} else {
+		rt.p1Msgs.Inc()
+		rt.p1Bytes.Add(int64(n))
+	}
+}
+
+// finish ends every rank span and the run span.
+func (rt runTel) finish() {
+	for _, sp := range rt.ranks {
+		sp.End()
+	}
+	rt.run.End()
+}
+
+// Message tags: phase-1 ghosts carry the sender's side index; phase-2
+// ghosts are offset by 10.
+const phase2TagOffset = 10
+
+// opposite maps a side to the side seen by the neighbor across it.
+func opposite(side int) int {
+	if side%2 == 0 {
+		return side + 1
+	}
+	return side - 1
+}
+
+// blockEncoder is the per-rank encoder surface the driver runs; both
+// core.Encoder2D and core.Encoder3D satisfy it.
+type blockEncoder interface {
+	Prepare()
+	Run()
+	RunPhase1()
+	RunPhase2()
+	Finish() ([]byte, error)
+	Stats() core.Stats
+	BorderPlane(side int) [][]int64
+	SetGhostPlane(side int, vals [][]int64) error
+}
+
+// flatten packs the per-component planes of one border into a single
+// message payload; splitComps is its inverse on the receiving side.
+func flatten(planes [][]int64) []int64 {
+	out := make([]int64, 0, len(planes)*len(planes[0]))
+	for _, p := range planes {
+		out = append(out, p...)
+	}
+	return out
+}
+
+func splitComps(vals []int64, nc int) [][]int64 {
+	part := len(vals) / nc
+	out := make([][]int64, nc)
+	for c := range out {
+		out[c] = vals[c*part : (c+1)*part]
+	}
+	return out
+}
+
+// compressDistributed runs one compression job on a simulated machine of
+// dims[0]×dims[1]×dims[2] ranks (a 2D grid passes dims[2] == 1). newEnc
+// builds rank p's encoder from its sub-block; everything else is
+// dimension-generic.
+func compressDistributed(name string, ndim int, dims [3]int, rawBytes int64,
+	opts core.Options, strat Strategy, mcfg mpi.Config,
+	newEnc func(p [3]int, o core.Options, neighbor [6]bool) (blockEncoder, error)) (Result, error) {
+
+	nc := ndim
+	ranks := dims[0] * dims[1] * dims[2]
+	mcfg.Ranks = ranks
+	if mcfg.Tel == nil {
+		mcfg.Tel = opts.Tel
+	}
+	rt := newRunTel(mcfg.Tel, "parallel.compress"+name, ranks)
+
+	blobs := make([][]byte, ranks)
+	errs := make([]error, ranks)
+	stats := make([]core.Stats, ranks)
+
+	st := mpi.Run(mcfg, func(c *mpi.Comm) {
+		p := [3]int{c.Rank % dims[0], (c.Rank / dims[0]) % dims[1], c.Rank / (dims[0] * dims[1])}
+		stride := [3]int{1, dims[0], dims[0] * dims[1]}
+		nb := [6]int{-1, -1, -1, -1, -1, -1}
+		var neighbor [6]bool
+		for ax := 0; ax < ndim; ax++ {
+			if p[ax] > 0 {
+				nb[2*ax] = c.Rank - stride[ax]
+			}
+			if p[ax] < dims[ax]-1 {
+				nb[2*ax+1] = c.Rank + stride[ax]
+			}
+		}
+		for s, r := range nb {
+			if r >= 0 && strat != Naive {
+				neighbor[s] = true
+			}
+		}
+		o := opts
+		o.Tel = mcfg.Tel
+		o.TelSpan = rt.rank(c.Rank)
+		enc, err := newEnc(p, o, neighbor)
+		if err != nil {
+			errs[c.Rank] = err
+			return
+		}
+
+		if strat != RatioOriented {
+			var blob []byte
+			c.Time(func() {
+				enc.Run()
+				blob, err = enc.Finish()
+			})
+			blobs[c.Rank], errs[c.Rank] = blob, err
+			stats[c.Rank] = enc.Stats()
+			return
+		}
+
+		// Phase-1 exchange: original border values to every neighbor.
+		// Exchange spans report virtual time (clock advance across the
+		// exchange), since the data movement itself is simulated.
+		x0 := c.Elapsed()
+		for s, r := range nb {
+			if r < 0 {
+				continue
+			}
+			vals := flatten(enc.BorderPlane(s))
+			rt.sent(false, 8*len(vals))
+			c.SendInt64s(r, s, vals)
+		}
+		for s, r := range nb {
+			if r < 0 {
+				continue
+			}
+			vals := c.RecvInt64s(r, opposite(s))
+			if err := enc.SetGhostPlane(s, splitComps(vals, nc)); err != nil {
+				errs[c.Rank] = err
+				return
+			}
+		}
+		rt.rank(c.Rank).AddChild("ghost-exchange-p1", c.Elapsed()-x0)
+		c.Time(func() {
+			enc.Prepare()
+			enc.RunPhase1()
+		})
+		// Phase-2 exchange: decompressed min borders flow to min-side
+		// neighbors, becoming their max-side ghosts.
+		x1 := c.Elapsed()
+		for ax := 0; ax < ndim; ax++ {
+			if s := 2 * ax; nb[s] >= 0 {
+				vals := flatten(enc.BorderPlane(s))
+				rt.sent(true, 8*len(vals))
+				c.SendInt64s(nb[s], phase2TagOffset+s, vals)
+			}
+		}
+		for ax := 0; ax < ndim; ax++ {
+			if s := 2*ax + 1; nb[s] >= 0 {
+				vals := c.RecvInt64s(nb[s], phase2TagOffset+opposite(s))
+				if err := enc.SetGhostPlane(s, splitComps(vals, nc)); err != nil {
+					errs[c.Rank] = err
+					return
+				}
+			}
+		}
+		rt.rank(c.Rank).AddChild("ghost-exchange-p2", c.Elapsed()-x1)
+		var blob []byte
+		var ferr error
+		c.Time(func() {
+			enc.RunPhase2()
+			blob, ferr = enc.Finish()
+		})
+		blobs[c.Rank], errs[c.Rank] = blob, ferr
+		stats[c.Rank] = enc.Stats()
+	})
+	rt.finish()
+
+	for _, err := range errs {
+		if err != nil {
+			return Result{}, err
+		}
+	}
+	res := Result{Blobs: blobs, Stats: st, RawBytes: rawBytes}
+	for _, b := range blobs {
+		res.CompressedBytes += int64(len(b))
+	}
+	for _, s := range stats {
+		res.EncStats.Add(s)
+	}
+	return res, nil
+}
+
+// decompressDistributed decodes the per-rank blobs on the simulated
+// machine. decode is rank p's decode-and-scatter step; its decode portion
+// is timed under the rank's "decode" span.
+func decompressDistributed(name string, dims [3]int, mcfg mpi.Config,
+	decode func(c *mpi.Comm, p [3]int, span *telemetry.Span) error) (mpi.Stats, error) {
+
+	ranks := dims[0] * dims[1] * dims[2]
+	mcfg.Ranks = ranks
+	errs := make([]error, ranks)
+	rt := newRunTel(mcfg.Tel, "parallel.decompress"+name, ranks)
+	st := mpi.Run(mcfg, func(c *mpi.Comm) {
+		p := [3]int{c.Rank % dims[0], (c.Rank / dims[0]) % dims[1], c.Rank / (dims[0] * dims[1])}
+		errs[c.Rank] = decode(c, p, rt.rank(c.Rank))
+	})
+	rt.finish()
+	for _, err := range errs {
+		if err != nil {
+			return st, err
+		}
+	}
+	return st, nil
+}

@@ -1,115 +1,12 @@
 package parallel
 
 import (
-	"fmt"
-
 	"repro/internal/core"
 	"repro/internal/field"
 	"repro/internal/fixed"
 	"repro/internal/mpi"
 	"repro/internal/telemetry"
 )
-
-// Result summarizes a distributed compression run.
-type Result struct {
-	// Blobs holds the per-rank compressed blocks (rank order).
-	Blobs [][]byte
-	// RawBytes and CompressedBytes give the global compression ratio.
-	RawBytes, CompressedBytes int64
-	// Stats carries the simulated-run timing (makespan = compression
-	// wall time on the virtual machine) and communication volume.
-	Stats mpi.Stats
-	// EncStats aggregates the per-rank encoder stats (speculation,
-	// relaxation, lossless escapes) across the whole machine.
-	EncStats core.Stats
-}
-
-// runTel carries the telemetry wiring of one distributed run. All fields
-// are nil (and every method a no-op) when telemetry is disabled.
-type runTel struct {
-	run   *telemetry.Span
-	ranks []*telemetry.Span
-	p1Msgs, p1Bytes,
-	p2Msgs, p2Bytes *telemetry.Counter
-}
-
-// newRunTel pre-creates the run span and one child span per rank, in rank
-// order, so the snapshot layout is deterministic regardless of how the
-// rank goroutines are scheduled.
-func newRunTel(tel *telemetry.Collector, name string, ranks int) runTel {
-	if tel == nil {
-		return runTel{}
-	}
-	rt := runTel{
-		run:     tel.Span(name),
-		ranks:   make([]*telemetry.Span, ranks),
-		p1Msgs:  tel.Counter("parallel.phase1.msgs"),
-		p1Bytes: tel.Counter("parallel.phase1.bytes"),
-		p2Msgs:  tel.Counter("parallel.phase2.msgs"),
-		p2Bytes: tel.Counter("parallel.phase2.bytes"),
-	}
-	for r := range rt.ranks {
-		rt.ranks[r] = rt.run.Child(fmt.Sprintf("rank%d", r))
-	}
-	return rt
-}
-
-// rank returns rank r's span (nil when disabled).
-func (rt runTel) rank(r int) *telemetry.Span {
-	if rt.ranks == nil {
-		return nil
-	}
-	return rt.ranks[r]
-}
-
-// sent records a phase-1 or phase-2 ghost message of n payload bytes.
-func (rt runTel) sent(phase2 bool, n int) {
-	if phase2 {
-		rt.p2Msgs.Inc()
-		rt.p2Bytes.Add(int64(n))
-	} else {
-		rt.p1Msgs.Inc()
-		rt.p1Bytes.Add(int64(n))
-	}
-}
-
-// finish ends every rank span and the run span.
-func (rt runTel) finish() {
-	for _, sp := range rt.ranks {
-		sp.End()
-	}
-	rt.run.End()
-}
-
-// Ratio returns the global compression ratio.
-func (r Result) Ratio() float64 {
-	if r.CompressedBytes == 0 {
-		return 0
-	}
-	return float64(r.RawBytes) / float64(r.CompressedBytes)
-}
-
-// ThroughputMBps returns the aggregate compression throughput implied by
-// the virtual makespan, in MB/s.
-func (r Result) ThroughputMBps() float64 {
-	s := r.Stats.Makespan.Seconds()
-	if s == 0 {
-		return 0
-	}
-	return float64(r.RawBytes) / 1e6 / s
-}
-
-// Message tags: phase-1 ghosts carry the sender's side index; phase-2
-// ghosts are offset by 10.
-const phase2TagOffset = 10
-
-// opposite2D maps a side to the side seen by the neighbor across it.
-func opposite(side int) int {
-	if side%2 == 0 {
-		return side + 1
-	}
-	return side - 1
-}
 
 // CompressDistributed2D compresses f on a simulated PX×PY machine.
 func CompressDistributed2D(f *field.Field2D, tr fixed.Transform, opts core.Options,
@@ -126,151 +23,27 @@ func CompressDistributed2D(f *field.Field2D, tr fixed.Transform, opts core.Optio
 	if err != nil {
 		return Result{}, err
 	}
-	mcfg.Ranks = grid.Ranks()
-	if mcfg.Tel == nil {
-		mcfg.Tel = opts.Tel
-	}
-	rt := newRunTel(mcfg.Tel, "parallel.compress2d", grid.Ranks())
-
-	blobs := make([][]byte, grid.Ranks())
-	errs := make([]error, grid.Ranks())
-	stats := make([]core.Stats, grid.Ranks())
-
-	st := mpi.Run(mcfg, func(c *mpi.Comm) {
-		px := c.Rank % grid.PX
-		py := c.Rank / grid.PX
-		sx, sy := xs[px], ys[py]
-		bu := make([]float32, sx.size*sy.size)
-		bv := make([]float32, sx.size*sy.size)
-		for j := 0; j < sy.size; j++ {
-			copy(bu[j*sx.size:], f.U[(sy.start+j)*f.NX+sx.start:][:sx.size])
-			copy(bv[j*sx.size:], f.V[(sy.start+j)*f.NX+sx.start:][:sx.size])
-		}
-		blk := core.Block2D{
-			NX: sx.size, NY: sy.size, U: bu, V: bv,
-			Transform: tr, Opts: opts,
-			GlobalX0: sx.start, GlobalY0: sy.start,
-			GlobalNX: f.NX, GlobalNY: f.NY,
-		}
-		blk.Opts.Tel = mcfg.Tel
-		blk.Opts.TelSpan = rt.rank(c.Rank)
-		nb := [4]int{-1, -1, -1, -1}
-		if px > 0 {
-			nb[core.SideMinX] = c.Rank - 1
-		}
-		if px < grid.PX-1 {
-			nb[core.SideMaxX] = c.Rank + 1
-		}
-		if py > 0 {
-			nb[core.SideMinY] = c.Rank - grid.PX
-		}
-		if py < grid.PY-1 {
-			nb[core.SideMaxY] = c.Rank + grid.PX
-		}
-		for s, r := range nb {
-			if r >= 0 && strat != Naive {
-				blk.Neighbor[s] = true
+	rawBytes := int64(len(f.U)+len(f.V)) * 4
+	return compressDistributed("2d", 2, [3]int{grid.PX, grid.PY, 1}, rawBytes, opts, strat, mcfg,
+		func(p [3]int, o core.Options, neighbor [6]bool) (blockEncoder, error) {
+			sx, sy := xs[p[0]], ys[p[1]]
+			bu := make([]float32, sx.size*sy.size)
+			bv := make([]float32, sx.size*sy.size)
+			for j := 0; j < sy.size; j++ {
+				copy(bu[j*sx.size:], f.U[(sy.start+j)*f.NX+sx.start:][:sx.size])
+				copy(bv[j*sx.size:], f.V[(sy.start+j)*f.NX+sx.start:][:sx.size])
 			}
-		}
-		switch strat {
-		case LosslessBorders:
-			blk.LosslessBorder = true
-		case RatioOriented:
-			blk.TwoPhase = true
-		}
-
-		enc, err := core.NewEncoder2D(blk)
-		if err != nil {
-			errs[c.Rank] = err
-			return
-		}
-
-		if strat != RatioOriented {
-			var blob []byte
-			c.Time(func() {
-				enc.Run()
-				blob, err = enc.Finish()
-			})
-			blobs[c.Rank], errs[c.Rank] = blob, err
-			stats[c.Rank] = enc.Stats()
-			return
-		}
-
-		// Phase-1 exchange: original border values to every neighbor.
-		// Exchange spans report virtual time (clock advance across the
-		// exchange), since the data movement itself is simulated.
-		x0 := c.Elapsed()
-		for s, r := range nb {
-			if r < 0 {
-				continue
+			blk := core.Block2D{
+				NX: sx.size, NY: sy.size, U: bu, V: bv,
+				Transform: tr, Opts: o,
+				GlobalX0: sx.start, GlobalY0: sy.start,
+				GlobalNX: f.NX, GlobalNY: f.NY,
+				LosslessBorder: strat == LosslessBorders,
+				TwoPhase:       strat == RatioOriented,
 			}
-			u, v := enc.BorderLine(s)
-			vals := append(u, v...)
-			rt.sent(false, 8*len(vals))
-			c.SendInt64s(r, s, vals)
-		}
-		for s, r := range nb {
-			if r < 0 {
-				continue
-			}
-			vals := c.RecvInt64s(r, opposite(s))
-			half := len(vals) / 2
-			if err := enc.SetGhostLine(s, vals[:half], vals[half:]); err != nil {
-				errs[c.Rank] = err
-				return
-			}
-		}
-		rt.rank(c.Rank).AddChild("ghost-exchange-p1", c.Elapsed()-x0)
-		c.Time(func() {
-			enc.Prepare()
-			enc.RunPhase1()
+			copy(blk.Neighbor[:], neighbor[:core.SideMaxY+1])
+			return core.NewEncoder2D(blk)
 		})
-		// Phase-2 exchange: decompressed min borders flow to min-side
-		// neighbors, becoming their max-side ghosts.
-		x1 := c.Elapsed()
-		for _, s := range [2]int{core.SideMinX, core.SideMinY} {
-			if r := nb[s]; r >= 0 {
-				u, v := enc.BorderLine(s)
-				vals := append(u, v...)
-				rt.sent(true, 8*len(vals))
-				c.SendInt64s(r, phase2TagOffset+s, vals)
-			}
-		}
-		for _, s := range [2]int{core.SideMaxX, core.SideMaxY} {
-			if r := nb[s]; r >= 0 {
-				vals := c.RecvInt64s(r, phase2TagOffset+opposite(s))
-				half := len(vals) / 2
-				if err := enc.SetGhostLine(s, vals[:half], vals[half:]); err != nil {
-					errs[c.Rank] = err
-					return
-				}
-			}
-		}
-		rt.rank(c.Rank).AddChild("ghost-exchange-p2", c.Elapsed()-x1)
-		var blob []byte
-		var ferr error
-		c.Time(func() {
-			enc.RunPhase2()
-			blob, ferr = enc.Finish()
-		})
-		blobs[c.Rank], errs[c.Rank] = blob, ferr
-		stats[c.Rank] = enc.Stats()
-	})
-	rt.finish()
-
-	for _, err := range errs {
-		if err != nil {
-			return Result{}, err
-		}
-	}
-	res := Result{Blobs: blobs, Stats: st, RawBytes: int64(len(f.U)+len(f.V)) * 4}
-	for _, b := range blobs {
-		res.CompressedBytes += int64(len(b))
-	}
-	for _, s := range stats {
-		res.EncStats.Add(s)
-	}
-	return res, nil
 }
 
 // DecompressDistributed2D decodes the per-rank blobs on the simulated
@@ -286,33 +59,26 @@ func DecompressDistributed2D(blobs [][]byte, grid Grid2D, nx, ny int, mcfg mpi.C
 		return nil, mpi.Stats{}, err
 	}
 	out := field.NewField2D(nx, ny)
-	errs := make([]error, grid.Ranks())
-	mcfg.Ranks = grid.Ranks()
-	rt := newRunTel(mcfg.Tel, "parallel.decompress2d", grid.Ranks())
-	st := mpi.Run(mcfg, func(c *mpi.Comm) {
-		px := c.Rank % grid.PX
-		py := c.Rank / grid.PX
-		sx, sy := xs[px], ys[py]
-		var bf *field.Field2D
-		var err error
-		d := c.Time(func() {
-			bf, err = core.Decompress2D(blobs[c.Rank])
+	st, err := decompressDistributed("2d", [3]int{grid.PX, grid.PY, 1}, mcfg,
+		func(c *mpi.Comm, p [3]int, span *telemetry.Span) error {
+			sx, sy := xs[p[0]], ys[p[1]]
+			var bf *field.Field2D
+			var err error
+			d := c.Time(func() {
+				bf, err = core.Decompress2D(blobs[c.Rank])
+			})
+			span.AddChild("decode", d)
+			if err != nil {
+				return err
+			}
+			for j := 0; j < sy.size; j++ {
+				copy(out.U[(sy.start+j)*nx+sx.start:][:sx.size], bf.U[j*sx.size:])
+				copy(out.V[(sy.start+j)*nx+sx.start:][:sx.size], bf.V[j*sx.size:])
+			}
+			return nil
 		})
-		rt.rank(c.Rank).AddChild("decode", d)
-		if err != nil {
-			errs[c.Rank] = err
-			return
-		}
-		for j := 0; j < sy.size; j++ {
-			copy(out.U[(sy.start+j)*nx+sx.start:][:sx.size], bf.U[j*sx.size:])
-			copy(out.V[(sy.start+j)*nx+sx.start:][:sx.size], bf.V[j*sx.size:])
-		}
-	})
-	rt.finish()
-	for _, err := range errs {
-		if err != nil {
-			return nil, st, err
-		}
+	if err != nil {
+		return nil, st, err
 	}
 	return out, st, nil
 }

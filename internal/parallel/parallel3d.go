@@ -5,6 +5,7 @@ import (
 	"repro/internal/field"
 	"repro/internal/fixed"
 	"repro/internal/mpi"
+	"repro/internal/telemetry"
 )
 
 // CompressDistributed3D compresses f on a simulated PX×PY×PZ machine.
@@ -26,172 +27,34 @@ func CompressDistributed3D(f *field.Field3D, tr fixed.Transform, opts core.Optio
 	if err != nil {
 		return Result{}, err
 	}
-	mcfg.Ranks = grid.Ranks()
-	if mcfg.Tel == nil {
-		mcfg.Tel = opts.Tel
-	}
-	rt := newRunTel(mcfg.Tel, "parallel.compress3d", grid.Ranks())
-
-	blobs := make([][]byte, grid.Ranks())
-	errs := make([]error, grid.Ranks())
-	stats := make([]core.Stats, grid.Ranks())
-
-	st := mpi.Run(mcfg, func(c *mpi.Comm) {
-		px := c.Rank % grid.PX
-		py := (c.Rank / grid.PX) % grid.PY
-		pz := c.Rank / (grid.PX * grid.PY)
-		sx, sy, sz := xs[px], ys[py], zs[pz]
-		n := sx.size * sy.size * sz.size
-		bu := make([]float32, n)
-		bv := make([]float32, n)
-		bw := make([]float32, n)
-		for k := 0; k < sz.size; k++ {
-			for j := 0; j < sy.size; j++ {
-				src := ((sz.start+k)*f.NY+(sy.start+j))*f.NX + sx.start
-				dst := (k*sy.size + j) * sx.size
-				copy(bu[dst:dst+sx.size], f.U[src:])
-				copy(bv[dst:dst+sx.size], f.V[src:])
-				copy(bw[dst:dst+sx.size], f.W[src:])
-			}
-		}
-		blk := core.Block3D{
-			NX: sx.size, NY: sy.size, NZ: sz.size, U: bu, V: bv, W: bw,
-			Transform: tr, Opts: opts,
-			GlobalX0: sx.start, GlobalY0: sy.start, GlobalZ0: sz.start,
-			GlobalNX: f.NX, GlobalNY: f.NY, GlobalNZ: f.NZ,
-		}
-		blk.Opts.Tel = mcfg.Tel
-		blk.Opts.TelSpan = rt.rank(c.Rank)
-		nb := [6]int{-1, -1, -1, -1, -1, -1}
-		if px > 0 {
-			nb[core.SideMinX] = c.Rank - 1
-		}
-		if px < grid.PX-1 {
-			nb[core.SideMaxX] = c.Rank + 1
-		}
-		if py > 0 {
-			nb[core.SideMinY] = c.Rank - grid.PX
-		}
-		if py < grid.PY-1 {
-			nb[core.SideMaxY] = c.Rank + grid.PX
-		}
-		if pz > 0 {
-			nb[core.SideMinZ] = c.Rank - grid.PX*grid.PY
-		}
-		if pz < grid.PZ-1 {
-			nb[core.SideMaxZ] = c.Rank + grid.PX*grid.PY
-		}
-		for s, r := range nb {
-			if r >= 0 && strat != Naive {
-				blk.Neighbor[s] = true
-			}
-		}
-		switch strat {
-		case LosslessBorders:
-			blk.LosslessBorder = true
-		case RatioOriented:
-			blk.TwoPhase = true
-		}
-
-		enc, err := core.NewEncoder3D(blk)
-		if err != nil {
-			errs[c.Rank] = err
-			return
-		}
-
-		if strat != RatioOriented {
-			var blob []byte
-			c.Time(func() {
-				enc.Run()
-				blob, err = enc.Finish()
-			})
-			blobs[c.Rank], errs[c.Rank] = blob, err
-			stats[c.Rank] = enc.Stats()
-			return
-		}
-
-		x0 := c.Elapsed()
-		for s, r := range nb {
-			if r < 0 {
-				continue
-			}
-			u, v, w := enc.BorderFace(s)
-			vals := concat3(u, v, w)
-			rt.sent(false, 8*len(vals))
-			c.SendInt64s(r, s, vals)
-		}
-		for s, r := range nb {
-			if r < 0 {
-				continue
-			}
-			vals := c.RecvInt64s(r, opposite(s))
-			u, v, w := split3(vals)
-			if err := enc.SetGhostFace(s, u, v, w); err != nil {
-				errs[c.Rank] = err
-				return
-			}
-		}
-		rt.rank(c.Rank).AddChild("ghost-exchange-p1", c.Elapsed()-x0)
-		c.Time(func() {
-			enc.Prepare()
-			enc.RunPhase1()
-		})
-		x1 := c.Elapsed()
-		for _, s := range [3]int{core.SideMinX, core.SideMinY, core.SideMinZ} {
-			if r := nb[s]; r >= 0 {
-				u, v, w := enc.BorderFace(s)
-				vals := concat3(u, v, w)
-				rt.sent(true, 8*len(vals))
-				c.SendInt64s(r, phase2TagOffset+s, vals)
-			}
-		}
-		for _, s := range [3]int{core.SideMaxX, core.SideMaxY, core.SideMaxZ} {
-			if r := nb[s]; r >= 0 {
-				vals := c.RecvInt64s(r, phase2TagOffset+opposite(s))
-				u, v, w := split3(vals)
-				if err := enc.SetGhostFace(s, u, v, w); err != nil {
-					errs[c.Rank] = err
-					return
+	rawBytes := int64(len(f.U)+len(f.V)+len(f.W)) * 4
+	return compressDistributed("3d", 3, [3]int{grid.PX, grid.PY, grid.PZ}, rawBytes, opts, strat, mcfg,
+		func(p [3]int, o core.Options, neighbor [6]bool) (blockEncoder, error) {
+			sx, sy, sz := xs[p[0]], ys[p[1]], zs[p[2]]
+			n := sx.size * sy.size * sz.size
+			bu := make([]float32, n)
+			bv := make([]float32, n)
+			bw := make([]float32, n)
+			for k := 0; k < sz.size; k++ {
+				for j := 0; j < sy.size; j++ {
+					src := ((sz.start+k)*f.NY+(sy.start+j))*f.NX + sx.start
+					dst := (k*sy.size + j) * sx.size
+					copy(bu[dst:dst+sx.size], f.U[src:])
+					copy(bv[dst:dst+sx.size], f.V[src:])
+					copy(bw[dst:dst+sx.size], f.W[src:])
 				}
 			}
-		}
-		rt.rank(c.Rank).AddChild("ghost-exchange-p2", c.Elapsed()-x1)
-		var blob []byte
-		var ferr error
-		c.Time(func() {
-			enc.RunPhase2()
-			blob, ferr = enc.Finish()
+			blk := core.Block3D{
+				NX: sx.size, NY: sy.size, NZ: sz.size, U: bu, V: bv, W: bw,
+				Transform: tr, Opts: o,
+				GlobalX0: sx.start, GlobalY0: sy.start, GlobalZ0: sz.start,
+				GlobalNX: f.NX, GlobalNY: f.NY, GlobalNZ: f.NZ,
+				Neighbor:       neighbor,
+				LosslessBorder: strat == LosslessBorders,
+				TwoPhase:       strat == RatioOriented,
+			}
+			return core.NewEncoder3D(blk)
 		})
-		blobs[c.Rank], errs[c.Rank] = blob, ferr
-		stats[c.Rank] = enc.Stats()
-	})
-	rt.finish()
-
-	for _, err := range errs {
-		if err != nil {
-			return Result{}, err
-		}
-	}
-	res := Result{Blobs: blobs, Stats: st, RawBytes: int64(len(f.U)+len(f.V)+len(f.W)) * 4}
-	for _, b := range blobs {
-		res.CompressedBytes += int64(len(b))
-	}
-	for _, s := range stats {
-		res.EncStats.Add(s)
-	}
-	return res, nil
-}
-
-func concat3(u, v, w []int64) []int64 {
-	out := make([]int64, 0, 3*len(u))
-	out = append(out, u...)
-	out = append(out, v...)
-	return append(out, w...)
-}
-
-func split3(vals []int64) (u, v, w []int64) {
-	third := len(vals) / 3
-	return vals[:third], vals[third : 2*third], vals[2*third:]
 }
 
 // DecompressDistributed3D decodes the per-rank blobs and reassembles the
@@ -210,39 +73,31 @@ func DecompressDistributed3D(blobs [][]byte, grid Grid3D, nx, ny, nz int, mcfg m
 		return nil, mpi.Stats{}, err
 	}
 	out := field.NewField3D(nx, ny, nz)
-	errs := make([]error, grid.Ranks())
-	mcfg.Ranks = grid.Ranks()
-	rt := newRunTel(mcfg.Tel, "parallel.decompress3d", grid.Ranks())
-	st := mpi.Run(mcfg, func(c *mpi.Comm) {
-		px := c.Rank % grid.PX
-		py := (c.Rank / grid.PX) % grid.PY
-		pz := c.Rank / (grid.PX * grid.PY)
-		sx, sy, sz := xs[px], ys[py], zs[pz]
-		var bf *field.Field3D
-		var err error
-		d := c.Time(func() {
-			bf, err = core.Decompress3D(blobs[c.Rank])
-		})
-		rt.rank(c.Rank).AddChild("decode", d)
-		if err != nil {
-			errs[c.Rank] = err
-			return
-		}
-		for k := 0; k < sz.size; k++ {
-			for j := 0; j < sy.size; j++ {
-				dst := ((sz.start+k)*ny+(sy.start+j))*nx + sx.start
-				src := (k*sy.size + j) * sx.size
-				copy(out.U[dst:dst+sx.size], bf.U[src:])
-				copy(out.V[dst:dst+sx.size], bf.V[src:])
-				copy(out.W[dst:dst+sx.size], bf.W[src:])
+	st, err := decompressDistributed("3d", [3]int{grid.PX, grid.PY, grid.PZ}, mcfg,
+		func(c *mpi.Comm, p [3]int, span *telemetry.Span) error {
+			sx, sy, sz := xs[p[0]], ys[p[1]], zs[p[2]]
+			var bf *field.Field3D
+			var err error
+			d := c.Time(func() {
+				bf, err = core.Decompress3D(blobs[c.Rank])
+			})
+			span.AddChild("decode", d)
+			if err != nil {
+				return err
 			}
-		}
-	})
-	rt.finish()
-	for _, err := range errs {
-		if err != nil {
-			return nil, st, err
-		}
+			for k := 0; k < sz.size; k++ {
+				for j := 0; j < sy.size; j++ {
+					dst := ((sz.start+k)*ny+(sy.start+j))*nx + sx.start
+					src := (k*sy.size + j) * sx.size
+					copy(out.U[dst:dst+sx.size], bf.U[src:])
+					copy(out.V[dst:dst+sx.size], bf.V[src:])
+					copy(out.W[dst:dst+sx.size], bf.W[src:])
+				}
+			}
+			return nil
+		})
+	if err != nil {
+		return nil, st, err
 	}
 	return out, st, nil
 }
