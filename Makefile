@@ -17,11 +17,11 @@ test:
 	$(GO) test ./...
 
 # Race-detector pass over the concurrently instrumented packages
-# (telemetry counters, simulated MPI ranks, distributed strategies) and
-# the compression kernel they drive.
+# (telemetry counters, simulated MPI ranks, distributed strategies, the
+# shared-memory pipeline) and the compression kernel they drive.
 .PHONY: race
 race:
-	$(GO) test -race ./internal/telemetry/ ./internal/mpi/ ./internal/parallel/ ./internal/core/
+	$(GO) test -race ./internal/telemetry/ ./internal/mpi/ ./internal/parallel/ ./internal/core/ ./internal/shm/...
 
 # Coverage gate for the compression kernel: fails below COVER_MIN%.
 COVER_MIN ?= 85
@@ -37,6 +37,21 @@ cover:
 .PHONY: bench
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
+
+# The benchmark set tracked across PRs in results/bench_pr*_{before,after}.txt.
+BENCH_COUNT ?= 6
+.PHONY: benchsuite
+benchsuite:
+	$(GO) test -bench='CompressOceanNoSpec|CompressNekST4|DecompressNek' -benchmem -count=$(BENCH_COUNT) -run=^$$ .
+	$(GO) test -bench='Compress2DNoSpec|Compress2DST4|Decompress2D' -benchmem -count=$(BENCH_COUNT) -run=^$$ ./internal/core/
+	$(GO) test -bench='BenchmarkCompress$$|BenchmarkDecompress$$' -benchmem -count=$(BENCH_COUNT) -run=^$$ ./internal/huffman/
+
+# Compare two benchmark logs (defaults: the PR3 before/after pair).
+BENCH_OLD ?= results/bench_pr3_before.txt
+BENCH_NEW ?= results/bench_pr3_after.txt
+.PHONY: benchcmp
+benchcmp:
+	sh scripts/benchdiff.sh $(BENCH_OLD) $(BENCH_NEW)
 
 # Machine-readable benchmark baseline (Tables V-VII ratios, throughputs,
 # preservation counts, stage timings) at default dataset sizes.

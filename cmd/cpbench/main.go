@@ -60,7 +60,7 @@ func main() {
 
 	args := flag.Args()
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: cpbench [flags] <table2|table3|table5|table6|table7|fig5|fig6|fig7|fig8|fig9|ablation|baseline|all>...")
+		fmt.Fprintln(os.Stderr, "usage: cpbench [flags] <table2|table3|table5|table6|table7|fig5|fig6|fig7|fig8|fig9|ablation|shm|baseline|all>...")
 		os.Exit(2)
 	}
 	if len(args) == 1 && args[0] == "all" {
@@ -157,6 +157,9 @@ func run(name string, cfg experiments.Config, outDir string) (*experiments.Table
 	case "ablation":
 		_, tbl, err := experiments.Ablation(cfg)
 		return &tbl, err
+	case "shm":
+		res, err := experiments.ShmScaling(cfg)
+		return &res.Table, err
 	default:
 		return nil, fmt.Errorf("unknown experiment %q", name)
 	}

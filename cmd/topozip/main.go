@@ -8,6 +8,7 @@
 //
 //	topozip gen        -data ocean|hurricane|nek5000|turbulence -dims 384x288 -out field.f32
 //	topozip compress   -in field.f32 -dims 384x288 -tau 0.01 -spec ST4 -out field.szp
+//	topozip compress   -in field.f32 -dims 384x288 -workers 8 -out field.szp
 //	topozip decompress -in field.szp -out restored.f32
 //	topozip verify     -orig field.f32 -comp field.szp
 //	topozip info       -in field.szp
@@ -15,6 +16,12 @@
 // -dims takes NXxNY (2D, two components) or NXxNYxNZ (3D, three
 // components). -tau is relative to the value range by default; pass
 // -abs to interpret it as an absolute bound.
+//
+// -workers (or -slabs) selects the shared-memory parallel pipeline: the
+// field is slabbed along its slow axis with lossless borders and the
+// slabs compress concurrently into an archive container. The output
+// bytes depend only on the slab count, never on the worker count.
+// decompress/verify/info recognize both bare blocks and containers.
 package main
 
 import (
@@ -25,13 +32,16 @@ import (
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/analysis"
+	"repro/internal/archive"
 	"repro/internal/core"
 	"repro/internal/cp"
 	"repro/internal/datagen"
 	"repro/internal/field"
 	"repro/internal/fixed"
+	"repro/internal/shm"
 	"repro/internal/telemetry"
 )
 
@@ -181,6 +191,8 @@ func cmdCompress(args []string) error {
 	tau := fs.Float64("tau", 0.01, "error bound")
 	abs := fs.Bool("abs", false, "interpret -tau as an absolute bound (default: relative to value range)")
 	specFlag := fs.String("spec", "NoSpec", "speculation target: NoSpec, ST1..ST4")
+	workers := fs.Int("workers", 0, "shared-memory workers (0 = single-block path; -1 = all cores)")
+	slabs := fs.Int("slabs", 0, "slab count for the shared-memory path (0 = derive from field shape)")
 	metrics := fs.String("metrics", "", "write telemetry (span tree + counters) as JSON to this file")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the compression to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile taken after compression to this file")
@@ -215,9 +227,12 @@ func cmdCompress(args []string) error {
 		}
 		defer pprof.StopCPUProfile()
 	}
+	useShm := *workers != 0 || *slabs > 0
 	var blob []byte
 	var st core.Stats
 	var rawBytes int
+	var wall time.Duration
+	var shmRes shm.Result
 	if f2 != nil {
 		t := *tau
 		if !*abs {
@@ -227,8 +242,16 @@ func cmdCompress(args []string) error {
 		if ferr != nil {
 			return ferr
 		}
-		blob, st, err = core.CompressField2DStats(f2, tr, core.Options{Tau: t, Spec: spec, Tel: tel})
+		opts := core.Options{Tau: t, Spec: spec, Tel: tel}
 		rawBytes = 8 * len(f2.U)
+		if useShm {
+			shmRes, err = shm.Compress2D(f2, tr, opts, shm.Options{Workers: *workers, Slabs: *slabs, Tel: tel})
+			blob, st, wall = shmRes.Blob, shmRes.Stats, shmRes.Wall
+		} else {
+			start := time.Now()
+			blob, st, err = core.CompressField2DStats(f2, tr, opts)
+			wall = time.Since(start)
+		}
 	} else {
 		t := *tau
 		if !*abs {
@@ -238,8 +261,16 @@ func cmdCompress(args []string) error {
 		if ferr != nil {
 			return ferr
 		}
-		blob, st, err = core.CompressField3DStats(f3, tr, core.Options{Tau: t, Spec: spec, Tel: tel})
+		opts := core.Options{Tau: t, Spec: spec, Tel: tel}
 		rawBytes = 12 * len(f3.U)
+		if useShm {
+			shmRes, err = shm.Compress3D(f3, tr, opts, shm.Options{Workers: *workers, Slabs: *slabs, Tel: tel})
+			blob, st, wall = shmRes.Blob, shmRes.Stats, shmRes.Wall
+		} else {
+			start := time.Now()
+			blob, st, err = core.CompressField3DStats(f3, tr, opts)
+			wall = time.Since(start)
+		}
 	}
 	if err != nil {
 		return err
@@ -247,10 +278,22 @@ func cmdCompress(args []string) error {
 	if err := os.WriteFile(*out, blob, 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("compressed %d -> %d bytes (ratio %.2f, %s)\n",
-		rawBytes, len(blob), float64(rawBytes)/float64(len(blob)), spec)
+	// Throughput is the real wall clock of this run — on the shm path the
+	// pool's own timer, never the simulated machine's virtual makespan.
+	mbps := 0.0
+	if s := wall.Seconds(); s > 0 {
+		mbps = float64(rawBytes) / 1e6 / s
+	}
+	fmt.Printf("compressed %d -> %d bytes (ratio %.2f, %s, %.2f MB/s wall)\n",
+		rawBytes, len(blob), float64(rawBytes)/float64(len(blob)), spec, mbps)
+	if useShm {
+		fmt.Printf("shm pipeline: %d slabs on %d workers\n", shmRes.Slabs, shmRes.Workers)
+	}
 	fmt.Printf("vertices %d: %d lossless, %d relaxed, %d literal escapes; speculation %d trials / %d fails / %d cutoffs\n",
 		st.Vertices, st.Lossless, st.Relaxed, st.Literals, st.SpecTrials, st.SpecFails, st.SpecCutoffs)
+	if tel != nil {
+		tel.Gauge("cli.compress.throughput_mbps").Set(int64(mbps))
+	}
 	if *metrics != "" {
 		mf, err := os.Create(*metrics)
 		if err != nil {
@@ -293,10 +336,57 @@ func rangeOf(comps ...[]float32) float64 {
 	return float64(hi - lo)
 }
 
+// peekAny reports the dimensionality of a compressed file — a bare core
+// block or a shared-memory slab container (whose first slab carries the
+// shared header fields).
+func peekAny(blob []byte) (ndim int, err error) {
+	if archive.IsArchive(blob) {
+		r, err := archive.NewReader(blob)
+		if err != nil {
+			return 0, err
+		}
+		if r.Steps() == 0 {
+			return 0, fmt.Errorf("empty container")
+		}
+		first, err := r.Blob(0)
+		if err != nil {
+			return 0, err
+		}
+		ndim, _, _, _, err = core.PeekHeader(first)
+		return ndim, err
+	}
+	ndim, _, _, _, err = core.PeekHeader(blob)
+	return ndim, err
+}
+
+// decodeAny decompresses either a bare core block or a shared-memory slab
+// container, returning whichever dimensionality the file holds.
+func decodeAny(blob []byte, workers int) (*field.Field2D, *field.Field3D, error) {
+	ndim, err := peekAny(blob)
+	if err != nil {
+		return nil, nil, err
+	}
+	if archive.IsArchive(blob) {
+		if ndim == 2 {
+			f, err := shm.Decompress2D(blob, workers)
+			return f, nil, err
+		}
+		f, err := shm.Decompress3D(blob, workers)
+		return nil, f, err
+	}
+	if ndim == 2 {
+		f, err := core.Decompress2D(blob)
+		return f, nil, err
+	}
+	f, err := core.Decompress3D(blob)
+	return nil, f, err
+}
+
 func cmdDecompress(args []string) error {
 	fs := flag.NewFlagSet("decompress", flag.ExitOnError)
 	in := fs.String("in", "", "input compressed file")
 	out := fs.String("out", "", "output raw float32 file")
+	workers := fs.Int("workers", 0, "decode workers for slab containers (0 = all cores)")
 	fs.Parse(args)
 	if *in == "" || *out == "" {
 		return fmt.Errorf("-in and -out are required")
@@ -305,7 +395,7 @@ func cmdDecompress(args []string) error {
 	if err != nil {
 		return err
 	}
-	ndim, _, _, _, err := core.PeekHeader(blob)
+	f2, f3, err := decodeAny(blob, *workers)
 	if err != nil {
 		return err
 	}
@@ -314,20 +404,12 @@ func cmdDecompress(args []string) error {
 		return err
 	}
 	defer w.Close()
-	if ndim == 2 {
-		f, err := core.Decompress2D(blob)
-		if err != nil {
-			return err
-		}
-		fmt.Printf("decompressed 2D field %dx%d\n", f.NX, f.NY)
-		return field.WriteRaw(w, f.U, f.V)
+	if f2 != nil {
+		fmt.Printf("decompressed 2D field %dx%d\n", f2.NX, f2.NY)
+		return field.WriteRaw(w, f2.U, f2.V)
 	}
-	f, err := core.Decompress3D(blob)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("decompressed 3D field %dx%dx%d\n", f.NX, f.NY, f.NZ)
-	return field.WriteRaw(w, f.U, f.V, f.W)
+	fmt.Printf("decompressed 3D field %dx%dx%d\n", f3.NX, f3.NY, f3.NZ)
+	return field.WriteRaw(w, f3.U, f3.V, f3.W)
 }
 
 func cmdVerify(args []string) error {
@@ -342,13 +424,17 @@ func cmdVerify(args []string) error {
 	if err != nil {
 		return err
 	}
-	ndim, nx, ny, nz, err := core.PeekHeader(blob)
+	// Decode first: a slab container only knows the stitched dims after
+	// decoding, and the original raw file must match those.
+	dec2d, dec3d, err := decodeAny(blob, 0)
 	if err != nil {
 		return err
 	}
-	dims := []int{nx, ny}
-	if ndim == 3 {
-		dims = append(dims, nz)
+	dims := []int{0, 0}
+	if dec2d != nil {
+		dims = []int{dec2d.NX, dec2d.NY}
+	} else {
+		dims = []int{dec3d.NX, dec3d.NY, dec3d.NZ}
 	}
 	f2, f3, err := loadRaw(*orig, dims)
 	if err != nil {
@@ -356,28 +442,20 @@ func cmdVerify(args []string) error {
 	}
 	var rep cp.Report
 	var orig2, dec2 [][]float32
-	if ndim == 2 {
-		dec, err := core.Decompress2D(blob)
-		if err != nil {
-			return err
-		}
+	if dec2d != nil {
 		tr, err := fixed.Fit(f2.U, f2.V)
 		if err != nil {
 			return err
 		}
-		rep = cp.Compare(cp.DetectField2D(f2, tr), cp.DetectField2D(dec, tr))
-		orig2, dec2 = f2.Components(), dec.Components()
+		rep = cp.Compare(cp.DetectField2D(f2, tr), cp.DetectField2D(dec2d, tr))
+		orig2, dec2 = f2.Components(), dec2d.Components()
 	} else {
-		dec, err := core.Decompress3D(blob)
-		if err != nil {
-			return err
-		}
 		tr, err := fixed.Fit(f3.U, f3.V, f3.W)
 		if err != nil {
 			return err
 		}
-		rep = cp.Compare(cp.DetectField3D(f3, tr), cp.DetectField3D(dec, tr))
-		orig2, dec2 = f3.Components(), dec.Components()
+		rep = cp.Compare(cp.DetectField3D(f3, tr), cp.DetectField3D(dec3d, tr))
+		orig2, dec2 = f3.Components(), dec3d.Components()
 	}
 	maxErr := analysis.MaxAbsError(orig2, dec2)
 	psnr := analysis.PSNR(orig2, dec2)
@@ -427,6 +505,24 @@ func cmdInfo(args []string) error {
 	blob, err := os.ReadFile(*in)
 	if err != nil {
 		return err
+	}
+	if archive.IsArchive(blob) {
+		r, err := archive.NewReader(blob)
+		if err != nil {
+			return err
+		}
+		f2, f3, err := decodeAny(blob, 0)
+		if err != nil {
+			return err
+		}
+		if f2 != nil {
+			fmt.Printf("shm container: %d slabs, 2D field %dx%d, %d compressed bytes (%.2fx vs raw)\n",
+				r.Steps(), f2.NX, f2.NY, len(blob), float64(8*f2.NX*f2.NY)/float64(len(blob)))
+		} else {
+			fmt.Printf("shm container: %d slabs, 3D field %dx%dx%d, %d compressed bytes (%.2fx vs raw)\n",
+				r.Steps(), f3.NX, f3.NY, f3.NZ, len(blob), float64(12*f3.NX*f3.NY*f3.NZ)/float64(len(blob)))
+		}
+		return nil
 	}
 	ndim, nx, ny, nz, err := core.PeekHeader(blob)
 	if err != nil {

@@ -107,6 +107,7 @@ func (a *Writer) Append2DTemporal(f *field.Field2D, opts core.Options) error {
 		return err
 	}
 	u, v := enc.Decompressed()
+	enc.Close()
 	a.prev2 = &field.Field2D{NX: f.NX, NY: f.NY, U: u, V: v}
 	a.AppendBlob(blob)
 	return nil
@@ -141,6 +142,7 @@ func (a *Writer) Append3DTemporal(f *field.Field3D, opts core.Options) error {
 		return err
 	}
 	u, v, w := enc.Decompressed()
+	enc.Close()
 	a.prev3 = &field.Field3D{NX: f.NX, NY: f.NY, NZ: f.NZ, U: u, V: v, W: w}
 	a.AppendBlob(blob)
 	return nil
@@ -174,6 +176,14 @@ type Reader struct {
 
 // ErrCorrupt reports a malformed archive.
 var ErrCorrupt = errors.New("archive: corrupt")
+
+// IsArchive reports whether data starts with the archive container magic
+// — true for temporal series and for the slab containers of the
+// shared-memory pipeline, false for bare core blobs. Tools use it to
+// route a file to the right decoder.
+func IsArchive(data []byte) bool {
+	return len(data) >= 5 && string(data[:4]) == string(magic[:]) && data[4] == version
+}
 
 // NewReader parses an archive.
 func NewReader(data []byte) (*Reader, error) {

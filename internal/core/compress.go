@@ -37,6 +37,7 @@ func CompressField2DStats(f *field.Field2D, tr fixed.Transform, opts Options) ([
 	}
 	enc.Run()
 	blob, err := enc.Finish()
+	enc.Close()
 	return blob, enc.Stats(), err
 }
 
@@ -69,5 +70,6 @@ func CompressField3DStats(f *field.Field3D, tr fixed.Transform, opts Options) ([
 	}
 	enc.Run()
 	blob, err := enc.Finish()
+	enc.Close()
 	return blob, enc.Stats(), err
 }

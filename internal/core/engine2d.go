@@ -133,3 +133,10 @@ func (e *Encoder2D) Decompressed() (u, v []float32) {
 
 // Stats reports what the encoder did so far.
 func (e *Encoder2D) Stats() Stats { return e.k.stats }
+
+// Close releases the encoder's pooled working buffers. Call it after the
+// last use of the encoder (Finish, Decompressed, BorderLine); the
+// returned blob and any copies remain valid. Close is optional — an
+// unclosed encoder is simply garbage collected — but long sweeps that
+// skip it forfeit the buffer reuse. Safe to call more than once.
+func (e *Encoder2D) Close() { e.k.close() }

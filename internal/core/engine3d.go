@@ -102,3 +102,7 @@ func (e *Encoder3D) Decompressed() (u, v, w []float32) {
 
 // Stats reports what the encoder did so far.
 func (e *Encoder3D) Stats() Stats { return e.k.stats }
+
+// Close releases the encoder's pooled working buffers; see
+// Encoder2D.Close for the contract.
+func (e *Encoder3D) Close() { e.k.close() }

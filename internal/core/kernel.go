@@ -81,6 +81,7 @@ type kernel struct {
 	codeSyms  []uint32
 	literals  []byte
 	cellBuf   []int
+	scr       *kernelScratch
 	stats     Stats
 	tel       engineTel
 	prepared  bool
@@ -125,13 +126,6 @@ func newKernel(blk blockSpec) (*kernel, error) {
 			}
 		}
 	}
-	en := k.ext[0] * k.ext[1] * k.ext[2]
-	for c := 0; c < blk.nc; c++ {
-		k.comps[c] = make([]int64, en)
-		k.own[c] = make([]int64, n)
-	}
-	k.valid = make([]bool, en)
-	k.ownDone = make([]bool, n)
 	temporal := false
 	for c := 0; c < blk.nc; c++ {
 		if blk.prev[c] != nil {
@@ -144,8 +138,30 @@ func newKernel(blk blockSpec) (*kernel, error) {
 				return nil, errors.New("core: previous-frame length mismatch")
 			}
 		}
+	}
+	// All validation is done: acquire the pooled scratch. From here the
+	// kernel owns it until close().
+	en := k.ext[0] * k.ext[1] * k.ext[2]
+	scr := scratchPool.Get().(*kernelScratch)
+	k.scr = scr
+	for c := 0; c < blk.nc; c++ {
+		scr.comps[c] = growI64(scr.comps[c], en)
+		scr.own[c] = growI64(scr.own[c], n)
+		k.comps[c] = scr.comps[c]
+		k.own[c] = scr.own[c]
+	}
+	scr.valid = growBool(scr.valid, en)
+	scr.ownDone = growBool(scr.ownDone, n)
+	k.valid = scr.valid
+	k.ownDone = scr.ownDone
+	k.expSyms = scr.expSyms[:0]
+	k.codeSyms = scr.codeSyms[:0]
+	k.literals = scr.literals[:0]
+	k.cellBuf = scr.cellBuf[:0]
+	if temporal {
 		for c := 0; c < blk.nc; c++ {
-			k.prev[c] = make([]int64, n)
+			scr.prev[c] = growI64(scr.prev[c], n)
+			k.prev[c] = scr.prev[c]
 			blk.transform.ToFixed(blk.prev[c], k.prev[c])
 		}
 		k.temporal = true
@@ -154,7 +170,8 @@ func newKernel(blk blockSpec) (*kernel, error) {
 	k.tel = newEngineTel(blk.opts, k.dim.name())
 	// Fill the own region.
 	convert := k.tel.stage("fixed-convert")
-	row := make([]int64, blk.nx)
+	scr.row = growI64(scr.row, blk.nx)
+	row := scr.row
 	for kk := 0; kk < blk.nz; kk++ {
 		for j := 0; j < blk.ny; j++ {
 			src := (kk*blk.ny + j) * blk.nx
@@ -314,8 +331,10 @@ func (k *kernel) prepare() {
 	}
 	k.det = k.dim.makeDetector(gid)
 	nc := k.dim.numCells()
-	k.cellValid = make([]bool, nc)
-	k.cpCell = make([]bool, nc)
+	k.scr.cellValid = growBool(k.scr.cellValid, nc)
+	k.scr.cpCell = growBool(k.scr.cpCell, nc)
+	k.cellValid = k.scr.cellValid
+	k.cpCell = k.scr.cpCell
 	var vsbuf [4]int
 	nv := k.blk.ndim + 1
 	for c := 0; c < nc; c++ {
@@ -350,7 +369,8 @@ func (k *kernel) prepare() {
 			}
 		}
 	}
-	k.cpAdj = make([]bool, k.blk.nx*k.blk.ny*k.blk.nz)
+	k.scr.cpAdj = growBool(k.scr.cpAdj, k.blk.nx*k.blk.ny*k.blk.nz)
+	k.cpAdj = k.scr.cpAdj
 	for ok2 := 0; ok2 < k.blk.nz; ok2++ {
 		for oj := 0; oj < k.blk.ny; oj++ {
 			for oi := 0; oi < k.blk.nx; oi++ {

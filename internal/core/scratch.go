@@ -1,0 +1,83 @@
+package core
+
+import "sync"
+
+// kernelScratch carries the working buffers of one block compression.
+// Every run of the sweep needs the same family of arrays (extended
+// fixed-point components, progress masks, the cell maps, the output
+// symbol streams), and a throughput-oriented caller — the shared-memory
+// pipeline, the experiment sweeps, the per-step archive appends — builds
+// kernels in a tight loop. Recycling the buffers through a sync.Pool
+// keeps the steady-state allocation count of an encode near zero; the
+// buffers only grow, so a pool hit on a same-shape block allocates
+// nothing.
+//
+// Ownership: a kernel holds its scratch from newKernel until close().
+// close() returns the buffers to the pool and nils the kernel's views so
+// a use-after-close fails loudly instead of corrupting a pooled buffer.
+type kernelScratch struct {
+	comps [maxComps][]int64
+	own   [maxComps][]int64
+	prev  [maxComps][]int64
+	row   []int64
+
+	valid     []bool
+	ownDone   []bool
+	cellValid []bool
+	cpCell    []bool
+	cpAdj     []bool
+
+	expSyms  []uint32
+	codeSyms []uint32
+	literals []byte
+	cellBuf  []int
+}
+
+var scratchPool = sync.Pool{New: func() interface{} { return new(kernelScratch) }}
+
+// growI64 returns buf resized to n and zeroed, reallocating only when the
+// capacity is insufficient. Zeroing keeps pooled reuse bit-identical to
+// the make([]int64, n) it replaces.
+func growI64(buf []int64, n int) []int64 {
+	if cap(buf) < n {
+		return make([]int64, n)
+	}
+	buf = buf[:n]
+	clear(buf)
+	return buf
+}
+
+// growBool is growI64 for the progress and cell masks (which rely on a
+// false zero value).
+func growBool(buf []bool, n int) []bool {
+	if cap(buf) < n {
+		return make([]bool, n)
+	}
+	buf = buf[:n]
+	clear(buf)
+	return buf
+}
+
+// close releases the kernel's scratch back to the pool. The kernel must
+// not be used afterwards: the packed blob (finish) and any decompressed /
+// border copies remain valid — they never alias scratch — but the kernel
+// methods will panic on their nil'd views.
+func (k *kernel) close() {
+	scr := k.scr
+	if scr == nil {
+		return
+	}
+	k.scr = nil
+	// Hand the append-grown streams back so their capacity is kept.
+	scr.expSyms = k.expSyms[:0]
+	scr.codeSyms = k.codeSyms[:0]
+	scr.literals = k.literals[:0]
+	scr.cellBuf = k.cellBuf[:0]
+	for c := 0; c < maxComps; c++ {
+		k.comps[c], k.own[c], k.prev[c] = nil, nil, nil
+	}
+	k.valid, k.ownDone = nil, nil
+	k.cellValid, k.cpCell, k.cpAdj = nil, nil, nil
+	k.expSyms, k.codeSyms, k.literals, k.cellBuf = nil, nil, nil, nil
+	scratchPool.Put(scr)
+}

@@ -1,12 +1,10 @@
 package cp
 
 import (
-	"runtime"
-	"sync"
-
 	"repro/internal/exact"
 	"repro/internal/field"
 	"repro/internal/fixed"
+	"repro/internal/shm/pool"
 )
 
 // Detector2D detects critical points on a fixed-point 2D vector field.
@@ -138,11 +136,11 @@ func (d *Detector3D) DetectCells() []int {
 }
 
 // detectCellsParallel fans the per-cell containment test over the
-// available cores in contiguous chunks and concatenates the hits in cell
-// order. The test is pure (reads only), so this is safe and
-// deterministic.
+// available cores in contiguous chunks (via the shared worker-pool
+// helper) and concatenates the hits in cell order. The test is pure
+// (reads only), so this is safe and deterministic.
 func detectCellsParallel(nc int, contains func(int) bool) []int {
-	workers := runtime.GOMAXPROCS(0)
+	workers := pool.Workers(0)
 	const minChunk = 4096
 	if workers <= 1 || nc < 2*minChunk {
 		var out []int
@@ -153,34 +151,26 @@ func detectCellsParallel(nc int, contains func(int) bool) []int {
 		}
 		return out
 	}
-	if workers > (nc+minChunk-1)/minChunk {
-		workers = (nc + minChunk - 1) / minChunk
+	chunks := (nc + minChunk - 1) / minChunk
+	if chunks > workers {
+		chunks = workers
 	}
-	parts := make([][]int, workers)
-	var wg sync.WaitGroup
-	chunk := (nc + workers - 1) / workers
-	for w := 0; w < workers; w++ {
+	chunk := (nc + chunks - 1) / chunks
+	parts := make([][]int, chunks)
+	pool.Do(workers, chunks, func(w int) {
 		start := w * chunk
 		end := start + chunk
 		if end > nc {
 			end = nc
 		}
-		if start >= end {
-			continue
-		}
-		wg.Add(1)
-		go func(w, start, end int) {
-			defer wg.Done()
-			var local []int
-			for c := start; c < end; c++ {
-				if contains(c) {
-					local = append(local, c)
-				}
+		var local []int
+		for c := start; c < end; c++ {
+			if contains(c) {
+				local = append(local, c)
 			}
-			parts[w] = local
-		}(w, start, end)
-	}
-	wg.Wait()
+		}
+		parts[w] = local
+	})
 	var out []int
 	for _, p := range parts {
 		out = append(out, p...)

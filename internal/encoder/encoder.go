@@ -13,20 +13,35 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 )
+
+// flatePool recycles DEFLATE writers across Pack calls: a flate.Writer
+// carries ~1.2 MB of match-finder state whose allocation would otherwise
+// dominate small-block encodes (one block per slab in the shared-memory
+// pipeline).
+var flatePool = sync.Pool{New: func() interface{} {
+	w, err := flate.NewWriter(io.Discard, flate.DefaultCompression)
+	if err != nil {
+		// DefaultCompression is a valid level; NewWriter cannot fail on it.
+		panic(err)
+	}
+	return w
+}}
 
 // Deflate compresses data with DEFLATE at the default level.
 func Deflate(data []byte) ([]byte, error) {
 	var buf bytes.Buffer
-	w, err := flate.NewWriter(&buf, flate.DefaultCompression)
-	if err != nil {
-		return nil, err
+	w := flatePool.Get().(*flate.Writer)
+	w.Reset(&buf)
+	_, werr := w.Write(data)
+	cerr := w.Close()
+	flatePool.Put(w)
+	if werr != nil {
+		return nil, werr
 	}
-	if _, err := w.Write(data); err != nil {
-		return nil, err
-	}
-	if err := w.Close(); err != nil {
-		return nil, err
+	if cerr != nil {
+		return nil, cerr
 	}
 	return buf.Bytes(), nil
 }

@@ -163,10 +163,13 @@ func SoSOrientSign(m [][]int64, ids []int, replace int) int {
 		cached, _ = sosCache.LoadOrStore(key, plans)
 	}
 	plans := cached.([][]matchPos)
-	work := make([][]int64, n)
-	rowbuf := make([]int64, n*n)
-	for i := range work {
-		work[i] = rowbuf[i*n : (i+1)*n]
+	// The work matrix lives on the stack (n <= 4, and detSignN does not
+	// retain its argument): this runs on every exact-predicate tie, so it
+	// must not allocate.
+	var wbuf [4][4]int64
+	var work [4][]int64
+	for i := 0; i < n; i++ {
+		work[i] = wbuf[i][:n]
 	}
 	for _, positions := range plans {
 		for r := 0; r < n; r++ {
@@ -178,7 +181,7 @@ func SoSOrientSign(m [][]int64, ids []int, replace int) int {
 			}
 			work[p.r][p.c] = 1
 		}
-		if sg := detSignN(work); sg != 0 {
+		if sg := detSignN(work[:n]); sg != 0 {
 			return sg
 		}
 	}
@@ -222,32 +225,29 @@ func detSignN(m [][]int64) int {
 	return detN(m).Sign()
 }
 
+// detN dispatches the generic [][]int64 surface onto the fixed-size
+// cofactor evaluators. The copies into value arrays keep the whole
+// evaluation allocation-free — the previous variable-size recursion
+// through freshly built minors dominated the compressor's allocation
+// profile on degenerate data, where every exact-zero determinant walks
+// the SoS minor ladder.
 func detN(m [][]int64) Int128 {
 	switch len(m) {
 	case 1:
 		return Int128FromInt64(m[0][0])
 	case 2:
 		return Mul64(m[0][0], m[1][1]).Sub(Mul64(m[0][1], m[1][0]))
-	default:
-		var d Int128
-		sign := int64(1)
-		n := len(m)
-		for c := 0; c < n; c++ {
-			if m[0][c] != 0 {
-				sub := make([][]int64, n-1)
-				for r := 1; r < n; r++ {
-					row := make([]int64, 0, n-1)
-					for c2 := 0; c2 < n; c2++ {
-						if c2 != c {
-							row = append(row, m[r][c2])
-						}
-					}
-					sub[r-1] = row
-				}
-				d = d.Add(mulInt128ByInt64(detN(sub), sign*m[0][c]))
-			}
-			sign = -sign
+	case 3:
+		var a [3][3]int64
+		for r := range a {
+			copy(a[r][:], m[r])
 		}
-		return d
+		return Det3(&a)
+	default:
+		var a [4][4]int64
+		for r := range a {
+			copy(a[r][:], m[r])
+		}
+		return Det4(&a)
 	}
 }

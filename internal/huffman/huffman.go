@@ -2,6 +2,13 @@
 // integer alphabets. It is the first lossless stage of the compression
 // pipeline: quantization codes and error-bound exponents are Huffman-coded
 // before the byte stream is handed to DEFLATE (package encoder).
+//
+// The coder is allocation-conscious: symbols below denseSyms (all bound
+// exponents and virtually every zigzagged quantization code) are counted
+// and encoded through flat array codebooks drawn from a sync.Pool; only
+// outlier symbols fall back to maps. The emitted byte stream is identical
+// to the map-based implementation's — table storage is an internal detail,
+// the canonical code assignment is not.
 package huffman
 
 import (
@@ -10,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/bitstream"
 )
@@ -18,35 +26,92 @@ import (
 // bitstream write. Frequencies are rescaled if the tree gets deeper.
 const maxCodeLen = 48
 
+// denseSyms bounds the array-backed fast tables. Symbols < denseSyms are
+// indexed directly; larger ones (escape-range outliers) go through a map.
+const denseSyms = 4096
+
+// denseTables is the pooled scratch of one Compress call: the frequency
+// histogram and the encode codebook for the dense symbol range.
+type denseTables struct {
+	freq  [denseSyms]uint64
+	codes [denseSyms]code
+}
+
+var densePool = sync.Pool{New: func() interface{} { return new(denseTables) }}
+
+// symLen is one (symbol, code length) table entry.
+type symLen struct {
+	sym uint32
+	len uint8
+}
+
 // Compress encodes syms into a self-contained block (count, code length
 // table, padded code bits).
 func Compress(syms []uint32) []byte {
-	lengths := codeLengths(syms)
-	codes := canonicalCodes(lengths)
+	dt := densePool.Get().(*denseTables)
+
+	// Count frequencies: flat array for the dense range, map only when an
+	// outlier actually occurs.
+	var sparseFreq map[uint32]uint64
+	for _, s := range syms {
+		if s < denseSyms {
+			dt.freq[s]++
+		} else {
+			if sparseFreq == nil {
+				sparseFreq = make(map[uint32]uint64)
+			}
+			sparseFreq[s]++
+		}
+	}
+
+	// Collect the nonzero symbols in increasing order (outliers are all
+	// >= denseSyms, so they sort after the dense scan).
+	nz := make([]symLen, 0, 64)
+	freqs := make([]uint64, 0, 64)
+	for s, f := range dt.freq[:] {
+		if f != 0 {
+			nz = append(nz, symLen{sym: uint32(s)})
+			freqs = append(freqs, f)
+			dt.freq[s] = 0 // leave the pooled histogram clean
+		}
+	}
+	if sparseFreq != nil {
+		base := len(nz)
+		for s := range sparseFreq {
+			nz = append(nz, symLen{sym: s})
+		}
+		sort.Slice(nz[base:], func(i, j int) bool { return nz[base+i].sym < nz[base+j].sym })
+		for _, e := range nz[base:] {
+			freqs = append(freqs, sparseFreq[e.sym])
+		}
+	}
+
+	codeLengths(nz, freqs)
+	var sparseCodes map[uint32]code
+	sparseCodes = canonicalCodes(nz, &dt.codes, sparseCodes)
 
 	var head []byte
 	head = binary.AppendUvarint(head, uint64(len(syms)))
 	// Serialize the nonzero code lengths as (delta symbol, length) pairs.
-	var nz []uint32
-	for s, l := range lengths {
-		if l > 0 {
-			nz = append(nz, s)
-		}
-	}
-	sort.Slice(nz, func(i, j int) bool { return nz[i] < nz[j] })
 	head = binary.AppendUvarint(head, uint64(len(nz)))
 	prev := uint32(0)
-	for _, s := range nz {
-		head = binary.AppendUvarint(head, uint64(s-prev))
-		head = append(head, byte(lengths[s]))
-		prev = s
+	for _, e := range nz {
+		head = binary.AppendUvarint(head, uint64(e.sym-prev))
+		head = append(head, e.len)
+		prev = e.sym
 	}
 
 	var w bitstream.Writer
 	for _, s := range syms {
-		c := codes[s]
+		var c code
+		if s < denseSyms {
+			c = dt.codes[s]
+		} else {
+			c = sparseCodes[s]
+		}
 		w.WriteBits(c.bits, uint(c.len))
 	}
+	densePool.Put(dt)
 	return append(head, w.Bytes()...)
 }
 
@@ -70,7 +135,7 @@ func Decompress(data []byte) ([]uint32, error) {
 	if nnz > uint64(len(data)) {
 		return nil, errors.New("huffman: table size exceeds stream capacity")
 	}
-	lengths := map[uint32]uint8{}
+	list := make([]symLen, 0, nnz)
 	prev := uint32(0)
 	for i := uint64(0); i < nnz; i++ {
 		d, k := binary.Uvarint(data)
@@ -78,11 +143,18 @@ func Decompress(data []byte) ([]uint32, error) {
 			return nil, errors.New("huffman: truncated table")
 		}
 		sym := prev + uint32(d)
-		lengths[sym] = data[k]
+		// Deltas are nondecreasing, so a duplicate symbol (corrupt input)
+		// can only repeat the previous entry; keep the last length, the
+		// same resolution the map-based table applied.
+		if len(list) > 0 && list[len(list)-1].sym == sym {
+			list[len(list)-1].len = data[k]
+		} else {
+			list = append(list, symLen{sym: sym, len: data[k]})
+		}
 		data = data[k+1:]
 		prev = sym
 	}
-	dec, err := newDecoder(lengths)
+	dec, err := newDecoder(list)
 	if err != nil {
 		return nil, err
 	}
@@ -103,44 +175,38 @@ type code struct {
 	len  uint8
 }
 
-// codeLengths computes Huffman code lengths for the symbols appearing in
-// syms, rescaling frequencies until the depth limit is met.
-func codeLengths(syms []uint32) map[uint32]uint8 {
-	freq := map[uint32]uint64{}
-	for _, s := range syms {
-		freq[s]++
-	}
-	lengths := map[uint32]uint8{}
-	switch len(freq) {
+// codeLengths fills the len field of nz (sorted by symbol, parallel to
+// freqs) with Huffman code lengths, rescaling frequencies until the depth
+// limit is met. freqs is clobbered.
+func codeLengths(nz []symLen, freqs []uint64) {
+	switch len(nz) {
 	case 0:
-		return lengths
+		return
 	case 1:
-		for s := range freq {
-			lengths[s] = 1
-		}
-		return lengths
+		nz[0].len = 1
+		return
 	}
 	for {
-		l := buildLengths(freq)
+		buildLengths(nz, freqs)
 		deep := false
-		for s, d := range l {
-			if d > maxCodeLen {
+		for _, e := range nz {
+			if e.len > maxCodeLen {
 				deep = true
+				break
 			}
-			lengths[s] = d
 		}
 		if !deep {
-			return lengths
+			return
 		}
-		for s := range freq {
-			freq[s] = freq[s]/2 + 1
+		for i := range freqs {
+			freqs[i] = freqs[i]/2 + 1
 		}
 	}
 }
 
 type hnode struct {
 	freq        uint64
-	sym         uint32
+	leaf        int // index into nz, or -1
 	left, right *hnode
 	order       int // tie-break for determinism
 }
@@ -164,71 +230,76 @@ func (h *hheap) Pop() interface{} {
 	return x
 }
 
-func buildLengths(freq map[uint32]uint64) map[uint32]uint8 {
-	syms := make([]uint32, 0, len(freq))
-	for s := range freq {
-		syms = append(syms, s)
-	}
-	sort.Slice(syms, func(i, j int) bool { return syms[i] < syms[j] })
-	h := make(hheap, 0, len(syms))
+// buildLengths runs the Huffman merge over (nz, freqs) — nz is already in
+// increasing symbol order, which fixes the deterministic tie-break — and
+// writes the resulting depth of each leaf into nz[i].len. All tree nodes
+// come from one backing slice (2n-1 nodes total).
+func buildLengths(nz []symLen, freqs []uint64) {
+	n := len(nz)
+	backing := make([]hnode, 2*n-1)
+	h := make(hheap, 0, n)
 	order := 0
-	for _, s := range syms {
-		h = append(h, &hnode{freq: freq[s], sym: s, order: order})
+	for i := range nz {
+		nd := &backing[order]
+		*nd = hnode{freq: freqs[i], leaf: i, order: order}
+		h = append(h, nd)
 		order++
 	}
 	heap.Init(&h)
 	for h.Len() > 1 {
 		a := heap.Pop(&h).(*hnode)
 		b := heap.Pop(&h).(*hnode)
-		heap.Push(&h, &hnode{freq: a.freq + b.freq, left: a, right: b, order: order})
+		nd := &backing[order]
+		*nd = hnode{freq: a.freq + b.freq, leaf: -1, left: a, right: b, order: order}
+		heap.Push(&h, nd)
 		order++
 	}
 	root := h[0]
-	lengths := map[uint32]uint8{}
-	var walk func(n *hnode, depth uint8)
-	walk = func(n *hnode, depth uint8) {
-		if n.left == nil {
+	var walk func(nd *hnode, depth uint8)
+	walk = func(nd *hnode, depth uint8) {
+		if nd.left == nil {
 			if depth == 0 {
 				depth = 1
 			}
-			lengths[n.sym] = depth
+			nz[nd.leaf].len = depth
 			return
 		}
-		walk(n.left, depth+1)
-		walk(n.right, depth+1)
+		walk(nd.left, depth+1)
+		walk(nd.right, depth+1)
 	}
 	walk(root, 0)
-	return lengths
 }
 
 // canonicalCodes assigns canonical codes (shorter codes numerically first,
-// ties broken by symbol order). Code bits are stored MSB-first within the
-// code so decoding can proceed bit by bit.
-func canonicalCodes(lengths map[uint32]uint8) map[uint32]code {
-	type sl struct {
-		sym uint32
-		len uint8
-	}
-	list := make([]sl, 0, len(lengths))
-	for s, l := range lengths {
-		list = append(list, sl{s, l})
-	}
+// ties broken by symbol order) into the dense array (and the returned
+// sparse map for symbols >= denseSyms). Code bits are stored MSB-first
+// within the code so decoding can proceed bit by bit.
+func canonicalCodes(nz []symLen, dense *[denseSyms]code, sparse map[uint32]code) map[uint32]code {
+	list := make([]symLen, len(nz))
+	copy(list, nz)
 	sort.Slice(list, func(i, j int) bool {
 		if list[i].len != list[j].len {
 			return list[i].len < list[j].len
 		}
 		return list[i].sym < list[j].sym
 	})
-	codes := make(map[uint32]code, len(list))
 	c := uint64(0)
 	prevLen := uint8(0)
 	for _, e := range list {
 		c <<= uint(e.len - prevLen)
-		codes[e.sym] = code{bits: reverseBits(c, e.len), len: e.len}
+		cd := code{bits: reverseBits(c, e.len), len: e.len}
+		if e.sym < denseSyms {
+			dense[e.sym] = cd
+		} else {
+			if sparse == nil {
+				sparse = make(map[uint32]code)
+			}
+			sparse[e.sym] = cd
+		}
 		c++
 		prevLen = e.len
 	}
-	return codes
+	return sparse
 }
 
 // reverseBits reverses the low n bits of v so that an MSB-first canonical
@@ -252,20 +323,14 @@ type decoder struct {
 	maxLen    uint8
 }
 
-func newDecoder(lengths map[uint32]uint8) (*decoder, error) {
+func newDecoder(list []symLen) (*decoder, error) {
 	d := &decoder{}
-	type sl struct {
-		sym uint32
-		len uint8
-	}
-	list := make([]sl, 0, len(lengths))
-	for s, l := range lengths {
-		if l == 0 || l > maxCodeLen {
-			return nil, fmt.Errorf("huffman: invalid code length %d", l)
+	for _, e := range list {
+		if e.len == 0 || e.len > maxCodeLen {
+			return nil, fmt.Errorf("huffman: invalid code length %d", e.len)
 		}
-		list = append(list, sl{s, l})
-		if l > d.maxLen {
-			d.maxLen = l
+		if e.len > d.maxLen {
+			d.maxLen = e.len
 		}
 	}
 	sort.Slice(list, func(i, j int) bool {
@@ -274,14 +339,22 @@ func newDecoder(lengths map[uint32]uint8) (*decoder, error) {
 		}
 		return list[i].sym < list[j].sym
 	})
+	// After the (len, sym) sort each length's symbols are one contiguous
+	// run; a single backing slice serves every per-length view.
+	backing := make([]uint32, len(list))
+	for i, e := range list {
+		backing[i] = e.sym
+	}
 	c := uint64(0)
 	prevLen := uint8(0)
-	for _, e := range list {
+	start := 0
+	for i, e := range list {
 		c <<= uint(e.len - prevLen)
-		if len(d.symbols[e.len]) == 0 {
+		if e.len != prevLen {
+			start = i
 			d.firstCode[e.len] = c
 		}
-		d.symbols[e.len] = append(d.symbols[e.len], e.sym)
+		d.symbols[e.len] = backing[start : i+1]
 		c++
 		prevLen = e.len
 	}

@@ -139,6 +139,45 @@ func TestDeterministicOutput(t *testing.T) {
 	}
 }
 
+// BenchmarkHuffman exercises the full encode+decode cycle on realistic
+// quantization-code distributions (run with -benchmem to see the codebook
+// allocation profile). The "sparse" variant forces the map fallback path
+// with symbols above the dense table range.
+func BenchmarkHuffman(b *testing.B) {
+	bench := func(name string, gen func(rng *rand.Rand) uint32) {
+		b.Run(name, func(b *testing.B) {
+			rng := rand.New(rand.NewSource(35))
+			syms := make([]uint32, 1<<16)
+			for i := range syms {
+				syms[i] = gen(rng)
+			}
+			b.SetBytes(int64(len(syms) * 4))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				blob := Compress(syms)
+				if _, err := Decompress(blob); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	bench("dense", func(rng *rand.Rand) uint32 {
+		// Geometric-ish, like zigzagged quantization codes.
+		v := uint32(0)
+		for rng.Float64() < 0.5 && v < 40 {
+			v++
+		}
+		return v
+	})
+	bench("sparse", func(rng *rand.Rand) uint32 {
+		if rng.Float64() < 0.01 {
+			return 4096 + uint32(rng.Intn(1<<20))
+		}
+		return uint32(rng.Intn(64))
+	})
+}
+
 func BenchmarkCompress(b *testing.B) {
 	rng := rand.New(rand.NewSource(33))
 	syms := make([]uint32, 1<<16)

@@ -126,6 +126,7 @@ type blockEncoder interface {
 	Stats() core.Stats
 	BorderPlane(side int) [][]int64
 	SetGhostPlane(side int, vals [][]int64) error
+	Close()
 }
 
 // flatten packs the per-component planes of one border into a single
@@ -202,6 +203,7 @@ func compressDistributed(name string, ndim int, dims [3]int, rawBytes int64,
 			})
 			blobs[c.Rank], errs[c.Rank] = blob, err
 			stats[c.Rank] = enc.Stats()
+			enc.Close()
 			return
 		}
 
@@ -260,6 +262,7 @@ func compressDistributed(name string, ndim int, dims [3]int, rawBytes int64,
 		})
 		blobs[c.Rank], errs[c.Rank] = blob, ferr
 		stats[c.Rank] = enc.Stats()
+		enc.Close()
 	})
 	rt.finish()
 

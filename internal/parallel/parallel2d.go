@@ -15,11 +15,11 @@ func CompressDistributed2D(f *field.Field2D, tr fixed.Transform, opts core.Optio
 	if grid.Ranks() < 1 {
 		return Result{}, errGrid
 	}
-	xs, err := partition(f.NX, grid.PX)
+	xs, err := Partition(f.NX, grid.PX)
 	if err != nil {
 		return Result{}, err
 	}
-	ys, err := partition(f.NY, grid.PY)
+	ys, err := Partition(f.NY, grid.PY)
 	if err != nil {
 		return Result{}, err
 	}
@@ -27,16 +27,16 @@ func CompressDistributed2D(f *field.Field2D, tr fixed.Transform, opts core.Optio
 	return compressDistributed("2d", 2, [3]int{grid.PX, grid.PY, 1}, rawBytes, opts, strat, mcfg,
 		func(p [3]int, o core.Options, neighbor [6]bool) (blockEncoder, error) {
 			sx, sy := xs[p[0]], ys[p[1]]
-			bu := make([]float32, sx.size*sy.size)
-			bv := make([]float32, sx.size*sy.size)
-			for j := 0; j < sy.size; j++ {
-				copy(bu[j*sx.size:], f.U[(sy.start+j)*f.NX+sx.start:][:sx.size])
-				copy(bv[j*sx.size:], f.V[(sy.start+j)*f.NX+sx.start:][:sx.size])
+			bu := make([]float32, sx.Size*sy.Size)
+			bv := make([]float32, sx.Size*sy.Size)
+			for j := 0; j < sy.Size; j++ {
+				copy(bu[j*sx.Size:], f.U[(sy.Start+j)*f.NX+sx.Start:][:sx.Size])
+				copy(bv[j*sx.Size:], f.V[(sy.Start+j)*f.NX+sx.Start:][:sx.Size])
 			}
 			blk := core.Block2D{
-				NX: sx.size, NY: sy.size, U: bu, V: bv,
+				NX: sx.Size, NY: sy.Size, U: bu, V: bv,
 				Transform: tr, Opts: o,
-				GlobalX0: sx.start, GlobalY0: sy.start,
+				GlobalX0: sx.Start, GlobalY0: sy.Start,
 				GlobalNX: f.NX, GlobalNY: f.NY,
 				LosslessBorder: strat == LosslessBorders,
 				TwoPhase:       strat == RatioOriented,
@@ -50,11 +50,11 @@ func CompressDistributed2D(f *field.Field2D, tr fixed.Transform, opts core.Optio
 // machine and reassembles the global field. The returned stats carry the
 // decompression makespan.
 func DecompressDistributed2D(blobs [][]byte, grid Grid2D, nx, ny int, mcfg mpi.Config) (*field.Field2D, mpi.Stats, error) {
-	xs, err := partition(nx, grid.PX)
+	xs, err := Partition(nx, grid.PX)
 	if err != nil {
 		return nil, mpi.Stats{}, err
 	}
-	ys, err := partition(ny, grid.PY)
+	ys, err := Partition(ny, grid.PY)
 	if err != nil {
 		return nil, mpi.Stats{}, err
 	}
@@ -71,9 +71,9 @@ func DecompressDistributed2D(blobs [][]byte, grid Grid2D, nx, ny int, mcfg mpi.C
 			if err != nil {
 				return err
 			}
-			for j := 0; j < sy.size; j++ {
-				copy(out.U[(sy.start+j)*nx+sx.start:][:sx.size], bf.U[j*sx.size:])
-				copy(out.V[(sy.start+j)*nx+sx.start:][:sx.size], bf.V[j*sx.size:])
+			for j := 0; j < sy.Size; j++ {
+				copy(out.U[(sy.Start+j)*nx+sx.Start:][:sx.Size], bf.U[j*sx.Size:])
+				copy(out.V[(sy.Start+j)*nx+sx.Start:][:sx.Size], bf.V[j*sx.Size:])
 			}
 			return nil
 		})

@@ -15,15 +15,15 @@ func CompressDistributed3D(f *field.Field3D, tr fixed.Transform, opts core.Optio
 	if grid.Ranks() < 1 {
 		return Result{}, errGrid
 	}
-	xs, err := partition(f.NX, grid.PX)
+	xs, err := Partition(f.NX, grid.PX)
 	if err != nil {
 		return Result{}, err
 	}
-	ys, err := partition(f.NY, grid.PY)
+	ys, err := Partition(f.NY, grid.PY)
 	if err != nil {
 		return Result{}, err
 	}
-	zs, err := partition(f.NZ, grid.PZ)
+	zs, err := Partition(f.NZ, grid.PZ)
 	if err != nil {
 		return Result{}, err
 	}
@@ -31,23 +31,23 @@ func CompressDistributed3D(f *field.Field3D, tr fixed.Transform, opts core.Optio
 	return compressDistributed("3d", 3, [3]int{grid.PX, grid.PY, grid.PZ}, rawBytes, opts, strat, mcfg,
 		func(p [3]int, o core.Options, neighbor [6]bool) (blockEncoder, error) {
 			sx, sy, sz := xs[p[0]], ys[p[1]], zs[p[2]]
-			n := sx.size * sy.size * sz.size
+			n := sx.Size * sy.Size * sz.Size
 			bu := make([]float32, n)
 			bv := make([]float32, n)
 			bw := make([]float32, n)
-			for k := 0; k < sz.size; k++ {
-				for j := 0; j < sy.size; j++ {
-					src := ((sz.start+k)*f.NY+(sy.start+j))*f.NX + sx.start
-					dst := (k*sy.size + j) * sx.size
-					copy(bu[dst:dst+sx.size], f.U[src:])
-					copy(bv[dst:dst+sx.size], f.V[src:])
-					copy(bw[dst:dst+sx.size], f.W[src:])
+			for k := 0; k < sz.Size; k++ {
+				for j := 0; j < sy.Size; j++ {
+					src := ((sz.Start+k)*f.NY+(sy.Start+j))*f.NX + sx.Start
+					dst := (k*sy.Size + j) * sx.Size
+					copy(bu[dst:dst+sx.Size], f.U[src:])
+					copy(bv[dst:dst+sx.Size], f.V[src:])
+					copy(bw[dst:dst+sx.Size], f.W[src:])
 				}
 			}
 			blk := core.Block3D{
-				NX: sx.size, NY: sy.size, NZ: sz.size, U: bu, V: bv, W: bw,
+				NX: sx.Size, NY: sy.Size, NZ: sz.Size, U: bu, V: bv, W: bw,
 				Transform: tr, Opts: o,
-				GlobalX0: sx.start, GlobalY0: sy.start, GlobalZ0: sz.start,
+				GlobalX0: sx.Start, GlobalY0: sy.Start, GlobalZ0: sz.Start,
 				GlobalNX: f.NX, GlobalNY: f.NY, GlobalNZ: f.NZ,
 				Neighbor:       neighbor,
 				LosslessBorder: strat == LosslessBorders,
@@ -60,15 +60,15 @@ func CompressDistributed3D(f *field.Field3D, tr fixed.Transform, opts core.Optio
 // DecompressDistributed3D decodes the per-rank blobs and reassembles the
 // global field.
 func DecompressDistributed3D(blobs [][]byte, grid Grid3D, nx, ny, nz int, mcfg mpi.Config) (*field.Field3D, mpi.Stats, error) {
-	xs, err := partition(nx, grid.PX)
+	xs, err := Partition(nx, grid.PX)
 	if err != nil {
 		return nil, mpi.Stats{}, err
 	}
-	ys, err := partition(ny, grid.PY)
+	ys, err := Partition(ny, grid.PY)
 	if err != nil {
 		return nil, mpi.Stats{}, err
 	}
-	zs, err := partition(nz, grid.PZ)
+	zs, err := Partition(nz, grid.PZ)
 	if err != nil {
 		return nil, mpi.Stats{}, err
 	}
@@ -85,13 +85,13 @@ func DecompressDistributed3D(blobs [][]byte, grid Grid3D, nx, ny, nz int, mcfg m
 			if err != nil {
 				return err
 			}
-			for k := 0; k < sz.size; k++ {
-				for j := 0; j < sy.size; j++ {
-					dst := ((sz.start+k)*ny+(sy.start+j))*nx + sx.start
-					src := (k*sy.size + j) * sx.size
-					copy(out.U[dst:dst+sx.size], bf.U[src:])
-					copy(out.V[dst:dst+sx.size], bf.V[src:])
-					copy(out.W[dst:dst+sx.size], bf.W[src:])
+			for k := 0; k < sz.Size; k++ {
+				for j := 0; j < sy.Size; j++ {
+					dst := ((sz.Start+k)*ny+(sy.Start+j))*nx + sx.Start
+					src := (k*sy.Size + j) * sx.Size
+					copy(out.U[dst:dst+sx.Size], bf.U[src:])
+					copy(out.V[dst:dst+sx.Size], bf.V[src:])
+					copy(out.W[dst:dst+sx.Size], bf.W[src:])
 				}
 			}
 			return nil

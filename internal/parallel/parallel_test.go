@@ -59,24 +59,24 @@ func smooth3D(seed int64, n int) *field.Field3D {
 }
 
 func TestPartition(t *testing.T) {
-	spans, err := partition(10, 3)
+	spans, err := Partition(10, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
 	total := 0
 	for _, s := range spans {
-		total += s.size
-		if s.size < 2 {
+		total += s.Size
+		if s.Size < 2 {
 			t.Errorf("span too small: %+v", s)
 		}
 	}
 	if total != 10 {
 		t.Errorf("spans cover %d", total)
 	}
-	if spans[0].start != 0 || spans[2].start+spans[2].size != 10 {
+	if spans[0].Start != 0 || spans[2].Start+spans[2].Size != 10 {
 		t.Errorf("bad coverage: %+v", spans)
 	}
-	if _, err := partition(3, 2); err == nil {
+	if _, err := Partition(3, 2); err == nil {
 		t.Error("too-small partition must fail")
 	}
 }
@@ -167,18 +167,18 @@ func TestNaiveBreaksBorderCells2D(t *testing.T) {
 		om[p.Cell] = p.Type
 	}
 	mesh := field.Mesh2D{NX: f.NX, NY: f.NY}
-	xs, _ := partition(f.NX, 4)
-	ys, _ := partition(f.NY, 4)
+	xs, _ := Partition(f.NX, 4)
+	ys, _ := Partition(f.NY, 4)
 	onBorder := func(c int) bool {
 		for _, v := range mesh.CellVertices(c) {
 			i, j := mesh.VertexPos(v)
 			for _, s := range xs[:3] {
-				if i == s.start+s.size-1 || i == s.start+s.size {
+				if i == s.Start+s.Size-1 || i == s.Start+s.Size {
 					return true
 				}
 			}
 			for _, s := range ys[:3] {
-				if j == s.start+s.size-1 || j == s.start+s.size {
+				if j == s.Start+s.Size-1 || j == s.Start+s.Size {
 					return true
 				}
 			}
@@ -269,8 +269,8 @@ func TestFitTransformDistributedMatchesGlobal(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	xs, _ := partition(f.NX, 2)
-	ys, _ := partition(f.NY, 2)
+	xs, _ := Partition(f.NX, 2)
+	ys, _ := Partition(f.NY, 2)
 	got := make([]struct {
 		scale float64
 		shift int
@@ -278,11 +278,11 @@ func TestFitTransformDistributedMatchesGlobal(t *testing.T) {
 	mpi.Run(mpi.Config{Ranks: 4}, func(c *mpi.Comm) {
 		px, py := c.Rank%2, c.Rank/2
 		sx, sy := xs[px], ys[py]
-		u := make([]float32, 0, sx.size*sy.size)
-		v := make([]float32, 0, sx.size*sy.size)
-		for j := 0; j < sy.size; j++ {
-			u = append(u, f.U[(sy.start+j)*f.NX+sx.start:][:sx.size]...)
-			v = append(v, f.V[(sy.start+j)*f.NX+sx.start:][:sx.size]...)
+		u := make([]float32, 0, sx.Size*sy.Size)
+		v := make([]float32, 0, sx.Size*sy.Size)
+		for j := 0; j < sy.Size; j++ {
+			u = append(u, f.U[(sy.Start+j)*f.NX+sx.Start:][:sx.Size]...)
+			v = append(v, f.V[(sy.Start+j)*f.NX+sx.Start:][:sx.Size]...)
 		}
 		tr := FitTransformDistributed(c, u, v)
 		got[c.Rank] = struct {

@@ -53,24 +53,28 @@ type Grid3D struct{ PX, PY, PZ int }
 // Ranks returns the number of ranks.
 func (g Grid3D) Ranks() int { return g.PX * g.PY * g.PZ }
 
-// span is one rank's extent along one axis.
-type span struct{ start, size int }
+// Span is one block's extent along one axis of the lossless-border
+// decomposition. It is shared by the simulated-MPI drivers and the
+// shared-memory pipeline (package shm) so both split a field identically.
+type Span struct{ Start, Size int }
 
-// partition splits n grid points into p spans of near-equal size.
-func partition(n, p int) ([]span, error) {
+// Partition splits n grid points into p spans of near-equal size (the
+// first n%p spans are one point larger). Every span must hold at least
+// two points — a block needs one cell of depth.
+func Partition(n, p int) ([]Span, error) {
 	if p <= 0 || n < 2*p {
 		return nil, fmt.Errorf("parallel: cannot split %d points into %d blocks of >=2", n, p)
 	}
 	base := n / p
 	rem := n % p
-	spans := make([]span, p)
+	spans := make([]Span, p)
 	pos := 0
 	for i := range spans {
 		size := base
 		if i < rem {
 			size++
 		}
-		spans[i] = span{start: pos, size: size}
+		spans[i] = Span{Start: pos, Size: size}
 		pos += size
 	}
 	return spans, nil

@@ -1,0 +1,64 @@
+// Package pool provides the one shared-memory fan-out/fan-in primitive of
+// the repository. Every in-process parallel loop — the slab workers of the
+// shared-memory compression pipeline (package shm) and the chunked
+// critical-point scan (package cp) — routes through Do, so worker
+// accounting, inline fallback, and work distribution live in exactly one
+// place.
+//
+// The package sits below everything else (stdlib-only) because its
+// callers span both sides of the core↔cp dependency.
+package pool
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers normalizes a worker-count request: values <= 0 mean "use the
+// host", i.e. runtime.GOMAXPROCS(0).
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// Do executes run(i) for every task i in [0, n) on at most `workers`
+// goroutines and returns when all tasks have finished. Tasks must be
+// independent: the assignment of tasks to workers is nondeterministic
+// (a shared counter, so finished workers steal remaining tasks), and any
+// ordering of results must be imposed by the caller indexing into a
+// pre-sized slice. With workers <= 1 (or a single task) the loop runs
+// inline on the calling goroutine — the deterministic baseline that
+// parallel runs must reproduce byte for byte.
+func Do(workers, n int, run func(task int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			run(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				run(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

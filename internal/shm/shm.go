@@ -1,0 +1,352 @@
+// Package shm is the shared-memory parallel compression pipeline: the
+// paper's lossless-border decomposition (Sec. V-A) executed on real OS
+// threads instead of the simulated message-passing machine of package
+// parallel. The field is split into slabs along its slowest-varying axis
+// (Y in 2D, Z in 3D), each slab compresses independently on a worker
+// drawn from a GOMAXPROCS-sized pool — border vertices are stored
+// losslessly, so no worker ever communicates — and the per-slab blobs
+// are concatenated in slab order into the existing archive container.
+//
+// Determinism is load-bearing: the slab count is a function of the field
+// shape only (never of the worker count), blobs land in an indexed slice,
+// and the container writes them in slab order — so workers=N output is
+// byte-identical to workers=1. TestShmDeterministic pins this.
+package shm
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/archive"
+	"repro/internal/core"
+	"repro/internal/field"
+	"repro/internal/fixed"
+	"repro/internal/parallel"
+	"repro/internal/shm/pool"
+	"repro/internal/telemetry"
+)
+
+// Options configures a shared-memory run.
+type Options struct {
+	// Workers caps the worker pool; <= 0 means runtime.GOMAXPROCS(0).
+	// Workers never influences the output bytes, only the wall time.
+	Workers int
+	// Slabs fixes the slab count; <= 0 derives it from the field shape
+	// with DefaultSlabs. The slab count determines the output bytes
+	// (border vertices are stored losslessly), so runs that must be
+	// comparable byte-for-byte must agree on it.
+	Slabs int
+	// Tel, when non-nil, receives a run span with one child span per
+	// slab plus the per-stage engine spans underneath.
+	Tel *telemetry.Collector
+}
+
+// Result summarizes a shared-memory compression run.
+type Result struct {
+	// Blob is the archive container holding the per-slab blocks.
+	Blob []byte
+	// RawBytes and CompressedBytes give the compression ratio.
+	RawBytes, CompressedBytes int64
+	// Stats aggregates the per-slab encoder stats.
+	Stats core.Stats
+	// Slabs and Workers record the executed decomposition.
+	Slabs, Workers int
+	// Wall is the real (not simulated) compression wall time.
+	Wall time.Duration
+}
+
+// Ratio returns the compression ratio.
+func (r Result) Ratio() float64 {
+	if r.CompressedBytes == 0 {
+		return 0
+	}
+	return float64(r.RawBytes) / float64(r.CompressedBytes)
+}
+
+// ThroughputMBps returns the wall-clock compression throughput in MB/s.
+func (r Result) ThroughputMBps() float64 {
+	s := r.Wall.Seconds()
+	if s == 0 {
+		return 0
+	}
+	return float64(r.RawBytes) / 1e6 / s
+}
+
+// DefaultSlabs derives the slab count from the slow-axis extent. More
+// slabs expose more parallelism but store more lossless border planes;
+// one slab per four planes, capped at 16, keeps the ratio loss in the
+// low percents at Table-2 scales while feeding an 8-way pool. The result
+// depends on the field shape only — never on the host — so the same
+// input always produces the same archive.
+func DefaultSlabs(nSlow int) int {
+	s := nSlow / 4
+	if s > 16 {
+		s = 16
+	}
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// slabRun executes the common fan-out: nothing in it knows the dimension.
+// encode compresses slab i and returns its blob and stats.
+func slabRun(name string, rawBytes int64, slabs, workers int, tel *telemetry.Collector,
+	encode func(i int, span *telemetry.Span) ([]byte, core.Stats, error)) (Result, error) {
+
+	// Pre-create the run span and the per-slab children in slab order so
+	// the snapshot layout is deterministic regardless of scheduling.
+	var run *telemetry.Span
+	spans := make([]*telemetry.Span, slabs)
+	if tel != nil {
+		run = tel.Span(name)
+		for i := range spans {
+			spans[i] = run.Child(fmt.Sprintf("slab%d", i))
+		}
+	}
+	blobs := make([][]byte, slabs)
+	errs := make([]error, slabs)
+	stats := make([]core.Stats, slabs)
+	start := time.Now()
+	pool.Do(workers, slabs, func(i int) {
+		blobs[i], stats[i], errs[i] = encode(i, spans[i])
+	})
+	wall := time.Since(start)
+	for _, sp := range spans {
+		sp.End()
+	}
+	run.End()
+	for _, err := range errs {
+		if err != nil {
+			return Result{}, err
+		}
+	}
+	var buf bytes.Buffer
+	w := archive.NewWriter(&buf)
+	for _, b := range blobs {
+		w.AppendBlob(b)
+	}
+	if err := w.Close(); err != nil {
+		return Result{}, err
+	}
+	res := Result{
+		Blob:     buf.Bytes(),
+		RawBytes: rawBytes,
+		Slabs:    slabs,
+		Workers:  workers,
+		Wall:     wall,
+	}
+	res.CompressedBytes = int64(len(res.Blob))
+	for _, s := range stats {
+		res.Stats.Add(s)
+	}
+	if tel != nil {
+		tel.Gauge(name + ".throughput_mbps").Set(int64(res.ThroughputMBps()))
+		tel.Gauge(name + ".slabs").Set(int64(slabs))
+		tel.Gauge(name + ".workers").Set(int64(workers))
+	}
+	return res, nil
+}
+
+// slabCount resolves the requested slab count against the slow axis.
+func slabCount(requested, nSlow int) (int, error) {
+	s := requested
+	if s <= 0 {
+		s = DefaultSlabs(nSlow)
+	}
+	if s > 1 && nSlow < 2*s {
+		return 0, fmt.Errorf("shm: cannot split %d planes into %d slabs of >=2", nSlow, s)
+	}
+	return s, nil
+}
+
+// Compress2D compresses f with the shared transform tr on the in-process
+// worker pool. The output container decodes with Decompress2D (any
+// worker count) and preserves critical points exactly like the
+// single-node path: interior vertices follow the τ/speculation pipeline,
+// slab border vertices are lossless.
+func Compress2D(f *field.Field2D, tr fixed.Transform, opts core.Options, po Options) (Result, error) {
+	slabs, err := slabCount(po.Slabs, f.NY)
+	if err != nil {
+		return Result{}, err
+	}
+	workers := pool.Workers(po.Workers)
+	ys := []parallel.Span{{Start: 0, Size: f.NY}}
+	if slabs > 1 {
+		if ys, err = parallel.Partition(f.NY, slabs); err != nil {
+			return Result{}, err
+		}
+	}
+	rawBytes := int64(len(f.U)+len(f.V)) * 4
+	return slabRun("shm.compress2d", rawBytes, slabs, workers, po.Tel,
+		func(i int, span *telemetry.Span) ([]byte, core.Stats, error) {
+			sy := ys[i]
+			n := f.NX * sy.Size
+			bu := make([]float32, n)
+			bv := make([]float32, n)
+			copy(bu, f.U[sy.Start*f.NX:][:n])
+			copy(bv, f.V[sy.Start*f.NX:][:n])
+			o := opts
+			o.Tel = po.Tel
+			o.TelSpan = span
+			blk := core.Block2D{
+				NX: f.NX, NY: sy.Size, U: bu, V: bv,
+				Transform: tr, Opts: o,
+				GlobalY0: sy.Start,
+				GlobalNX: f.NX, GlobalNY: f.NY,
+				// A lone slab has no borders; leaving the flag off keeps
+				// its block byte-identical to the single-node output.
+				LosslessBorder: slabs > 1,
+			}
+			blk.Neighbor[core.SideMinY] = i > 0
+			blk.Neighbor[core.SideMaxY] = i < slabs-1
+			enc, err := core.NewEncoder2D(blk)
+			if err != nil {
+				return nil, core.Stats{}, err
+			}
+			enc.Run()
+			blob, err := enc.Finish()
+			st := enc.Stats()
+			enc.Close()
+			return blob, st, err
+		})
+}
+
+// Compress3D compresses f on the worker pool, slabbed along Z.
+func Compress3D(f *field.Field3D, tr fixed.Transform, opts core.Options, po Options) (Result, error) {
+	slabs, err := slabCount(po.Slabs, f.NZ)
+	if err != nil {
+		return Result{}, err
+	}
+	workers := pool.Workers(po.Workers)
+	zs := []parallel.Span{{Start: 0, Size: f.NZ}}
+	if slabs > 1 {
+		if zs, err = parallel.Partition(f.NZ, slabs); err != nil {
+			return Result{}, err
+		}
+	}
+	rawBytes := int64(len(f.U)+len(f.V)+len(f.W)) * 4
+	plane := f.NX * f.NY
+	return slabRun("shm.compress3d", rawBytes, slabs, workers, po.Tel,
+		func(i int, span *telemetry.Span) ([]byte, core.Stats, error) {
+			sz := zs[i]
+			n := plane * sz.Size
+			bu := make([]float32, n)
+			bv := make([]float32, n)
+			bw := make([]float32, n)
+			copy(bu, f.U[sz.Start*plane:][:n])
+			copy(bv, f.V[sz.Start*plane:][:n])
+			copy(bw, f.W[sz.Start*plane:][:n])
+			o := opts
+			o.Tel = po.Tel
+			o.TelSpan = span
+			blk := core.Block3D{
+				NX: f.NX, NY: f.NY, NZ: sz.Size, U: bu, V: bv, W: bw,
+				Transform: tr, Opts: o,
+				GlobalZ0: sz.Start,
+				GlobalNX: f.NX, GlobalNY: f.NY, GlobalNZ: f.NZ,
+				LosslessBorder: slabs > 1,
+			}
+			blk.Neighbor[core.SideMinZ] = i > 0
+			blk.Neighbor[core.SideMaxZ] = i < slabs-1
+			enc, err := core.NewEncoder3D(blk)
+			if err != nil {
+				return nil, core.Stats{}, err
+			}
+			enc.Run()
+			blob, err := enc.Finish()
+			st := enc.Stats()
+			enc.Close()
+			return blob, st, err
+		})
+}
+
+// Decompress2D decodes a Compress2D container, fanning the slab decodes
+// over `workers` goroutines (<= 0 means GOMAXPROCS) and stitching the
+// slabs back along Y. The result is identical for any worker count.
+func Decompress2D(data []byte, workers int) (*field.Field2D, error) {
+	r, err := archive.NewReader(data)
+	if err != nil {
+		return nil, err
+	}
+	n := r.Steps()
+	if n == 0 {
+		return nil, errors.New("shm: empty container")
+	}
+	fields := make([]*field.Field2D, n)
+	errs := make([]error, n)
+	pool.Do(pool.Workers(workers), n, func(i int) {
+		blob, err := r.Blob(i)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		fields[i], errs[i] = core.Decompress2D(blob)
+	})
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("shm: slab %d: %w", i, err)
+		}
+	}
+	nx, ny := fields[0].NX, 0
+	for i, bf := range fields {
+		if bf.NX != nx {
+			return nil, fmt.Errorf("shm: slab %d width %d != %d", i, bf.NX, nx)
+		}
+		ny += bf.NY
+	}
+	out := field.NewField2D(nx, ny)
+	row := 0
+	for _, bf := range fields {
+		copy(out.U[row*nx:], bf.U)
+		copy(out.V[row*nx:], bf.V)
+		row += bf.NY
+	}
+	return out, nil
+}
+
+// Decompress3D decodes a Compress3D container, stitching along Z.
+func Decompress3D(data []byte, workers int) (*field.Field3D, error) {
+	r, err := archive.NewReader(data)
+	if err != nil {
+		return nil, err
+	}
+	n := r.Steps()
+	if n == 0 {
+		return nil, errors.New("shm: empty container")
+	}
+	fields := make([]*field.Field3D, n)
+	errs := make([]error, n)
+	pool.Do(pool.Workers(workers), n, func(i int) {
+		blob, err := r.Blob(i)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		fields[i], errs[i] = core.Decompress3D(blob)
+	})
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("shm: slab %d: %w", i, err)
+		}
+	}
+	nx, ny, nz := fields[0].NX, fields[0].NY, 0
+	for i, bf := range fields {
+		if bf.NX != nx || bf.NY != ny {
+			return nil, fmt.Errorf("shm: slab %d plane %dx%d != %dx%d", i, bf.NX, bf.NY, nx, ny)
+		}
+		nz += bf.NZ
+	}
+	out := field.NewField3D(nx, ny, nz)
+	plane := nx * ny
+	z := 0
+	for _, bf := range fields {
+		copy(out.U[z*plane:], bf.U)
+		copy(out.V[z*plane:], bf.V)
+		copy(out.W[z*plane:], bf.W)
+		z += bf.NZ
+	}
+	return out, nil
+}

@@ -1,0 +1,173 @@
+package shm
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/archive"
+	"repro/internal/core"
+	"repro/internal/cp"
+	"repro/internal/datagen"
+	"repro/internal/fixed"
+)
+
+// TestShmDeterministic is the pipeline's core guarantee: the output
+// container is a function of (field, transform, options, slab count)
+// only — the worker count changes wall time, never bytes.
+func TestShmDeterministic(t *testing.T) {
+	t.Run("2d", func(t *testing.T) {
+		f := datagen.Ocean(96, 72)
+		tr, err := fixed.Fit(f.U, f.V)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := core.Options{Tau: 0.01, Spec: core.ST2}
+		var ref []byte
+		for _, workers := range []int{1, 2, 4, 8} {
+			res, err := Compress2D(f, tr, opts, Options{Workers: workers, Slabs: 6})
+			if err != nil {
+				t.Fatalf("workers=%d: %v", workers, err)
+			}
+			if ref == nil {
+				ref = res.Blob
+				continue
+			}
+			if !bytes.Equal(res.Blob, ref) {
+				t.Fatalf("workers=%d output differs from workers=1 (%d vs %d bytes)",
+					workers, len(res.Blob), len(ref))
+			}
+		}
+	})
+	t.Run("3d", func(t *testing.T) {
+		f := datagen.Nek5000(20, 20, 24)
+		tr, err := fixed.Fit(f.U, f.V, f.W)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := core.Options{Tau: 0.01}
+		var ref []byte
+		for _, workers := range []int{1, 3, 8} {
+			res, err := Compress3D(f, tr, opts, Options{Workers: workers, Slabs: 5})
+			if err != nil {
+				t.Fatalf("workers=%d: %v", workers, err)
+			}
+			if ref == nil {
+				ref = res.Blob
+				continue
+			}
+			if !bytes.Equal(res.Blob, ref) {
+				t.Fatalf("workers=%d output differs from workers=1", workers)
+			}
+		}
+	})
+}
+
+func TestShmRoundTrip2D(t *testing.T) {
+	f := datagen.Ocean(80, 64)
+	tr, err := fixed.Fit(f.U, f.V)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const tau = 0.02
+	opts := core.Options{Tau: tau, Spec: core.ST2}
+	res, err := Compress2D(f, tr, opts, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !archive.IsArchive(res.Blob) {
+		t.Fatal("shm output is not an archive container")
+	}
+	g, err := Decompress2D(res.Blob, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NX != f.NX || g.NY != f.NY {
+		t.Fatalf("dims %dx%d, want %dx%d", g.NX, g.NY, f.NX, f.NY)
+	}
+	// Interior vertices follow the pipeline's relaxed-bound contract, but
+	// the detection result must be preserved exactly.
+	orig := cp.DetectField2D(f, tr)
+	rep := cp.Compare(orig, cp.DetectField2D(g, tr))
+	if !rep.Preserved() {
+		t.Fatalf("critical points not preserved: %+v", rep)
+	}
+	if res.Ratio() <= 1 {
+		t.Errorf("ratio %.2f, want > 1", res.Ratio())
+	}
+}
+
+func TestShmRoundTrip3D(t *testing.T) {
+	f := datagen.Hurricane(24, 24, 20)
+	tr, err := fixed.Fit(f.U, f.V, f.W)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := core.Options{Tau: 0.02}
+	res, err := Compress3D(f, tr, opts, Options{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Decompress3D(res.Blob, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NX != f.NX || g.NY != f.NY || g.NZ != f.NZ {
+		t.Fatalf("dims %dx%dx%d, want %dx%dx%d", g.NX, g.NY, g.NZ, f.NX, f.NY, f.NZ)
+	}
+	orig := cp.DetectField3D(f, tr)
+	rep := cp.Compare(orig, cp.DetectField3D(g, tr))
+	if !rep.Preserved() {
+		t.Fatalf("critical points not preserved: %+v", rep)
+	}
+}
+
+// TestShmSingleSlab pins the degenerate decomposition: one slab has no
+// lossless borders, so its block stream is exactly the single-node
+// compressor's output wrapped in the container.
+func TestShmSingleSlab(t *testing.T) {
+	f := datagen.Ocean(48, 40)
+	tr, err := fixed.Fit(f.U, f.V)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := core.Options{Tau: 0.01}
+	res, err := Compress2D(f, tr, opts, Options{Slabs: 1, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := archive.NewReader(res.Blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Steps() != 1 {
+		t.Fatalf("steps = %d, want 1", r.Steps())
+	}
+	single, err := core.CompressField2D(f, tr, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, _ := r.Blob(0)
+	if !bytes.Equal(blob, single) {
+		t.Fatal("single-slab block differs from the single-node compressor output")
+	}
+}
+
+func TestShmSlabValidation(t *testing.T) {
+	f := datagen.Ocean(16, 8)
+	tr, err := fixed.Fit(f.U, f.V)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Compress2D(f, tr, core.Options{Tau: 0.01}, Options{Slabs: 5}); err == nil {
+		t.Fatal("expected error: 8 planes cannot form 5 slabs of >=2")
+	}
+}
+
+func TestDefaultSlabs(t *testing.T) {
+	cases := map[int]int{1: 1, 4: 1, 7: 1, 8: 2, 64: 16, 288: 16, 1000: 16}
+	for n, want := range cases {
+		if got := DefaultSlabs(n); got != want {
+			t.Errorf("DefaultSlabs(%d) = %d, want %d", n, got, want)
+		}
+	}
+}

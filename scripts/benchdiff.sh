@@ -1,0 +1,50 @@
+#!/bin/sh
+# benchdiff.sh OLD NEW — compare two `go test -bench -benchmem` logs.
+#
+# For every benchmark name appearing in both files it averages the
+# repeated -count runs and prints the geomean-style delta for time/op,
+# bytes/op and allocs/op. Pure POSIX sh + awk so it runs in the CI
+# container without installing golang.org/x/perf/cmd/benchstat.
+set -eu
+
+if [ $# -ne 2 ]; then
+    echo "usage: $0 old.txt new.txt" >&2
+    exit 2
+fi
+
+printf '%-34s %15s %15s %9s %14s %9s %12s %9s\n' \
+    benchmark 'old ns/op' 'new ns/op' delta 'new B/op' delta allocs/op delta
+
+awk -v oldfile="$1" -v newfile="$2" '
+function collect(file, ns, by, al, cnt,    line, parts, name, i, n) {
+    while ((getline line < file) > 0) {
+        if (line !~ /^Benchmark/) continue
+        n = split(line, parts, /[ \t]+/)
+        name = parts[1]
+        for (i = 2; i <= n; i++) {
+            if (parts[i] == "ns/op")     ns[name] += parts[i-1]
+            if (parts[i] == "B/op")      by[name] += parts[i-1]
+            if (parts[i] == "allocs/op") al[name] += parts[i-1]
+        }
+        cnt[name]++
+    }
+    close(file)
+}
+function fmtdelta(o, n) {
+    if (o == 0) return "   n/a"
+    return sprintf("%+6.1f%%", (n - o) * 100.0 / o)
+}
+BEGIN {
+    collect(oldfile, ons, oby, oal, ocnt)
+    collect(newfile, nns, nby, nal, ncnt)
+    for (name in ocnt) {
+        if (!(name in ncnt)) continue
+        o_ns = ons[name] / ocnt[name]; n_ns = nns[name] / ncnt[name]
+        o_by = oby[name] / ocnt[name]; n_by = nby[name] / ncnt[name]
+        o_al = oal[name] / ocnt[name]; n_al = nal[name] / ncnt[name]
+        printf "%-34s %15.0f %15.0f %9s %14.0f %9s %12.0f %9s\n",
+            name, o_ns, n_ns, fmtdelta(o_ns, n_ns),
+            n_by, fmtdelta(o_by, n_by),
+            n_al, fmtdelta(o_al, n_al)
+    }
+}' | sort
