@@ -2,7 +2,7 @@ GO ?= go
 
 # Tier-1 gate: what CI (and the seed) requires to stay green.
 .PHONY: check
-check: vet build test
+check: vet build test faults
 
 .PHONY: vet
 vet:
@@ -18,10 +18,31 @@ test:
 
 # Race-detector pass over the concurrently instrumented packages
 # (telemetry counters, simulated MPI ranks, distributed strategies, the
-# shared-memory pipeline) and the compression kernel they drive.
+# shared-memory pipeline — including its faultinject-instrumented retry
+# and degradation tests) and the compression kernel they drive.
 .PHONY: race
 race:
-	$(GO) test -race ./internal/telemetry/ ./internal/mpi/ ./internal/parallel/ ./internal/core/ ./internal/shm/...
+	$(GO) test -race ./internal/telemetry/ ./internal/mpi/ ./internal/parallel/ ./internal/core/ ./internal/shm/... ./internal/faultinject/
+
+# Fault soak: fault-injected pipeline runs plus the stream-integrity
+# tests. Every run must end in a typed error, a degradation report with
+# correct output, or bytes identical to a clean run — never a panic,
+# never silent corruption.
+.PHONY: faults
+faults:
+	$(GO) test -count=1 -run 'Fault|Integrity|Corrupt|Degrad|Straggler|Timeout|Fuzz|Checksum|Verify' \
+		. ./internal/faultinject/ ./internal/integrity/ ./internal/archive/ \
+		./internal/shm/ ./internal/mpi/ ./internal/parallel/ ./internal/core/
+
+# Short coverage-guided fuzzing of every decode surface. Raise FUZZTIME
+# for a real session; `go test -fuzz` takes one target per invocation.
+FUZZTIME ?= 5s
+.PHONY: fuzz
+fuzz:
+	$(GO) test -fuzz=FuzzDecompress2D -fuzztime=$(FUZZTIME) ./internal/core/
+	$(GO) test -fuzz=FuzzDecompress3D -fuzztime=$(FUZZTIME) ./internal/core/
+	$(GO) test -fuzz=FuzzArchiveDecode -fuzztime=$(FUZZTIME) ./internal/archive/
+	$(GO) test -fuzz=FuzzContainerDecompress -fuzztime=$(FUZZTIME) ./internal/shm/
 
 # Coverage gate for the compression kernel: fails below COVER_MIN%.
 COVER_MIN ?= 85

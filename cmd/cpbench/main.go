@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/faultinject"
 	"repro/internal/telemetry"
 )
 
@@ -39,10 +40,16 @@ func main() {
 	csvDir := flag.String("csv", "", "when set, also write each table as CSV into this directory")
 	metricsDir := flag.String("metrics", "", "when set, write per-experiment telemetry JSON into this directory")
 	baselineOut := flag.String("baseline-out", "BENCH_baseline.json", "output path of the baseline command")
+	faults := flag.String("faults", "", "fault-injection spec for the shm experiment, e.g. seed=7,panic=0.2")
 	flag.Parse()
 
+	inj, err := faultinject.Parse(*faults)
+	if err != nil {
+		fatal(err)
+	}
 	cfg := experiments.Config{
 		NekN: *nek, RDNekN: *rdnek, TurbBlock: *turb, TauRel: *tau,
+		Faults: inj,
 	}
 	for _, part := range strings.Split(*fig9grids, ",") {
 		g, err := strconv.Atoi(strings.TrimSpace(part))

@@ -25,6 +25,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -39,8 +40,10 @@ import (
 	"repro/internal/core"
 	"repro/internal/cp"
 	"repro/internal/datagen"
+	"repro/internal/faultinject"
 	"repro/internal/field"
 	"repro/internal/fixed"
+	"repro/internal/integrity"
 	"repro/internal/shm"
 	"repro/internal/telemetry"
 )
@@ -71,6 +74,12 @@ func main() {
 		os.Exit(2)
 	}
 	if err != nil {
+		// Checksum failures get their own diagnosis line: the input is
+		// damaged data, not a usage or format mistake.
+		var ie *integrity.IntegrityError
+		if errors.As(err, &ie) {
+			fmt.Fprintln(os.Stderr, "topozip: input failed its integrity check; the file is corrupt")
+		}
 		fmt.Fprintln(os.Stderr, "topozip:", err)
 		os.Exit(1)
 	}
@@ -196,9 +205,17 @@ func cmdCompress(args []string) error {
 	metrics := fs.String("metrics", "", "write telemetry (span tree + counters) as JSON to this file")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the compression to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile taken after compression to this file")
+	faults := fs.String("faults", "", "fault-injection spec for the shm path, e.g. seed=7,panic=0.2,bitflip=0.01 (default: $"+faultinject.EnvVar+")")
 	fs.Parse(args)
 	if *in == "" || *out == "" || *dimsFlag == "" {
 		return fmt.Errorf("-in, -dims and -out are required")
+	}
+	inj, err := faultinject.Parse(*faults)
+	if err != nil {
+		return err
+	}
+	if *faults == "" {
+		inj = faultinject.FromEnv(os.LookupEnv)
 	}
 	dims, err := parseDims(*dimsFlag)
 	if err != nil {
@@ -228,6 +245,10 @@ func cmdCompress(args []string) error {
 		defer pprof.StopCPUProfile()
 	}
 	useShm := *workers != 0 || *slabs > 0
+	if inj != nil && !useShm {
+		return fmt.Errorf("-faults needs the shared-memory path; add -workers or -slabs")
+	}
+	shmOpts := shm.Options{Workers: *workers, Slabs: *slabs, Tel: tel, Faults: inj}
 	var blob []byte
 	var st core.Stats
 	var rawBytes int
@@ -245,7 +266,7 @@ func cmdCompress(args []string) error {
 		opts := core.Options{Tau: t, Spec: spec, Tel: tel}
 		rawBytes = 8 * len(f2.U)
 		if useShm {
-			shmRes, err = shm.Compress2D(f2, tr, opts, shm.Options{Workers: *workers, Slabs: *slabs, Tel: tel})
+			shmRes, err = shm.Compress2D(f2, tr, opts, shmOpts)
 			blob, st, wall = shmRes.Blob, shmRes.Stats, shmRes.Wall
 		} else {
 			start := time.Now()
@@ -264,7 +285,7 @@ func cmdCompress(args []string) error {
 		opts := core.Options{Tau: t, Spec: spec, Tel: tel}
 		rawBytes = 12 * len(f3.U)
 		if useShm {
-			shmRes, err = shm.Compress3D(f3, tr, opts, shm.Options{Workers: *workers, Slabs: *slabs, Tel: tel})
+			shmRes, err = shm.Compress3D(f3, tr, opts, shmOpts)
 			blob, st, wall = shmRes.Blob, shmRes.Stats, shmRes.Wall
 		} else {
 			start := time.Now()
@@ -288,6 +309,12 @@ func cmdCompress(args []string) error {
 		rawBytes, len(blob), float64(rawBytes)/float64(len(blob)), spec, mbps)
 	if useShm {
 		fmt.Printf("shm pipeline: %d slabs on %d workers\n", shmRes.Slabs, shmRes.Workers)
+		if inj != nil {
+			fmt.Printf("fault injection: fired %v\n", inj.Report())
+			if rep := shmRes.DegradationReport(); rep != "" {
+				fmt.Println(rep)
+			}
+		}
 	}
 	fmt.Printf("vertices %d: %d lossless, %d relaxed, %d literal escapes; speculation %d trials / %d fails / %d cutoffs\n",
 		st.Vertices, st.Lossless, st.Relaxed, st.Literals, st.SpecTrials, st.SpecFails, st.SpecCutoffs)

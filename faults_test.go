@@ -1,0 +1,211 @@
+package repro
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/cp"
+	"repro/internal/faultinject"
+	"repro/internal/fixed"
+	"repro/internal/integrity"
+	"repro/internal/mpi"
+	"repro/internal/parallel"
+	"repro/internal/shm"
+)
+
+// TestFaultSoak sweeps seeds over the fault-injected pipeline and pins
+// the failure contract end to end: every run must finish with a clean
+// typed error or with correct output (byte-equal to a clean run, or
+// topology-preserving when slabs degraded to lossless) — never a panic,
+// never silently corrupted data. This is the `make faults` gate.
+func TestFaultSoak(t *testing.T) {
+	seeds := 8
+	if testing.Short() {
+		seeds = 3
+	}
+
+	// Recoverable faults: injected worker panics are retried and, when
+	// persistent, degrade the slab to the lossless escape encoding. The
+	// run must complete and the decoded field must preserve all critical
+	// points; with no degradation the container is byte-equal to clean.
+	t.Run("shm-panic", func(t *testing.T) {
+		for seed := int64(0); seed < int64(seeds); seed++ {
+			rng := rand.New(rand.NewSource(4000 + seed))
+			f := randomField2D(rng, 40+rng.Intn(24), 36+rng.Intn(16))
+			tr, err := fixed.Fit(f.U, f.V)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opts := core.Options{Tau: 0.02, Spec: core.ST2}
+			po := shm.Options{Slabs: 4, MaxAttempts: 3, RetryBackoff: time.Microsecond}
+			clean, err := shm.Compress2D(f, tr, opts, po)
+			if err != nil {
+				t.Fatalf("seed %d: clean run: %v", seed, err)
+			}
+			po.Faults = faultinject.New(faultinject.Config{
+				Seed: uint64(seed),
+				Prob: [4]float64{faultinject.KindPanic: 0.5},
+			})
+			res, err := shm.Compress2D(f, tr, opts, po)
+			if err != nil {
+				t.Fatalf("seed %d: faulted run must degrade, not fail: %v", seed, err)
+			}
+			if len(res.Degraded) == 0 && !bytes.Equal(res.Blob, clean.Blob) {
+				t.Fatalf("seed %d: no degradation but bytes differ from clean run", seed)
+			}
+			g, err := shm.Decompress2D(res.Blob, 0)
+			if err != nil {
+				t.Fatalf("seed %d: decode: %v", seed, err)
+			}
+			rep := cp.Compare(cp.DetectField2D(f, tr), cp.DetectField2D(g, tr))
+			if !rep.Preserved() {
+				t.Fatalf("seed %d: critical points lost (degraded=%v): %+v",
+					seed, res.Degraded, rep)
+			}
+		}
+	})
+
+	// Data corruption: injected bit flips and truncations of slab blobs
+	// must surface as errors on decode — a successful decode is only
+	// acceptable when it is byte-identical to the clean run's output
+	// (i.e. the corruption missed). At least one seed must exercise the
+	// CRC path with a typed *integrity.IntegrityError.
+	t.Run("shm-corruption", func(t *testing.T) {
+		typed := 0
+		for seed := int64(0); seed < int64(seeds); seed++ {
+			rng := rand.New(rand.NewSource(5000 + seed))
+			f := randomField2D(rng, 40+rng.Intn(24), 36+rng.Intn(16))
+			tr, err := fixed.Fit(f.U, f.V)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opts := core.Options{Tau: 0.02}
+			po := shm.Options{Slabs: 4}
+			clean, err := shm.Compress2D(f, tr, opts, po)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := shm.Decompress2D(clean.Blob, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			kind := faultinject.KindBitFlip
+			if seed%2 == 1 {
+				kind = faultinject.KindTruncate
+			}
+			var prob [4]float64
+			prob[kind] = 1
+			inj := faultinject.New(faultinject.Config{
+				Seed:     uint64(seed),
+				Prob:     prob,
+				MaxFires: 1,
+			})
+			po.Faults = inj
+			res, err := shm.Compress2D(f, tr, opts, po)
+			if err != nil {
+				t.Fatalf("seed %d: compress: %v", seed, err)
+			}
+			if inj.Fired(kind) == 0 {
+				t.Fatalf("seed %d: injector never fired at p=1", seed)
+			}
+			g, err := shm.Decompress2D(res.Blob, 0)
+			if err != nil {
+				var ie *integrity.IntegrityError
+				if errors.As(err, &ie) {
+					if ie.Slab < 0 {
+						t.Fatalf("seed %d: integrity error without slab: %v", seed, ie)
+					}
+					typed++
+				}
+				continue // clean typed error: contract satisfied
+			}
+			if !bytes.Equal(float32Bytes(g.U), float32Bytes(want.U)) ||
+				!bytes.Equal(float32Bytes(g.V), float32Bytes(want.V)) {
+				t.Fatalf("seed %d: silent corruption: decode succeeded with wrong data", seed)
+			}
+		}
+		if typed == 0 {
+			t.Fatal("no seed surfaced a typed IntegrityError; CRC path untested")
+		}
+	})
+
+	// Message faults: delayed ghost-exchange deliveries in the simulated
+	// MPI driver must be ridden out by the receive deadline/retry policy
+	// (byte-equal output, stragglers counted) or, past the retry budget,
+	// fail with a typed *mpi.TimeoutError.
+	t.Run("mpi-delay", func(t *testing.T) {
+		mseeds := seeds / 2
+		if mseeds < 2 {
+			mseeds = 2
+		}
+		for seed := int64(0); seed < int64(mseeds); seed++ {
+			rng := rand.New(rand.NewSource(6000 + seed))
+			f := randomField2D(rng, 48, 48)
+			tr, err := parallel.GlobalTransform2D(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opts := core.Options{Tau: 0.01}
+			grid := parallel.Grid2D{PX: 2, PY: 2}
+			clean, err := parallel.CompressDistributed2D(f, tr, opts, grid,
+				parallel.RatioOriented, mpi.Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := parallel.CompressDistributed2D(f, tr, opts, grid,
+				parallel.RatioOriented, mpi.Config{
+					Inject: faultinject.New(faultinject.Config{
+						Seed:  uint64(seed),
+						Prob:  [4]float64{faultinject.KindDelay: 0.5},
+						Delay: 4 * time.Millisecond,
+					}),
+					RecvTimeout: 2 * time.Millisecond,
+					RecvRetries: 50,
+				})
+			if err != nil {
+				t.Fatalf("seed %d: delays within the retry budget must recover: %v", seed, err)
+			}
+			for r := range clean.Blobs {
+				if !bytes.Equal(res.Blobs[r], clean.Blobs[r]) {
+					t.Fatalf("seed %d: rank %d bytes differ after recovery", seed, r)
+				}
+			}
+		}
+		// Unrecoverable: delay far past the whole deadline budget.
+		f := randomField2D(rand.New(rand.NewSource(6999)), 48, 48)
+		tr, err := parallel.GlobalTransform2D(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = parallel.CompressDistributed2D(f, tr, core.Options{Tau: 0.01},
+			parallel.Grid2D{PX: 2, PY: 2}, parallel.RatioOriented, mpi.Config{
+				Inject: faultinject.New(faultinject.Config{
+					Seed:  1,
+					Prob:  [4]float64{faultinject.KindDelay: 1},
+					Delay: 200 * time.Millisecond,
+				}),
+				RecvTimeout: time.Millisecond,
+				RecvRetries: 1,
+			})
+		var te *mpi.TimeoutError
+		if !errors.As(err, &te) {
+			t.Fatalf("want *mpi.TimeoutError past the retry budget, got %v", err)
+		}
+	})
+}
+
+// float32Bytes views a float32 slice as its byte representation for
+// exact (bit-level) comparison.
+func float32Bytes(v []float32) []byte {
+	b := make([]byte, 0, 4*len(v))
+	for _, f := range v {
+		u := math.Float32bits(f)
+		b = append(b, byte(u), byte(u>>8), byte(u>>16), byte(u>>24))
+	}
+	return b
+}

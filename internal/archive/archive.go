@@ -9,10 +9,14 @@
 //
 //	magic "SCAR" | version u8 | step count uvarint
 //	per step: blob length uvarint
+//	version >= 2: per step CRC32C u32, then head CRC32C u32 over all
+//	preceding bytes
 //	concatenated blobs
 //
 // Blobs are the self-describing outputs of core.Compress2D/3D, so the
-// archive itself needs no field metadata.
+// archive itself needs no field metadata. Version-2 archives checksum the
+// index and every blob with CRC32C (Castagnoli); version-1 archives (the
+// seed format) remain readable without integrity checks.
 package archive
 
 import (
@@ -24,11 +28,15 @@ import (
 	"repro/internal/core"
 	"repro/internal/field"
 	"repro/internal/fixed"
+	"repro/internal/integrity"
 )
 
 var magic = [4]byte{'S', 'C', 'A', 'R'}
 
-const version = 1
+const (
+	version1 = 1 // seed layout, no checksums
+	version2 = 2 // adds per-blob and head CRC32C
+)
 
 // Writer streams an archive to an io.Writer. Steps are buffered until
 // Close because the index precedes the data.
@@ -148,15 +156,21 @@ func (a *Writer) Append3DTemporal(f *field.Field3D, opts core.Options) error {
 	return nil
 }
 
-// Close writes the archive.
+// Close writes the archive in the current (version 2) layout: the index
+// carries a CRC32C per blob and a head CRC over the index itself, so a
+// reader can attribute corruption to the index or to one specific step.
 func (a *Writer) Close() error {
 	var head []byte
 	head = append(head, magic[:]...)
-	head = append(head, version)
+	head = append(head, version2)
 	head = binary.AppendUvarint(head, uint64(len(a.blobs)))
 	for _, b := range a.blobs {
 		head = binary.AppendUvarint(head, uint64(len(b)))
 	}
+	for _, b := range a.blobs {
+		head = binary.LittleEndian.AppendUint32(head, integrity.Checksum(b))
+	}
+	head = binary.LittleEndian.AppendUint32(head, integrity.Checksum(head))
 	if _, err := a.w.Write(head); err != nil {
 		return err
 	}
@@ -182,38 +196,71 @@ var ErrCorrupt = errors.New("archive: corrupt")
 // shared-memory pipeline, false for bare core blobs. Tools use it to
 // route a file to the right decoder.
 func IsArchive(data []byte) bool {
-	return len(data) >= 5 && string(data[:4]) == string(magic[:]) && data[4] == version
+	return len(data) >= 5 && string(data[:4]) == string(magic[:]) &&
+		(data[4] == version1 || data[4] == version2)
 }
 
-// NewReader parses an archive.
+// NewReader parses an archive of either version. Version-2 archives are
+// verified eagerly — the head CRC first, then every blob CRC — so a
+// corrupted step surfaces here as a *integrity.IntegrityError naming the
+// slab rather than as garbage from a later decode (and so concurrent
+// Blob/Decode calls need no verification state).
 func NewReader(data []byte) (*Reader, error) {
-	if len(data) < 6 || string(data[:4]) != string(magic[:]) || data[4] != version {
+	if len(data) < 6 || string(data[:4]) != string(magic[:]) {
 		return nil, ErrCorrupt
 	}
-	data = data[5:]
-	n, k := binary.Uvarint(data)
-	if k <= 0 || n > uint64(len(data)) {
+	ver := data[4]
+	if ver != version1 && ver != version2 {
 		return nil, ErrCorrupt
 	}
-	data = data[k:]
+	rest := data[5:]
+	n, k := binary.Uvarint(rest)
+	if k <= 0 || n > uint64(len(rest)) {
+		return nil, ErrCorrupt
+	}
+	rest = rest[k:]
 	lengths := make([]uint64, n)
 	var total uint64
 	for i := range lengths {
-		l, k := binary.Uvarint(data)
+		l, k := binary.Uvarint(rest)
 		if k <= 0 {
 			return nil, ErrCorrupt
 		}
 		lengths[i] = l
 		total += l
-		data = data[k:]
+		rest = rest[k:]
 	}
-	if total > uint64(len(data)) {
+	var crcs []uint32
+	if ver >= version2 {
+		// Per-blob CRC table plus the head CRC over everything before it.
+		need := 4 * (int(n) + 1)
+		if uint64(len(rest)) < uint64(need) {
+			return nil, ErrCorrupt
+		}
+		crcs = make([]uint32, n)
+		for i := range crcs {
+			crcs[i] = binary.LittleEndian.Uint32(rest)
+			rest = rest[4:]
+		}
+		headLen := len(data) - len(rest) // bytes covered by the head CRC
+		want := binary.LittleEndian.Uint32(rest)
+		rest = rest[4:]
+		if err := integrity.Verify("archive", "header", -1, want, data[:headLen]); err != nil {
+			return nil, err
+		}
+	}
+	if total > uint64(len(rest)) {
 		return nil, ErrCorrupt
 	}
 	r := &Reader{blobs: make([][]byte, n)}
 	for i, l := range lengths {
-		r.blobs[i] = data[:l]
-		data = data[l:]
+		r.blobs[i] = rest[:l]
+		rest = rest[l:]
+		if crcs != nil {
+			if err := integrity.Verify("archive", "slab blob", i, crcs[i], r.blobs[i]); err != nil {
+				return nil, err
+			}
+		}
 	}
 	return r, nil
 }

@@ -1,0 +1,62 @@
+package archive
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// Reader robustness: arbitrary archive bytes must produce an error or a
+// correctly decoded series, never a panic. Seeds cover both container
+// versions plus truncations and bit flips of a valid v2 archive.
+
+func FuzzArchiveDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{'S', 'C', 'A', 'R'})
+	f.Add([]byte{'S', 'C', 'A', 'R', version1})
+	f.Add([]byte{'S', 'C', 'A', 'R', version2, 3})
+
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for s := 0; s < 3; s++ {
+		if err := w.Append2D(step2D(s, 16), core.Options{Tau: 0.1}); err != nil {
+			f.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add(valid[:len(valid)-3])
+	for _, pos := range []int{5, 9, len(valid) / 2, len(valid) - 1} {
+		mut := bytes.Clone(valid)
+		mut[pos] ^= 0x10
+		f.Add(mut)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReader(data)
+		if err != nil {
+			return
+		}
+		for step := 0; step < r.Steps(); step++ {
+			blob, err := r.Blob(step)
+			if err != nil {
+				continue
+			}
+			fld, err := core.Decompress2D(blob)
+			if err == nil && fld == nil {
+				t.Fatal("nil field without error")
+			}
+		}
+		// A reader over intact bytes must keep decoding the same series.
+		if bytes.Equal(data, valid) {
+			if _, err := r.DecodeSeries2D(); err != nil {
+				t.Fatalf("valid archive failed to decode: %v", err)
+			}
+		}
+	})
+}

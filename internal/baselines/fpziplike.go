@@ -182,7 +182,10 @@ func (z FPZIPLike) decompress(blob []byte) (ndim, nx, ny, nz int, comps [][]floa
 		return 0, 0, 0, 0, nil, err
 	}
 	bits := bitstream.NewReader(sections[2])
-	n := nx * ny * nz
+	n, err := szVertexCount(nx, ny, nz)
+	if err != nil {
+		return 0, 0, 0, 0, nil, err
+	}
 	ncomp := ndim
 	if len(classSyms) != n*ncomp {
 		return 0, 0, 0, 0, nil, errors.New("baselines: stream length mismatch")

@@ -151,7 +151,10 @@ func szDecompress(blob []byte) (ndim, nx, ny, nz int, comps [][]float32, err err
 		return 0, 0, 0, 0, nil, err
 	}
 	literals := sections[2]
-	n := nx * ny * nz
+	n, err := szVertexCount(nx, ny, nz)
+	if err != nil {
+		return 0, 0, 0, 0, nil, err
+	}
 	ncomp := ndim
 	if len(codeSyms) != n*ncomp {
 		return 0, 0, 0, 0, nil, errors.New("baselines: stream length mismatch")
@@ -237,9 +240,9 @@ func szReadHeader(b []byte, magic uint16) (ndim, nx, ny, nz int, rest []byte, er
 	bad := false
 	read := func() int {
 		v, k := binary.Uvarint(b)
-		if k <= 0 || v > 1<<28 {
+		if k <= 0 || v < 1 || v > 1<<28 {
 			bad = true
-			return 0
+			return 1
 		}
 		b = b[k:]
 		return int(v)
@@ -249,4 +252,16 @@ func szReadHeader(b []byte, magic uint16) (ndim, nx, ny, nz int, rest []byte, er
 		return 0, 0, 0, 0, nil, errors.New("baselines: bad dims")
 	}
 	return ndim, nx, ny, nz, b, nil
+}
+
+// szVertexCount returns nx·ny·nz with overflow protection: the
+// per-dimension bounds of szReadHeader still allow a product past
+// int64, which must not wrap into a small length that stream checks
+// would then trust.
+func szVertexCount(nx, ny, nz int) (int, error) {
+	p := uint64(nx) * uint64(ny) // each <= 2^28, no overflow
+	if p > 1<<40 || p > (1<<40)/uint64(nz) {
+		return 0, errors.New("baselines: field too large")
+	}
+	return int(p * uint64(nz)), nil
 }

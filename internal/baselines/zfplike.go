@@ -402,9 +402,9 @@ func (z ZFPLike) decompress(blob []byte) (ndim, nx, ny, nz int, comps [][]float3
 		blockLen *= bs
 	}
 	ncomp := ndim
-	n := nx * ny
-	if ndim == 3 {
-		n *= nz
+	n, err := szVertexCount(nx, ny, nz)
+	if err != nil {
+		return 0, 0, 0, 0, nil, err
 	}
 	comps = make([][]float32, ncomp)
 	block := make([]int64, blockLen)

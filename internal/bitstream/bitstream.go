@@ -16,6 +16,10 @@ type Writer struct {
 }
 
 // WriteBits writes the low n bits of v (n <= 57).
+//
+// The width limit is an encoder-side invariant: every caller passes a
+// compile-time or clamped width, never stream-derived data, so exceeding
+// it is a programming error and panics rather than returning an error.
 func (w *Writer) WriteBits(v uint64, n uint) {
 	if n > 57 {
 		panic("bitstream: WriteBits supports at most 57 bits per call")
@@ -61,6 +65,11 @@ func (w *Writer) Reset() {
 // ErrShortStream is returned when a read runs past the end of the data.
 var ErrShortStream = errors.New("bitstream: read past end of stream")
 
+// ErrWidth is returned when a read requests more bits than one call
+// supports — on the decode side the width can come from a corrupt
+// stream, so this is an error, not a panic.
+var ErrWidth = errors.New("bitstream: at most 57 bits per read")
+
 // Reader reads bits LSB-first from a byte slice.
 type Reader struct {
 	buf  []byte
@@ -74,10 +83,10 @@ func NewReader(data []byte) *Reader {
 	return &Reader{buf: data}
 }
 
-// ReadBits reads n bits (n <= 57).
+// ReadBits reads n bits (n <= 57); wider requests return ErrWidth.
 func (r *Reader) ReadBits(n uint) (uint64, error) {
 	if n > 57 {
-		panic("bitstream: ReadBits supports at most 57 bits per call")
+		return 0, ErrWidth
 	}
 	for r.nacc < n {
 		if r.pos >= len(r.buf) {

@@ -94,6 +94,7 @@ func TestHeaderRoundTrip(t *testing.T) {
 		Spec: ST3, Order: orderTwoPhase,
 		HasGhost: [6]bool{true, false, true, true, false, true},
 		Border:   true,
+		HasCRC:   true, PayloadCRC: 0xdeadbeef,
 	}
 	var got header
 	if err := got.unmarshal(h.marshal()); err != nil {

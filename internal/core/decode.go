@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/encoder"
 	"repro/internal/huffman"
+	"repro/internal/integrity"
 	"repro/internal/quantizer"
 )
 
@@ -74,6 +75,20 @@ func decodeFixed(blob []byte, wantDim int, prevOf func(h *header) ([][]int64, er
 	if h.NDim != wantDim {
 		return nil, nil, fmt.Errorf("core: expected %dD block, got %dD", wantDim, h.NDim)
 	}
+	// Version-2 blocks checksum the header and the entropy-coded payload;
+	// verify before decoding so a flipped bit — whether it lands in a
+	// header field or in the payload — surfaces as a typed error, never
+	// as a silently wrong field. Version-1 (seed) blocks carry no
+	// checksum and decode as before.
+	if h.HasCRC {
+		got := h.payloadChecksum(sections[1], sections[2], sections[3])
+		if got != h.PayloadCRC {
+			return nil, nil, &integrity.IntegrityError{
+				Container: "block", Section: "payload", Slab: -1,
+				Want: h.PayloadCRC, Got: got,
+			}
+		}
+	}
 	expSyms, err := huffman.Decompress(sections[1])
 	if err != nil {
 		return nil, nil, fmt.Errorf("core: bound stream: %w", err)
@@ -88,7 +103,10 @@ func decodeFixed(blob []byte, wantDim int, prevOf func(h *header) ([][]int64, er
 	if h.NDim == 3 {
 		nz = h.NZ
 	}
-	n := h.NX * h.NY * nz
+	n, err := h.vertexCount()
+	if err != nil {
+		return nil, nil, err
+	}
 	if len(expSyms) != n || len(codeSyms) != nc*n {
 		return nil, nil, errors.New("core: stream length mismatch")
 	}

@@ -23,6 +23,9 @@ func Decompress2DWithPrev(blob []byte, prev *field.Field2D) (*field.Field2D, err
 		if prev == nil || prev.NX != h.NX || prev.NY != h.NY {
 			return nil, errors.New("core: temporally predicted block needs the matching previous frame (Decompress2DWithPrev)")
 		}
+		if len(prev.U) != h.NX*h.NY || len(prev.V) != h.NX*h.NY {
+			return nil, errors.New("core: previous frame component length mismatch")
+		}
 		return prevFixed(h, [][]float32{prev.U, prev.V}), nil
 	})
 	if err != nil {

@@ -19,6 +19,10 @@ func Decompress3DWithPrev(blob []byte, prev *field.Field3D) (*field.Field3D, err
 		if prev == nil || prev.NX != h.NX || prev.NY != h.NY || prev.NZ != h.NZ {
 			return nil, errors.New("core: temporally predicted block needs the matching previous frame (Decompress3DWithPrev)")
 		}
+		n := h.NX * h.NY * h.NZ
+		if len(prev.U) != n || len(prev.V) != n || len(prev.W) != n {
+			return nil, errors.New("core: previous frame component length mismatch")
+		}
 		return prevFixed(h, [][]float32{prev.U, prev.V, prev.W}), nil
 	})
 	if err != nil {

@@ -405,6 +405,107 @@ func TestGoldenDecodeFromDisk(t *testing.T) {
 	}
 }
 
+// TestGoldenV1Decode decodes the frozen version-1 corpus under
+// testdata/golden-v1 — streams written before the payload-checksum format
+// bump — and pins the decoded fields against the v1 digests. This is the
+// backward-compatibility guarantee: pre-checksum blobs must keep decoding
+// bit for bit even though newly written blobs carry version 2 headers.
+func TestGoldenV1Decode(t *testing.T) {
+	const (
+		nx2, ny2      = 23, 17
+		nx3, ny3, nz3 = 11, 9, 8
+	)
+	type v1Case struct {
+		name   string
+		decode func(t *testing.T, blobs [][]byte) [][]float32
+	}
+	one2D := func(t *testing.T, blobs [][]byte) [][]float32 {
+		t.Helper()
+		if len(blobs) != 1 {
+			t.Fatalf("want 1 blob, got %d", len(blobs))
+		}
+		dec, err := core.Decompress2D(blobs[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		return [][]float32{dec.U, dec.V}
+	}
+	one3D := func(t *testing.T, blobs [][]byte) [][]float32 {
+		t.Helper()
+		if len(blobs) != 1 {
+			t.Fatalf("want 1 blob, got %d", len(blobs))
+		}
+		dec, err := core.Decompress3D(blobs[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		return [][]float32{dec.U, dec.V, dec.W}
+	}
+	cases := []v1Case{}
+	for _, spec := range []core.Speculation{core.NoSpec, core.ST1, core.ST2, core.ST3, core.ST4} {
+		cases = append(cases,
+			v1Case{"2d-plain-" + spec.String(), one2D},
+			v1Case{"3d-plain-" + spec.String(), one3D})
+	}
+	cases = append(cases,
+		v1Case{"2d-temporal", func(t *testing.T, blobs [][]byte) [][]float32 {
+			prev := goldenField2D(21, nx2, ny2)
+			dec, err := core.Decompress2DWithPrev(blobs[0], prev)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return [][]float32{dec.U, dec.V}
+		}},
+		v1Case{"3d-temporal", func(t *testing.T, blobs [][]byte) [][]float32 {
+			prev := goldenField3D(23, nx3, ny3, nz3)
+			dec, err := core.Decompress3DWithPrev(blobs[0], prev)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return [][]float32{dec.U, dec.V, dec.W}
+		}},
+		v1Case{"2d-border", one2D},
+		v1Case{"3d-border", one3D},
+		v1Case{"2d-twophase", func(t *testing.T, blobs [][]byte) [][]float32 {
+			dec, _, err := parallel.DecompressDistributed2D(blobs,
+				parallel.Grid2D{PX: 2, PY: 2}, 2*nx2, 2*ny2, mpi.Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return [][]float32{dec.U, dec.V}
+		}},
+		v1Case{"3d-twophase", func(t *testing.T, blobs [][]byte) [][]float32 {
+			dec, _, err := parallel.DecompressDistributed3D(blobs,
+				parallel.Grid3D{PX: 2, PY: 2, PZ: 1}, 2*nx3, 2*ny3, nz3, mpi.Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return [][]float32{dec.U, dec.V, dec.W}
+		}})
+	dir := filepath.Join("testdata", "golden-v1")
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			data, err := os.ReadFile(filepath.Join(dir, c.name+".bin"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			blobs, err := unpackBlobs(data)
+			if err != nil || len(blobs) == 0 {
+				t.Fatalf("bad v1 container: %v", err)
+			}
+			decoded := c.decode(t, blobs)
+			wantSum, err := os.ReadFile(filepath.Join(dir, c.name+".sum"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := hashDecoded(decoded); got != string(bytes.TrimSpace(wantSum)) {
+				t.Errorf("v1 decoded field digest differs from %s.sum", c.name)
+			}
+		})
+	}
+}
+
 func unpackBlobs(data []byte) ([][]byte, error) {
 	n, k := binary.Uvarint(data)
 	if k <= 0 {

@@ -5,6 +5,7 @@ import (
 	"errors"
 
 	"repro/internal/encoder"
+	"repro/internal/integrity"
 )
 
 // The self-describing block header, shared by the 2D and 3D streams: the
@@ -19,8 +20,12 @@ const (
 )
 
 const (
-	magic   = 0x5343 // "SC"
-	version = 1
+	magic = 0x5343 // "SC"
+	// version1 blocks carry no payload checksum (the seed format);
+	// version2 appends a CRC32C over the entropy-coded payload sections
+	// to the header. The encoder emits version2; the decoder reads both.
+	version1 = 1
+	version2 = 2
 )
 
 // header is the self-describing prefix of a compressed block.
@@ -35,12 +40,33 @@ type header struct {
 	HasGhost [6]bool // minX, maxX, minY, maxY, minZ, maxZ
 	Border   bool    // lossless-border mode (informational)
 	Temporal bool    // temporal prediction: decoder needs the previous frame
+	// HasCRC reports whether the block stores PayloadCRC (version >= 2).
+	// Version-1 blocks decode without integrity verification.
+	HasCRC bool
+	// PayloadCRC is the CRC32C computed by payloadChecksum: it covers
+	// the marshaled header itself (with this field zeroed) followed by
+	// the payload sections in section order, so a flipped bit in either
+	// the header or the payload surfaces as an integrity error.
+	PayloadCRC uint32
+}
+
+// payloadChecksum computes the version-2 block checksum over the header
+// bytes (checksum field zeroed) and the given payload sections. The
+// receiver is a value, so zeroing the field does not touch the caller's
+// header.
+func (h header) payloadChecksum(sections ...[]byte) uint32 {
+	h.PayloadCRC = 0
+	b := h.marshal() // the zeroed CRC field occupies the last 4 bytes
+	parts := make([][]byte, 0, 1+len(sections))
+	parts = append(parts, b[:len(b)-4])
+	parts = append(parts, sections...)
+	return integrity.Checksum(parts...)
 }
 
 func (h *header) marshal() []byte {
 	var b []byte
 	b = binary.LittleEndian.AppendUint16(b, magic)
-	b = append(b, version, byte(h.NDim))
+	b = append(b, version2, byte(h.NDim))
 	b = binary.AppendUvarint(b, uint64(h.NX))
 	b = binary.AppendUvarint(b, uint64(h.NY))
 	if h.NDim == 3 {
@@ -64,13 +90,22 @@ func (h *header) marshal() []byte {
 		flags |= 2
 	}
 	b = append(b, flags)
+	b = binary.LittleEndian.AppendUint32(b, h.PayloadCRC)
 	return b
 }
 
 var errHeader = errors.New("core: malformed header")
 
 func (h *header) unmarshal(b []byte) error {
-	if len(b) < 4 || binary.LittleEndian.Uint16(b) != magic || b[2] != version {
+	if len(b) < 4 || binary.LittleEndian.Uint16(b) != magic {
+		return errHeader
+	}
+	switch b[2] {
+	case version1:
+		h.HasCRC = false
+	case version2:
+		h.HasCRC = true
+	default:
 		return errHeader
 	}
 	h.NDim = int(b[3])
@@ -129,7 +164,31 @@ func (h *header) unmarshal(b []byte) error {
 	}
 	h.Border = b[3]&1 != 0
 	h.Temporal = b[3]&2 != 0
+	if h.HasCRC {
+		if len(b) < 8 {
+			return errHeader
+		}
+		h.PayloadCRC = binary.LittleEndian.Uint32(b[4:])
+	}
 	return nil
+}
+
+// vertexCount returns NX·NY·NZ with overflow protection: a corrupt header
+// whose per-dimension bounds pass individually must not overflow the
+// product into a small (or negative) length that later slicing trusts.
+func (h *header) vertexCount() (int, error) {
+	const maxVerts = 1 << 40
+	n := uint64(h.NX) * uint64(h.NY) // dims are each <= 2^28, no overflow
+	if n > maxVerts {
+		return 0, errHeader
+	}
+	if h.NDim == 3 {
+		if n > maxVerts/uint64(h.NZ) { // overflow-safe: n*NZ would exceed maxVerts
+			return 0, errHeader
+		}
+		n *= uint64(h.NZ)
+	}
+	return int(n), nil
 }
 
 // PeekHeader reports the dimensionality and sizes of a compressed block

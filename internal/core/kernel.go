@@ -794,7 +794,11 @@ func (k *kernel) finish() ([]byte, error) {
 	h.Border = k.blk.losslessBord
 	h.Temporal = k.temporal
 	entropy := k.tel.stage("entropy-code")
-	blob, err := encoder.Pack(h.marshal(), huffman.Compress(k.expSyms), huffman.Compress(k.codeSyms), k.literals)
+	expStream := huffman.Compress(k.expSyms)
+	codeStream := huffman.Compress(k.codeSyms)
+	h.HasCRC = true
+	h.PayloadCRC = h.payloadChecksum(expStream, codeStream, k.literals)
+	blob, err := encoder.Pack(h.marshal(), expStream, codeStream, k.literals)
 	entropy.End()
 	k.tel.finish()
 	return blob, err

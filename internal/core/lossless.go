@@ -1,0 +1,79 @@
+package core
+
+import (
+	"errors"
+
+	"repro/internal/encoder"
+	"repro/internal/field"
+	"repro/internal/fixed"
+	"repro/internal/huffman"
+	"repro/internal/quantizer"
+)
+
+// The lossless escape encoding: a degenerate but fully format-compatible
+// block in which every vertex is stored as a literal escape of its exact
+// fixed-point value. It involves no prediction, no bound derivation, no
+// speculation, and no topology code — only the fixed-point transform and
+// the container framing — which makes it the graceful-degradation target
+// of the fault-tolerant shm pipeline: if a slab's real encoder keeps
+// failing, the slab falls back to this encoding, which trivially
+// preserves every critical point (the decoder reproduces the exact
+// fixed-point values the detector runs on) at the cost of compression
+// ratio. Decompress2D/3D read the result like any other block.
+
+// losslessBlob builds the escape-only block for nc components of n
+// vertices each (raster order).
+func losslessBlob(h header, tr fixed.Transform, comps [][]float32) ([]byte, error) {
+	n := len(comps[0])
+	nc := len(comps)
+	expSyms := make([]uint32, n)
+	for i := range expSyms {
+		expSyms[i] = uint32(quantizer.LosslessSym)
+	}
+	codeSyms := make([]uint32, nc*n)
+	for i := range codeSyms {
+		codeSyms[i] = escapeSym
+	}
+	// The literal stream interleaves components per vertex, matching the
+	// decoder's raster replay.
+	literals := make([]byte, 0, 4*nc*n)
+	row := make([]int64, 1)
+	for v := 0; v < n; v++ {
+		for c := 0; c < nc; c++ {
+			tr.ToFixed(comps[c][v:v+1], row)
+			literals = appendLiteral(literals, row[0])
+		}
+	}
+	expStream := huffman.Compress(expSyms)
+	codeStream := huffman.Compress(codeSyms)
+	h.HasCRC = true
+	h.PayloadCRC = h.payloadChecksum(expStream, codeStream, literals)
+	return encoder.Pack(h.marshal(), expStream, codeStream, literals)
+}
+
+// CompressLossless2D stores f exactly (up to the fixed-point rounding all
+// paths share) as an escape-only block decodable with Decompress2D.
+func CompressLossless2D(f *field.Field2D, tr fixed.Transform) ([]byte, error) {
+	if f.NX < 2 || f.NY < 2 {
+		return nil, errors.New("core: block must be at least 2x2")
+	}
+	n := f.NX * f.NY
+	if len(f.U) != n || len(f.V) != n {
+		return nil, errors.New("core: component length mismatch")
+	}
+	h := header{NDim: 2, NX: f.NX, NY: f.NY, Shift: tr.Shift}
+	return losslessBlob(h, tr, [][]float32{f.U, f.V})
+}
+
+// CompressLossless3D is the 3D variant of CompressLossless2D.
+func CompressLossless3D(f *field.Field3D, tr fixed.Transform) ([]byte, error) {
+	if f.NX < 2 || f.NY < 2 || f.NZ < 2 {
+		return nil, errors.New("core: block must be at least 2x2x2")
+	}
+	n := f.NX * f.NY * f.NZ
+	if len(f.U) != n || len(f.V) != n || len(f.W) != n {
+		return nil, errors.New("core: component length mismatch")
+	}
+	h := header{NDim: 3, NX: f.NX, NY: f.NY, NZ: f.NZ, Shift: tr.Shift}
+	return losslessBlob(h, tr, [][]float32{f.U, f.V, f.W})
+}

@@ -514,17 +514,34 @@ func Decompress(blob []byte) (*field.Field2D, *field.Field3D, error) {
 		return nil, nil, errors.New("cpsz: bad magic")
 	}
 	ndim := int(head[2])
+	if ndim != 2 && ndim != 3 {
+		return nil, nil, errors.New("cpsz: bad dimensionality")
+	}
 	head = head[4:]
+	// Bounds-checked varint reads: a truncated buffer (k <= 0) or an
+	// absurd dimension must fail cleanly, not slice out of range or
+	// overflow the vertex-count product below.
+	var perr error
 	read := func() int {
 		v, k := binary.Uvarint(head)
+		if k <= 0 || v < 1 || v > 1<<28 {
+			perr = errors.New("cpsz: truncated or oversized header")
+			return 1
+		}
 		head = head[k:]
 		return int(v)
 	}
 	nx := read()
 	ny := read()
-	nz := 0
+	nz := 1
 	if ndim == 3 {
 		nz = read()
+	}
+	if perr != nil {
+		return nil, nil, perr
+	}
+	if p := uint64(nx) * uint64(ny); p > 1<<40 || p > (1<<40)/uint64(nz) {
+		return nil, nil, errors.New("cpsz: field too large")
 	}
 	if len(head) < 8 {
 		return nil, nil, errors.New("cpsz: truncated header")

@@ -112,6 +112,11 @@ func (a Int128) Int64() (int64, bool) {
 
 // DivFloor64 returns floor(a / d) for d > 0, saturated to
 // [math.MinInt64, math.MaxInt64] when the quotient does not fit.
+//
+// The positive-divisor check panics rather than returning an error:
+// every caller divides by a count or bound it has already proven
+// positive, so a non-positive divisor is a programming error, not a
+// reachable input state.
 func (a Int128) DivFloor64(d int64) int64 {
 	if d <= 0 {
 		panic("exact: DivFloor64 requires positive divisor")

@@ -24,6 +24,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/faultinject"
 	"repro/internal/telemetry"
 )
 
@@ -40,6 +41,10 @@ type Config struct {
 	// Tel, when non-nil, collects per-run stage spans and the engine and
 	// communication counters of every compression the experiment performs.
 	Tel *telemetry.Collector `json:"-"`
+
+	// Faults, when non-nil, injects worker/stream faults into the
+	// shared-memory scaling runs (resilience benchmarking).
+	Faults *faultinject.Injector `json:"-"`
 }
 
 // WithDefaults fills unset fields.

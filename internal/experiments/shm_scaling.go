@@ -55,7 +55,7 @@ func ShmScaling(cfg Config) (ShmResult, error) {
 		cfg.TauRel*valueRange(ocean.U, ocean.V),
 		func(tau float64, w int) (shm.Result, error) {
 			return shm.Compress2D(ocean, tr2, core.Options{Tau: tau, Spec: core.ST2, Tel: cfg.Tel},
-				shm.Options{Workers: w, Tel: cfg.Tel})
+				shm.Options{Workers: w, Tel: cfg.Tel, Faults: cfg.Faults})
 		},
 		func(blob []byte, w int) (rep cp.Report, decode time.Duration, err error) {
 			var g *field.Field2D
@@ -78,7 +78,7 @@ func ShmScaling(cfg Config) (ShmResult, error) {
 		cfg.TauRel*valueRange(hurr.U, hurr.V, hurr.W),
 		func(tau float64, w int) (shm.Result, error) {
 			return shm.Compress3D(hurr, tr3, core.Options{Tau: tau, Spec: core.ST2, Tel: cfg.Tel},
-				shm.Options{Workers: w, Tel: cfg.Tel})
+				shm.Options{Workers: w, Tel: cfg.Tel, Faults: cfg.Faults})
 		},
 		func(blob []byte, w int) (rep cp.Report, decode time.Duration, err error) {
 			var g *field.Field3D

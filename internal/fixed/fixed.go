@@ -82,6 +82,11 @@ func FromShift(shift int) Transform {
 
 // ToFixed converts src to fixed point into dst (which must have the same
 // length), rounding to nearest.
+//
+// The length check panics rather than returning an error: both slices
+// are always allocated by the caller from the same dimensions, so a
+// mismatch is a programming error, never a property of external input —
+// decode paths validate stream-derived lengths before calling this.
 func (t Transform) ToFixed(src []float32, dst []int64) {
 	if len(src) != len(dst) {
 		panic("fixed: length mismatch")
@@ -93,7 +98,8 @@ func (t Transform) ToFixed(src []float32, dst []int64) {
 
 // ToFloat converts fixed-point values back to float32 into dst.
 // Because the scale is a power of two and magnitudes are below 2^24, the
-// conversion is exact.
+// conversion is exact. Like ToFixed, the length check guards a caller
+// invariant and panics on violation.
 func (t Transform) ToFloat(src []int64, dst []float32) {
 	if len(src) != len(dst) {
 		panic("fixed: length mismatch")

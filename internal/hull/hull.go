@@ -269,7 +269,9 @@ func Decompress(blob []byte) ([]Point, error) {
 	}
 	head = head[2:]
 	nU, k := binary.Uvarint(head)
-	if k <= 0 {
+	// The count bound keeps a corrupt header from wrapping int(nU) or
+	// the 2*n stream-length product below.
+	if k <= 0 || nU > 1<<40 {
 		return nil, errors.New("hull: bad count")
 	}
 	head = head[k:]

@@ -1,0 +1,48 @@
+package integrity
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"testing"
+)
+
+func TestChecksumMatchesStdlibCastagnoli(t *testing.T) {
+	data := []byte("the quick brown fox jumps over the lazy dog")
+	want := crc32.Checksum(data, crc32.MakeTable(crc32.Castagnoli))
+	if got := Checksum(data); got != want {
+		t.Fatalf("Checksum = %08x, want %08x", got, want)
+	}
+	// Sectioned checksum equals the checksum of the concatenation.
+	if got := Checksum(data[:7], data[7:20], data[20:]); got != want {
+		t.Fatalf("sectioned Checksum = %08x, want %08x", got, want)
+	}
+	if Checksum() != 0 {
+		t.Fatal("empty checksum must be zero")
+	}
+}
+
+func TestVerify(t *testing.T) {
+	data := []byte{1, 2, 3, 4}
+	sum := Checksum(data)
+	if err := Verify("archive", "slab blob", 3, sum, data); err != nil {
+		t.Fatalf("matching checksum rejected: %v", err)
+	}
+	data[2] ^= 0x10
+	err := Verify("archive", "slab blob", 3, sum, data)
+	var ie *IntegrityError
+	if !errors.As(err, &ie) {
+		t.Fatalf("want *IntegrityError, got %T (%v)", err, err)
+	}
+	if ie.Slab != 3 || ie.Container != "archive" || ie.Want != sum {
+		t.Fatalf("bad error fields: %+v", ie)
+	}
+	// Wrapped errors stay typed.
+	wrapped := fmt.Errorf("shm: decode: %w", err)
+	if !errors.As(wrapped, &ie) {
+		t.Fatal("wrapped error lost the *IntegrityError type")
+	}
+	if got := (&IntegrityError{Container: "block", Section: "payload", Slab: -1, Want: 1, Got: 2}).Error(); got == "" {
+		t.Fatal("empty error string")
+	}
+}

@@ -180,19 +180,36 @@ func Decompress(blob []byte) (*Field, error) {
 		return nil, errors.New("isosurface: bad magic")
 	}
 	head = head[2:]
+	// Bounds-checked varint reads: truncated buffers (k <= 0) and
+	// oversized dimensions must error out before slicing or before the
+	// vertex-count product can overflow.
+	errHead := errors.New("isosurface: truncated or oversized header")
+	var perr error
 	readU := func() int {
 		v, k := binary.Uvarint(head)
+		if k <= 0 || v < 1 || v > 1<<28 {
+			perr = errHead
+			return 1
+		}
 		head = head[k:]
 		return int(v)
 	}
 	nx, ny, nz := readU(), readU(), readU()
+	if perr != nil {
+		return nil, perr
+	}
 	sv, k := binary.Varint(head)
+	if k <= 0 {
+		return nil, errHead
+	}
 	head = head[k:]
 	shift := int(sv)
 	tau, k := binary.Varint(head)
-	_ = head[k:]
-	if nx < 1 || ny < 1 || nz < 1 {
-		return nil, errors.New("isosurface: bad dims")
+	if k <= 0 {
+		return nil, errHead
+	}
+	if p := uint64(nx) * uint64(ny); p > 1<<40 || p > (1<<40)/uint64(nz) {
+		return nil, errors.New("isosurface: field too large")
 	}
 	expSyms, err := huffman.Decompress(sections[1])
 	if err != nil {

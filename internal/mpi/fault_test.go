@@ -1,0 +1,101 @@
+package mpi
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/telemetry"
+)
+
+// TestRecvTimeoutDelivers pins the no-fault path: with a deadline
+// configured but messages on time, RecvTimeout behaves exactly like Recv.
+func TestRecvTimeoutDelivers(t *testing.T) {
+	cfg := Config{Ranks: 2, RecvTimeout: time.Second, RecvRetries: 1}
+	var got []byte
+	Run(cfg, func(c *Comm) {
+		switch c.Rank {
+		case 0:
+			c.Send(1, 7, []byte("ghost"))
+		case 1:
+			b, err := c.RecvTimeout(0, 7)
+			if err != nil {
+				t.Errorf("unexpected timeout: %v", err)
+			}
+			got = b
+		}
+	})
+	if string(got) != "ghost" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+// TestRecvTimeoutStraggler injects a delivery delay longer than one
+// deadline but shorter than deadline*(retries+1): the receive must
+// succeed on a retry and mark the sender as a straggler in telemetry.
+func TestRecvTimeoutStraggler(t *testing.T) {
+	tel := telemetry.New()
+	inj := faultinject.New(faultinject.Config{
+		Seed:  1,
+		Prob:  [4]float64{faultinject.KindDelay: 1},
+		Delay: 30 * time.Millisecond,
+	})
+	cfg := Config{
+		Ranks: 2, Tel: tel, Inject: inj,
+		RecvTimeout: 10 * time.Millisecond, RecvRetries: 10,
+	}
+	Run(cfg, func(c *Comm) {
+		switch c.Rank {
+		case 0:
+			c.Send(1, 3, []byte{42})
+		case 1:
+			b, err := c.RecvTimeout(0, 3)
+			if err != nil || len(b) != 1 {
+				t.Errorf("delayed message should arrive within retries: %v", err)
+			}
+		}
+	})
+	if tel.Counter("mpi.recv_timeouts").Value() == 0 {
+		t.Fatal("timeouts not counted")
+	}
+	if tel.Counter("mpi.stragglers").Value() != 1 {
+		t.Fatalf("stragglers = %d, want 1", tel.Counter("mpi.stragglers").Value())
+	}
+}
+
+// TestRecvTimeoutDeadRank pins the give-up path: a message that never
+// arrives yields a typed *TimeoutError after deadline*(retries+1).
+func TestRecvTimeoutDeadRank(t *testing.T) {
+	cfg := Config{Ranks: 2, RecvTimeout: 5 * time.Millisecond, RecvRetries: 2}
+	Run(cfg, func(c *Comm) {
+		if c.Rank != 1 {
+			return // rank 0 sends nothing: the dead neighbor
+		}
+		_, err := c.RecvTimeout(0, 9)
+		var te *TimeoutError
+		if !errors.As(err, &te) {
+			t.Errorf("want *TimeoutError, got %v", err)
+			return
+		}
+		if te.From != 0 || te.To != 1 || te.Tag != 9 || te.Attempts != 3 {
+			t.Errorf("bad attribution: %+v", te)
+		}
+	})
+}
+
+// TestRecvInt64sTimeout exercises the typed-slice wrapper.
+func TestRecvInt64sTimeout(t *testing.T) {
+	cfg := Config{Ranks: 2, RecvTimeout: time.Second}
+	Run(cfg, func(c *Comm) {
+		switch c.Rank {
+		case 0:
+			c.SendInt64s(1, 2, []int64{-5, 1 << 40})
+		case 1:
+			vals, err := c.RecvInt64sTimeout(0, 2)
+			if err != nil || len(vals) != 2 || vals[0] != -5 || vals[1] != 1<<40 {
+				t.Errorf("got %v, %v", vals, err)
+			}
+		}
+	})
+}

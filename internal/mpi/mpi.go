@@ -16,6 +16,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/faultinject"
 	"repro/internal/telemetry"
 )
 
@@ -33,6 +34,28 @@ type Config struct {
 	// traffic, a message-size histogram, and the accumulated virtual
 	// receive-stall time.
 	Tel *telemetry.Collector
+
+	// RecvTimeout bounds the wall-clock wait of RecvTimeout-style
+	// receives; 0 disables deadlines (receives block forever, the seed
+	// behavior). Virtual time is unaffected.
+	RecvTimeout time.Duration
+	// RecvRetries is how many extra waits a timed-out receive gets
+	// before giving up with a *TimeoutError.
+	RecvRetries int
+	// Inject, when non-nil, delays message delivery in wall-clock time
+	// (soak testing only): the straggler path RecvTimeout guards.
+	Inject *faultinject.Injector
+}
+
+// TimeoutError reports a receive that exhausted its deadline and
+// retries — the simulated equivalent of a straggling or dead rank.
+type TimeoutError struct {
+	From, To, Tag, Attempts int
+}
+
+func (e *TimeoutError) Error() string {
+	return fmt.Sprintf("mpi: rank %d: receive from rank %d (tag %d) timed out after %d attempts",
+		e.To, e.From, e.Tag, e.Attempts)
 }
 
 func (c Config) withDefaults() Config {
@@ -68,6 +91,8 @@ type World struct {
 	cP2PMsgs, cP2PBytes *telemetry.Counter
 	cCollMsgs           *telemetry.Counter
 	cRecvWait           *telemetry.Counter
+	cRecvTimeouts       *telemetry.Counter
+	cStragglers         *telemetry.Counter
 	hMsgBytes           *telemetry.Histogram
 }
 
@@ -102,6 +127,8 @@ func Run(cfg Config, body func(c *Comm)) Stats {
 		w.cP2PBytes = tel.Counter("mpi.p2p.bytes")
 		w.cCollMsgs = tel.Counter("mpi.collective.msgs")
 		w.cRecvWait = tel.Counter("mpi.recv_wait_ns")
+		w.cRecvTimeouts = tel.Counter("mpi.recv_timeouts")
+		w.cStragglers = tel.Counter("mpi.stragglers")
 		w.hMsgBytes = tel.Histogram("mpi.msg_bytes")
 	}
 	var wg sync.WaitGroup
@@ -163,6 +190,10 @@ func (c *Comm) Elapsed() time.Duration { return c.clock }
 // Send transmits data to rank `to` with the given tag. Sends are
 // asynchronous (buffered); the message arrives at the receiver at
 // senderClock + latency + len/bandwidth.
+//
+// The rank checks panic rather than returning errors: destinations are
+// computed from the rank-grid topology, never from external input, so a
+// bad rank is a driver bug — matching real MPI, where it aborts the job.
 func (c *Comm) Send(to, tag int, data []byte) {
 	if to == c.Rank {
 		panic("mpi: send to self")
@@ -183,18 +214,64 @@ func (c *Comm) Send(to, tag int, data []byte) {
 		c.w.cP2PBytes.Add(int64(len(data)))
 	}
 	c.w.hMsgBytes.Observe(int64(len(data)))
-	c.w.box(mailKey{c.Rank, to, tag}) <- m
+	box := c.w.box(mailKey{c.Rank, to, tag})
+	if d := c.w.cfg.Inject.Delay(uint64(c.Rank), uint64(to), uint64(tag)); d > 0 {
+		// Injected straggler: delivery is held back in wall-clock time so
+		// the receiver's deadline/retry path actually runs. The virtual
+		// cost model is untouched — only delivery is late.
+		go func() {
+			time.Sleep(d)
+			box <- m
+		}()
+		return
+	}
+	box <- m
 }
 
 // Recv blocks until a message with the tag arrives from rank `from`, and
 // advances the virtual clock to at least its arrival time.
 func (c *Comm) Recv(from, tag int) []byte {
 	m := <-c.w.box(mailKey{from, c.Rank, tag})
+	c.arrive(m)
+	return m.data
+}
+
+func (c *Comm) arrive(m message) {
 	if m.arrival > c.clock {
 		c.w.cRecvWait.Add(int64(m.arrival - c.clock))
 		c.clock = m.arrival
 	}
-	return m.data
+}
+
+// RecvTimeout is Recv under the Config deadline: each wall-clock wait is
+// bounded by Config.RecvTimeout and retried Config.RecvRetries times; a
+// message that never shows up yields a *TimeoutError instead of hanging
+// the rank. With no configured deadline it degenerates to Recv. A wait
+// that needed at least one retry marks the sender as a straggler in
+// telemetry.
+func (c *Comm) RecvTimeout(from, tag int) ([]byte, error) {
+	if c.w.cfg.RecvTimeout <= 0 {
+		return c.Recv(from, tag), nil
+	}
+	box := c.w.box(mailKey{from, c.Rank, tag})
+	timer := time.NewTimer(c.w.cfg.RecvTimeout)
+	defer timer.Stop()
+	for attempt := 0; ; attempt++ {
+		select {
+		case m := <-box:
+			if attempt > 0 {
+				c.w.cStragglers.Inc()
+			}
+			c.arrive(m)
+			return m.data, nil
+		case <-timer.C:
+			c.w.cRecvTimeouts.Inc()
+			if attempt >= c.w.cfg.RecvRetries {
+				return nil, &TimeoutError{From: from, To: c.Rank, Tag: tag, Attempts: attempt + 1}
+			}
+			timer.Reset(c.w.cfg.RecvTimeout)
+		}
+	}
 }
 
 // SendInt64s is a convenience wrapper marshaling an int64 slice.
@@ -211,7 +288,19 @@ func (c *Comm) SendInt64s(to, tag int, vals []int64) {
 
 // RecvInt64s receives a slice sent with SendInt64s.
 func (c *Comm) RecvInt64s(from, tag int) []int64 {
-	buf := c.Recv(from, tag)
+	return unmarshalInt64s(c.Recv(from, tag))
+}
+
+// RecvInt64sTimeout is RecvInt64s under the Config deadline/retry policy.
+func (c *Comm) RecvInt64sTimeout(from, tag int) ([]int64, error) {
+	buf, err := c.RecvTimeout(from, tag)
+	if err != nil {
+		return nil, err
+	}
+	return unmarshalInt64s(buf), nil
+}
+
+func unmarshalInt64s(buf []byte) []int64 {
 	vals := make([]int64, len(buf)/8)
 	for i := range vals {
 		var u uint64

@@ -223,7 +223,14 @@ func compressDistributed(name string, ndim int, dims [3]int, rawBytes int64,
 			if r < 0 {
 				continue
 			}
-			vals := c.RecvInt64s(r, opposite(s))
+			// The deadline/retry policy of mcfg guards against straggling
+			// or wedged neighbor ranks; with no deadline configured this
+			// blocks exactly like the seed driver.
+			vals, err := c.RecvInt64sTimeout(r, opposite(s))
+			if err != nil {
+				errs[c.Rank] = err
+				return
+			}
 			if err := enc.SetGhostPlane(s, splitComps(vals, nc)); err != nil {
 				errs[c.Rank] = err
 				return
@@ -246,7 +253,11 @@ func compressDistributed(name string, ndim int, dims [3]int, rawBytes int64,
 		}
 		for ax := 0; ax < ndim; ax++ {
 			if s := 2*ax + 1; nb[s] >= 0 {
-				vals := c.RecvInt64s(nb[s], phase2TagOffset+opposite(s))
+				vals, err := c.RecvInt64sTimeout(nb[s], phase2TagOffset+opposite(s))
+				if err != nil {
+					errs[c.Rank] = err
+					return
+				}
 				if err := enc.SetGhostPlane(s, splitComps(vals, nc)); err != nil {
 					errs[c.Rank] = err
 					return

@@ -1,0 +1,219 @@
+package shm
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/cp"
+	"repro/internal/datagen"
+	"repro/internal/faultinject"
+	"repro/internal/fixed"
+	"repro/internal/integrity"
+	"repro/internal/telemetry"
+)
+
+// TestSlabPanicRetry injects intermittent worker panics and checks the
+// retry loop absorbs them: the run succeeds, and when no slab exhausted
+// its attempts the output is byte-identical to the clean run (retried
+// encodes are deterministic).
+func TestSlabPanicRetry(t *testing.T) {
+	f := datagen.Ocean(96, 72)
+	tr, err := fixed.Fit(f.U, f.V)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := core.Options{Tau: 0.01, Spec: core.ST2}
+	clean, err := Compress2D(f, tr, opts, Options{Slabs: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := faultinject.New(faultinject.Config{
+		Seed: 11,
+		Prob: [4]float64{faultinject.KindPanic: 0.4},
+	})
+	res, err := Compress2D(f, tr, opts, Options{
+		Slabs: 6, Faults: inj, MaxAttempts: 8, RetryBackoff: time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Panics == 0 || res.Retries == 0 {
+		t.Fatalf("seed 11 at p=0.4 should have injected panics, got %+v", res)
+	}
+	if len(res.Degraded) != 0 {
+		t.Fatalf("8 attempts at p=0.4 should not degrade, got %v", res.Degraded)
+	}
+	if !bytes.Equal(res.Blob, clean.Blob) {
+		t.Fatal("retried run output differs from clean run")
+	}
+	if res.DegradationReport() == "" {
+		t.Fatal("retried run should report its recoveries")
+	}
+}
+
+// TestSlabDegradationPreservesTopology makes every attempt of every slab
+// panic, forcing all slabs onto the lossless escape fallback, and checks
+// the acceptance contract of graceful degradation: the run completes,
+// reports the degradation, and the decoded output preserves every
+// critical point exactly (zero FP/FN/FT under the exact detector).
+func TestSlabDegradationPreservesTopology(t *testing.T) {
+	inj := func() *faultinject.Injector {
+		return faultinject.New(faultinject.Config{
+			Seed: 1,
+			Prob: [4]float64{faultinject.KindPanic: 1},
+		})
+	}
+	tel := telemetry.New()
+	t.Run("2d", func(t *testing.T) {
+		f := datagen.Ocean(80, 64)
+		tr, err := fixed.Fit(f.U, f.V)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Compress2D(f, tr, core.Options{Tau: 0.02, Spec: core.ST2}, Options{
+			Slabs: 5, Faults: inj(), MaxAttempts: 2, RetryBackoff: time.Microsecond, Tel: tel,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Degraded) != 5 {
+			t.Fatalf("all 5 slabs should degrade, got %v", res.Degraded)
+		}
+		if res.Ratio() >= 1 {
+			t.Logf("note: degraded ratio %.2f (lossless escapes are big)", res.Ratio())
+		}
+		g, err := Decompress2D(res.Blob, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep := cp.Compare(cp.DetectField2D(f, tr), cp.DetectField2D(g, tr))
+		if !rep.Preserved() {
+			t.Fatalf("degraded run lost critical points: %+v", rep)
+		}
+		if got := tel.Counter("shm.compress2d.slab.degraded").Value(); got != 5 {
+			t.Fatalf("degraded counter = %d, want 5", got)
+		}
+		if tel.Counter("shm.compress2d.slab.retries").Value() == 0 ||
+			tel.Counter("shm.compress2d.slab.panics").Value() == 0 {
+			t.Fatal("retry/panic counters must record the injected failures")
+		}
+	})
+	t.Run("3d", func(t *testing.T) {
+		f := datagen.Hurricane(24, 24, 20)
+		tr, err := fixed.Fit(f.U, f.V, f.W)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Compress3D(f, tr, core.Options{Tau: 0.02}, Options{
+			Slabs: 4, Faults: inj(), MaxAttempts: 2, RetryBackoff: time.Microsecond, Tel: tel,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Degraded) != 4 {
+			t.Fatalf("all 4 slabs should degrade, got %v", res.Degraded)
+		}
+		g, err := Decompress3D(res.Blob, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep := cp.Compare(cp.DetectField3D(f, tr), cp.DetectField3D(g, tr))
+		if !rep.Preserved() {
+			t.Fatalf("degraded run lost critical points: %+v", rep)
+		}
+		if got := tel.Counter("shm.compress3d.slab.degraded").Value(); got != 4 {
+			t.Fatalf("degraded counter = %d, want 4", got)
+		}
+	})
+}
+
+// TestSlabTimeoutDegrades pins the per-slab deadline: an encode that
+// blows its deadline repeatedly is abandoned and the slab degrades.
+func TestSlabTimeoutDegrades(t *testing.T) {
+	f := datagen.Ocean(64, 48)
+	tr, err := fixed.Fit(f.U, f.V)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A 1ns deadline: every real encode times out, the fallback (which
+	// runs outside the deadline) completes.
+	res, err := Compress2D(f, tr, core.Options{Tau: 0.02}, Options{
+		Slabs: 3, SlabTimeout: time.Nanosecond,
+		MaxAttempts: 2, RetryBackoff: time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Timeouts == 0 || len(res.Degraded) != 3 {
+		t.Fatalf("want timeouts and 3 degraded slabs, got %+v", res)
+	}
+	if _, err := Decompress2D(res.Blob, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSlabCorruptionDetected injects blob bit flips after encode and
+// checks decompression reports a typed integrity error naming the slab —
+// never silently wrong data.
+func TestSlabCorruptionDetected(t *testing.T) {
+	f := datagen.Ocean(96, 72)
+	tr, err := fixed.Fit(f.U, f.V)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := faultinject.New(faultinject.Config{
+		Seed: 3,
+		Prob: [4]float64{faultinject.KindBitFlip: 1},
+		// One flip is enough to prove detection and keeps the failing
+		// slab attributable.
+		MaxFires: 1,
+	})
+	res, err := Compress2D(f, tr, core.Options{Tau: 0.01}, Options{Slabs: 6, Faults: inj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inj.Fired(faultinject.KindBitFlip) != 1 {
+		t.Fatal("bit flip did not fire")
+	}
+	g, err := Decompress2D(res.Blob, 0)
+	if err == nil {
+		// The decode survived a post-encode flip only if it decoded to
+		// exactly the clean bytes, which a flipped bit cannot.
+		_ = g
+		t.Fatal("corrupted container decoded without error")
+	}
+	var ie *integrity.IntegrityError
+	if !errors.As(err, &ie) {
+		// Structural decode errors (e.g. flate framing) are acceptable
+		// typed failures too, but the common case lands in the CRC.
+		t.Logf("non-CRC typed error: %v", err)
+		return
+	}
+	if ie.Slab < 0 {
+		t.Fatalf("integrity error lacks slab attribution: %v", ie)
+	}
+}
+
+// TestSlabTruncationDetected is the truncation variant.
+func TestSlabTruncationDetected(t *testing.T) {
+	f := datagen.Ocean(64, 48)
+	tr, err := fixed.Fit(f.U, f.V)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := faultinject.New(faultinject.Config{
+		Seed:     7,
+		Prob:     [4]float64{faultinject.KindTruncate: 1},
+		MaxFires: 1,
+	})
+	res, err := Compress2D(f, tr, core.Options{Tau: 0.01}, Options{Slabs: 4, Faults: inj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decompress2D(res.Blob, 0); err == nil {
+		t.Fatal("truncated slab decoded without error")
+	}
+}

@@ -1,0 +1,52 @@
+package shm
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/fixed"
+)
+
+// Container robustness: Decompress2D over arbitrary bytes must produce
+// an error or a consistent field, never a panic — even though slab
+// decodes fan out over the worker pool. Seeds are a valid Compress2D
+// container plus truncations and bit flips of it.
+
+func FuzzContainerDecompress(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{'S', 'C', 'A', 'R', 2, 4})
+
+	fld := datagen.Ocean(48, 40)
+	tr, err := fixed.Fit(fld.U, fld.V)
+	if err != nil {
+		f.Fatal(err)
+	}
+	res, err := Compress2D(fld, tr, core.Options{Tau: 0.05}, Options{Slabs: 4, Workers: 2})
+	if err != nil {
+		f.Fatal(err)
+	}
+	valid := res.Blob
+	f.Add(valid)
+	f.Add(valid[:len(valid)/3])
+	f.Add(valid[:len(valid)-5])
+	for _, pos := range []int{4, 7, len(valid) / 2, len(valid) - 2} {
+		mut := bytes.Clone(valid)
+		mut[pos] ^= 0x08
+		f.Add(mut)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		out, err := Decompress2D(data, 2)
+		if err != nil {
+			return
+		}
+		if out == nil {
+			t.Fatal("nil field without error")
+		}
+		if len(out.U) != out.NX*out.NY || len(out.V) != out.NX*out.NY {
+			t.Fatal("inconsistent field")
+		}
+	})
+}

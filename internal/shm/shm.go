@@ -17,12 +17,15 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"strings"
 	"time"
 
 	"repro/internal/archive"
 	"repro/internal/core"
+	"repro/internal/faultinject"
 	"repro/internal/field"
 	"repro/internal/fixed"
+	"repro/internal/integrity"
 	"repro/internal/parallel"
 	"repro/internal/shm/pool"
 	"repro/internal/telemetry"
@@ -41,6 +44,35 @@ type Options struct {
 	// Tel, when non-nil, receives a run span with one child span per
 	// slab plus the per-stage engine spans underneath.
 	Tel *telemetry.Collector
+
+	// MaxAttempts bounds how often a slab encode is retried (with
+	// backoff) after a panic, error, or deadline before the slab
+	// degrades to the lossless escape encoding; <= 0 means 3.
+	MaxAttempts int
+	// RetryBackoff is the sleep before the second attempt, doubling per
+	// further attempt; <= 0 means 1ms.
+	RetryBackoff time.Duration
+	// SlabTimeout is the per-attempt deadline. A slab attempt that
+	// exceeds it is abandoned (its goroutine finishes in the background)
+	// and counted as a timeout; 0 disables the deadline.
+	SlabTimeout time.Duration
+	// Faults, when non-nil, injects worker panics and blob corruption
+	// (soak testing only). Production passes nil.
+	Faults *faultinject.Injector
+}
+
+func (o Options) maxAttempts() int {
+	if o.MaxAttempts <= 0 {
+		return 3
+	}
+	return o.MaxAttempts
+}
+
+func (o Options) retryBackoff() time.Duration {
+	if o.RetryBackoff <= 0 {
+		return time.Millisecond
+	}
+	return o.RetryBackoff
 }
 
 // Result summarizes a shared-memory compression run.
@@ -55,6 +87,23 @@ type Result struct {
 	Slabs, Workers int
 	// Wall is the real (not simulated) compression wall time.
 	Wall time.Duration
+	// Retries, Panics, and Timeouts count recovered slab failures;
+	// Degraded lists the slabs (ascending) that exhausted their attempts
+	// and fell back to the lossless escape encoding. A degraded run
+	// still decodes exactly and preserves every critical point — it only
+	// loses compression ratio on those slabs.
+	Retries, Panics, Timeouts int
+	Degraded                  []int
+}
+
+// DegradationReport renders the fault-tolerance outcome of a run, empty
+// when nothing went wrong.
+func (r Result) DegradationReport() string {
+	if r.Retries == 0 && len(r.Degraded) == 0 {
+		return ""
+	}
+	return fmt.Sprintf("shm: %d retries (%d panics, %d timeouts), %d/%d slabs degraded to lossless %v",
+		r.Retries, r.Panics, r.Timeouts, len(r.Degraded), r.Slabs, r.Degraded)
 }
 
 // Ratio returns the compression ratio.
@@ -91,11 +140,108 @@ func DefaultSlabs(nSlow int) int {
 	return s
 }
 
-// slabRun executes the common fan-out: nothing in it knows the dimension.
-// encode compresses slab i and returns its blob and stats.
-func slabRun(name string, rawBytes int64, slabs, workers int, tel *telemetry.Collector,
-	encode func(i int, span *telemetry.Span) ([]byte, core.Stats, error)) (Result, error) {
+// slabOutcome is what one slab's attempt loop produced.
+type slabOutcome struct {
+	blob     []byte
+	stats    core.Stats
+	err      error
+	retries  int
+	panics   int
+	timeouts int
+	degraded bool
+}
 
+// attemptResult carries one attempt's result out of its goroutine; a
+// fresh holder per attempt so an abandoned (timed-out) attempt cannot
+// race with the attempt that superseded it.
+type attemptResult struct {
+	blob  []byte
+	stats core.Stats
+	err   error
+}
+
+// runAttempt executes one slab encode attempt with panic containment and
+// an optional deadline. On deadline the attempt keeps running in its own
+// goroutine until it finishes (Go cannot kill it), but its result is
+// dropped.
+func runAttempt(i, attempt int, timeout time.Duration, inj *faultinject.Injector,
+	span *telemetry.Span, encode func(i int, span *telemetry.Span) ([]byte, core.Stats, error)) (attemptResult, bool) {
+
+	run := func() (res attemptResult) {
+		defer func() {
+			if r := recover(); r != nil {
+				res = attemptResult{err: fmt.Errorf("shm: slab %d attempt %d panicked: %v", i, attempt, r)}
+			}
+		}()
+		inj.MaybePanic("shm.slab", uint64(i), uint64(attempt))
+		res.blob, res.stats, res.err = encode(i, span)
+		return res
+	}
+	if timeout <= 0 {
+		return run(), false
+	}
+	ch := make(chan attemptResult, 1)
+	go func() { ch <- run() }()
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case res := <-ch:
+		return res, false
+	case <-timer.C:
+		return attemptResult{err: fmt.Errorf("shm: slab %d attempt %d exceeded deadline %v", i, attempt, timeout)}, true
+	}
+}
+
+// encodeSlab drives the bounded attempt loop for one slab: retry with
+// exponential backoff on panic/error/deadline, then degrade to the
+// lossless escape encoding so the run completes with every critical
+// point intact.
+func encodeSlab(i int, po Options, span *telemetry.Span,
+	encode func(i int, span *telemetry.Span) ([]byte, core.Stats, error),
+	fallback func(i int) ([]byte, core.Stats, error)) slabOutcome {
+
+	var out slabOutcome
+	var lastErr error
+	for attempt := 0; attempt < po.maxAttempts(); attempt++ {
+		if attempt > 0 {
+			out.retries++
+			time.Sleep(po.retryBackoff() << (attempt - 1))
+		}
+		res, timedOut := runAttempt(i, attempt, po.SlabTimeout, po.Faults, span, encode)
+		if res.err == nil {
+			out.blob, out.stats = res.blob, res.stats
+			return out
+		}
+		lastErr = res.err
+		if timedOut {
+			out.timeouts++
+		} else if isPanicErr(res.err) {
+			out.panics++
+		}
+	}
+	blob, st, err := fallback(i)
+	if err != nil {
+		out.err = fmt.Errorf("shm: slab %d failed %d attempts (last: %w) and lossless fallback failed: %v",
+			i, po.maxAttempts(), lastErr, err)
+		return out
+	}
+	out.blob, out.stats, out.degraded = blob, st, true
+	return out
+}
+
+func isPanicErr(err error) bool {
+	return err != nil && strings.Contains(err.Error(), "panicked")
+}
+
+// slabRun executes the common fan-out: nothing in it knows the dimension.
+// encode compresses slab i and returns its blob and stats; fallback is
+// the lossless escape encoder a slab degrades to after exhausting its
+// attempts.
+func slabRun(name string, rawBytes int64, slabs, workers int, po Options,
+	encode func(i int, span *telemetry.Span) ([]byte, core.Stats, error),
+	fallback func(i int) ([]byte, core.Stats, error)) (Result, error) {
+
+	tel := po.Tel
 	// Pre-create the run span and the per-slab children in slab order so
 	// the snapshot layout is deterministic regardless of scheduling.
 	var run *telemetry.Span
@@ -106,22 +252,45 @@ func slabRun(name string, rawBytes int64, slabs, workers int, tel *telemetry.Col
 			spans[i] = run.Child(fmt.Sprintf("slab%d", i))
 		}
 	}
-	blobs := make([][]byte, slabs)
-	errs := make([]error, slabs)
-	stats := make([]core.Stats, slabs)
+	outs := make([]slabOutcome, slabs)
 	start := time.Now()
 	pool.Do(workers, slabs, func(i int) {
-		blobs[i], stats[i], errs[i] = encode(i, spans[i])
+		outs[i] = encodeSlab(i, po, spans[i], encode, fallback)
+		if blob, fired := po.Faults.Corrupt(outs[i].blob, uint64(i)); fired {
+			// Simulated storage corruption: the blob is damaged after a
+			// successful encode, to be caught by the integrity checks at
+			// decode time — never retried here.
+			outs[i].blob = blob
+		}
 	})
 	wall := time.Since(start)
 	for _, sp := range spans {
 		sp.End()
 	}
 	run.End()
-	for _, err := range errs {
-		if err != nil {
-			return Result{}, err
+	var ft struct{ retries, panics, timeouts int }
+	var degraded []int
+	for i, out := range outs {
+		if out.err != nil {
+			return Result{}, out.err
 		}
+		ft.retries += out.retries
+		ft.panics += out.panics
+		ft.timeouts += out.timeouts
+		if out.degraded {
+			degraded = append(degraded, i)
+		}
+	}
+	if tel != nil {
+		tel.Counter(name + ".slab.retries").Add(int64(ft.retries))
+		tel.Counter(name + ".slab.panics").Add(int64(ft.panics))
+		tel.Counter(name + ".slab.timeouts").Add(int64(ft.timeouts))
+		tel.Counter(name + ".slab.degraded").Add(int64(len(degraded)))
+	}
+	blobs := make([][]byte, slabs)
+	stats := make([]core.Stats, slabs)
+	for i, out := range outs {
+		blobs[i], stats[i] = out.blob, out.stats
 	}
 	var buf bytes.Buffer
 	w := archive.NewWriter(&buf)
@@ -137,6 +306,10 @@ func slabRun(name string, rawBytes int64, slabs, workers int, tel *telemetry.Col
 		Slabs:    slabs,
 		Workers:  workers,
 		Wall:     wall,
+		Retries:  ft.retries,
+		Panics:   ft.panics,
+		Timeouts: ft.timeouts,
+		Degraded: degraded,
 	}
 	res.CompressedBytes = int64(len(res.Blob))
 	for _, s := range stats {
@@ -180,7 +353,7 @@ func Compress2D(f *field.Field2D, tr fixed.Transform, opts core.Options, po Opti
 		}
 	}
 	rawBytes := int64(len(f.U)+len(f.V)) * 4
-	return slabRun("shm.compress2d", rawBytes, slabs, workers, po.Tel,
+	return slabRun("shm.compress2d", rawBytes, slabs, workers, po,
 		func(i int, span *telemetry.Span) ([]byte, core.Stats, error) {
 			sy := ys[i]
 			n := f.NX * sy.Size
@@ -211,6 +384,17 @@ func Compress2D(f *field.Field2D, tr fixed.Transform, opts core.Options, po Opti
 			st := enc.Stats()
 			enc.Close()
 			return blob, st, err
+		},
+		func(i int) ([]byte, core.Stats, error) {
+			sy := ys[i]
+			n := f.NX * sy.Size
+			sub := &field.Field2D{
+				NX: f.NX, NY: sy.Size,
+				U: f.U[sy.Start*f.NX:][:n],
+				V: f.V[sy.Start*f.NX:][:n],
+			}
+			blob, err := core.CompressLossless2D(sub, tr)
+			return blob, core.Stats{}, err
 		})
 }
 
@@ -229,7 +413,7 @@ func Compress3D(f *field.Field3D, tr fixed.Transform, opts core.Options, po Opti
 	}
 	rawBytes := int64(len(f.U)+len(f.V)+len(f.W)) * 4
 	plane := f.NX * f.NY
-	return slabRun("shm.compress3d", rawBytes, slabs, workers, po.Tel,
+	return slabRun("shm.compress3d", rawBytes, slabs, workers, po,
 		func(i int, span *telemetry.Span) ([]byte, core.Stats, error) {
 			sz := zs[i]
 			n := plane * sz.Size
@@ -260,7 +444,36 @@ func Compress3D(f *field.Field3D, tr fixed.Transform, opts core.Options, po Opti
 			st := enc.Stats()
 			enc.Close()
 			return blob, st, err
+		},
+		func(i int) ([]byte, core.Stats, error) {
+			sz := zs[i]
+			n := plane * sz.Size
+			sub := &field.Field3D{
+				NX: f.NX, NY: f.NY, NZ: sz.Size,
+				U: f.U[sz.Start*plane:][:n],
+				V: f.V[sz.Start*plane:][:n],
+				W: f.W[sz.Start*plane:][:n],
+			}
+			blob, err := core.CompressLossless3D(sub, tr)
+			return blob, core.Stats{}, err
 		})
+}
+
+// firstSlabErr wraps the first per-slab decode failure with its slab
+// index, attributing block-level integrity errors (which cannot know
+// their slab) to the slab whose decode surfaced them.
+func firstSlabErr(errs []error) error {
+	for i, err := range errs {
+		if err == nil {
+			continue
+		}
+		var ie *integrity.IntegrityError
+		if errors.As(err, &ie) && ie.Slab < 0 {
+			ie.Slab = i
+		}
+		return fmt.Errorf("shm: slab %d: %w", i, err)
+	}
+	return nil
 }
 
 // Decompress2D decodes a Compress2D container, fanning the slab decodes
@@ -285,10 +498,8 @@ func Decompress2D(data []byte, workers int) (*field.Field2D, error) {
 		}
 		fields[i], errs[i] = core.Decompress2D(blob)
 	})
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("shm: slab %d: %w", i, err)
-		}
+	if err := firstSlabErr(errs); err != nil {
+		return nil, err
 	}
 	nx, ny := fields[0].NX, 0
 	for i, bf := range fields {
@@ -327,10 +538,8 @@ func Decompress3D(data []byte, workers int) (*field.Field3D, error) {
 		}
 		fields[i], errs[i] = core.Decompress3D(blob)
 	})
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("shm: slab %d: %w", i, err)
-		}
+	if err := firstSlabErr(errs); err != nil {
+		return nil, err
 	}
 	nx, ny, nz := fields[0].NX, fields[0].NY, 0
 	for i, bf := range fields {
