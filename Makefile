@@ -2,11 +2,22 @@ GO ?= go
 
 # Tier-1 gate: what CI (and the seed) requires to stay green.
 .PHONY: check
-check: vet build test faults
+check: vet lint build test faults
 
 .PHONY: vet
 vet:
 	$(GO) vet ./...
+
+# Repo-specific static analysis (internal/lint via cmd/topolint) plus
+# gofmt cleanliness. Exits non-zero on any unsuppressed finding; see
+# DESIGN.md "Static analysis and invariants" for the analyzer roster and
+# the //lint:ignore suppression contract.
+.PHONY: lint
+lint:
+	$(GO) run ./cmd/topolint ./...
+	@fmt=$$(gofmt -l .); if [ -n "$$fmt" ]; then \
+		echo "gofmt drift in:"; echo "$$fmt"; exit 1; \
+	fi
 
 .PHONY: build
 build:

@@ -3,6 +3,8 @@ package analysis
 import (
 	"math"
 	"sort"
+
+	"repro/internal/safedim"
 )
 
 // Error-distribution utilities: the paper reports maxima and PSNR, but
@@ -69,9 +71,10 @@ func min2(a, b int) int {
 // component error, normalized to the largest error (useful for
 // visualizing where relaxed/speculated regions absorbed error).
 func ErrorMap2D(origU, origV, decU, decV []float32, nx, ny int) []uint8 {
-	img := make([]uint8, nx*ny)
+	n := safedim.MustProduct(nx, ny)
+	img := make([]uint8, n)
 	maxErr := 0.0
-	errs := make([]float64, nx*ny)
+	errs := make([]float64, n)
 	for i := range errs {
 		du := math.Abs(float64(origU[i]) - float64(decU[i]))
 		dv := math.Abs(float64(origV[i]) - float64(decV[i]))

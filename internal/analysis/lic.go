@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/cp"
 	"repro/internal/field"
+	"repro/internal/safedim"
 )
 
 // LIC renders a Line Integral Convolution image of a 2D vector field: a
@@ -16,11 +17,11 @@ import (
 // The result is a grayscale image (row-major, NX×NY, values 0..255).
 func LIC(f *field.Field2D, length int, seed int64) []uint8 {
 	rng := rand.New(rand.NewSource(seed))
-	noise := make([]float64, f.NX*f.NY)
+	noise := make([]float64, len(f.U))
 	for i := range noise {
 		noise[i] = rng.Float64()
 	}
-	img := make([]uint8, f.NX*f.NY)
+	img := make([]uint8, len(f.U))
 	sample := func(x, y float64) float64 {
 		i := int(math.Round(x))
 		j := int(math.Round(y))
@@ -76,7 +77,7 @@ type RGB struct{ R, G, B uint8 }
 // and spirals blue, saddles green, centers yellow — the palette of the
 // paper's qualitative figures.
 func OverlayCriticalPoints(img []uint8, nx, ny int, pts []cp.Point) []RGB {
-	out := make([]RGB, nx*ny)
+	out := make([]RGB, safedim.MustProduct(nx, ny))
 	for i, g := range img {
 		out[i] = RGB{g, g, g}
 	}
@@ -113,7 +114,7 @@ func WritePPM(w io.Writer, img []RGB, nx, ny int) error {
 	if _, err := fmt.Fprintf(w, "P6\n%d %d\n255\n", nx, ny); err != nil {
 		return err
 	}
-	buf := make([]byte, 0, 3*len(img))
+	buf := make([]byte, 0, safedim.MustProduct(3, len(img)))
 	for _, p := range img {
 		buf = append(buf, p.R, p.G, p.B)
 	}

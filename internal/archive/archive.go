@@ -101,7 +101,7 @@ func (a *Writer) Append2DTemporal(f *field.Field2D, opts core.Options) error {
 	}
 	if a.prev2 != nil {
 		if a.prev2.NX != f.NX || a.prev2.NY != f.NY {
-			return errors.New("archive: frame dimensions changed mid-series")
+			return ErrDimsChanged
 		}
 		blk.PrevU, blk.PrevV = a.prev2.U, a.prev2.V
 	}
@@ -136,7 +136,7 @@ func (a *Writer) Append3DTemporal(f *field.Field3D, opts core.Options) error {
 	}
 	if a.prev3 != nil {
 		if a.prev3.NX != f.NX || a.prev3.NY != f.NY || a.prev3.NZ != f.NZ {
-			return errors.New("archive: frame dimensions changed mid-series")
+			return ErrDimsChanged
 		}
 		blk.PrevU, blk.PrevV, blk.PrevW = a.prev3.U, a.prev3.V, a.prev3.W
 	}
@@ -190,6 +190,13 @@ type Reader struct {
 
 // ErrCorrupt reports a malformed archive.
 var ErrCorrupt = errors.New("archive: corrupt")
+
+// ErrDimsChanged reports an appended frame whose grid dimensions differ
+// from the frames already in the series.
+var ErrDimsChanged = errors.New("archive: frame dimensions changed mid-series")
+
+// ErrStepRange reports a step index outside the archive.
+var ErrStepRange = errors.New("archive: step out of range")
 
 // IsArchive reports whether data starts with the archive container magic
 // — true for temporal series and for the slab containers of the
@@ -271,7 +278,7 @@ func (r *Reader) Steps() int { return len(r.blobs) }
 // Blob returns the raw compressed block of one step.
 func (r *Reader) Blob(step int) ([]byte, error) {
 	if step < 0 || step >= len(r.blobs) {
-		return nil, fmt.Errorf("archive: step %d out of range [0,%d)", step, len(r.blobs))
+		return nil, fmt.Errorf("%w: step %d not in [0,%d)", ErrStepRange, step, len(r.blobs))
 	}
 	return r.blobs[step], nil
 }

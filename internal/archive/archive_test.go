@@ -2,6 +2,7 @@ package archive
 
 import (
 	"bytes"
+	"errors"
 	"math"
 	"testing"
 
@@ -147,6 +148,34 @@ func TestReaderErrors(t *testing.T) {
 	data := buf.Bytes()
 	if _, err := NewReader(data[:len(data)-2]); err == nil {
 		t.Error("truncated payload must fail")
+	}
+}
+
+// TestTypedSentinels pins the error contract at the archive boundary:
+// callers must be able to distinguish failure modes with errors.Is
+// rather than by matching message strings.
+func TestTypedSentinels(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Append2DTemporal(step2D(0, 16), core.Options{Tau: 0.1}); err != nil {
+		t.Fatal(err)
+	}
+	err := w.Append2DTemporal(step2D(1, 12), core.Options{Tau: 0.1})
+	if !errors.Is(err, ErrDimsChanged) {
+		t.Errorf("mid-series dimension change: got %v, want ErrDimsChanged", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Blob(7); !errors.Is(err, ErrStepRange) {
+		t.Errorf("out-of-range step: got %v, want ErrStepRange", err)
+	}
+	if _, err := r.Blob(-1); !errors.Is(err, ErrStepRange) {
+		t.Errorf("negative step: got %v, want ErrStepRange", err)
 	}
 }
 

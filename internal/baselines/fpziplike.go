@@ -9,6 +9,7 @@ import (
 	"repro/internal/encoder"
 	"repro/internal/field"
 	"repro/internal/huffman"
+	"repro/internal/safedim"
 	"repro/internal/telemetry"
 )
 
@@ -74,7 +75,7 @@ func (z FPZIPLike) compress(ndim, nx, ny, nz int, comps [][]float32) ([]byte, er
 		return nil, fmt.Errorf("baselines: precision %d out of range", z.Precision)
 	}
 	shift := uint(32 - z.Precision)
-	n := nx * ny * nz
+	n := safedim.MustProduct(nx, ny, nz)
 	var classSyms []uint32
 	var bits bitstream.Writer
 	for _, c := range comps {

@@ -20,6 +20,7 @@ import (
 	"repro/internal/field"
 	"repro/internal/huffman"
 	"repro/internal/quantizer"
+	"repro/internal/safedim"
 	"repro/internal/telemetry"
 )
 
@@ -62,7 +63,7 @@ func szCompress(abs float64, ndim, nx, ny, nz int, comps [][]float32) ([]byte, e
 	if abs <= 0 {
 		return nil, errors.New("baselines: Abs must be positive")
 	}
-	n := nx * ny * nz
+	n := safedim.MustProduct(nx, ny, nz)
 	var codeSyms []uint32
 	var literals []byte
 	for _, c := range comps {

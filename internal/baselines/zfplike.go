@@ -68,14 +68,14 @@ func (z ZFPLike) compress(ndim, nx, ny, nz int, comps [][]float32) ([]byte, erro
 	if z.Accuracy <= 0 && (z.Precision < 1 || z.Precision > blockQ) {
 		return nil, fmt.Errorf("baselines: zfp precision %d out of range", z.Precision)
 	}
-	bs := 4 // block side
+	const bs = 4 // block side
 	bx, by, bz := ceilDiv(nx, bs), ceilDiv(ny, bs), 1
 	if ndim == 3 {
 		bz = ceilDiv(nz, bs)
 	}
 	blockLen := bs * bs
 	if ndim == 3 {
-		blockLen *= bs
+		blockLen = bs * bs * bs
 	}
 	var bits bitstream.Writer
 	block := make([]int64, blockLen)
@@ -383,7 +383,7 @@ func (z ZFPLike) decompress(blob []byte) (ndim, nx, ny, nz int, comps [][]float3
 	}
 	zz := ZFPLike{Precision: int(head[0]), Accuracy: math.Float64frombits(binary.LittleEndian.Uint64(head[1:]))}
 	bits := bitstream.NewReader(sections[1])
-	bs := 4
+	const bs = 4
 	if nx < 1 || ny < 1 || (ndim == 3 && nz < 1) {
 		return 0, 0, 0, 0, nil, errors.New("baselines: bad dims")
 	}
@@ -399,7 +399,7 @@ func (z ZFPLike) decompress(blob []byte) (ndim, nx, ny, nz int, comps [][]float3
 	}
 	blockLen := bs * bs
 	if ndim == 3 {
-		blockLen *= bs
+		blockLen = bs * bs * bs
 	}
 	ncomp := ndim
 	n, err := szVertexCount(nx, ny, nz)

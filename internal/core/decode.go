@@ -8,6 +8,7 @@ import (
 	"repro/internal/huffman"
 	"repro/internal/integrity"
 	"repro/internal/quantizer"
+	"repro/internal/safedim"
 )
 
 // The dimension-generic decoder. Decompression replays the visit order
@@ -20,7 +21,7 @@ import (
 // neighbor-facing max planes followed by a raster over those planes. A
 // 2D block passes nz == 1 (and every entry has k == 0).
 func visitOrder(nx, ny, nz int, mode orderMode, hasMaxX, hasMaxY, hasMaxZ bool) [][3]int {
-	order := make([][3]int, 0, nx*ny*nz)
+	order := make([][3]int, 0, safedim.MustProduct(nx, ny, nz))
 	phase2 := func(i, j, k int) bool {
 		return (hasMaxX && i == nx-1) || (hasMaxY && j == ny-1) || (hasMaxZ && k == nz-1)
 	}

@@ -10,6 +10,7 @@ import (
 	"repro/internal/fixed"
 	"repro/internal/huffman"
 	"repro/internal/quantizer"
+	"repro/internal/safedim"
 )
 
 // The dimension-generic compression kernel. Algorithm 2 and the ST1–ST4
@@ -272,9 +273,10 @@ func (k *kernel) borderPlane(side int) [][]int64 {
 		return nil
 	}
 	d0, d1 := k.faceDims(side)
+	plane := safedim.MustProduct(d0, d1)
 	out := make([][]int64, k.blk.nc)
 	for c := range out[:k.blk.nc] {
-		out[c] = make([]int64, d0*d1)
+		out[c] = make([]int64, plane)
 	}
 	for b := 0; b < d1; b++ {
 		for a := 0; a < d0; a++ {
@@ -808,7 +810,7 @@ func (k *kernel) finish() ([]byte, error) {
 // (available after all phases have run). Useful for in-process
 // verification without a decode round trip.
 func (k *kernel) decompressed() [][]float32 {
-	n := k.blk.nx * k.blk.ny * k.blk.nz
+	n := safedim.MustProduct(k.blk.nx, k.blk.ny, k.blk.nz)
 	out := make([][]float32, k.blk.nc)
 	for c := 0; c < k.blk.nc; c++ {
 		out[c] = make([]float32, n)

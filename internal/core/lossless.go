@@ -8,6 +8,7 @@ import (
 	"repro/internal/fixed"
 	"repro/internal/huffman"
 	"repro/internal/quantizer"
+	"repro/internal/safedim"
 )
 
 // The lossless escape encoding: a degenerate but fully format-compatible
@@ -30,13 +31,13 @@ func losslessBlob(h header, tr fixed.Transform, comps [][]float32) ([]byte, erro
 	for i := range expSyms {
 		expSyms[i] = uint32(quantizer.LosslessSym)
 	}
-	codeSyms := make([]uint32, nc*n)
+	codeSyms := make([]uint32, safedim.MustProduct(nc, n))
 	for i := range codeSyms {
 		codeSyms[i] = escapeSym
 	}
 	// The literal stream interleaves components per vertex, matching the
 	// decoder's raster replay.
-	literals := make([]byte, 0, 4*nc*n)
+	literals := make([]byte, 0, safedim.MustProduct(4, nc, n))
 	row := make([]int64, 1)
 	for v := 0; v < n; v++ {
 		for c := 0; c < nc; c++ {

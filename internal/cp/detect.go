@@ -242,7 +242,11 @@ func extract2D(mesh field.Mesh2D, c int, u, v []int64, scale float64) Point {
 		xi, yi := mesh.VertexPos(vi)
 		px[i], py[i] = float64(xi), float64(yi)
 	}
-	mu := solveBary2(fu, fv)
+	mu, ok := solveBary2(fu, fv)
+	if !ok {
+		// Singular interpolant: place the point at the centroid.
+		mu = [3]float64{1.0 / 3, 1.0 / 3, 1.0 / 3}
+	}
 	pos := [3]float64{
 		mu[0]*px[0] + mu[1]*px[1] + mu[2]*px[2],
 		mu[0]*py[0] + mu[1]*py[1] + mu[2]*py[2],
@@ -264,16 +268,19 @@ func extract2D(mesh field.Mesh2D, c int, u, v []int64, scale float64) Point {
 }
 
 // solveBary2 solves [[u0,u1,u2],[v0,v1,v2],[1,1,1]] μ = (0,0,1)ᵀ with
-// Cramer's rule. Degenerate systems return the simplex centroid weights.
-func solveBary2(u, v [3]float64) [3]float64 {
+// Cramer's rule. Degenerate systems report ok=false; callers decide how
+// to handle the singular case rather than pattern-matching a sentinel
+// weight vector (which a genuine centroid solution is indistinguishable
+// from).
+func solveBary2(u, v [3]float64) (mu [3]float64, ok bool) {
 	det := u[0]*(v[1]-v[2]) - u[1]*(v[0]-v[2]) + u[2]*(v[0]-v[1])
 	if det == 0 {
-		return [3]float64{1.0 / 3, 1.0 / 3, 1.0 / 3}
+		return mu, false
 	}
 	m0 := u[1]*v[2] - u[2]*v[1]
 	m1 := u[2]*v[0] - u[0]*v[2]
 	m2 := u[0]*v[1] - u[1]*v[0]
-	return [3]float64{m0 / det, m1 / det, m2 / det}
+	return [3]float64{m0 / det, m1 / det, m2 / det}, true
 }
 
 // extract3D computes position and type of the critical point in
@@ -289,7 +296,11 @@ func extract3D(mesh field.Mesh3D, c int, u, v, w []int64, scale float64) Point {
 		xi, yi, zi := mesh.VertexPos(vi)
 		p[0][i], p[1][i], p[2][i] = float64(xi), float64(yi), float64(zi)
 	}
-	mu := solveBary3(f)
+	mu, ok := solveBary3(f)
+	if !ok {
+		// Singular interpolant: place the point at the centroid.
+		mu = [4]float64{0.25, 0.25, 0.25, 0.25}
+	}
 	var pos [3]float64
 	for a := 0; a < 3; a++ {
 		for i := 0; i < 4; i++ {
@@ -321,7 +332,9 @@ func extract3D(mesh field.Mesh3D, c int, u, v, w []int64, scale float64) Point {
 }
 
 // solveBary3 solves the 4×4 barycentric system for a 3D simplex.
-func solveBary3(f [3][4]float64) [4]float64 {
+// Singular systems report ok=false: a centroid sentinel would collide
+// with the exact solution of a perfectly symmetric tetrahedron.
+func solveBary3(f [3][4]float64) (_ [4]float64, ok bool) {
 	// Solve [[u...],[v...],[w...],[1,1,1,1]] μ = (0,0,0,1)ᵀ by Gaussian
 	// elimination with partial pivoting.
 	var a [4][5]float64
@@ -340,7 +353,7 @@ func solveBary3(f [3][4]float64) [4]float64 {
 			}
 		}
 		if a[piv][col] == 0 {
-			return [4]float64{0.25, 0.25, 0.25, 0.25}
+			return [4]float64{}, false
 		}
 		a[col], a[piv] = a[piv], a[col]
 		for r := 0; r < 4; r++ {
@@ -357,7 +370,7 @@ func solveBary3(f [3][4]float64) [4]float64 {
 	for r := 0; r < 4; r++ {
 		mu[r] = a[r][4] / a[r][r]
 	}
-	return mu
+	return mu, true
 }
 
 func invert3(m [3][3]float64) ([3][3]float64, bool) {

@@ -21,16 +21,18 @@ func NumericalCellContains2D(mesh field.Mesh2D, c int, u, v []float32) bool {
 		fu[i] = float64(u[vi])
 		fv[i] = float64(v[vi])
 	}
-	mu := solveBary2(fu, fv)
+	// Degenerate systems (all-equal vectors) report no critical point,
+	// mirroring a typical numerical implementation.
+	mu, ok := solveBary2(fu, fv)
+	if !ok {
+		return false
+	}
 	for _, m := range mu {
 		if m < 0 || m > 1 {
 			return false
 		}
 	}
-	// Degenerate systems (all-equal vectors) report no critical point,
-	// mirroring a typical numerical implementation.
-	det := fu[0]*(fv[1]-fv[2]) - fu[1]*(fv[0]-fv[2]) + fu[2]*(fv[0]-fv[1])
-	return det != 0
+	return true
 }
 
 // NumericalCellContains3D reports whether tetrahedron c contains a zero of
@@ -43,7 +45,11 @@ func NumericalCellContains3D(mesh field.Mesh3D, c int, u, v, w []float32) bool {
 		f[1][i] = float64(v[vi])
 		f[2][i] = float64(w[vi])
 	}
-	mu := solveBary3(f)
+	// A singular system has no unique zero to report.
+	mu, ok := solveBary3(f)
+	if !ok {
+		return false
+	}
 	sum := 0.0
 	for _, m := range mu {
 		if m < 0 || m > 1 {
@@ -51,6 +57,5 @@ func NumericalCellContains3D(mesh field.Mesh3D, c int, u, v, w []float32) bool {
 		}
 		sum += m
 	}
-	// Reject the fallback output of a singular solve.
-	return sum > 0.999 && sum < 1.001 && !(mu[0] == 0.25 && mu[1] == 0.25 && mu[2] == 0.25)
+	return sum > 0.999 && sum < 1.001
 }

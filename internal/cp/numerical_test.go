@@ -1,0 +1,67 @@
+package cp
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/field"
+)
+
+// hadamardTet is a nonsingular barycentric system whose exact solution
+// is the tetrahedron centroid (0.25, 0.25, 0.25, 0.25): the rows are
+// three sign patterns of a 4×4 Hadamard matrix, so every component sums
+// to zero and Gaussian elimination stays in dyadic rationals. An earlier
+// version of solveBary3 returned the same weights as a singular-system
+// sentinel, and NumericalCellContains3D rejected them by exact float
+// equality — silently dropping this genuine critical point.
+var hadamardTet = [3][4]float64{
+	{1, -1, 1, -1},
+	{1, 1, -1, -1},
+	{1, -1, -1, 1},
+}
+
+func TestSolveBary3CentroidIsNotSingular(t *testing.T) {
+	mu, ok := solveBary3(hadamardTet)
+	if !ok {
+		t.Fatal("nonsingular centroid system reported as singular")
+	}
+	for i, m := range mu {
+		if math.Abs(m-0.25) > 1e-12 {
+			t.Errorf("mu[%d] = %v, want 0.25", i, m)
+		}
+	}
+	// A genuinely singular system (zero matrix) must report !ok.
+	if _, ok := solveBary3([3][4]float64{}); ok {
+		t.Error("singular system reported ok")
+	}
+}
+
+func TestNumericalCellContains3DCentroid(t *testing.T) {
+	mesh := field.Mesh3D{NX: 2, NY: 2, NZ: 2}
+	u := make([]float32, mesh.NumVertices())
+	v := make([]float32, mesh.NumVertices())
+	w := make([]float32, mesh.NumVertices())
+	vs := mesh.CellVertices(0)
+	for i, vi := range vs {
+		u[vi] = float32(hadamardTet[0][i])
+		v[vi] = float32(hadamardTet[1][i])
+		w[vi] = float32(hadamardTet[2][i])
+	}
+	if !NumericalCellContains3D(mesh, 0, u, v, w) {
+		t.Error("critical point at the tetrahedron centroid was rejected")
+	}
+}
+
+func TestSolveBary2Singular(t *testing.T) {
+	// All-equal component vectors make the 2D system singular.
+	if _, ok := solveBary2([3]float64{1, 1, 1}, [3]float64{2, 2, 2}); ok {
+		t.Error("singular 2D system reported ok")
+	}
+	mu, ok := solveBary2([3]float64{1, -1, 0}, [3]float64{0, 1, -1})
+	if !ok {
+		t.Fatal("nonsingular 2D system reported singular")
+	}
+	if s := mu[0] + mu[1] + mu[2]; math.Abs(s-1) > 1e-12 {
+		t.Errorf("barycentric weights sum to %v, want 1", s)
+	}
+}

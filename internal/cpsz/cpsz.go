@@ -34,6 +34,7 @@ import (
 	"repro/internal/field"
 	"repro/internal/huffman"
 	"repro/internal/quantizer"
+	"repro/internal/safedim"
 	"repro/internal/telemetry"
 )
 
@@ -128,7 +129,7 @@ func Compress2D(f *field.Field2D, opts Options) ([]byte, error) {
 	}
 	nx, ny := f.NX, f.NY
 	mesh := field.Mesh2D{NX: nx, NY: ny}
-	n := nx * ny
+	n := safedim.MustProduct(nx, ny)
 	tel := newCpszTel(opts, "2d")
 	defer tel.finish()
 
@@ -245,7 +246,7 @@ func Compress3D(f *field.Field3D, opts Options) ([]byte, error) {
 	}
 	nx, ny, nz := f.NX, f.NY, f.NZ
 	mesh := field.Mesh3D{NX: nx, NY: ny, NZ: nz}
-	n := nx * ny * nz
+	n := safedim.MustProduct(nx, ny, nz)
 	tel := newCpszTel(opts, "3d")
 	defer tel.finish()
 
@@ -440,10 +441,11 @@ type streams struct {
 }
 
 func newStreams(n, ncomp int) *streams {
+	sz := safedim.MustProduct(n, ncomp)
 	return &streams{
-		expSyms:  make([]uint32, 0, n*ncomp),
-		codeSyms: make([]uint32, 0, n*ncomp),
-		signBits: make([]uint32, 0, n*ncomp),
+		expSyms:  make([]uint32, 0, sz),
+		codeSyms: make([]uint32, 0, sz),
+		signBits: make([]uint32, 0, sz),
 		done:     make([]bool, n),
 	}
 }
@@ -563,10 +565,12 @@ func Decompress(blob []byte) (*field.Field2D, *field.Field3D, error) {
 	}
 	literals := sections[4]
 
+	// The vertex count cannot overflow: the header check above bounds
+	// nx*ny*nz by 2^40.
 	ncomp := ndim
-	n := nx * ny
+	n := safedim.MustProduct(nx, ny)
 	if ndim == 3 {
-		n *= nz
+		n = safedim.MustProduct(nx, ny, nz)
 	}
 	if len(expSyms) != n*ncomp || len(codeSyms) != n*ncomp || len(signBits) != n*ncomp {
 		return nil, nil, errors.New("cpsz: stream length mismatch")

@@ -3,6 +3,8 @@ package exact
 import (
 	"sort"
 	"sync"
+
+	"repro/internal/safedim"
 )
 
 // Simulation of Simplicity (Edelsbrunner & Mücke, ACM TOG 1990).
@@ -40,7 +42,7 @@ func SoSSign(m [][]int64, pert [][]int) int {
 	subsets := perturbationSubsets(pert)
 	n := len(m)
 	work := make([][]int64, n)
-	rowbuf := make([]int64, n*n)
+	rowbuf := make([]int64, safedim.MustProduct(n, n))
 	for i := range work {
 		work[i] = rowbuf[i*n : (i+1)*n]
 	}

@@ -105,7 +105,7 @@ func Parse(spec string) (*Injector, error) {
 		case "seed":
 			u, err := strconv.ParseUint(val, 10, 64)
 			if err != nil {
-				return nil, fmt.Errorf("faultinject: seed: %v", err)
+				return nil, fmt.Errorf("faultinject: seed: %w", err)
 			}
 			cfg.Seed = u
 		case "delayms":

@@ -2,6 +2,8 @@ package faultinject
 
 import (
 	"bytes"
+	"errors"
+	"strconv"
 	"testing"
 	"time"
 )
@@ -40,6 +42,13 @@ func TestParse(t *testing.T) {
 		if _, err := Parse(bad); err == nil {
 			t.Errorf("Parse(%q) should fail", bad)
 		}
+	}
+	// A malformed seed must wrap the strconv cause, not flatten it to
+	// a string: callers can inspect the chain with errors.Is/As.
+	_, err = Parse("seed=notanumber")
+	var numErr *strconv.NumError
+	if !errors.As(err, &numErr) {
+		t.Errorf("Parse(seed=notanumber) = %v, want wrapped *strconv.NumError", err)
 	}
 }
 

@@ -13,6 +13,8 @@ import (
 	"fmt"
 	"io"
 	"math"
+
+	"repro/internal/safedim"
 )
 
 // Field2D is a two-component vector field sampled on an NX×NY grid in
@@ -22,9 +24,12 @@ type Field2D struct {
 	U, V   []float32
 }
 
-// NewField2D allocates a zero field of the given dimensions.
+// NewField2D allocates a zero field of the given dimensions. The vertex
+// count is overflow-checked: decode paths validate header dimensions
+// before calling, so an overflowing product is a programming error.
 func NewField2D(nx, ny int) *Field2D {
-	return &Field2D{NX: nx, NY: ny, U: make([]float32, nx*ny), V: make([]float32, nx*ny)}
+	n := safedim.MustProduct(nx, ny)
+	return &Field2D{NX: nx, NY: ny, U: make([]float32, n), V: make([]float32, n)}
 }
 
 // Clone returns a deep copy of f.
@@ -76,9 +81,10 @@ type Field3D struct {
 	U, V, W    []float32
 }
 
-// NewField3D allocates a zero field of the given dimensions.
+// NewField3D allocates a zero field of the given dimensions. Like
+// NewField2D, the vertex count is overflow-checked.
 func NewField3D(nx, ny, nz int) *Field3D {
-	n := nx * ny * nz
+	n := safedim.MustProduct(nx, ny, nz)
 	return &Field3D{NX: nx, NY: ny, NZ: nz, U: make([]float32, n), V: make([]float32, n), W: make([]float32, n)}
 }
 

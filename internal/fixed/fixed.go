@@ -89,6 +89,8 @@ func FromShift(shift int) Transform {
 // decode paths validate stream-derived lengths before calling this.
 func (t Transform) ToFixed(src []float32, dst []int64) {
 	if len(src) != len(dst) {
+		// invariant: caller allocates both slices from the same
+		// validated dimensions; a mismatch is a programming error.
 		panic("fixed: length mismatch")
 	}
 	for i, v := range src {
@@ -102,6 +104,8 @@ func (t Transform) ToFixed(src []float32, dst []int64) {
 // invariant and panics on violation.
 func (t Transform) ToFloat(src []int64, dst []float32) {
 	if len(src) != len(dst) {
+		// invariant: caller allocates both slices from the same
+		// validated dimensions; a mismatch is a programming error.
 		panic("fixed: length mismatch")
 	}
 	inv := 1 / t.Scale

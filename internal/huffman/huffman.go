@@ -20,6 +20,7 @@ import (
 	"sync"
 
 	"repro/internal/bitstream"
+	"repro/internal/safedim"
 )
 
 // maxCodeLen bounds code lengths so codes always fit a single
@@ -236,7 +237,7 @@ func (h *hheap) Pop() interface{} {
 // come from one backing slice (2n-1 nodes total).
 func buildLengths(nz []symLen, freqs []uint64) {
 	n := len(nz)
-	backing := make([]hnode, 2*n-1)
+	backing := make([]hnode, safedim.MustProduct(2, n)-1)
 	h := make(hheap, 0, n)
 	order := 0
 	for i := range nz {

@@ -27,6 +27,7 @@ import (
 	"repro/internal/fixed"
 	"repro/internal/huffman"
 	"repro/internal/quantizer"
+	"repro/internal/safedim"
 )
 
 // Point is a 2D point.
@@ -127,7 +128,7 @@ func Compress(pts []Point, opts Options) ([]byte, error) {
 	if n == 0 {
 		return nil, errors.New("hull: empty point set")
 	}
-	coords := make([]float32, 0, 2*n)
+	coords := make([]float32, 0, safedim.MustProduct(2, n))
 	for _, p := range pts {
 		coords = append(coords, float32(p.X), float32(p.Y))
 	}
@@ -331,7 +332,7 @@ func Decompress(blob []byte) ([]Point, error) {
 // for a point set. Hull comparisons between original and decompressed
 // data must share one transform.
 func FitTransform(pts []Point) (fixed.Transform, error) {
-	coords := make([]float32, 0, 2*len(pts))
+	coords := make([]float32, 0, safedim.MustProduct(2, len(pts)))
 	for _, p := range pts {
 		coords = append(coords, float32(p.X), float32(p.Y))
 	}

@@ -27,6 +27,7 @@ import (
 	"repro/internal/huffman"
 	"repro/internal/predictor"
 	"repro/internal/quantizer"
+	"repro/internal/safedim"
 )
 
 // Options configures isosurface-preserving compression.
@@ -61,7 +62,7 @@ func NewField(nx, ny, nz int) *Field {
 	if nz < 1 {
 		nz = 1
 	}
-	return &Field{NX: nx, NY: ny, NZ: nz, Data: make([]float32, nx*ny*nz)}
+	return &Field{NX: nx, NY: ny, NZ: nz, Data: make([]float32, safedim.MustProduct(nx, ny, nz))}
 }
 
 // SideOf returns -1/0/+1 for a sample relative to an isovalue in the
@@ -83,7 +84,7 @@ func Compress(f *Field, opts Options) ([]byte, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
-	n := f.NX * f.NY * f.NZ
+	n := safedim.MustProduct(f.NX, f.NY, f.NZ)
 	if len(f.Data) != n {
 		return nil, errors.New("isosurface: data length mismatch")
 	}
@@ -220,7 +221,8 @@ func Decompress(blob []byte) (*Field, error) {
 		return nil, err
 	}
 	literals := sections[3]
-	n := nx * ny * nz
+	// Cannot overflow: the header check above bounds nx*ny*nz by 2^40.
+	n := safedim.MustProduct(nx, ny, nz)
 	if len(expSyms) != n || len(codeSyms) != n {
 		return nil, errors.New("isosurface: stream length mismatch")
 	}
@@ -259,7 +261,7 @@ func Decompress(blob []byte) (*Field, error) {
 func CellCases(f *Field, iso float64) []uint8 {
 	above := func(v float32) bool { return float64(v) > iso }
 	if f.NZ == 1 {
-		out := make([]uint8, (f.NX-1)*(f.NY-1))
+		out := make([]uint8, safedim.MustProduct(f.NX-1, f.NY-1))
 		for j := 0; j < f.NY-1; j++ {
 			for i := 0; i < f.NX-1; i++ {
 				var m uint8
@@ -273,7 +275,7 @@ func CellCases(f *Field, iso float64) []uint8 {
 		}
 		return out
 	}
-	out := make([]uint8, (f.NX-1)*(f.NY-1)*(f.NZ-1))
+	out := make([]uint8, safedim.MustProduct(f.NX-1, f.NY-1, f.NZ-1))
 	c := 0
 	for k := 0; k < f.NZ-1; k++ {
 		for j := 0; j < f.NY-1; j++ {

@@ -1,0 +1,130 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"regexp"
+	"sort"
+	"strconv"
+	"testing"
+)
+
+// wantRx extracts the quoted expectations from a // want comment:
+//
+//	code() // want "first finding" "second finding"
+//
+// Each quoted string is a regexp that must match the message of exactly
+// one diagnostic reported on that line. An optional signed offset
+// shifts the expected line — "// want-1 ..." expects the diagnostic on
+// the line above, which is how tests pin diagnostics that land on a
+// line already occupied by a comment (e.g. a malformed //lint:ignore).
+var wantRx = regexp.MustCompile(`//\s*want([+-]\d+)?((?:\s+"(?:[^"\\]|\\.)*")+)`)
+
+var wantArgRx = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+
+// RunAnalyzerTest loads dir as a self-contained package, runs the given
+// analyzers (suppressions included), and compares the resulting
+// diagnostics against the // want expectations in the sources. It is
+// the self-test harness every analyzer in this package is pinned by.
+func RunAnalyzerTest(t *testing.T, dir string, analyzers ...*Analyzer) {
+	t.Helper()
+	RunAnalyzerTestDirs(t, []string{dir}, analyzers...)
+}
+
+// RunAnalyzerTestDirs is RunAnalyzerTest over several testdata packages
+// loaded in order (later ones may import earlier ones), for analyzers
+// whose findings depend on cross-package call chains.
+func RunAnalyzerTestDirs(t *testing.T, dirs []string, analyzers ...*Analyzer) {
+	t.Helper()
+	prog, err := LoadDirs(dirs...)
+	if err != nil {
+		t.Fatalf("loading %v: %v", dirs, err)
+	}
+	res := prog.Run(analyzers)
+
+	type key struct {
+		file string
+		line int
+	}
+	wants := map[key][]*regexp.Regexp{}
+	for _, pkg := range prog.Pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := wantRx.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					pos := prog.Fset.Position(c.Pos())
+					line := pos.Line
+					if m[1] != "" {
+						off, err := strconv.Atoi(m[1])
+						if err != nil {
+							t.Fatalf("%s:%d: bad want offset %q", pos.Filename, pos.Line, m[1])
+						}
+						line += off
+					}
+					k := key{pos.Filename, line}
+					for _, q := range wantArgRx.FindAllString(m[2], -1) {
+						pat, err := strconv.Unquote(q)
+						if err != nil {
+							t.Fatalf("%s:%d: bad want pattern %s: %v", pos.Filename, pos.Line, q, err)
+						}
+						rx, err := regexp.Compile(pat)
+						if err != nil {
+							t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pat, err)
+						}
+						wants[k] = append(wants[k], rx)
+					}
+				}
+			}
+		}
+	}
+
+	unmatched := map[key][]*regexp.Regexp{}
+	for k, v := range wants {
+		unmatched[k] = append([]*regexp.Regexp(nil), v...)
+	}
+	for _, d := range res.Diagnostics {
+		k := key{d.Pos.Filename, d.Pos.Line}
+		idx := -1
+		for i, rx := range unmatched[k] {
+			if rx.MatchString(d.Message) || rx.MatchString(d.Check+": "+d.Message) {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			t.Errorf("unexpected diagnostic: %s", d)
+			continue
+		}
+		unmatched[k] = append(unmatched[k][:idx], unmatched[k][idx+1:]...)
+	}
+	var leftover []string
+	for k, v := range unmatched {
+		for _, rx := range v {
+			leftover = append(leftover, fmt.Sprintf("%s:%d: no diagnostic matching %q", k.file, k.line, rx))
+		}
+	}
+	sort.Strings(leftover)
+	for _, l := range leftover {
+		t.Errorf("%s", l)
+	}
+}
+
+// funcNames lists the declared function names of the program's first
+// package; a convenience for loader tests.
+func funcNames(prog *Program) []string {
+	var names []string
+	for _, pkg := range prog.Pkgs {
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				if fd, ok := d.(*ast.FuncDecl); ok {
+					names = append(names, fd.Name.Name)
+				}
+			}
+		}
+	}
+	sort.Strings(names)
+	return names
+}

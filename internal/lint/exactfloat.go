@@ -1,0 +1,193 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// ExactFloatConfig scopes the exactfloat analyzer.
+type ExactFloatConfig struct {
+	// ExactPackages are import-path suffixes of the packages holding the
+	// exact (integer-only) predicates. Every declaration in them must be
+	// float-free.
+	ExactPackages []string
+}
+
+var defaultExactFloat = &ExactFloatConfig{
+	ExactPackages: []string{"internal/exact"},
+}
+
+// ExactFloat enforces the paper's core exactness invariant (PR 1): the
+// sign of a critical-point determinant must come from exact integer
+// arithmetic. No float type, float conversion, float literal, or float
+// arithmetic may appear inside the exact predicate packages, nor inside
+// any function their predicates (transitively) call — the entire call
+// chain that feeds a sign-of-determinant decision stays in integers.
+func ExactFloat(cfg *ExactFloatConfig) *Analyzer {
+	if cfg == nil {
+		cfg = defaultExactFloat
+	}
+	return &Analyzer{
+		Name: "exactfloat",
+		Doc:  "no floating point inside exact predicate packages or their call chains",
+		Run:  func(prog *Program) []Diagnostic { return runExactFloat(prog, cfg) },
+	}
+}
+
+func runExactFloat(prog *Program, cfg *ExactFloatConfig) []Diagnostic {
+	var diags []Diagnostic
+	var roots []*types.Func
+	inExact := map[*types.Func]bool{}
+
+	for _, pkg := range prog.Pkgs {
+		if !pathMatch(pkg.Path, cfg.ExactPackages) {
+			continue
+		}
+		// Whole-package scan: any float anywhere in the package.
+		for _, f := range pkg.Files {
+			diags = append(diags, floatUses(prog, pkg, f, "exact package")...)
+		}
+		// Every function of the package roots the call-chain scan.
+		g := prog.CallGraph()
+		for fn, fd := range g.decls {
+			if fd.Pkg == pkg {
+				roots = append(roots, fn)
+				inExact[fn] = true
+			}
+		}
+	}
+	if len(roots) == 0 {
+		return diags
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i].FullName() < roots[j].FullName() })
+
+	g := prog.CallGraph()
+	parent := g.Reachable(roots)
+	var reached []*types.Func
+	for fn := range parent {
+		if !inExact[fn] {
+			reached = append(reached, fn)
+		}
+	}
+	sort.Slice(reached, func(i, j int) bool { return reached[i].FullName() < reached[j].FullName() })
+	for _, fn := range reached {
+		fd := g.decls[fn]
+		if fd == nil || fd.Decl.Body == nil {
+			continue
+		}
+		ctx := fmt.Sprintf("call chain of exact predicate (%s)", pathTo(parent, fn))
+		diags = append(diags, floatUsesIn(prog, fd.Pkg, fd.Decl, ctx)...)
+	}
+	return diags
+}
+
+// floatUses flags float appearances in a whole file.
+func floatUses(prog *Program, pkg *Package, f *ast.File, ctx string) []Diagnostic {
+	return floatWalk(prog, pkg, f, ctx)
+}
+
+// floatUsesIn flags float appearances in one function declaration.
+func floatUsesIn(prog *Program, pkg *Package, fd *ast.FuncDecl, ctx string) []Diagnostic {
+	return floatWalk(prog, pkg, fd, ctx)
+}
+
+func floatWalk(prog *Program, pkg *Package, root ast.Node, ctx string) []Diagnostic {
+	var diags []Diagnostic
+	report := func(pos token.Pos, what string) {
+		diags = append(diags, Diagnostic{
+			Pos:     prog.Fset.Position(pos),
+			Check:   "exactfloat",
+			Message: fmt.Sprintf("%s in %s; sign-of-determinant chains must stay in exact integer arithmetic", what, ctx),
+		})
+	}
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BasicLit:
+			if n.Kind == token.FLOAT {
+				report(n.Pos(), "float literal")
+			}
+		case *ast.BinaryExpr:
+			if isFloatExpr(pkg, n.X) || isFloatExpr(pkg, n.Y) {
+				report(n.OpPos, fmt.Sprintf("float operation %q", n.Op))
+				return false // one finding per expression tree
+			}
+		case *ast.CallExpr:
+			if tv, ok := pkg.Info.Types[n.Fun]; ok && tv.IsType() && typeHasFloat(tv.Type) {
+				report(n.Pos(), "conversion to float type")
+				return false
+			}
+		case *ast.Field:
+			if t, ok := pkg.Info.Types[n.Type]; ok && typeHasFloat(t.Type) {
+				report(n.Type.Pos(), "float-typed declaration")
+				return false
+			}
+		case *ast.ValueSpec:
+			for _, name := range n.Names {
+				if obj := pkg.Info.Defs[name]; obj != nil && typeHasFloat(obj.Type()) {
+					report(name.Pos(), fmt.Sprintf("float-typed declaration of %s", name.Name))
+				}
+			}
+		}
+		return true
+	})
+	return diags
+}
+
+// isFloatExpr reports whether e has floating-point type.
+func isFloatExpr(pkg *Package, e ast.Expr) bool {
+	tv, ok := pkg.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// typeHasFloat reports whether t contains a floating-point component
+// (directly or through arrays, slices, structs, pointers, or maps).
+func typeHasFloat(t types.Type) bool {
+	seen := map[types.Type]bool{}
+	var walk func(types.Type) bool
+	walk = func(t types.Type) bool {
+		if t == nil || seen[t] {
+			return false
+		}
+		seen[t] = true
+		switch u := t.Underlying().(type) {
+		case *types.Basic:
+			return u.Info()&(types.IsFloat|types.IsComplex) != 0
+		case *types.Array:
+			return walk(u.Elem())
+		case *types.Slice:
+			return walk(u.Elem())
+		case *types.Pointer:
+			return walk(u.Elem())
+		case *types.Map:
+			return walk(u.Key()) || walk(u.Elem())
+		case *types.Chan:
+			return walk(u.Elem())
+		case *types.Struct:
+			for i := 0; i < u.NumFields(); i++ {
+				if walk(u.Field(i).Type()) {
+					return true
+				}
+			}
+		case *types.Signature:
+			for i := 0; i < u.Params().Len(); i++ {
+				if walk(u.Params().At(i).Type()) {
+					return true
+				}
+			}
+			for i := 0; i < u.Results().Len(); i++ {
+				if walk(u.Results().At(i).Type()) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	return walk(t)
+}

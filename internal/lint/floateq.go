@@ -1,0 +1,86 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+)
+
+// isZeroConst reports whether e is a compile-time constant equal to 0.
+func isZeroConst(pkg *Package, e ast.Expr) bool {
+	tv, ok := pkg.Info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	return constant.Sign(tv.Value) == 0
+}
+
+// FloatEqConfig scopes the floateq analyzer.
+type FloatEqConfig struct {
+	// SkipPackages are import-path suffixes exempt from the check.
+	SkipPackages []string
+}
+
+var defaultFloatEq = &FloatEqConfig{}
+
+// FloatEq flags == and != between floating-point values, the silent-
+// drift failure mode the paper's evaluation pipeline is most exposed
+// to: a reconstructed field is compared against the original, and an
+// exact float comparison turns "bit-identical" and "within tolerance"
+// into the same branch. Compare against an explicit tolerance, compare
+// the underlying bit patterns (math.Float64bits) when bit-exactness is
+// the contract, or suppress with a reason when exact equality is the
+// documented intent.
+//
+// Comparisons against the constant zero are exempt: 0 has an exact
+// representation, +0 and -0 compare equal, and the repository uses
+// x == 0 pervasively as an "unset option" sentinel and a singular-
+// matrix guard — rounding drift produces a nonzero value, which is
+// precisely what such guards want to detect. Every other constant
+// (x == 0.25) and every value-to-value comparison stays a finding.
+func FloatEq(cfg *FloatEqConfig) *Analyzer {
+	if cfg == nil {
+		cfg = defaultFloatEq
+	}
+	return &Analyzer{
+		Name: "floateq",
+		Doc:  "no ==/!= between floating-point values",
+		Run:  func(prog *Program) []Diagnostic { return runFloatEq(prog, cfg) },
+	}
+}
+
+func runFloatEq(prog *Program, cfg *FloatEqConfig) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range prog.Pkgs {
+		if pathMatch(pkg.Path, cfg.SkipPackages) {
+			continue
+		}
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.BinaryExpr:
+					if (n.Op == token.EQL || n.Op == token.NEQ) &&
+						(isFloatExpr(pkg, n.X) || isFloatExpr(pkg, n.Y)) &&
+						!isZeroConst(pkg, n.X) && !isZeroConst(pkg, n.Y) {
+						diags = append(diags, Diagnostic{
+							Pos:     prog.Fset.Position(n.OpPos),
+							Check:   "floateq",
+							Message: fmt.Sprintf("floating-point %s comparison; use a tolerance or bit-pattern comparison, or suppress with the documented intent", n.Op),
+						})
+					}
+				case *ast.SwitchStmt:
+					if n.Tag != nil && isFloatExpr(pkg, n.Tag) {
+						diags = append(diags, Diagnostic{
+							Pos:     prog.Fset.Position(n.Tag.Pos()),
+							Check:   "floateq",
+							Message: "switch on a floating-point value compares with ==; use explicit tolerance comparisons",
+						})
+					}
+				}
+				return true
+			})
+		}
+	}
+	return diags
+}

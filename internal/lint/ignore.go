@@ -1,0 +1,60 @@
+package lint
+
+import (
+	"go/token"
+	"strings"
+)
+
+// directive is one parsed //lint:ignore comment.
+type directive struct {
+	Pos    token.Position
+	Check  string
+	Reason string
+	used   bool
+}
+
+// directives collects every //lint:ignore directive in the program.
+func (p *Program) directives() []*directive {
+	var out []*directive
+	for _, pkg := range p.Pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text, ok := strings.CutPrefix(c.Text, "//lint:ignore")
+					if !ok {
+						continue
+					}
+					d := &directive{Pos: p.Fset.Position(c.Pos())}
+					fields := strings.Fields(text)
+					if len(fields) > 0 {
+						d.Check = fields[0]
+					}
+					if len(fields) > 1 {
+						d.Reason = strings.Join(fields[1:], " ")
+					}
+					out = append(out, d)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// matchDirective returns the directive suppressing d, if any. A
+// directive applies to findings of its named check on its own line (a
+// trailing comment) or on the line directly below (a comment above the
+// offending statement), in the same file.
+func matchDirective(dirs []*directive, d Diagnostic) *directive {
+	for _, dir := range dirs {
+		if dir.Check != d.Check || dir.Reason == "" {
+			continue
+		}
+		if dir.Pos.Filename != d.Pos.Filename {
+			continue
+		}
+		if dir.Pos.Line == d.Pos.Line || dir.Pos.Line+1 == d.Pos.Line {
+			return dir
+		}
+	}
+	return nil
+}

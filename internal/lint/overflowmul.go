@@ -1,0 +1,219 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// OverflowMulConfig scopes the overflowmul analyzer.
+type OverflowMulConfig struct {
+	// BlessedFuncs are the overflow-checked product helpers: a raw
+	// multiplication inside one of them is the guarded implementation,
+	// not a violation. An entry is either a bare function/method name
+	// ("vertexCount") or "pkgsuffix.Name" ("safedim.Product"), where
+	// pkgsuffix matches the declaring package's import-path suffix.
+	BlessedFuncs []string
+}
+
+var defaultOverflowMul = &OverflowMulConfig{
+	BlessedFuncs: []string{
+		"vertexCount", "szVertexCount",
+		"safedim.Product", "safedim.MustProduct",
+	},
+}
+
+// OverflowMul enforces the PR 4 decode-hardening invariant: a slice
+// allocation must never be sized by a raw product of runtime integers.
+// A corrupt or adversarial header whose per-dimension values pass
+// individual bounds checks can still overflow nx*ny*nz into a small or
+// negative length that later slicing trusts. Products that size a
+// make() — directly in the size expression or via a local variable
+// assigned from a multiplication — must go through one of the blessed
+// overflow-checked helpers.
+func OverflowMul(cfg *OverflowMulConfig) *Analyzer {
+	if cfg == nil {
+		cfg = defaultOverflowMul
+	}
+	return &Analyzer{
+		Name: "overflowmul",
+		Doc:  "make() sizes must not be raw integer products; use overflow-checked helpers",
+		Run:  func(prog *Program) []Diagnostic { return runOverflowMul(prog, cfg) },
+	}
+}
+
+func runOverflowMul(prog *Program, cfg *OverflowMulConfig) []Diagnostic {
+	var diags []Diagnostic
+	isBlessed := func(pkg *Package, name string) bool {
+		for _, b := range cfg.BlessedFuncs {
+			if dot := strings.LastIndexByte(b, '.'); dot >= 0 {
+				if name == b[dot+1:] && pathMatch(pkg.Path, []string{b[:dot]}) {
+					return true
+				}
+			} else if name == b {
+				return true
+			}
+		}
+		return false
+	}
+	for _, pkg := range prog.Pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil || isBlessed(pkg, fd.Name.Name) {
+					continue
+				}
+				diags = append(diags, overflowMulFunc(prog, pkg, fd)...)
+			}
+		}
+	}
+	return diags
+}
+
+func overflowMulFunc(prog *Program, pkg *Package, fd *ast.FuncDecl) []Diagnostic {
+	// Pass 1: local variables assigned (anywhere in the function) from
+	// an expression containing a runtime integer multiplication are
+	// product-tainted.
+	tainted := map[types.Object]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			// n *= d taints n just like n = n * d does.
+			if n.Tok == token.MUL_ASSIGN && len(n.Lhs) == 1 {
+				if id, ok := n.Lhs[0].(*ast.Ident); ok && isIntExpr(pkg, id) && !constExpr(pkg, n.Rhs[0]) {
+					if obj := pkg.Info.Uses[id]; obj != nil {
+						tainted[obj] = true
+					}
+				}
+				return true
+			}
+			for i, rhs := range n.Rhs {
+				if !exprHasRawIntMul(pkg, rhs) {
+					continue
+				}
+				// Parallel assignment pairs LHS/RHS one-to-one; a
+				// multi-value RHS (function call) cannot be a raw mul.
+				if len(n.Lhs) == len(n.Rhs) {
+					if id, ok := n.Lhs[i].(*ast.Ident); ok {
+						if obj := pkg.Info.Defs[id]; obj != nil {
+							tainted[obj] = true
+						} else if obj := pkg.Info.Uses[id]; obj != nil {
+							tainted[obj] = true
+						}
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			for i, v := range n.Values {
+				if exprHasRawIntMul(pkg, v) && i < len(n.Names) {
+					if obj := pkg.Info.Defs[n.Names[i]]; obj != nil {
+						tainted[obj] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	// Pass 2: make() whose size mentions a raw product or a tainted
+	// variable.
+	var diags []Diagnostic
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) < 2 {
+			return true
+		}
+		id, ok := unparen(call.Fun).(*ast.Ident)
+		if !ok || id.Name != "make" {
+			return true
+		}
+		if b, ok := pkg.Info.Uses[id].(*types.Builtin); !ok || b.Name() != "make" {
+			return true
+		}
+		for _, size := range call.Args[1:] {
+			switch {
+			case exprHasRawIntMul(pkg, size):
+				diags = append(diags, Diagnostic{
+					Pos:     prog.Fset.Position(size.Pos()),
+					Check:   "overflowmul",
+					Message: "make() sized by a raw integer product; a corrupt input can overflow it — use an overflow-checked helper (e.g. vertexCount)",
+				})
+			case mentionsTainted(pkg, size, tainted):
+				diags = append(diags, Diagnostic{
+					Pos:     prog.Fset.Position(size.Pos()),
+					Check:   "overflowmul",
+					Message: "make() sized by a variable computed from a raw integer product; use an overflow-checked helper (e.g. vertexCount)",
+				})
+			}
+		}
+		return true
+	})
+	return diags
+}
+
+// exprHasRawIntMul reports whether e contains a * between integer
+// operands that are not both compile-time constants. Constant-folded
+// products (2*bufSize) are checked by the compiler's overflow rules and
+// are exempt; shifts and adds are not this analyzer's concern.
+func exprHasRawIntMul(pkg *Package, e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		// Do not descend into nested function literals or index
+		// expressions: a product inside len()'s argument, an index, or
+		// a closure does not size this allocation.
+		switch n.(type) {
+		case *ast.FuncLit, *ast.IndexExpr:
+			return false
+		}
+		b, ok := n.(*ast.BinaryExpr)
+		if !ok || b.Op != token.MUL {
+			return true
+		}
+		if tv, ok := pkg.Info.Types[b]; ok && tv.Value != nil {
+			return true // whole product is constant-folded
+		}
+		xi, yi := isIntExpr(pkg, b.X), isIntExpr(pkg, b.Y)
+		xc := constExpr(pkg, b.X)
+		yc := constExpr(pkg, b.Y)
+		if xi && yi && !(xc && yc) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+func mentionsTainted(pkg *Package, e ast.Expr, tainted map[types.Object]bool) bool {
+	if len(tainted) == 0 {
+		return false
+	}
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := pkg.Info.Uses[id]; obj != nil && tainted[obj] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func isIntExpr(pkg *Package, e ast.Expr) bool {
+	tv, ok := pkg.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+func constExpr(pkg *Package, e ast.Expr) bool {
+	tv, ok := pkg.Info.Types[e]
+	return ok && tv.Value != nil
+}

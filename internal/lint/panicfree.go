@@ -1,0 +1,129 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// PanicFreeConfig scopes the panicfree analyzer.
+type PanicFreeConfig struct {
+	// EntryPattern matches the exported function and method names that
+	// form the untrusted-input surface (decode/decompress entry
+	// points).
+	EntryPattern string
+	// SkipPackages are import-path suffixes whose entry points are not
+	// treated as untrusted surfaces (e.g. test-support fault injectors
+	// would make every panic "reachable" by design).
+	SkipPackages []string
+}
+
+var defaultPanicFree = &PanicFreeConfig{
+	EntryPattern: `^(Decompress|Decode|Decoded|Unpack|Inflate|Unmarshal|Peek|Open|Read)`,
+}
+
+// PanicFree enforces the PR 4 robustness invariant: malformed input to
+// a decode surface must surface as a typed error, never a panic. Every
+// explicit panic statically reachable from a decode/decompress entry
+// point is a finding unless the panic carries an adjacent
+// "// invariant:" comment documenting why the condition is impossible
+// for any input (i.e. it guards a programmer error, not a data error).
+func PanicFree(cfg *PanicFreeConfig) *Analyzer {
+	if cfg == nil {
+		cfg = defaultPanicFree
+	}
+	return &Analyzer{
+		Name: "panicfree",
+		Doc:  "no panic reachable from decode entry points unless documented as an invariant",
+		Run:  func(prog *Program) []Diagnostic { return runPanicFree(prog, cfg) },
+	}
+}
+
+func runPanicFree(prog *Program, cfg *PanicFreeConfig) []Diagnostic {
+	entryRx := mustCompile(cfg.EntryPattern)
+	g := prog.CallGraph()
+
+	var roots []*types.Func
+	for fn, fd := range g.decls {
+		if !fn.Exported() || !entryRx.MatchString(fn.Name()) {
+			continue
+		}
+		if pathMatch(fd.Pkg.Path, cfg.SkipPackages) {
+			continue
+		}
+		roots = append(roots, fn)
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i].FullName() < roots[j].FullName() })
+	parent := g.Reachable(roots)
+
+	var reached []*types.Func
+	for fn := range parent {
+		reached = append(reached, fn)
+	}
+	sort.Slice(reached, func(i, j int) bool { return reached[i].FullName() < reached[j].FullName() })
+
+	var diags []Diagnostic
+	for _, fn := range reached {
+		fd := g.decls[fn]
+		if fd == nil || fd.Decl.Body == nil {
+			continue
+		}
+		invariantLines := invariantCommentLines(prog, fd.Pkg, fd.Decl)
+		ast.Inspect(fd.Decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := unparen(call.Fun).(*ast.Ident)
+			if !ok || id.Name != "panic" {
+				return true
+			}
+			if b, ok := fd.Pkg.Info.Uses[id].(*types.Builtin); !ok || b.Name() != "panic" {
+				return true
+			}
+			line := prog.Fset.Position(call.Pos()).Line
+			if invariantLines[line] || invariantLines[line-1] {
+				return true // documented invariant panic
+			}
+			diags = append(diags, Diagnostic{
+				Pos:   prog.Fset.Position(call.Pos()),
+				Check: "panicfree",
+				Message: fmt.Sprintf("panic reachable from decode entry point (%s); return a typed error, or document with an \"// invariant:\" comment why no input can trigger it",
+					pathTo(parent, fn)),
+			})
+			return true
+		})
+	}
+	return diags
+}
+
+// invariantCommentLines returns the file lines (within the function)
+// holding a comment that starts with "invariant:". Such a comment on
+// the panic's line or the line above marks a documented invariant
+// panic.
+func invariantCommentLines(prog *Program, pkg *Package, fd *ast.FuncDecl) map[int]bool {
+	lines := map[int]bool{}
+	for _, f := range pkg.Files {
+		if f.Pos() > fd.Pos() || fd.End() > f.End() {
+			continue
+		}
+		for _, cg := range f.Comments {
+			if cg.Pos() < fd.Pos() || cg.End() > fd.End() {
+				continue
+			}
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if strings.HasPrefix(text, "invariant:") {
+					// Credit the line of the marker and the end of its
+					// comment group, so a multi-line justification
+					// directly above the panic still annotates it.
+					lines[prog.Fset.Position(c.Pos()).Line] = true
+					lines[prog.Fset.Position(cg.End()).Line] = true
+				}
+			}
+		}
+	}
+	return lines
+}

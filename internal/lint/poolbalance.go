@@ -1,0 +1,409 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// PoolBalanceConfig scopes the poolbalance analyzer.
+type PoolBalanceConfig struct {
+	// HotPackages are import-path suffixes of the packages whose
+	// sync.Pool usage is checked (the allocation-sensitive hot paths).
+	HotPackages []string
+}
+
+var defaultPoolBalance = &PoolBalanceConfig{
+	HotPackages: []string{"internal/core", "internal/huffman", "internal/encoder", "internal/shm", "internal/shm/pool"},
+}
+
+// PoolBalance enforces the PR 3 allocation invariant: scratch taken
+// from a sync.Pool on a hot path must flow back on every exit. A Get
+// whose result never reaches a Put silently degrades the pool to
+// malloc — the steady-state-zero-allocation property the shared-memory
+// pipeline depends on rots without any test failing.
+//
+// For each sync.Pool Get in a hot package the analyzer accepts one of:
+//   - a deferred Put on the same pool in the same function (covers
+//     error returns and panics/recover);
+//   - a Put on the same pool on every forward path from the Get to
+//     every return (checked by a conservative AST path walk);
+//   - ownership transfer — the Get result escapes into a struct field,
+//     a return value, or a call — provided the same package Puts to
+//     that pool somewhere (the release method of the owning object).
+func PoolBalance(cfg *PoolBalanceConfig) *Analyzer {
+	if cfg == nil {
+		cfg = defaultPoolBalance
+	}
+	return &Analyzer{
+		Name: "poolbalance",
+		Doc:  "every hot-path sync.Pool Get must reach a Put on all exits",
+		Run:  func(prog *Program) []Diagnostic { return runPoolBalance(prog, cfg) },
+	}
+}
+
+func runPoolBalance(prog *Program, cfg *PoolBalanceConfig) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range prog.Pkgs {
+		if !pathMatch(pkg.Path, cfg.HotPackages) {
+			continue
+		}
+		// Pools Put anywhere in the package, for the ownership-transfer
+		// rule.
+		putPools := map[types.Object]bool{}
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					if pool, kind := poolCall(pkg, call); kind == "Put" {
+						putPools[pool] = true
+					}
+				}
+				return true
+			})
+		}
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				diags = append(diags, poolBalanceFunc(prog, pkg, fd, putPools)...)
+			}
+		}
+	}
+	return diags
+}
+
+// poolCall reports whether call is sync.Pool Get/Put, returning the
+// pool's root object (the variable holding the pool) and "Get"/"Put".
+func poolCall(pkg *Package, call *ast.CallExpr) (types.Object, string) {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Get" && sel.Sel.Name != "Put") {
+		return nil, ""
+	}
+	s, ok := pkg.Info.Selections[sel]
+	if !ok {
+		return nil, ""
+	}
+	named, ok := derefType(s.Recv()).(*types.Named)
+	if !ok || named.Obj().Pkg() == nil ||
+		named.Obj().Pkg().Path() != "sync" || named.Obj().Name() != "Pool" {
+		return nil, ""
+	}
+	return rootObj(pkg, sel.X), sel.Sel.Name
+}
+
+func derefType(t types.Type) types.Type {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}
+
+// rootObj resolves the base identifier of an expression like
+// pkg.densePool or s.pool to its object; nil when there is none.
+func rootObj(pkg *Package, e ast.Expr) types.Object {
+	switch e := unparen(e).(type) {
+	case *ast.Ident:
+		return pkg.Info.Uses[e]
+	case *ast.SelectorExpr:
+		return pkg.Info.Uses[e.Sel]
+	case *ast.UnaryExpr:
+		return rootObj(pkg, e.X)
+	}
+	return nil
+}
+
+func poolBalanceFunc(prog *Program, pkg *Package, fd *ast.FuncDecl, putPools map[types.Object]bool) []Diagnostic {
+	var diags []Diagnostic
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		pool, kind := poolCall(pkg, call)
+		if kind != "Get" || pool == nil {
+			return true
+		}
+		if ok, why := getIsBalanced(pkg, fd, call, pool, putPools); !ok {
+			diags = append(diags, Diagnostic{
+				Pos:     prog.Fset.Position(call.Pos()),
+				Check:   "poolbalance",
+				Message: fmt.Sprintf("sync.Pool Get %s; defer the Put, Put on every return path, or hand ownership to a released object", why),
+			})
+		}
+		return true
+	})
+	return diags
+}
+
+func getIsBalanced(pkg *Package, fd *ast.FuncDecl, get *ast.CallExpr, pool types.Object, putPools map[types.Object]bool) (bool, string) {
+	// Deferred Put anywhere in the function covers every exit,
+	// including panic/recover unwinding.
+	deferred := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if d, ok := n.(*ast.DeferStmt); ok {
+			if p, k := poolCall(pkg, d.Call); k == "Put" && p == pool {
+				deferred = true
+			}
+			// A deferred closure that Puts also counts.
+			if fn, ok := d.Call.Fun.(*ast.FuncLit); ok {
+				ast.Inspect(fn.Body, func(m ast.Node) bool {
+					if c, ok := m.(*ast.CallExpr); ok {
+						if p, k := poolCall(pkg, c); k == "Put" && p == pool {
+							deferred = true
+						}
+					}
+					return true
+				})
+			}
+		}
+		return true
+	})
+	if deferred {
+		return true, ""
+	}
+
+	// Ownership transfer: the Get result escapes this function.
+	if obj := getResultVar(pkg, fd, get); obj != nil {
+		if escapes(pkg, fd, obj) {
+			if putPools[pool] {
+				return true, ""
+			}
+			return false, "result escapes but nothing in this package ever Puts to the pool"
+		}
+		// Local use: require Put on all paths after the Get.
+		if exits := putOnAllPaths(pkg, fd, get, pool); len(exits) > 0 {
+			return false, fmt.Sprintf("is not Put on all paths (%d exit(s) miss it)", len(exits))
+		}
+		return true, ""
+	}
+	// Result discarded or used inline: treat as unbalanced unless the
+	// path walk finds Puts (it will not — nothing holds the value).
+	return false, "result is not retained, so it can never be Put back"
+}
+
+// getResultVar returns the local variable the Get's (possibly
+// type-asserted) result is bound to.
+func getResultVar(pkg *Package, fd *ast.FuncDecl, get *ast.CallExpr) types.Object {
+	var obj types.Object
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || obj != nil {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			if !containsNode(rhs, get) || i >= len(as.Lhs) {
+				continue
+			}
+			if id, ok := as.Lhs[i].(*ast.Ident); ok {
+				if d := pkg.Info.Defs[id]; d != nil {
+					obj = d
+				} else if u := pkg.Info.Uses[id]; u != nil {
+					obj = u
+				}
+			}
+		}
+		return obj == nil
+	})
+	return obj
+}
+
+func containsNode(root ast.Node, target ast.Node) bool {
+	found := false
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == target {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// escapes reports whether obj's value leaves the function: returned,
+// assigned through a selector/index (struct field, map, global), placed
+// in a composite literal, sent on a channel, or passed bare to a call
+// that is not the pool Put and not a method on obj itself.
+func escapes(pkg *Package, fd *ast.FuncDecl, obj types.Object) bool {
+	esc := false
+	isObj := func(e ast.Expr) bool {
+		id, ok := unparen(e).(*ast.Ident)
+		return ok && pkg.Info.Uses[id] == obj
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if esc {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				if isObj(r) {
+					esc = true
+				}
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if !isObj(rhs) || i >= len(n.Lhs) {
+					continue
+				}
+				if _, ok := n.Lhs[i].(*ast.Ident); !ok {
+					esc = true // field, index, or dereference target
+				}
+			}
+		case *ast.CompositeLit:
+			for _, el := range n.Elts {
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					el = kv.Value
+				}
+				if isObj(el) {
+					esc = true
+				}
+			}
+		case *ast.SendStmt:
+			if isObj(n.Value) {
+				esc = true
+			}
+		case *ast.CallExpr:
+			if _, kind := poolCall(pkg, n); kind == "Put" {
+				return true
+			}
+			// Method call on obj itself does not transfer ownership.
+			if sel, ok := unparen(n.Fun).(*ast.SelectorExpr); ok && isObj(sel.X) {
+				return true
+			}
+			for _, arg := range n.Args {
+				if isObj(arg) {
+					esc = true
+				}
+			}
+		}
+		return !esc
+	})
+	return esc
+}
+
+// putOnAllPaths checks, with a conservative walk over the statement
+// tree, that a Put to pool dominates every exit after the Get. It
+// returns the positions of exits the Put misses. Branch-local Puts
+// cover that branch's returns; a Put inside a loop body is not assumed
+// to run (the loop may iterate zero times); fallthrough out of an
+// if/else where both arms Put is still treated as un-Put (conservative,
+// may over-report — restructure or suppress with a reason).
+func putOnAllPaths(pkg *Package, fd *ast.FuncDecl, get *ast.CallExpr, pool types.Object) []ast.Node {
+	var missed []ast.Node
+	isPut := func(n ast.Node) bool {
+		found := false
+		ast.Inspect(n, func(m ast.Node) bool {
+			if c, ok := m.(*ast.CallExpr); ok {
+				if p, k := poolCall(pkg, c); k == "Put" && p == pool {
+					found = true
+				}
+			}
+			// Do not credit Puts inside nested function literals: they
+			// only run if the closure runs.
+			_, lit := m.(*ast.FuncLit)
+			return !found && !lit
+		})
+		return found
+	}
+
+	// walk processes a statement list given whether the Get has already
+	// happened and whether a Put already dominates; returns the updated
+	// (seenGet, put) state for fallthrough.
+	var walk func(stmts []ast.Stmt, seenGet, put bool) (bool, bool)
+	walkBody := func(s ast.Stmt, seenGet, put bool) (bool, bool) {
+		if s == nil {
+			return seenGet, put
+		}
+		if b, ok := s.(*ast.BlockStmt); ok {
+			return walk(b.List, seenGet, put)
+		}
+		return walk([]ast.Stmt{s}, seenGet, put)
+	}
+	walk = func(stmts []ast.Stmt, seenGet, put bool) (bool, bool) {
+		for _, s := range stmts {
+			if !seenGet && containsNode(s, get) {
+				seenGet = true
+				// The Get's own statement may also Put (contrived) —
+				// fall through to the checks below.
+			}
+			switch s := s.(type) {
+			case *ast.ReturnStmt:
+				if seenGet && !put {
+					missed = append(missed, s)
+				}
+				return seenGet, put
+			case *ast.BlockStmt:
+				seenGet, put = walk(s.List, seenGet, put)
+			case *ast.IfStmt:
+				g1, _ := walkBody(s.Body, seenGet, put)
+				g2 := seenGet
+				if s.Else != nil {
+					g2, _ = walkBody(s.Else, seenGet, put)
+				}
+				seenGet = seenGet || g1 || g2
+			case *ast.ForStmt:
+				g, _ := walkBody(s.Body, seenGet, put)
+				seenGet = seenGet || g
+			case *ast.RangeStmt:
+				g, _ := walkBody(s.Body, seenGet, put)
+				seenGet = seenGet || g
+			case *ast.SwitchStmt:
+				for _, c := range s.Body.List {
+					if cc, ok := c.(*ast.CaseClause); ok {
+						g, _ := walk(cc.Body, seenGet, put)
+						seenGet = seenGet || g
+					}
+				}
+			case *ast.TypeSwitchStmt:
+				for _, c := range s.Body.List {
+					if cc, ok := c.(*ast.CaseClause); ok {
+						g, _ := walk(cc.Body, seenGet, put)
+						seenGet = seenGet || g
+					}
+				}
+			case *ast.SelectStmt:
+				for _, c := range s.Body.List {
+					if cc, ok := c.(*ast.CommClause); ok {
+						g, _ := walk(cc.Body, seenGet, put)
+						seenGet = seenGet || g
+					}
+				}
+			case *ast.LabeledStmt:
+				seenGet, put = walkBody(s.Stmt, seenGet, put)
+			default:
+				if seenGet && isPut(s) {
+					put = true
+				}
+			}
+		}
+		return seenGet, put
+	}
+	seenGet, put := walk(fd.Body.List, false, false)
+	// Falling off the end of the function without a Put loses the
+	// buffer too.
+	if seenGet && !put && !terminates(fd.Body.List) {
+		missed = append(missed, fd.Body)
+	}
+	return missed
+}
+
+// terminates reports whether a statement list cannot fall off its end
+// (last statement is a return or an unconditional control transfer).
+func terminates(stmts []ast.Stmt) bool {
+	if len(stmts) == 0 {
+		return false
+	}
+	switch s := stmts[len(stmts)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		call, ok := s.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := unparen(call.Fun).(*ast.Ident)
+		return ok && id.Name == "panic"
+	}
+	return false
+}

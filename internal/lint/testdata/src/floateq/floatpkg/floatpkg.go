@@ -1,0 +1,40 @@
+// Package floatpkg is the floateq self-test.
+package floatpkg
+
+func compare(a, b float64, i, j int) bool {
+	if a == b { // want "floating-point == comparison"
+		return true
+	}
+	if a != b { // want "floating-point != comparison"
+		return false
+	}
+	if i == j { // integer comparison: clean
+		return true
+	}
+	return false
+}
+
+func zeroGuard(x float64) bool {
+	return x == 0 // exact-zero sentinel: clean
+}
+
+func zeroGuardNeg(x float32) bool {
+	return 0.0 != x // exact-zero sentinel: clean
+}
+
+func nonZeroConst(x float64) bool {
+	return x == 0.25 // want "floating-point == comparison"
+}
+
+func floatSwitch(x float64) int {
+	switch x { // want "switch on a floating-point value"
+	case 1.5:
+		return 1
+	}
+	return 0
+}
+
+func suppressed(a, b float64) bool {
+	//lint:ignore floateq bit-identical inputs only reach this path
+	return a == b
+}

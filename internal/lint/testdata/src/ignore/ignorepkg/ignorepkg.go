@@ -1,0 +1,34 @@
+// Package ignorepkg is the suppression-mechanism self-test, run with
+// the floateq analyzer.
+package ignorepkg
+
+func sameLine(a, b float64) bool {
+	return a == b //lint:ignore floateq exact equality is the documented contract here
+}
+
+func lineAbove(a, b float64) bool {
+	//lint:ignore floateq inputs are quantized to identical grids first
+	return a == b
+}
+
+func missingReason(a, b float64) bool {
+	//lint:ignore floateq
+	// want-1 "missing a reason"
+	return a == b // want "floating-point == comparison"
+}
+
+func unknownCheck(a, b float64) bool {
+	//lint:ignore floatqe dyslexic check name does not exist
+	// want-1 "unknown check \"floatqe\""
+	return a == b // want "floating-point == comparison"
+}
+
+func unsuppressed(a, b float64) bool {
+	return a != b // want "floating-point != comparison"
+}
+
+func stale(a, b int) bool {
+	//lint:ignore floateq nothing on the next line is a float comparison
+	// want-1 "suppresses nothing"
+	return a == b
+}

@@ -1,0 +1,69 @@
+// Package mulpkg is the overflowmul self-test.
+package mulpkg
+
+const block = 64
+
+func directProduct(nx, ny int) []float32 {
+	return make([]float32, nx*ny) // want "raw integer product"
+}
+
+func viaVariable(nx, ny, nz int) []int64 {
+	n := nx * ny * nz
+	return make([]int64, n) // want "variable computed from a raw integer product"
+}
+
+func viaCapArg(nx, ny int) []byte {
+	return make([]byte, 0, nx*ny) // want "raw integer product"
+}
+
+func constProduct() []byte {
+	return make([]byte, 4*block) // constant-folded: clean
+}
+
+func constTimesVar(n int) []byte {
+	return make([]byte, 2*n) // want "raw integer product"
+}
+
+func checkedProduct(dims ...int) (int, bool) {
+	n := 1
+	for _, d := range dims {
+		if d < 0 || (d != 0 && n > (1<<62)/d) {
+			return 0, false
+		}
+		n *= d
+	}
+	return n, true
+}
+
+func throughHelper(nx, ny int) ([]float32, bool) {
+	n, ok := checkedProduct(nx, ny)
+	if !ok {
+		return nil, false
+	}
+	return make([]float32, n), true // helper-validated: clean
+}
+
+func productInsideIndex(idx []int, nx, ny int) []byte {
+	return make([]byte, idx[nx*ny]) // index expression, not a size: clean
+}
+
+func mulAssign(nx, ny int) []byte {
+	n := nx
+	n *= ny
+	return make([]byte, n) // want "variable computed from a raw integer product"
+}
+
+// allocChecked guards its product inline and is blessed by the test
+// configuration, so the raw product inside it is the guarded
+// implementation rather than a violation.
+func allocChecked(nx, ny int) []byte {
+	if nx < 0 || ny < 0 || (ny != 0 && nx > (1<<40)/ny) {
+		return nil
+	}
+	return make([]byte, nx*ny) // blessed helper: clean
+}
+
+func suppressed(nx, ny int) []byte {
+	//lint:ignore overflowmul dims bounded to 2^10 by the caller's contract
+	return make([]byte, nx*ny)
+}

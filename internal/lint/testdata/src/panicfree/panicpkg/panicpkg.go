@@ -1,0 +1,78 @@
+// Package panicpkg is the panicfree self-test: panics reachable from
+// Decode*/Decompress* entry points are findings unless documented as
+// invariant panics.
+package panicpkg
+
+import "errors"
+
+// ErrShort is the typed error the decode surface should return.
+var ErrShort = errors.New("panicpkg: short input")
+
+// DecodeBlock is an untrusted-input entry point.
+func DecodeBlock(b []byte) (int, error) {
+	if len(b) < 4 {
+		return 0, ErrShort
+	}
+	return parseBody(b[4:]), nil
+}
+
+func parseBody(b []byte) int {
+	if len(b) > 1<<20 {
+		panic("panicpkg: body too large") // want "panic reachable from decode entry point"
+	}
+	return len(b)
+}
+
+// DecompressVia reaches a panic through an interface dispatch.
+func DecompressVia(s Stage, b []byte) int {
+	return s.Apply(b)
+}
+
+// Stage is implemented by concrete stages in this package.
+type Stage interface{ Apply(b []byte) int }
+
+// RawStage panics on bad input; reachable through the interface.
+type RawStage struct{}
+
+// Apply implements Stage.
+func (RawStage) Apply(b []byte) int {
+	if len(b) == 0 {
+		panic("panicpkg: empty") // want "panic reachable from decode entry point"
+	}
+	return int(b[0])
+}
+
+func documented(b []byte) int {
+	if len(b)%2 != 0 {
+		// invariant: callers always pass an even-length buffer; an odd
+		// length is a bug in this package, not a property of the data.
+		panic("panicpkg: odd length")
+	}
+	return len(b) / 2
+}
+
+// DecodePadded uses the documented invariant panic: clean.
+func DecodePadded(b []byte) int {
+	return documented(b)
+}
+
+// Encode is not a decode entry point; its panic is out of scope.
+func Encode(v int) []byte {
+	if v < 0 {
+		panic("panicpkg: negative value") // encode side: clean
+	}
+	return []byte{byte(v)}
+}
+
+func suppressedPanic(b []byte) int {
+	if len(b) == 3 {
+		//lint:ignore panicfree exercised only by the fuzz harness scaffold
+		panic("panicpkg: suppressed")
+	}
+	return 0
+}
+
+// DecodeSuppressed reaches a suppressed panic: clean after directive.
+func DecodeSuppressed(b []byte) int {
+	return suppressedPanic(b)
+}

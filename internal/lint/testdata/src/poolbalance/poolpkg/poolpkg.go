@@ -1,0 +1,72 @@
+// Package poolpkg is the poolbalance self-test.
+package poolpkg
+
+import "sync"
+
+var bufPool = sync.Pool{New: func() interface{} { return new([]byte) }}
+
+// orphanPool has a Get but no Put anywhere in the package.
+var orphanPool = sync.Pool{New: func() interface{} { return new([]byte) }}
+
+type holder struct{ buf *[]byte }
+
+func deferred() int {
+	b := bufPool.Get().(*[]byte)
+	defer bufPool.Put(b)
+	if len(*b) > 0 {
+		return 1 // deferred Put covers this exit: clean
+	}
+	return 0
+}
+
+func allPaths(n int) int {
+	b := bufPool.Get().(*[]byte)
+	if n > 0 {
+		bufPool.Put(b)
+		return n // branch Puts before returning: clean
+	}
+	bufPool.Put(b)
+	return 0
+}
+
+func earlyReturnLeak(n int) int {
+	b := bufPool.Get().(*[]byte) // want "not Put on all paths"
+	if n < 0 {
+		return -1 // leaks b
+	}
+	bufPool.Put(b)
+	return len(*b)
+}
+
+func fallOffEndLeak() {
+	b := bufPool.Get().(*[]byte) // want "not Put on all paths"
+	_ = b
+}
+
+func discarded() {
+	bufPool.Get() // want "result is not retained"
+}
+
+// transfer hands the buffer to a holder; release Puts it back, so
+// ownership transfer is balanced at the package level.
+func transfer() *holder {
+	b := bufPool.Get().(*[]byte) // escape with package-level Put: clean
+	return &holder{buf: b}
+}
+
+func (h *holder) release() {
+	bufPool.Put(h.buf)
+}
+
+// orphanTransfer escapes into a holder, but nothing in the package
+// ever Puts to orphanPool.
+func orphanTransfer() *holder {
+	b := orphanPool.Get().(*[]byte) // want "nothing in this package ever Puts"
+	return &holder{buf: b}
+}
+
+func suppressed() {
+	//lint:ignore poolbalance buffer intentionally retired from the pool
+	b := bufPool.Get().(*[]byte)
+	_ = b
+}

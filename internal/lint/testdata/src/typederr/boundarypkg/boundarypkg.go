@@ -1,0 +1,41 @@
+// Package boundarypkg stands in for the integrity/archive/mpi
+// boundary packages: errors minted here must stay matchable.
+package boundarypkg
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrCorrupt is the sanctioned pattern: a package-level sentinel.
+var ErrCorrupt = errors.New("boundarypkg: corrupt") // package-level sentinel: clean
+
+// TypedError is the other sanctioned pattern.
+type TypedError struct{ Site string }
+
+func (e *TypedError) Error() string { return "boundarypkg: " + e.Site }
+
+func mintNew() error {
+	return errors.New("boundarypkg: one-off") // want "unmatchable errors.New"
+}
+
+func mintErrorf(n int) error {
+	return fmt.Errorf("boundarypkg: bad %d", n) // want "unmatchable fmt.Errorf"
+}
+
+func wrapSentinel(n int) error {
+	return fmt.Errorf("boundarypkg: step %d: %w", n, ErrCorrupt) // clean
+}
+
+func flattenAndMint(err error) error {
+	return fmt.Errorf("boundarypkg: %v", err) // want "flattens an error argument"
+}
+
+func typed(site string) error {
+	return &TypedError{Site: site} // clean
+}
+
+func suppressed() error {
+	//lint:ignore typederr transient scaffold error removed in the next pass
+	return errors.New("boundarypkg: scaffold")
+}

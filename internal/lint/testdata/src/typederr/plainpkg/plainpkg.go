@@ -1,0 +1,30 @@
+// Package plainpkg is a non-boundary package: only the module-wide
+// error-flattening rule applies here.
+package plainpkg
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errBase = errors.New("plainpkg: base")
+
+// Flatten loses the cause: errors.Is(err, errBase) stops working.
+func Flatten(err error) error {
+	return fmt.Errorf("wrapping %v failed", err) // want "flattens an error argument"
+}
+
+// Wrap keeps the chain intact.
+func Wrap(err error) error {
+	return fmt.Errorf("context: %w", err) // clean
+}
+
+// AdHoc is allowed outside boundary packages.
+func AdHoc(n int) error {
+	return fmt.Errorf("plainpkg: bad count %d", n) // non-boundary: clean
+}
+
+// AdHocNew is likewise allowed outside boundary packages.
+func AdHocNew() error {
+	return errors.New("plainpkg: ad hoc") // non-boundary: clean
+}

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"repro/internal/faultinject"
+	"repro/internal/safedim"
 	"repro/internal/telemetry"
 )
 
@@ -276,7 +277,7 @@ func (c *Comm) RecvTimeout(from, tag int) ([]byte, error) {
 
 // SendInt64s is a convenience wrapper marshaling an int64 slice.
 func (c *Comm) SendInt64s(to, tag int, vals []int64) {
-	buf := make([]byte, 8*len(vals))
+	buf := make([]byte, safedim.MustProduct(8, len(vals)))
 	for i, v := range vals {
 		u := uint64(v)
 		for b := 0; b < 8; b++ {

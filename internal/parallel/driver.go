@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/mpi"
+	"repro/internal/safedim"
 	"repro/internal/telemetry"
 )
 
@@ -132,7 +133,7 @@ type blockEncoder interface {
 // flatten packs the per-component planes of one border into a single
 // message payload; splitComps is its inverse on the receiving side.
 func flatten(planes [][]int64) []int64 {
-	out := make([]int64, 0, len(planes)*len(planes[0]))
+	out := make([]int64, 0, safedim.MustProduct(len(planes), len(planes[0])))
 	for _, p := range planes {
 		out = append(out, p...)
 	}
@@ -157,7 +158,7 @@ func compressDistributed(name string, ndim int, dims [3]int, rawBytes int64,
 	newEnc func(p [3]int, o core.Options, neighbor [6]bool) (blockEncoder, error)) (Result, error) {
 
 	nc := ndim
-	ranks := dims[0] * dims[1] * dims[2]
+	ranks := safedim.MustProduct(dims[0], dims[1], dims[2])
 	mcfg.Ranks = ranks
 	if mcfg.Tel == nil {
 		mcfg.Tel = opts.Tel
@@ -298,7 +299,7 @@ func compressDistributed(name string, ndim int, dims [3]int, rawBytes int64,
 func decompressDistributed(name string, dims [3]int, mcfg mpi.Config,
 	decode func(c *mpi.Comm, p [3]int, span *telemetry.Span) error) (mpi.Stats, error) {
 
-	ranks := dims[0] * dims[1] * dims[2]
+	ranks := safedim.MustProduct(dims[0], dims[1], dims[2])
 	mcfg.Ranks = ranks
 	errs := make([]error, ranks)
 	rt := newRunTel(mcfg.Tel, "parallel.decompress"+name, ranks)

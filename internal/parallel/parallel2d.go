@@ -5,6 +5,7 @@ import (
 	"repro/internal/field"
 	"repro/internal/fixed"
 	"repro/internal/mpi"
+	"repro/internal/safedim"
 	"repro/internal/telemetry"
 )
 
@@ -27,8 +28,9 @@ func CompressDistributed2D(f *field.Field2D, tr fixed.Transform, opts core.Optio
 	return compressDistributed("2d", 2, [3]int{grid.PX, grid.PY, 1}, rawBytes, opts, strat, mcfg,
 		func(p [3]int, o core.Options, neighbor [6]bool) (blockEncoder, error) {
 			sx, sy := xs[p[0]], ys[p[1]]
-			bu := make([]float32, sx.Size*sy.Size)
-			bv := make([]float32, sx.Size*sy.Size)
+			n := safedim.MustProduct(sx.Size, sy.Size)
+			bu := make([]float32, n)
+			bv := make([]float32, n)
 			for j := 0; j < sy.Size; j++ {
 				copy(bu[j*sx.Size:], f.U[(sy.Start+j)*f.NX+sx.Start:][:sx.Size])
 				copy(bv[j*sx.Size:], f.V[(sy.Start+j)*f.NX+sx.Start:][:sx.Size])

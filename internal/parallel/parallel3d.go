@@ -5,6 +5,7 @@ import (
 	"repro/internal/field"
 	"repro/internal/fixed"
 	"repro/internal/mpi"
+	"repro/internal/safedim"
 	"repro/internal/telemetry"
 )
 
@@ -31,7 +32,7 @@ func CompressDistributed3D(f *field.Field3D, tr fixed.Transform, opts core.Optio
 	return compressDistributed("3d", 3, [3]int{grid.PX, grid.PY, grid.PZ}, rawBytes, opts, strat, mcfg,
 		func(p [3]int, o core.Options, neighbor [6]bool) (blockEncoder, error) {
 			sx, sy, sz := xs[p[0]], ys[p[1]], zs[p[2]]
-			n := sx.Size * sy.Size * sz.Size
+			n := safedim.MustProduct(sx.Size, sy.Size, sz.Size)
 			bu := make([]float32, n)
 			bv := make([]float32, n)
 			bw := make([]float32, n)

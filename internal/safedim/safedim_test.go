@@ -1,0 +1,47 @@
+package safedim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestProduct(t *testing.T) {
+	cases := []struct {
+		dims []int
+		want int
+		ok   bool
+	}{
+		{nil, 1, true},
+		{[]int{7}, 7, true},
+		{[]int{3, 4}, 12, true},
+		{[]int{128, 256, 512}, 128 * 256 * 512, true},
+		{[]int{0, 1 << 62}, 0, true},
+		{[]int{1 << 62, 0}, 0, true},
+		{[]int{-1, 4}, 0, false},
+		{[]int{4, -1}, 0, false},
+		{[]int{1 << 32, 1 << 32}, 0, false},
+		{[]int{math.MaxInt, 2}, 0, false},
+		{[]int{math.MaxInt, 1}, math.MaxInt, true},
+		// The classic corrupt-header shape: three dims that each pass a
+		// per-dimension bound but whose product wraps.
+		{[]int{1 << 28, 1 << 28, 1 << 28}, 0, false},
+	}
+	for _, c := range cases {
+		got, ok := Product(c.dims...)
+		if got != c.want || ok != c.ok {
+			t.Errorf("Product(%v) = (%d, %v), want (%d, %v)", c.dims, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestMustProduct(t *testing.T) {
+	if got := MustProduct(6, 7); got != 42 {
+		t.Fatalf("MustProduct(6,7) = %d, want 42", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustProduct did not panic on overflow")
+		}
+	}()
+	MustProduct(1<<32, 1<<32)
+}

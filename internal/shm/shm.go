@@ -27,6 +27,7 @@ import (
 	"repro/internal/fixed"
 	"repro/internal/integrity"
 	"repro/internal/parallel"
+	"repro/internal/safedim"
 	"repro/internal/shm/pool"
 	"repro/internal/telemetry"
 )
@@ -356,7 +357,7 @@ func Compress2D(f *field.Field2D, tr fixed.Transform, opts core.Options, po Opti
 	return slabRun("shm.compress2d", rawBytes, slabs, workers, po,
 		func(i int, span *telemetry.Span) ([]byte, core.Stats, error) {
 			sy := ys[i]
-			n := f.NX * sy.Size
+			n := safedim.MustProduct(f.NX, sy.Size)
 			bu := make([]float32, n)
 			bv := make([]float32, n)
 			copy(bu, f.U[sy.Start*f.NX:][:n])
@@ -387,7 +388,7 @@ func Compress2D(f *field.Field2D, tr fixed.Transform, opts core.Options, po Opti
 		},
 		func(i int) ([]byte, core.Stats, error) {
 			sy := ys[i]
-			n := f.NX * sy.Size
+			n := safedim.MustProduct(f.NX, sy.Size)
 			sub := &field.Field2D{
 				NX: f.NX, NY: sy.Size,
 				U: f.U[sy.Start*f.NX:][:n],
@@ -416,7 +417,7 @@ func Compress3D(f *field.Field3D, tr fixed.Transform, opts core.Options, po Opti
 	return slabRun("shm.compress3d", rawBytes, slabs, workers, po,
 		func(i int, span *telemetry.Span) ([]byte, core.Stats, error) {
 			sz := zs[i]
-			n := plane * sz.Size
+			n := safedim.MustProduct(plane, sz.Size)
 			bu := make([]float32, n)
 			bv := make([]float32, n)
 			bw := make([]float32, n)
@@ -447,7 +448,7 @@ func Compress3D(f *field.Field3D, tr fixed.Transform, opts core.Options, po Opti
 		},
 		func(i int) ([]byte, core.Stats, error) {
 			sz := zs[i]
-			n := plane * sz.Size
+			n := safedim.MustProduct(plane, sz.Size)
 			sub := &field.Field3D{
 				NX: f.NX, NY: f.NY, NZ: sz.Size,
 				U: f.U[sz.Start*plane:][:n],

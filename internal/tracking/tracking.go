@@ -78,8 +78,14 @@ func Build(steps [][]cp.Point, opts Options) []*Track {
 			}
 		}
 		sort.Slice(cands, func(i, j int) bool {
-			if cands[i].d != cands[j].d {
-				return cands[i].d < cands[j].d
+			// Ordered < comparisons only: a NaN distance (corrupt
+			// positions) falls through to the index tie-breaks instead
+			// of breaking the strict weak ordering sort.Slice needs.
+			if cands[i].d < cands[j].d {
+				return true
+			}
+			if cands[j].d < cands[i].d {
+				return false
 			}
 			if cands[i].prevIdx != cands[j].prevIdx {
 				return cands[i].prevIdx < cands[j].prevIdx

@@ -70,6 +70,63 @@ func TestBuildPrefersNearest(t *testing.T) {
 	}
 }
 
+// TestBuildTieBreakDeterministic pins the candidate ordering when two
+// pairings are at exactly the same distance: the comparator must fall
+// through to the index tie-breaks (lowest prevIdx wins) instead of
+// relying on float equality, so matching stays deterministic.
+func TestBuildTieBreakDeterministic(t *testing.T) {
+	// Both step-0 points are exactly distance 1 from the single step-1
+	// point; prevIdx 0 must win the greedy match every time.
+	steps := [][]cp.Point{
+		{mkpt(1, cp.TypeSaddle, 0, 0), mkpt(2, cp.TypeSaddle, 2, 0)},
+		{mkpt(3, cp.TypeSaddle, 1, 0)},
+	}
+	for trial := 0; trial < 20; trial++ {
+		tracks := Build(steps, Options{Radius: 2})
+		if len(tracks) != 2 {
+			t.Fatalf("%d tracks, want 2", len(tracks))
+		}
+		var winner *Track
+		for _, tr := range tracks {
+			if tr.Length() == 2 {
+				winner = tr
+			}
+		}
+		if winner == nil {
+			t.Fatal("no track continued into step 1")
+		}
+		if winner.Points[0].Cell != 1 {
+			t.Fatalf("trial %d: tie broken toward cell %d, want cell 1",
+				trial, winner.Points[0].Cell)
+		}
+	}
+}
+
+// TestBuildNaNPositionIsInert pins that a corrupt (NaN) position cannot
+// poison matching: NaN distances fail the radius gate, and even if they
+// reached the comparator its ordered-< structure keeps a strict weak
+// ordering, so Build neither panics nor mismatches the healthy points.
+func TestBuildNaNPositionIsInert(t *testing.T) {
+	nan := math.NaN()
+	steps := [][]cp.Point{
+		{mkpt(1, cp.TypeSaddle, 0, 0), mkpt(2, cp.TypeSaddle, nan, nan)},
+		{mkpt(3, cp.TypeSaddle, 0.5, 0), mkpt(4, cp.TypeSaddle, nan, nan)},
+	}
+	tracks := Build(steps, Options{Radius: 4})
+	continued := 0
+	for _, tr := range tracks {
+		if tr.Length() == 2 {
+			continued++
+			if tr.Points[0].Cell != 1 || tr.Points[1].Cell != 3 {
+				t.Errorf("healthy pair mismatched: %+v", tr.Points)
+			}
+		}
+	}
+	if continued != 1 {
+		t.Errorf("%d continued tracks, want exactly the healthy pair", continued)
+	}
+}
+
 func TestSummarize(t *testing.T) {
 	tracks := []*Track{
 		{Start: 0, Points: make([]cp.Point, 5)},
