@@ -2,7 +2,7 @@ GO ?= go
 
 # Tier-1 gate: what CI (and the seed) requires to stay green.
 .PHONY: check
-check: vet lint build test faults
+check: vet lint build test faults benchgate
 
 .PHONY: vet
 vet:
@@ -33,7 +33,7 @@ test:
 # and degradation tests) and the compression kernel they drive.
 .PHONY: race
 race:
-	$(GO) test -race ./internal/telemetry/ ./internal/mpi/ ./internal/parallel/ ./internal/core/ ./internal/shm/... ./internal/faultinject/
+	$(GO) test -race ./internal/telemetry/ ./internal/mpi/ ./internal/parallel/ ./internal/core/ ./internal/shm/... ./internal/faultinject/ ./internal/flightrec/ ./internal/obs/
 
 # Fault soak: fault-injected pipeline runs plus the stream-integrity
 # tests. Every run must end in a typed error, a degradation report with
@@ -93,6 +93,32 @@ results/BENCH_baseline.json:
 .PHONY: baseline
 baseline:
 	$(GO) run ./cmd/cpbench -baseline-out results/BENCH_baseline.json baseline
+
+# Benchmark regression gate (scripts/benchgate.sh over `cpbench trend`):
+# diffs two baseline snapshots with per-metric thresholds — >10%
+# throughput drop, >5% ratio drop, or any fidelity-count increase fails.
+# The default self-diff runs on every `make check`, validating the gate
+# machinery and the checked-in baseline's schema at near-zero cost;
+# point BENCHGATE_NEW at a fresh snapshot — or run `make benchgate-fresh`
+# to generate one — to gate a real change.
+BENCHGATE_OLD ?= results/BENCH_baseline.json
+BENCHGATE_NEW ?= $(BENCHGATE_OLD)
+.PHONY: benchgate
+benchgate:
+	sh scripts/benchgate.sh $(BENCHGATE_OLD) $(BENCHGATE_NEW)
+
+.PHONY: benchgate-fresh
+benchgate-fresh:
+	$(GO) run ./cmd/cpbench -baseline-out BENCH_new.json baseline
+	sh scripts/benchgate.sh $(BENCHGATE_OLD) BENCH_new.json
+
+# Observability overhead gate: fully enabled instrumentation (collector
+# + flight recorder) must cost <=3% over the disabled default on the
+# ST4 Nek workload. Runs the kernel benchmark repeatedly, so it is a
+# separate target rather than part of check.
+.PHONY: overheadgate
+overheadgate:
+	sh scripts/overheadgate.sh
 
 .PHONY: all
 all: check race

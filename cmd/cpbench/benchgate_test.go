@@ -1,0 +1,99 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// TestBenchgateScript pins the acceptance contract of the shell gate:
+// scripts/benchgate.sh OLD.json NEW.json exits nonzero when the new
+// snapshot carries a >=10% sc_mbps regression and zero when the
+// snapshots agree. The script is exercised end to end — a cpbench
+// binary is built into a temp dir and injected via the CPBENCH
+// override, exactly how CI would pin a prebuilt binary.
+func TestBenchgateScript(t *testing.T) {
+	if _, err := exec.LookPath("sh"); err != nil {
+		t.Skip("no sh in PATH")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "cpbench")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building cpbench: %v\n%s", err, out)
+	}
+
+	repoRoot, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	script := filepath.Join(repoRoot, "scripts", "benchgate.sh")
+	if _, err := os.Stat(script); err != nil {
+		t.Fatal(err)
+	}
+
+	oldP := writeReport(t, dir, "old.json", fixtureReport(nil))
+	regP := writeReport(t, dir, "regressed.json", fixtureReport(func(rep *experiments.BaselineReport) {
+		// 120 -> 100 MB/s: a 16.7% sc_mbps drop, past the 10% gate.
+		tbl := rep.Tables["table5"]
+		tbl.Rows[0].ScMBps = 100
+		rep.Tables["table5"] = tbl
+	}))
+	sameP := writeReport(t, dir, "same.json", fixtureReport(nil))
+
+	run := func(args ...string) (int, string) {
+		cmd := exec.Command("sh", append([]string{script}, args...)...)
+		cmd.Dir = repoRoot
+		cmd.Env = append(os.Environ(), "CPBENCH="+bin)
+		out, err := cmd.CombinedOutput()
+		if err == nil {
+			return 0, string(out)
+		}
+		ee, ok := err.(*exec.ExitError)
+		if !ok {
+			t.Fatalf("running benchgate.sh: %v\n%s", err, out)
+		}
+		return ee.ExitCode(), string(out)
+	}
+
+	if code, out := run(oldP, regP); code == 0 {
+		t.Errorf("benchgate.sh exited 0 on a 16.7%% sc_mbps regression:\n%s", out)
+	} else if !strings.Contains(out, "REGRESSION table5/ours|tau=0.01: sc_mbps") {
+		t.Errorf("exit %d but no sc_mbps regression line:\n%s", code, out)
+	}
+
+	if code, out := run(oldP, sameP); code != 0 {
+		t.Errorf("benchgate.sh exited %d on identical snapshots:\n%s", code, out)
+	} else if !strings.Contains(out, "trend: no regressions") {
+		t.Errorf("missing pass summary:\n%s", out)
+	}
+
+	// The real checked-in baseline must diff cleanly against itself, so
+	// the make benchgate default invocation cannot false-positive.
+	baseline := filepath.Join(repoRoot, "results", "BENCH_baseline.json")
+	if _, err := os.Stat(baseline); err == nil {
+		if code, out := run(baseline, baseline); code != 0 {
+			t.Errorf("benchgate.sh exited %d on the checked-in baseline vs itself:\n%s", code, out)
+		}
+	}
+}
+
+// TestBaselineFixtureSchema guards the fixtures against schema drift: a
+// renamed JSON field would silently turn every trend comparison into
+// "no data, no regression".
+func TestBaselineFixtureSchema(t *testing.T) {
+	b, err := json.Marshal(fixtureReport(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"sc_mbps"`, `"sd_mbps"`, `"cr_all"`, `"compressor"`, `"settings"`, `"tables"`} {
+		if !strings.Contains(string(b), key) {
+			t.Errorf("fixture JSON lost key %s:\n%s", key, b)
+		}
+	}
+}

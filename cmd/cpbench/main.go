@@ -25,10 +25,23 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/faultinject"
+	"repro/internal/obs"
 	"repro/internal/telemetry"
 )
 
 func main() {
+	// trend has its own flag set and no dataset knobs; intercept it before
+	// the global flags parse.
+	if len(os.Args) > 1 && os.Args[1] == "trend" {
+		regressed, err := runTrend(os.Args[2:], os.Stdout)
+		if err != nil {
+			fatal(err)
+		}
+		if regressed {
+			os.Exit(1)
+		}
+		return
+	}
 	ocean := flag.String("ocean", "384x288", "Ocean dims (NXxNY)")
 	hurr := flag.String("hurricane", "64x64x32", "Hurricane dims (NXxNYxNZ)")
 	nek := flag.Int("nek", 64, "Nek5000 cube side")
@@ -41,6 +54,7 @@ func main() {
 	metricsDir := flag.String("metrics", "", "when set, write per-experiment telemetry JSON into this directory")
 	baselineOut := flag.String("baseline-out", "BENCH_baseline.json", "output path of the baseline command")
 	faults := flag.String("faults", "", "fault-injection spec for the shm experiment, e.g. seed=7,panic=0.2")
+	listen := flag.String("listen", "", "serve /metrics, /healthz, /debug/{trace,vars,pprof} on this address while experiments run")
 	flag.Parse()
 
 	inj, err := faultinject.Parse(*faults)
@@ -65,9 +79,22 @@ func main() {
 		fatal(fmt.Errorf("bad -hurricane: %w", err))
 	}
 
+	// With -listen, one collector spans the whole invocation so the debug
+	// endpoint sees every experiment; per-experiment metrics files keep
+	// their own collectors only when -listen is off.
+	if *listen != "" {
+		cfg.Tel = telemetry.New()
+		srv, err := obs.Serve(*listen, cfg.Tel, nil)
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Printf("debug endpoint on http://%s\n", srv.Addr())
+	}
+
 	args := flag.Args()
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: cpbench [flags] <table2|table3|table5|table6|table7|fig5|fig6|fig7|fig8|fig9|ablation|shm|baseline|all>...")
+		fmt.Fprintln(os.Stderr, "usage: cpbench [flags] <table2|table3|table5|table6|table7|fig5|fig6|fig7|fig8|fig9|ablation|shm|baseline|all|trend>...")
 		os.Exit(2)
 	}
 	if len(args) == 1 && args[0] == "all" {
@@ -83,7 +110,7 @@ func main() {
 			fmt.Printf("[baseline written to %s in %v]\n\n", *baselineOut, time.Since(start).Round(time.Millisecond))
 			continue
 		}
-		if *metricsDir != "" {
+		if *metricsDir != "" && *listen == "" {
 			cfg.Tel = telemetry.New()
 		}
 		tbl, err := run(name, cfg, *out)

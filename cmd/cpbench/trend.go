@@ -1,0 +1,142 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"repro/internal/experiments"
+)
+
+// The trend mode diffs two baseline snapshots (results/BENCH_*.json) and
+// fails on performance or fidelity regressions, giving make check a
+// benchmark gate:
+//
+//	cpbench trend [-max-throughput-drop 0.10] [-max-ratio-drop 0.05] OLD.json NEW.json
+//
+// Rows are matched by (table, compressor, settings). A regression is a
+// compression/decompression throughput drop beyond -max-throughput-drop,
+// a compression-ratio drop beyond -max-ratio-drop, or any increase in
+// FP/FN/FT counts (fidelity never gets a tolerance). Rows missing from
+// the new snapshot count as regressions too — losing coverage must not
+// pass silently. Exit status 1 signals at least one regression.
+
+// trendLimits are the relative-drop tolerances of the gate.
+type trendLimits struct {
+	ThroughputDrop float64
+	RatioDrop      float64
+}
+
+// runTrend executes the trend mode and reports whether any regression
+// was found (the caller turns that into exit status 1).
+func runTrend(args []string, w io.Writer) (regressed bool, err error) {
+	fs := flag.NewFlagSet("trend", flag.ContinueOnError)
+	thr := fs.Float64("max-throughput-drop", 0.10, "tolerated relative sc/sd throughput drop")
+	rat := fs.Float64("max-ratio-drop", 0.05, "tolerated relative compression-ratio drop")
+	fs.SetOutput(w)
+	if err := fs.Parse(args); err != nil {
+		return false, err
+	}
+	rest := fs.Args()
+	if len(rest) != 2 {
+		return false, fmt.Errorf("trend: want exactly two snapshots (old new), got %d args", len(rest))
+	}
+	oldRep, err := readBaseline(rest[0])
+	if err != nil {
+		return false, err
+	}
+	newRep, err := readBaseline(rest[1])
+	if err != nil {
+		return false, err
+	}
+	n := diffBaselines(w, oldRep, newRep, trendLimits{ThroughputDrop: *thr, RatioDrop: *rat})
+	if n > 0 {
+		fmt.Fprintf(w, "trend: %d regression(s) against %s\n", n, rest[0])
+		return true, nil
+	}
+	fmt.Fprintf(w, "trend: no regressions against %s\n", rest[0])
+	return false, nil
+}
+
+func readBaseline(path string) (*experiments.BaselineReport, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep experiments.BaselineReport
+	if err := json.Unmarshal(b, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+// diffBaselines prints one line per checked row and returns the number
+// of regressions. Output order is deterministic (sorted table and row
+// keys) so gate logs diff cleanly across runs.
+func diffBaselines(w io.Writer, oldRep, newRep *experiments.BaselineReport, lim trendLimits) int {
+	regressions := 0
+	for _, tname := range sortedTableNames(oldRep.Tables) {
+		oldTbl := oldRep.Tables[tname]
+		newTbl, ok := newRep.Tables[tname]
+		if !ok {
+			fmt.Fprintf(w, "REGRESSION %s: table missing from new snapshot\n", tname)
+			regressions++
+			continue
+		}
+		newRows := make(map[string]experiments.BaselineRow, len(newTbl.Rows))
+		for _, r := range newTbl.Rows {
+			newRows[r.Compressor+"|"+r.Settings] = r
+		}
+		for _, o := range oldTbl.Rows {
+			key := o.Compressor + "|" + o.Settings
+			n, ok := newRows[key]
+			if !ok {
+				fmt.Fprintf(w, "REGRESSION %s/%s: row missing from new snapshot\n", tname, key)
+				regressions++
+				continue
+			}
+			regressions += diffRow(w, tname, key, o, n, lim)
+		}
+	}
+	return regressions
+}
+
+func diffRow(w io.Writer, tname, key string, o, n experiments.BaselineRow, lim trendLimits) int {
+	bad := 0
+	check := func(metric string, oldV, newV, tolerance float64) {
+		if oldV <= 0 {
+			return
+		}
+		drop := (oldV - newV) / oldV
+		if drop > tolerance {
+			fmt.Fprintf(w, "REGRESSION %s/%s: %s %.3g -> %.3g (-%.1f%%, limit %.1f%%)\n",
+				tname, key, metric, oldV, newV, 100*drop, 100*tolerance)
+			bad++
+		}
+	}
+	check("sc_mbps", o.ScMBps, n.ScMBps, lim.ThroughputDrop)
+	check("sd_mbps", o.SdMBps, n.SdMBps, lim.ThroughputDrop)
+	check("cr_all", o.CRAll, n.CRAll, lim.RatioDrop)
+	oldBad, newBad := o.FP+o.FN+o.FT, n.FP+n.FN+n.FT
+	if newBad > oldBad {
+		fmt.Fprintf(w, "REGRESSION %s/%s: fidelity fp+fn+ft %d -> %d\n", tname, key, oldBad, newBad)
+		bad++
+	}
+	if bad == 0 {
+		fmt.Fprintf(w, "ok %s/%s: sc %.3g sd %.3g cr %.3g fp+fn+ft %d\n",
+			tname, key, n.ScMBps, n.SdMBps, n.CRAll, newBad)
+	}
+	return bad
+}
+
+func sortedTableNames(m map[string]experiments.BaselineTable) []string {
+	names := make([]string, 0, len(m))
+	for k := range m {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,190 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// fixtureReport builds a baseline snapshot with one table5 row; the
+// mutate hook lets each case perturb the new snapshot.
+func fixtureReport(mutate func(*experiments.BaselineReport)) *experiments.BaselineReport {
+	rep := &experiments.BaselineReport{
+		Tables: map[string]experiments.BaselineTable{
+			"table5": {Rows: []experiments.BaselineRow{
+				{
+					Compressor: "ours", Settings: "tau=0.01",
+					CRAll: 8.5, ScMBps: 120, SdMBps: 240,
+					TP: 27, FP: 0, FN: 0, FT: 0,
+				},
+				{
+					Compressor: "sz3", Settings: "eb=1e-2",
+					CRAll: 10.2, ScMBps: 300, SdMBps: 500,
+					TP: 20, FP: 3, FN: 4, FT: 1,
+				},
+			}},
+		},
+	}
+	if mutate != nil {
+		mutate(rep)
+	}
+	return rep
+}
+
+func writeReport(t *testing.T, dir, name string, rep *experiments.BaselineReport) string {
+	t.Helper()
+	b, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := filepath.Join(dir, name)
+	if err := os.WriteFile(p, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func runTrendCase(t *testing.T, mutate func(*experiments.BaselineReport), args ...string) (bool, string) {
+	t.Helper()
+	dir := t.TempDir()
+	oldP := writeReport(t, dir, "old.json", fixtureReport(nil))
+	newP := writeReport(t, dir, "new.json", fixtureReport(mutate))
+	var out strings.Builder
+	regressed, err := runTrend(append(args, oldP, newP), &out)
+	if err != nil {
+		t.Fatalf("runTrend: %v\n%s", err, out.String())
+	}
+	return regressed, out.String()
+}
+
+func TestTrendCleanPasses(t *testing.T) {
+	regressed, out := runTrendCase(t, nil)
+	if regressed {
+		t.Fatalf("identical snapshots regressed:\n%s", out)
+	}
+	if !strings.Contains(out, "trend: no regressions") {
+		t.Fatalf("missing pass summary:\n%s", out)
+	}
+}
+
+func TestTrendThroughputRegression(t *testing.T) {
+	// 120 -> 100 MB/s is a 16.7% sc_mbps drop, beyond the 10% default.
+	regressed, out := runTrendCase(t, func(rep *experiments.BaselineReport) {
+		tbl := rep.Tables["table5"]
+		tbl.Rows[0].ScMBps = 100
+		rep.Tables["table5"] = tbl
+	})
+	if !regressed {
+		t.Fatalf("16.7%% sc_mbps drop not flagged:\n%s", out)
+	}
+	if !strings.Contains(out, "REGRESSION table5/ours|tau=0.01: sc_mbps") {
+		t.Fatalf("missing sc_mbps regression line:\n%s", out)
+	}
+}
+
+func TestTrendThroughputWithinTolerance(t *testing.T) {
+	// A 5% drop stays inside the 10% default tolerance.
+	regressed, out := runTrendCase(t, func(rep *experiments.BaselineReport) {
+		tbl := rep.Tables["table5"]
+		tbl.Rows[0].ScMBps = 114
+		rep.Tables["table5"] = tbl
+	})
+	if regressed {
+		t.Fatalf("5%% drop flagged despite 10%% tolerance:\n%s", out)
+	}
+}
+
+func TestTrendTighterLimitFlagsSmallDrop(t *testing.T) {
+	regressed, out := runTrendCase(t, func(rep *experiments.BaselineReport) {
+		tbl := rep.Tables["table5"]
+		tbl.Rows[0].ScMBps = 114
+		rep.Tables["table5"] = tbl
+	}, "-max-throughput-drop", "0.02")
+	if !regressed {
+		t.Fatalf("5%% drop not flagged under 2%% limit:\n%s", out)
+	}
+}
+
+func TestTrendFidelityRegression(t *testing.T) {
+	// Any fp+fn+ft increase regresses — fidelity has no tolerance.
+	regressed, out := runTrendCase(t, func(rep *experiments.BaselineReport) {
+		tbl := rep.Tables["table5"]
+		tbl.Rows[0].FP = 1
+		rep.Tables["table5"] = tbl
+	})
+	if !regressed {
+		t.Fatalf("fp increase not flagged:\n%s", out)
+	}
+	if !strings.Contains(out, "fidelity fp+fn+ft 0 -> 1") {
+		t.Fatalf("missing fidelity regression line:\n%s", out)
+	}
+}
+
+func TestTrendRatioRegression(t *testing.T) {
+	// 8.5 -> 7.5 is an 11.8% cr_all drop, beyond the 5% default.
+	regressed, out := runTrendCase(t, func(rep *experiments.BaselineReport) {
+		tbl := rep.Tables["table5"]
+		tbl.Rows[0].CRAll = 7.5
+		rep.Tables["table5"] = tbl
+	})
+	if !regressed {
+		t.Fatalf("11.8%% cr_all drop not flagged:\n%s", out)
+	}
+	if !strings.Contains(out, "cr_all") {
+		t.Fatalf("missing cr_all regression line:\n%s", out)
+	}
+}
+
+func TestTrendMissingRowRegression(t *testing.T) {
+	regressed, out := runTrendCase(t, func(rep *experiments.BaselineReport) {
+		tbl := rep.Tables["table5"]
+		tbl.Rows = tbl.Rows[:1]
+		rep.Tables["table5"] = tbl
+	})
+	if !regressed {
+		t.Fatalf("missing row not flagged:\n%s", out)
+	}
+	if !strings.Contains(out, "row missing from new snapshot") {
+		t.Fatalf("missing row-missing line:\n%s", out)
+	}
+}
+
+func TestTrendMissingTableRegression(t *testing.T) {
+	regressed, out := runTrendCase(t, func(rep *experiments.BaselineReport) {
+		delete(rep.Tables, "table5")
+	})
+	if !regressed {
+		t.Fatalf("missing table not flagged:\n%s", out)
+	}
+	if !strings.Contains(out, "table missing from new snapshot") {
+		t.Fatalf("missing table-missing line:\n%s", out)
+	}
+}
+
+func TestTrendImprovementsPass(t *testing.T) {
+	// Faster, denser, and more accurate must never regress.
+	regressed, out := runTrendCase(t, func(rep *experiments.BaselineReport) {
+		tbl := rep.Tables["table5"]
+		tbl.Rows[0].ScMBps = 200
+		tbl.Rows[0].CRAll = 12
+		tbl.Rows[1].FP = 0
+		rep.Tables["table5"] = tbl
+	})
+	if regressed {
+		t.Fatalf("improvements flagged as regression:\n%s", out)
+	}
+}
+
+func TestTrendBadArgs(t *testing.T) {
+	var out strings.Builder
+	if _, err := runTrend([]string{"only-one.json"}, &out); err == nil {
+		t.Fatal("single snapshot accepted")
+	}
+	if _, err := runTrend([]string{"a.json", "b.json"}, &out); err == nil {
+		t.Fatal("nonexistent snapshots accepted")
+	}
+}

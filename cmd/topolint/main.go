@@ -80,12 +80,12 @@ func main() {
 	sort.Strings(names)
 	total := 0
 	for _, n := range names {
-		fmt.Printf("%-12s %4d finding(s)\n", n, res.Counts[n])
+		fmt.Printf("%-13s %4d finding(s)\n", n, res.Counts[n])
 		total += res.Counts[n]
 	}
 	directive := len(res.Diagnostics) - total
 	if directive > 0 {
-		fmt.Printf("%-12s %4d finding(s)\n", lint.DirectiveCheck, directive)
+		fmt.Printf("%-13s %4d finding(s)\n", lint.DirectiveCheck, directive)
 	}
 	fmt.Printf("topolint: %d package(s), %d finding(s), %d suppressed, %s\n",
 		len(prog.Pkgs), len(res.Diagnostics), res.Suppressed, time.Since(start).Round(time.Millisecond))

@@ -25,6 +25,7 @@
 package main
 
 import (
+	"crypto/sha256"
 	"errors"
 	"flag"
 	"fmt"
@@ -43,7 +44,9 @@ import (
 	"repro/internal/faultinject"
 	"repro/internal/field"
 	"repro/internal/fixed"
+	"repro/internal/flightrec"
 	"repro/internal/integrity"
+	"repro/internal/obs"
 	"repro/internal/shm"
 	"repro/internal/telemetry"
 )
@@ -203,6 +206,9 @@ func cmdCompress(args []string) error {
 	workers := fs.Int("workers", 0, "shared-memory workers (0 = single-block path; -1 = all cores)")
 	slabs := fs.Int("slabs", 0, "slab count for the shared-memory path (0 = derive from field shape)")
 	metrics := fs.String("metrics", "", "write telemetry (span tree + counters) as JSON to this file")
+	traceOut := fs.String("trace", "", "write the span forest as Chrome trace-event JSON (Perfetto-loadable) to this file")
+	listen := fs.String("listen", "", "serve /metrics, /healthz, /debug/{trace,flightrec,vars,pprof} on this address for the duration of the run (e.g. 127.0.0.1:6060)")
+	flightrecOut := fs.String("flightrec", "", "flight-recorder dump path (default <out>.flightrec.json); written automatically on an error or degraded run")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the compression to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile taken after compression to this file")
 	faults := fs.String("faults", "", "fault-injection spec for the shm path, e.g. seed=7,panic=0.2,bitflip=0.01 (default: $"+faultinject.EnvVar+")")
@@ -230,8 +236,29 @@ func cmdCompress(args []string) error {
 		return err
 	}
 	var tel *telemetry.Collector
-	if *metrics != "" {
+	if *metrics != "" || *traceOut != "" || *listen != "" {
 		tel = telemetry.New()
+	}
+	// The flight recorder rides along whenever something can go wrong
+	// (fault injection) or the operator asked for it; it stays nil — and
+	// free — on plain runs.
+	var rec *flightrec.Recorder
+	if inj != nil || *flightrecOut != "" || *listen != "" {
+		rec = flightrec.New(0)
+		dumpPath := *flightrecOut
+		if dumpPath == "" {
+			dumpPath = *out + ".flightrec.json"
+		}
+		rec.SetDumpPath(dumpPath)
+		inj.SetRecorder(rec)
+	}
+	if *listen != "" {
+		srv, err := obs.Serve(*listen, tel, rec)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Printf("debug endpoint on http://%s\n", srv.Addr())
 	}
 	if *cpuprofile != "" {
 		pf, err := os.Create(*cpuprofile)
@@ -248,22 +275,24 @@ func cmdCompress(args []string) error {
 	if inj != nil && !useShm {
 		return fmt.Errorf("-faults needs the shared-memory path; add -workers or -slabs")
 	}
-	shmOpts := shm.Options{Workers: *workers, Slabs: *slabs, Tel: tel, Faults: inj}
+	shmOpts := shm.Options{Workers: *workers, Slabs: *slabs, Tel: tel, Rec: rec, Faults: inj}
 	var blob []byte
 	var st core.Stats
 	var rawBytes int
 	var wall time.Duration
 	var shmRes shm.Result
+	var tauAbs float64
 	if f2 != nil {
 		t := *tau
 		if !*abs {
 			t *= rangeOf(f2.U, f2.V)
 		}
+		tauAbs = t
 		tr, ferr := fixed.Fit(f2.U, f2.V)
 		if ferr != nil {
 			return ferr
 		}
-		opts := core.Options{Tau: t, Spec: spec, Tel: tel}
+		opts := core.Options{Tau: t, Spec: spec, Tel: tel, Rec: rec, RecSlab: -1}
 		rawBytes = 8 * len(f2.U)
 		if useShm {
 			shmRes, err = shm.Compress2D(f2, tr, opts, shmOpts)
@@ -278,11 +307,12 @@ func cmdCompress(args []string) error {
 		if !*abs {
 			t *= rangeOf(f3.U, f3.V, f3.W)
 		}
+		tauAbs = t
 		tr, ferr := fixed.Fit(f3.U, f3.V, f3.W)
 		if ferr != nil {
 			return ferr
 		}
-		opts := core.Options{Tau: t, Spec: spec, Tel: tel}
+		opts := core.Options{Tau: t, Spec: spec, Tel: tel, Rec: rec, RecSlab: -1}
 		rawBytes = 12 * len(f3.U)
 		if useShm {
 			shmRes, err = shm.Compress3D(f3, tr, opts, shmOpts)
@@ -292,6 +322,15 @@ func cmdCompress(args []string) error {
 			blob, st, err = core.CompressField3DStats(f3, tr, opts)
 			wall = time.Since(start)
 		}
+	}
+	// The postmortem contract: any failed or degraded run dumps the
+	// flight-recorder ring before the error surfaces.
+	dumpedTo := ""
+	if p, derr := rec.DumpOnOutcome(err, len(shmRes.Degraded) > 0); derr != nil {
+		fmt.Fprintln(os.Stderr, "topozip: flight recorder dump failed:", derr)
+	} else if p != "" {
+		dumpedTo = p
+		fmt.Fprintln(os.Stderr, "flight recorder dumped to", p)
 	}
 	if err != nil {
 		return err
@@ -331,6 +370,20 @@ func cmdCompress(args []string) error {
 			return err
 		}
 	}
+	if *traceOut != "" {
+		tf, err := os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		defer tf.Close()
+		if err := tel.WriteChromeTrace(tf); err != nil {
+			return err
+		}
+	}
+	if err := writeCompressManifest(args, *in, *out, dims, blob, tauAbs, *tau, *abs, spec,
+		st, wall, mbps, useShm, shmRes, tel, dumpedTo); err != nil {
+		return err
+	}
 	if *memprofile != "" {
 		pf, err := os.Create(*memprofile)
 		if err != nil {
@@ -343,6 +396,70 @@ func cmdCompress(args []string) error {
 		}
 	}
 	return nil
+}
+
+// writeCompressManifest records the run's provenance beside the archive:
+// topozip info and verify render it, and verify writes its fidelity
+// result back into it.
+func writeCompressManifest(args []string, in, out string, dims []int, blob []byte,
+	tauAbs, tauIn float64, abs bool, spec core.Speculation, st core.Stats,
+	wall time.Duration, mbps float64, useShm bool, shmRes shm.Result,
+	tel *telemetry.Collector, flightDump string) error {
+
+	man := telemetry.NewManifest("topozip")
+	man.Command = "compress " + strings.Join(args, " ")
+	raw, err := os.ReadFile(in)
+	if err != nil {
+		return err
+	}
+	comps := 2
+	if len(dims) == 3 {
+		comps = 3
+	}
+	man.Dataset = telemetry.ManifestDataset{
+		Dims: dims, Components: comps, RawBytes: int64(len(raw)),
+		SHA256: fmt.Sprintf("%x", sha256.Sum256(raw)),
+	}
+	man.Codec = telemetry.ManifestCodec{
+		Name: "topozip-cp", FormatVersion: core.FormatVersion,
+		Spec: spec.String(), Tau: tauAbs,
+	}
+	if !abs {
+		man.Codec.TauRelative = tauIn
+	}
+	man.Run = telemetry.ManifestRun{
+		WallNS: wall.Nanoseconds(), ThroughputMBps: mbps,
+		CompressedBytes: int64(len(blob)),
+		Ratio:           float64(len(raw)) / float64(len(blob)),
+		FlightRecorder:  flightDump,
+	}
+	if useShm {
+		man.Run.Slabs = shmRes.Slabs
+		man.Run.Workers = shmRes.Workers
+		man.Run.Retries = shmRes.Retries
+		man.Run.Panics = shmRes.Panics
+		man.Run.Timeouts = shmRes.Timeouts
+		man.Run.DegradedSlabs = shmRes.Degraded
+		man.Run.Degradation = shmRes.DegradationReport()
+	}
+	man.Bounds = telemetry.ManifestBounds{
+		Vertices: int64(st.Vertices), Lossless: int64(st.Lossless),
+		Relaxed: int64(st.Relaxed), Literals: int64(st.Literals),
+		SpecTrials: int64(st.SpecTrials), SpecFails: int64(st.SpecFails),
+		SpecCutoffs: int64(st.SpecCutoffs),
+	}
+	if tel != nil {
+		snap := tel.Snapshot()
+		dim := "2d"
+		if len(dims) == 3 {
+			dim = "3d"
+		}
+		if h, ok := snap.Histograms["core."+dim+".bound_exp_sym"]; ok {
+			man.Bounds.BoundExp = &h
+		}
+		man.Metrics = &snap
+	}
+	return man.WriteFile(telemetry.ManifestPath(out))
 }
 
 func rangeOf(comps ...[]float32) float64 {
@@ -492,14 +609,34 @@ func cmdVerify(args []string) error {
 	for _, c := range orig2 {
 		rawBytes += 4 * len(c)
 	}
-	// Machine-readable one-line summary (deterministic field order).
-	if err := telemetry.EncodeJSONLine(os.Stdout, verifySummary{
+	sum := verifySummary{
 		TP: rep.TP, FP: rep.FP, FN: rep.FN, FT: rep.FT,
 		Ratio:       float64(rawBytes) / float64(len(blob)),
 		MaxAbsError: maxErr,
 		PSNRdB:      psnr,
 		Preserved:   rep.Preserved(),
-	}); err != nil {
+	}
+	// When the archive travels with its manifest, render it, surface the
+	// compressor's bound-exponent quantiles in the summary line, and write
+	// the fidelity verdict back so the manifest carries the full story.
+	if man, merr := telemetry.ReadManifest(telemetry.ManifestPath(*comp)); merr == nil {
+		if h := man.Bounds.BoundExp; h != nil && h.Count > 0 {
+			sum.BoundExpP50, sum.BoundExpP90, sum.BoundExpP99 = h.P50, h.P90, h.P99
+		}
+		man.Fidelity = &telemetry.ManifestFidelity{
+			TP: rep.TP, FP: rep.FP, FN: rep.FN, FT: rep.FT,
+			MaxAbsError: maxErr, PSNRdB: psnr, Preserved: rep.Preserved(),
+			VerifiedUnixNS: time.Now().UnixNano(),
+		}
+		if werr := man.WriteFile(telemetry.ManifestPath(*comp)); werr != nil {
+			return werr
+		}
+		if rerr := man.Render(os.Stdout); rerr != nil {
+			return rerr
+		}
+	}
+	// Machine-readable one-line summary (deterministic field order).
+	if err := telemetry.EncodeJSONLine(os.Stdout, sum); err != nil {
 		return err
 	}
 	if !rep.Preserved() {
@@ -520,6 +657,12 @@ type verifySummary struct {
 	MaxAbsError float64 `json:"max_abs_error"`
 	PSNRdB      float64 `json:"psnr_db"`
 	Preserved   bool    `json:"preserved"`
+	// Bound-exponent quantiles from the archive's manifest (how tight the
+	// stored bounds ran); present only when the compressing run collected
+	// telemetry.
+	BoundExpP50 int64 `json:"bound_exp_p50,omitempty"`
+	BoundExpP90 int64 `json:"bound_exp_p90,omitempty"`
+	BoundExpP99 int64 `json:"bound_exp_p99,omitempty"`
 }
 
 func cmdInfo(args []string) error {
@@ -549,7 +692,7 @@ func cmdInfo(args []string) error {
 			fmt.Printf("shm container: %d slabs, 3D field %dx%dx%d, %d compressed bytes (%.2fx vs raw)\n",
 				r.Steps(), f3.NX, f3.NY, f3.NZ, len(blob), float64(12*f3.NX*f3.NY*f3.NZ)/float64(len(blob)))
 		}
-		return nil
+		return renderManifestIfPresent(*in)
 	}
 	ndim, nx, ny, nz, err := core.PeekHeader(blob)
 	if err != nil {
@@ -562,5 +705,20 @@ func cmdInfo(args []string) error {
 		fmt.Printf("3D block %dx%dx%d, %d compressed bytes (%.2fx vs raw)\n",
 			nx, ny, nz, len(blob), float64(12*nx*ny*nz)/float64(len(blob)))
 	}
-	return nil
+	return renderManifestIfPresent(*in)
+}
+
+// renderManifestIfPresent prints the run manifest an archive travels
+// with; a missing manifest is not an error (the file may predate them or
+// have been moved alone), but a malformed one is.
+func renderManifestIfPresent(archivePath string) error {
+	path := telemetry.ManifestPath(archivePath)
+	if _, err := os.Stat(path); err != nil {
+		return nil
+	}
+	man, err := telemetry.ReadManifest(path)
+	if err != nil {
+		return err
+	}
+	return man.Render(os.Stdout)
 }

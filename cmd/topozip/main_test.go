@@ -8,6 +8,8 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/flightrec"
+	"repro/internal/telemetry"
 )
 
 func TestParseDims(t *testing.T) {
@@ -124,8 +126,8 @@ func TestCLIMetricsAndProfiles(t *testing.T) {
 	if err := json.Unmarshal(b, &snap); err != nil {
 		t.Fatalf("metrics file is not valid JSON: %v", err)
 	}
-	if snap.Counters["core.2d.ST3.vertices"] != 48*40 {
-		t.Errorf("vertices counter = %d, want %d", snap.Counters["core.2d.ST3.vertices"], 48*40)
+	if snap.Counters["core.2d.st3.vertices"] != 48*40 {
+		t.Errorf("vertices counter = %d, want %d", snap.Counters["core.2d.st3.vertices"], 48*40)
 	}
 	if len(snap.Spans) != 1 || snap.Spans[0].Name != "core.compress2d" || len(snap.Spans[0].Children) == 0 {
 		t.Errorf("unexpected span tree: %+v", snap.Spans)
@@ -172,5 +174,109 @@ func TestCLIErrors(t *testing.T) {
 	}
 	if err := cmdTrack([]string{"-in", "/nonexistent"}); err == nil {
 		t.Error("missing archive must fail")
+	}
+}
+
+// TestCLIManifestLifecycle pins the manifest contract: compress writes a
+// manifest beside the archive, verify writes its fidelity verdict back
+// into it and surfaces bound quantiles in the summary line, and info
+// renders it.
+func TestCLIManifestLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	raw := filepath.Join(dir, "ocean.f32")
+	comp := filepath.Join(dir, "ocean.szp")
+	metrics := filepath.Join(dir, "m.json")
+
+	if err := cmdGen([]string{"-data", "ocean", "-dims", "48x40", "-out", raw}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdCompress([]string{"-in", raw, "-dims", "48x40", "-tau", "0.01", "-spec", "ST2",
+		"-out", comp, "-metrics", metrics}); err != nil {
+		t.Fatal(err)
+	}
+	man, err := telemetry.ReadManifest(telemetry.ManifestPath(comp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.Tool != "topozip" || man.Codec.FormatVersion != core.FormatVersion || man.Codec.Spec != "ST2" {
+		t.Errorf("manifest header: %+v", man)
+	}
+	if len(man.Dataset.SHA256) != 64 || man.Dataset.RawBytes != 48*40*2*4 {
+		t.Errorf("dataset block: %+v", man.Dataset)
+	}
+	if man.Bounds.Vertices != 48*40 || man.Bounds.SpecTrials == 0 {
+		t.Errorf("bounds block: %+v", man.Bounds)
+	}
+	if man.Bounds.BoundExp == nil || man.Bounds.BoundExp.Count == 0 {
+		t.Errorf("metrics-enabled run must embed the bound-exponent histogram: %+v", man.Bounds.BoundExp)
+	}
+	if man.Fidelity != nil {
+		t.Error("fidelity must be absent before verify")
+	}
+
+	if err := cmdVerify([]string{"-orig", raw, "-comp", comp}); err != nil {
+		t.Fatal(err)
+	}
+	man, err = telemetry.ReadManifest(telemetry.ManifestPath(comp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.Fidelity == nil || !man.Fidelity.Preserved || man.Fidelity.VerifiedUnixNS == 0 {
+		t.Errorf("verify must write the fidelity verdict back: %+v", man.Fidelity)
+	}
+	if err := cmdInfo([]string{"-in", comp}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCLIFlightRecorderDump pins the acceptance criterion: a
+// faults-enabled run that degrades leaves a flight-recorder JSON dump
+// naming slab, attempt, and the event sequence.
+func TestCLIFlightRecorderDump(t *testing.T) {
+	dir := t.TempDir()
+	raw := filepath.Join(dir, "ocean.f32")
+	comp := filepath.Join(dir, "ocean.szp")
+
+	if err := cmdGen([]string{"-data", "ocean", "-dims", "64x48", "-out", raw}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdCompress([]string{"-in", raw, "-dims", "64x48", "-tau", "0.01", "-spec", "ST2",
+		"-out", comp, "-slabs", "4", "-faults", "seed=1,panic=1"}); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(comp + ".flightrec.json")
+	if err != nil {
+		t.Fatalf("degraded run must dump the flight recorder: %v", err)
+	}
+	var dump flightrec.Dump
+	if err := json.Unmarshal(b, &dump); err != nil {
+		t.Fatalf("dump is not valid JSON: %v", err)
+	}
+	if dump.Recorded == 0 || len(dump.Events) == 0 {
+		t.Fatalf("empty dump: %+v", dump)
+	}
+	var degraded, withSlabAttempt bool
+	for _, ev := range dump.Events {
+		if ev.Kind == flightrec.KindDegraded {
+			degraded = true
+		}
+		if ev.Slab >= 0 && ev.Attempt >= 1 {
+			withSlabAttempt = true
+		}
+	}
+	if !degraded || !withSlabAttempt {
+		t.Errorf("dump must name degradations and slab/attempt attribution; got %+v", dump.Events)
+	}
+	// The manifest cross-references the dump and the degradation.
+	man, err := telemetry.ReadManifest(telemetry.ManifestPath(comp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.Run.FlightRecorder == "" || len(man.Run.DegradedSlabs) == 0 || man.Run.Degradation == "" {
+		t.Errorf("manifest must record the degradation outcome: %+v", man.Run)
+	}
+	// A degraded archive still verifies: every critical point survives.
+	if err := cmdVerify([]string{"-orig", raw, "-comp", comp}); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -28,6 +28,10 @@ const (
 	version2 = 2
 )
 
+// FormatVersion is the block format version the encoder emits, recorded
+// in run manifests for provenance.
+const FormatVersion = version2
+
 // header is the self-describing prefix of a compressed block.
 type header struct {
 	NDim     int

@@ -8,6 +8,7 @@ import (
 	"repro/internal/cp"
 	"repro/internal/encoder"
 	"repro/internal/fixed"
+	"repro/internal/flightrec"
 	"repro/internal/huffman"
 	"repro/internal/quantizer"
 	"repro/internal/safedim"
@@ -585,12 +586,15 @@ func (k *kernel) speculateST1(oi, oj, ok, vid int, cpA bool) (uint8, int64) {
 		k.stats.SpecFails++
 		k.tel.specFails.Inc()
 		fails++
+		if fails == 1 {
+			k.recordRollback(vid)
+		}
 		if fails > nl {
-			return k.specCutoff()
+			return k.specCutoff(vid)
 		}
 		try >>= 1
 		if try <= 0 {
-			return k.specCutoff()
+			return k.specCutoff(vid)
 		}
 	}
 }
@@ -654,22 +658,37 @@ func (k *kernel) speculateVerify(oi, oj, ok, vid int, check func(c int) bool) (u
 		k.stats.SpecFails++
 		k.tel.specFails.Inc()
 		fails++
+		if fails == 1 {
+			k.recordRollback(vid)
+		}
 		if fails > nl {
-			return k.specCutoff()
+			return k.specCutoff(vid)
 		}
 		try >>= 1
 		if try <= 0 {
-			return k.specCutoff()
+			return k.specCutoff(vid)
 		}
 	}
+}
+
+// recordRollback flight-records the first rejected speculation trial of a
+// vertex (Code = vertex id). Later restrictions of the same vertex are
+// expected behavior and stay off the ring.
+func (k *kernel) recordRollback(vid int) {
+	k.blk.opts.Rec.Record(flightrec.Event{Kind: flightrec.KindRollback, Subsystem: "core",
+		Slab: int32(k.blk.opts.RecSlab), Attempt: -1, Code: int64(vid),
+		Detail: "speculation trial rejected"})
 }
 
 // specCutoff records the hard cut-off to lossless storage after
 // speculation exhausts its retry budget (n_l failures or a trial bound
 // shrunk to zero).
-func (k *kernel) specCutoff() (uint8, int64) {
+func (k *kernel) specCutoff(vid int) (uint8, int64) {
 	k.stats.SpecCutoffs++
 	k.tel.specCutoffs.Inc()
+	k.blk.opts.Rec.Record(flightrec.Event{Kind: flightrec.KindRollback, Subsystem: "core",
+		Slab: int32(k.blk.opts.RecSlab), Attempt: -1, Code: int64(vid),
+		Detail: "speculation cut off to lossless"})
 	return quantizer.LosslessSym, 0
 }
 

@@ -24,6 +24,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/flightrec"
 	"repro/internal/telemetry"
 )
 
@@ -112,6 +113,15 @@ type Options struct {
 	// distributed strategies pass a per-rank span here). When nil and Tel
 	// is set, the encoder opens its own root span.
 	TelSpan *telemetry.Span
+	// Rec, when non-nil, records the first speculation rollback of each
+	// vertex and every hard cut-off to lossless into the flight recorder.
+	// Only the first rejected trial per vertex is recorded — speculation
+	// retries by design, and recording each of n_l restrictions would
+	// flood the ring without adding diagnosis value.
+	Rec *flightrec.Recorder
+	// RecSlab attributes the kernel's flight-recorder events to a slab
+	// (-1 when the encoder is not slab-scoped).
+	RecSlab int
 }
 
 // Stats reports what the encoder did; useful for tuning and for the

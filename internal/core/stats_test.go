@@ -87,7 +87,7 @@ func TestTelemetryMatchesStats(t *testing.T) {
 		t.Fatal(err)
 	}
 	snap := tel.Snapshot()
-	p := "core.2d.ST3."
+	p := "core.2d.st3."
 	for name, want := range map[string]int{
 		p + "vertices":        st.Vertices,
 		p + "lossless":        st.Lossless,

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"strings"
+
 	"repro/internal/telemetry"
 )
 
@@ -33,7 +35,9 @@ func newEngineTel(opts Options, dim string) engineTel {
 	if c == nil {
 		return engineTel{}
 	}
-	p := "core." + dim + "." + opts.Spec.String() + "."
+	// Lowercased so every metric key follows the subsystem.metric_name
+	// convention the telemetryname lint analyzer enforces.
+	p := "core." + dim + "." + strings.ToLower(opts.Spec.String()) + "."
 	t := engineTel{
 		vertices:    c.Counter(p + "vertices"),
 		lossless:    c.Counter(p + "lossless"),

@@ -16,6 +16,8 @@ import (
 	"strings"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/flightrec"
 )
 
 // Kind enumerates the injectable fault classes.
@@ -64,6 +66,18 @@ type Config struct {
 type Injector struct {
 	cfg   Config
 	fired [numKinds]atomic.Int64
+	rec   atomic.Pointer[flightrec.Recorder]
+}
+
+// SetRecorder arms flight recording: every fault that fires is recorded
+// as a KindFaultInjected event (Code = fault kind), so a postmortem dump
+// distinguishes injected failures from organic ones. Safe to call
+// concurrently; nil-safe on both sides.
+func (in *Injector) SetRecorder(r *flightrec.Recorder) {
+	if in == nil {
+		return
+	}
+	in.rec.Store(r)
 }
 
 // New returns an Injector for cfg, or nil if no kind has a positive
@@ -184,6 +198,10 @@ func (in *Injector) roll(kind Kind, keys []uint64) (uint64, bool) {
 		return h, false
 	}
 	in.fired[kind].Add(1)
+	in.rec.Load().Record(flightrec.Event{
+		Kind: flightrec.KindFaultInjected, Subsystem: "faultinject",
+		Slab: -1, Attempt: -1, Code: int64(kind), Detail: kindNames[kind],
+	})
 	return h, true
 }
 

@@ -69,6 +69,7 @@ func Default() []*Analyzer {
 		PanicFree(nil),
 		TypedErr(nil),
 		PoolBalance(nil),
+		TelemetryName(nil),
 	}
 }
 

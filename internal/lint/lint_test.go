@@ -44,6 +44,13 @@ func TestPoolBalance(t *testing.T) {
 	)
 }
 
+func TestTelemetryName(t *testing.T) {
+	RunAnalyzerTestDirs(t,
+		[]string{td("telemetryname", "telemetrystub"), td("telemetryname", "namepkg")},
+		TelemetryName(&TelemetryNameConfig{TelemetryPackages: []string{"telemetrystub"}}),
+	)
+}
+
 // TestIgnoreDirectives pins the suppression mechanism itself: valid
 // directives silence findings, while a missing reason, an unknown
 // check name, and a stale directive are each diagnostics.
@@ -89,7 +96,7 @@ func TestLoadModule(t *testing.T) {
 // TestDefaultSuiteNames pins the analyzer roster the Makefile's lint
 // gate advertises.
 func TestDefaultSuiteNames(t *testing.T) {
-	want := []string{"exactfloat", "floateq", "overflowmul", "panicfree", "typederr", "poolbalance"}
+	want := []string{"exactfloat", "floateq", "overflowmul", "panicfree", "typederr", "poolbalance", "telemetryname"}
 	got := Default()
 	if len(got) != len(want) {
 		t.Fatalf("Default() has %d analyzers, want %d", len(got), len(want))

@@ -1,0 +1,53 @@
+// Package namepkg exercises the telemetryname analyzer: metric
+// registrations on telemetrystub.Collector must use lowercase dotted
+// subsystem.metric_name strings.
+package namepkg
+
+import "telemetrystub"
+
+func goodConstants(tel *telemetrystub.Collector) {
+	tel.Counter("core.2d.spec_trials").Add(1)
+	tel.Gauge("shm.compress2d.workers").Set(4)
+	tel.Histogram("mpi.msg_bytes").Observe(64)
+	tel.Counter("core.2d.st3.vertices").Add(1) // digits in segments are fine
+}
+
+func badCase(tel *telemetrystub.Collector) {
+	tel.Counter("core.2d.ST3.vertices").Add(1) // want "Counter name \"core.2d.ST3.vertices\" is not lowercase"
+	tel.Gauge("Shm.workers").Set(1)            // want "Gauge name \"Shm.workers\" is not lowercase"
+}
+
+func badShape(tel *telemetrystub.Collector) {
+	tel.Counter("vertices").Add(1)    // want "Counter name \"vertices\" is not lowercase dotted"
+	tel.Histogram("a..b").Observe(1)  // want "Histogram name \"a..b\" is not lowercase dotted"
+	tel.Counter("2d.vertices").Add(1) // want "Counter name \"2d.vertices\" is not lowercase dotted"
+	tel.Gauge("core.slab-io").Set(1)  // want "Gauge name \"core.slab-io\" is not lowercase dotted"
+	tel.Counter("core.slab ").Add(1)  // want "Counter name \"core.slab \" is not lowercase dotted"
+	tel.Counter(".vertices").Add(1)   // want "Counter name \".vertices\" is not lowercase dotted"
+}
+
+// constPrefix folds at compile time, so the full-name rule applies even
+// though the argument is an expression.
+const constPrefix = "core.2d."
+
+func constantConcat(tel *telemetrystub.Collector) {
+	tel.Counter(constPrefix + "vertices").Add(1)
+	tel.Counter(constPrefix + "Vertices").Add(1) // want "Counter name \"core.2d.Vertices\" is not lowercase"
+}
+
+func variableConcat(tel *telemetrystub.Collector, dim string) {
+	tel.Counter("core." + dim + ".vertices").Add(1)
+	tel.Counter("core." + dim + ".Vertices").Add(1) // want "Counter name fragment \".Vertices\" contains characters"
+	tel.Histogram("Core." + dim).Observe(1)         // want "Histogram name fragment \"Core.\" contains characters"
+	tel.Gauge(dim + ".slab retries").Set(1)         // want "Gauge name fragment \".slab retries\" contains characters"
+	tel.Counter(dim).Add(1)                         // wholly dynamic: nothing checkable
+}
+
+func notTheCollector(d *telemetrystub.Decoy, tel telemetrystub.Collector) {
+	d.Counter("Whatever Goes").Add(1) // a Decoy, not a Collector
+	// Value receivers are still Collector registrations.
+	tel.Counter("BAD.name").Add(1) // want "Counter name \"BAD.name\" is not lowercase"
+}
+
+//lint:ignore telemetryname legacy dashboard series kept until the next migration
+var legacy = (&telemetrystub.Collector{}).Counter("Legacy.Series")

@@ -1,0 +1,41 @@
+// Package telemetrystub is the telemetryname self-test's stand-in for
+// internal/telemetry: the analyzer matches on the Collector type name
+// and package-path suffix, not this package's implementation.
+package telemetrystub
+
+// Counter is a stub metric handle.
+type Counter struct{}
+
+// Add is a stub.
+func (*Counter) Add(int64) {}
+
+// Gauge is a stub metric handle.
+type Gauge struct{}
+
+// Set is a stub.
+func (*Gauge) Set(int64) {}
+
+// Histogram is a stub metric handle.
+type Histogram struct{}
+
+// Observe is a stub.
+func (*Histogram) Observe(int64) {}
+
+// Collector is the stub registry the analyzer keys on.
+type Collector struct{}
+
+// Counter is a stub registration.
+func (*Collector) Counter(name string) *Counter { _ = name; return &Counter{} }
+
+// Gauge is a stub registration.
+func (*Collector) Gauge(name string) *Gauge { _ = name; return &Gauge{} }
+
+// Histogram is a stub registration.
+func (*Collector) Histogram(name string) *Histogram { _ = name; return &Histogram{} }
+
+// Decoy has the same method names on a different type; calls on it
+// must not be checked.
+type Decoy struct{}
+
+// Counter is a decoy registration.
+func (*Decoy) Counter(name string) *Counter { _ = name; return &Counter{} }

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"repro/internal/faultinject"
+	"repro/internal/flightrec"
 	"repro/internal/safedim"
 	"repro/internal/telemetry"
 )
@@ -46,6 +47,9 @@ type Config struct {
 	// Inject, when non-nil, delays message delivery in wall-clock time
 	// (soak testing only): the straggler path RecvTimeout guards.
 	Inject *faultinject.Injector
+	// Rec, when non-nil, records missed receive deadlines and straggler
+	// recoveries into the flight recorder.
+	Rec *flightrec.Recorder
 }
 
 // TimeoutError reports a receive that exhausted its deadline and
@@ -262,11 +266,17 @@ func (c *Comm) RecvTimeout(from, tag int) ([]byte, error) {
 		case m := <-box:
 			if attempt > 0 {
 				c.w.cStragglers.Inc()
+				c.w.cfg.Rec.Record(flightrec.Event{Kind: flightrec.KindStraggler, Subsystem: "mpi",
+					Slab: -1, Attempt: int32(attempt), Code: int64(from),
+					Detail: "message arrived after timeout retry"})
 			}
 			c.arrive(m)
 			return m.data, nil
 		case <-timer.C:
 			c.w.cRecvTimeouts.Inc()
+			c.w.cfg.Rec.Record(flightrec.Event{Kind: flightrec.KindDeadline, Subsystem: "mpi",
+				Slab: -1, Attempt: int32(attempt), Code: int64(from),
+				Detail: "receive deadline exceeded"})
 			if attempt >= c.w.cfg.RecvRetries {
 				return nil, &TimeoutError{From: from, To: c.Rank, Tag: tag, Attempts: attempt + 1}
 			}

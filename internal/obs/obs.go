@@ -1,0 +1,92 @@
+// Package obs serves the debug/observability HTTP endpoint behind the
+// -listen flag of topozip and cpbench: Prometheus metrics, health,
+// Chrome trace export, flight-recorder dump, expvar, and pprof. The
+// server is read-only — it renders snapshots of the process's collector
+// and recorder and never mutates them — and binds only where the
+// operator points it (":0" picks a free port, handy for tests and for
+// short-lived batch runs that log their address).
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"repro/internal/flightrec"
+	"repro/internal/telemetry"
+)
+
+// Server is a running debug endpoint.
+type Server struct {
+	ln    net.Listener
+	srv   *http.Server
+	start time.Time
+}
+
+// Serve binds addr and serves the debug endpoint for col and rec (either
+// may be nil; the handlers degrade to empty documents). It returns once
+// the listener is bound; the HTTP loop runs in a background goroutine.
+func Serve(addr string, col *telemetry.Collector, rec *flightrec.Recorder) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	s := &Server{ln: ln, start: time.Now()}
+	s.srv = &http.Server{Handler: Mux(col, rec, s.start), ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr is the bound address, e.g. "127.0.0.1:43627".
+func (s *Server) Addr() string {
+	if s == nil || s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close stops the listener and in-flight handlers.
+func (s *Server) Close() error {
+	if s == nil || s.srv == nil {
+		return nil
+	}
+	return s.srv.Close()
+}
+
+// Mux builds the debug handler tree. Exposed separately from Serve so a
+// long-running daemon (the ROADMAP's topozipd) can graft these routes
+// onto its own server.
+func Mux(col *telemetry.Collector, rec *flightrec.Recorder, start time.Time) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = col.WritePrometheus(w, "")
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(struct {
+			OK       bool    `json:"ok"`
+			UptimeS  float64 `json:"uptime_s"`
+			Recorded uint64  `json:"flightrec_events"`
+		}{true, time.Since(start).Seconds(), rec.Total()})
+	})
+	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = col.WriteChromeTrace(w)
+	})
+	mux.HandleFunc("/debug/flightrec", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = rec.WriteJSON(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -11,6 +11,7 @@ import (
 	"repro/internal/datagen"
 	"repro/internal/faultinject"
 	"repro/internal/fixed"
+	"repro/internal/flightrec"
 	"repro/internal/integrity"
 	"repro/internal/telemetry"
 )
@@ -215,5 +216,88 @@ func TestSlabTruncationDetected(t *testing.T) {
 	}
 	if _, err := Decompress2D(res.Blob, 0); err == nil {
 		t.Fatal("truncated slab decoded without error")
+	}
+}
+
+// TestFlightRecorderCapturesDegradation pins the postmortem contract: a
+// faults-enabled degrading run leaves a flight-recorder event sequence
+// naming each slab, attempt, and outcome — injected fault, recovered
+// panic, retry, and final degradation, in causal order per slab.
+func TestFlightRecorderCapturesDegradation(t *testing.T) {
+	f := datagen.Ocean(80, 64)
+	tr, err := fixed.Fit(f.U, f.V)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := faultinject.New(faultinject.Config{
+		Seed: 1,
+		Prob: [4]float64{faultinject.KindPanic: 1},
+	})
+	rec := flightrec.New(0)
+	inj.SetRecorder(rec)
+	res, err := Compress2D(f, tr, core.Options{Tau: 0.02, Spec: core.ST2}, Options{
+		Slabs: 5, Faults: inj, MaxAttempts: 2, RetryBackoff: time.Microsecond, Rec: rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Degraded) != 5 {
+		t.Fatalf("all 5 slabs should degrade, got %v", res.Degraded)
+	}
+	events := rec.Snapshot()
+	perSlab := make(map[int32][]flightrec.Kind)
+	for _, ev := range events {
+		if ev.Slab >= 0 {
+			perSlab[ev.Slab] = append(perSlab[ev.Slab], ev.Kind)
+		}
+	}
+	for slab := int32(0); slab < 5; slab++ {
+		kinds := perSlab[slab]
+		var gotRetry, gotPanic, gotDegraded bool
+		for _, k := range kinds {
+			switch k {
+			case flightrec.KindRetry:
+				gotRetry = true
+			case flightrec.KindPanic:
+				gotPanic = true
+			case flightrec.KindDegraded:
+				gotDegraded = true
+			}
+		}
+		if !gotRetry || !gotPanic || !gotDegraded {
+			t.Errorf("slab %d event kinds %v: want retry, panic, and degraded", slab, kinds)
+		}
+		// Degradation is terminal for its slab.
+		if kinds[len(kinds)-1] != flightrec.KindDegraded {
+			t.Errorf("slab %d last event %v, want degraded", slab, kinds[len(kinds)-1])
+		}
+	}
+	// Injected faults are recorded too (armed via SetRecorder).
+	var injected int
+	for _, ev := range events {
+		if ev.Kind == flightrec.KindFaultInjected {
+			injected++
+		}
+	}
+	if injected == 0 {
+		t.Error("injector fires must appear in the flight recorder")
+	}
+	// Attempt attribution: some panic event must carry attempt >= 1.
+	var secondAttempt bool
+	for _, ev := range events {
+		if ev.Kind == flightrec.KindPanic && ev.Attempt >= 1 {
+			secondAttempt = true
+		}
+	}
+	if !secondAttempt {
+		t.Error("retried attempts must be attributed in panic events")
+	}
+
+	// And the DumpOnOutcome path writes exactly this sequence as JSON.
+	path := t.TempDir() + "/postmortem.json"
+	rec.SetDumpPath(path)
+	written, err := rec.DumpOnOutcome(nil, len(res.Degraded) > 0)
+	if err != nil || written != path {
+		t.Fatalf("DumpOnOutcome = %q, %v", written, err)
 	}
 }

@@ -25,6 +25,7 @@ import (
 	"repro/internal/faultinject"
 	"repro/internal/field"
 	"repro/internal/fixed"
+	"repro/internal/flightrec"
 	"repro/internal/integrity"
 	"repro/internal/parallel"
 	"repro/internal/safedim"
@@ -45,6 +46,10 @@ type Options struct {
 	// Tel, when non-nil, receives a run span with one child span per
 	// slab plus the per-stage engine spans underneath.
 	Tel *telemetry.Collector
+	// Rec, when non-nil, records retries, recovered panics, missed
+	// deadlines, and degradations into the flight recorder, attributed to
+	// their slab and attempt. nil disables recording.
+	Rec *flightrec.Recorder
 
 	// MaxAttempts bounds how often a slab encode is retried (with
 	// backoff) after a panic, error, or deadline before the slab
@@ -197,7 +202,7 @@ func runAttempt(i, attempt int, timeout time.Duration, inj *faultinject.Injector
 // exponential backoff on panic/error/deadline, then degrade to the
 // lossless escape encoding so the run completes with every critical
 // point intact.
-func encodeSlab(i int, po Options, span *telemetry.Span,
+func encodeSlab(i int, name string, po Options, span *telemetry.Span,
 	encode func(i int, span *telemetry.Span) ([]byte, core.Stats, error),
 	fallback func(i int) ([]byte, core.Stats, error)) slabOutcome {
 
@@ -206,6 +211,7 @@ func encodeSlab(i int, po Options, span *telemetry.Span,
 	for attempt := 0; attempt < po.maxAttempts(); attempt++ {
 		if attempt > 0 {
 			out.retries++
+			po.Rec.RecordKind(flightrec.KindRetry, name, i, attempt)
 			time.Sleep(po.retryBackoff() << (attempt - 1))
 		}
 		res, timedOut := runAttempt(i, attempt, po.SlabTimeout, po.Faults, span, encode)
@@ -216,10 +222,16 @@ func encodeSlab(i int, po Options, span *telemetry.Span,
 		lastErr = res.err
 		if timedOut {
 			out.timeouts++
+			po.Rec.Record(flightrec.Event{Kind: flightrec.KindDeadline, Subsystem: name,
+				Slab: int32(i), Attempt: int32(attempt), Detail: "slab attempt exceeded deadline"})
 		} else if isPanicErr(res.err) {
 			out.panics++
+			po.Rec.Record(flightrec.Event{Kind: flightrec.KindPanic, Subsystem: name,
+				Slab: int32(i), Attempt: int32(attempt), Detail: "recovered worker panic"})
 		}
 	}
+	po.Rec.Record(flightrec.Event{Kind: flightrec.KindDegraded, Subsystem: name,
+		Slab: int32(i), Attempt: int32(po.maxAttempts()), Detail: "slab degraded to lossless escape"})
 	blob, st, err := fallback(i)
 	if err != nil {
 		out.err = fmt.Errorf("shm: slab %d failed %d attempts (last: %w) and lossless fallback failed: %v",
@@ -256,12 +268,14 @@ func slabRun(name string, rawBytes int64, slabs, workers int, po Options,
 	outs := make([]slabOutcome, slabs)
 	start := time.Now()
 	pool.Do(workers, slabs, func(i int) {
-		outs[i] = encodeSlab(i, po, spans[i], encode, fallback)
+		outs[i] = encodeSlab(i, name, po, spans[i], encode, fallback)
 		if blob, fired := po.Faults.Corrupt(outs[i].blob, uint64(i)); fired {
 			// Simulated storage corruption: the blob is damaged after a
 			// successful encode, to be caught by the integrity checks at
 			// decode time — never retried here.
 			outs[i].blob = blob
+			po.Rec.Record(flightrec.Event{Kind: flightrec.KindFaultInjected, Subsystem: name,
+				Slab: int32(i), Attempt: -1, Detail: "blob corrupted after encode"})
 		}
 	})
 	wall := time.Since(start)
@@ -365,6 +379,8 @@ func Compress2D(f *field.Field2D, tr fixed.Transform, opts core.Options, po Opti
 			o := opts
 			o.Tel = po.Tel
 			o.TelSpan = span
+			o.Rec = po.Rec
+			o.RecSlab = i
 			blk := core.Block2D{
 				NX: f.NX, NY: sy.Size, U: bu, V: bv,
 				Transform: tr, Opts: o,
@@ -427,6 +443,8 @@ func Compress3D(f *field.Field3D, tr fixed.Transform, opts core.Options, po Opti
 			o := opts
 			o.Tel = po.Tel
 			o.TelSpan = span
+			o.Rec = po.Rec
+			o.RecSlab = i
 			blk := core.Block3D{
 				NX: f.NX, NY: f.NY, NZ: sz.Size, U: bu, V: bv, W: bw,
 				Transform: tr, Opts: o,

@@ -6,6 +6,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/datagen"
 	"repro/internal/fixed"
+	"repro/internal/flightrec"
 	"repro/internal/telemetry"
 )
 
@@ -37,6 +38,39 @@ func BenchmarkCompressOceanTelemetryOff(b *testing.B) {
 
 func BenchmarkCompressOceanTelemetryOn(b *testing.B) {
 	benchCompressOcean(b, telemetry.New())
+}
+
+// The pair BenchmarkCompressNekFlightRecOff / ...On is the observability
+// overhead gate's workload: the ST4 kernel on a Nek5000 cube, with the
+// flight recorder (and full telemetry) disabled versus enabled. "Off" is
+// the default production configuration — a nil recorder and collector,
+// one nil check per event — and must stay within seed noise; "On" bounds
+// the fully instrumented cost, which scripts/overheadgate.sh holds to
+// the ≤3% budget:
+//
+//	go test -bench=CompressNekFlightRec -benchtime=3x ./internal/telemetry/
+func benchCompressNek(b *testing.B, tel *telemetry.Collector, rec *flightrec.Recorder) {
+	f := datagen.Nek5000(48, 48, 48)
+	tr, err := fixed.Fit(f.U, f.V, f.W)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(4 * 3 * len(f.U)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opts := core.Options{Tau: 0.05, Spec: core.ST4, Tel: tel, Rec: rec, RecSlab: -1}
+		if _, err := core.CompressField3D(f, tr, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCompressNekFlightRecOff(b *testing.B) {
+	benchCompressNek(b, nil, nil)
+}
+
+func BenchmarkCompressNekFlightRecOn(b *testing.B) {
+	benchCompressNek(b, telemetry.New(), flightrec.New(flightrec.DefaultCapacity))
 }
 
 // Micro-benchmarks of the disabled fast path itself.

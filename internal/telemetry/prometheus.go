@@ -1,0 +1,173 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Prometheus text exposition (format version 0.0.4) of a collector
+// snapshot. Counters become <ns>_<name>_total counter families, gauges
+// become gauges, and each power-of-two histogram becomes a histogram
+// family with cumulative le buckets plus _p50/_p90/_p99 gauge families
+// carrying the interpolated quantile estimates. The span forest is
+// aggregated into one <ns>_stage_latency_seconds summary: spans sharing a
+// stage label (the span name with any trailing digits stripped, so
+// "slab0".."slab15" fold into "slab") contribute their durations, and the
+// summary reports exact q0.5/q0.9/q0.99 over them — the per-stage p99
+// latencies the ROADMAP's topozipd item asks /metrics to serve.
+//
+// Output order is deterministic: families sort by name, labels render in
+// fixed order, which keeps the endpoint diffable and testable.
+
+// WritePrometheus renders the collector's current state; ns prefixes
+// every family name ("topozip" when empty). A nil collector writes
+// nothing and returns nil.
+func (c *Collector) WritePrometheus(w io.Writer, ns string) error {
+	if c == nil {
+		return nil
+	}
+	return WritePrometheusSnapshot(w, c.Snapshot(), ns)
+}
+
+// WritePrometheusSnapshot renders an already-taken snapshot, so saved
+// metrics files can be re-served without the live collector.
+func WritePrometheusSnapshot(w io.Writer, snap Snapshot, ns string) error {
+	if ns == "" {
+		ns = "topozip"
+	}
+	for _, n := range sortedNames(snap.Counters) {
+		name := ns + "_" + promName(n) + "_total"
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, snap.Counters[n]); err != nil {
+			return err
+		}
+	}
+	for _, n := range sortedNames(snap.Gauges) {
+		name := ns + "_" + promName(n)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", name, name, snap.Gauges[n]); err != nil {
+			return err
+		}
+	}
+	for _, n := range sortedNames(snap.Histograms) {
+		if err := writePromHistogram(w, ns+"_"+promName(n), snap.Histograms[n]); err != nil {
+			return err
+		}
+	}
+	return writePromStages(w, ns, snap.Spans)
+}
+
+func writePromHistogram(w io.Writer, name string, h HistSnapshot) error {
+	if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+		return err
+	}
+	cum := int64(0)
+	for _, b := range h.Buckets {
+		cum += b.N
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", name, b.Hi, cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %d\n%s_count %d\n",
+		name, h.Count, name, h.Sum, name, h.Count); err != nil {
+		return err
+	}
+	for _, q := range []struct {
+		suffix string
+		v      int64
+	}{{"p50", h.P50}, {"p90", h.P90}, {"p99", h.P99}} {
+		qn := name + "_" + q.suffix
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", qn, qn, q.v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writePromStages flattens the span forest into per-stage duration
+// populations and renders them as one summary family.
+func writePromStages(w io.Writer, ns string, spans []SpanSnapshot) error {
+	stages := make(map[string][]int64)
+	var walk func(s SpanSnapshot)
+	walk = func(s SpanSnapshot) {
+		key := stageLabel(s.Name)
+		stages[key] = append(stages[key], s.DurationNS)
+		for _, k := range s.Children {
+			walk(k)
+		}
+	}
+	for _, s := range spans {
+		walk(s)
+	}
+	if len(stages) == 0 {
+		return nil
+	}
+	name := ns + "_stage_latency_seconds"
+	if _, err := fmt.Fprintf(w, "# TYPE %s summary\n", name); err != nil {
+		return err
+	}
+	keys := make([]string, 0, len(stages))
+	for k := range stages {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		durs := stages[k]
+		sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+		sum := int64(0)
+		for _, d := range durs {
+			sum += d
+		}
+		for _, q := range []float64{0.5, 0.9, 0.99} {
+			// Nearest-rank on the exact population: these spans are coarse
+			// stages, so we afford exactness here (unlike the bucketed
+			// hot-path histograms).
+			idx := int(q*float64(len(durs)+1)) - 1
+			if idx < 0 {
+				idx = 0
+			}
+			if idx >= len(durs) {
+				idx = len(durs) - 1
+			}
+			if _, err := fmt.Fprintf(w, "%s{stage=%q,quantile=\"%g\"} %g\n",
+				name, k, q, float64(durs[idx])/1e9); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum{stage=%q} %g\n%s_count{stage=%q} %d\n",
+			name, k, float64(sum)/1e9, name, k, len(durs)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// promName maps an internal dotted metric name to the Prometheus
+// identifier charset [a-zA-Z0-9_].
+func promName(s string) string {
+	var b strings.Builder
+	b.Grow(len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// stageLabel folds numbered sibling spans ("slab0".."slab15") into one
+// stage population by stripping trailing digits.
+func stageLabel(name string) string {
+	i := len(name)
+	for i > 0 && name[i-1] >= '0' && name[i-1] <= '9' {
+		i--
+	}
+	if i == 0 {
+		return name
+	}
+	return name[:i]
+}

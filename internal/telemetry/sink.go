@@ -21,13 +21,65 @@ type Snapshot struct {
 }
 
 // HistSnapshot summarizes one histogram. Buckets lists only non-empty
-// buckets, in increasing value order.
+// buckets, in increasing value order. P50/P90/P99 are quantile estimates
+// interpolated from the power-of-two buckets (see Quantile); all zero
+// when the histogram is empty.
 type HistSnapshot struct {
 	Count   int64    `json:"count"`
 	Sum     int64    `json:"sum"`
 	Min     int64    `json:"min"`
 	Max     int64    `json:"max"`
+	P50     int64    `json:"p50"`
+	P90     int64    `json:"p90"`
+	P99     int64    `json:"p99"`
 	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) from the bucket counts:
+// the target rank q·count is located in the cumulative bucket walk and
+// interpolated linearly between the bucket's bounds, then clamped to the
+// exact [Min, Max]. The ≤0 bucket reports Min (its members are not
+// resolvable further). Returns 0 for an empty histogram.
+func (h HistSnapshot) Quantile(q float64) int64 {
+	if h.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.Count)
+	cum := float64(0)
+	v := h.Max
+	for _, b := range h.Buckets {
+		n := float64(b.N)
+		if cum+n >= rank {
+			if b.Hi <= 0 {
+				v = h.Min
+				break
+			}
+			lo := b.Hi / 2
+			if b.Hi == 1 {
+				lo = 0
+			}
+			frac := 0.0
+			if n > 0 {
+				frac = (rank - cum) / n
+			}
+			v = lo + int64(frac*float64(b.Hi-lo)+0.5)
+			break
+		}
+		cum += n
+	}
+	if v < h.Min {
+		v = h.Min
+	}
+	if v > h.Max {
+		v = h.Max
+	}
+	return v
 }
 
 // Bucket is one non-empty power-of-two histogram bucket: Hi is the
@@ -37,9 +89,13 @@ type Bucket struct {
 	N  int64 `json:"n"`
 }
 
-// SpanSnapshot is one node of the exported span tree.
+// SpanSnapshot is one node of the exported span tree. StartNS is the
+// span's start offset relative to the collector's epoch (the first root
+// span's start), or -1 for virtual spans recorded via AddChild, which
+// carry a duration but no wall-clock start.
 type SpanSnapshot struct {
 	Name       string         `json:"name"`
+	StartNS    int64          `json:"start_ns,omitempty"`
 	DurationNS int64          `json:"duration_ns"`
 	Children   []SpanSnapshot `json:"children,omitempty"`
 }
@@ -66,6 +122,7 @@ func (c *Collector) Snapshot() Snapshot {
 	}
 	spans := make([]*Span, len(c.spans))
 	copy(spans, c.spans)
+	epoch := c.epoch
 	c.mu.Unlock()
 
 	var snap Snapshot
@@ -88,7 +145,7 @@ func (c *Collector) Snapshot() Snapshot {
 		}
 	}
 	for _, s := range spans {
-		snap.Spans = append(snap.Spans, s.snapshot(now))
+		snap.Spans = append(snap.Spans, s.snapshot(now, epoch))
 	}
 	return snap
 }
@@ -112,6 +169,11 @@ func (h *Histogram) snapshot() HistSnapshot {
 			hi = 1 << uint(i-1)
 		}
 		out.Buckets = append(out.Buckets, Bucket{Hi: hi, N: n})
+	}
+	if out.Count > 0 {
+		out.P50 = out.Quantile(0.50)
+		out.P90 = out.Quantile(0.90)
+		out.P99 = out.Quantile(0.99)
 	}
 	return out
 }
@@ -159,8 +221,8 @@ func (c *Collector) WriteText(w io.Writer) error {
 	}
 	for _, n := range sortedNames(snap.Histograms) {
 		h := snap.Histograms[n]
-		if _, err := fmt.Fprintf(w, "%-44s n=%d sum=%d min=%d max=%d\n",
-			n, h.Count, h.Sum, h.Min, h.Max); err != nil {
+		if _, err := fmt.Fprintf(w, "%-44s n=%d sum=%d min=%d max=%d p50=%d p90=%d p99=%d\n",
+			n, h.Count, h.Sum, h.Min, h.Max, h.P50, h.P90, h.P99); err != nil {
 			return err
 		}
 		for _, b := range h.Buckets {

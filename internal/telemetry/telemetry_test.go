@@ -145,8 +145,8 @@ func fakeClock(step time.Duration) func() time.Time {
 
 const goldenJSON = `{
   "counters": {
-    "core.2d.NoSpec.lossless": 2,
-    "core.2d.NoSpec.spec_trials": 7
+    "core.2d.nospec.lossless": 2,
+    "core.2d.nospec.spec_trials": 7
   },
   "gauges": {
     "run.ranks": 4
@@ -157,6 +157,9 @@ const goldenJSON = `{
       "sum": 13,
       "min": 1,
       "max": 8,
+      "p50": 3,
+      "p90": 7,
+      "p99": 8,
       "buckets": [
         {
           "hi": 1,
@@ -180,10 +183,12 @@ const goldenJSON = `{
       "children": [
         {
           "name": "cp-precompute",
+          "start_ns": 1000000,
           "duration_ns": 1000000,
           "children": [
             {
               "name": "exchange",
+              "start_ns": -1,
               "duration_ns": 5000000
             }
           ]
@@ -202,8 +207,8 @@ func TestGoldenJSON(t *testing.T) {
 	sub.AddChild("exchange", 5*time.Millisecond)
 	sub.End() // clock reading 2: ends at t=2ms → 1ms
 	sp.End()  // clock reading 3: ends at t=3ms → 3ms
-	c.Counter("core.2d.NoSpec.spec_trials").Add(7)
-	c.Counter("core.2d.NoSpec.lossless").Add(2)
+	c.Counter("core.2d.nospec.spec_trials").Add(7)
+	c.Counter("core.2d.nospec.lossless").Add(2)
 	c.Gauge("run.ranks").Set(4)
 	h := c.Histogram("core.2d.bound_exp")
 	for _, v := range []int64{1, 4, 8} {
@@ -220,7 +225,7 @@ func TestGoldenJSON(t *testing.T) {
 	// metric values (spans of an ended tree are fixed too, but each
 	// snapshot reads the injected clock once).
 	snap := c.Snapshot()
-	if snap.Counters["core.2d.NoSpec.spec_trials"] != 7 {
+	if snap.Counters["core.2d.nospec.spec_trials"] != 7 {
 		t.Error("snapshot must be repeatable")
 	}
 }

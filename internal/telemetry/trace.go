@@ -1,0 +1,80 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// Chrome trace-event export: the span forest rendered as "X" (complete)
+// events in the Trace Event Format, loadable by Perfetto and
+// chrome://tracing. Each root span gets its own track (tid); timestamps
+// are microseconds relative to the collector epoch. Virtual spans
+// (AddChild, StartNS = -1) have no wall start, so they are laid out
+// sequentially from their parent's start — the durations stay truthful,
+// only their placement is synthetic.
+
+// traceEvent is one Trace Event Format entry.
+type traceEvent struct {
+	Name  string  `json:"name"`
+	Ph    string  `json:"ph"`
+	TsUS  float64 `json:"ts"`
+	DurUS float64 `json:"dur"`
+	PID   int     `json:"pid"`
+	TID   int     `json:"tid"`
+}
+
+type traceDoc struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace writes the collector's span forest as a Chrome
+// trace-event JSON document. A nil collector writes an empty trace.
+func (c *Collector) WriteChromeTrace(w io.Writer) error {
+	return WriteChromeTraceSnapshot(w, c.Snapshot())
+}
+
+// WriteChromeTraceSnapshot renders an already-taken snapshot.
+func WriteChromeTraceSnapshot(w io.Writer, snap Snapshot) error {
+	doc := traceDoc{TraceEvents: []traceEvent{}, DisplayTimeUnit: "ms"}
+	for i, root := range snap.Spans {
+		appendTraceEvents(&doc.TraceEvents, root, i+1, startOrZero(root))
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+func startOrZero(s SpanSnapshot) int64 {
+	if s.StartNS >= 0 {
+		return s.StartNS
+	}
+	return 0
+}
+
+// appendTraceEvents emits s at its wall start (or the synthetic fallback
+// for virtual spans) and recurses into children, advancing a cursor so
+// virtual siblings stack one after another instead of overlapping.
+func appendTraceEvents(out *[]traceEvent, s SpanSnapshot, tid int, fallbackNS int64) {
+	start := s.StartNS
+	if start < 0 {
+		start = fallbackNS
+	}
+	*out = append(*out, traceEvent{
+		Name:  s.Name,
+		Ph:    "X",
+		TsUS:  float64(start) / 1e3,
+		DurUS: float64(s.DurationNS) / 1e3,
+		PID:   1,
+		TID:   tid,
+	})
+	cursor := start
+	for _, k := range s.Children {
+		appendTraceEvents(out, k, tid, cursor)
+		if k.StartNS >= 0 {
+			cursor = k.StartNS + k.DurationNS
+		} else {
+			cursor += k.DurationNS
+		}
+	}
+}

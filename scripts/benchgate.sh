@@ -1,0 +1,26 @@
+#!/bin/sh
+# benchgate.sh OLD.json NEW.json [trend flags] — benchmark regression gate.
+#
+# Thin wrapper over `cpbench trend`: diffs two baseline snapshots
+# (results/BENCH_*.json, written by `cpbench baseline`) and exits
+# nonzero when the new one regresses — a compression/decompression
+# throughput drop beyond 10%, a compression-ratio drop beyond 5%, any
+# FP/FN/FT fidelity increase, or a row missing from the new snapshot.
+# Tolerances are overridable with the trend flags, passed through:
+#
+#	scripts/benchgate.sh results/BENCH_baseline.json BENCH_new.json
+#	scripts/benchgate.sh -max-throughput-drop 0.20 OLD.json NEW.json
+#
+# CPBENCH overrides how cpbench is invoked (e.g. a prebuilt binary in
+# CI); the default builds from source, so the gate needs only the go
+# toolchain.
+set -eu
+
+: "${CPBENCH:=go run ./cmd/cpbench}"
+
+if [ $# -lt 2 ]; then
+    echo "usage: $0 [trend flags] OLD.json NEW.json" >&2
+    exit 2
+fi
+
+exec $CPBENCH trend "$@"
