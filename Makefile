@@ -2,7 +2,7 @@ GO ?= go
 
 # Tier-1 gate: what CI (and the seed) requires to stay green.
 .PHONY: check
-check: vet lint build test faults benchgate
+check: vet lint build test faults benchgate memgate
 
 .PHONY: vet
 vet:
@@ -111,6 +111,14 @@ benchgate:
 benchgate-fresh:
 	$(GO) run ./cmd/cpbench -baseline-out BENCH_new.json baseline
 	sh scripts/benchgate.sh $(BENCHGATE_OLD) BENCH_new.json
+
+# Out-of-core memory gate (scripts/memgate.sh): the stream soak must
+# compress a field 10x its memory budget under an enforced heap
+# ceiling, byte-identical at every worker count, and round-trip with
+# every critical point preserved.
+.PHONY: memgate
+memgate:
+	sh scripts/memgate.sh
 
 # Observability overhead gate: fully enabled instrumentation (collector
 # + flight recorder) must cost <=3% over the disabled default on the

@@ -9,8 +9,11 @@
 //	topozip gen        -data ocean|hurricane|nek5000|turbulence -dims 384x288 -out field.f32
 //	topozip compress   -in field.f32 -dims 384x288 -tau 0.01 -spec ST4 -out field.szp
 //	topozip compress   -in field.f32 -dims 384x288 -workers 8 -out field.szp
+//	topozip compress   -in big.f32 -dims 2048x2048x512 -max-mem 256MiB -out big.szp
 //	topozip decompress -in field.szp -out restored.f32
+//	topozip decompress -in big.szp -max-mem 256MiB -out restored.f32
 //	topozip verify     -orig field.f32 -comp field.szp
+//	topozip verify     -orig big.f32 -comp big.szp -max-mem 256MiB
 //	topozip info       -in field.szp
 //
 // -dims takes NXxNY (2D, two components) or NXxNYxNZ (3D, three
@@ -22,6 +25,14 @@
 // slabs compress concurrently into an archive container. The output
 // bytes depend only on the slab count, never on the worker count.
 // decompress/verify/info recognize both bare blocks and containers.
+//
+// -max-mem <bytes, e.g. 64M, 1GiB> selects the out-of-core streaming
+// path: compress pulls slabs from the raw file through a bounded
+// admission window straight into the output container, decompress and
+// verify stream slabs back out one window at a time, and the budget
+// sizes the slab count and window automatically — peak memory stays
+// near the budget no matter how large the field is. Output bytes depend
+// on the budget (it picks the slab count) but never on -workers.
 package main
 
 import (
@@ -29,7 +40,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strconv"
@@ -107,6 +120,56 @@ func parseDims(s string) ([]int, error) {
 		dims[i] = v
 	}
 	return dims, nil
+}
+
+// parseMemBudget parses a -max-mem byte budget: a plain byte count or a
+// value with a K/M/G (binary), KiB/MiB/GiB, or KB/MB/GB (decimal)
+// suffix. Empty means no budget.
+func parseMemBudget(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, nil
+	}
+	u := strings.ToUpper(s)
+	mult := int64(1)
+	for _, suf := range []struct {
+		s string
+		m int64
+	}{
+		{"KIB", 1 << 10}, {"MIB", 1 << 20}, {"GIB", 1 << 30},
+		{"KB", 1000}, {"MB", 1000 * 1000}, {"GB", 1000 * 1000 * 1000},
+		{"K", 1 << 10}, {"M", 1 << 20}, {"G", 1 << 30},
+		{"B", 1},
+	} {
+		if strings.HasSuffix(u, suf.s) {
+			mult = suf.m
+			u = strings.TrimSuffix(u, suf.s)
+			break
+		}
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(u), 64)
+	if err != nil || v <= 0 {
+		return 0, fmt.Errorf("bad -max-mem value %q", s)
+	}
+	return int64(v * float64(mult)), nil
+}
+
+// statsWindowPlanes sizes the plane window of the streaming stats and
+// detection scans to roughly a quarter of the memory budget.
+func statsWindowPlanes(budget int64, dims []int) int {
+	nc := len(dims)
+	ps := int64(dims[0])
+	if nc == 3 {
+		ps *= int64(dims[1])
+	}
+	w := budget / 4 / (int64(nc) * ps * 4)
+	if w < 1 {
+		w = 1
+	}
+	if max := int64(dims[nc-1]); w > max {
+		w = max
+	}
+	return int(w)
 }
 
 func parseSpec(s string) (core.Speculation, error) {
@@ -205,6 +268,7 @@ func cmdCompress(args []string) error {
 	specFlag := fs.String("spec", "NoSpec", "speculation target: NoSpec, ST1..ST4")
 	workers := fs.Int("workers", 0, "shared-memory workers (0 = single-block path; -1 = all cores)")
 	slabs := fs.Int("slabs", 0, "slab count for the shared-memory path (0 = derive from field shape)")
+	maxMem := fs.String("max-mem", "", "peak-memory budget for the out-of-core streaming path, e.g. 256MiB; sizes slabs and the admission window automatically")
 	metrics := fs.String("metrics", "", "write telemetry (span tree + counters) as JSON to this file")
 	traceOut := fs.String("trace", "", "write the span forest as Chrome trace-event JSON (Perfetto-loadable) to this file")
 	listen := fs.String("listen", "", "serve /metrics, /healthz, /debug/{trace,flightrec,vars,pprof} on this address for the duration of the run (e.g. 127.0.0.1:6060)")
@@ -231,9 +295,20 @@ func cmdCompress(args []string) error {
 	if err != nil {
 		return err
 	}
-	f2, f3, err := loadRaw(*in, dims)
+	budget, err := parseMemBudget(*maxMem)
 	if err != nil {
 		return err
+	}
+	streaming := budget > 0
+	var f2 *field.Field2D
+	var f3 *field.Field3D
+	if !streaming {
+		// The out-of-core path never materializes the field; everything
+		// else starts from an in-memory copy.
+		f2, f3, err = loadRaw(*in, dims)
+		if err != nil {
+			return err
+		}
 	}
 	var tel *telemetry.Collector
 	if *metrics != "" || *traceOut != "" || *listen != "" {
@@ -271,18 +346,21 @@ func cmdCompress(args []string) error {
 		}
 		defer pprof.StopCPUProfile()
 	}
-	useShm := *workers != 0 || *slabs > 0
+	useShm := *workers != 0 || *slabs > 0 || streaming
 	if inj != nil && !useShm {
-		return fmt.Errorf("-faults needs the shared-memory path; add -workers or -slabs")
+		return fmt.Errorf("-faults needs the shared-memory path; add -workers, -slabs or -max-mem")
 	}
-	shmOpts := shm.Options{Workers: *workers, Slabs: *slabs, Tel: tel, Rec: rec, Faults: inj}
+	shmOpts := shm.Options{Workers: *workers, Slabs: *slabs, MaxMemBytes: budget, Tel: tel, Rec: rec, Faults: inj}
 	var blob []byte
 	var st core.Stats
-	var rawBytes int
+	var rawBytes int64
 	var wall time.Duration
 	var shmRes shm.Result
 	var tauAbs float64
-	if f2 != nil {
+	if streaming {
+		shmRes, tauAbs, err = compressStreaming(*in, *out, dims, *tau, *abs, spec, budget, shmOpts)
+		st, wall, rawBytes = shmRes.Stats, shmRes.Wall, shmRes.RawBytes
+	} else if f2 != nil {
 		t := *tau
 		if !*abs {
 			t *= rangeOf(f2.U, f2.V)
@@ -293,7 +371,7 @@ func cmdCompress(args []string) error {
 			return ferr
 		}
 		opts := core.Options{Tau: t, Spec: spec, Tel: tel, Rec: rec, RecSlab: -1}
-		rawBytes = 8 * len(f2.U)
+		rawBytes = int64(8 * len(f2.U))
 		if useShm {
 			shmRes, err = shm.Compress2D(f2, tr, opts, shmOpts)
 			blob, st, wall = shmRes.Blob, shmRes.Stats, shmRes.Wall
@@ -313,7 +391,7 @@ func cmdCompress(args []string) error {
 			return ferr
 		}
 		opts := core.Options{Tau: t, Spec: spec, Tel: tel, Rec: rec, RecSlab: -1}
-		rawBytes = 12 * len(f3.U)
+		rawBytes = int64(12 * len(f3.U))
 		if useShm {
 			shmRes, err = shm.Compress3D(f3, tr, opts, shmOpts)
 			blob, st, wall = shmRes.Blob, shmRes.Stats, shmRes.Wall
@@ -335,7 +413,11 @@ func cmdCompress(args []string) error {
 	if err != nil {
 		return err
 	}
-	if err := os.WriteFile(*out, blob, 0o644); err != nil {
+	compBytes := int64(len(blob))
+	if streaming {
+		// The stream path already wrote the container incrementally.
+		compBytes = shmRes.CompressedBytes
+	} else if err := os.WriteFile(*out, blob, 0o644); err != nil {
 		return err
 	}
 	// Throughput is the real wall clock of this run — on the shm path the
@@ -345,9 +427,13 @@ func cmdCompress(args []string) error {
 		mbps = float64(rawBytes) / 1e6 / s
 	}
 	fmt.Printf("compressed %d -> %d bytes (ratio %.2f, %s, %.2f MB/s wall)\n",
-		rawBytes, len(blob), float64(rawBytes)/float64(len(blob)), spec, mbps)
+		rawBytes, compBytes, float64(rawBytes)/float64(compBytes), spec, mbps)
 	if useShm {
 		fmt.Printf("shm pipeline: %d slabs on %d workers\n", shmRes.Slabs, shmRes.Workers)
+		if shmRes.Window > 0 && shmRes.Window < shmRes.Slabs {
+			fmt.Printf("out-of-core window: %d of %d slabs, peak %d bytes admitted\n",
+				shmRes.Window, shmRes.Slabs, shmRes.PeakWindowBytes)
+		}
 		if inj != nil {
 			fmt.Printf("fault injection: fired %v\n", inj.Report())
 			if rep := shmRes.DegradationReport(); rep != "" {
@@ -380,7 +466,7 @@ func cmdCompress(args []string) error {
 			return err
 		}
 	}
-	if err := writeCompressManifest(args, *in, *out, dims, blob, tauAbs, *tau, *abs, spec,
+	if err := writeCompressManifest(args, *in, *out, dims, compBytes, tauAbs, *tau, *abs, spec,
 		st, wall, mbps, useShm, shmRes, tel, dumpedTo); err != nil {
 		return err
 	}
@@ -398,17 +484,67 @@ func cmdCompress(args []string) error {
 	return nil
 }
 
+// compressStreaming is the out-of-core compress path: one stats pass
+// over the raw file fits the shared transform and the relative error
+// bound, then the windowed slab pipeline pulls planes from the file and
+// flushes blobs straight into the output container — the full field is
+// never resident. Returns the run result and the absolute tau used.
+func compressStreaming(in, out string, dims []int, tau float64, abs bool,
+	spec core.Speculation, budget int64, shmOpts shm.Options) (shm.Result, float64, error) {
+
+	inF, err := os.Open(in)
+	if err != nil {
+		return shm.Result{}, 0, err
+	}
+	defer inF.Close()
+	src, err := field.NewRawSource(inF, dims...)
+	if err != nil {
+		return shm.Result{}, 0, err
+	}
+	stats, err := field.SourceStats(src, statsWindowPlanes(budget, dims))
+	if err != nil {
+		return shm.Result{}, 0, err
+	}
+	t := tau
+	if !abs {
+		t *= stats.Range()
+	}
+	tr := fixed.FromMaxAbs(stats.MaxAbs)
+	outF, err := os.Create(out)
+	if err != nil {
+		return shm.Result{}, 0, err
+	}
+	opts := core.Options{Tau: t, Spec: spec}
+	var res shm.Result
+	if len(dims) == 2 {
+		res, err = shm.CompressStream2D(src, outF, tr, opts, shmOpts)
+	} else {
+		res, err = shm.CompressStream3D(src, outF, tr, opts, shmOpts)
+	}
+	if cerr := outF.Close(); err == nil {
+		err = cerr
+	}
+	return res, t, err
+}
+
 // writeCompressManifest records the run's provenance beside the archive:
 // topozip info and verify render it, and verify writes its fidelity
-// result back into it.
-func writeCompressManifest(args []string, in, out string, dims []int, blob []byte,
+// result back into it. The input hash streams through the file so the
+// manifest pass obeys the same memory contract as the compressor.
+func writeCompressManifest(args []string, in, out string, dims []int, compBytes int64,
 	tauAbs, tauIn float64, abs bool, spec core.Speculation, st core.Stats,
 	wall time.Duration, mbps float64, useShm bool, shmRes shm.Result,
 	tel *telemetry.Collector, flightDump string) error {
 
 	man := telemetry.NewManifest("topozip")
 	man.Command = "compress " + strings.Join(args, " ")
-	raw, err := os.ReadFile(in)
+	h := sha256.New()
+	inF, err := os.Open(in)
+	if err != nil {
+		return err
+	}
+	rawN, err := io.Copy(h, inF)
+	inF.Close()
 	if err != nil {
 		return err
 	}
@@ -417,8 +553,8 @@ func writeCompressManifest(args []string, in, out string, dims []int, blob []byt
 		comps = 3
 	}
 	man.Dataset = telemetry.ManifestDataset{
-		Dims: dims, Components: comps, RawBytes: int64(len(raw)),
-		SHA256: fmt.Sprintf("%x", sha256.Sum256(raw)),
+		Dims: dims, Components: comps, RawBytes: rawN,
+		SHA256: fmt.Sprintf("%x", h.Sum(nil)),
 	}
 	man.Codec = telemetry.ManifestCodec{
 		Name: "topozip-cp", FormatVersion: core.FormatVersion,
@@ -429,13 +565,15 @@ func writeCompressManifest(args []string, in, out string, dims []int, blob []byt
 	}
 	man.Run = telemetry.ManifestRun{
 		WallNS: wall.Nanoseconds(), ThroughputMBps: mbps,
-		CompressedBytes: int64(len(blob)),
-		Ratio:           float64(len(raw)) / float64(len(blob)),
+		CompressedBytes: compBytes,
+		Ratio:           float64(rawN) / float64(compBytes),
 		FlightRecorder:  flightDump,
 	}
 	if useShm {
 		man.Run.Slabs = shmRes.Slabs
 		man.Run.Workers = shmRes.Workers
+		man.Run.Window = shmRes.Window
+		man.Run.PeakWindowBytes = shmRes.PeakWindowBytes
 		man.Run.Retries = shmRes.Retries
 		man.Run.Panics = shmRes.Panics
 		man.Run.Timeouts = shmRes.Timeouts
@@ -531,9 +669,21 @@ func cmdDecompress(args []string) error {
 	in := fs.String("in", "", "input compressed file")
 	out := fs.String("out", "", "output raw float32 file")
 	workers := fs.Int("workers", 0, "decode workers for slab containers (0 = all cores)")
+	maxMem := fs.String("max-mem", "", "peak-memory budget for the out-of-core streaming decode, e.g. 256MiB")
 	fs.Parse(args)
 	if *in == "" || *out == "" {
 		return fmt.Errorf("-in and -out are required")
+	}
+	budget, err := parseMemBudget(*maxMem)
+	if err != nil {
+		return err
+	}
+	if budget > 0 {
+		streamed, err := decompressStreaming(*in, *out, *workers, budget)
+		if streamed || err != nil {
+			return err
+		}
+		fmt.Fprintln(os.Stderr, "topozip: input is a bare block, not a slab container; decoding in memory")
 	}
 	blob, err := os.ReadFile(*in)
 	if err != nil {
@@ -556,13 +706,63 @@ func cmdDecompress(args []string) error {
 	return field.WriteRaw(w, f3.U, f3.V, f3.W)
 }
 
+// decompressStreaming decodes a slab container straight into the output
+// raw file, one windowed slab at a time — peak memory follows the
+// budget, not the field. Bare single-block files have no slab index to
+// stream by; those return (false, nil) so the caller can fall back.
+func decompressStreaming(in, out string, workers int, budget int64) (bool, error) {
+	inF, err := os.Open(in)
+	if err != nil {
+		return false, err
+	}
+	defer inF.Close()
+	var head [5]byte
+	if _, err := inF.ReadAt(head[:], 0); err != nil || !archive.IsArchive(head[:]) {
+		return false, nil
+	}
+	fi, err := inF.Stat()
+	if err != nil {
+		return false, err
+	}
+	outF, err := os.Create(out)
+	if err != nil {
+		return false, err
+	}
+	dims, err := shm.DecompressTo(inF, fi.Size(), shm.Options{Workers: workers, MaxMemBytes: budget},
+		func(dims []int) (shm.PlaneSink, error) { return field.NewRawSink(outF, dims...) })
+	if cerr := outF.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return true, err
+	}
+	if len(dims) == 2 {
+		fmt.Printf("decompressed 2D field %dx%d\n", dims[0], dims[1])
+	} else {
+		fmt.Printf("decompressed 3D field %dx%dx%d\n", dims[0], dims[1], dims[2])
+	}
+	return true, nil
+}
+
 func cmdVerify(args []string) error {
 	fs := flag.NewFlagSet("verify", flag.ExitOnError)
 	orig := fs.String("orig", "", "original raw float32 file")
 	comp := fs.String("comp", "", "compressed file")
+	maxMem := fs.String("max-mem", "", "peak-memory budget for the out-of-core streaming verify, e.g. 256MiB")
 	fs.Parse(args)
 	if *orig == "" || *comp == "" {
 		return fmt.Errorf("-orig and -comp are required")
+	}
+	budget, err := parseMemBudget(*maxMem)
+	if err != nil {
+		return err
+	}
+	if budget > 0 {
+		streamed, err := verifyStreaming(*orig, *comp, budget)
+		if streamed || err != nil {
+			return err
+		}
+		fmt.Fprintln(os.Stderr, "topozip: compressed input is a bare block, not a slab container; verifying in memory")
 	}
 	blob, err := os.ReadFile(*comp)
 	if err != nil {
@@ -603,15 +803,102 @@ func cmdVerify(args []string) error {
 	}
 	maxErr := analysis.MaxAbsError(orig2, dec2)
 	psnr := analysis.PSNR(orig2, dec2)
+	rawBytes := int64(0)
+	for _, c := range orig2 {
+		rawBytes += int64(4 * len(c))
+	}
+	return reportVerify(*comp, rep, maxErr, psnr, rawBytes, int64(len(blob)))
+}
+
+// verifyStreaming is the out-of-core verify path: the container decodes
+// into a scratch raw file beside it, then original and decoded fields
+// are compared as streamed plane sources — windowed critical-point
+// detection plus streamed error metrics — so verify never materializes
+// either field. Bare blocks return (false, nil) for the in-memory
+// fallback.
+func verifyStreaming(orig, comp string, budget int64) (bool, error) {
+	compF, err := os.Open(comp)
+	if err != nil {
+		return false, err
+	}
+	defer compF.Close()
+	var head [5]byte
+	if _, err := compF.ReadAt(head[:], 0); err != nil || !archive.IsArchive(head[:]) {
+		return false, nil
+	}
+	fi, err := compF.Stat()
+	if err != nil {
+		return false, err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(comp), ".topozip-verify-*.raw")
+	if err != nil {
+		return false, err
+	}
+	defer os.Remove(tmp.Name())
+	defer tmp.Close()
+	dims, err := shm.DecompressTo(compF, fi.Size(), shm.Options{MaxMemBytes: budget},
+		func(dims []int) (shm.PlaneSink, error) { return field.NewRawSink(tmp, dims...) })
+	if err != nil {
+		return true, err
+	}
+	origF, err := os.Open(orig)
+	if err != nil {
+		return true, err
+	}
+	defer origF.Close()
+	origSrc, err := field.NewRawSource(origF, dims...)
+	if err != nil {
+		return true, err
+	}
+	decSrc, err := field.NewRawSource(tmp, dims...)
+	if err != nil {
+		return true, err
+	}
+	window := statsWindowPlanes(budget, dims)
+	stats, err := field.SourceStats(origSrc, window)
+	if err != nil {
+		return true, err
+	}
+	tr := fixed.FromMaxAbs(stats.MaxAbs)
+	// Detection holds fixed-point copies alongside the planes, so its
+	// window runs a third of the scan window.
+	detWindow := window / 3
+	var op, dp []cp.Point
+	if len(dims) == 2 {
+		op, err = cp.DetectSource2D(origSrc, tr, detWindow)
+		if err == nil {
+			dp, err = cp.DetectSource2D(decSrc, tr, detWindow)
+		}
+	} else {
+		op, err = cp.DetectSource3D(origSrc, tr, detWindow)
+		if err == nil {
+			dp, err = cp.DetectSource3D(decSrc, tr, detWindow)
+		}
+	}
+	if err != nil {
+		return true, err
+	}
+	rep := cp.Compare(op, dp)
+	maxErr, psnr, err := analysis.SourceError(origSrc, decSrc, window)
+	if err != nil {
+		return true, err
+	}
+	rawBytes := int64(len(dims)) * 4
+	for _, d := range dims {
+		rawBytes *= int64(d)
+	}
+	return true, reportVerify(comp, rep, maxErr, psnr, rawBytes, fi.Size())
+}
+
+// reportVerify renders the verify outcome — human lines, manifest
+// write-back, machine-readable summary — shared by the in-memory and
+// streaming paths.
+func reportVerify(comp string, rep cp.Report, maxErr, psnr float64, rawBytes, compBytes int64) error {
 	fmt.Printf("critical points: %v\n", rep)
 	fmt.Printf("max abs error: %.6g  PSNR: %.2f dB\n", maxErr, psnr)
-	rawBytes := 0
-	for _, c := range orig2 {
-		rawBytes += 4 * len(c)
-	}
 	sum := verifySummary{
 		TP: rep.TP, FP: rep.FP, FN: rep.FN, FT: rep.FT,
-		Ratio:       float64(rawBytes) / float64(len(blob)),
+		Ratio:       float64(rawBytes) / float64(compBytes),
 		MaxAbsError: maxErr,
 		PSNRdB:      psnr,
 		Preserved:   rep.Preserved(),
@@ -619,7 +906,7 @@ func cmdVerify(args []string) error {
 	// When the archive travels with its manifest, render it, surface the
 	// compressor's bound-exponent quantiles in the summary line, and write
 	// the fidelity verdict back so the manifest carries the full story.
-	if man, merr := telemetry.ReadManifest(telemetry.ManifestPath(*comp)); merr == nil {
+	if man, merr := telemetry.ReadManifest(telemetry.ManifestPath(comp)); merr == nil {
 		if h := man.Bounds.BoundExp; h != nil && h.Count > 0 {
 			sum.BoundExpP50, sum.BoundExpP90, sum.BoundExpP99 = h.P50, h.P90, h.P99
 		}
@@ -628,7 +915,7 @@ func cmdVerify(args []string) error {
 			MaxAbsError: maxErr, PSNRdB: psnr, Preserved: rep.Preserved(),
 			VerifiedUnixNS: time.Now().UnixNano(),
 		}
-		if werr := man.WriteFile(telemetry.ManifestPath(*comp)); werr != nil {
+		if werr := man.WriteFile(telemetry.ManifestPath(comp)); werr != nil {
 			return werr
 		}
 		if rerr := man.Render(os.Stdout); rerr != nil {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -62,6 +63,98 @@ func TestRangeOf(t *testing.T) {
 	}
 	if got := rangeOf([]float32{7, 7}); got != 1 {
 		t.Errorf("constant data range = %v, want 1 fallback", got)
+	}
+}
+
+func TestParseMemBudget(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int64
+	}{
+		{"", 0},
+		{"512", 512},
+		{"64KiB", 64 << 10},
+		{"2MiB", 2 << 20},
+		{"1GiB", 1 << 30},
+		{"2M", 2 << 20},
+		{"1.5M", 3 << 19},
+		{"500MB", 500 * 1000 * 1000},
+		{"128B", 128},
+		{" 4 MiB ", 4 << 20},
+	}
+	for _, tc := range cases {
+		got, err := parseMemBudget(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("parseMemBudget(%q) = %d, %v; want %d", tc.in, got, err, tc.want)
+		}
+	}
+	for _, bad := range []string{"x", "-1M", "0", "MiB", "1QiB"} {
+		if _, err := parseMemBudget(bad); err == nil {
+			t.Errorf("parseMemBudget(%q) accepted", bad)
+		}
+	}
+}
+
+// TestCLIStreamingWorkflow drives the out-of-core path end to end: a
+// -max-mem compress must produce a container that both the streaming and
+// in-memory decoders accept, verify streaming must pass, and the
+// decompressed bytes must match the buffered pipeline's output exactly.
+func TestCLIStreamingWorkflow(t *testing.T) {
+	dir := t.TempDir()
+	raw := filepath.Join(dir, "ocean.f32")
+	comp := filepath.Join(dir, "ocean.szp")
+	compMem := filepath.Join(dir, "mem.szp")
+	back := filepath.Join(dir, "back.f32")
+
+	if err := cmdGen([]string{"-data", "ocean", "-dims", "96x80", "-out", raw}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdCompress([]string{"-in", raw, "-dims", "96x80", "-tau", "0.01", "-spec", "ST2",
+		"-slabs", "6", "-max-mem", "1MiB", "-out", comp}); err != nil {
+		t.Fatal(err)
+	}
+	// Same explicit slab count without a budget: the containers must be
+	// byte-identical — the budget bounds memory, never changes output.
+	if err := cmdCompress([]string{"-in", raw, "-dims", "96x80", "-tau", "0.01", "-spec", "ST2",
+		"-slabs", "6", "-workers", "2", "-out", compMem}); err != nil {
+		t.Fatal(err)
+	}
+	a, err := os.ReadFile(comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(compMem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("streaming container (%d bytes) differs from buffered (%d bytes)", len(a), len(b))
+	}
+	if err := cmdVerify([]string{"-orig", raw, "-comp", comp, "-max-mem", "1MiB"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdDecompress([]string{"-in", comp, "-out", back, "-max-mem", "1MiB"}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := os.Stat(back)
+	if err != nil || st.Size() != 96*80*2*4 {
+		t.Fatalf("decompressed size %v, err %v", st, err)
+	}
+	// The streaming decoder must reproduce the buffered decoder's bytes.
+	backMem := filepath.Join(dir, "backmem.f32")
+	if err := cmdDecompress([]string{"-in", comp, "-out", backMem}); err != nil {
+		t.Fatal(err)
+	}
+	x, err := os.ReadFile(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, err := os.ReadFile(backMem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(x, y) {
+		t.Fatal("streaming and buffered decompress outputs differ")
 	}
 }
 

@@ -1,0 +1,83 @@
+package analysis
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/field"
+	"repro/internal/safedim"
+)
+
+// SourceError computes MaxAbsError and PSNR between two fields exposed
+// as slab sources, scanning both in runs of at most window planes
+// (window <= 0 picks a default) so peak memory is O(window), never
+// O(field). The accumulation mirrors PSNR/MaxAbsError exactly — same
+// float64 folds, same global-range peak — so the streaming and
+// in-memory verify paths report identical numbers.
+func SourceError(orig, dec field.SlabSource, window int) (maxErr, psnr float64, err error) {
+	od, dd := orig.Dims(), dec.Dims()
+	if len(od) != len(dd) {
+		return 0, 0, fmt.Errorf("analysis: source dims %v vs %v", od, dd)
+	}
+	for i := range od {
+		if od[i] != dd[i] {
+			return 0, 0, fmt.Errorf("analysis: source dims %v vs %v", od, dd)
+		}
+	}
+	nc := len(od)
+	nSlow := od[nc-1]
+	ps := 1
+	for _, d := range od[:nc-1] {
+		ps *= d
+	}
+	if window <= 0 {
+		window = 64
+	}
+	if window > nSlow {
+		window = nSlow
+	}
+	oc := make([][]float32, nc)
+	dc := make([][]float32, nc)
+	wn := safedim.MustProduct(window, ps)
+	for c := 0; c < nc; c++ {
+		oc[c] = make([]float32, wn)
+		dc[c] = make([]float32, wn)
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	var sum float64
+	n := 0
+	for start := 0; start < nSlow; start += window {
+		count := window
+		if start+count > nSlow {
+			count = nSlow - start
+		}
+		if err := orig.ReadPlanes(start, count, oc); err != nil {
+			return 0, 0, err
+		}
+		if err := dec.ReadPlanes(start, count, dc); err != nil {
+			return 0, 0, err
+		}
+		for c := 0; c < nc; c++ {
+			o, g := oc[c][:count*ps], dc[c][:count*ps]
+			for i := range o {
+				v := float64(o[i])
+				lo = math.Min(lo, v)
+				hi = math.Max(hi, v)
+				d := v - float64(g[i])
+				sum += d * d
+				if a := math.Abs(d); a > maxErr {
+					maxErr = a
+				}
+				n++
+			}
+		}
+	}
+	if n == 0 || hi <= lo {
+		return maxErr, math.Inf(1), nil
+	}
+	rmse := math.Sqrt(sum / float64(n))
+	if rmse == 0 {
+		return maxErr, math.Inf(1), nil
+	}
+	return maxErr, 20 * math.Log10((hi-lo)/rmse), nil
+}

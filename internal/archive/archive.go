@@ -38,11 +38,21 @@ const (
 	version2 = 2 // adds per-blob and head CRC32C
 )
 
-// Writer streams an archive to an io.Writer. Steps are buffered until
-// Close because the index precedes the data.
+// Writer emits a version-2 archive on an io.Writer.
+//
+// Memory contract: the version-2 index precedes the data, so every
+// appended blob is buffered in memory until Close — peak memory is
+// O(container). That is the right trade for modest temporal series
+// (the index lives at the front, readers need no seekable source), and
+// the wrong one for containers near or beyond RAM: those callers must
+// use StreamWriter, whose footer index keeps peak memory at O(index).
+// AppendBlob reports the running container size so callers can watch
+// the buffer grow, and SetLimit turns the silent growth into a typed
+// error at a chosen bound.
 type Writer struct {
 	w     io.Writer
 	blobs [][]byte
+	limit int64
 	// Temporal-series state: the transform is fitted on the first frame
 	// and shared by the whole series; prev holds the previous frame's
 	// decompressed output (the predictor both sides agree on).
@@ -57,9 +67,49 @@ func NewWriter(w io.Writer) *Writer {
 	return &Writer{w: w}
 }
 
-// AppendBlob adds one pre-compressed time step.
-func (a *Writer) AppendBlob(blob []byte) {
+// ErrWriterLimit reports an append that would grow the buffered
+// container past the bound set by SetLimit.
+var ErrWriterLimit = errors.New("archive: buffered container exceeds writer limit")
+
+// SetLimit bounds the buffered container size: an AppendBlob that would
+// push Size past n bytes fails with ErrWriterLimit instead of growing
+// the buffer. n <= 0 (the default) means unbounded.
+func (a *Writer) SetLimit(n int64) { a.limit = n }
+
+// Size returns the byte size the container will have after Close —
+// equivalently, the writer's current buffered footprint plus index
+// overhead. It grows with every append; see the type comment for why.
+func (a *Writer) Size() int64 {
+	// head: magic+version, count uvarint, one length uvarint and one
+	// CRC per blob, head CRC.
+	n := int64(5 + uvarintLen(uint64(len(a.blobs))) + 4*(len(a.blobs)+1))
+	for _, b := range a.blobs {
+		n += int64(uvarintLen(uint64(len(b))) + len(b))
+	}
+	return n
+}
+
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// AppendBlob adds one pre-compressed time step and returns the running
+// container size (the bytes Close will write, all of which this writer
+// buffers in memory — see the type comment). It fails with
+// ErrWriterLimit when a SetLimit bound would be exceeded.
+func (a *Writer) AppendBlob(blob []byte) (int64, error) {
 	a.blobs = append(a.blobs, blob)
+	size := a.Size()
+	if a.limit > 0 && size > a.limit {
+		a.blobs = a.blobs[:len(a.blobs)-1]
+		return a.Size(), fmt.Errorf("%w: %d bytes buffered, limit %d", ErrWriterLimit, size, a.limit)
+	}
+	return size, nil
 }
 
 // Append2D compresses and adds a 2D time step.
@@ -68,8 +118,8 @@ func (a *Writer) Append2D(f *field.Field2D, opts core.Options) error {
 	if err != nil {
 		return err
 	}
-	a.AppendBlob(blob)
-	return nil
+	_, err = a.AppendBlob(blob)
+	return err
 }
 
 // Append3D compresses and adds a 3D time step.
@@ -78,8 +128,8 @@ func (a *Writer) Append3D(f *field.Field3D, opts core.Options) error {
 	if err != nil {
 		return err
 	}
-	a.AppendBlob(blob)
-	return nil
+	_, err = a.AppendBlob(blob)
+	return err
 }
 
 // Append2DTemporal compresses a 2D time step against the previous
@@ -117,8 +167,8 @@ func (a *Writer) Append2DTemporal(f *field.Field2D, opts core.Options) error {
 	u, v := enc.Decompressed()
 	enc.Close()
 	a.prev2 = &field.Field2D{NX: f.NX, NY: f.NY, U: u, V: v}
-	a.AppendBlob(blob)
-	return nil
+	_, err = a.AppendBlob(blob)
+	return err
 }
 
 // Append3DTemporal is the 3D variant of Append2DTemporal.
@@ -152,8 +202,8 @@ func (a *Writer) Append3DTemporal(f *field.Field3D, opts core.Options) error {
 	u, v, w := enc.Decompressed()
 	enc.Close()
 	a.prev3 = &field.Field3D{NX: f.NX, NY: f.NY, NZ: f.NZ, U: u, V: v, W: w}
-	a.AppendBlob(blob)
-	return nil
+	_, err = a.AppendBlob(blob)
+	return err
 }
 
 // Close writes the archive in the current (version 2) layout: the index
@@ -204,19 +254,23 @@ var ErrStepRange = errors.New("archive: step out of range")
 // route a file to the right decoder.
 func IsArchive(data []byte) bool {
 	return len(data) >= 5 && string(data[:4]) == string(magic[:]) &&
-		(data[4] == version1 || data[4] == version2)
+		(data[4] == version1 || data[4] == version2 || data[4] == version3)
 }
 
-// NewReader parses an archive of either version. Version-2 archives are
-// verified eagerly — the head CRC first, then every blob CRC — so a
-// corrupted step surfaces here as a *integrity.IntegrityError naming the
-// slab rather than as garbage from a later decode (and so concurrent
-// Blob/Decode calls need no verification state).
+// NewReader parses an archive of any container version. Checksummed
+// versions are verified eagerly — the index CRC first, then every blob
+// CRC — so a corrupted step surfaces here as a
+// *integrity.IntegrityError naming the slab rather than as garbage from
+// a later decode (and so concurrent Blob/Decode calls need no
+// verification state).
 func NewReader(data []byte) (*Reader, error) {
 	if len(data) < 6 || string(data[:4]) != string(magic[:]) {
 		return nil, ErrCorrupt
 	}
 	ver := data[4]
+	if ver == version3 {
+		return newReaderV3(data)
+	}
 	if ver != version1 && ver != version2 {
 		return nil, ErrCorrupt
 	}
@@ -270,6 +324,39 @@ func NewReader(data []byte) (*Reader, error) {
 		}
 	}
 	return r, nil
+}
+
+// newReaderV3 parses an in-memory version-3 container by indexing it
+// through the footer and slicing the blobs out of data, with the same
+// eager CRC verification as the version-2 path.
+func newReaderV3(data []byte) (*Reader, error) {
+	sr, err := openStreamV3(byteReaderAt(data), int64(len(data)))
+	if err != nil {
+		return nil, err
+	}
+	r := &Reader{blobs: make([][]byte, sr.Steps())}
+	for i := range r.blobs {
+		b := data[sr.offs[i] : sr.offs[i]+sr.lens[i]]
+		if err := integrity.Verify("archive", "slab blob", i, sr.crcs[i], b); err != nil {
+			return nil, err
+		}
+		r.blobs[i] = b
+	}
+	return r, nil
+}
+
+// byteReaderAt adapts a []byte to io.ReaderAt without importing bytes.
+type byteReaderAt []byte
+
+func (b byteReaderAt) ReadAt(p []byte, off int64) (int, error) {
+	if off < 0 || off > int64(len(b)) {
+		return 0, io.EOF
+	}
+	n := copy(p, b[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
 }
 
 // Steps returns the number of time steps.

@@ -8,14 +8,18 @@ import (
 )
 
 // Reader robustness: arbitrary archive bytes must produce an error or a
-// correctly decoded series, never a panic. Seeds cover both container
-// versions plus truncations and bit flips of a valid v2 archive.
+// correctly decoded series, never a panic. Seeds cover all three
+// container versions plus truncations and bit flips of valid v2 and v3
+// archives — for v3 specifically the flips target the trailer and
+// footer index, the sections its checksums exist to guard.
 
 func FuzzArchiveDecode(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte{'S', 'C', 'A', 'R'})
 	f.Add([]byte{'S', 'C', 'A', 'R', version1})
 	f.Add([]byte{'S', 'C', 'A', 'R', version2, 3})
+	f.Add([]byte{'S', 'C', 'A', 'R', version3})
+	f.Add(append([]byte{'S', 'C', 'A', 'R', version3}, trailerMagic[:]...))
 
 	var buf bytes.Buffer
 	w := NewWriter(&buf)
@@ -33,6 +37,37 @@ func FuzzArchiveDecode(f *testing.F) {
 	f.Add(valid[:len(valid)-3])
 	for _, pos := range []int{5, 9, len(valid) / 2, len(valid) - 1} {
 		mut := bytes.Clone(valid)
+		mut[pos] ^= 0x10
+		f.Add(mut)
+	}
+
+	var v3buf bytes.Buffer
+	sw := NewStreamWriter(&v3buf)
+	for s := 0; s < 3; s++ {
+		blob, _, err := core.Compress2D(step2D(s, 16), core.Options{Tau: 0.1})
+		if err != nil {
+			f.Fatal(err)
+		}
+		if _, err := sw.AppendBlob(blob); err != nil {
+			f.Fatal(err)
+		}
+	}
+	if err := sw.Close(); err != nil {
+		f.Fatal(err)
+	}
+	v3 := v3buf.Bytes()
+	f.Add(v3)
+	f.Add(v3[:len(v3)/2])
+	f.Add(v3[:len(v3)-trailerSize])   // trailer sheared off entirely
+	f.Add(v3[:len(v3)-trailerSize/2]) // trailer split mid-way
+	for _, pos := range []int{
+		5,                         // first blob byte
+		len(v3) - trailerSize - 1, // last footer byte
+		len(v3) - trailerSize + 2, // footer length field
+		len(v3) - trailerSize + 6, // footer CRC field
+		len(v3) - 2,               // trailing magic
+	} {
+		mut := bytes.Clone(v3)
 		mut[pos] ^= 0x10
 		f.Add(mut)
 	}

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"errors"
+
+	"repro/internal/fixed"
+	"repro/internal/safedim"
+)
+
+// Decode-to-writer adapters: reconstruct a block and hand its planes to
+// a callback in row order, converting a bounded run of planes at a time
+// into reused buffers instead of materializing a float field next to
+// the fixed-point state. The fixed-point components are still O(block)
+// — unavoidable, the visit order is not plane-sequential — but a block
+// is one slab in the streaming pipeline, so peak memory stays O(slab).
+
+// errTemporalTo reports a temporally predicted block reaching a To
+// decoder, which has no previous frame to chain from.
+var errTemporalTo = errors.New("core: temporally predicted block cannot stream-decode without its previous frame")
+
+// Decompress2DTo decodes a 2D block and streams its planes (rows) into
+// write in ascending order: write(start, comps) receives rows
+// [start, start+k) with comps[c] holding k*nx values valid only during
+// the call. chunk bounds the rows per call (<= 0 picks a default).
+func Decompress2DTo(blob []byte, chunk int, write func(start int, comps [][]float32) error) (nx, ny int, err error) {
+	h, comps, err := decodeFixed(blob, 2, func(*header) ([][]int64, error) { return nil, errTemporalTo })
+	if err != nil {
+		return 0, 0, err
+	}
+	if err := planesTo(comps, fixed.FromShift(h.Shift), h.NX, h.NY, chunk, write); err != nil {
+		return 0, 0, err
+	}
+	return h.NX, h.NY, nil
+}
+
+// Decompress3DTo is the 3D variant: planes are whole k-slices of
+// nx*ny values each.
+func Decompress3DTo(blob []byte, chunk int, write func(start int, comps [][]float32) error) (nx, ny, nz int, err error) {
+	h, comps, err := decodeFixed(blob, 3, func(*header) ([][]int64, error) { return nil, errTemporalTo })
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	if err := planesTo(comps, fixed.FromShift(h.Shift), h.NX*h.NY, h.NZ, chunk, write); err != nil {
+		return 0, 0, 0, err
+	}
+	return h.NX, h.NY, h.NZ, nil
+}
+
+// planesTo converts fixed-point components to float32 in runs of at
+// most chunk planes of planeSize points and delivers each run to write.
+func planesTo(comps [][]int64, tr fixed.Transform, planeSize, nPlanes, chunk int,
+	write func(start int, comps [][]float32) error) error {
+
+	if chunk <= 0 {
+		chunk = 16
+	}
+	if chunk > nPlanes {
+		chunk = nPlanes
+	}
+	out := make([][]float32, len(comps))
+	for c := range out {
+		out[c] = make([]float32, safedim.MustProduct(chunk, planeSize))
+	}
+	for start := 0; start < nPlanes; start += chunk {
+		count := chunk
+		if start+count > nPlanes {
+			count = nPlanes - start
+		}
+		run := make([][]float32, len(comps))
+		for c := range comps {
+			run[c] = out[c][:count*planeSize]
+			tr.ToFloat(comps[c][start*planeSize:(start+count)*planeSize], run[c])
+		}
+		if err := write(start, run); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -199,15 +199,16 @@ func (h *header) vertexCount() (int, error) {
 // without decoding the payload. It serves both dimensions: NZ is 0 for a
 // 2D block.
 func PeekHeader(blob []byte) (ndim, nx, ny, nz int, err error) {
-	sections, err := encoder.Unpack(blob)
+	// UnpackFirst inflates only the header section, so peeking a blob —
+	// or a long-enough prefix of one, which is how the streaming
+	// container reader sizes its plan without loading slabs — costs
+	// O(header), not O(payload).
+	sec, err := encoder.UnpackFirst(blob)
 	if err != nil {
 		return 0, 0, 0, 0, err
 	}
-	if len(sections) < 1 {
-		return 0, 0, 0, 0, errors.New("core: empty container")
-	}
 	var h header
-	if err := h.unmarshal(sections[0]); err != nil {
+	if err := h.unmarshal(sec); err != nil {
 		return 0, 0, 0, 0, err
 	}
 	return h.NDim, h.NX, h.NY, h.NZ, nil

@@ -52,7 +52,7 @@ func (d *Detector2D) CellContains(c int) bool {
 // (fixed-point) values. The classification is scale-invariant, so the
 // fixed-point scale does not matter.
 func (d *Detector2D) CellType(c int) Type {
-	return extract2D(d.Mesh, c, d.U, d.V, 1).Type
+	return extract2D(d.Mesh, c, d.U, d.V, 1, 0).Type
 }
 
 // DetectCells returns the sorted ids of all cells containing a critical
@@ -125,7 +125,7 @@ func (d *Detector3D) CellContains(c int) bool {
 // CellType classifies the critical point in cell c from the current
 // (fixed-point) values.
 func (d *Detector3D) CellType(c int) Type {
-	return extract3D(d.Mesh, c, d.U, d.V, d.W, 1).Type
+	return extract3D(d.Mesh, c, d.U, d.V, d.W, 1, 0).Type
 }
 
 // DetectCells returns the sorted ids of all cells containing a critical
@@ -206,7 +206,7 @@ func DetectField2D(f *field.Field2D, tr fixed.Transform) []Point {
 	cells := d.DetectCells()
 	pts := make([]Point, 0, len(cells))
 	for _, c := range cells {
-		pts = append(pts, extract2D(d.Mesh, c, u, v, tr.Scale))
+		pts = append(pts, extract2D(d.Mesh, c, u, v, tr.Scale, 0))
 	}
 	return pts
 }
@@ -225,14 +225,18 @@ func DetectField3D(f *field.Field3D, tr fixed.Transform) []Point {
 	cells := d.DetectCells()
 	pts := make([]Point, 0, len(cells))
 	for _, c := range cells {
-		pts = append(pts, extract3D(d.Mesh, c, u, v, w, tr.Scale))
+		pts = append(pts, extract3D(d.Mesh, c, u, v, w, tr.Scale, 0))
 	}
 	return pts
 }
 
 // extract2D computes the position (numerical barycentric solve) and type
-// (Jacobian eigenvalues) of the critical point in triangle c.
-func extract2D(mesh field.Mesh2D, c int, u, v []int64, scale float64) Point {
+// (Jacobian eigenvalues) of the critical point in triangle c. yOff
+// shifts vertex y coordinates into the global frame BEFORE the
+// barycentric combination, so a windowed detector reproduces the
+// whole-field positions bit for bit (offsetting the finished position
+// instead rounds differently).
+func extract2D(mesh field.Mesh2D, c int, u, v []int64, scale float64, yOff int) Point {
 	vs := mesh.CellVertices(c)
 	var fu, fv [3]float64
 	var px, py [3]float64
@@ -240,7 +244,7 @@ func extract2D(mesh field.Mesh2D, c int, u, v []int64, scale float64) Point {
 		fu[i] = float64(u[vi]) / scale
 		fv[i] = float64(v[vi]) / scale
 		xi, yi := mesh.VertexPos(vi)
-		px[i], py[i] = float64(xi), float64(yi)
+		px[i], py[i] = float64(xi), float64(yi+yOff)
 	}
 	mu, ok := solveBary2(fu, fv)
 	if !ok {
@@ -284,8 +288,9 @@ func solveBary2(u, v [3]float64) (mu [3]float64, ok bool) {
 }
 
 // extract3D computes position and type of the critical point in
-// tetrahedron c.
-func extract3D(mesh field.Mesh3D, c int, u, v, w []int64, scale float64) Point {
+// tetrahedron c. zOff shifts vertex z into the global frame before the
+// barycentric combination; see extract2D.
+func extract3D(mesh field.Mesh3D, c int, u, v, w []int64, scale float64, zOff int) Point {
 	vs := mesh.CellVertices(c)
 	var f [3][4]float64 // component × vertex
 	var p [3][4]float64 // axis × vertex
@@ -294,7 +299,7 @@ func extract3D(mesh field.Mesh3D, c int, u, v, w []int64, scale float64) Point {
 		f[1][i] = float64(v[vi]) / scale
 		f[2][i] = float64(w[vi]) / scale
 		xi, yi, zi := mesh.VertexPos(vi)
-		p[0][i], p[1][i], p[2][i] = float64(xi), float64(yi), float64(zi)
+		p[0][i], p[1][i], p[2][i] = float64(xi), float64(yi), float64(zi+zOff)
 	}
 	mu, ok := solveBary3(f)
 	if !ok {

@@ -1,0 +1,138 @@
+package cp
+
+import (
+	"fmt"
+
+	"repro/internal/field"
+	"repro/internal/fixed"
+	"repro/internal/safedim"
+)
+
+// Windowed critical point detection: identical output to
+// DetectField2D/3D while holding only a bounded run of slow-axis planes
+// in memory, which is how topozip verify checks fields larger than RAM.
+//
+// Windows chain with a one-plane overlap — window [s, e) is followed by
+// [e-1, ...) — so the cells whose base plane lies in [s, e-1) partition
+// the mesh exactly: every cell is tested once, by the one window that
+// owns its base plane, and no deduplication is needed. Global vertex
+// ids are fed to the detector's SoS hook and cell ids/positions are
+// offset back to global coordinates, so degenerate tie-breaking and the
+// reported points match the whole-field detector bit for bit.
+
+// minDetectWindow is the smallest useful window: two planes hold one
+// cell layer.
+const minDetectWindow = 2
+
+// DetectSource2D streams detection over a 2D source in windows of at
+// most `window` planes (<= 0 picks a default), returning the same
+// points as DetectField2D on the materialized field.
+func DetectSource2D(src field.SlabSource, tr fixed.Transform, window int) ([]Point, error) {
+	dims := src.Dims()
+	if len(dims) != 2 {
+		return nil, fmt.Errorf("cp: 2D streaming detection needs a 2D source, got %d dims", len(dims))
+	}
+	nx, ny := dims[0], dims[1]
+	window = clampWindow(window, ny)
+	wn := safedim.MustProduct(window, nx)
+	comps := [][]float32{
+		make([]float32, wn),
+		make([]float32, wn),
+	}
+	u := make([]int64, wn)
+	v := make([]int64, wn)
+	var pts []Point
+	for s := 0; ; {
+		e := s + window
+		if e > ny {
+			e = ny
+		}
+		count := e - s
+		cu, cv := comps[0][:count*nx], comps[1][:count*nx]
+		if err := src.ReadPlanes(s, count, comps); err != nil {
+			return nil, err
+		}
+		tr.ToFixed(cu, u[:count*nx])
+		tr.ToFixed(cv, v[:count*nx])
+		base := s // capture for the SoS global-id hook
+		d := &Detector2D{
+			Mesh: field.Mesh2D{NX: nx, NY: count},
+			U:    u[:count*nx], V: v[:count*nx],
+			GlobalID: func(vtx int) int { return base*nx + vtx },
+		}
+		cellOff := s * 2 * (nx - 1) // cells are slow-axis-major
+		for _, c := range d.DetectCells() {
+			p := extract2D(d.Mesh, c, d.U, d.V, tr.Scale, s)
+			p.Cell = c + cellOff
+			pts = append(pts, p)
+		}
+		if e == ny {
+			return pts, nil
+		}
+		s = e - 1 // overlap one plane: the next window owns cells based at e-1
+	}
+}
+
+// DetectSource3D is the 3D variant, windowed along Z.
+func DetectSource3D(src field.SlabSource, tr fixed.Transform, window int) ([]Point, error) {
+	dims := src.Dims()
+	if len(dims) != 3 {
+		return nil, fmt.Errorf("cp: 3D streaming detection needs a 3D source, got %d dims", len(dims))
+	}
+	nx, ny, nz := dims[0], dims[1], dims[2]
+	plane := nx * ny
+	window = clampWindow(window, nz)
+	wn := safedim.MustProduct(window, plane)
+	comps := [][]float32{
+		make([]float32, wn),
+		make([]float32, wn),
+		make([]float32, wn),
+	}
+	u := make([]int64, wn)
+	v := make([]int64, wn)
+	w := make([]int64, wn)
+	var pts []Point
+	for s := 0; ; {
+		e := s + window
+		if e > nz {
+			e = nz
+		}
+		count := e - s
+		if err := src.ReadPlanes(s, count, comps); err != nil {
+			return nil, err
+		}
+		n := count * plane
+		tr.ToFixed(comps[0][:n], u[:n])
+		tr.ToFixed(comps[1][:n], v[:n])
+		tr.ToFixed(comps[2][:n], w[:n])
+		base := s
+		d := &Detector3D{
+			Mesh: field.Mesh3D{NX: nx, NY: ny, NZ: count},
+			U:    u[:n], V: v[:n], W: w[:n],
+			GlobalID: func(vtx int) int { return base*plane + vtx },
+		}
+		cellOff := s * 6 * (nx - 1) * (ny - 1)
+		for _, c := range d.DetectCells() {
+			p := extract3D(d.Mesh, c, d.U, d.V, d.W, tr.Scale, s)
+			p.Cell = c + cellOff
+			pts = append(pts, p)
+		}
+		if e == nz {
+			return pts, nil
+		}
+		s = e - 1
+	}
+}
+
+func clampWindow(window, nSlow int) int {
+	if window <= 0 {
+		window = 64
+	}
+	if window < minDetectWindow {
+		window = minDetectWindow
+	}
+	if window > nSlow {
+		window = nSlow
+	}
+	return window
+}

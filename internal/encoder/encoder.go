@@ -7,6 +7,7 @@
 package encoder
 
 import (
+	"bufio"
 	"bytes"
 	"compress/flate"
 	"encoding/binary"
@@ -71,6 +72,52 @@ func Pack(sections ...[]byte) ([]byte, error) {
 
 // ErrCorrupt indicates a malformed container.
 var ErrCorrupt = errors.New("encoder: corrupt container")
+
+// maxFirstSection bounds the first-section length UnpackFirst will
+// honor: the callers peek headers, which are tens of bytes, so anything
+// larger is corruption and must not drive a huge allocation.
+const maxFirstSection = 1 << 20
+
+// UnpackFirst inflates just enough of a Pack container to return its
+// first section — O(first section) work and memory instead of the whole
+// payload, which is what lets streaming readers peek block headers
+// without decoding slabs. data may be a prefix of the container as long
+// as it covers the compressed bytes of the first section; on a too-short
+// prefix the error wraps io.ErrUnexpectedEOF so callers can retry with a
+// longer one.
+func UnpackFirst(data []byte) ([]byte, error) {
+	fr := flate.NewReader(bytes.NewReader(data))
+	defer fr.Close()
+	br := bufio.NewReaderSize(fr, 512)
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, truncOrCorrupt(err)
+	}
+	if n == 0 {
+		return nil, ErrCorrupt
+	}
+	l, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, truncOrCorrupt(err)
+	}
+	if l > maxFirstSection {
+		return nil, ErrCorrupt
+	}
+	sec := make([]byte, l)
+	if _, err := io.ReadFull(br, sec); err != nil {
+		return nil, truncOrCorrupt(err)
+	}
+	return sec, nil
+}
+
+// truncOrCorrupt maps a short read to io.ErrUnexpectedEOF (retryable
+// with a longer prefix) and anything else to ErrCorrupt.
+func truncOrCorrupt(err error) error {
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return fmt.Errorf("encoder: unpack first: %w", io.ErrUnexpectedEOF)
+	}
+	return fmt.Errorf("%w: %v", ErrCorrupt, err)
+}
 
 // Unpack reverses Pack.
 func Unpack(data []byte) ([][]byte, error) {

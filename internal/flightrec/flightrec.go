@@ -55,12 +55,20 @@ const (
 	// KindStraggler is a simulated-MPI receive that needed at least one
 	// timeout retry before the message arrived.
 	KindStraggler
+	// KindWindowRefill is a streaming slab admitted into the bounded
+	// window (the worker may have stalled waiting for a free window
+	// slot; Detail distinguishes an immediate grant from a stall).
+	KindWindowRefill
+	// KindWindowEvict is a streaming slab retired from the window after
+	// its blob was flushed to the container, freeing its slot.
+	KindWindowEvict
 	numKinds
 )
 
 var kindNames = [numKinds]string{
 	"note", "retry", "panic", "deadline", "degraded",
 	"integrity_fail", "rollback", "fault_injected", "straggler",
+	"window_refill", "window_evict",
 }
 
 func (k Kind) String() string {

@@ -70,6 +70,7 @@ func Default() []*Analyzer {
 		TypedErr(nil),
 		PoolBalance(nil),
 		TelemetryName(nil),
+		SlabBuffer(nil),
 	}
 }
 

@@ -44,6 +44,15 @@ func TestPoolBalance(t *testing.T) {
 	)
 }
 
+func TestSlabBuffer(t *testing.T) {
+	RunAnalyzerTest(t, td("slabbuffer", "slabpkg"),
+		SlabBuffer(&SlabBufferConfig{
+			StreamPackages: []string{"slabpkg"},
+			StreamTypes:    defaultSlabBuffer.StreamTypes,
+		}),
+	)
+}
+
 func TestTelemetryName(t *testing.T) {
 	RunAnalyzerTestDirs(t,
 		[]string{td("telemetryname", "telemetrystub"), td("telemetryname", "namepkg")},
@@ -96,7 +105,7 @@ func TestLoadModule(t *testing.T) {
 // TestDefaultSuiteNames pins the analyzer roster the Makefile's lint
 // gate advertises.
 func TestDefaultSuiteNames(t *testing.T) {
-	want := []string{"exactfloat", "floateq", "overflowmul", "panicfree", "typederr", "poolbalance", "telemetryname"}
+	want := []string{"exactfloat", "floateq", "overflowmul", "panicfree", "typederr", "poolbalance", "telemetryname", "slabbuffer"}
 	got := Default()
 	if len(got) != len(want) {
 		t.Fatalf("Default() has %d analyzers, want %d", len(got), len(want))

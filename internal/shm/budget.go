@@ -1,0 +1,83 @@
+// Memory-budget sizing: translates the operator-facing byte budget
+// (topozip -max-mem, Options.MaxMemBytes) into the two knobs the
+// streaming pipeline actually has — the slab count and the admission
+// window — so callers state a ceiling and the engine picks a
+// decomposition that honors it.
+//
+// The overhead constants estimate how many bytes one admitted slab
+// really costs relative to its raw float32 planes. Compressing, a slab
+// holds its raw planes (1x), the encoder's fixed-point int64 copies
+// (2x), the residual/bound streams plus the sealed blob awaiting flush
+// (~1x), and headroom for the Go runtime between collections (~2x).
+// Decoding skips the encode streams but still inflates to int64 before
+// converting, so it sits a notch lower.
+
+package shm
+
+const (
+	compressSlabOverhead   = 6
+	decompressSlabOverhead = 5
+)
+
+// budgetSlabs picks a slab count whose largest slab fits the budget
+// with room for a window of at least two, floored at DefaultSlabs so a
+// generous budget does not serialize the pipeline, and capped at
+// nSlow/2 (slabs need two planes each).
+func budgetSlabs(budget, planeBytes int64, nSlow int) int {
+	target := budget / (2 * compressSlabOverhead)
+	planes := target / planeBytes
+	if planes < 2 {
+		planes = 2
+	}
+	slabs := int((int64(nSlow) + planes - 1) / planes)
+	if d := DefaultSlabs(nSlow); slabs < d {
+		// More slabs always shrink per-slab memory, so taking the
+		// parallelism floor never breaks the budget.
+		slabs = d
+	}
+	if max := nSlow / 2; slabs > max {
+		slabs = max
+	}
+	if slabs < 1 {
+		slabs = 1
+	}
+	return slabs
+}
+
+// budgetWindow derives the admission window from the budget and the
+// byte size of the largest slab, clamped to [1, slabs]. A slab too big
+// for the budget still gets a window of one — the pipeline degrades to
+// fully serial rather than refusing to run.
+func budgetWindow(budget, maxSlabBytes int64, slabs int, overhead int64) int {
+	if maxSlabBytes <= 0 {
+		return slabs
+	}
+	w := int(budget / (overhead * maxSlabBytes))
+	if w < 1 {
+		w = 1
+	}
+	if w > slabs {
+		w = slabs
+	}
+	return w
+}
+
+// applyBudget resolves MaxMemBytes into concrete Slabs and Window for a
+// compress run over nSlow planes of planeBytes each. Explicit Slabs or
+// Window settings win; the budget only fills the knobs left at zero.
+// The derived slab count depends on the budget and field shape only —
+// never on Workers — so a fixed (-max-mem, field) pair still produces
+// byte-identical output at any worker count.
+func (o Options) applyBudget(planeBytes int64, nSlow int) Options {
+	if o.MaxMemBytes <= 0 || planeBytes <= 0 || nSlow < 2 {
+		return o
+	}
+	if o.Slabs <= 0 {
+		o.Slabs = budgetSlabs(o.MaxMemBytes, planeBytes, nSlow)
+	}
+	if o.Window <= 0 {
+		maxPlanes := (nSlow + o.Slabs - 1) / o.Slabs
+		o.Window = budgetWindow(o.MaxMemBytes, int64(maxPlanes)*planeBytes, o.Slabs, compressSlabOverhead)
+	}
+	return o
+}

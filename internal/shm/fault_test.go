@@ -247,6 +247,12 @@ func TestFlightRecorderCapturesDegradation(t *testing.T) {
 	events := rec.Snapshot()
 	perSlab := make(map[int32][]flightrec.Kind)
 	for _, ev := range events {
+		// Window refill/evict bracket every slab's pass through the
+		// streaming window regardless of outcome; this test asserts on
+		// the encode lifecycle, where degradation is terminal.
+		if ev.Kind == flightrec.KindWindowRefill || ev.Kind == flightrec.KindWindowEvict {
+			continue
+		}
 		if ev.Slab >= 0 {
 			perSlab[ev.Slab] = append(perSlab[ev.Slab], ev.Kind)
 		}

@@ -14,7 +14,6 @@
 package shm
 
 import (
-	"bytes"
 	"errors"
 	"fmt"
 	"strings"
@@ -24,11 +23,8 @@ import (
 	"repro/internal/core"
 	"repro/internal/faultinject"
 	"repro/internal/field"
-	"repro/internal/fixed"
 	"repro/internal/flightrec"
 	"repro/internal/integrity"
-	"repro/internal/parallel"
-	"repro/internal/safedim"
 	"repro/internal/shm/pool"
 	"repro/internal/telemetry"
 )
@@ -43,6 +39,22 @@ type Options struct {
 	// (border vertices are stored losslessly), so runs that must be
 	// comparable byte-for-byte must agree on it.
 	Slabs int
+	// Window bounds how many slabs the streaming pipeline admits at
+	// once — the out-of-core memory knob: peak memory is O(Window ×
+	// slab), and a worker stalls until the ordered flusher retires the
+	// oldest admitted slab. <= 0 means unbounded (every slab at once,
+	// the in-memory behavior). Window never influences the output
+	// bytes, only peak memory and stalls.
+	Window int
+	// MaxMemBytes is the operator-facing peak-memory budget of the
+	// streaming pipeline (topozip -max-mem). When set, it derives the
+	// knobs left at zero: Slabs is sized so one slab plus encode scratch
+	// fits comfortably, and Window to how many such slabs the budget
+	// admits at once. Explicit Slabs/Window settings always win. The
+	// derived slab count is a function of the budget and field shape
+	// only, so output bytes stay independent of Workers. 0 disables
+	// budget sizing.
+	MaxMemBytes int64
 	// Tel, when non-nil, receives a run span with one child span per
 	// slab plus the per-stage engine spans underneath.
 	Tel *telemetry.Collector
@@ -91,6 +103,11 @@ type Result struct {
 	Stats core.Stats
 	// Slabs and Workers record the executed decomposition.
 	Slabs, Workers int
+	// Window is the slab-window size the run executed with (== Slabs
+	// when unbounded); PeakWindowBytes is the high-water mark of bytes
+	// admitted at once (raw slab buffers plus sealed, unflushed blobs).
+	Window          int
+	PeakWindowBytes int64
 	// Wall is the real (not simulated) compression wall time.
 	Wall time.Duration
 	// Retries, Panics, and Timeouts count recovered slab failures;
@@ -246,98 +263,6 @@ func isPanicErr(err error) bool {
 	return err != nil && strings.Contains(err.Error(), "panicked")
 }
 
-// slabRun executes the common fan-out: nothing in it knows the dimension.
-// encode compresses slab i and returns its blob and stats; fallback is
-// the lossless escape encoder a slab degrades to after exhausting its
-// attempts.
-func slabRun(name string, rawBytes int64, slabs, workers int, po Options,
-	encode func(i int, span *telemetry.Span) ([]byte, core.Stats, error),
-	fallback func(i int) ([]byte, core.Stats, error)) (Result, error) {
-
-	tel := po.Tel
-	// Pre-create the run span and the per-slab children in slab order so
-	// the snapshot layout is deterministic regardless of scheduling.
-	var run *telemetry.Span
-	spans := make([]*telemetry.Span, slabs)
-	if tel != nil {
-		run = tel.Span(name)
-		for i := range spans {
-			spans[i] = run.Child(fmt.Sprintf("slab%d", i))
-		}
-	}
-	outs := make([]slabOutcome, slabs)
-	start := time.Now()
-	pool.Do(workers, slabs, func(i int) {
-		outs[i] = encodeSlab(i, name, po, spans[i], encode, fallback)
-		if blob, fired := po.Faults.Corrupt(outs[i].blob, uint64(i)); fired {
-			// Simulated storage corruption: the blob is damaged after a
-			// successful encode, to be caught by the integrity checks at
-			// decode time — never retried here.
-			outs[i].blob = blob
-			po.Rec.Record(flightrec.Event{Kind: flightrec.KindFaultInjected, Subsystem: name,
-				Slab: int32(i), Attempt: -1, Detail: "blob corrupted after encode"})
-		}
-	})
-	wall := time.Since(start)
-	for _, sp := range spans {
-		sp.End()
-	}
-	run.End()
-	var ft struct{ retries, panics, timeouts int }
-	var degraded []int
-	for i, out := range outs {
-		if out.err != nil {
-			return Result{}, out.err
-		}
-		ft.retries += out.retries
-		ft.panics += out.panics
-		ft.timeouts += out.timeouts
-		if out.degraded {
-			degraded = append(degraded, i)
-		}
-	}
-	if tel != nil {
-		tel.Counter(name + ".slab.retries").Add(int64(ft.retries))
-		tel.Counter(name + ".slab.panics").Add(int64(ft.panics))
-		tel.Counter(name + ".slab.timeouts").Add(int64(ft.timeouts))
-		tel.Counter(name + ".slab.degraded").Add(int64(len(degraded)))
-	}
-	blobs := make([][]byte, slabs)
-	stats := make([]core.Stats, slabs)
-	for i, out := range outs {
-		blobs[i], stats[i] = out.blob, out.stats
-	}
-	var buf bytes.Buffer
-	w := archive.NewWriter(&buf)
-	for _, b := range blobs {
-		w.AppendBlob(b)
-	}
-	if err := w.Close(); err != nil {
-		return Result{}, err
-	}
-	res := Result{
-		Blob:     buf.Bytes(),
-		RawBytes: rawBytes,
-		Slabs:    slabs,
-		Workers:  workers,
-		Wall:     wall,
-		Retries:  ft.retries,
-		Panics:   ft.panics,
-		Timeouts: ft.timeouts,
-		Degraded: degraded,
-	}
-	res.CompressedBytes = int64(len(res.Blob))
-	for _, s := range stats {
-		res.Stats.Add(s)
-	}
-	if tel != nil {
-		tel.Gauge(name + ".throughput_mbps").Set(int64(res.ThroughputMBps()))
-		tel.Gauge(name + ".slabs").Set(int64(slabs))
-		tel.Gauge(name + ".workers").Set(int64(workers))
-	}
-	return res, nil
-}
-
 // slabCount resolves the requested slab count against the slow axis.
 func slabCount(requested, nSlow int) (int, error) {
 	s := requested
@@ -348,134 +273,6 @@ func slabCount(requested, nSlow int) (int, error) {
 		return 0, fmt.Errorf("shm: cannot split %d planes into %d slabs of >=2", nSlow, s)
 	}
 	return s, nil
-}
-
-// Compress2D compresses f with the shared transform tr on the in-process
-// worker pool. The output container decodes with Decompress2D (any
-// worker count) and preserves critical points exactly like the
-// single-node path: interior vertices follow the τ/speculation pipeline,
-// slab border vertices are lossless.
-func Compress2D(f *field.Field2D, tr fixed.Transform, opts core.Options, po Options) (Result, error) {
-	slabs, err := slabCount(po.Slabs, f.NY)
-	if err != nil {
-		return Result{}, err
-	}
-	workers := pool.Workers(po.Workers)
-	ys := []parallel.Span{{Start: 0, Size: f.NY}}
-	if slabs > 1 {
-		if ys, err = parallel.Partition(f.NY, slabs); err != nil {
-			return Result{}, err
-		}
-	}
-	rawBytes := int64(len(f.U)+len(f.V)) * 4
-	return slabRun("shm.compress2d", rawBytes, slabs, workers, po,
-		func(i int, span *telemetry.Span) ([]byte, core.Stats, error) {
-			sy := ys[i]
-			n := safedim.MustProduct(f.NX, sy.Size)
-			bu := make([]float32, n)
-			bv := make([]float32, n)
-			copy(bu, f.U[sy.Start*f.NX:][:n])
-			copy(bv, f.V[sy.Start*f.NX:][:n])
-			o := opts
-			o.Tel = po.Tel
-			o.TelSpan = span
-			o.Rec = po.Rec
-			o.RecSlab = i
-			blk := core.Block2D{
-				NX: f.NX, NY: sy.Size, U: bu, V: bv,
-				Transform: tr, Opts: o,
-				GlobalY0: sy.Start,
-				GlobalNX: f.NX, GlobalNY: f.NY,
-				// A lone slab has no borders; leaving the flag off keeps
-				// its block byte-identical to the single-node output.
-				LosslessBorder: slabs > 1,
-			}
-			blk.Neighbor[core.SideMinY] = i > 0
-			blk.Neighbor[core.SideMaxY] = i < slabs-1
-			enc, err := core.NewEncoder2D(blk)
-			if err != nil {
-				return nil, core.Stats{}, err
-			}
-			enc.Run()
-			blob, err := enc.Finish()
-			st := enc.Stats()
-			enc.Close()
-			return blob, st, err
-		},
-		func(i int) ([]byte, core.Stats, error) {
-			sy := ys[i]
-			n := safedim.MustProduct(f.NX, sy.Size)
-			sub := &field.Field2D{
-				NX: f.NX, NY: sy.Size,
-				U: f.U[sy.Start*f.NX:][:n],
-				V: f.V[sy.Start*f.NX:][:n],
-			}
-			blob, err := core.CompressLossless2D(sub, tr)
-			return blob, core.Stats{}, err
-		})
-}
-
-// Compress3D compresses f on the worker pool, slabbed along Z.
-func Compress3D(f *field.Field3D, tr fixed.Transform, opts core.Options, po Options) (Result, error) {
-	slabs, err := slabCount(po.Slabs, f.NZ)
-	if err != nil {
-		return Result{}, err
-	}
-	workers := pool.Workers(po.Workers)
-	zs := []parallel.Span{{Start: 0, Size: f.NZ}}
-	if slabs > 1 {
-		if zs, err = parallel.Partition(f.NZ, slabs); err != nil {
-			return Result{}, err
-		}
-	}
-	rawBytes := int64(len(f.U)+len(f.V)+len(f.W)) * 4
-	plane := f.NX * f.NY
-	return slabRun("shm.compress3d", rawBytes, slabs, workers, po,
-		func(i int, span *telemetry.Span) ([]byte, core.Stats, error) {
-			sz := zs[i]
-			n := safedim.MustProduct(plane, sz.Size)
-			bu := make([]float32, n)
-			bv := make([]float32, n)
-			bw := make([]float32, n)
-			copy(bu, f.U[sz.Start*plane:][:n])
-			copy(bv, f.V[sz.Start*plane:][:n])
-			copy(bw, f.W[sz.Start*plane:][:n])
-			o := opts
-			o.Tel = po.Tel
-			o.TelSpan = span
-			o.Rec = po.Rec
-			o.RecSlab = i
-			blk := core.Block3D{
-				NX: f.NX, NY: f.NY, NZ: sz.Size, U: bu, V: bv, W: bw,
-				Transform: tr, Opts: o,
-				GlobalZ0: sz.Start,
-				GlobalNX: f.NX, GlobalNY: f.NY, GlobalNZ: f.NZ,
-				LosslessBorder: slabs > 1,
-			}
-			blk.Neighbor[core.SideMinZ] = i > 0
-			blk.Neighbor[core.SideMaxZ] = i < slabs-1
-			enc, err := core.NewEncoder3D(blk)
-			if err != nil {
-				return nil, core.Stats{}, err
-			}
-			enc.Run()
-			blob, err := enc.Finish()
-			st := enc.Stats()
-			enc.Close()
-			return blob, st, err
-		},
-		func(i int) ([]byte, core.Stats, error) {
-			sz := zs[i]
-			n := safedim.MustProduct(plane, sz.Size)
-			sub := &field.Field3D{
-				NX: f.NX, NY: f.NY, NZ: sz.Size,
-				U: f.U[sz.Start*plane:][:n],
-				V: f.V[sz.Start*plane:][:n],
-				W: f.W[sz.Start*plane:][:n],
-			}
-			blob, err := core.CompressLossless3D(sub, tr)
-			return blob, core.Stats{}, err
-		})
 }
 
 // firstSlabErr wraps the first per-slab decode failure with its slab

@@ -1,0 +1,579 @@
+// The out-of-core streaming engine: slabs are pulled through a bounded
+// admission window from a field.SlabSource, compressed on the worker
+// pool, and flushed in slab order to an archive.StreamWriter — peak
+// memory is O(window × slab), never O(field), and the output bytes are
+// identical to the in-memory path for any worker count and any window.
+//
+// Pipeline shape and its deadlock-freedom argument:
+//
+//	worker: acquire window permit → take next slab index → read slab
+//	        from source → encode (with the retry/degrade loop) → hand
+//	        the sealed blob to the flusher
+//	flusher (caller's goroutine): for each slab in order: await its
+//	        blob → append to the stream writer → drop the blob →
+//	        release the permit
+//
+// Permits are acquired before a slab index is taken, so admitted slabs
+// form a prefix-contiguous set and the flusher's lowest unflushed slab
+// is always one some worker holds; per-slab hand-off channels are
+// buffered, so that worker cannot block. Every attempt re-reads its
+// slab from the source because a failed encode may have scribbled on
+// the buffers; the source contract (field.SlabSource) requires
+// concurrent-read safety for exactly this reason.
+
+package shm
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/archive"
+	"repro/internal/core"
+	"repro/internal/field"
+	"repro/internal/fixed"
+	"repro/internal/flightrec"
+	"repro/internal/parallel"
+	"repro/internal/safedim"
+	"repro/internal/shm/pool"
+	"repro/internal/telemetry"
+)
+
+// slabScratch is one worker's reusable raw-plane buffers, grown to the
+// largest slab the worker has seen and recycled across slabs and
+// attempts — the engine's raw memory is O(workers × slab).
+type slabScratch struct {
+	comps [][]float32
+}
+
+// buffers returns nc component buffers of n points each, reusing prior
+// allocations.
+func (sc *slabScratch) buffers(nc, n int) [][]float32 {
+	for len(sc.comps) < nc {
+		sc.comps = append(sc.comps, nil)
+	}
+	out := make([][]float32, nc)
+	for c := 0; c < nc; c++ {
+		if cap(sc.comps[c]) < n {
+			sc.comps[c] = make([]float32, n)
+		}
+		out[c] = sc.comps[c][:n]
+	}
+	return out
+}
+
+// windowOf clamps the configured window to [1, slabs]; <= 0 means
+// unbounded (every slab admitted at once — the legacy in-memory
+// behavior).
+func (o Options) windowOf(slabs int) int {
+	w := o.Window
+	if w <= 0 || w > slabs {
+		w = slabs
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// streamRun executes the windowed fan-out and writes the version-3
+// container on w. It subsumes the fault machinery of the in-memory
+// path: encodeSlab's retry/backoff/degrade loop, the post-encode
+// corruption fault hook, flight-recorder attribution, and the
+// per-slab telemetry spans (pre-created in slab order so snapshots are
+// deterministic).
+func streamRun(name string, rawBytes int64, slabs, workers int, po Options, w io.Writer,
+	encode func(i int, span *telemetry.Span, sc *slabScratch) ([]byte, core.Stats, error),
+	fallback func(i int, sc *slabScratch) ([]byte, core.Stats, error),
+	slabRawBytes func(i int) int64) (Result, error) {
+
+	tel := po.Tel
+	var run *telemetry.Span
+	spans := make([]*telemetry.Span, slabs)
+	if tel != nil {
+		run = tel.Span(name)
+		for i := range spans {
+			spans[i] = run.Child(fmt.Sprintf("slab%d", i))
+		}
+	}
+
+	window := po.windowOf(slabs)
+	nWorkers := workers
+	if nWorkers > slabs {
+		nWorkers = slabs
+	}
+	if nWorkers > window {
+		// More workers than window slots would only queue on admission.
+		nWorkers = window
+	}
+
+	sem := make(chan struct{}, window)
+	outCh := make([]chan slabOutcome, slabs)
+	for i := range outCh {
+		outCh[i] = make(chan slabOutcome, 1)
+	}
+	var next atomic.Int64
+	var curBytes, peakBytes atomic.Int64
+	addWindowBytes := func(d int64) {
+		v := curBytes.Add(d)
+		for {
+			p := peakBytes.Load()
+			if v <= p || peakBytes.CompareAndSwap(p, v) {
+				return
+			}
+		}
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for wk := 0; wk < nWorkers; wk++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sc := &slabScratch{}
+			for {
+				t0 := time.Now()
+				sem <- struct{}{} // admission permit, before taking a slab
+				i := int(next.Add(1)) - 1
+				if i >= slabs {
+					<-sem
+					return
+				}
+				wait := time.Since(t0)
+				if tel != nil {
+					tel.Histogram(name + ".window.refill_wait_ns").Observe(int64(wait))
+				}
+				detail := "window slot granted"
+				if wait > time.Millisecond {
+					detail = "stalled waiting for window slot"
+				}
+				po.Rec.Record(flightrec.Event{Kind: flightrec.KindWindowRefill, Subsystem: name,
+					Slab: int32(i), Attempt: -1, Detail: detail})
+				raw := slabRawBytes(i)
+				addWindowBytes(raw)
+				out := encodeSlab(i, name, po, spans[i],
+					func(i int, span *telemetry.Span) ([]byte, core.Stats, error) {
+						return encode(i, span, sc)
+					},
+					func(i int) ([]byte, core.Stats, error) { return fallback(i, sc) })
+				if blob, fired := po.Faults.Corrupt(out.blob, uint64(i)); fired {
+					// Simulated storage corruption after a successful encode,
+					// caught by the integrity checks at decode time.
+					out.blob = blob
+					po.Rec.Record(flightrec.Event{Kind: flightrec.KindFaultInjected, Subsystem: name,
+						Slab: int32(i), Attempt: -1, Detail: "blob corrupted after encode"})
+				}
+				// The slab's raw buffers are now idle scratch; only its
+				// sealed blob still occupies the window.
+				addWindowBytes(int64(len(out.blob)) - raw)
+				outCh[i] <- out
+			}
+		}()
+	}
+
+	sw := archive.NewStreamWriter(w)
+	outs := make([]slabOutcome, slabs)
+	var ferr error
+	for i := 0; i < slabs; i++ {
+		t0 := time.Now()
+		out := <-outCh[i]
+		if tel != nil {
+			tel.Histogram(name + ".window.flush_wait_ns").Observe(int64(time.Since(t0)))
+		}
+		if out.err != nil && ferr == nil {
+			ferr = out.err
+		}
+		if ferr == nil {
+			if _, err := sw.AppendBlob(out.blob); err != nil {
+				ferr = err
+			}
+		}
+		addWindowBytes(-int64(len(out.blob)))
+		out.blob = nil // retire the slab before admitting the next
+		outs[i] = out
+		po.Rec.Record(flightrec.Event{Kind: flightrec.KindWindowEvict, Subsystem: name,
+			Slab: int32(i), Attempt: -1, Detail: "slab flushed, window slot freed"})
+		<-sem
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	for _, sp := range spans {
+		sp.End()
+	}
+	run.End()
+
+	if ferr != nil {
+		return Result{}, ferr
+	}
+	if err := sw.Close(); err != nil {
+		return Result{}, err
+	}
+
+	var ft struct{ retries, panics, timeouts int }
+	var degraded []int
+	for i, out := range outs {
+		ft.retries += out.retries
+		ft.panics += out.panics
+		ft.timeouts += out.timeouts
+		if out.degraded {
+			degraded = append(degraded, i)
+		}
+	}
+	peak := peakBytes.Load()
+	if tel != nil {
+		tel.Counter(name + ".slab.retries").Add(int64(ft.retries))
+		tel.Counter(name + ".slab.panics").Add(int64(ft.panics))
+		tel.Counter(name + ".slab.timeouts").Add(int64(ft.timeouts))
+		tel.Counter(name + ".slab.degraded").Add(int64(len(degraded)))
+		tel.Gauge(name + ".window.size").Set(int64(window))
+		tel.Gauge(name + ".window.peak_bytes").SetMax(peak)
+	}
+	res := Result{
+		RawBytes:        rawBytes,
+		CompressedBytes: sw.Size(),
+		Slabs:           slabs,
+		Workers:         workers,
+		Window:          window,
+		PeakWindowBytes: peak,
+		Wall:            wall,
+		Retries:         ft.retries,
+		Panics:          ft.panics,
+		Timeouts:        ft.timeouts,
+		Degraded:        degraded,
+	}
+	for _, out := range outs {
+		res.Stats.Add(out.stats)
+	}
+	if tel != nil {
+		tel.Gauge(name + ".throughput_mbps").Set(int64(res.ThroughputMBps()))
+		tel.Gauge(name + ".slabs").Set(int64(slabs))
+		tel.Gauge(name + ".workers").Set(int64(workers))
+	}
+	return res, nil
+}
+
+// CompressStream2D compresses the field behind src, slabbed along Y,
+// writing the version-3 container incrementally to w. Peak memory is
+// O(window × slab): at most Options.Window slabs are admitted at once,
+// each worker holds one slab's raw planes, and sealed blobs leave
+// memory as the ordered flusher appends them. Output bytes depend only
+// on the field, tr, opts, and the slab count — never on Workers or
+// Window.
+func CompressStream2D(src field.SlabSource, w io.Writer, tr fixed.Transform, opts core.Options, po Options) (Result, error) {
+	dims := src.Dims()
+	if len(dims) != 2 {
+		return Result{}, fmt.Errorf("shm: 2D stream compress needs a 2D source, got %d dims", len(dims))
+	}
+	nx, ny := dims[0], dims[1]
+	po = po.applyBudget(int64(nx)*2*4, ny)
+	slabs, err := slabCount(po.Slabs, ny)
+	if err != nil {
+		return Result{}, err
+	}
+	workers := pool.Workers(po.Workers)
+	ys := []parallel.Span{{Start: 0, Size: ny}}
+	if slabs > 1 {
+		if ys, err = parallel.Partition(ny, slabs); err != nil {
+			return Result{}, err
+		}
+	}
+	rawBytes := int64(safedim.MustProduct(nx, ny)) * 2 * 4
+	return streamRun("shm.compress2d", rawBytes, slabs, workers, po, w,
+		func(i int, span *telemetry.Span, sc *slabScratch) ([]byte, core.Stats, error) {
+			sy := ys[i]
+			n := safedim.MustProduct(nx, sy.Size)
+			bufs := sc.buffers(2, n)
+			// Re-read per attempt: a failed encode may have mutated the
+			// buffers, and the source is the only clean copy.
+			if err := src.ReadPlanes(sy.Start, sy.Size, bufs); err != nil {
+				return nil, core.Stats{}, err
+			}
+			o := opts
+			o.Tel = po.Tel
+			o.TelSpan = span
+			o.Rec = po.Rec
+			o.RecSlab = i
+			blk := core.Block2D{
+				NX: nx, NY: sy.Size, U: bufs[0], V: bufs[1],
+				Transform: tr, Opts: o,
+				GlobalY0: sy.Start,
+				GlobalNX: nx, GlobalNY: ny,
+				// A lone slab has no borders; leaving the flag off keeps
+				// its block byte-identical to the single-node output.
+				LosslessBorder: slabs > 1,
+			}
+			blk.Neighbor[core.SideMinY] = i > 0
+			blk.Neighbor[core.SideMaxY] = i < slabs-1
+			enc, err := core.NewEncoder2D(blk)
+			if err != nil {
+				return nil, core.Stats{}, err
+			}
+			enc.Run()
+			blob, err := enc.Finish()
+			st := enc.Stats()
+			enc.Close()
+			return blob, st, err
+		},
+		func(i int, sc *slabScratch) ([]byte, core.Stats, error) {
+			sy := ys[i]
+			n := safedim.MustProduct(nx, sy.Size)
+			bufs := sc.buffers(2, n)
+			if err := src.ReadPlanes(sy.Start, sy.Size, bufs); err != nil {
+				return nil, core.Stats{}, err
+			}
+			sub := &field.Field2D{NX: nx, NY: sy.Size, U: bufs[0], V: bufs[1]}
+			blob, err := core.CompressLossless2D(sub, tr)
+			return blob, core.Stats{}, err
+		},
+		func(i int) int64 { return int64(safedim.MustProduct(nx, ys[i].Size)) * 2 * 4 })
+}
+
+// CompressStream3D is the 3D variant, slabbed along Z.
+func CompressStream3D(src field.SlabSource, w io.Writer, tr fixed.Transform, opts core.Options, po Options) (Result, error) {
+	dims := src.Dims()
+	if len(dims) != 3 {
+		return Result{}, fmt.Errorf("shm: 3D stream compress needs a 3D source, got %d dims", len(dims))
+	}
+	nx, ny, nz := dims[0], dims[1], dims[2]
+	po = po.applyBudget(int64(nx)*int64(ny)*3*4, nz)
+	slabs, err := slabCount(po.Slabs, nz)
+	if err != nil {
+		return Result{}, err
+	}
+	workers := pool.Workers(po.Workers)
+	zs := []parallel.Span{{Start: 0, Size: nz}}
+	if slabs > 1 {
+		if zs, err = parallel.Partition(nz, slabs); err != nil {
+			return Result{}, err
+		}
+	}
+	plane := safedim.MustProduct(nx, ny)
+	rawBytes := int64(safedim.MustProduct(plane, nz)) * 3 * 4
+	return streamRun("shm.compress3d", rawBytes, slabs, workers, po, w,
+		func(i int, span *telemetry.Span, sc *slabScratch) ([]byte, core.Stats, error) {
+			sz := zs[i]
+			n := safedim.MustProduct(plane, sz.Size)
+			bufs := sc.buffers(3, n)
+			if err := src.ReadPlanes(sz.Start, sz.Size, bufs); err != nil {
+				return nil, core.Stats{}, err
+			}
+			o := opts
+			o.Tel = po.Tel
+			o.TelSpan = span
+			o.Rec = po.Rec
+			o.RecSlab = i
+			blk := core.Block3D{
+				NX: nx, NY: ny, NZ: sz.Size, U: bufs[0], V: bufs[1], W: bufs[2],
+				Transform: tr, Opts: o,
+				GlobalZ0: sz.Start,
+				GlobalNX: nx, GlobalNY: ny, GlobalNZ: nz,
+				LosslessBorder: slabs > 1,
+			}
+			blk.Neighbor[core.SideMinZ] = i > 0
+			blk.Neighbor[core.SideMaxZ] = i < slabs-1
+			enc, err := core.NewEncoder3D(blk)
+			if err != nil {
+				return nil, core.Stats{}, err
+			}
+			enc.Run()
+			blob, err := enc.Finish()
+			st := enc.Stats()
+			enc.Close()
+			return blob, st, err
+		},
+		func(i int, sc *slabScratch) ([]byte, core.Stats, error) {
+			sz := zs[i]
+			n := safedim.MustProduct(plane, sz.Size)
+			bufs := sc.buffers(3, n)
+			if err := src.ReadPlanes(sz.Start, sz.Size, bufs); err != nil {
+				return nil, core.Stats{}, err
+			}
+			sub := &field.Field3D{NX: nx, NY: ny, NZ: sz.Size, U: bufs[0], V: bufs[1], W: bufs[2]}
+			blob, err := core.CompressLossless3D(sub, tr)
+			return blob, core.Stats{}, err
+		},
+		func(i int) int64 { return int64(safedim.MustProduct(plane, zs[i].Size)) * 3 * 4 })
+}
+
+// PlaneSink receives decoded planes at global slow-axis offsets; the
+// streaming decoder writes disjoint spans from multiple workers, so
+// implementations must tolerate concurrent WritePlanes on disjoint
+// starts (field.RawSink does).
+type PlaneSink interface {
+	WritePlanes(start int, comps [][]float32) error
+}
+
+// decodePeekPrefix is the initial prefix read when peeking a slab blob's
+// header; headers DEFLATE to well under this, so the plan pass normally
+// reads 4 KiB per slab instead of the slab.
+const decodePeekPrefix = 4096
+
+// decodeChunkPlanes bounds the planes converted per WritePlanes call in
+// the streaming decoder.
+const decodeChunkPlanes = 16
+
+// decodePlan is the layout of the field held by a slab container:
+// global dims plus each slab's plane span, recovered by peeking every
+// blob's header (O(header) per slab, no payload decode).
+type decodePlan struct {
+	dims   []int
+	starts []int
+	sizes  []int
+}
+
+func planDecode(sr *archive.StreamReader) (decodePlan, error) {
+	n := sr.Steps()
+	if n == 0 {
+		return decodePlan{}, errors.New("shm: empty container")
+	}
+	var plan decodePlan
+	plan.starts = make([]int, n)
+	plan.sizes = make([]int, n)
+	var buf []byte
+	var ndim0, nx0, ny0 int
+	total := 0
+	for i := 0; i < n; i++ {
+		l, err := sr.BlobLen(i)
+		if err != nil {
+			return decodePlan{}, err
+		}
+		var ndim, nx, ny, nz int
+		for pn := int64(decodePeekPrefix); ; pn *= 4 {
+			if pn > l {
+				pn = l
+			}
+			buf, err = sr.ReadBlobPrefix(buf, i, pn)
+			if err != nil {
+				return decodePlan{}, err
+			}
+			ndim, nx, ny, nz, err = core.PeekHeader(buf[:pn])
+			if err == nil || pn == l {
+				break
+			}
+			// A too-short prefix truncates the DEFLATE stream; retry
+			// with a longer one until the whole blob has been tried.
+		}
+		if err != nil {
+			return decodePlan{}, fmt.Errorf("shm: slab %d: %w", i, err)
+		}
+		size := ny
+		if ndim == 3 {
+			size = nz
+		}
+		if i == 0 {
+			ndim0, nx0, ny0 = ndim, nx, ny
+		} else {
+			if ndim != ndim0 || nx != nx0 || (ndim == 3 && ny != ny0) {
+				return decodePlan{}, fmt.Errorf("shm: slab %d shape disagrees with slab 0", i)
+			}
+		}
+		plan.starts[i] = total
+		plan.sizes[i] = size
+		total += size
+	}
+	if ndim0 == 3 {
+		plan.dims = []int{nx0, ny0, total}
+	} else {
+		plan.dims = []int{nx0, total}
+	}
+	return plan, nil
+}
+
+// DecompressTo streams the decode of a slab container held by r (size
+// bytes) into the sink built by sinkFor, which receives the recovered
+// global dims ([NX, NY] or [NX, NY, NZ]) once the container's blob
+// headers have been peeked. Each slab is loaded, decoded, and written
+// one at a time per worker, so peak memory is O(workers × slab) —
+// Options.Window additionally caps the concurrent slabs when set.
+// Returns the dims on success.
+func DecompressTo(r io.ReaderAt, size int64, po Options, sinkFor func(dims []int) (PlaneSink, error)) ([]int, error) {
+	sr, err := archive.OpenStream(r, size)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := planDecode(sr)
+	if err != nil {
+		return nil, err
+	}
+	sink, err := sinkFor(plan.dims)
+	if err != nil {
+		return nil, err
+	}
+	n := sr.Steps()
+	if po.MaxMemBytes > 0 && po.Window <= 0 {
+		nc := len(plan.dims)
+		ps := int64(plan.dims[0])
+		if nc == 3 {
+			ps *= int64(plan.dims[1])
+		}
+		maxPlanes := 0
+		for _, s := range plan.sizes {
+			if s > maxPlanes {
+				maxPlanes = s
+			}
+		}
+		po.Window = budgetWindow(po.MaxMemBytes, int64(maxPlanes)*ps*int64(nc)*4, n, decompressSlabOverhead)
+	}
+	workers := pool.Workers(po.Workers)
+	if w := po.windowOf(n); workers > w {
+		workers = w
+	}
+	ndim := len(plan.dims)
+	errs := make([]error, n)
+	pool.Do(workers, n, func(i int) {
+		po.Rec.Record(flightrec.Event{Kind: flightrec.KindWindowRefill, Subsystem: "shm.decompress",
+			Slab: int32(i), Attempt: -1, Detail: "slab admitted for decode"})
+		blob, err := sr.ReadBlobInto(nil, i)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		write := func(start int, comps [][]float32) error {
+			return sink.WritePlanes(plan.starts[i]+start, comps)
+		}
+		if ndim == 3 {
+			_, _, _, errs[i] = core.Decompress3DTo(blob, decodeChunkPlanes, write)
+		} else {
+			_, _, errs[i] = core.Decompress2DTo(blob, decodeChunkPlanes, write)
+		}
+		po.Rec.Record(flightrec.Event{Kind: flightrec.KindWindowEvict, Subsystem: "shm.decompress",
+			Slab: int32(i), Attempt: -1, Detail: "slab decoded and written"})
+	})
+	if err := firstSlabErr(errs); err != nil {
+		return nil, err
+	}
+	return plan.dims, nil
+}
+
+// Compress2D compresses f with the shared transform tr on the in-process
+// worker pool. The output container decodes with Decompress2D (any
+// worker count) and preserves critical points exactly like the
+// single-node path: interior vertices follow the τ/speculation pipeline,
+// slab border vertices are lossless. This is the in-memory convenience
+// wrapper over CompressStream2D; the result buffers the whole container
+// in Blob, so memory-bounded callers should use the stream API.
+func Compress2D(f *field.Field2D, tr fixed.Transform, opts core.Options, po Options) (Result, error) {
+	var buf bytes.Buffer
+	res, err := CompressStream2D(field.Mem2D(f), &buf, tr, opts, po)
+	if err != nil {
+		return Result{}, err
+	}
+	res.Blob = buf.Bytes()
+	return res, nil
+}
+
+// Compress3D compresses f on the worker pool, slabbed along Z. See
+// Compress2D for the memory contract.
+func Compress3D(f *field.Field3D, tr fixed.Transform, opts core.Options, po Options) (Result, error) {
+	var buf bytes.Buffer
+	res, err := CompressStream3D(field.Mem3D(f), &buf, tr, opts, po)
+	if err != nil {
+		return Result{}, err
+	}
+	res.Blob = buf.Bytes()
+	return res, nil
+}

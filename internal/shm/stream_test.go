@@ -1,0 +1,231 @@
+package shm
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/field"
+	"repro/internal/fixed"
+)
+
+// memSink collects streamed planes into a component-major buffer so
+// tests can compare a DecompressTo run against the in-memory decoder.
+type memSink struct {
+	mu    sync.Mutex
+	ps    int
+	comps [][]float32
+}
+
+func newMemSink(dims []int) *memSink {
+	ps := dims[0]
+	if len(dims) == 3 {
+		ps *= dims[1]
+	}
+	n := ps * dims[len(dims)-1]
+	s := &memSink{ps: ps, comps: make([][]float32, len(dims))}
+	for c := range s.comps {
+		s.comps[c] = make([]float32, n)
+	}
+	return s
+}
+
+func (s *memSink) WritePlanes(start int, comps [][]float32) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for c := range comps {
+		copy(s.comps[c][start*s.ps:], comps[c])
+	}
+	return nil
+}
+
+// TestStreamWindowDeterministic pins the out-of-core guarantee: bounding
+// the admission window changes peak memory, never bytes. Every
+// (window, workers) pair must reproduce the unbounded container exactly.
+func TestStreamWindowDeterministic(t *testing.T) {
+	f := datagen.Ocean(96, 72)
+	tr, err := fixed.Fit(f.U, f.V)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := core.Options{Tau: 0.01, Spec: core.ST2}
+	ref, err := Compress2D(f, tr, opts, Options{Workers: 1, Slabs: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, window := range []int{1, 2, 3, 8} {
+		for _, workers := range []int{1, 4, 8} {
+			var buf bytes.Buffer
+			res, err := CompressStream2D(field.Mem2D(f), &buf, tr, opts,
+				Options{Workers: workers, Slabs: 8, Window: window})
+			if err != nil {
+				t.Fatalf("window=%d workers=%d: %v", window, workers, err)
+			}
+			if !bytes.Equal(buf.Bytes(), ref.Blob) {
+				t.Fatalf("window=%d workers=%d output differs from unbounded run", window, workers)
+			}
+			if res.Window != window {
+				t.Errorf("window=%d: Result.Window = %d", window, res.Window)
+			}
+			if res.PeakWindowBytes <= 0 {
+				t.Errorf("window=%d: PeakWindowBytes = %d, want > 0", window, res.PeakWindowBytes)
+			}
+		}
+	}
+}
+
+// TestStreamMatchesInMemory pins that the stream API and the buffered
+// wrappers are the same encoder: CompressStream writes the bytes
+// Compress returns.
+func TestStreamMatchesInMemory(t *testing.T) {
+	f := datagen.Nek5000(20, 20, 24)
+	tr, err := fixed.Fit(f.U, f.V, f.W)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := core.Options{Tau: 0.01}
+	res, err := Compress3D(f, tr, opts, Options{Workers: 2, Slabs: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := CompressStream3D(field.Mem3D(f), &buf, tr, opts, Options{Workers: 4, Slabs: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), res.Blob) {
+		t.Fatal("CompressStream3D bytes differ from Compress3D")
+	}
+}
+
+// TestDecompressTo pins the streaming decoder against the in-memory one:
+// same container, same floats, for 2D and 3D, windowed and not.
+func TestDecompressTo(t *testing.T) {
+	t.Run("2d", func(t *testing.T) {
+		f := datagen.Ocean(80, 64)
+		tr, err := fixed.Fit(f.U, f.V)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Compress2D(f, tr, core.Options{Tau: 0.02, Spec: core.ST2}, Options{Slabs: 6})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := Decompress2D(res.Blob, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sink *memSink
+		dims, err := DecompressTo(bytes.NewReader(res.Blob), int64(len(res.Blob)),
+			Options{Workers: 4, Window: 2},
+			func(d []int) (PlaneSink, error) { sink = newMemSink(d); return sink, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(dims) != 2 || dims[0] != f.NX || dims[1] != f.NY {
+			t.Fatalf("dims %v, want [%d %d]", dims, f.NX, f.NY)
+		}
+		if !floatsEqual(sink.comps[0], want.U) || !floatsEqual(sink.comps[1], want.V) {
+			t.Fatal("DecompressTo planes differ from Decompress2D")
+		}
+	})
+	t.Run("3d", func(t *testing.T) {
+		f := datagen.Hurricane(24, 24, 20)
+		tr, err := fixed.Fit(f.U, f.V, f.W)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Compress3D(f, tr, core.Options{Tau: 0.02}, Options{Slabs: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := Decompress3D(res.Blob, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sink *memSink
+		dims, err := DecompressTo(bytes.NewReader(res.Blob), int64(len(res.Blob)),
+			Options{Workers: 3, MaxMemBytes: 1 << 20},
+			func(d []int) (PlaneSink, error) { sink = newMemSink(d); return sink, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(dims) != 3 || dims[0] != f.NX || dims[1] != f.NY || dims[2] != f.NZ {
+			t.Fatalf("dims %v, want [%d %d %d]", dims, f.NX, f.NY, f.NZ)
+		}
+		if !floatsEqual(sink.comps[0], want.U) || !floatsEqual(sink.comps[1], want.V) ||
+			!floatsEqual(sink.comps[2], want.W) {
+			t.Fatal("DecompressTo planes differ from Decompress3D")
+		}
+	})
+}
+
+func floatsEqual(a, b []float32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestBudgetSizing pins the -max-mem translation layer: slab counts
+// shrink per-slab memory to fit, windows honor the overhead model, and
+// explicit knobs always win over the derived values.
+func TestBudgetSizing(t *testing.T) {
+	t.Run("slabs", func(t *testing.T) {
+		// 192 KiB budget, 4 KiB planes: target = 192Ki/12 = 16 KiB
+		// → 4 planes per slab → ceil(256/4) = 64 slabs.
+		if got := budgetSlabs(192<<10, 4096, 256); got != 64 {
+			t.Errorf("budgetSlabs(192Ki, 4Ki, 256) = %d, want 64", got)
+		}
+		// A huge budget falls back to the DefaultSlabs parallelism floor.
+		if got, want := budgetSlabs(1<<40, 4096, 256), DefaultSlabs(256); got != want {
+			t.Errorf("huge budget: %d slabs, want DefaultSlabs = %d", got, want)
+		}
+		// A tiny budget is capped at nSlow/2 — slabs need two planes.
+		if got := budgetSlabs(1, 1<<20, 64); got != 32 {
+			t.Errorf("tiny budget: %d slabs, want 32", got)
+		}
+	})
+	t.Run("window", func(t *testing.T) {
+		if got := budgetWindow(12<<20, 1<<20, 16, compressSlabOverhead); got != 2 {
+			t.Errorf("budgetWindow(12Mi, 1Mi, 16) = %d, want 2", got)
+		}
+		// Never below 1 (degrade to serial) or above slabs.
+		if got := budgetWindow(1, 1<<20, 16, compressSlabOverhead); got != 1 {
+			t.Errorf("starved budget: window %d, want 1", got)
+		}
+		if got := budgetWindow(1<<40, 1<<20, 16, compressSlabOverhead); got != 16 {
+			t.Errorf("huge budget: window %d, want 16", got)
+		}
+	})
+	t.Run("explicit-knobs-win", func(t *testing.T) {
+		o := Options{MaxMemBytes: 1 << 20, Slabs: 7, Window: 3}
+		got := o.applyBudget(4096, 256)
+		if got.Slabs != 7 || got.Window != 3 {
+			t.Errorf("explicit knobs overridden: slabs=%d window=%d", got.Slabs, got.Window)
+		}
+	})
+	t.Run("derived-ignores-workers", func(t *testing.T) {
+		a := Options{MaxMemBytes: 2 << 20, Workers: 1}.applyBudget(8192, 512)
+		b := Options{MaxMemBytes: 2 << 20, Workers: 16}.applyBudget(8192, 512)
+		if a.Slabs != b.Slabs || a.Window != b.Window {
+			t.Errorf("budget sizing depends on Workers: (%d,%d) vs (%d,%d)",
+				a.Slabs, a.Window, b.Slabs, b.Window)
+		}
+		if a.Slabs <= 0 || a.Window <= 0 {
+			t.Errorf("budget left knobs unset: slabs=%d window=%d", a.Slabs, a.Window)
+		}
+	})
+	t.Run("zero-budget-noop", func(t *testing.T) {
+		o := Options{}.applyBudget(4096, 256)
+		if o.Slabs != 0 || o.Window != 0 {
+			t.Errorf("zero budget set knobs: slabs=%d window=%d", o.Slabs, o.Window)
+		}
+	})
+}

@@ -65,6 +65,11 @@ type ManifestRun struct {
 	Ratio           float64 `json:"ratio"`
 	Slabs           int     `json:"slabs,omitempty"`
 	Workers         int     `json:"workers,omitempty"`
+	// Out-of-core outcome: the slab-window size the streaming pipeline
+	// ran with and the peak bytes it held admitted at once (raw slab
+	// buffers plus sealed-but-unflushed blobs). Zero for in-memory runs.
+	Window          int   `json:"window,omitempty"`
+	PeakWindowBytes int64 `json:"peak_window_bytes,omitempty"`
 	// Fault-tolerance outcome: recovered attempt failures and the slabs
 	// that degraded to the lossless escape encoding.
 	Retries       int    `json:"retries,omitempty"`

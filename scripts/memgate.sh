@@ -1,0 +1,20 @@
+#!/bin/sh
+# memgate.sh — out-of-core memory gate.
+#
+# Runs the root stream soak (TestStreamSoakOutOfCore), which compresses
+# and round-trips a field ten times larger than the pipeline's memory
+# budget under an enforced heap ceiling (debug.SetMemoryLimit plus a
+# HeapAlloc sampler), and requires the container to be byte-identical
+# at 1, 4, and 8 workers. Fails when the pipeline materializes more
+# than O(window x slab) state or when worker count leaks into output
+# bytes.
+#
+# The test self-skips without MEMGATE=1, keeping the multi-hundred-
+# megabyte temp I/O out of plain `go test ./...`; this wrapper is the
+# one place that sets it. GO overrides the toolchain, mirroring the
+# Makefile.
+set -eu
+
+: "${GO:=go}"
+
+exec env MEMGATE=1 "$GO" test -run 'TestStreamSoakOutOfCore' -count=1 -v .
