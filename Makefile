@@ -2,7 +2,7 @@ GO ?= go
 
 # Tier-1 gate: what CI (and the seed) requires to stay green.
 .PHONY: check
-check: vet lint build test faults benchgate memgate
+check: vet lint build test faults benchgate predgate memgate
 
 .PHONY: vet
 vet:
@@ -111,6 +111,17 @@ benchgate:
 benchgate-fresh:
 	$(GO) run ./cmd/cpbench -baseline-out BENCH_new.json baseline
 	sh scripts/benchgate.sh $(BENCHGATE_OLD) BENCH_new.json
+
+# Filtered-predicate efficacy gate (scripts/predgate.sh over
+# `cpbench pred`): the certified float filter must keep its exact
+# fallback rate under 5% on the golden detection sweeps, certify at
+# least half the Ψ-quotient checks, and beat the unfiltered Int128
+# reference by 1.5× on 3D orientation / 1.35× on Ψ derivation. Override
+# thresholds via PREDGATE_FLAGS (passed through to cpbench pred).
+PREDGATE_FLAGS ?=
+.PHONY: predgate
+predgate:
+	sh scripts/predgate.sh $(PREDGATE_FLAGS)
 
 # Out-of-core memory gate (scripts/memgate.sh): the stream soak must
 # compress a field 10x its memory budget under an enforced heap

@@ -42,6 +42,17 @@ func main() {
 		}
 		return
 	}
+	// pred likewise: the predicate microbench has its own flag set.
+	if len(os.Args) > 1 && os.Args[1] == "pred" {
+		failed, err := runPred(os.Args[2:], os.Stdout)
+		if err != nil {
+			fatal(err)
+		}
+		if failed {
+			os.Exit(1)
+		}
+		return
+	}
 	ocean := flag.String("ocean", "384x288", "Ocean dims (NXxNY)")
 	hurr := flag.String("hurricane", "64x64x32", "Hurricane dims (NXxNYxNZ)")
 	nek := flag.Int("nek", 64, "Nek5000 cube side")

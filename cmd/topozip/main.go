@@ -54,6 +54,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cp"
 	"repro/internal/datagen"
+	"repro/internal/exact/filter"
 	"repro/internal/faultinject"
 	"repro/internal/field"
 	"repro/internal/fixed"
@@ -300,6 +301,7 @@ func cmdCompress(args []string) error {
 		return err
 	}
 	streaming := budget > 0
+	predBefore := filter.Stats()
 	var f2 *field.Field2D
 	var f3 *field.Field3D
 	if !streaming {
@@ -443,8 +445,17 @@ func cmdCompress(args []string) error {
 	}
 	fmt.Printf("vertices %d: %d lossless, %d relaxed, %d literal escapes; speculation %d trials / %d fails / %d cutoffs\n",
 		st.Vertices, st.Lossless, st.Relaxed, st.Literals, st.SpecTrials, st.SpecFails, st.SpecCutoffs)
+	pred := filter.Stats().Sub(predBefore)
+	if pred.Orient3Calls()+pred.Orient2Fast+pred.Orient2Wide+pred.PsiCert+pred.PsiFallback > 0 {
+		fmt.Printf("predicate filter: 3D %.1f%% certified (%d exact fallbacks of %d), Ψ %.1f%% certified (%d of %d)\n",
+			100*pred.Orient3AcceptRate(), pred.Orient3Exact, pred.Orient3Calls(),
+			100*pred.PsiCertRate(), pred.PsiCert, pred.PsiCert+pred.PsiFallback)
+	}
 	if tel != nil {
 		tel.Gauge("cli.compress.throughput_mbps").Set(int64(mbps))
+		for name, v := range pred.Map() {
+			tel.Counter(name).Add(int64(v))
+		}
 	}
 	if *metrics != "" {
 		mf, err := os.Create(*metrics)
@@ -467,7 +478,7 @@ func cmdCompress(args []string) error {
 		}
 	}
 	if err := writeCompressManifest(args, *in, *out, dims, compBytes, tauAbs, *tau, *abs, spec,
-		st, wall, mbps, useShm, shmRes, tel, dumpedTo); err != nil {
+		st, wall, mbps, useShm, shmRes, pred, tel, dumpedTo); err != nil {
 		return err
 	}
 	if *memprofile != "" {
@@ -534,7 +545,7 @@ func compressStreaming(in, out string, dims []int, tau float64, abs bool,
 func writeCompressManifest(args []string, in, out string, dims []int, compBytes int64,
 	tauAbs, tauIn float64, abs bool, spec core.Speculation, st core.Stats,
 	wall time.Duration, mbps float64, useShm bool, shmRes shm.Result,
-	tel *telemetry.Collector, flightDump string) error {
+	pred filter.Snapshot, tel *telemetry.Collector, flightDump string) error {
 
 	man := telemetry.NewManifest("topozip")
 	man.Command = "compress " + strings.Join(args, " ")
@@ -585,6 +596,16 @@ func writeCompressManifest(args []string, in, out string, dims []int, compBytes 
 		Relaxed: int64(st.Relaxed), Literals: int64(st.Literals),
 		SpecTrials: int64(st.SpecTrials), SpecFails: int64(st.SpecFails),
 		SpecCutoffs: int64(st.SpecCutoffs),
+	}
+	man.Predicates = &telemetry.ManifestPredicates{
+		Orient2Fast: pred.Orient2Fast, Orient2Zero: pred.Orient2Zero,
+		Orient2Wide:   pred.Orient2Wide,
+		Orient3Static: pred.Orient3Static, Orient3Run: pred.Orient3Run,
+		Orient3Zero: pred.Orient3Zero, Orient3Exact: pred.Orient3Exact,
+		Orient3Wide: pred.Orient3Wide,
+		PsiCert:     pred.PsiCert, PsiFallback: pred.PsiFallback,
+		Orient3AcceptRate: pred.Orient3AcceptRate(),
+		PsiCertRate:       pred.PsiCertRate(),
 	}
 	if tel != nil {
 		snap := tel.Snapshot()

@@ -3,6 +3,7 @@ package core
 import (
 	"repro/internal/cp"
 	"repro/internal/derive"
+	"repro/internal/exact/filter"
 	"repro/internal/field"
 )
 
@@ -38,16 +39,26 @@ type dimOps interface {
 }
 
 // cellChecker is the detector surface the kernel speculates against.
-// Both cp.Detector2D and cp.Detector3D satisfy it.
+// Both cp.Detector2D and cp.Detector3D satisfy it. ContainsBatch is the
+// cache-blocked bulk form used by the prepare() sweep: it evaluates the
+// containment predicate for every cell whose mask bit is set, writing
+// into out, amortizing fixed-point loads across a cell row.
 type cellChecker interface {
 	CellContains(c int) bool
+	// CellContainsLocal is CellContains with batched filter-counter
+	// accounting, for the speculation trial loop (one kernel, one
+	// goroutine, one Local).
+	CellContainsLocal(c int, loc *filter.Local) bool
 	CellType(c int) cp.Type
+	ContainsBatch(mask, out []bool)
 }
 
 // newDimOps builds the plug for one dimension over the kernel's extended
 // working arrays (which the kernel mutates in place, so the detector and
-// Ψ always see the current decompressed prefix).
-func newDimOps(ndim int, ext [3]int, comps [maxComps][]int64) dimOps {
+// Ψ always see the current decompressed prefix). pred is the kernel's
+// batched filter-counter block; the 3D Ψ derivation counts its
+// certifications there (the 2D derivation is pure int64 and uncounted).
+func newDimOps(ndim int, ext [3]int, comps [maxComps][]int64, pred *filter.Local) dimOps {
 	if ndim == 2 {
 		return &dim2{
 			mesh: field.Mesh2D{NX: ext[0], NY: ext[1]},
@@ -57,6 +68,7 @@ func newDimOps(ndim int, ext [3]int, comps [maxComps][]int64) dimOps {
 	return &dim3{
 		mesh: field.Mesh3D{NX: ext[0], NY: ext[1], NZ: ext[2]},
 		u:    comps[0], v: comps[1], w: comps[2],
+		pred: pred,
 	}
 }
 
@@ -95,11 +107,11 @@ func (d *dim2) cellBound(vid, c int, tau int64, orientationOnly, relax bool) (cb
 	}
 	if orientationOnly {
 		cb = derive.Psi2DOrientationOnly(d.u, d.v, a, b, vid)
+		if cb > tau {
+			cb = tau
+		}
 	} else {
-		cb = derive.Psi2D(d.u, d.v, a, b, vid)
-	}
-	if cb > tau {
-		cb = tau
+		cb = derive.Psi2DCapped(d.u, d.v, a, b, vid, tau)
 	}
 	if relax {
 		for _, z := range [2][]int64{d.u, d.v} {
@@ -119,6 +131,7 @@ func (d *dim2) cellBound(vid, c int, tau int64, orientationOnly, relax bool) (cb
 type dim3 struct {
 	mesh    field.Mesh3D
 	u, v, w []int64
+	pred    *filter.Local
 }
 
 func (d *dim3) name() string  { return "3d" }
@@ -148,11 +161,14 @@ func (d *dim3) cellBound(vid, c int, tau int64, orientationOnly, relax bool) (cb
 	}
 	if orientationOnly {
 		cb = derive.Psi3DOrientationOnly(d.u, d.v, d.w, o[0], o[1], o[2], vid)
+		if cb > tau {
+			cb = tau
+		}
 	} else {
-		cb = derive.Psi3D(d.u, d.v, d.w, o[0], o[1], o[2], vid)
-	}
-	if cb > tau {
-		cb = tau
+		// Capped form: the float filter certifies "Ψ ≥ τ′" for
+		// candidates that cannot lower the min, skipping their exact
+		// int128 evaluation; bit-identical to min(Psi3D, τ′).
+		cb = derive.Psi3DCappedLocal(d.u, d.v, d.w, o[0], o[1], o[2], vid, tau, d.pred)
 	}
 	if relax {
 		for _, z := range [3][]int64{d.u, d.v, d.w} {

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/cp"
 	"repro/internal/encoder"
+	"repro/internal/exact/filter"
 	"repro/internal/fixed"
 	"repro/internal/flightrec"
 	"repro/internal/huffman"
@@ -88,6 +89,10 @@ type kernel struct {
 	tel       engineTel
 	prepared  bool
 	finished  bool
+	// pred batches the filter-efficacy counters of this kernel's
+	// derivation and speculation predicates (one goroutine per kernel),
+	// flushed to the process-wide totals in finish/close.
+	pred filter.Local
 }
 
 // newKernel validates the block, allocates the extended arrays, converts
@@ -168,7 +173,7 @@ func newKernel(blk blockSpec) (*kernel, error) {
 		}
 		k.temporal = true
 	}
-	k.dim = newDimOps(blk.ndim, k.ext, k.comps)
+	k.dim = newDimOps(blk.ndim, k.ext, k.comps, &k.pred)
 	k.tel = newEngineTel(blk.opts, k.dim.name())
 	// Fill the own region.
 	convert := k.tel.stage("fixed-convert")
@@ -338,6 +343,8 @@ func (k *kernel) prepare() {
 	k.scr.cpCell = growBool(k.scr.cpCell, nc)
 	k.cellValid = k.scr.cellValid
 	k.cpCell = k.scr.cpCell
+	k.scr.cellEval = growBool(k.scr.cellEval, nc)
+	evalMask := k.scr.cellEval
 	var vsbuf [4]int
 	nv := k.blk.ndim + 1
 	for c := 0; c < nc; c++ {
@@ -359,11 +366,12 @@ func (k *kernel) prepare() {
 		}
 		if ok {
 			k.cellValid[c] = true
-			if !zero {
-				k.cpCell[c] = k.det.CellContains(c)
-			}
+			evalMask[c] = !zero
 		}
 	}
+	// Batched containment sweep over the valid non-degenerate cells:
+	// the detector loads each vertex row once instead of per cell.
+	k.det.ContainsBatch(evalMask, k.cpCell)
 	if k.blk.opts.Spec == ST4 {
 		k.origType = make(map[int]cp.Type)
 		for c := 0; c < nc; c++ {
@@ -606,7 +614,7 @@ func (k *kernel) speculateFN(oi, oj, ok, vid int, cpA bool) (uint8, int64) {
 		return quantizer.LosslessSym, 0
 	}
 	return k.speculateVerify(oi, oj, ok, vid, func(c int) bool {
-		return !k.det.CellContains(c)
+		return !k.det.CellContainsLocal(c, &k.pred)
 	})
 }
 
@@ -614,7 +622,7 @@ func (k *kernel) speculateFN(oi, oj, ok, vid int, cpA bool) (uint8, int64) {
 // every adjacent cell, including cells that contain critical points.
 func (k *kernel) speculateFull(oi, oj, ok, vid int) (uint8, int64) {
 	return k.speculateVerify(oi, oj, ok, vid, func(c int) bool {
-		if k.det.CellContains(c) != k.cpCell[c] {
+		if k.det.CellContainsLocal(c, &k.pred) != k.cpCell[c] {
 			return false
 		}
 		return !k.cpCell[c] || k.det.CellType(c) == k.origType[c]
@@ -796,6 +804,10 @@ func (k *kernel) finish() ([]byte, error) {
 		return nil, errors.New("core: Finish called twice")
 	}
 	k.finished = true
+	// The block's predicate work is done: publish the batched filter
+	// counters (close() flushes again for kernels that never finish;
+	// Flush resets, so the double call cannot double-count).
+	k.pred.Flush()
 	h := header{
 		NDim:  k.blk.ndim,
 		NX:    k.blk.nx,

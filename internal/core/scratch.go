@@ -24,6 +24,7 @@ type kernelScratch struct {
 	valid     []bool
 	ownDone   []bool
 	cellValid []bool
+	cellEval  []bool
 	cpCell    []bool
 	cpAdj     []bool
 
@@ -63,6 +64,7 @@ func growBool(buf []bool, n int) []bool {
 // border copies remain valid — they never alias scratch — but the kernel
 // methods will panic on their nil'd views.
 func (k *kernel) close() {
+	k.pred.Flush()
 	scr := k.scr
 	if scr == nil {
 		return

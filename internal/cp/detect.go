@@ -2,6 +2,7 @@ package cp
 
 import (
 	"repro/internal/exact"
+	"repro/internal/exact/filter"
 	"repro/internal/field"
 	"repro/internal/fixed"
 	"repro/internal/shm/pool"
@@ -32,16 +33,54 @@ func (d *Detector2D) gid(v int) int {
 // tie-breaking. Fully degenerate cells — every vector exactly zero, as in
 // masked land regions — carry no feature by convention.
 func (d *Detector2D) CellContains(c int) bool {
+	return d.CellContainsLocal(c, nil)
+}
+
+// CellContainsLocal is CellContains with batched filter-counter
+// accounting: predicate certifications land in loc (flushed by the
+// caller) instead of the process-wide atomics. A nil loc counts
+// globally per call, exactly like CellContains.
+func (d *Detector2D) CellContainsLocal(c int, loc *filter.Local) bool {
 	vs := d.Mesh.CellVertices(c)
 	if d.U[vs[0]] == 0 && d.V[vs[0]] == 0 &&
 		d.U[vs[1]] == 0 && d.V[vs[1]] == 0 &&
 		d.U[vs[2]] == 0 && d.V[vs[2]] == 0 {
 		return false
 	}
-	gids := [3]int{d.gid(vs[0]), d.gid(vs[1]), d.gid(vs[2])}
-	s := orientSign2(d.U, d.V, vs, gids, -1)
-	for i := 0; i < 3; i++ {
-		if orientSign2(d.U, d.V, vs, gids, i) != s {
+	var m [3][3]int64
+	for r, vi := range vs {
+		m[r] = [3]int64{d.U[vi], d.V[vi], 1}
+	}
+	return d.triContains(&m, &vs, loc)
+}
+
+// triContains runs Algorithm 1 over an already-built orientation matrix:
+// the full-simplex sign followed by the three origin-substituted signs,
+// each through the certified filter with the exact/SoS fallback. Global
+// SoS identities are resolved lazily — only degenerate predicates pay
+// for them.
+func (d *Detector2D) triContains(m *[3][3]int64, vs *[3]int, loc *filter.Local) bool {
+	var gids [3]int
+	haveGids := false
+	s := 0
+	for i := -1; i < 3; i++ {
+		mr := *m
+		if i >= 0 {
+			mr[i] = [3]int64{0, 0, 1}
+		}
+		si := loc.Orient2Sign(&mr)
+		if si == 0 {
+			// Certified exact zero: Simulation of Simplicity tie-break.
+			if !haveGids {
+				gids = [3]int{d.gid(vs[0]), d.gid(vs[1]), d.gid(vs[2])}
+				haveGids = true
+			}
+			rows := [3][]int64{mr[0][:], mr[1][:], mr[2][:]}
+			si = exact.SoSOrientSign(rows[:], gids[:], i)
+		}
+		if i < 0 {
+			s = si
+		} else if si != s {
 			return false
 		}
 	}
@@ -56,30 +95,81 @@ func (d *Detector2D) CellType(c int) Type {
 }
 
 // DetectCells returns the sorted ids of all cells containing a critical
-// point. Cells are tested concurrently on multi-core hosts; the result
-// order is deterministic.
+// point. Cell rows are swept concurrently on multi-core hosts via the
+// cache-blocked row kernel; the result order is deterministic.
 func (d *Detector2D) DetectCells() []int {
-	return detectCellsParallel(d.Mesh.NumCells(), d.CellContains)
+	ny1 := d.Mesh.NY - 1
+	return detectStripes(ny1, 2*(d.Mesh.NX-1), func(j0, j1 int, hits []int) []int {
+		var loc filter.Local // per-stripe batch: one flush, not one atomic per predicate
+		for j := j0; j < j1; j++ {
+			hits = d.sweepRow(j, nil, nil, hits, &loc)
+		}
+		loc.Flush()
+		return hits
+	})
 }
 
-// orientSign2 returns the SoS-resolved sign of the orientation determinant
-// of the triangle vs, with vertex `replace` (or none if -1) substituted by
-// the origin. gids are the global perturbation identities of the vertices.
-func orientSign2(u, v []int64, vs [3]int, gids [3]int, replace int) int {
-	var m [3][3]int64
-	for r, vi := range vs {
-		if r == replace {
-			m[r] = [3]int64{0, 0, 1}
-		} else {
-			m[r] = [3]int64{u[vi], v[vi], 1}
+// ContainsBatch evaluates the containment predicate for every cell with
+// mask[c] set (nil mask means all cells), writing results to out[c].
+// Cells with mask[c] unset are left untouched. The evaluation is the
+// cache-blocked row sweep: vertex rows are loaded once per quad row and
+// corner values slide across the row instead of being re-fetched per
+// cell through CellVertices.
+func (d *Detector2D) ContainsBatch(mask, out []bool) {
+	var loc filter.Local
+	for j := 0; j < d.Mesh.NY-1; j++ {
+		d.sweepRow(j, mask, out, nil, &loc)
+	}
+	loc.Flush()
+}
+
+// sweepRow evaluates the two triangles of every quad in cell row j. In
+// mask/out mode it fills out[c] for cells with mask[c] (nil mask = all);
+// in hits mode it appends the ids of containing cells to hits.
+func (d *Detector2D) sweepRow(j int, mask, out []bool, hits []int, loc *filter.Local) []int {
+	nx := d.Mesh.NX
+	lo := j * nx  // vertex row j
+	hi := lo + nx // vertex row j+1
+	cbase := j * (nx - 1) * 2
+	u00, v00 := d.U[lo], d.V[lo]
+	u01, v01 := d.U[hi], d.V[hi]
+	for i := 0; i < nx-1; i++ {
+		u10, v10 := d.U[lo+i+1], d.V[lo+i+1]
+		u11, v11 := d.U[hi+i+1], d.V[hi+i+1]
+		c := cbase + 2*i
+		// t=0: {v00, v10, v11}, t=1: {v00, v11, v01} — the mesh's
+		// diagonal split, same vertex order as CellVertices.
+		for t := 0; t < 2; t++ {
+			if mask != nil && !mask[c+t] {
+				continue
+			}
+			var m [3][3]int64
+			var vs [3]int
+			if t == 0 {
+				m[0] = [3]int64{u00, v00, 1}
+				m[1] = [3]int64{u10, v10, 1}
+				m[2] = [3]int64{u11, v11, 1}
+				vs = [3]int{lo + i, lo + i + 1, hi + i + 1}
+			} else {
+				m[0] = [3]int64{u00, v00, 1}
+				m[1] = [3]int64{u11, v11, 1}
+				m[2] = [3]int64{u01, v01, 1}
+				vs = [3]int{lo + i, hi + i + 1, hi + i}
+			}
+			got := false
+			if m[0][0] != 0 || m[0][1] != 0 || m[1][0] != 0 || m[1][1] != 0 ||
+				m[2][0] != 0 || m[2][1] != 0 {
+				got = d.triContains(&m, &vs, loc)
+			}
+			if out != nil {
+				out[c+t] = got
+			} else if got {
+				hits = append(hits, c+t)
+			}
 		}
+		u00, v00, u01, v01 = u10, v10, u11, v11
 	}
-	if s := exact.Det3(&m).Sign(); s != 0 {
-		return s
-	}
-	// Degenerate: cached Simulation of Simplicity.
-	rows := [3][]int64{m[0][:], m[1][:], m[2][:]}
-	return exact.SoSOrientSign(rows[:], gids[:], replace)
+	return hits
 }
 
 // Detector3D detects critical points on a fixed-point 3D vector field.
@@ -101,6 +191,12 @@ func (d *Detector3D) gid(v int) int {
 // CellContains reports whether tetrahedron c contains a critical point.
 // Fully degenerate cells carry no feature by convention.
 func (d *Detector3D) CellContains(c int) bool {
+	return d.CellContainsLocal(c, nil)
+}
+
+// CellContainsLocal is CellContains with batched filter-counter
+// accounting; see Detector2D.CellContainsLocal.
+func (d *Detector3D) CellContainsLocal(c int, loc *filter.Local) bool {
 	vs := d.Mesh.CellVertices(c)
 	zero := true
 	for _, vi := range vs {
@@ -112,10 +208,37 @@ func (d *Detector3D) CellContains(c int) bool {
 	if zero {
 		return false
 	}
-	gids := [4]int{d.gid(vs[0]), d.gid(vs[1]), d.gid(vs[2]), d.gid(vs[3])}
-	s := orientSign3(d.U, d.V, d.W, vs, gids, -1)
-	for i := 0; i < 4; i++ {
-		if orientSign3(d.U, d.V, d.W, vs, gids, i) != s {
+	var m [4][4]int64
+	for r, vi := range vs {
+		m[r] = [4]int64{d.U[vi], d.V[vi], d.W[vi], 1}
+	}
+	return d.tetContains(&m, &vs, loc)
+}
+
+// tetContains is the 3D analogue of Detector2D.triContains: the five
+// point-in-simplex predicates over a built matrix, each through the
+// certified filter, with SoS identities resolved lazily on degeneracy.
+func (d *Detector3D) tetContains(m *[4][4]int64, vs *[4]int, loc *filter.Local) bool {
+	var gids [4]int
+	haveGids := false
+	s := 0
+	for i := -1; i < 4; i++ {
+		mr := *m
+		if i >= 0 {
+			mr[i] = [4]int64{0, 0, 0, 1}
+		}
+		si := loc.Orient3Sign(&mr)
+		if si == 0 {
+			if !haveGids {
+				gids = [4]int{d.gid(vs[0]), d.gid(vs[1]), d.gid(vs[2]), d.gid(vs[3])}
+				haveGids = true
+			}
+			rows := [4][]int64{mr[0][:], mr[1][:], mr[2][:], mr[3][:]}
+			si = exact.SoSOrientSign(rows[:], gids[:], i)
+		}
+		if i < 0 {
+			s = si
+		} else if si != s {
 			return false
 		}
 	}
@@ -129,69 +252,129 @@ func (d *Detector3D) CellType(c int) Type {
 }
 
 // DetectCells returns the sorted ids of all cells containing a critical
-// point. Cells are tested concurrently on multi-core hosts; the result
-// order is deterministic.
+// point. Cube rows are swept concurrently on multi-core hosts via the
+// cache-blocked row kernel; the result order is deterministic.
 func (d *Detector3D) DetectCells() []int {
-	return detectCellsParallel(d.Mesh.NumCells(), d.CellContains)
+	ny1, nz1 := d.Mesh.NY-1, d.Mesh.NZ-1
+	return detectStripes(ny1*nz1, 6*(d.Mesh.NX-1), func(s0, s1 int, hits []int) []int {
+		var loc filter.Local // per-stripe batch: one flush, not one atomic per predicate
+		for s := s0; s < s1; s++ {
+			hits = d.sweepRow(s/ny1, s%ny1, nil, nil, hits, &loc)
+		}
+		loc.Flush()
+		return hits
+	})
 }
 
-// detectCellsParallel fans the per-cell containment test over the
-// available cores in contiguous chunks (via the shared worker-pool
-// helper) and concatenates the hits in cell order. The test is pure
-// (reads only), so this is safe and deterministic.
-func detectCellsParallel(nc int, contains func(int) bool) []int {
-	workers := pool.Workers(0)
-	const minChunk = 4096
-	if workers <= 1 || nc < 2*minChunk {
-		var out []int
-		for c := 0; c < nc; c++ {
-			if contains(c) {
-				out = append(out, c)
+// ContainsBatch evaluates the containment predicate for every cell with
+// mask[c] set (nil mask means all cells), writing results to out[c].
+// Cells with mask[c] unset are left untouched. See Detector2D.ContainsBatch.
+func (d *Detector3D) ContainsBatch(mask, out []bool) {
+	ny1, nz1 := d.Mesh.NY-1, d.Mesh.NZ-1
+	var loc filter.Local
+	for k := 0; k < nz1; k++ {
+		for j := 0; j < ny1; j++ {
+			d.sweepRow(k, j, mask, out, nil, &loc)
+		}
+	}
+	loc.Flush()
+}
+
+// sweepRow evaluates the six tetrahedra of every cube in cube row (k,j):
+// the eight corner values are loaded once per cube (the shared-face four
+// slide from the previous cube) and the tetrahedra are enumerated from
+// the Freudenthal corner table, in exactly CellVertices order.
+func (d *Detector3D) sweepRow(k, j int, mask, out []bool, hits []int, loc *filter.Local) []int {
+	nx, ny := d.Mesh.NX, d.Mesh.NY
+	tets := field.CubeTets()
+	// Vertex ids of the cube's lowest corner row, per corner bitmask:
+	// corner ox|oy<<1|oz<<2 sits at base + off[corner].
+	var off [8]int
+	for corner := 0; corner < 8; corner++ {
+		ox := corner & 1
+		oy := (corner >> 1) & 1
+		oz := (corner >> 2) & 1
+		off[corner] = (oz*ny+oy)*nx + ox
+	}
+	base := (k*ny + j) * nx
+	cbase := (k*(ny-1) + j) * (nx - 1) * 6
+	var cu, cv, cw [8]int64 // corner values of the current cube
+	var zero [8]bool        // corner is exactly (0,0,0)
+	// Preload the i=0 face (corners with ox=0); the loop loads the ox=1
+	// face and slides it left afterwards.
+	for _, corner := range [4]int{0, 2, 4, 6} {
+		vi := base + off[corner]
+		cu[corner], cv[corner], cw[corner] = d.U[vi], d.V[vi], d.W[vi]
+		zero[corner] = cu[corner] == 0 && cv[corner] == 0 && cw[corner] == 0
+	}
+	for i := 0; i < nx-1; i++ {
+		for _, corner := range [4]int{1, 3, 5, 7} {
+			vi := base + i + off[corner]
+			cu[corner], cv[corner], cw[corner] = d.U[vi], d.V[vi], d.W[vi]
+			zero[corner] = cu[corner] == 0 && cv[corner] == 0 && cw[corner] == 0
+		}
+		c0 := cbase + 6*i
+		for t := 0; t < 6; t++ {
+			c := c0 + t
+			if mask != nil && !mask[c] {
+				continue
+			}
+			tc := &tets[t]
+			got := false
+			if !(zero[tc[0]] && zero[tc[1]] && zero[tc[2]] && zero[tc[3]]) {
+				var m [4][4]int64
+				var vs [4]int
+				for r, corner := range tc {
+					m[r] = [4]int64{cu[corner], cv[corner], cw[corner], 1}
+					vs[r] = base + i + off[corner]
+				}
+				got = d.tetContains(&m, &vs, loc)
+			}
+			if out != nil {
+				out[c] = got
+			} else if got {
+				hits = append(hits, c)
 			}
 		}
-		return out
+		for corner := 0; corner < 8; corner += 2 {
+			cu[corner], cv[corner], cw[corner] = cu[corner+1], cv[corner+1], cw[corner+1]
+			zero[corner] = zero[corner+1]
+		}
 	}
-	chunks := (nc + minChunk - 1) / minChunk
-	if chunks > workers {
-		chunks = workers
+	return hits
+}
+
+// detectStripes fans stripe-aligned sweeps (cell rows in 2D, cube rows
+// in 3D) over the shared worker pool and concatenates the hits in cell
+// order. The sweep is pure (reads only), so this is safe and
+// deterministic for any worker count.
+func detectStripes(stripes, stripeCells int, sweep func(s0, s1 int, hits []int) []int) []int {
+	workers := pool.Workers(0)
+	const minCells = 8192
+	if workers <= 1 || stripes*stripeCells < 2*minCells {
+		return sweep(0, stripes, nil)
 	}
-	chunk := (nc + chunks - 1) / chunks
+	chunks := workers
+	if chunks > stripes {
+		chunks = stripes
+	}
+	chunk := (stripes + chunks - 1) / chunks
 	parts := make([][]int, chunks)
 	pool.Do(workers, chunks, func(w int) {
-		start := w * chunk
-		end := start + chunk
-		if end > nc {
-			end = nc
+		s0 := w * chunk
+		s1 := s0 + chunk
+		if s1 > stripes {
+			s1 = stripes
 		}
-		var local []int
-		for c := start; c < end; c++ {
-			if contains(c) {
-				local = append(local, c)
-			}
+		if s0 < s1 {
+			parts[w] = sweep(s0, s1, nil)
 		}
-		parts[w] = local
 	})
 	var out []int
 	for _, p := range parts {
 		out = append(out, p...)
 	}
 	return out
-}
-
-func orientSign3(u, v, w []int64, vs [4]int, gids [4]int, replace int) int {
-	var m [4][4]int64
-	for r, vi := range vs {
-		if r == replace {
-			m[r] = [4]int64{0, 0, 0, 1}
-		} else {
-			m[r] = [4]int64{u[vi], v[vi], w[vi], 1}
-		}
-	}
-	if s := exact.Det4(&m).Sign(); s != 0 {
-		return s
-	}
-	rows := [4][]int64{m[0][:], m[1][:], m[2][:], m[3][:]}
-	return exact.SoSOrientSign(rows[:], gids[:], replace)
 }
 
 // DetectField2D converts f to fixed point with tr and extracts all

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/exact"
+	"repro/internal/exact/filter"
 )
 
 // detSign3/detSign4 are plain (non-SoS) sign helpers for the property
@@ -308,3 +309,58 @@ func BenchmarkPsi3D(b *testing.B) {
 		Psi3D(u, v, w, 0, 1, 2, 3)
 	}
 }
+
+// benchField3 builds a fixed-point-shaped corpus for the capped 3D
+// derivation benchmarks: smooth values up to ~2^20 (what the transform
+// emits) over a pile of tetrahedra, capped at a τ′-sized quotient.
+func benchField3() (u, v, w []int64, tets [][4]int, cap int64) {
+	rng := rand.New(rand.NewSource(71))
+	const nv = 4096
+	u = make([]int64, nv)
+	v = make([]int64, nv)
+	w = make([]int64, nv)
+	for i := range u {
+		u[i] = rng.Int63n(1<<21) - 1<<20
+		v[i] = rng.Int63n(1<<21) - 1<<20
+		w[i] = rng.Int63n(1<<21) - 1<<20
+	}
+	for i := 0; i < 1024; i++ {
+		base := rng.Intn(nv - 4)
+		tets = append(tets, [4]int{base, base + 1, base + 2, base + 3})
+	}
+	return u, v, w, tets, 1 << 14
+}
+
+// BenchmarkPsi3DCapped is the filtered capped derivation the kernel
+// runs per bound candidate, with a Local absorbing the filter counters
+// exactly like the kernel's batch.
+func BenchmarkPsi3DCapped(b *testing.B) {
+	u, v, w, tets, cap := benchField3()
+	var loc filter.Local
+	var sink int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		vs := &tets[i%len(tets)]
+		sink += Psi3DCappedLocal(u, v, w, vs[0], vs[1], vs[2], vs[3], cap, &loc)
+	}
+	benchSink = sink
+}
+
+// BenchmarkPsi3DReferenceCapped is the unfiltered Int128 evaluation of
+// the same corpus, the baseline the filtered path is gated against.
+func BenchmarkPsi3DReferenceCapped(b *testing.B) {
+	u, v, w, tets, cap := benchField3()
+	var sink int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		vs := &tets[i%len(tets)]
+		p := Psi3DReference(u, v, w, vs[0], vs[1], vs[2], vs[3])
+		if p > cap {
+			p = cap
+		}
+		sink += p
+	}
+	benchSink = sink
+}
+
+var benchSink int64

@@ -14,7 +14,7 @@ func bigDet(m [][]int64) *big.Int {
 		return big.NewInt(m[0][0])
 	}
 	d := new(big.Int)
-	sign := int64(1)
+	neg := false
 	for c := 0; c < n; c++ {
 		sub := make([][]int64, n-1)
 		for r := 1; r < n; r++ {
@@ -26,9 +26,14 @@ func bigDet(m [][]int64) *big.Int {
 			}
 			sub[r-1] = row
 		}
-		term := new(big.Int).Mul(big.NewInt(sign*m[0][c]), bigDet(sub))
+		// Negate in big.Int space: sign*m[0][c] overflows int64 when
+		// the entry is MinInt64.
+		term := new(big.Int).Mul(big.NewInt(m[0][c]), bigDet(sub))
+		if neg {
+			term.Neg(term)
+		}
 		d.Add(d, term)
-		sign = -sign
+		neg = !neg
 	}
 	return d
 }

@@ -1,0 +1,765 @@
+package filter
+
+import (
+	"math"
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"repro/internal/exact"
+)
+
+// big3 evaluates a 3×3 determinant in big.Int: the independent oracle
+// the certified stages are judged against.
+func big3(m *[3][3]int64) *big.Int {
+	mul := func(a, b int64) *big.Int {
+		return new(big.Int).Mul(big.NewInt(a), big.NewInt(b))
+	}
+	m0 := new(big.Int).Sub(mul(m[1][1], m[2][2]), mul(m[1][2], m[2][1]))
+	m1 := new(big.Int).Sub(mul(m[1][0], m[2][2]), mul(m[1][2], m[2][0]))
+	m2 := new(big.Int).Sub(mul(m[1][0], m[2][1]), mul(m[1][1], m[2][0]))
+	d := new(big.Int).Mul(big.NewInt(m[0][0]), m0)
+	d.Sub(d, new(big.Int).Mul(big.NewInt(m[0][1]), m1))
+	d.Add(d, new(big.Int).Mul(big.NewInt(m[0][2]), m2))
+	return d
+}
+
+// big4 evaluates a 4×4 determinant in big.Int by first-row cofactor
+// expansion over big3.
+func big4(m *[4][4]int64) *big.Int {
+	d := new(big.Int)
+	for c := 0; c < 4; c++ {
+		var sub [3][3]int64
+		for r := 1; r < 4; r++ {
+			cc := 0
+			for c2 := 0; c2 < 4; c2++ {
+				if c2 != c {
+					sub[r-1][cc] = m[r][c2]
+					cc++
+				}
+			}
+		}
+		term := new(big.Int).Mul(big.NewInt(m[0][c]), big3(&sub))
+		if c%2 == 1 {
+			term.Neg(term)
+		}
+		d.Add(d, term)
+	}
+	return d
+}
+
+// homRand2 returns a homogeneous 3×3 with data entries uniform in
+// [-bound, bound].
+func homRand2(rng *rand.Rand, bound int64) [3][3]int64 {
+	var m [3][3]int64
+	for r := 0; r < 3; r++ {
+		m[r][0] = rng.Int63n(2*bound+1) - bound
+		m[r][1] = rng.Int63n(2*bound+1) - bound
+		m[r][2] = 1
+	}
+	return m
+}
+
+func homRand3(rng *rand.Rand, bound int64) [4][4]int64 {
+	var m [4][4]int64
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 3; c++ {
+			m[r][c] = rng.Int63n(2*bound+1) - bound
+		}
+		m[r][3] = 1
+	}
+	return m
+}
+
+// TestOrient2SignMatchesOracle drives the 2D predicate over random
+// in-contract matrices — including SoS-replaced rows, duplicates and
+// boundary magnitudes — against the big.Int oracle. The in-contract 2D
+// stage must certify every call (it is exact), so the wide counter must
+// not move.
+func TestOrient2SignMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	before := Stats()
+	n := 0
+	check := func(m *[3][3]int64) {
+		n++
+		if got, want := Orient2Sign(m), big3(m).Sign(); got != want {
+			t.Fatalf("Orient2Sign(%v) = %d, want %d", *m, got, want)
+		}
+	}
+	for i := 0; i < 300000; i++ {
+		m := homRand2(rng, MaxMag)
+		check(&m)
+		// SoS-replaced row, as triContains produces.
+		m[i%3] = [3]int64{0, 0, 1}
+		check(&m)
+		// Duplicate rows: certified zero.
+		m[(i+1)%3] = m[i%3]
+		check(&m)
+		// Small-magnitude fields.
+		s := homRand2(rng, 64)
+		check(&s)
+	}
+	// Boundary magnitudes.
+	for _, a := range []int64{-MaxMag, -MaxMag + 1, 0, MaxMag - 1, MaxMag} {
+		for _, b := range []int64{-MaxMag, 0, MaxMag} {
+			m := [3][3]int64{{a, b, 1}, {b, -a, 1}, {-a, -b, 1}}
+			check(&m)
+		}
+	}
+	d := Stats().Sub(before)
+	if d.Orient2Fast != uint64(n) {
+		t.Errorf("orient2_fast = %d, want %d (every in-contract call certifies)", d.Orient2Fast, n)
+	}
+	if d.Orient2Wide != 0 {
+		t.Errorf("orient2_wide = %d, want 0 for in-contract corpus", d.Orient2Wide)
+	}
+}
+
+// TestOrient2SignOutOfContract routes admission violations — giant
+// entries from just past the 2^30 admission bound up to the int64
+// extremes, and non-homogeneous last columns — through the wide
+// fallback and still demands oracle-exact signs.
+func TestOrient2SignOutOfContract(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	before := Stats()
+	n := 0
+	check := func(m *[3][3]int64) {
+		n++
+		if got, want := Orient2Sign(m), big3(m).Sign(); got != want {
+			t.Fatalf("Orient2Sign(%v) = %d, want %d", *m, got, want)
+		}
+	}
+	extremes := []int64{math.MinInt64, math.MinInt64 + 1, -(1 << 30) - 1, 1 << 30, math.MaxInt64 - 1, math.MaxInt64}
+	for i := 0; i < 2000; i++ {
+		m := homRand2(rng, MaxMag)
+		m[i%3][i%2] = extremes[i%len(extremes)]
+		check(&m)
+		// Non-homogeneous last column.
+		m2 := homRand2(rng, MaxMag)
+		m2[i%3][2] = 2 + rng.Int63n(1<<20)
+		check(&m2)
+		// Full-range random.
+		var m3 [3][3]int64
+		for r := 0; r < 3; r++ {
+			for c := 0; c < 3; c++ {
+				m3[r][c] = rng.Int63() - rng.Int63()
+			}
+		}
+		check(&m3)
+	}
+	d := Stats().Sub(before)
+	if d.Orient2Wide != uint64(n) {
+		t.Errorf("orient2_wide = %d, want %d (every call violates the contract)", d.Orient2Wide, n)
+	}
+	if d.Orient2Fast != 0 {
+		t.Errorf("orient2_fast = %d, want 0 for out-of-contract corpus", d.Orient2Fast)
+	}
+}
+
+// TestOrient3SignMatchesExact sweeps 1M+ random in-contract matrices at
+// mixed magnitude scales against the independently validated Int128
+// evaluation, then checks the accounting identity and that the float
+// stages certified essentially all of a non-adversarial corpus.
+func TestOrient3SignMatchesExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	before := Stats()
+	n := 0
+	bounds := []int64{MaxMag, MaxMag, MaxMag, 1 << 16, 1 << 10, 64, 8, 2}
+	for i := 0; i < 1200000; i++ {
+		m := homRand3(rng, bounds[i%len(bounds)])
+		if i%7 == 0 {
+			m[i%4] = [4]int64{0, 0, 0, 1} // SoS-replaced row
+		}
+		n++
+		if got, want := Orient3Sign(&m), exact.Det4(&m).Sign(); got != want {
+			t.Fatalf("Orient3Sign(%v) = %d, want %d", m, got, want)
+		}
+	}
+	d := Stats().Sub(before)
+	if calls := d.Orient3Calls(); calls != uint64(n) {
+		t.Errorf("accounting identity broken: stages sum to %d, want %d calls", calls, n)
+	}
+	if d.Orient3Wide != 0 {
+		t.Errorf("orient3_wide = %d, want 0 for in-contract corpus", d.Orient3Wide)
+	}
+	if rate := d.Orient3AcceptRate(); rate < 0.99 {
+		t.Errorf("accept rate %.4f on random corpus, want >= 0.99 (exact=%d of %d)", rate, d.Orient3Exact, n)
+	}
+	if d.Orient3Static == 0 || d.Orient3Run == 0 {
+		t.Errorf("corpus should exercise both accept stages: static=%d run=%d", d.Orient3Static, d.Orient3Run)
+	}
+}
+
+// TestOrient3SignBigOracle cross-checks against the pure big.Int
+// oracle, independent of any production determinant code.
+func TestOrient3SignBigOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	for i := 0; i < 50000; i++ {
+		m := homRand3(rng, MaxMag)
+		if got, want := Orient3Sign(&m), big4(&m).Sign(); got != want {
+			t.Fatalf("Orient3Sign(%v) = %d, want %d", m, got, want)
+		}
+		s := homRand3(rng, 16)
+		if got, want := Orient3Sign(&s), big4(&s).Sign(); got != want {
+			t.Fatalf("Orient3Sign(%v) = %d, want %d", s, got, want)
+		}
+	}
+}
+
+// adversarial3 builds a homogeneous 4×4 whose translated determinant is
+// exactly e·k while the term magnitudes are near the top of the
+// contract — the float stages face huge cancellation with a tiny true
+// value, i.e. inputs at the error bound.
+//
+// With translated rows r0=(A,P,Q), r1=(A,P,Q+e), r2=(x2,y2,z2) the
+// determinant collapses to e·(P·x2 − A·y2).
+func adversarial3(A, P, Q, e, x2, y2, z2 int64) [4][4]int64 {
+	base := [3]int64{-(1 << 20), -(1 << 20), -(1 << 20)}
+	var m [4][4]int64
+	rows := [3][3]int64{{A, P, Q}, {A, P, Q + e}, {x2, y2, z2}}
+	for r := 0; r < 3; r++ {
+		for c := 0; c < 3; c++ {
+			m[r][c] = base[c] + rows[r][c]
+		}
+		m[r][3] = 1
+	}
+	copy(m[3][:3], base[:])
+	m[3][3] = 1
+	return m
+}
+
+// TestOrient3SignAdversarial hammers the predicate with near-degenerate
+// constructions: zero rows, equal rows, perturbations sized exactly at
+// the error bound, and boundary magnitudes. Signs must match the
+// big.Int oracle on every one.
+func TestOrient3SignAdversarial(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	check := func(m *[4][4]int64) {
+		t.Helper()
+		if got, want := Orient3Sign(m), big4(m).Sign(); got != want {
+			t.Fatalf("Orient3Sign(%v) = %d, want %d", *m, got, want)
+		}
+	}
+	const M = 1 << 20
+	for i := 0; i < 50000; i++ {
+		// Tiny determinant under huge cancellation: P=A-1, x2 chosen so
+		// P·x2 − A·y2 = ±k for small k (see adversarial3).
+		A := int64(M + rng.Int63n(1<<19))
+		P := A - 1
+		y2 := P - rng.Int63n(1<<10)
+		// P·x2 ≡ A·y2 + k (mod P): A ≡ 1, so pick k ≡ -y2 (mod P).
+		k := ((-y2)%P + P) % P
+		if k > 1<<12 {
+			// Shift y2 so the residue is small; keeps the construction
+			// within the contract.
+			y2 = P - (k - rng.Int63n(1<<10))
+			k = ((-y2)%P + P) % P
+		}
+		x2 := (A*y2 + k) / P
+		e := int64(1 + rng.Int63n(3))
+		if rng.Intn(2) == 0 {
+			e = -e
+		}
+		m := adversarial3(A, P, A-5-rng.Int63n(64), e, x2, y2, A-50-rng.Int63n(64))
+		if inContract3(&m) {
+			check(&m)
+		}
+
+		// Duplicate points (exact zero) at full magnitude.
+		d := homRand3(rng, M)
+		d[1] = d[0]
+		check(&d)
+		// Zero translated row: a point equal to the last one.
+		z := homRand3(rng, M)
+		z[2] = z[3]
+		check(&z)
+		// Boundary magnitudes.
+		b := homRand3(rng, MaxMag)
+		for c := 0; c < 3; c++ {
+			if rng.Intn(2) == 0 {
+				b[0][c] = MaxMag
+			} else {
+				b[0][c] = -MaxMag
+			}
+		}
+		check(&b)
+	}
+}
+
+// TestOrient3SignOutOfContract routes int64-extreme entries and
+// non-homogeneous columns through the wide path with oracle-exact
+// signs.
+func TestOrient3SignOutOfContract(t *testing.T) {
+	rng := rand.New(rand.NewSource(46))
+	before := Stats()
+	n := 0
+	check := func(m *[4][4]int64) {
+		n++
+		if got, want := Orient3Sign(m), big4(m).Sign(); got != want {
+			t.Fatalf("Orient3Sign(%v) = %d, want %d", *m, got, want)
+		}
+	}
+	extremes := []int64{math.MinInt64, math.MinInt64 + 1, -(1 << 22) - 1, 1 << 22, math.MaxInt64}
+	for i := 0; i < 2000; i++ {
+		m := homRand3(rng, MaxMag)
+		m[i%4][i%3] = extremes[i%len(extremes)]
+		check(&m)
+		var f [4][4]int64
+		for r := 0; r < 4; r++ {
+			for c := 0; c < 4; c++ {
+				f[r][c] = rng.Int63() - rng.Int63()
+			}
+		}
+		check(&f)
+	}
+	d := Stats().Sub(before)
+	if d.Orient3Wide != uint64(n) {
+		t.Errorf("orient3_wide = %d, want %d", d.Orient3Wide, n)
+	}
+}
+
+// TestOrient3FallbackAccounting feeds a corpus constructed to be
+// inconclusive for every float stage — duplicate points whose term
+// magnitudes push the running error bound past the certified-zero
+// window — and pins the exact-fallback counter to the corpus size.
+func TestOrient3FallbackAccounting(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	const M = 1 << 20
+	corpus := make([][4][4]int64, 0, 500)
+	for len(corpus) < 500 {
+		// p0 == p1 at (+M,+M,+M), p3 at (−M,−M,−M): translated rows
+		// r0 == r1 == (2M,2M,2M), so t0 == t1 cancel exactly and t2 = 0,
+		// while |t0| ≈ 2^42·|c−b| ≥ 2^46 keeps errB ≥ 0.5. The float
+		// stages must all decline; the true determinant is exactly 0.
+		var m [4][4]int64
+		m[0] = [4]int64{M, M, M, 1}
+		m[1] = m[0]
+		m[3] = [4]int64{-M, -M, -M, 1}
+		b := rng.Int63n(2*M+1) - M
+		c := rng.Int63n(2*M+1) - M
+		if c-b < 16 && b-c < 16 {
+			continue
+		}
+		m[2] = [4]int64{rng.Int63n(2*M+1) - M, b, c, 1}
+		corpus = append(corpus, m)
+	}
+	for _, m := range corpus {
+		var stage o3stage
+		if s, ok := orient3Float(&m, &stage); ok {
+			t.Fatalf("orient3Float certified (%d) on a must-fall-back input %v", s, m)
+		}
+	}
+	before := Stats()
+	for _, m := range corpus {
+		if got := Orient3Sign(&m); got != 0 {
+			t.Fatalf("Orient3Sign(%v) = %d, want 0 (duplicate points)", m, got)
+		}
+	}
+	d := Stats().Sub(before)
+	if d.Orient3Exact != uint64(len(corpus)) {
+		t.Errorf("orient3_exact = %d, want %d", d.Orient3Exact, len(corpus))
+	}
+	if d.Orient3Static != 0 || d.Orient3Run != 0 || d.Orient3Zero != 0 || d.Orient3Wide != 0 {
+		t.Errorf("non-fallback counters moved on fallback corpus: %+v", d)
+	}
+}
+
+// TestOrient3CertifiedZeroAccounting feeds small-magnitude degenerate
+// inputs where the running error window proves the determinant is
+// exactly zero: the zero stage must take every one, with no exact
+// fallback.
+func TestOrient3CertifiedZeroAccounting(t *testing.T) {
+	rng := rand.New(rand.NewSource(48))
+	corpus := make([][4][4]int64, 0, 500)
+	for len(corpus) < 500 {
+		m := homRand3(rng, 32)
+		m[1] = m[0] // duplicate point, tiny terms → errB < 0.5
+		corpus = append(corpus, m)
+	}
+	before := Stats()
+	for _, m := range corpus {
+		if got := Orient3Sign(&m); got != 0 {
+			t.Fatalf("Orient3Sign(%v) = %d, want 0", m, got)
+		}
+	}
+	d := Stats().Sub(before)
+	if d.Orient3Zero != uint64(len(corpus)) {
+		t.Errorf("orient3_zero = %d, want %d", d.Orient3Zero, len(corpus))
+	}
+	if d.Orient3Exact != 0 {
+		t.Errorf("orient3_exact = %d, want 0 on certified-zero corpus", d.Orient3Exact)
+	}
+}
+
+// quotFloor returns floor((|det|−1)/denom) for |det| >= 1, else -1.
+func quotFloor(det *big.Int, denom int64) *big.Int {
+	a := new(big.Int).Abs(det)
+	if a.Sign() == 0 {
+		return big.NewInt(-1)
+	}
+	a.Sub(a, big.NewInt(1))
+	return a.Div(a, big.NewInt(denom))
+}
+
+// TestOrient3PsiAtLeastSound verifies the one-sided contract: a true
+// return is a proof that floor((|det|−1)/denom) >= cap; certifying a
+// cap above the true quotient — or anything at all when det = 0 — is a
+// bug. It also demands the stage actually fires on easy margins.
+func TestOrient3PsiAtLeastSound(t *testing.T) {
+	rng := rand.New(rand.NewSource(49))
+	before := Stats()
+	calls, certs, easy, easyCert := 0, 0, 0, 0
+	for i := 0; i < 100000; i++ {
+		m := homRand3(rng, MaxMag)
+		denom := int64(1 + rng.Int63n(1<<20))
+		det := big4(&m)
+		q := quotFloor(det, denom)
+		caps := []int64{0, 1, rng.Int63n(1 << 40)}
+		if q.IsInt64() && q.Int64() >= 0 {
+			qv := q.Int64()
+			caps = append(caps, qv, qv/2)
+			if qv < math.MaxInt64 {
+				caps = append(caps, qv+1)
+			}
+		}
+		for _, cap := range caps {
+			calls++
+			ok := Orient3PsiAtLeast(&m, denom, cap)
+			if ok {
+				certs++
+				if q.Cmp(big.NewInt(cap)) < 0 {
+					t.Fatalf("certified cap=%d denom=%d but true quotient %v (det %v, m %v)", cap, denom, q, det, m)
+				}
+				if det.Sign() == 0 {
+					t.Fatalf("certified cap=%d on an exactly-zero determinant %v", cap, m)
+				}
+			}
+			if q.IsInt64() && cap <= q.Int64()/2 && cap < 1<<50 {
+				easy++
+				if ok {
+					easyCert++
+				}
+			}
+		}
+		// Degenerate: duplicate points, det exactly 0 — must never
+		// certify any cap.
+		m[1] = m[0]
+		calls++
+		if Orient3PsiAtLeast(&m, denom, 0) {
+			t.Fatalf("certified cap=0 on duplicate-point matrix %v", m)
+		}
+	}
+	d := Stats().Sub(before)
+	if got := d.PsiCert + d.PsiFallback; got != uint64(calls) {
+		t.Errorf("psi accounting: cert+fallback = %d, want %d", got, calls)
+	}
+	if d.PsiCert != uint64(certs) {
+		t.Errorf("psi_cert = %d, want %d", d.PsiCert, certs)
+	}
+	if easy == 0 || float64(easyCert)/float64(easy) < 0.95 {
+		t.Errorf("easy-margin certification rate %d/%d, want >= 0.95", easyCert, easy)
+	}
+}
+
+// TestDet3PsiAtLeastSound is the raw-3×3 analogue, covering the data
+// submatrices of the 3D Ψ derivation, plus out-of-contract declines.
+func TestDet3PsiAtLeastSound(t *testing.T) {
+	rng := rand.New(rand.NewSource(50))
+	easy, easyCert := 0, 0
+	for i := 0; i < 100000; i++ {
+		var m [3][3]int64
+		for r := 0; r < 3; r++ {
+			for c := 0; c < 3; c++ {
+				m[r][c] = rng.Int63n(2*MaxMag+1) - MaxMag
+			}
+		}
+		denom := int64(1 + rng.Int63n(1<<20))
+		det := big3(&m)
+		q := quotFloor(det, denom)
+		caps := []int64{0, rng.Int63n(1 << 35)}
+		if q.IsInt64() && q.Int64() >= 0 {
+			caps = append(caps, q.Int64(), q.Int64()/2, q.Int64()+1)
+		}
+		for _, cap := range caps {
+			ok := Det3PsiAtLeast(&m, denom, cap)
+			if ok && (q.Cmp(big.NewInt(cap)) < 0 || det.Sign() == 0) {
+				t.Fatalf("certified cap=%d denom=%d, true quotient %v (det %v)", cap, denom, q, det)
+			}
+			if q.IsInt64() && cap <= q.Int64()/2 && cap < 1<<50 {
+				easy++
+				if ok {
+					easyCert++
+				}
+			}
+		}
+		// Out of contract: never certified, even with huge margins.
+		m[0][0] = math.MaxInt64
+		if Det3PsiAtLeast(&m, 1, 0) {
+			t.Fatalf("certified an out-of-contract matrix")
+		}
+	}
+	if easy == 0 || float64(easyCert)/float64(easy) < 0.95 {
+		t.Errorf("easy-margin certification rate %d/%d, want >= 0.95", easyCert, easy)
+	}
+}
+
+// TestQuotAtLeastGuards pins the explicit declines: negative inputs and
+// magnitudes past 2^52 where the float comparison would lose exactness.
+func TestQuotAtLeastGuards(t *testing.T) {
+	cases := []struct {
+		denom, cap int64
+	}{
+		{-1, 0}, {1, -1}, {1 << 52, 1}, {1, 1 << 52}, {math.MaxInt64, math.MaxInt64},
+	}
+	for _, c := range cases {
+		if quotAtLeast(1e30, 0, c.denom, c.cap) {
+			t.Errorf("quotAtLeast accepted denom=%d cap=%d, want decline", c.denom, c.cap)
+		}
+	}
+	// Sanity: a comfortably-true claim is accepted.
+	if !quotAtLeast(1<<40, 1, 1<<10, 1<<20) {
+		t.Errorf("quotAtLeast declined a comfortable margin")
+	}
+}
+
+// TestSnapshotHelpers pins the arithmetic of Sub, the rates, and the
+// telemetry name map.
+func TestSnapshotHelpers(t *testing.T) {
+	a := Snapshot{Orient3Static: 70, Orient3Run: 20, Orient3Zero: 5, Orient3Exact: 5, PsiCert: 3, PsiFallback: 1}
+	z := a.Sub(Snapshot{})
+	if z != a {
+		t.Errorf("Sub zero = %+v, want %+v", z, a)
+	}
+	if got := a.Orient3Calls(); got != 100 {
+		t.Errorf("Orient3Calls = %d, want 100", got)
+	}
+	if got := a.Orient3AcceptRate(); got != 0.95 {
+		t.Errorf("Orient3AcceptRate = %v, want 0.95", got)
+	}
+	if got := a.PsiCertRate(); got != 0.75 {
+		t.Errorf("PsiCertRate = %v, want 0.75", got)
+	}
+	if got := (Snapshot{}).Orient3AcceptRate(); got != 1 {
+		t.Errorf("empty accept rate = %v, want 1", got)
+	}
+	m := a.Map()
+	if m["exact.filter.orient3_static"] != 70 || m["exact.filter.psi_cert"] != 3 {
+		t.Errorf("Map = %v", m)
+	}
+	if len(m) != 10 {
+		t.Errorf("Map has %d entries, want 10", len(m))
+	}
+}
+
+// TestLocalMatchesGlobal pins the batched Local predicate methods to
+// the package-level predicates: identical signs and certifications on
+// the same inputs, with the same per-stage accounting landing in the
+// process-wide counters after Flush. Includes out-of-contract rows so
+// the wide paths are exercised through the Local methods too.
+func TestLocalMatchesGlobal(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	var loc Local
+	before := Stats()
+	var want Snapshot
+	for n := 0; n < 20000; n++ {
+		bound := int64(MaxMag)
+		if n%7 == 0 {
+			bound = 4 // degenerate-heavy: exercises zero stages
+		}
+		m2 := homRand2(rng, bound)
+		if n%211 == 0 {
+			m2[rng.Intn(3)][rng.Intn(2)] = math.MaxInt64 - int64(rng.Intn(3))
+		}
+		g := Stats()
+		ws := Orient2Sign(&m2)
+		want = want.merge(Stats().Sub(g))
+		if gs := loc.Orient2Sign(&m2); gs != ws {
+			t.Fatalf("Local.Orient2Sign(%v) = %d, global %d", m2, gs, ws)
+		}
+
+		m3 := homRand3(rng, bound)
+		if n%193 == 0 {
+			m3[rng.Intn(4)][rng.Intn(3)] = math.MinInt64 + int64(rng.Intn(3))
+		}
+		g = Stats()
+		ws = Orient3Sign(&m3)
+		want = want.merge(Stats().Sub(g))
+		if gs := loc.Orient3Sign(&m3); gs != ws {
+			t.Fatalf("Local.Orient3Sign(%v) = %d, global %d", m3, gs, ws)
+		}
+
+		denom := rng.Int63n(1 << 22)
+		cap := rng.Int63n(1 << 40)
+		g = Stats()
+		wb := Orient3PsiAtLeast(&m3, denom, cap)
+		want = want.merge(Stats().Sub(g))
+		if gb := loc.Orient3PsiAtLeast(&m3, denom, cap); gb != wb {
+			t.Fatalf("Local.Orient3PsiAtLeast = %v, global %v", gb, wb)
+		}
+
+		var d3 [3][3]int64
+		for r := 0; r < 3; r++ {
+			for c := 0; c < 3; c++ {
+				d3[r][c] = rng.Int63n(2*bound+1) - bound
+			}
+		}
+		g = Stats()
+		wb = Det3PsiAtLeast(&d3, denom, cap)
+		want = want.merge(Stats().Sub(g))
+		if gb := loc.Det3PsiAtLeast(&d3, denom, cap); gb != wb {
+			t.Fatalf("Local.Det3PsiAtLeast = %v, global %v", gb, wb)
+		}
+	}
+	if loc.Snapshot != want {
+		t.Fatalf("Local accumulated %+v, global deltas %+v", loc.Snapshot, want)
+	}
+	mid := Stats()
+	loc.Flush()
+	if d := Stats().Sub(mid); d != want {
+		t.Fatalf("Flush merged %+v, want %+v", d, want)
+	}
+	if (loc.Snapshot != Snapshot{}) {
+		t.Fatalf("Flush did not reset the Local: %+v", loc.Snapshot)
+	}
+	// A nil Local counts straight into the process-wide counters.
+	var nilLoc *Local
+	m2 := homRand2(rng, MaxMag)
+	mid = Stats()
+	if gs, ws := nilLoc.Orient2Sign(&m2), Orient2Sign(&m2); gs != ws {
+		t.Fatalf("nil Local Orient2Sign = %d, global %d", gs, ws)
+	}
+	if d := Stats().Sub(mid); d.Orient2Fast+d.Orient2Wide != 2 {
+		t.Fatalf("nil Local did not count globally: %+v", d)
+	}
+	_ = before
+}
+
+// TestPsi3MatchesStandalone pins the shared-conversion Psi3 certs to
+// the standalone predicates: OrientAtLeast must agree with
+// Orient3PsiAtLeast on the same matrix, DropAtLeast with Det3PsiAtLeast
+// on the materialized drop matrix, and the fused DropsAtLeast with the
+// three individual DropAtLeast outcomes — including identical counter
+// accounting and out-of-admission inputs declining everywhere.
+func TestPsi3MatchesStandalone(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	drops := [3][2]int{{1, 2}, {0, 2}, {0, 1}}
+	for n := 0; n < 50000; n++ {
+		bound := int64(MaxMag)
+		switch n % 5 {
+		case 1:
+			bound = 1 << 10
+		case 2:
+			bound = 8
+		}
+		m := homRand3(rng, bound)
+		poisoned := n%97 == 0
+		if poisoned {
+			m[rng.Intn(4)][rng.Intn(3)] = math.MinInt64 + rng.Int63n(5)
+		}
+		denom := rng.Int63n(1 << 20)
+		cap := rng.Int63n(1 << 30)
+		var p Psi3
+		p.Load(&m)
+
+		var loc Local
+		if got, want := p.OrientAtLeast(&loc, denom, cap), Orient3PsiAtLeast(&m, denom, cap); got != want {
+			t.Fatalf("OrientAtLeast = %v, standalone %v (m=%v denom=%d cap=%d)", got, want, m, denom, cap)
+		}
+		var ds [3]int64
+		var want [3]bool
+		for k, ij := range drops {
+			var m3 [3][3]int64
+			m3[0] = [3]int64{m[ij[0]][0], m[ij[0]][1], m[ij[0]][2]}
+			m3[1] = [3]int64{m[ij[1]][0], m[ij[1]][1], m[ij[1]][2]}
+			m3[2] = [3]int64{m[3][0], m[3][1], m[3][2]}
+			ds[k] = 1 + rng.Int63n(1<<18)
+			// An unadmitted tetrahedron declines every Psi3 cert, even
+			// for a drop matrix that excludes the offending row — the
+			// standalone cert sees only the 3×3, so only compare when
+			// the tetrahedron was admitted.
+			want[k] = Det3PsiAtLeast(&m3, ds[k], cap) && !poisoned
+			if got := p.DropAtLeast(&loc, ij[0], ij[1], ds[k], cap); got != want[k] {
+				t.Fatalf("DropAtLeast(%d,%d) = %v, standalone %v (m=%v d=%d cap=%d)",
+					ij[0], ij[1], got, want[k], m, ds[k], cap)
+			}
+		}
+		mask := p.DropsAtLeast(&loc, &ds, cap)
+		for k := range want {
+			if got := mask&(1<<k) != 0; got != want[k] {
+				t.Fatalf("DropsAtLeast bit %d = %v, individual %v (m=%v ds=%v cap=%d)", k, got, want[k], m, ds, cap)
+			}
+		}
+		// 1 orient + 3 single drops + 3 fused drops booked in the Local.
+		if loc.PsiCert+loc.PsiFallback != 7 {
+			t.Fatalf("Psi3 certs booked %d outcomes, want 7 (%+v)", loc.PsiCert+loc.PsiFallback, loc.Snapshot)
+		}
+	}
+	// nil-Local bookings land in the process-wide counters.
+	m := homRand3(rng, MaxMag)
+	var p Psi3
+	p.Load(&m)
+	before := Stats()
+	p.OrientAtLeast(nil, 3, 1)
+	p.DropAtLeast(nil, 0, 1, 3, 1)
+	p.DropsAtLeast(nil, &[3]int64{1, 2, 3}, 1)
+	if d := Stats().Sub(before); d.PsiCert+d.PsiFallback != 5 {
+		t.Fatalf("nil-Local Psi3 certs booked %d outcomes globally, want 5", d.PsiCert+d.PsiFallback)
+	}
+}
+
+// TestPsi3CertSound is the oracle soundness check for the fused drop
+// certification: a set mask bit is a proof about the exact integer
+// quotient of that drop matrix, never just a float opinion.
+func TestPsi3CertSound(t *testing.T) {
+	rng := rand.New(rand.NewSource(92))
+	drops := [3][2]int{{1, 2}, {0, 2}, {0, 1}}
+	certs := 0
+	for n := 0; n < 50000; n++ {
+		m := homRand3(rng, MaxMag)
+		var p Psi3
+		p.Load(&m)
+		var ds [3]int64
+		for k := range ds {
+			ds[k] = 1 + rng.Int63n(1<<16)
+		}
+		cap := rng.Int63n(1 << 34)
+		mask := p.DropsAtLeast(nil, &ds, cap)
+		for k, ij := range drops {
+			if mask&(1<<k) == 0 {
+				continue
+			}
+			certs++
+			m3 := [3][3]int64{
+				{m[ij[0]][0], m[ij[0]][1], m[ij[0]][2]},
+				{m[ij[1]][0], m[ij[1]][1], m[ij[1]][2]},
+				{m[3][0], m[3][1], m[3][2]},
+			}
+			det := big3(&m3)
+			if det.Sign() == 0 {
+				t.Fatalf("certified drop %d on a zero determinant (m=%v)", k, m)
+			}
+			if quotFloor(det, ds[k]).Cmp(big.NewInt(cap)) < 0 {
+				t.Fatalf("certified drop %d cap=%d but true quotient %v (det=%v d=%d)",
+					k, cap, quotFloor(det, ds[k]), det, ds[k])
+			}
+		}
+	}
+	if certs == 0 {
+		t.Fatal("fused drop certification never fired on an in-contract corpus")
+	}
+}
+
+// merge is field-wise addition, the inverse of Sub, for the test above.
+func (s Snapshot) merge(d Snapshot) Snapshot {
+	s.Orient2Fast += d.Orient2Fast
+	s.Orient2Zero += d.Orient2Zero
+	s.Orient2Wide += d.Orient2Wide
+	s.Orient3Static += d.Orient3Static
+	s.Orient3Run += d.Orient3Run
+	s.Orient3Zero += d.Orient3Zero
+	s.Orient3Exact += d.Orient3Exact
+	s.Orient3Wide += d.Orient3Wide
+	s.PsiCert += d.PsiCert
+	s.PsiFallback += d.PsiFallback
+	return s
+}

@@ -1,0 +1,104 @@
+package exact
+
+import "math/big"
+
+// Homogeneous (orientation) determinant evaluation via translation.
+//
+// Every orientation matrix built by the detection and derivation code
+// carries a last column of ones. Subtracting the last row from the others
+// leaves the determinant unchanged and reduces the (n+1)×(n+1) homogeneous
+// matrix to an n×n matrix of coordinate differences:
+//
+//	det [[r0,1],[r1,1],[r2,1]]        = det2(r0-r2, r1-r2)
+//	det [[r0,1],[r1,1],[r2,1],[r3,1]] = det3(r0-r3, r1-r3, r2-r3)
+//
+// Under the fixed-point magnitude contract (|entry| <= 2^21, see package
+// fixed and det.go) the differences are bounded by 2^22, so the translated
+// 2×2 determinant is bounded by 2·2^44 < 2^63 and fits in int64 with no
+// 128-bit arithmetic at all, and the translated 3×3 determinant needs only
+// three 64×64→128 products instead of the four 3×3 cofactor minors of
+// Det4. These evaluations are exact, so they agree with Det3/Det4 bit for
+// bit — pinned by TestDet3HMatchesDet3 / TestDet4HMatchesDet4.
+
+// Det3H returns the exact determinant of a homogeneous 3×3 matrix whose
+// last column is all ones, as an int64. The evaluation is exact for
+// |entry| < 2^30 (differences < 2^31, products < 2^62, difference of
+// products inside int64) — the admission bound of the filtered 2D
+// predicate; fixed-point callers stay far below at 2^21. Callers with
+// unconstrained inputs must route through DetSignWide instead.
+func Det3H(m *[3][3]int64) int64 {
+	a0, b0 := m[0][0]-m[2][0], m[0][1]-m[2][1]
+	a1, b1 := m[1][0]-m[2][0], m[1][1]-m[2][1]
+	return a0*b1 - b0*a1
+}
+
+// Det4H returns the exact determinant of a homogeneous 4×4 matrix whose
+// last column is all ones, as an Int128. Exact for |entry| <= 2^22
+// (differences < 2^23, minor products < 2^46, minors < 2^47 in int64) —
+// the filtered 3D predicate's admission bound, 2× the fixed-point
+// magnitude contract; the value equals Det4 of the same matrix exactly.
+func Det4H(m *[4][4]int64) Int128 {
+	x0, y0, z0 := m[0][0]-m[3][0], m[0][1]-m[3][1], m[0][2]-m[3][2]
+	x1, y1, z1 := m[1][0]-m[3][0], m[1][1]-m[3][1], m[1][2]-m[3][2]
+	x2, y2, z2 := m[2][0]-m[3][0], m[2][1]-m[3][1], m[2][2]-m[3][2]
+	// Cofactor expansion along the first column of the translated 3×3;
+	// the 2×2 minors of differences are bounded by 2·2^44 and stay in
+	// int64, the three 64×64 products accumulate in 128 bits.
+	t0 := Mul64(x0, y1*z2-z1*y2)
+	t1 := Mul64(x1, y0*z2-z0*y2)
+	t2 := Mul64(x2, y0*z1-z0*y1)
+	return t0.Sub(t1).Add(t2)
+}
+
+// Det2Wide returns the exact determinant of [[a,b],[c,d]] as an Int128
+// for arbitrary int64 entries. Det2 is only exact under the fixed-point
+// magnitude contract (products fit in int64); callers that cannot prove
+// the contract — extreme fixed-point inputs, unvalidated external data —
+// must use this widened form instead.
+func Det2Wide(a, b, c, d int64) Int128 {
+	return Mul64(a, d).Sub(Mul64(b, c))
+}
+
+// DetBig returns the exact determinant of an n×n matrix (n <= 4) for
+// arbitrary int64 entries, with no magnitude precondition, using
+// arbitrary-precision integer arithmetic. It is the cold fallback behind
+// the filtered predicates' contract guard and the reference the
+// widened derivation path divides against; hot paths never reach it on
+// contract-conforming fixed-point data.
+func DetBig(m [][]int64) *big.Int {
+	n := len(m)
+	if n == 1 {
+		return big.NewInt(m[0][0])
+	}
+	det := new(big.Int)
+	term := new(big.Int)
+	for c := 0; c < n; c++ {
+		if m[0][c] == 0 {
+			continue
+		}
+		sub := make([][]int64, 0, n-1)
+		for r := 1; r < n; r++ {
+			row := make([]int64, 0, n-1)
+			for cc := 0; cc < n; cc++ {
+				if cc != c {
+					row = append(row, m[r][cc])
+				}
+			}
+			sub = append(sub, row)
+		}
+		term.Mul(big.NewInt(m[0][c]), DetBig(sub))
+		if c%2 == 1 {
+			term.Neg(term)
+		}
+		det.Add(det, term)
+	}
+	return det
+}
+
+// DetSignWide returns the exact sign of an n×n determinant (n <= 4) for
+// arbitrary int64 entries. It is the total-domain fallback the filtered
+// predicates use when their inputs violate the fixed-point magnitude
+// contract.
+func DetSignWide(m [][]int64) int {
+	return DetBig(m).Sign()
+}

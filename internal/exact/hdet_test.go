@@ -1,0 +1,159 @@
+package exact
+
+import (
+	"math"
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+// homMat fills the last column with ones, as the homogeneous predicate
+// matrices built by detection and derivation always do.
+func homMat(rng *rand.Rand, n int, bound int64) [][]int64 {
+	m := randMat(rng, n, bound)
+	for r := range m {
+		m[r][n-1] = 1
+	}
+	return m
+}
+
+func TestDet3HMatchesDet3(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	const bound = 1 << 21
+	for i := 0; i < 2000; i++ {
+		g := homMat(rng, 3, bound)
+		var m [3][3]int64
+		for r := 0; r < 3; r++ {
+			copy(m[r][:], g[r])
+		}
+		got := big.NewInt(Det3H(&m))
+		if want := toBig(Det3(&m)); got.Cmp(want) != 0 {
+			t.Fatalf("Det3H(%v) = %v, Det3 = %v", g, got, want)
+		}
+		if want := bigDet(g); got.Cmp(want) != 0 {
+			t.Fatalf("Det3H(%v) = %v, bigDet = %v", g, got, want)
+		}
+	}
+}
+
+func TestDet4HMatchesDet4(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	const bound = 1 << 21
+	for i := 0; i < 2000; i++ {
+		g := homMat(rng, 4, bound)
+		var m [4][4]int64
+		for r := 0; r < 4; r++ {
+			copy(m[r][:], g[r])
+		}
+		got := toBig(Det4H(&m))
+		if want := toBig(Det4(&m)); got.Cmp(want) != 0 {
+			t.Fatalf("Det4H(%v) = %v, Det4 = %v", g, got, want)
+		}
+		if want := bigDet(g); got.Cmp(want) != 0 {
+			t.Fatalf("Det4H(%v) = %v, bigDet = %v", g, got, want)
+		}
+	}
+}
+
+// TestDetHDegenerate pins the zero cases: duplicate rows and collinear
+// points must produce exactly zero from the translated forms.
+func TestDetHDegenerate(t *testing.T) {
+	m3 := [3][3]int64{{5, 7, 1}, {5, 7, 1}, {-3, 2, 1}}
+	if got := Det3H(&m3); got != 0 {
+		t.Errorf("Det3H(duplicate rows) = %d, want 0", got)
+	}
+	// Collinear: (0,0), (2,4), (5,10).
+	c3 := [3][3]int64{{0, 0, 1}, {2, 4, 1}, {5, 10, 1}}
+	if got := Det3H(&c3); got != 0 {
+		t.Errorf("Det3H(collinear) = %d, want 0", got)
+	}
+	m4 := [4][4]int64{{1, 2, 3, 1}, {4, 5, 6, 1}, {1, 2, 3, 1}, {7, 8, 9, 1}}
+	if got := Det4H(&m4); got.Sign() != 0 {
+		t.Errorf("Det4H(duplicate rows) = %v, want 0", got)
+	}
+	// Coplanar: all four points on z = 0.
+	p4 := [4][4]int64{{0, 0, 0, 1}, {1, 0, 0, 1}, {0, 1, 0, 1}, {3, -2, 0, 1}}
+	if got := Det4H(&p4); got.Sign() != 0 {
+		t.Errorf("Det4H(coplanar) = %v, want 0", got)
+	}
+}
+
+// TestDetHExtremes drives the translated forms at the ±MaxMagnitude-ish
+// corners where the intermediate differences are largest.
+func TestDetHExtremes(t *testing.T) {
+	const b = 1 << 21
+	vals := []int64{-b, -b + 1, -1, 0, 1, b - 1, b}
+	var m3 [3][3]int64
+	for _, a := range vals {
+		for _, c := range vals {
+			m3 = [3][3]int64{{a, c, 1}, {c, -a, 1}, {-c, a, 1}}
+			g := [][]int64{m3[0][:], m3[1][:], m3[2][:]}
+			if got, want := big.NewInt(Det3H(&m3)), bigDet(g); got.Cmp(want) != 0 {
+				t.Fatalf("Det3H(%v) = %v, want %v", g, got, want)
+			}
+			m4 := [4][4]int64{{a, c, -a, 1}, {c, a, c, 1}, {-a, -c, a, 1}, {-c, a, -c, 1}}
+			g4 := [][]int64{m4[0][:], m4[1][:], m4[2][:], m4[3][:]}
+			if got, want := toBig(Det4H(&m4)), bigDet(g4); got.Cmp(want) != 0 {
+				t.Fatalf("Det4H(%v) = %v, want %v", g4, got, want)
+			}
+		}
+	}
+}
+
+func TestDet2WideMatchesBig(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	cases := [][4]int64{
+		{math.MaxInt64, math.MaxInt64, math.MinInt64, math.MaxInt64},
+		{math.MinInt64, math.MinInt64, math.MinInt64, math.MinInt64},
+		{math.MaxInt64, math.MinInt64, math.MaxInt64, math.MinInt64},
+		{0, 0, 0, 0},
+	}
+	for i := 0; i < 2000; i++ {
+		cases = append(cases, [4]int64{rng.Int63() - rng.Int63(), rng.Int63() - rng.Int63(), rng.Int63() - rng.Int63(), rng.Int63() - rng.Int63()})
+	}
+	for _, c := range cases {
+		got := toBig(Det2Wide(c[0], c[1], c[2], c[3]))
+		want := new(big.Int).Sub(
+			new(big.Int).Mul(big.NewInt(c[0]), big.NewInt(c[3])),
+			new(big.Int).Mul(big.NewInt(c[1]), big.NewInt(c[2])),
+		)
+		if got.Cmp(want) != 0 {
+			t.Fatalf("Det2Wide(%v) = %v, want %v", c, got, want)
+		}
+	}
+}
+
+// TestDetBigMatchesCofactor cross-checks the production big.Int
+// evaluator against the independently written test-side expansion,
+// including full-range int64 entries no fixed-width path can hold.
+func TestDetBigMatchesCofactor(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for n := 1; n <= 5; n++ {
+		for i := 0; i < 200; i++ {
+			m := make([][]int64, n)
+			for r := range m {
+				m[r] = make([]int64, n)
+				for c := range m[r] {
+					switch rng.Intn(5) {
+					case 0:
+						m[r][c] = math.MaxInt64 - rng.Int63n(3)
+					case 1:
+						m[r][c] = math.MinInt64 + rng.Int63n(3)
+					case 2:
+						m[r][c] = 0
+					default:
+						m[r][c] = rng.Int63() - rng.Int63()
+					}
+				}
+			}
+			got := DetBig(m)
+			want := bigDet(m)
+			if got.Cmp(want) != 0 {
+				t.Fatalf("DetBig(%v) = %v, want %v", m, got, want)
+			}
+			if s := DetSignWide(m); s != want.Sign() {
+				t.Fatalf("DetSignWide(%v) = %d, want %d", m, s, want.Sign())
+			}
+		}
+	}
+}

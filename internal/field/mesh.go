@@ -114,6 +114,13 @@ func init() {
 	}
 }
 
+// CubeTets returns, for each of the 6 tetrahedra of a unit cube, its 4
+// corner indices encoded as bitmasks ox | oy<<1 | oz<<2, in the exact
+// order CellVertices uses. Cache-blocked sweeps use it to enumerate a
+// cube's tetrahedra from preloaded corner values without the per-cell
+// div/mod of CellVertices.
+func CubeTets() [6][4]int { return tetCorners }
+
 // NumVertices returns the number of grid points.
 func (m Mesh3D) NumVertices() int { return m.NX * m.NY * m.NZ }
 

@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/encoder"
 	"repro/internal/exact"
+	"repro/internal/exact/filter"
 	"repro/internal/fixed"
 	"repro/internal/huffman"
 	"repro/internal/quantizer"
@@ -50,7 +51,7 @@ func orientSign(xs, ys []int64, a, b, c int) int {
 		{xs[b], ys[b], 1},
 		{xs[c], ys[c], 1},
 	}
-	if s := exact.Det3(&m).Sign(); s != 0 {
+	if s := filter.Orient2Sign(&m); s != 0 {
 		return s
 	}
 	rows := [3][]int64{m[0][:], m[1][:], m[2][:]}

@@ -1,0 +1,249 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// FilterExactConfig scopes the filterexact analyzer.
+type FilterExactConfig struct {
+	// FilterPackages are import-path suffixes of the filtered-predicate
+	// packages (the float stages with exact fallback).
+	FilterPackages []string
+	// ExactPackages are import-path suffixes of the exact integer
+	// predicate packages the filter must fall back to.
+	ExactPackages []string
+}
+
+var defaultFilterExact = &FilterExactConfig{
+	FilterPackages: []string{"internal/exact/filter"},
+	ExactPackages:  []string{"internal/exact"},
+}
+
+// FilterExact machine-checks the filtered-predicate contract of PR 8:
+// a floating-point filter may only *accept* a determinant sign through
+// a certified stage or the exact fallback — never guess. Three rules:
+//
+//  1. Inside a filter package, every call to a certified stage (an
+//     unexported package-level function returning exactly (int, bool))
+//     must be consumed through the ok-guard pattern
+//     `if s, ok := stage(...); ok { ... }`, so an uncertified sign
+//     value cannot leak into a return path.
+//
+//  2. Every exported sign predicate of a filter package (exported
+//     function whose name ends in "Sign") must transitively reach a
+//     function declared in an exact package — deleting the exact
+//     fallback is a lint error, not a silent behavior change.
+//
+//  3. Outside the filter and exact packages, calling .Sign() on the
+//     exact 128-bit determinant type is forbidden: sign decisions must
+//     route through the filtered predicates (or stay inside the exact
+//     package itself). This keeps future call sites from quietly
+//     bypassing the filter and its efficacy accounting.
+func FilterExact(cfg *FilterExactConfig) *Analyzer {
+	if cfg == nil {
+		cfg = defaultFilterExact
+	}
+	return &Analyzer{
+		Name: "filterexact",
+		Doc:  "filtered predicates may only accept a sign via a certified stage or the exact fallback",
+		Run:  func(prog *Program) []Diagnostic { return runFilterExact(prog, cfg) },
+	}
+}
+
+func runFilterExact(prog *Program, cfg *FilterExactConfig) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range prog.Pkgs {
+		switch {
+		case pathMatch(pkg.Path, cfg.FilterPackages):
+			diags = append(diags, filterStageGuards(prog, pkg)...)
+			diags = append(diags, filterFallbackReach(prog, pkg, cfg)...)
+		case pathMatch(pkg.Path, cfg.ExactPackages):
+			// The exact package is the fallback; raw .Sign() is its job.
+		default:
+			diags = append(diags, rawSignUses(prog, pkg, cfg)...)
+		}
+	}
+	return diags
+}
+
+// filterStageGuards enforces rule 1: certified stage calls are consumed
+// only via the ok-guard if-statement.
+func filterStageGuards(prog *Program, pkg *Package) []Diagnostic {
+	// Certified stages: unexported package-level funcs returning (int, bool).
+	stages := map[*types.Func]bool{}
+	scope := pkg.Types.Scope()
+	for _, name := range scope.Names() {
+		fn, ok := scope.Lookup(name).(*types.Func)
+		if !ok || fn.Exported() {
+			continue
+		}
+		sig := fn.Type().(*types.Signature)
+		res := sig.Results()
+		if res.Len() != 2 {
+			continue
+		}
+		if isBasicKind(res.At(0).Type(), types.Int) && isBasicKind(res.At(1).Type(), types.Bool) {
+			stages[fn] = true
+		}
+	}
+	if len(stages) == 0 {
+		return nil
+	}
+
+	stageCall := func(call *ast.CallExpr) *types.Func {
+		id, ok := unparen(call.Fun).(*ast.Ident)
+		if !ok {
+			return nil
+		}
+		if fn, ok := pkg.Info.Uses[id].(*types.Func); ok && stages[fn] {
+			return fn
+		}
+		return nil
+	}
+
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		// Pass 1: bless stage calls that appear as
+		// `if s, ok := stage(...); ok { ... }`.
+		blessed := map[*ast.CallExpr]bool{}
+		ast.Inspect(f, func(n ast.Node) bool {
+			ifs, ok := n.(*ast.IfStmt)
+			if !ok || ifs.Init == nil {
+				return true
+			}
+			asg, ok := ifs.Init.(*ast.AssignStmt)
+			if !ok || len(asg.Rhs) != 1 || len(asg.Lhs) != 2 {
+				return true
+			}
+			call, ok := asg.Rhs[0].(*ast.CallExpr)
+			if !ok || stageCall(call) == nil {
+				return true
+			}
+			okIdent, ok := asg.Lhs[1].(*ast.Ident)
+			if !ok {
+				return true
+			}
+			cond, ok := unparen(ifs.Cond).(*ast.Ident)
+			if !ok {
+				return true
+			}
+			okObj := pkg.Info.Defs[okIdent]
+			if okObj == nil {
+				okObj = pkg.Info.Uses[okIdent]
+			}
+			if okObj != nil && pkg.Info.Uses[cond] == okObj {
+				blessed[call] = true
+			}
+			return true
+		})
+		// Pass 2: flag every other stage call.
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := stageCall(call)
+			if fn == nil || blessed[call] {
+				return true
+			}
+			diags = append(diags, Diagnostic{
+				Pos:   prog.Fset.Position(call.Pos()),
+				Check: "filterexact",
+				Message: fmt.Sprintf("certified stage %s used outside its ok-guard; consume it as `if s, ok := %s(...); ok { ... }` so uncertified signs cannot leak",
+					fn.Name(), fn.Name()),
+			})
+			return true
+		})
+	}
+	return diags
+}
+
+// filterFallbackReach enforces rule 2: exported sign predicates reach an
+// exact package.
+func filterFallbackReach(prog *Program, pkg *Package, cfg *FilterExactConfig) []Diagnostic {
+	g := prog.CallGraph()
+	var roots []*types.Func
+	for fn, fd := range g.decls {
+		if fd.Pkg != pkg || !fn.Exported() {
+			continue
+		}
+		name := fn.Name()
+		if len(name) >= 4 && name[len(name)-4:] == "Sign" {
+			roots = append(roots, fn)
+		}
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i].FullName() < roots[j].FullName() })
+
+	var diags []Diagnostic
+	for _, root := range roots {
+		parent := g.Reachable([]*types.Func{root})
+		found := false
+		for fn := range parent {
+			if fd := g.decls[fn]; fd != nil && pathMatch(fd.Pkg.Path, cfg.ExactPackages) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			fd := g.decls[root]
+			diags = append(diags, Diagnostic{
+				Pos:   prog.Fset.Position(fd.Decl.Pos()),
+				Check: "filterexact",
+				Message: fmt.Sprintf("exported sign predicate %s never reaches an exact fallback; a filter may only accept via the exact path",
+					root.Name()),
+			})
+		}
+	}
+	return diags
+}
+
+// rawSignUses enforces rule 3: no .Sign() on the exact determinant type
+// outside the filter/exact packages.
+func rawSignUses(prog *Program, pkg *Package, cfg *FilterExactConfig) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Sign" {
+				return true
+			}
+			tv, ok := pkg.Info.Types[sel.X]
+			if !ok || tv.Type == nil {
+				return true
+			}
+			t := tv.Type
+			if ptr, ok := t.Underlying().(*types.Pointer); ok {
+				t = ptr.Elem()
+			}
+			named, ok := t.(*types.Named)
+			if !ok {
+				return true
+			}
+			obj := named.Obj()
+			if obj.Pkg() == nil || !pathMatch(obj.Pkg().Path(), cfg.ExactPackages) {
+				return true
+			}
+			diags = append(diags, Diagnostic{
+				Pos:   prog.Fset.Position(sel.Sel.Pos()),
+				Check: "filterexact",
+				Message: fmt.Sprintf("raw %s.Sign() outside the filtered predicate layer; route sign decisions through the filter package so they are certified and counted",
+					obj.Name()),
+			})
+			return true
+		})
+	}
+	return diags
+}
+
+// isBasicKind reports whether t is the given basic kind.
+func isBasicKind(t types.Type, kind types.BasicKind) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Kind() == kind
+}

@@ -71,6 +71,7 @@ func Default() []*Analyzer {
 		PoolBalance(nil),
 		TelemetryName(nil),
 		SlabBuffer(nil),
+		FilterExact(nil),
 	}
 }
 

@@ -17,6 +17,20 @@ func TestExactFloat(t *testing.T) {
 	)
 }
 
+func TestFilterExact(t *testing.T) {
+	RunAnalyzerTestDirs(t,
+		[]string{
+			td("filterexact", "exactstub"),
+			td("filterexact", "filterstub"),
+			td("filterexact", "clientpkg"),
+		},
+		FilterExact(&FilterExactConfig{
+			FilterPackages: []string{"filterstub"},
+			ExactPackages:  []string{"exactstub"},
+		}),
+	)
+}
+
 func TestFloatEq(t *testing.T) {
 	RunAnalyzerTest(t, td("floateq", "floatpkg"), FloatEq(nil))
 }
@@ -105,7 +119,7 @@ func TestLoadModule(t *testing.T) {
 // TestDefaultSuiteNames pins the analyzer roster the Makefile's lint
 // gate advertises.
 func TestDefaultSuiteNames(t *testing.T) {
-	want := []string{"exactfloat", "floateq", "overflowmul", "panicfree", "typederr", "poolbalance", "telemetryname", "slabbuffer"}
+	want := []string{"exactfloat", "floateq", "overflowmul", "panicfree", "typederr", "poolbalance", "telemetryname", "slabbuffer", "filterexact"}
 	got := Default()
 	if len(got) != len(want) {
 		t.Fatalf("Default() has %d analyzers, want %d", len(got), len(want))

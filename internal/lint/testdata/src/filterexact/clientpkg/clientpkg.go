@@ -1,0 +1,33 @@
+// Package clientpkg stands in for detection/derivation code that must
+// route sign decisions through the filter, not the raw exact type.
+package clientpkg
+
+import (
+	"exactstub"
+	"filterstub"
+)
+
+// GoodDecide routes through the filtered predicate: clean.
+func GoodDecide(m *[2][2]int64) int {
+	return filterstub.GoodSign(m, m[0][0])
+}
+
+// BadDecide bypasses the filter with a raw exact sign call.
+func BadDecide(m *[2][2]int64) int {
+	return exactstub.Det(m).Sign() // want "raw Int128.Sign\\(\\) outside the filtered predicate layer"
+}
+
+// localSign is an unrelated Sign method on a local type: not flagged.
+type vec struct{ x int64 }
+
+func (v vec) Sign() int {
+	if v.x < 0 {
+		return -1
+	}
+	return 1
+}
+
+// OtherSign exercises the local Sign method: clean.
+func OtherSign() int {
+	return vec{x: 3}.Sign()
+}

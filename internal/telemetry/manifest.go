@@ -25,11 +25,12 @@ type Manifest struct {
 	// Command is the CLI invocation that produced the archive.
 	Command string `json:"command,omitempty"`
 
-	Dataset  ManifestDataset   `json:"dataset"`
-	Codec    ManifestCodec     `json:"codec"`
-	Run      ManifestRun       `json:"run"`
-	Bounds   ManifestBounds    `json:"bounds"`
-	Fidelity *ManifestFidelity `json:"fidelity,omitempty"`
+	Dataset    ManifestDataset     `json:"dataset"`
+	Codec      ManifestCodec       `json:"codec"`
+	Run        ManifestRun         `json:"run"`
+	Bounds     ManifestBounds      `json:"bounds"`
+	Predicates *ManifestPredicates `json:"predicates,omitempty"`
+	Fidelity   *ManifestFidelity   `json:"fidelity,omitempty"`
 	// Metrics optionally embeds the full telemetry snapshot of the run.
 	Metrics *Snapshot `json:"metrics,omitempty"`
 }
@@ -94,6 +95,28 @@ type ManifestBounds struct {
 	// BoundExp is the bound-exponent histogram (tightness distribution of
 	// the stored bounds), quantiles included.
 	BoundExp *HistSnapshot `json:"bound_exp,omitempty"`
+}
+
+// ManifestPredicates records the filtered-predicate efficacy of the
+// run: how many sign / quotient evaluations each certification stage
+// resolved and the resulting accept rates. The stage counts per family
+// sum to that family's total calls (see internal/exact/filter).
+type ManifestPredicates struct {
+	Orient2Fast uint64 `json:"orient2_fast"`
+	Orient2Zero uint64 `json:"orient2_zero"`
+	Orient2Wide uint64 `json:"orient2_wide"`
+
+	Orient3Static uint64 `json:"orient3_static"`
+	Orient3Run    uint64 `json:"orient3_run"`
+	Orient3Zero   uint64 `json:"orient3_zero"`
+	Orient3Exact  uint64 `json:"orient3_exact"`
+	Orient3Wide   uint64 `json:"orient3_wide"`
+
+	PsiCert     uint64 `json:"psi_cert"`
+	PsiFallback uint64 `json:"psi_fallback"`
+
+	Orient3AcceptRate float64 `json:"orient3_accept_rate"`
+	PsiCertRate       float64 `json:"psi_cert_rate"`
 }
 
 // ManifestFidelity is the verify outcome: critical-point preservation
@@ -193,6 +216,14 @@ func (m *Manifest) Render(w io.Writer) error {
 	if _, err := fmt.Fprintf(w, "  bounds: %d vertices (%d lossless, %d relaxed, %d literals), speculation %d/%d/%d trials/fails/cutoffs\n",
 		b.Vertices, b.Lossless, b.Relaxed, b.Literals, b.SpecTrials, b.SpecFails, b.SpecCutoffs); err != nil {
 		return err
+	}
+	if p := m.Predicates; p != nil {
+		if _, err := fmt.Fprintf(w, "  predicates: 2D %d fast / %d wide; 3D %d static + %d run + %d zero accepts, %d exact, %d wide (%.1f%% filtered); Ψ %d certified / %d exact (%.1f%%)\n",
+			p.Orient2Fast, p.Orient2Wide,
+			p.Orient3Static, p.Orient3Run, p.Orient3Zero, p.Orient3Exact, p.Orient3Wide,
+			100*p.Orient3AcceptRate, p.PsiCert, p.PsiFallback, 100*p.PsiCertRate); err != nil {
+			return err
+		}
 	}
 	if b.BoundExp != nil && b.BoundExp.Count > 0 {
 		if _, err := fmt.Fprintf(w, "  bound exponents: p50=%d p90=%d p99=%d (of %d)\n",
