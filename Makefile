@@ -2,7 +2,7 @@ GO ?= go
 
 # Tier-1 gate: what CI (and the seed) requires to stay green.
 .PHONY: check
-check: vet lint build test faults benchgate predgate memgate
+check: vet lint build test faults benchgate predgate memgate loadgate
 
 .PHONY: vet
 vet:
@@ -33,7 +33,7 @@ test:
 # and degradation tests) and the compression kernel they drive.
 .PHONY: race
 race:
-	$(GO) test -race ./internal/telemetry/ ./internal/mpi/ ./internal/parallel/ ./internal/core/ ./internal/shm/... ./internal/faultinject/ ./internal/flightrec/ ./internal/obs/
+	$(GO) test -race ./internal/telemetry/ ./internal/mpi/ ./internal/parallel/ ./internal/core/ ./internal/shm/... ./internal/faultinject/ ./internal/flightrec/ ./internal/obs/ ./internal/codec/ ./internal/server/
 
 # Fault soak: fault-injected pipeline runs plus the stream-integrity
 # tests. Every run must end in a typed error, a degradation report with
@@ -54,6 +54,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzDecompress3D -fuzztime=$(FUZZTIME) ./internal/core/
 	$(GO) test -fuzz=FuzzArchiveDecode -fuzztime=$(FUZZTIME) ./internal/archive/
 	$(GO) test -fuzz=FuzzContainerDecompress -fuzztime=$(FUZZTIME) ./internal/shm/
+	$(GO) test -fuzz=FuzzServerRequest -fuzztime=$(FUZZTIME) ./internal/server/
 
 # Coverage gate for the compression kernel: fails below COVER_MIN%.
 COVER_MIN ?= 85
@@ -130,6 +131,18 @@ predgate:
 .PHONY: memgate
 memgate:
 	sh scripts/memgate.sh
+
+# Service-level gate for the topozipd daemon (scripts/loadgate.sh over
+# `cpbench load`): an in-process daemon must survive a three-level load
+# sweep with zero non-shed errors, bounded p99 when not oversubscribed,
+# real 429 shedding past saturation, and a healthy /healthz after a
+# client-side fault soak (slow writes, mid-body disconnects, stalls).
+# LOADGATE_FLAGS passes extra flags to the clean sweep (e.g.
+# `-out results/BENCH_pr9_load.json` to refresh the snapshot).
+LOADGATE_FLAGS ?=
+.PHONY: loadgate
+loadgate:
+	sh scripts/loadgate.sh $(LOADGATE_FLAGS)
 
 # Observability overhead gate: fully enabled instrumentation (collector
 # + flight recorder) must cost <=3% over the disabled default on the

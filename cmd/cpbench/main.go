@@ -53,6 +53,17 @@ func main() {
 		}
 		return
 	}
+	// load likewise: the topozipd load generator and service-level gate.
+	if len(os.Args) > 1 && os.Args[1] == "load" {
+		failed, err := runLoad(os.Args[2:], os.Stdout)
+		if err != nil {
+			fatal(err)
+		}
+		if failed {
+			os.Exit(1)
+		}
+		return
+	}
 	ocean := flag.String("ocean", "384x288", "Ocean dims (NXxNY)")
 	hurr := flag.String("hurricane", "64x64x32", "Hurricane dims (NXxNYxNZ)")
 	nek := flag.Int("nek", 64, "Nek5000 cube side")

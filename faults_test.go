@@ -49,7 +49,7 @@ func TestFaultSoak(t *testing.T) {
 			}
 			po.Faults = faultinject.New(faultinject.Config{
 				Seed: uint64(seed),
-				Prob: [4]float64{faultinject.KindPanic: 0.5},
+				Prob: [faultinject.NumKinds]float64{faultinject.KindPanic: 0.5},
 			})
 			res, err := shm.Compress2D(f, tr, opts, po)
 			if err != nil {
@@ -98,7 +98,7 @@ func TestFaultSoak(t *testing.T) {
 			if seed%2 == 1 {
 				kind = faultinject.KindTruncate
 			}
-			var prob [4]float64
+			var prob [faultinject.NumKinds]float64
 			prob[kind] = 1
 			inj := faultinject.New(faultinject.Config{
 				Seed:     uint64(seed),
@@ -161,7 +161,7 @@ func TestFaultSoak(t *testing.T) {
 				parallel.RatioOriented, mpi.Config{
 					Inject: faultinject.New(faultinject.Config{
 						Seed:  uint64(seed),
-						Prob:  [4]float64{faultinject.KindDelay: 0.5},
+						Prob:  [faultinject.NumKinds]float64{faultinject.KindDelay: 0.5},
 						Delay: 4 * time.Millisecond,
 					}),
 					RecvTimeout: 2 * time.Millisecond,
@@ -186,7 +186,7 @@ func TestFaultSoak(t *testing.T) {
 			parallel.Grid2D{PX: 2, PY: 2}, parallel.RatioOriented, mpi.Config{
 				Inject: faultinject.New(faultinject.Config{
 					Seed:  1,
-					Prob:  [4]float64{faultinject.KindDelay: 1},
+					Prob:  [faultinject.NumKinds]float64{faultinject.KindDelay: 1},
 					Delay: 200 * time.Millisecond,
 				}),
 				RecvTimeout: time.Millisecond,

@@ -32,10 +32,25 @@ const (
 	KindTruncate
 	// KindDelay delays a simulated-MPI message past the receive timeout.
 	KindDelay
+	// KindSlowClient throttles a network client's request body to a
+	// trickle, exercising the server's slow-loris defenses.
+	KindSlowClient
+	// KindDisconnect drops a network connection mid-request-body, the
+	// way an impatient or crashed client does.
+	KindDisconnect
+	// KindStall freezes a network client after the request is sent,
+	// leaving the response unread so server write timeouts must fire.
+	KindStall
 	numKinds
 )
 
-var kindNames = [numKinds]string{"panic", "bitflip", "truncate", "delay"}
+// NumKinds is the number of fault classes, for sizing Config.Prob.
+const NumKinds = int(numKinds)
+
+var kindNames = [numKinds]string{
+	"panic", "bitflip", "truncate", "delay",
+	"slowclient", "disconnect", "stall",
+}
 
 func (k Kind) String() string {
 	if k < 0 || k >= numKinds {
@@ -56,7 +71,7 @@ func (p Panic) Error() string { return "faultinject: injected panic at " + p.Sit
 // duration for KindDelay.
 type Config struct {
 	Seed     uint64
-	Prob     [4]float64 // indexed by Kind
+	Prob     [NumKinds]float64 // indexed by Kind
 	Delay    time.Duration
 	MaxFires int64 // per kind; 0 means unlimited
 }
@@ -134,7 +149,7 @@ func Parse(spec string) (*Injector, error) {
 				return nil, fmt.Errorf("faultinject: max: bad value %q", val)
 			}
 			cfg.MaxFires = m
-		case "panic", "bitflip", "truncate", "delay":
+		case "panic", "bitflip", "truncate", "delay", "slowclient", "disconnect", "stall":
 			p, err := strconv.ParseFloat(val, 64)
 			if err != nil || p < 0 || p > 1 {
 				return nil, fmt.Errorf("faultinject: %s: bad probability %q", key, val)
@@ -262,6 +277,24 @@ func (in *Injector) Delay(keys ...uint64) time.Duration {
 		return in.cfg.Delay
 	}
 	return 0
+}
+
+// Maybe rolls the given kind at a site, reporting whether it fires. The
+// network fault kinds (slowclient, disconnect, stall) have no intrinsic
+// mechanism — the load generator applies them to its own connections —
+// so they are consumed through this generic roll.
+func (in *Injector) Maybe(kind Kind, keys ...uint64) bool {
+	_, fire := in.roll(kind, keys)
+	return fire
+}
+
+// FaultDelay returns the configured delay duration (the slow-client
+// trickle interval and stall hold time), defaulting like New does.
+func (in *Injector) FaultDelay() time.Duration {
+	if in == nil || in.cfg.Delay <= 0 {
+		return 50 * time.Millisecond
+	}
+	return in.cfg.Delay
 }
 
 // Hash folds a string into a key usable in the keys... arguments.

@@ -78,7 +78,7 @@ func TestDeterminism(t *testing.T) {
 }
 
 func TestMaybePanicThrowsTypedValue(t *testing.T) {
-	in := New(Config{Seed: 1, Prob: [4]float64{KindPanic: 1}})
+	in := New(Config{Seed: 1, Prob: [NumKinds]float64{KindPanic: 1}})
 	defer func() {
 		r := recover()
 		p, ok := r.(Panic)
@@ -93,7 +93,7 @@ func TestMaybePanicThrowsTypedValue(t *testing.T) {
 }
 
 func TestCorruptCopiesBeforeMutating(t *testing.T) {
-	in := New(Config{Seed: 3, Prob: [4]float64{KindBitFlip: 1}})
+	in := New(Config{Seed: 3, Prob: [NumKinds]float64{KindBitFlip: 1}})
 	blob := bytes.Repeat([]byte{0x55}, 32)
 	orig := bytes.Clone(blob)
 	got, fired := in.Corrupt(blob, 1)
@@ -109,7 +109,7 @@ func TestCorruptCopiesBeforeMutating(t *testing.T) {
 }
 
 func TestTruncateShortens(t *testing.T) {
-	in := New(Config{Seed: 5, Prob: [4]float64{KindTruncate: 1}})
+	in := New(Config{Seed: 5, Prob: [NumKinds]float64{KindTruncate: 1}})
 	blob := bytes.Repeat([]byte{0x77}, 48)
 	got, fired := in.Corrupt(blob, 2)
 	if !fired || len(got) >= len(blob) {
@@ -118,7 +118,7 @@ func TestTruncateShortens(t *testing.T) {
 }
 
 func TestMaxFiresBounds(t *testing.T) {
-	in := New(Config{Seed: 1, Prob: [4]float64{KindDelay: 1}, MaxFires: 3, Delay: time.Millisecond})
+	in := New(Config{Seed: 1, Prob: [NumKinds]float64{KindDelay: 1}, MaxFires: 3, Delay: time.Millisecond})
 	n := 0
 	for i := uint64(0); i < 10; i++ {
 		if in.Delay(i) > 0 {

@@ -62,13 +62,20 @@ const (
 	// KindWindowEvict is a streaming slab retired from the window after
 	// its blob was flushed to the container, freeing its slot.
 	KindWindowEvict
+	// KindShed is a network request rejected at admission because the
+	// daemon's bounded queue was full (the 429 load-shedding path).
+	KindShed
+	// KindClientGone is a network request abandoned mid-stream by its
+	// client; the server cancels the request context and releases the
+	// admission permit.
+	KindClientGone
 	numKinds
 )
 
 var kindNames = [numKinds]string{
 	"note", "retry", "panic", "deadline", "degraded",
 	"integrity_fail", "rollback", "fault_injected", "straggler",
-	"window_refill", "window_evict",
+	"window_refill", "window_evict", "shed", "client_gone",
 }
 
 func (k Kind) String() string {

@@ -1,0 +1,193 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+)
+
+// HandlerBoundConfig scopes the handlerbound analyzer.
+type HandlerBoundConfig struct {
+	// HandlerPackages are import-path suffixes of the packages hosting
+	// HTTP handlers; only functions there are examined.
+	HandlerPackages []string
+	// LimitFuncs are function names whose call satisfies the body-bound
+	// obligation (http.MaxBytesReader or a helper wrapping it). The
+	// helpers themselves are exempt from the check.
+	LimitFuncs []string
+	// DeadlineFuncs are function names whose call satisfies the deadline
+	// obligation (context.WithTimeout/WithDeadline or a helper). The
+	// helpers themselves are exempt.
+	DeadlineFuncs []string
+}
+
+var defaultHandlerBound = &HandlerBoundConfig{
+	HandlerPackages: []string{"internal/server", "internal/obs", "cmd/topozipd"},
+	LimitFuncs:      []string{"limitBody", "MaxBytesReader"},
+	DeadlineFuncs:   []string{"requestDeadline", "WithTimeout", "WithDeadline"},
+}
+
+// HandlerBound enforces the daemon's request-hardening contract: an HTTP
+// handler that reads its request body must first bound it
+// (http.MaxBytesReader or the server's limitBody helper) and arm a
+// deadline (context.WithTimeout or the requestDeadline helper) — and
+// may never io.ReadAll the body at all, bounded or not; bodies stream
+// through spools so handler memory stays O(window). A handler is any
+// function or closure with the (http.ResponseWriter, *http.Request)
+// shape, matched by terminal type name so self-test stubs work.
+func HandlerBound(cfg *HandlerBoundConfig) *Analyzer {
+	if cfg == nil {
+		cfg = defaultHandlerBound
+	}
+	return &Analyzer{
+		Name: "handlerbound",
+		Doc:  "HTTP handlers reading a body must bound it and arm a deadline; io.ReadAll on request bodies is banned",
+		Run:  func(prog *Program) []Diagnostic { return runHandlerBound(prog, cfg) },
+	}
+}
+
+func runHandlerBound(prog *Program, cfg *HandlerBoundConfig) []Diagnostic {
+	limit := nameSet(cfg.LimitFuncs)
+	deadline := nameSet(cfg.DeadlineFuncs)
+	var diags []Diagnostic
+	for _, pkg := range prog.Pkgs {
+		if !pathMatch(pkg.Path, cfg.HandlerPackages) {
+			continue
+		}
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				// The obligation helpers share the handler signature;
+				// they implement the contract, they are not bound by it.
+				if limit[fd.Name.Name] || deadline[fd.Name.Name] {
+					continue
+				}
+				if isHandlerSig(pkg, fd.Type) {
+					diags = append(diags, handlerBoundFunc(prog, pkg, fd.Name.Name, fd.Pos(), fd.Body, limit, deadline)...)
+				}
+				// Handlers also appear as closures (mux.HandleFunc
+				// literals); check those independently of the enclosing
+				// function's shape.
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					fl, ok := n.(*ast.FuncLit)
+					if !ok || !isHandlerSig(pkg, fl.Type) {
+						return true
+					}
+					diags = append(diags, handlerBoundFunc(prog, pkg, "handler literal", fl.Pos(), fl.Body, limit, deadline)...)
+					return false // nested literals were just walked
+				})
+			}
+		}
+	}
+	return diags
+}
+
+func nameSet(names []string) map[string]bool {
+	m := make(map[string]bool, len(names))
+	for _, n := range names {
+		m[n] = true
+	}
+	return m
+}
+
+// isHandlerSig reports the (http.ResponseWriter, *http.Request) shape,
+// by terminal type name.
+func isHandlerSig(pkg *Package, ft *ast.FuncType) bool {
+	if ft.Params == nil {
+		return false
+	}
+	var names []string
+	for _, field := range ft.Params.List {
+		n := terminalTypeName(pkg, field.Type)
+		for range field.Names {
+			names = append(names, n)
+		}
+		if len(field.Names) == 0 {
+			names = append(names, n)
+		}
+	}
+	return len(names) == 2 && names[0] == "ResponseWriter" && names[1] == "Request"
+}
+
+// handlerBoundFunc checks one handler body.
+func handlerBoundFunc(prog *Program, pkg *Package, name string, pos token.Pos,
+	body *ast.BlockStmt, limit, deadline map[string]bool) []Diagnostic {
+
+	var diags []Diagnostic
+	readsBody := false
+	hasLimit := false
+	hasDeadline := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			if n.Sel.Name == "Body" && terminalTypeName(pkg, n.X) == "Request" {
+				readsBody = true
+			}
+		case *ast.CallExpr:
+			if cn := calleeName(n); cn != "" {
+				if limit[cn] {
+					hasLimit = true
+				}
+				if deadline[cn] {
+					hasDeadline = true
+				}
+			}
+			if arg := readAllOnBody(pkg, n); arg != nil {
+				diags = append(diags, Diagnostic{
+					Pos:     prog.Fset.Position(n.Pos()),
+					Check:   "handlerbound",
+					Message: "io.ReadAll on a request body buffers the whole upload; spool it through a bounded reader instead",
+				})
+			}
+		}
+		return true
+	})
+	if readsBody && !hasLimit {
+		diags = append(diags, Diagnostic{
+			Pos:     prog.Fset.Position(pos),
+			Check:   "handlerbound",
+			Message: fmt.Sprintf("%s reads the request body without bounding it; call http.MaxBytesReader (or the limitBody helper) first", name),
+		})
+	}
+	if readsBody && !hasDeadline {
+		diags = append(diags, Diagnostic{
+			Pos:     prog.Fset.Position(pos),
+			Check:   "handlerbound",
+			Message: fmt.Sprintf("%s reads the request body without arming a deadline; call context.WithTimeout (or the requestDeadline helper)", name),
+		})
+	}
+	return diags
+}
+
+// calleeName extracts the terminal function name of a call: ReadAll for
+// io.ReadAll, limitBody for s.limitBody, WithTimeout for
+// context.WithTimeout.
+func calleeName(call *ast.CallExpr) string {
+	switch fn := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fn.Name
+	case *ast.SelectorExpr:
+		return fn.Sel.Name
+	}
+	return ""
+}
+
+// readAllOnBody returns the body argument when call is io.ReadAll over a
+// request body, nil otherwise.
+func readAllOnBody(pkg *Package, call *ast.CallExpr) ast.Expr {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "ReadAll" || len(call.Args) != 1 {
+		return nil
+	}
+	arg, ok := unparen(call.Args[0]).(*ast.SelectorExpr)
+	if !ok || arg.Sel.Name != "Body" {
+		return nil
+	}
+	if terminalTypeName(pkg, arg.X) != "Request" {
+		return nil
+	}
+	return arg
+}

@@ -72,6 +72,7 @@ func Default() []*Analyzer {
 		TelemetryName(nil),
 		SlabBuffer(nil),
 		FilterExact(nil),
+		HandlerBound(nil),
 	}
 }
 

@@ -31,6 +31,16 @@ func TestFilterExact(t *testing.T) {
 	)
 }
 
+func TestHandlerBound(t *testing.T) {
+	RunAnalyzerTest(t, td("handlerbound", "handlerpkg"),
+		HandlerBound(&HandlerBoundConfig{
+			HandlerPackages: []string{"handlerpkg"},
+			LimitFuncs:      defaultHandlerBound.LimitFuncs,
+			DeadlineFuncs:   defaultHandlerBound.DeadlineFuncs,
+		}),
+	)
+}
+
 func TestFloatEq(t *testing.T) {
 	RunAnalyzerTest(t, td("floateq", "floatpkg"), FloatEq(nil))
 }
@@ -119,7 +129,7 @@ func TestLoadModule(t *testing.T) {
 // TestDefaultSuiteNames pins the analyzer roster the Makefile's lint
 // gate advertises.
 func TestDefaultSuiteNames(t *testing.T) {
-	want := []string{"exactfloat", "floateq", "overflowmul", "panicfree", "typederr", "poolbalance", "telemetryname", "slabbuffer", "filterexact"}
+	want := []string{"exactfloat", "floateq", "overflowmul", "panicfree", "typederr", "poolbalance", "telemetryname", "slabbuffer", "filterexact", "handlerbound"}
 	got := Default()
 	if len(got) != len(want) {
 		t.Fatalf("Default() has %d analyzers, want %d", len(got), len(want))

@@ -1,0 +1,85 @@
+// Self-test for the handlerbound analyzer: any function shaped like an
+// HTTP handler that reads its request body must bound the body and arm
+// a deadline first, and may never io.ReadAll the body at all.
+package handlerpkg
+
+import "io"
+
+// ResponseWriter / Request are name-matched stand-ins for net/http.
+type ResponseWriter interface{ Write([]byte) (int, error) }
+
+// Request is the stand-in request carrying the streamed body.
+type Request struct{ Body io.ReadCloser }
+
+// MaxBytesReader and WithTimeout stand in for the http and context
+// obligation primitives; limitBody for the server helper wrapping the
+// former. All three are exempt by name — they implement the contract.
+func MaxBytesReader(w ResponseWriter, b io.ReadCloser, n int64) io.ReadCloser { return b }
+
+// WithTimeout returns a cancel stand-in.
+func WithTimeout() func() { return func() {} }
+
+func limitBody(w ResponseWriter, r *Request) {
+	r.Body = MaxBytesReader(w, r.Body, 1<<20)
+}
+
+// goodHandler bounds and arms before streaming the body: clean.
+func goodHandler(w ResponseWriter, r *Request) {
+	limitBody(w, r)
+	cancel := WithTimeout()
+	defer cancel()
+	io.Copy(io.Discard, r.Body)
+}
+
+// inlineBound satisfies both obligations with the primitives directly
+// rather than the helpers: clean.
+func inlineBound(w ResponseWriter, r *Request) {
+	r.Body = MaxBytesReader(w, r.Body, 1<<20)
+	cancel := WithTimeout()
+	defer cancel()
+	io.Copy(io.Discard, r.Body)
+}
+
+// ping never touches the body: no obligations.
+func ping(w ResponseWriter, r *Request) {
+	w.Write([]byte("ok"))
+}
+
+// noLimit arms a deadline but streams an unbounded body.
+func noLimit(w ResponseWriter, r *Request) { // want "noLimit reads the request body without bounding it"
+	cancel := WithTimeout()
+	defer cancel()
+	io.Copy(io.Discard, r.Body)
+}
+
+// noDeadline bounds the body but a stalled client holds it forever.
+func noDeadline(w ResponseWriter, r *Request) { // want "noDeadline reads the request body without arming a deadline"
+	limitBody(w, r)
+	io.Copy(io.Discard, r.Body)
+}
+
+// slurp meets both obligations yet still buffers the whole upload: the
+// ReadAll ban fires on the call itself.
+func slurp(w ResponseWriter, r *Request) {
+	limitBody(w, r)
+	cancel := WithTimeout()
+	defer cancel()
+	b, _ := io.ReadAll(r.Body) // want "io.ReadAll on a request body buffers the whole upload"
+	w.Write(b)
+}
+
+// register shows the closure form: handler literals are checked on
+// their own, independent of the enclosing function's shape.
+func register(handle func(func(ResponseWriter, *Request))) {
+	handle(func(w ResponseWriter, r *Request) { // want "handler literal reads the request body without bounding it" "handler literal reads the request body without arming a deadline"
+		io.Copy(io.Discard, r.Body)
+	})
+}
+
+// tap is the audited escape hatch: a justified directive suppresses the
+// declaration-level findings.
+//
+//lint:ignore handlerbound test tap streams a trusted loopback body with no client on the wire
+func tap(w ResponseWriter, r *Request) {
+	io.Copy(io.Discard, r.Body)
+}

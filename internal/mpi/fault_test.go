@@ -38,7 +38,7 @@ func TestRecvTimeoutStraggler(t *testing.T) {
 	tel := telemetry.New()
 	inj := faultinject.New(faultinject.Config{
 		Seed:  1,
-		Prob:  [4]float64{faultinject.KindDelay: 1},
+		Prob:  [faultinject.NumKinds]float64{faultinject.KindDelay: 1},
 		Delay: 30 * time.Millisecond,
 	})
 	cfg := Config{

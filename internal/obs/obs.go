@@ -57,22 +57,53 @@ func (s *Server) Close() error {
 	return s.srv.Close()
 }
 
-// Mux builds the debug handler tree. Exposed separately from Serve so a
-// long-running daemon (the ROADMAP's topozipd) can graft these routes
-// onto its own server.
+// Options configures Handler. The zero value serves empty documents and
+// reports always-ready.
+type Options struct {
+	// Col and Rec are the process's collector and flight recorder;
+	// either may be nil (handlers degrade to empty documents).
+	Col *telemetry.Collector
+	Rec *flightrec.Recorder
+	// Start anchors the uptime report; the zero time means "now".
+	Start time.Time
+	// Ready, when non-nil, gates the /healthz readiness verdict: a
+	// draining daemon flips it to false so load balancers stop routing
+	// new work while in-flight requests finish. /healthz then answers
+	// 503 with ok=false. nil means always ready.
+	Ready func() bool
+}
+
+// Mux builds the debug handler tree with default options. Kept for the
+// topozip/cpbench -listen path; daemons with a drain state use Handler.
 func Mux(col *telemetry.Collector, rec *flightrec.Recorder, start time.Time) *http.ServeMux {
+	return Handler(Options{Col: col, Rec: rec, Start: start})
+}
+
+// Handler builds the observability handler tree — /metrics, /healthz,
+// /debug/{trace,flightrec,vars,pprof} — for mounting on the caller's own
+// server (the topozipd daemon) or behind Serve's standalone listener.
+func Handler(o Options) *http.ServeMux {
+	if o.Start.IsZero() {
+		o.Start = time.Now()
+	}
+	col, rec, start := o.Col, o.Rec, o.Start
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = col.WritePrometheus(w, "")
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		ready := o.Ready == nil || o.Ready()
 		w.Header().Set("Content-Type", "application/json")
+		if !ready {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
 		_ = json.NewEncoder(w).Encode(struct {
 			OK       bool    `json:"ok"`
+			Draining bool    `json:"draining"`
 			UptimeS  float64 `json:"uptime_s"`
 			Recorded uint64  `json:"flightrec_events"`
-		}{true, time.Since(start).Seconds(), rec.Total()})
+		}{ready, !ready, time.Since(start).Seconds(), rec.Total()})
 	})
 	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")

@@ -30,7 +30,7 @@ func TestDistributedGhostStragglerRecovers(t *testing.T) {
 	tel := telemetry.New()
 	inj := faultinject.New(faultinject.Config{
 		Seed:  5,
-		Prob:  [4]float64{faultinject.KindDelay: 0.5},
+		Prob:  [faultinject.NumKinds]float64{faultinject.KindDelay: 0.5},
 		Delay: 15 * time.Millisecond,
 	})
 	res, err := CompressDistributed2D(f, tr, opts, grid, RatioOriented, mpi.Config{
@@ -64,7 +64,7 @@ func TestDistributedGhostTimeoutFails(t *testing.T) {
 	}
 	inj := faultinject.New(faultinject.Config{
 		Seed:  9,
-		Prob:  [4]float64{faultinject.KindDelay: 1},
+		Prob:  [faultinject.NumKinds]float64{faultinject.KindDelay: 1},
 		Delay: 200 * time.Millisecond,
 	})
 	_, err = CompressDistributed2D(f, tr, core.Options{Tau: 0.01}, Grid2D{PX: 2, PY: 2},

@@ -1,0 +1,66 @@
+// FuzzServerRequest throws arbitrary request framing — method, path,
+// query parameters, body bytes — at the daemon's full route tree and
+// demands the one invariant robustness promises: no panic ever escapes a
+// handler, whatever the codec dispatch layer is fed.
+
+package server
+
+import (
+	"bytes"
+	"net/http"
+	"net/url"
+	"strings"
+	"testing"
+	"time"
+)
+
+func FuzzServerRequest(f *testing.F) {
+	f.Add("POST", "/v1/compress", "dims=8x8&tau=0.01&spec=ST1", []byte("x"))
+	f.Add("POST", "/v1/compress", "dims=4x4x4&tau=0.5&abs=true", bytes.Repeat([]byte{0}, 4*4*4*3*4))
+	f.Add("POST", "/v1/decompress", "", []byte("SZPS garbage container"))
+	f.Add("POST", "/v1/decompress", "dims=8x8", []byte{0xff, 0xfe})
+	f.Add("POST", "/v1/verify", "dims=8x8&tau=1e-9&format=topozip-cp&version=2", bytes.Repeat([]byte{1}, 8*8*2*4))
+	f.Add("GET", "/v1/codecs", "", []byte(nil))
+	f.Add("GET", "/healthz", "", []byte(nil))
+	f.Add("POST", "/v1/compress", "dims=99999999x99999999&deadline_ms=1", []byte("tiny"))
+	f.Add("PUT", "/v1/compress", "dims=-3x0&tau=nan&version=-1&abs=maybe", []byte("?"))
+
+	srv := New(Config{
+		MaxBodyBytes:   1 << 16,
+		RequestTimeout: 2 * time.Second,
+		SpoolDir:       f.TempDir(),
+	})
+	h := srv.Handler()
+
+	f.Fuzz(func(t *testing.T, method, path, query string, body []byte) {
+		// Keep the request within what a TCP client could actually send;
+		// the fuzzer's job is the dispatch and parameter surface, not
+		// net/url's validator.
+		if len(path) > 256 || len(query) > 1024 || len(body) > 1<<16 {
+			t.Skip()
+		}
+		u, err := url.ParseRequestURI("/" + strings.TrimPrefix(path, "/"))
+		if err != nil {
+			t.Skip()
+		}
+		// The stdlib pprof handlers legitimately block for seconds
+		// (/debug/pprof/profile samples CPU for 30s); they are not the
+		// surface under test.
+		if strings.HasPrefix(u.Path, "/debug/") {
+			t.Skip()
+		}
+		u.RawQuery = query
+		req, err := http.NewRequest(method, u.String(), bytes.NewReader(body))
+		if err != nil {
+			t.Skip()
+		}
+		rw := newRecorder()
+		// A panic here fails the fuzz run; instrument() must have
+		// swallowed handler panics and the parsers must reject garbage
+		// with 4xx, not explode.
+		h.ServeHTTP(rw, req)
+		if rw.code < 100 || rw.code > 599 {
+			t.Fatalf("implausible status %d for %s %s?%s", rw.code, method, path, query)
+		}
+	})
+}

@@ -1,0 +1,90 @@
+// Body spooling: request payloads stream onto disk in bounded chunks so
+// handlers get the io.ReaderAt the slab pipeline needs without ever
+// holding a field in memory. The spool honors the request context
+// between chunks — a dead client stops costing disk immediately — and
+// the file is unlinked on Close, so a panicking handler leaks nothing.
+
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+)
+
+// errBodySize reports a body whose length disagrees with the declared
+// dims — a malformed request, not a server fault.
+var errBodySize = errors.New("request body size disagrees with dims")
+
+// spoolFile is one temp file holding a spooled body or a scratch
+// artifact. Close removes it.
+type spoolFile struct {
+	f    *os.File
+	size int64
+}
+
+func (sp *spoolFile) Close() error {
+	name := sp.f.Name()
+	err := sp.f.Close()
+	if rmErr := os.Remove(name); err == nil {
+		err = rmErr
+	}
+	return err
+}
+
+// newSpool creates an empty scratch file in the spool directory.
+func (s *Server) newSpool() (*spoolFile, error) {
+	f, err := os.CreateTemp(s.cfg.spoolDir(), "topozipd-*.spool")
+	if err != nil {
+		return nil, fmt.Errorf("spool: %w", err)
+	}
+	return &spoolFile{f: f}, nil
+}
+
+// spool streams body into a temp file, checking ctx between chunks.
+// want >= 0 demands that exact byte count (a raw field's size follows
+// from its dims); want < 0 accepts any non-empty body (a container whose
+// length only its footer knows).
+func (s *Server) spool(ctx context.Context, body io.Reader, want int64) (*spoolFile, error) {
+	sp, err := s.newSpool()
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 256<<10)
+	for {
+		if err := ctx.Err(); err != nil {
+			sp.Close()
+			return nil, context.Cause(ctx)
+		}
+		n, rerr := body.Read(buf)
+		if n > 0 {
+			if _, werr := sp.f.Write(buf[:n]); werr != nil {
+				sp.Close()
+				return nil, fmt.Errorf("spool: %w", werr)
+			}
+			sp.size += int64(n)
+			if want >= 0 && sp.size > want {
+				sp.Close()
+				return nil, fmt.Errorf("%w: got more than the expected %d bytes", errBodySize, want)
+			}
+		}
+		if rerr == io.EOF {
+			break
+		}
+		if rerr != nil {
+			sp.Close()
+			return nil, rerr
+		}
+	}
+	if want >= 0 && sp.size != want {
+		sp.Close()
+		return nil, fmt.Errorf("%w: got %d bytes, dims imply %d", errBodySize, sp.size, want)
+	}
+	if sp.size == 0 {
+		sp.Close()
+		return nil, fmt.Errorf("%w: empty body", errBodySize)
+	}
+	return sp, nil
+}

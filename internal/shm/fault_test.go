@@ -33,7 +33,7 @@ func TestSlabPanicRetry(t *testing.T) {
 	}
 	inj := faultinject.New(faultinject.Config{
 		Seed: 11,
-		Prob: [4]float64{faultinject.KindPanic: 0.4},
+		Prob: [faultinject.NumKinds]float64{faultinject.KindPanic: 0.4},
 	})
 	res, err := Compress2D(f, tr, opts, Options{
 		Slabs: 6, Faults: inj, MaxAttempts: 8, RetryBackoff: time.Microsecond,
@@ -64,7 +64,7 @@ func TestSlabDegradationPreservesTopology(t *testing.T) {
 	inj := func() *faultinject.Injector {
 		return faultinject.New(faultinject.Config{
 			Seed: 1,
-			Prob: [4]float64{faultinject.KindPanic: 1},
+			Prob: [faultinject.NumKinds]float64{faultinject.KindPanic: 1},
 		})
 	}
 	tel := telemetry.New()
@@ -167,7 +167,7 @@ func TestSlabCorruptionDetected(t *testing.T) {
 	}
 	inj := faultinject.New(faultinject.Config{
 		Seed: 3,
-		Prob: [4]float64{faultinject.KindBitFlip: 1},
+		Prob: [faultinject.NumKinds]float64{faultinject.KindBitFlip: 1},
 		// One flip is enough to prove detection and keeps the failing
 		// slab attributable.
 		MaxFires: 1,
@@ -207,7 +207,7 @@ func TestSlabTruncationDetected(t *testing.T) {
 	}
 	inj := faultinject.New(faultinject.Config{
 		Seed:     7,
-		Prob:     [4]float64{faultinject.KindTruncate: 1},
+		Prob:     [faultinject.NumKinds]float64{faultinject.KindTruncate: 1},
 		MaxFires: 1,
 	})
 	res, err := Compress2D(f, tr, core.Options{Tau: 0.01}, Options{Slabs: 4, Faults: inj})
@@ -231,7 +231,7 @@ func TestFlightRecorderCapturesDegradation(t *testing.T) {
 	}
 	inj := faultinject.New(faultinject.Config{
 		Seed: 1,
-		Prob: [4]float64{faultinject.KindPanic: 1},
+		Prob: [faultinject.NumKinds]float64{faultinject.KindPanic: 1},
 	})
 	rec := flightrec.New(0)
 	inj.SetRecorder(rec)

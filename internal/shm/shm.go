@@ -14,6 +14,7 @@
 package shm
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -31,6 +32,13 @@ import (
 
 // Options configures a shared-memory run.
 type Options struct {
+	// Ctx, when non-nil, aborts the streaming pipeline: the cancellation
+	// is checked at slab admission (the retire-before-admit loop), so a
+	// dead request stops consuming workers as soon as its current slabs
+	// finish — no new slab is admitted, the flusher stops, and the run
+	// returns an error satisfying errors.Is against context.Canceled or
+	// context.DeadlineExceeded. nil means run to completion.
+	Ctx context.Context
 	// Workers caps the worker pool; <= 0 means runtime.GOMAXPROCS(0).
 	// Workers never influences the output bytes, only the wall time.
 	Workers int
@@ -91,6 +99,29 @@ func (o Options) retryBackoff() time.Duration {
 		return time.Millisecond
 	}
 	return o.RetryBackoff
+}
+
+// done returns the context's done channel, or nil (blocks forever in a
+// select) when no context was configured.
+func (o Options) done() <-chan struct{} {
+	if o.Ctx == nil {
+		return nil
+	}
+	return o.Ctx.Done()
+}
+
+// canceled reports whether the run's context has finished.
+func (o Options) canceled() bool {
+	return o.Ctx != nil && o.Ctx.Err() != nil
+}
+
+// ctxErr maps a finished run context into the pipeline's typed-error
+// contract: the result wraps context.Canceled or
+// context.DeadlineExceeded (or the context's recorded cause), so callers
+// distinguish an abandoned request from a genuine encode failure with
+// errors.Is instead of string matching.
+func ctxErr(name string, ctx context.Context) error {
+	return fmt.Errorf("%s: aborted at slab admission: %w", name, context.Cause(ctx))
 }
 
 // Result summarizes a shared-memory compression run.
@@ -226,6 +257,12 @@ func encodeSlab(i int, name string, po Options, span *telemetry.Span,
 	var out slabOutcome
 	var lastErr error
 	for attempt := 0; attempt < po.maxAttempts(); attempt++ {
+		// A dead request must not burn retries (or their backoff sleeps)
+		// on a slab nobody will read.
+		if po.canceled() {
+			out.err = ctxErr(name, po.Ctx)
+			return out
+		}
 		if attempt > 0 {
 			out.retries++
 			po.Rec.RecordKind(flightrec.KindRetry, name, i, attempt)

@@ -128,6 +128,7 @@ func streamRun(name string, rawBytes int64, slabs, workers int, po Options, w io
 		}
 	}
 
+	done := po.done()
 	start := time.Now()
 	var wg sync.WaitGroup
 	for wk := 0; wk < nWorkers; wk++ {
@@ -137,7 +138,23 @@ func streamRun(name string, rawBytes int64, slabs, workers int, po Options, w io
 			sc := &slabScratch{}
 			for {
 				t0 := time.Now()
-				sem <- struct{}{} // admission permit, before taking a slab
+				select {
+				case sem <- struct{}{}: // admission permit, before taking a slab
+				case <-done:
+					// The request died while this worker waited for a
+					// window slot; stop before consuming one.
+					po.Rec.Record(flightrec.Event{Kind: flightrec.KindClientGone, Subsystem: name,
+						Slab: -1, Attempt: -1, Detail: "context finished while awaiting window slot"})
+					return
+				}
+				if po.canceled() {
+					// Admitted, but the request died in the meantime: hand
+					// the slot back rather than encode for nobody.
+					<-sem
+					po.Rec.Record(flightrec.Event{Kind: flightrec.KindClientGone, Subsystem: name,
+						Slab: -1, Attempt: -1, Detail: "context finished at slab admission"})
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= slabs {
 					<-sem
@@ -178,9 +195,22 @@ func streamRun(name string, rawBytes int64, slabs, workers int, po Options, w io
 	sw := archive.NewStreamWriter(w)
 	outs := make([]slabOutcome, slabs)
 	var ferr error
+flush:
 	for i := 0; i < slabs; i++ {
 		t0 := time.Now()
-		out := <-outCh[i]
+		var out slabOutcome
+		select {
+		case out = <-outCh[i]:
+		case <-done:
+			// Abandoned mid-stream: slabs past the admitted prefix will
+			// never produce an outcome, so stop flushing. Workers exit
+			// through their own done-select; in-flight encodes finish into
+			// buffered channels and are dropped.
+			if ferr == nil {
+				ferr = ctxErr(name, po.Ctx)
+			}
+			break flush
+		}
 		if tel != nil {
 			tel.Histogram(name + ".window.flush_wait_ns").Observe(int64(time.Since(t0)))
 		}
@@ -503,6 +533,9 @@ func DecompressTo(r io.ReaderAt, size int64, po Options, sinkFor func(dims []int
 	if err != nil {
 		return nil, err
 	}
+	if po.canceled() {
+		return nil, ctxErr("shm.decompress", po.Ctx)
+	}
 	n := sr.Steps()
 	if po.MaxMemBytes > 0 && po.Window <= 0 {
 		nc := len(plan.dims)
@@ -525,6 +558,12 @@ func DecompressTo(r io.ReaderAt, size int64, po Options, sinkFor func(dims []int
 	ndim := len(plan.dims)
 	errs := make([]error, n)
 	pool.Do(workers, n, func(i int) {
+		// Cancellation check at slab admission: an abandoned decode stops
+		// before loading its next slab, with the typed context error.
+		if po.canceled() {
+			errs[i] = ctxErr("shm.decompress", po.Ctx)
+			return
+		}
 		po.Rec.Record(flightrec.Event{Kind: flightrec.KindWindowRefill, Subsystem: "shm.decompress",
 			Slab: int32(i), Attempt: -1, Detail: "slab admitted for decode"})
 		blob, err := sr.ReadBlobInto(nil, i)

@@ -1,0 +1,39 @@
+#!/bin/sh
+# loadgate.sh [cpbench load flags] — topozipd service-level gate.
+#
+# Thin wrapper over `cpbench load`: boots an in-process topozipd daemon,
+# drives a compress/decompress/verify mix at three concurrency levels
+# (under, at, and past saturation for the configured admission window),
+# and exits nonzero when the service-level floor is violated:
+#
+#   - any non-shed error at any level (5xx, hung request, bad answer)
+#   - p99 beyond the ceiling while the daemon is not oversubscribed
+#   - zero shedding at the overload level (a full queue must answer 429,
+#     never build an unbounded backlog)
+#   - an unhealthy /healthz after the run
+#
+# A second pass injects client-side network faults (slow writes,
+# mid-body disconnects, stalled uploads) and requires the daemon to come
+# out healthy; the generator's own killed requests are expected there
+# and exempt from the zero-error rule.
+#
+# Flags are passed through to `cpbench load` (see -h). CPBENCH overrides
+# how cpbench is invoked (e.g. a prebuilt binary in CI); the default
+# builds from source, so the gate needs only the go toolchain.
+#
+#	scripts/loadgate.sh
+#	scripts/loadgate.sh -out results/BENCH_pr9_load.json
+set -eu
+
+: "${CPBENCH:=go run ./cmd/cpbench}"
+
+echo "loadgate: clean load sweep"
+$CPBENCH load -gate -dims 96x96 -clients 2,8,32 -requests 48 \
+    -inflight 4 -queue 4 "$@"
+
+echo "loadgate: fault soak (slow clients, disconnects, stalls)"
+$CPBENCH load -gate -dims 96x96 -clients 8 -requests 48 \
+    -inflight 2 -queue 2 \
+    -faults "seed=7,slowclient=0.25,disconnect=0.15,stall=0.15,delayms=150"
+
+echo "loadgate: passed"
