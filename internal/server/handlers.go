@@ -13,7 +13,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
+	"net"
 	"net/http"
+	"os"
 	"strconv"
 	"strings"
 	"time"
@@ -50,6 +53,12 @@ func (w *respWriter) Write(b []byte) (int, error) {
 	}
 	return w.ResponseWriter.Write(b)
 }
+
+// Unwrap lets http.NewResponseController reach through the wrapper to
+// the real connection — without it SetReadDeadline/SetWriteDeadline in
+// requestDeadline report ErrNotSupported and the stalled-upload defense
+// is silently inert.
+func (w *respWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
 
 // instrument wraps a handler with the daemon's blast-radius controls:
 // per-request panic isolation (a panicking handler answers 500 and the
@@ -114,11 +123,26 @@ func (s *Server) requestDeadline(w http.ResponseWriter, r *http.Request) (contex
 	}
 	rc := http.NewResponseController(w)
 	// Reads stop at the compute deadline; writes get headroom beyond it
-	// to flush a response already being streamed. Both calls are no-ops
-	// on transports without deadlines (in-process tests, fuzzing).
-	_ = rc.SetReadDeadline(time.Now().Add(d))
-	_ = rc.SetWriteDeadline(time.Now().Add(d + 30*time.Second))
+	// to flush a response already being streamed. Transports without
+	// deadlines (in-process tests, fuzzing) report ErrUnsupported; any
+	// other failure means the connection deadlines are NOT armed — count
+	// it loudly rather than discard it.
+	if err := rc.SetReadDeadline(time.Now().Add(d)); err != nil && !errors.Is(err, errors.ErrUnsupported) {
+		s.deadlineArmFailed("read", err)
+	}
+	if err := rc.SetWriteDeadline(time.Now().Add(d + 30*time.Second)); err != nil && !errors.Is(err, errors.ErrUnsupported) {
+		s.deadlineArmFailed("write", err)
+	}
 	return context.WithTimeout(r.Context(), d)
+}
+
+// deadlineArmFailed records a connection whose deadline controls could
+// not be armed: the request still runs under its context deadline, but
+// a stalled body would hold its permit until the listener ReadTimeout.
+func (s *Server) deadlineArmFailed(which string, err error) {
+	s.cfg.Tel.Counter("server.deadline_arm_errors").Inc()
+	s.cfg.Rec.Record(flightrec.Event{Kind: flightrec.KindNote, Subsystem: "server",
+		Slab: -1, Attempt: -1, Detail: fmt.Sprintf("set %s deadline: %v", which, err)})
 }
 
 // admit takes an admission permit, mapping saturation to 429 +
@@ -239,13 +263,36 @@ func (s *Server) pipelineOpts(ctx context.Context) shm.Options {
 	}
 }
 
-// rawBytes is the exact body size a dims declaration implies.
-func rawBytes(dims []int) int64 {
+// rawBytes is the exact body size a dims declaration implies, erroring
+// when the product overflows int64 — absurd dims parse fine long before
+// their byte size is representable, and a wrapped-negative size would
+// silently disable the spool's exact-size check.
+func rawBytes(dims []int) (int64, error) {
 	n := int64(4) * int64(len(dims))
 	for _, d := range dims {
+		if d <= 0 || int64(d) > math.MaxInt64/n {
+			return 0, fmt.Errorf("dims %s imply a byte size beyond int64", dimsString(dims))
+		}
 		n *= int64(d)
 	}
-	return n
+	return n, nil
+}
+
+// wantBytes resolves the body size p.dims demands, rejecting — before
+// the request takes an admission permit — dims whose product overflows
+// (400) or can never fit under the body limit (413).
+func (s *Server) wantBytes(w http.ResponseWriter, p reqParams) (int64, bool) {
+	n, err := rawBytes(p.dims)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return 0, false
+	}
+	if max := s.cfg.maxBodyBytes(); n > max {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("dims imply a %d-byte body, over the %d-byte limit", n, max))
+		return 0, false
+	}
+	return n, true
 }
 
 func writeError(w http.ResponseWriter, code int, msg string) {
@@ -272,8 +319,10 @@ func lookupCodec(w http.ResponseWriter, p reqParams) (codec.Codec, bool) {
 	return c, true
 }
 
-// spoolErr answers a failed body spool: size violations are 4xx, context
-// death maps through finishCtxErr, the rest is 500.
+// spoolErr answers a failed body spool: size violations are 4xx, a
+// network timeout reading the body is the client's stall (408, counted
+// apart from server faults), context death maps through finishCtxErr,
+// and only the remainder is 500.
 func (s *Server) spoolErr(w http.ResponseWriter, name string, err error) {
 	var mbe *http.MaxBytesError
 	switch {
@@ -283,10 +332,31 @@ func (s *Server) spoolErr(w http.ResponseWriter, name string, err error) {
 	case errors.Is(err, errBodySize):
 		writeError(w, http.StatusBadRequest, err.Error())
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		// Must precede isTimeout: context.DeadlineExceeded is itself a
+		// net.Error with Timeout() true.
 		s.finishCtxErr(w, name, err)
+	case isTimeout(err):
+		// The connection read deadline armed in requestDeadline fired
+		// mid-body: a misbehaving client, not a server fault.
+		s.cfg.Tel.Counter("server.body_timeout").Inc()
+		s.cfg.Rec.Record(flightrec.Event{Kind: flightrec.KindClientGone, Subsystem: "server." + name,
+			Slab: -1, Attempt: -1, Detail: "body read timed out: " + err.Error()})
+		writeError(w, http.StatusRequestTimeout, "timed out reading request body")
 	default:
+		s.cfg.Tel.Counter("server.errors").Inc()
 		writeError(w, http.StatusInternalServerError, "spool: "+err.Error())
 	}
+}
+
+// isTimeout reports a network-deadline error (os.ErrDeadlineExceeded or
+// any net.Error with Timeout), the shape a stalled body read produces
+// once the connection deadline fires.
+func isTimeout(err error) bool {
+	if errors.Is(err, os.ErrDeadlineExceeded) {
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
 }
 
 // handleCompress streams POST body (component-major float32 raw, dims
@@ -310,13 +380,17 @@ func (s *Server) handleCompress(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	want, ok := s.wantBytes(w, p)
+	if !ok {
+		return
+	}
 	release := s.admit(ctx, w, "compress")
 	if release == nil {
 		return
 	}
 	defer release()
 
-	sp, err := s.spool(ctx, r.Body, rawBytes(p.dims))
+	sp, err := s.spool(ctx, r.Body, want)
 	if err != nil {
 		s.spoolErr(w, "compress", err)
 		return
@@ -417,7 +491,13 @@ func (s *Server) handleDecompress(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
-	total := rawBytes(dims)
+	total, err := rawBytes(dims)
+	if err != nil {
+		// The decoder itself bounds dims; reaching here is our bug.
+		s.cfg.Tel.Counter("server.errors").Inc()
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Header().Set("X-Topozipd-Dims", dimsString(dims))
 	w.Header().Set("Content-Length", strconv.FormatInt(total, 10))
@@ -464,13 +544,17 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	want, ok := s.wantBytes(w, p)
+	if !ok {
+		return
+	}
 	release := s.admit(ctx, w, "verify")
 	if release == nil {
 		return
 	}
 	defer release()
 
-	sp, err := s.spool(ctx, r.Body, rawBytes(p.dims))
+	sp, err := s.spool(ctx, r.Body, want)
 	if err != nil {
 		s.spoolErr(w, "verify", err)
 		return

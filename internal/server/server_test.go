@@ -174,6 +174,8 @@ func TestBadRequests(t *testing.T) {
 		{"body/dims mismatch", base + "/v1/compress?dims=64x64", raw, http.StatusBadRequest},
 		{"unknown format", base + "/v1/compress?dims=16x16&format=nope", raw, http.StatusBadRequest},
 		{"bad tau", base + "/v1/compress?dims=16x16&tau=-1", raw, http.StatusBadRequest},
+		{"overflowing dims", base + "/v1/compress?dims=2000000000x2000000000x2000000000", raw, http.StatusBadRequest},
+		{"dims over body limit", base + "/v1/compress?dims=20000x20000", raw, http.StatusRequestEntityTooLarge},
 		{"garbage container", base + "/v1/decompress", []byte("not an archive"), http.StatusUnprocessableEntity},
 		{"empty body", base + "/v1/decompress", nil, http.StatusBadRequest},
 	} {
@@ -245,28 +247,59 @@ func TestShedAtSaturation(t *testing.T) {
 }
 
 // A client that sends headers and then stalls its body must be cut off
-// at its deadline — 408/timeout territory — not hold a permit forever.
+// near the 300ms request deadline — answered 408 (or the connection
+// killed) and its permit released — never held until the listener
+// ReadTimeout 30+ seconds later. The elapsed-time bound is the teeth:
+// the client-side read deadline (10s) can't satisfy it.
 func TestStalledClientBody(t *testing.T) {
-	_, base := startServer(t, Config{RequestTimeout: 300 * time.Millisecond})
+	tel := telemetry.New()
+	srv, base := startServer(t, Config{RequestTimeout: 300 * time.Millisecond, Tel: tel})
 	conn, err := net.Dial("tcp", strings.TrimPrefix(base, "http://"))
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer conn.Close()
+	start := time.Now()
 	fmt.Fprintf(conn, "POST /v1/compress?dims=64x64 HTTP/1.1\r\nHost: x\r\nContent-Length: 32768\r\n\r\n")
-	// Send a token amount, then stall.
+	// Send a token amount, then stall until the server reacts.
 	conn.Write(make([]byte, 128))
-	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
-	buf := make([]byte, 4096)
-	n, err := conn.Read(buf)
-	if err != nil && n == 0 {
-		// Connection killed at the deadline: also an acceptable outcome.
-		return
+	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	reply, _ := io.ReadAll(conn)
+	elapsed := time.Since(start)
+	if elapsed > 2*time.Second {
+		t.Fatalf("stalled request held the connection %v; want cutoff near the 300ms deadline", elapsed)
 	}
-	status := string(buf[:n])
-	if !strings.Contains(status, " 50") && !strings.Contains(status, " 40") {
-		t.Fatalf("stalled client got unexpected response: %q", status)
+	if len(reply) > 0 && !strings.Contains(string(reply), " 408 ") {
+		t.Fatalf("stalled client got %q, want 408", firstLine(reply))
 	}
+	if n := tel.Counter("server.body_timeout").Value(); n != 1 {
+		t.Errorf("server.body_timeout = %d, want 1", n)
+	}
+	if n := tel.Counter("server.errors").Value(); n != 0 {
+		t.Errorf("client stall counted as server error (server.errors = %d)", n)
+	}
+	waitPermitsReleased(t, srv)
+}
+
+// waitPermitsReleased blocks until the admission gauge drains, failing
+// the test if a permit outlives its request.
+func waitPermitsReleased(t *testing.T, srv *Server) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.adm.busy() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("admission permit not released")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func firstLine(b []byte) string {
+	s := string(b)
+	if i := strings.IndexByte(s, '\r'); i >= 0 {
+		return s[:i]
+	}
+	return s
 }
 
 // A client disconnecting mid-response must release its permit promptly.
@@ -286,13 +319,7 @@ func TestClientDisconnectReleasesPermit(t *testing.T) {
 	// Kill the client as soon as the request is in flight.
 	time.Sleep(20 * time.Millisecond)
 	cancel()
-	deadline := time.Now().Add(5 * time.Second)
-	for srv.adm.busy() != 0 {
-		if time.Now().After(deadline) {
-			t.Fatal("permit not released after client disconnect")
-		}
-		time.Sleep(10 * time.Millisecond)
-	}
+	waitPermitsReleased(t, srv)
 	// And the daemon still serves.
 	resp, _ := postBytes(t, base+"/v1/compress?dims=16x16", oceanRaw(t, 16, 16))
 	if resp.StatusCode != http.StatusOK {
