@@ -33,7 +33,7 @@ test:
 # and degradation tests) and the compression kernel they drive.
 .PHONY: race
 race:
-	$(GO) test -race ./internal/telemetry/ ./internal/mpi/ ./internal/parallel/ ./internal/core/ ./internal/shm/... ./internal/faultinject/ ./internal/flightrec/ ./internal/obs/ ./internal/codec/ ./internal/server/
+	$(GO) test -race ./internal/telemetry/ ./internal/mpi/ ./internal/parallel/ ./internal/core/ ./internal/shm/... ./internal/faultinject/ ./internal/flightrec/ ./internal/obs/ ./internal/codec/ ./internal/server/ ./internal/field/ ./internal/cp/ ./internal/archive/
 
 # Fault soak: fault-injected pipeline runs plus the stream-integrity
 # tests. Every run must end in a typed error, a degradation report with

@@ -4,13 +4,15 @@
 //
 // Usage:
 //
-//	topolint [-q] [dir | ./...]
+//	topolint [-q] [-v] [-json] [dir | ./...]
 //
 // The argument names the module root (a "./..." spelling is accepted
 // for familiarity and means the module rooted at "."). Findings print
 // as file:line:col: check: message; a per-analyzer count summary always
 // follows, so a clean run documents exactly which invariants were
-// checked. Suppress an individual finding with
+// checked. -v adds per-analyzer wall time to the summary; -json emits
+// one machine-readable object (findings, counts, timings) on stdout and
+// nothing else. Suppress an individual finding with
 //
 //	//lint:ignore <check> <reason>
 //
@@ -19,6 +21,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -30,10 +33,31 @@ import (
 	"repro/internal/lint"
 )
 
+// jsonFinding is one diagnostic in -json output.
+type jsonFinding struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Column  int    `json:"column"`
+	Check   string `json:"check"`
+	Message string `json:"message"`
+}
+
+// jsonReport is the whole -json document.
+type jsonReport struct {
+	Packages   int               `json:"packages"`
+	Findings   []jsonFinding     `json:"findings"`
+	Counts     map[string]int    `json:"counts"`
+	Suppressed int               `json:"suppressed"`
+	LoadMillis int64             `json:"load_ms"`
+	Times      map[string]string `json:"analyzer_times"`
+}
+
 func main() {
 	quiet := flag.Bool("q", false, "print only the summary, not individual findings")
+	verbose := flag.Bool("v", false, "print per-analyzer wall time in the summary")
+	asJSON := flag.Bool("json", false, "emit one JSON report on stdout instead of text")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: topolint [-q] [dir | ./...]\n")
+		fmt.Fprintf(os.Stderr, "usage: topolint [-q] [-v] [-json] [dir | ./...]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -60,8 +84,17 @@ func main() {
 		fmt.Fprintf(os.Stderr, "topolint: %v\n", err)
 		os.Exit(2)
 	}
+	loaded := time.Since(start)
 	analyzers := lint.Default()
 	res := prog.Run(analyzers)
+
+	if *asJSON {
+		emitJSON(root, prog, res, loaded)
+		if len(res.Diagnostics) > 0 {
+			os.Exit(1)
+		}
+		return
+	}
 
 	if !*quiet {
 		for _, d := range res.Diagnostics {
@@ -80,18 +113,60 @@ func main() {
 	sort.Strings(names)
 	total := 0
 	for _, n := range names {
-		fmt.Printf("%-13s %4d finding(s)\n", n, res.Counts[n])
+		if *verbose {
+			fmt.Printf("%-13s %4d finding(s)  %10s\n", n, res.Counts[n], res.Times[n].Round(time.Microsecond))
+		} else {
+			fmt.Printf("%-13s %4d finding(s)\n", n, res.Counts[n])
+		}
 		total += res.Counts[n]
 	}
 	directive := len(res.Diagnostics) - total
 	if directive > 0 {
 		fmt.Printf("%-13s %4d finding(s)\n", lint.DirectiveCheck, directive)
 	}
+	if *verbose {
+		fmt.Printf("load+typecheck %s\n", loaded.Round(time.Millisecond))
+	}
 	fmt.Printf("topolint: %d package(s), %d finding(s), %d suppressed, %s\n",
 		len(prog.Pkgs), len(res.Diagnostics), res.Suppressed, time.Since(start).Round(time.Millisecond))
 
 	if len(res.Diagnostics) > 0 {
 		os.Exit(1)
+	}
+}
+
+// emitJSON writes the machine-readable report: findings in position
+// order (matching text mode), counts and timings keyed by analyzer.
+func emitJSON(root string, prog *lint.Program, res *lint.Result, loaded time.Duration) {
+	rep := jsonReport{
+		Packages:   len(prog.Pkgs),
+		Findings:   []jsonFinding{},
+		Counts:     res.Counts,
+		Suppressed: res.Suppressed,
+		LoadMillis: loaded.Milliseconds(),
+		Times:      map[string]string{},
+	}
+	abs, err := filepath.Abs(root)
+	if err != nil {
+		abs = root
+	}
+	for _, d := range res.Diagnostics {
+		rep.Findings = append(rep.Findings, jsonFinding{
+			File:    strings.TrimPrefix(d.Pos.Filename, abs+string(filepath.Separator)),
+			Line:    d.Pos.Line,
+			Column:  d.Pos.Column,
+			Check:   d.Check,
+			Message: d.Message,
+		})
+	}
+	for name, dur := range res.Times {
+		rep.Times[name] = dur.Round(time.Microsecond).String()
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintf(os.Stderr, "topolint: %v\n", err)
+		os.Exit(2)
 	}
 }
 

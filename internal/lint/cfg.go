@@ -1,0 +1,352 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Control-flow graphs for the dataflow analyzers (floatflow, ctxflow,
+// lockheld, permitbalance). One cfg covers one function body — a
+// *ast.FuncDecl or a *ast.FuncLit; nested literals get their own graphs
+// (see funcCFGs). Blocks hold a straight-line sequence of ast.Nodes:
+// simple statements appear whole, while control statements contribute
+// only the expressions they themselves evaluate (an if's Cond, a
+// switch's Tag, a select case's comm statement), so a transfer function
+// never sees a nested statement twice.
+//
+// Supported control flow: if/else, for, range, switch, type switch,
+// select, labeled break/continue, fallthrough, and explicit panic calls
+// (which terminate their block). A goto edges to its label's block when
+// the label is known and conservatively to the function exit otherwise;
+// the repository has no gotos, so the conservative arm is a safety net,
+// not a precision claim.
+type cfg struct {
+	fn     ast.Node // *ast.FuncDecl or *ast.FuncLit
+	entry  *block
+	exit   *block // synthetic; every return and fall-off-end edges here
+	blocks []*block
+	// defers lists every defer statement in the body, in source order.
+	// Deferred work runs on all exits (panics included), so release
+	// checks consult this list rather than the path-sensitive facts.
+	defers []*ast.DeferStmt
+}
+
+// block is one basic block.
+type block struct {
+	nodes []ast.Node
+	succs []*block
+	// cond, when non-nil, is the guard that picked the successor:
+	// succs[0] is the true edge and succs[1] the false edge, letting the
+	// engine refine facts per branch (nil-check and error-check idioms).
+	cond ast.Expr
+	// panics marks a block terminated by an explicit panic(...) call.
+	panics bool
+}
+
+func (b *block) edge(to *block) { b.succs = append(b.succs, to) }
+
+type cfgBuilder struct {
+	c *cfg
+	// labels maps a label name to the break/continue targets of the
+	// loop or switch it names.
+	labels map[string]*labelTarget
+	// marks maps label names to the block a goto lands on.
+	marks map[string]*block
+	// gotos are unresolved forward gotos, patched at the end.
+	gotos []gotoPatch
+	// pendingLabel is consumed by the next loop/switch/select built.
+	pendingLabel string
+	// fallTarget is the next case body during switch construction.
+	fallTarget *block
+}
+
+type labelTarget struct{ brk, cont *block }
+
+type gotoPatch struct {
+	from  *block
+	label string
+}
+
+// buildCFG constructs the graph for one function body.
+func buildCFG(fn ast.Node, body *ast.BlockStmt) *cfg {
+	c := &cfg{fn: fn}
+	b := &cfgBuilder{c: c, labels: map[string]*labelTarget{}, marks: map[string]*block{}}
+	c.exit = b.newBlock()
+	c.entry = b.newBlock()
+	end := b.build(body.List, c.entry, nil, nil)
+	end.edge(c.exit)
+	for _, g := range b.gotos {
+		if t := b.marks[g.label]; t != nil {
+			g.from.edge(t)
+		} else {
+			g.from.edge(c.exit)
+		}
+	}
+	return c
+}
+
+func (b *cfgBuilder) newBlock() *block {
+	blk := &block{}
+	b.c.blocks = append(b.c.blocks, blk)
+	return blk
+}
+
+// build threads the statement list through cur and returns the block
+// control falls out of. A terminated path returns a fresh block with no
+// incoming edges, so dead code never contaminates live facts.
+func (b *cfgBuilder) build(stmts []ast.Stmt, cur *block, brk, cont *block) *block {
+	for _, s := range stmts {
+		cur = b.stmt(s, cur, brk, cont)
+	}
+	return cur
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt, cur *block, brk, cont *block) *block {
+	label := b.pendingLabel
+	b.pendingLabel = ""
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return b.build(s.List, cur, brk, cont)
+
+	case *ast.LabeledStmt:
+		nb := b.newBlock()
+		cur.edge(nb)
+		b.marks[s.Label.Name] = nb
+		b.pendingLabel = s.Label.Name
+		return b.stmt(s.Stmt, nb, brk, cont)
+
+	case *ast.ReturnStmt:
+		cur.nodes = append(cur.nodes, s)
+		cur.edge(b.c.exit)
+		return b.newBlock()
+
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.BREAK:
+			t := brk
+			if s.Label != nil {
+				if lt := b.labels[s.Label.Name]; lt != nil {
+					t = lt.brk
+				}
+			}
+			if t == nil {
+				t = b.c.exit
+			}
+			cur.edge(t)
+		case token.CONTINUE:
+			t := cont
+			if s.Label != nil {
+				if lt := b.labels[s.Label.Name]; lt != nil {
+					t = lt.cont
+				}
+			}
+			if t == nil {
+				t = b.c.exit
+			}
+			cur.edge(t)
+		case token.GOTO:
+			b.gotos = append(b.gotos, gotoPatch{from: cur, label: s.Label.Name})
+		case token.FALLTHROUGH:
+			if b.fallTarget != nil {
+				cur.edge(b.fallTarget)
+			}
+		}
+		return b.newBlock()
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			cur = b.stmt(s.Init, cur, brk, cont)
+		}
+		cur.nodes = append(cur.nodes, s.Cond)
+		cur.cond = s.Cond
+		then := b.newBlock()
+		cur.edge(then)
+		tEnd := b.build(s.Body.List, then, brk, cont)
+		join := b.newBlock()
+		tEnd.edge(join)
+		if s.Else != nil {
+			els := b.newBlock()
+			cur.edge(els)
+			eEnd := b.stmt(s.Else, els, brk, cont)
+			eEnd.edge(join)
+		} else {
+			cur.edge(join)
+		}
+		return join
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			cur = b.stmt(s.Init, cur, brk, cont)
+		}
+		head := b.newBlock()
+		cur.edge(head)
+		join := b.newBlock()
+		post := b.newBlock()
+		if label != "" {
+			b.labels[label] = &labelTarget{brk: join, cont: post}
+		}
+		body := b.newBlock()
+		if s.Cond != nil {
+			head.nodes = append(head.nodes, s.Cond)
+			head.cond = s.Cond
+			head.edge(body)
+			head.edge(join)
+		} else {
+			head.edge(body)
+		}
+		bEnd := b.build(s.Body.List, body, join, post)
+		bEnd.edge(post)
+		pEnd := post
+		if s.Post != nil {
+			pEnd = b.stmt(s.Post, post, nil, nil)
+		}
+		pEnd.edge(head)
+		return join
+
+	case *ast.RangeStmt:
+		// The range header evaluates X once, then assigns Key/Value each
+		// iteration; the whole statement is the transferable node.
+		head := b.newBlock()
+		cur.edge(head)
+		head.nodes = append(head.nodes, s)
+		join := b.newBlock()
+		post := b.newBlock()
+		if label != "" {
+			b.labels[label] = &labelTarget{brk: join, cont: post}
+		}
+		body := b.newBlock()
+		head.edge(body)
+		head.edge(join)
+		bEnd := b.build(s.Body.List, body, join, post)
+		bEnd.edge(post)
+		post.edge(head)
+		return join
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			cur = b.stmt(s.Init, cur, brk, cont)
+		}
+		if s.Tag != nil {
+			cur.nodes = append(cur.nodes, s.Tag)
+		}
+		return b.switchBody(s.Body, cur, label, cont, func(cc *ast.CaseClause, blk *block) {
+			for _, e := range cc.List {
+				blk.nodes = append(blk.nodes, e)
+			}
+		})
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			cur = b.stmt(s.Init, cur, brk, cont)
+		}
+		cur.nodes = append(cur.nodes, s.Assign)
+		return b.switchBody(s.Body, cur, label, cont, func(cc *ast.CaseClause, blk *block) {})
+
+	case *ast.SelectStmt:
+		// The select itself lands in the entry block so analyzers can
+		// classify it (default present? deadline case?) without
+		// recursing; each case's comm statement heads its body block.
+		cur.nodes = append(cur.nodes, s)
+		join := b.newBlock()
+		if label != "" {
+			b.labels[label] = &labelTarget{brk: join}
+		}
+		for _, cl := range s.Body.List {
+			cc, ok := cl.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			blk := b.newBlock()
+			cur.edge(blk)
+			if cc.Comm != nil {
+				blk.nodes = append(blk.nodes, cc.Comm)
+			}
+			end := b.build(cc.Body, blk, join, cont)
+			end.edge(join)
+		}
+		if len(s.Body.List) == 0 {
+			cur.edge(join)
+		}
+		return join
+
+	case *ast.DeferStmt:
+		b.c.defers = append(b.c.defers, s)
+		cur.nodes = append(cur.nodes, s)
+		return cur
+
+	case *ast.ExprStmt:
+		cur.nodes = append(cur.nodes, s)
+		if call, ok := unparen(s.X).(*ast.CallExpr); ok {
+			if id, ok := unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				cur.panics = true
+				return b.newBlock()
+			}
+		}
+		return cur
+
+	case *ast.EmptyStmt:
+		return cur
+
+	default:
+		// Assign, Decl, Send, IncDec, Go: straight-line.
+		cur.nodes = append(cur.nodes, s)
+		return cur
+	}
+}
+
+// switchBody wires the shared case/fallthrough/default structure of
+// value and type switches.
+func (b *cfgBuilder) switchBody(body *ast.BlockStmt, cur *block, label string, cont *block, guards func(*ast.CaseClause, *block)) *block {
+	join := b.newBlock()
+	if label != "" {
+		b.labels[label] = &labelTarget{brk: join}
+	}
+	var clauses []*ast.CaseClause
+	for _, cl := range body.List {
+		if cc, ok := cl.(*ast.CaseClause); ok {
+			clauses = append(clauses, cc)
+		}
+	}
+	blocks := make([]*block, len(clauses))
+	hasDefault := false
+	for i, cc := range clauses {
+		blocks[i] = b.newBlock()
+		cur.edge(blocks[i])
+		if cc.List == nil {
+			hasDefault = true
+		}
+	}
+	if !hasDefault {
+		cur.edge(join)
+	}
+	savedFall := b.fallTarget
+	for i, cc := range clauses {
+		guards(cc, blocks[i])
+		if i+1 < len(blocks) {
+			b.fallTarget = blocks[i+1]
+		} else {
+			b.fallTarget = nil
+		}
+		end := b.build(cc.Body, blocks[i], join, cont)
+		end.edge(join)
+	}
+	b.fallTarget = savedFall
+	return join
+}
+
+// funcCFGs builds the graph for fd's body plus one graph per nested
+// function literal (each analyzed with its own empty entry facts; see
+// DESIGN.md for the captured-variable approximation).
+func funcCFGs(fd *ast.FuncDecl) []*cfg {
+	if fd.Body == nil {
+		return nil
+	}
+	out := []*cfg{buildCFG(fd, fd.Body)}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			out = append(out, buildCFG(lit, lit.Body))
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,572 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// CtxFlowConfig scopes the ctxflow analyzer.
+type CtxFlowConfig struct {
+	// ScopedPackages are the request/slab paths where every blocking
+	// operation must sit under a deadline.
+	ScopedPackages []string
+}
+
+var defaultCtxFlow = &CtxFlowConfig{
+	ScopedPackages: []string{"internal/server", "internal/shm"},
+}
+
+// CtxFlow enforces the PR 9 lesson (the inert-deadline bug): on a
+// request or slab path, every function that can block — channel send or
+// receive, select without default, time.Sleep, sync.WaitGroup.Wait,
+// ranging over a channel — must either receive a context (directly or
+// inside an options struct) and check it, or be a helper whose every
+// caller does. A select is deadline-gated when it has a default case or
+// a case receiving from a cancellation channel (ctx.Done(), a variable
+// holding one, time.After, a Timer/Ticker C).
+//
+// time.Sleep is banned outright in scoped packages: a sleep cannot
+// observe cancellation, so a dead request burns its full duration —
+// use a timer in a select with the done channel.
+func CtxFlow(cfg *CtxFlowConfig) *Analyzer {
+	if cfg == nil {
+		cfg = defaultCtxFlow
+	}
+	return &Analyzer{
+		Name: "ctxflow",
+		Doc:  "every blocking operation on a request/slab path sits under a checked context",
+		Run:  func(prog *Program) []Diagnostic { return runCtxFlow(prog, cfg) },
+	}
+}
+
+// blockKind classifies one potentially blocking operation.
+type blockKind int
+
+const (
+	blockNone blockKind = iota
+	blockSend
+	blockRecv
+	blockSelect
+	blockSleep
+	blockWait
+	blockRangeChan
+)
+
+func (k blockKind) String() string {
+	switch k {
+	case blockSend:
+		return "channel send"
+	case blockRecv:
+		return "channel receive"
+	case blockSelect:
+		return "select without default or done case"
+	case blockSleep:
+		return "time.Sleep"
+	case blockWait:
+		return "Wait"
+	case blockRangeChan:
+		return "range over channel"
+	}
+	return "op"
+}
+
+// blockOp is one blocking operation found in a function body.
+type blockOp struct {
+	pos   token.Pos
+	kind  blockKind
+	gated bool // inside a select with a default or a done/deadline case
+}
+
+// ctxFacts is the per-function interprocedural state.
+type ctxFacts struct {
+	hasCtx      bool
+	checksCtx   bool
+	returnsDone bool
+	ops         []blockOp
+	unsafe      bool
+}
+
+func runCtxFlow(prog *Program, cfg *CtxFlowConfig) []Diagnostic {
+	g := prog.CallGraph()
+	facts := map[*types.Func]*ctxFacts{}
+
+	// Local pass: signature shape, direct ctx checks, done-channel
+	// returns, and the blocking ops with their select gating.
+	for fn, fd := range g.decls {
+		if fd.Decl.Body == nil {
+			facts[fn] = &ctxFacts{}
+			continue
+		}
+		f := &ctxFacts{hasCtx: funcHasCtx(fn)}
+		done := doneChanVars(fd.Pkg, fd.Decl, nil)
+		f.checksCtx = checksCtxLocal(fd.Pkg, fd.Decl)
+		f.returnsDone = returnsDoneLocal(fd.Pkg, fd.Decl, done)
+		f.ops = blockingOps(fd.Pkg, fd.Decl, done)
+		facts[fn] = f
+	}
+
+	// Transitive closure, bottom-up: a caller of a ctx-checking helper
+	// checks ctx; a function returning a helper's done channel returns a
+	// done channel. Iterate SCCs to their fixpoint.
+	sccs := g.SCCs()
+	for _, comp := range sccs {
+		for changed := true; changed; {
+			changed = false
+			for _, fn := range comp {
+				f := facts[fn]
+				if f == nil {
+					continue
+				}
+				for _, callee := range g.callees[fn] {
+					cf := facts[callee]
+					if cf == nil {
+						continue
+					}
+					if cf.checksCtx && !f.checksCtx {
+						f.checksCtx = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	// Done-channel returns feed the select gating, which feeds the op
+	// list; recompute ops once with the full done-returning set.
+	doneFns := map[*types.Func]bool{}
+	for fn, f := range facts {
+		if f.returnsDone {
+			doneFns[fn] = true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for fn := range g.decls {
+			if doneFns[fn] {
+				continue
+			}
+			fd := g.decls[fn]
+			if fd.Decl.Body == nil {
+				continue
+			}
+			done := doneChanVars(fd.Pkg, fd.Decl, doneFns)
+			if returnsDoneLocal(fd.Pkg, fd.Decl, done) {
+				doneFns[fn] = true
+				changed = true
+			}
+		}
+	}
+	for fn, fd := range g.decls {
+		if fd.Decl.Body == nil {
+			continue
+		}
+		done := doneChanVars(fd.Pkg, fd.Decl, doneFns)
+		facts[fn].ops = blockingOps(fd.Pkg, fd.Decl, done)
+	}
+
+	// Safety fixpoint: unsafe = blocks (directly ungated, or through an
+	// unsafe callee) and neither receives nor checks a context.
+	for _, comp := range sccs {
+		for changed := true; changed; {
+			changed = false
+			for _, fn := range comp {
+				f := facts[fn]
+				if f == nil || f.unsafe {
+					continue
+				}
+				covered := f.hasCtx && f.checksCtx
+				if covered {
+					continue
+				}
+				blocks := false
+				for _, op := range f.ops {
+					if !op.gated && op.kind != blockSleep {
+						blocks = true
+					}
+				}
+				if !blocks {
+					for _, callee := range g.callees[fn] {
+						if cf := facts[callee]; cf != nil && cf.unsafe {
+							blocks = true
+							break
+						}
+					}
+				}
+				if blocks {
+					f.unsafe = true
+					changed = true
+				}
+			}
+		}
+	}
+
+	callers := g.callers()
+	var diags []Diagnostic
+	fns := make([]*types.Func, 0, len(g.decls))
+	for fn := range g.decls {
+		fns = append(fns, fn)
+	}
+	sort.Slice(fns, func(i, j int) bool { return fns[i].FullName() < fns[j].FullName() })
+
+	for _, fn := range fns {
+		fd := g.decls[fn]
+		if fd == nil || !pathMatch(fd.Pkg.Path, cfg.ScopedPackages) {
+			continue
+		}
+		f := facts[fn]
+		covered := f.hasCtx && f.checksCtx
+		// Helper excused when every caller holds and checks a context.
+		excused := false
+		if cs := callers[fn]; len(cs) > 0 {
+			excused = true
+			for _, c := range cs {
+				cf := facts[c]
+				if cf == nil || !(cf.hasCtx && cf.checksCtx) {
+					excused = false
+					break
+				}
+			}
+		}
+		directUngated := false
+		for _, op := range f.ops {
+			switch {
+			case op.kind == blockSleep:
+				diags = append(diags, Diagnostic{
+					Pos:     prog.Fset.Position(op.pos),
+					Check:   "ctxflow",
+					Message: "time.Sleep on a request/slab path cannot observe cancellation; use a timer in a select with the done channel",
+				})
+			case !op.gated && !covered && !excused:
+				directUngated = true
+				diags = append(diags, Diagnostic{
+					Pos:     prog.Fset.Position(op.pos),
+					Check:   "ctxflow",
+					Message: fmt.Sprintf("blocking %s in %s, which neither receives nor checks a context; thread a context.Context (or gate the operation on its done channel)", op.kind, fn.Name()),
+				})
+			case !op.gated && !covered && excused:
+				directUngated = true // reported nowhere: callers carry the deadline
+			}
+		}
+		// Entry points that block only through an unsafe callee.
+		if f.unsafe && !directUngated && !covered && !excused && ast.IsExported(fn.Name()) {
+			via := ""
+			for _, callee := range g.callees[fn] {
+				if cf := facts[callee]; cf != nil && cf.unsafe {
+					via = callee.Name()
+					break
+				}
+			}
+			diags = append(diags, Diagnostic{
+				Pos:     prog.Fset.Position(fd.Decl.Name.Pos()),
+				Check:   "ctxflow",
+				Message: fmt.Sprintf("%s blocks (via %s) without receiving or checking a context; the deadline cannot reach its blocking points", fn.Name(), via),
+			})
+		}
+	}
+	return diags
+}
+
+// funcHasCtx reports whether the signature carries a context: a
+// context.Context parameter or receiver, directly or as a field of a
+// (possibly pointed-to) struct parameter.
+func funcHasCtx(fn *types.Func) bool {
+	for _, p := range paramObjs(fn) {
+		if typeCarriesCtx(p.Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+func typeCarriesCtx(t types.Type) bool {
+	if isCtxType(t) {
+		return true
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if st, ok := t.Underlying().(*types.Struct); ok {
+		for i := 0; i < st.NumFields(); i++ {
+			if isCtxType(st.Field(i).Type()) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func isCtxType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// checksCtxLocal reports whether the body (function literals included)
+// calls Done, Err, or Deadline on a context.
+func checksCtxLocal(pkg *Package, fd *ast.FuncDecl) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if isCtxMethodCall(pkg, call, "Done") || isCtxMethodCall(pkg, call, "Err") || isCtxMethodCall(pkg, call, "Deadline") {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func isCtxMethodCall(pkg *Package, call *ast.CallExpr, name string) bool {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	tv, ok := pkg.Info.Types[sel.X]
+	return ok && isCtxType(tv.Type)
+}
+
+// doneChanVars collects the variables holding a cancellation channel:
+// assigned from ctx.Done() or from a module function summarized as
+// returning one.
+func doneChanVars(pkg *Package, fd *ast.FuncDecl, doneFns map[*types.Func]bool) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	isDoneSource := func(e ast.Expr) bool {
+		call, ok := unparen(e).(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		if isCtxMethodCall(pkg, call, "Done") {
+			return true
+		}
+		if doneFns != nil {
+			if callee := calleeOf(pkg, call); callee != nil && doneFns[callee] {
+				return true
+			}
+		}
+		return false
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, r := range as.Rhs {
+			if !isDoneSource(r) || i >= len(as.Lhs) {
+				continue
+			}
+			if id, ok := as.Lhs[i].(*ast.Ident); ok {
+				if obj := identObj(pkg, id); obj != nil {
+					out[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// returnsDoneLocal reports whether some return hands back a done
+// channel.
+func returnsDoneLocal(pkg *Package, fd *ast.FuncDecl, done map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, r := range ret.Results {
+			switch r := unparen(r).(type) {
+			case *ast.CallExpr:
+				if isCtxMethodCall(pkg, r, "Done") {
+					found = true
+				}
+			case *ast.Ident:
+				if obj := identObj(pkg, r); obj != nil && done[obj] {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isDeadlineChan reports whether a receive from e bounds a wait:
+// ctx.Done(), a done-channel variable, time.After, or a Timer/Ticker C.
+func isDeadlineChan(pkg *Package, e ast.Expr, done map[types.Object]bool) bool {
+	switch e := unparen(e).(type) {
+	case *ast.CallExpr:
+		if isCtxMethodCall(pkg, e, "Done") {
+			return true
+		}
+		if callee := calleeOf(pkg, e); callee != nil && callee.Pkg() != nil &&
+			callee.Pkg().Path() == "time" && callee.Name() == "After" {
+			return true
+		}
+	case *ast.Ident:
+		if obj := identObj(pkg, e); obj != nil && done[obj] {
+			return true
+		}
+	case *ast.SelectorExpr:
+		if e.Sel.Name == "C" {
+			if tv, ok := pkg.Info.Types[e.X]; ok {
+				t := tv.Type
+				if p, ok := t.Underlying().(*types.Pointer); ok {
+					t = p.Elem()
+				}
+				if named, ok := t.(*types.Named); ok && named.Obj().Pkg() != nil &&
+					named.Obj().Pkg().Path() == "time" {
+					name := named.Obj().Name()
+					if name == "Timer" || name == "Ticker" {
+						return true
+					}
+				}
+			}
+		}
+	}
+	return false
+}
+
+// recvChan extracts the channel expression of a receive operation
+// inside a comm clause statement, nil when s is a send.
+func recvChan(s ast.Stmt) ast.Expr {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if u, ok := unparen(s.X).(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+			return u.X
+		}
+	case *ast.AssignStmt:
+		if len(s.Rhs) == 1 {
+			if u, ok := unparen(s.Rhs[0]).(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+				return u.X
+			}
+		}
+	}
+	return nil
+}
+
+// selectGated reports whether a select cannot block indefinitely: it
+// has a default case or a case receiving from a deadline channel.
+func selectGated(pkg *Package, sel *ast.SelectStmt, done map[types.Object]bool) bool {
+	for _, cl := range sel.Body.List {
+		cc, ok := cl.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		if cc.Comm == nil {
+			return true // default case
+		}
+		if ch := recvChan(cc.Comm); ch != nil && isDeadlineChan(pkg, ch, done) {
+			return true
+		}
+	}
+	return false
+}
+
+// blockingOps scans a function body (literals included; they run on the
+// function's behalf) for potentially blocking operations.
+func blockingOps(pkg *Package, fd *ast.FuncDecl, done map[types.Object]bool) []blockOp {
+	var ops []blockOp
+	// Comm statements belong to their select; gate them with it.
+	commOf := map[ast.Node]*ast.SelectStmt{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectStmt); ok {
+			for _, cl := range sel.Body.List {
+				if cc, ok := cl.(*ast.CommClause); ok && cc.Comm != nil {
+					commOf[cc.Comm] = sel
+					// Receives nested in the comm statement too.
+					ast.Inspect(cc.Comm, func(m ast.Node) bool {
+						if u, ok := m.(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+							commOf[u] = sel
+						}
+						return true
+					})
+				}
+			}
+		}
+		return true
+	})
+	gateOf := func(n ast.Node) (bool, bool) { // (inSelect, gated)
+		if sel, ok := commOf[n]; ok {
+			return true, selectGated(pkg, sel, done)
+		}
+		return false, false
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			_, gated := gateOf(n)
+			ops = append(ops, blockOp{pos: n.Arrow, kind: blockSend, gated: gated})
+		case *ast.UnaryExpr:
+			if n.Op != token.ARROW {
+				return true
+			}
+			if _, isComm := commOf[n]; !isComm {
+				// A bare receive outside any select. Receiving from a
+				// deadline channel is itself the ctx check pattern
+				// (<-ctx.Done() to park until cancel) — not a finding.
+				if isDeadlineChan(pkg, n.X, done) {
+					return true
+				}
+				ops = append(ops, blockOp{pos: n.Pos(), kind: blockRecv})
+			} else {
+				_, gated := gateOf(n)
+				ops = append(ops, blockOp{pos: n.Pos(), kind: blockRecv, gated: gated})
+			}
+		case *ast.SelectStmt:
+			if !selectGated(pkg, n, done) {
+				ops = append(ops, blockOp{pos: n.Select, kind: blockSelect})
+			}
+		case *ast.RangeStmt:
+			if tv, ok := pkg.Info.Types[n.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					ops = append(ops, blockOp{pos: n.For, kind: blockRangeChan})
+				}
+			}
+		case *ast.CallExpr:
+			if isTimeSleep(pkg, n) {
+				ops = append(ops, blockOp{pos: n.Pos(), kind: blockSleep})
+			}
+			if isWaitCall(pkg, n) {
+				ops = append(ops, blockOp{pos: n.Pos(), kind: blockWait})
+			}
+		}
+		return true
+	})
+	return ops
+}
+
+func isTimeSleep(pkg *Package, call *ast.CallExpr) bool {
+	callee := calleeOf(pkg, call)
+	return callee != nil && callee.Pkg() != nil &&
+		callee.Pkg().Path() == "time" && callee.Name() == "Sleep"
+}
+
+// isWaitCall matches sync.WaitGroup.Wait and sync.Cond.Wait.
+func isWaitCall(pkg *Package, call *ast.CallExpr) bool {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Wait" {
+		return false
+	}
+	s, ok := pkg.Info.Selections[sel]
+	if !ok {
+		return false
+	}
+	named, ok := derefType(s.Recv()).(*types.Named)
+	if !ok || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != "sync" {
+		return false
+	}
+	return named.Obj().Name() == "WaitGroup" || named.Obj().Name() == "Cond"
+}

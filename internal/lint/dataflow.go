@@ -1,0 +1,256 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// Forward dataflow over a cfg. Facts are per-key abstract values: a key
+// is whatever the analyzer tracks (a types.Object for a variable or
+// mutex, an ast.Node for an acquire site) and the value is a small
+// bitmask or enum joined pointwise. An absent key is bottom (0), so the
+// empty map is the bottom fact and joins stay sparse.
+//
+// The fixpoint is branch-insensitive except for the optional refine
+// hook, which lets an analyzer narrow facts along the two edges of a
+// guard (the `if err != nil` and `if release == nil` idioms). Joins are
+// monotone over finite masks, so the worklist terminates; a generous
+// iteration cap guards against a non-monotone transfer bug in an
+// analyzer rather than looping forever.
+
+// flowFact is one program point's facts.
+type flowFact map[any]uint64
+
+func (f flowFact) clone() flowFact {
+	g := make(flowFact, len(f))
+	for k, v := range f {
+		g[k] = v
+	}
+	return g
+}
+
+// flowSpec configures one dataflow run.
+type flowSpec struct {
+	// join combines two abstract values for the same key (monotone,
+	// commutative; join(x, 0) must be x for sparseness to be sound).
+	join func(a, b uint64) uint64
+	// transfer applies one node's effect to the fact in place.
+	transfer func(f flowFact, n ast.Node)
+	// refine, optional, narrows the fact along a conditional edge:
+	// branch is true on the taken (then) edge.
+	refine func(f flowFact, cond ast.Expr, branch bool)
+	// visit, optional, runs after the fixpoint: it sees the stable fact
+	// holding immediately before each node, in source order.
+	visit func(f flowFact, n ast.Node)
+}
+
+// run computes the fixpoint and returns the fact at the synthetic exit
+// block (the join over every return and fall-off-end path).
+func (c *cfg) run(spec *flowSpec, entry flowFact) flowFact {
+	in := map[*block]flowFact{c.entry: entry}
+	preds := map[*block][]*block{}
+	for _, b := range c.blocks {
+		for _, s := range b.succs {
+			preds[s] = append(preds[s], b)
+		}
+	}
+
+	apply := func(b *block, f flowFact) flowFact {
+		for _, n := range b.nodes {
+			spec.transfer(f, n)
+		}
+		return f
+	}
+
+	// joinInto merges src into dst[b], reporting whether dst[b] grew.
+	joinInto := func(b *block, src flowFact) bool {
+		cur, ok := in[b]
+		if !ok {
+			in[b] = src.clone()
+			return true
+		}
+		changed := false
+		for k, v := range src {
+			j := spec.join(cur[k], v)
+			if j != cur[k] {
+				cur[k] = j
+				changed = true
+			}
+		}
+		return changed
+	}
+
+	work := []*block{c.entry}
+	queued := map[*block]bool{c.entry: true}
+	steps, limit := 0, 64*(len(c.blocks)+4)
+	for len(work) > 0 && steps < limit {
+		steps++
+		b := work[0]
+		work = work[1:]
+		queued[b] = false
+		f, ok := in[b]
+		if !ok {
+			continue
+		}
+		out := apply(b, f.clone())
+		for i, s := range b.succs {
+			edge := out
+			if spec.refine != nil && b.cond != nil && i < 2 {
+				edge = out.clone()
+				spec.refine(edge, b.cond, i == 0)
+			}
+			if joinInto(s, edge) && !queued[s] {
+				queued[s] = true
+				work = append(work, s)
+			}
+		}
+	}
+
+	if spec.visit != nil {
+		// Deterministic final pass: reachable blocks in construction
+		// order, threading the stable entry fact through each node.
+		for _, b := range c.blocks {
+			f, ok := in[b]
+			if !ok {
+				continue
+			}
+			g := f.clone()
+			for _, n := range b.nodes {
+				spec.visit(g, n)
+				spec.transfer(g, n)
+			}
+		}
+	}
+
+	if f, ok := in[c.exit]; ok {
+		return f
+	}
+	return flowFact{}
+}
+
+// SCCs returns the call graph's strongly connected components in
+// bottom-up (callee-before-caller) order, so interprocedural summaries
+// computed left to right see every callee's summary before any caller's
+// — mutual recursion lands in one component iterated to its own small
+// fixpoint. The order is deterministic: Tarjan seeded by FullName.
+func (g *callGraph) SCCs() [][]*types.Func {
+	fns := make([]*types.Func, 0, len(g.decls))
+	for fn := range g.decls {
+		fns = append(fns, fn)
+	}
+	sort.Slice(fns, func(i, j int) bool { return fns[i].FullName() < fns[j].FullName() })
+
+	index := map[*types.Func]int{}
+	low := map[*types.Func]int{}
+	onStack := map[*types.Func]bool{}
+	var stack []*types.Func
+	var sccs [][]*types.Func
+	next := 0
+
+	var strongconnect func(v *types.Func)
+	strongconnect = func(v *types.Func) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range g.callees[v] {
+			if _, ok := g.decls[w]; !ok {
+				continue
+			}
+			if _, seen := index[w]; !seen {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var comp []*types.Func
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp = append(comp, w)
+				if w == v {
+					break
+				}
+			}
+			sort.Slice(comp, func(i, j int) bool { return comp[i].FullName() < comp[j].FullName() })
+			sccs = append(sccs, comp)
+		}
+	}
+	for _, fn := range fns {
+		if _, seen := index[fn]; !seen {
+			strongconnect(fn)
+		}
+	}
+	return sccs
+}
+
+// callers inverts the call graph (declared functions only).
+func (g *callGraph) callers() map[*types.Func][]*types.Func {
+	inv := map[*types.Func][]*types.Func{}
+	for fn, cs := range g.callees {
+		for _, c := range cs {
+			inv[c] = append(inv[c], fn)
+		}
+	}
+	return inv
+}
+
+// calleeOf resolves the declared module function a call expression
+// invokes, nil for stdlib calls, function values, and builtins.
+func calleeOf(pkg *Package, call *ast.CallExpr) *types.Func {
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := pkg.Info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := pkg.Info.Selections[fun]; ok {
+			if fn, ok := sel.Obj().(*types.Func); ok {
+				return fn
+			}
+			return nil
+		}
+		if fn, ok := pkg.Info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// inspectShallow walks n's expressions without descending into nested
+// function literals, whose statements belong to their own cfg.
+func inspectShallow(n ast.Node, visit func(ast.Node) bool) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if m == nil {
+			return false
+		}
+		if _, ok := m.(*ast.FuncLit); ok {
+			return false
+		}
+		return visit(m)
+	})
+}
+
+// inspectCFGNode walks the expressions one cfg node evaluates itself.
+// Select and range headers sit in a block while their bodies got their
+// own blocks, so descending into them would double-count; go statements
+// hand their work to another goroutine.
+func inspectCFGNode(n ast.Node, visit func(ast.Node) bool) {
+	switch n := n.(type) {
+	case *ast.SelectStmt:
+		return // classifier marker; comm statements head their own blocks
+	case *ast.RangeStmt:
+		inspectShallow(n.X, visit)
+		return
+	case *ast.GoStmt:
+		return
+	}
+	inspectShallow(n, visit)
+}

@@ -1,0 +1,267 @@
+package lint
+
+import (
+	"go/ast"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestFlowJoinFixpoint drives the worklist over a hand-built graph with
+// a branch and a loop: facts must join across the diamond, reach the
+// loop fixpoint without oscillating, and honor per-edge refinement.
+func TestFlowJoinFixpoint(t *testing.T) {
+	// entry --(cond)--> left(x|=1) --> head <--> body(x|=2) ; head --> exit
+	//       \--(else)-> right(x|=4) --^
+	node := func(name string) ast.Node { return &ast.Ident{Name: name} }
+	cond := &ast.Ident{Name: "cond"}
+
+	entry := &block{cond: cond}
+	left := &block{nodes: []ast.Node{node("one")}}
+	right := &block{nodes: []ast.Node{node("four")}}
+	head := &block{}
+	body := &block{nodes: []ast.Node{node("two")}}
+	exit := &block{}
+
+	entry.succs = []*block{left, right} // succs[0] = true edge
+	left.succs = []*block{head}
+	right.succs = []*block{head}
+	head.succs = []*block{body, exit}
+	body.succs = []*block{head}
+
+	c := &cfg{entry: entry, exit: exit, blocks: []*block{entry, left, right, head, body, exit}}
+
+	var refined []bool
+	spec := &flowSpec{
+		join: func(a, b uint64) uint64 { return a | b },
+		transfer: func(f flowFact, n ast.Node) {
+			switch n.(*ast.Ident).Name {
+			case "one":
+				f["x"] |= 1
+			case "two":
+				f["x"] |= 2
+			case "four":
+				f["x"] |= 4
+			}
+		},
+		refine: func(f flowFact, cond ast.Expr, branch bool) {
+			refined = append(refined, branch)
+			if branch {
+				f["seenTrueEdge"] = 8
+			}
+		},
+	}
+	got := c.run(spec, flowFact{"x": 16})
+
+	// Both branch bits, the loop bit, and the entry bit must all join at
+	// the exit.
+	if got["x"] != 1|2|4|16 {
+		t.Errorf("exit fact x = %d, want %d", got["x"], 1|2|4|16)
+	}
+	// The refinement applied on the true edge flows through left->head;
+	// the false edge (right) must not carry it... but head joins both, so
+	// the marker is visible at exit (this pins the join, not isolation).
+	if got["seenTrueEdge"] != 8 {
+		t.Errorf("refined fact lost across the join: %v", got)
+	}
+	if len(refined) == 0 {
+		t.Error("refine hook never invoked on a conditional edge")
+	}
+	both := map[bool]bool{}
+	for _, b := range refined {
+		both[b] = true
+	}
+	if !both[true] || !both[false] {
+		t.Errorf("refine saw edges %v, want both true and false", both)
+	}
+}
+
+// TestFlowRefineIsolation checks the per-edge clone: narrowing the true
+// edge must not leak into the false edge when the branches never rejoin
+// before exiting.
+func TestFlowRefineIsolation(t *testing.T) {
+	cond := &ast.Ident{Name: "cond"}
+	entry := &block{cond: cond}
+	exitTrue := &block{nodes: []ast.Node{&ast.Ident{Name: "observeTrue"}}}
+	exitFalse := &block{nodes: []ast.Node{&ast.Ident{Name: "observeFalse"}}}
+	exit := &block{}
+	entry.succs = []*block{exitTrue, exitFalse}
+	exitTrue.succs = []*block{exit}
+	exitFalse.succs = []*block{exit}
+	c := &cfg{entry: entry, exit: exit, blocks: []*block{entry, exitTrue, exitFalse, exit}}
+
+	seen := map[string]uint64{}
+	spec := &flowSpec{
+		join: func(a, b uint64) uint64 { return a | b },
+		transfer: func(f flowFact, n ast.Node) {
+			name := n.(*ast.Ident).Name
+			if name == "observeTrue" || name == "observeFalse" {
+				seen[name] = f["held"]
+			}
+		},
+		refine: func(f flowFact, cond ast.Expr, branch bool) {
+			if branch {
+				delete(f, "held") // the guard proves release on this edge
+			}
+		},
+	}
+	c.run(spec, flowFact{"held": 1})
+	if seen["observeTrue"] != 0 {
+		t.Errorf("true edge kept the dropped fact: %d", seen["observeTrue"])
+	}
+	if seen["observeFalse"] != 1 {
+		t.Errorf("false edge lost its fact: %d", seen["observeFalse"])
+	}
+}
+
+// TestSCCOrder pins the bottom-up summary order: callees come before
+// callers, and mutual recursion lands in a single component.
+func TestSCCOrder(t *testing.T) {
+	dir := t.TempDir()
+	src := `package sccpkg
+
+func top() { mid() }
+
+func mid() { leaf(); evenHop(1) }
+
+func leaf() {}
+
+func evenHop(n int) {
+	if n > 0 {
+		oddHop(n - 1)
+	}
+}
+
+func oddHop(n int) {
+	if n > 0 {
+		evenHop(n - 1)
+	}
+}
+`
+	if err := os.WriteFile(filepath.Join(dir, "sccpkg.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	prog, err := LoadDirs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sccs := prog.CallGraph().SCCs()
+
+	compOf := map[string]int{}
+	for i, comp := range sccs {
+		for _, fn := range comp {
+			compOf[fn.Name()] = i
+		}
+	}
+	for _, name := range []string{"top", "mid", "leaf", "evenHop", "oddHop"} {
+		if _, ok := compOf[name]; !ok {
+			t.Fatalf("function %s missing from SCCs %v", name, sccs)
+		}
+	}
+	if !(compOf["leaf"] < compOf["mid"] && compOf["mid"] < compOf["top"]) {
+		t.Errorf("not bottom-up: leaf=%d mid=%d top=%d", compOf["leaf"], compOf["mid"], compOf["top"])
+	}
+	if compOf["evenHop"] != compOf["oddHop"] {
+		t.Errorf("mutual recursion split across components: evenHop=%d oddHop=%d", compOf["evenHop"], compOf["oddHop"])
+	}
+	if compOf["evenHop"] >= compOf["mid"] {
+		t.Errorf("recursive pair not before its caller: evenHop=%d mid=%d", compOf["evenHop"], compOf["mid"])
+	}
+	// Deterministic across runs.
+	again := prog.CallGraph().SCCs()
+	if len(again) != len(sccs) {
+		t.Fatalf("SCC count changed between runs: %d vs %d", len(sccs), len(again))
+	}
+	for i := range sccs {
+		if len(sccs[i]) != len(again[i]) {
+			t.Fatalf("component %d size changed between runs", i)
+		}
+		for j := range sccs[i] {
+			if sccs[i][j] != again[i][j] {
+				t.Fatalf("component %d order changed between runs", i)
+			}
+		}
+	}
+}
+
+// TestCFGShapes sanity-checks graph construction on the control
+// structures the analyzers rely on: early return, loop back edge, and
+// panic-terminated blocks not reaching the exit.
+func TestCFGShapes(t *testing.T) {
+	dir := t.TempDir()
+	src := `package cfgpkg
+
+func shapes(n int) int {
+	total := 0
+	if n < 0 {
+		return -1
+	}
+	for i := 0; i < n; i++ {
+		total += i
+	}
+	if total > 100 {
+		panic("overflow")
+	}
+	return total
+}
+`
+	if err := os.WriteFile(filepath.Join(dir, "cfgpkg.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	prog, err := LoadDirs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fd *ast.FuncDecl
+	for _, f := range prog.Pkgs[0].Files {
+		for _, d := range f.Decls {
+			if x, ok := d.(*ast.FuncDecl); ok && x.Name.Name == "shapes" {
+				fd = x
+			}
+		}
+	}
+	if fd == nil {
+		t.Fatal("shapes not found")
+	}
+	cfgs := funcCFGs(fd)
+	if len(cfgs) != 1 {
+		t.Fatalf("got %d cfgs, want 1", len(cfgs))
+	}
+	c := cfgs[0]
+
+	panics := 0
+	for _, b := range c.blocks {
+		if b.panics {
+			panics++
+			if len(b.succs) != 0 {
+				t.Errorf("panic block has %d successors, want 0", len(b.succs))
+			}
+		}
+	}
+	if panics != 1 {
+		t.Errorf("got %d panic blocks, want 1", panics)
+	}
+
+	// The loop must produce a back edge: some block reachable from the
+	// entry has a successor already seen on the path.
+	reach := map[*block]bool{}
+	var walk func(*block)
+	backEdge := false
+	walk = func(b *block) {
+		if reach[b] {
+			backEdge = true
+			return
+		}
+		reach[b] = true
+		for _, s := range b.succs {
+			walk(s)
+		}
+	}
+	walk(c.entry)
+	if !backEdge {
+		t.Error("no back edge found for the for loop")
+	}
+	if !reach[c.exit] {
+		t.Error("exit not reachable from entry")
+	}
+}

@@ -1,0 +1,561 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// FloatFlowConfig scopes the floatflow analyzer.
+type FloatFlowConfig struct {
+	// ExactPackages are the sinks: no float-derived value may be passed
+	// into them.
+	ExactPackages []string
+	// FixedPackages are the sanctioned laundering points: a value
+	// produced by a call into them is clean by definition (the fixed-
+	// point transform is the paper's one blessed float→int boundary).
+	FixedPackages []string
+	// SkipPackages are not analyzed at all: the sink and sanitizer
+	// packages themselves (the certified filter stages hold floats on
+	// purpose; exactfloat audits the exact core).
+	SkipPackages []string
+}
+
+var defaultFloatFlow = &FloatFlowConfig{
+	ExactPackages: []string{"internal/exact", "internal/exact/filter"},
+	FixedPackages: []string{"internal/fixed"},
+	SkipPackages:  []string{"internal/exact", "internal/exact/filter", "internal/fixed"},
+}
+
+// taintFresh marks a value derived from a float expression regardless
+// of what the caller passed in; bits 0..62 mark derivation from the
+// function's parameters (receiver first), which callers resolve through
+// the summary.
+const taintFresh uint64 = 1 << 63
+
+// floatSummary is one function's interprocedural taint behavior.
+type floatSummary struct {
+	// resTaint[i] is the taint mask of result i: taintFresh when the
+	// result is float-derived no matter the arguments, param bits when
+	// argument taint flows through.
+	resTaint []uint64
+	// sinkParams marks params that reach an exact-package sink inside
+	// the function (directly or through further summaries).
+	sinkParams uint64
+	// ptrTaint marks pointer/slice/map params whose referent is
+	// freshly float-tainted by a call.
+	ptrTaint uint64
+}
+
+// FloatFlow is the interprocedural upgrade of exactfloat/filterexact:
+// a value derived from a float expression must not reach an
+// internal/exact or internal/exact/filter entry point except through an
+// internal/fixed conversion. Where the syntactic analyzers see only the
+// call site, floatflow tracks the value itself — through local
+// variables, arithmetic, conversions, composites, slices written by
+// helpers, and across function boundaries via call-graph summaries
+// computed bottom-up over SCCs.
+//
+// Approximations (see DESIGN.md "Dataflow analysis"): taint does not
+// propagate through booleans, channels between goroutines, or variables
+// captured by function literals (literal bodies are analyzed with clean
+// free variables); an unknown callee taints its result when any
+// argument is tainted.
+func FloatFlow(cfg *FloatFlowConfig) *Analyzer {
+	if cfg == nil {
+		cfg = defaultFloatFlow
+	}
+	return &Analyzer{
+		Name: "floatflow",
+		Doc:  "no float-derived value reaches an exact predicate except through internal/fixed",
+		Run:  func(prog *Program) []Diagnostic { return runFloatFlow(prog, cfg) },
+	}
+}
+
+type floatFlow struct {
+	prog      *Program
+	cfg       *FloatFlowConfig
+	summaries map[*types.Func]*floatSummary
+	diags     []Diagnostic
+	report    bool
+}
+
+func runFloatFlow(prog *Program, cfg *FloatFlowConfig) []Diagnostic {
+	ff := &floatFlow{prog: prog, cfg: cfg, summaries: map[*types.Func]*floatSummary{}}
+	g := prog.CallGraph()
+
+	analyzed := func(fn *types.Func) *funcDecl {
+		fd := g.decls[fn]
+		if fd == nil || fd.Decl.Body == nil || pathMatch(fd.Pkg.Path, cfg.SkipPackages) {
+			return nil
+		}
+		return fd
+	}
+
+	// Pass 1: summaries, bottom-up over SCCs, each component iterated to
+	// its own fixpoint so mutual recursion converges.
+	for _, comp := range g.SCCs() {
+		for changed := true; changed; {
+			changed = false
+			for _, fn := range comp {
+				fd := analyzed(fn)
+				if fd == nil {
+					continue
+				}
+				old := ff.summaries[fn]
+				ff.analyzeFunc(fn, fd)
+				if !summaryEqual(old, ff.summaries[fn]) {
+					changed = true
+				}
+			}
+		}
+	}
+
+	// Pass 2: one reporting sweep with stable summaries.
+	ff.report = true
+	fns := make([]*types.Func, 0, len(g.decls))
+	for fn := range g.decls {
+		fns = append(fns, fn)
+	}
+	sort.Slice(fns, func(i, j int) bool { return fns[i].FullName() < fns[j].FullName() })
+	for _, fn := range fns {
+		if fd := analyzed(fn); fd != nil {
+			ff.analyzeFunc(fn, fd)
+		}
+	}
+	return ff.diags
+}
+
+func summaryEqual(a, b *floatSummary) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	if a.sinkParams != b.sinkParams || a.ptrTaint != b.ptrTaint || len(a.resTaint) != len(b.resTaint) {
+		return false
+	}
+	for i := range a.resTaint {
+		if a.resTaint[i] != b.resTaint[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// paramObjs returns the function's receiver-then-params objects.
+func paramObjs(fn *types.Func) []*types.Var {
+	sig := fn.Type().(*types.Signature)
+	var out []*types.Var
+	if r := sig.Recv(); r != nil {
+		out = append(out, r)
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		out = append(out, sig.Params().At(i))
+	}
+	return out
+}
+
+func (ff *floatFlow) analyzeFunc(fn *types.Func, fd *funcDecl) {
+	sum := &floatSummary{resTaint: make([]uint64, fn.Type().(*types.Signature).Results().Len())}
+	params := paramObjs(fn)
+	paramIdx := map[types.Object]int{}
+	entry := flowFact{}
+	for i, p := range params {
+		if i < 62 {
+			paramIdx[p] = i
+			entry[types.Object(p)] = 1 << i
+		}
+		if typeHasFloat(p.Type()) {
+			entry[types.Object(p)] |= taintFresh
+		}
+	}
+
+	for ci, c := range funcCFGs(fd.Decl) {
+		ent := flowFact{}
+		if ci == 0 {
+			ent = entry.clone()
+		} else if lit, ok := c.fn.(*ast.FuncLit); ok {
+			// Literal params: fresh taint for float types; free
+			// variables start clean (documented under-approximation).
+			for _, f := range lit.Type.Params.List {
+				for _, name := range f.Names {
+					if obj := fd.Pkg.Info.Defs[name]; obj != nil && typeHasFloat(obj.Type()) {
+						ent[obj] = taintFresh
+					}
+				}
+			}
+		}
+		spec := &flowSpec{
+			join:     func(a, b uint64) uint64 { return a | b },
+			transfer: func(f flowFact, n ast.Node) { ff.taintTransfer(fd.Pkg, sum, paramIdx, f, n) },
+			visit:    func(f flowFact, n ast.Node) { ff.taintVisit(fd.Pkg, sum, f, n, ci == 0) },
+		}
+		c.run(spec, ent)
+	}
+	ff.summaries[fn] = sum
+}
+
+// taintTransfer applies one node's effect to the per-variable masks.
+func (ff *floatFlow) taintTransfer(pkg *Package, sum *floatSummary, paramIdx map[types.Object]int, f flowFact, n ast.Node) {
+	assign := func(lhs ast.Expr, mask uint64) {
+		switch l := unparen(lhs).(type) {
+		case *ast.Ident:
+			if l.Name == "_" {
+				return
+			}
+			if obj := identObj(pkg, l); obj != nil {
+				f[obj] = mask
+				// A fresh write through a pointer-typed parameter is
+				// invisible to callers without the summary bit.
+				if i, ok := paramIdx[obj]; ok && mask&taintFresh != 0 && indirect(obj.Type()) {
+					sum.ptrTaint |= 1 << i
+				}
+			}
+		default:
+			// Field, index, or dereference target: weak update on the
+			// root object.
+			if obj := baseObj(pkg, lhs); obj != nil {
+				nm := f[obj] | mask
+				f[obj] = nm
+				if i, ok := paramIdx[obj]; ok && mask&taintFresh != 0 {
+					sum.ptrTaint |= 1 << i
+				}
+			}
+		}
+	}
+
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		if len(n.Rhs) == 1 && len(n.Lhs) > 1 {
+			mask := ff.exprTaint(pkg, f, n.Rhs[0])
+			for _, l := range n.Lhs {
+				assign(l, mask)
+			}
+			return
+		}
+		for i, l := range n.Lhs {
+			if i < len(n.Rhs) {
+				assign(l, ff.exprTaint(pkg, f, n.Rhs[i]))
+			}
+		}
+	case *ast.DeclStmt:
+		gd, ok := n.Decl.(*ast.GenDecl)
+		if !ok {
+			return
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for i, name := range vs.Names {
+				mask := uint64(0)
+				if i < len(vs.Values) {
+					mask = ff.exprTaint(pkg, f, vs.Values[i])
+				} else if len(vs.Values) == 1 {
+					mask = ff.exprTaint(pkg, f, vs.Values[0])
+				}
+				if typeOfIsFloat(pkg, name) {
+					mask |= taintFresh
+				}
+				assign(name, mask)
+			}
+		}
+	case *ast.RangeStmt:
+		mask := ff.exprTaint(pkg, f, n.X)
+		if n.Key != nil {
+			assign(n.Key, 0) // indices are never data-tainted
+		}
+		if n.Value != nil {
+			assign(n.Value, mask)
+		}
+	case *ast.ReturnStmt:
+		for i, r := range n.Results {
+			if i < len(sum.resTaint) {
+				sum.resTaint[i] |= ff.exprTaint(pkg, f, r)
+			} else if len(n.Results) == 1 {
+				// return f() forwarding a tuple: spread the call taint.
+				m := ff.exprTaint(pkg, f, r)
+				for j := range sum.resTaint {
+					sum.resTaint[j] |= m
+				}
+			}
+		}
+	default:
+		// Statements evaluated for effect (ExprStmt, Send, guards...):
+		// helper calls may taint pointer arguments via their summaries.
+		inspectCFGNode(n, func(m ast.Node) bool {
+			if call, ok := m.(*ast.CallExpr); ok {
+				ff.applyPtrTaint(pkg, f, call)
+			}
+			return true
+		})
+	}
+	// Pointer-taint effects of calls inside assignments too.
+	if _, ok := n.(*ast.AssignStmt); ok {
+		inspectShallow(n, func(m ast.Node) bool {
+			if call, ok := m.(*ast.CallExpr); ok {
+				ff.applyPtrTaint(pkg, f, call)
+			}
+			return true
+		})
+	}
+}
+
+// applyPtrTaint taints the roots of arguments a callee freshly writes
+// float-derived data through.
+func (ff *floatFlow) applyPtrTaint(pkg *Package, f flowFact, call *ast.CallExpr) {
+	callee := calleeOf(pkg, call)
+	if callee == nil {
+		return
+	}
+	sum := ff.summaries[callee]
+	if sum == nil || sum.ptrTaint == 0 {
+		return
+	}
+	args := calleeArgs(pkg, call, callee)
+	for i, a := range args {
+		if i < 62 && sum.ptrTaint&(1<<i) != 0 && a != nil {
+			if obj := baseObj(pkg, a); obj != nil {
+				f[obj] |= taintFresh
+			}
+		}
+	}
+}
+
+// calleeArgs aligns call arguments with the callee's receiver-first
+// parameter indexing; a nil slot has no syntactic argument.
+func calleeArgs(pkg *Package, call *ast.CallExpr, callee *types.Func) []ast.Expr {
+	sig := callee.Type().(*types.Signature)
+	var out []ast.Expr
+	if sig.Recv() != nil {
+		if sel, ok := unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if _, isSel := pkg.Info.Selections[sel]; isSel {
+				out = append(out, sel.X)
+			} else {
+				out = append(out, nil)
+			}
+		} else {
+			out = append(out, nil)
+		}
+	}
+	out = append(out, call.Args...)
+	return out
+}
+
+// taintVisit reports tainted values reaching exact sinks and records
+// param→sink flows in the summary.
+func (ff *floatFlow) taintVisit(pkg *Package, sum *floatSummary, f flowFact, n ast.Node, isDecl bool) {
+	inspectCFGNode(n, func(m ast.Node) bool {
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := calleeOf(pkg, call)
+		if callee == nil || callee.Pkg() == nil {
+			return true
+		}
+		if pathMatch(callee.Pkg().Path(), ff.cfg.ExactPackages) {
+			for _, a := range call.Args {
+				mask := ff.exprTaint(pkg, f, a)
+				if mask&taintFresh != 0 {
+					ff.diag(a.Pos(), fmt.Sprintf("float-derived value reaches exact predicate %s.%s; convert through internal/fixed",
+						callee.Pkg().Name(), callee.Name()))
+				}
+				if isDecl {
+					sum.sinkParams |= mask &^ taintFresh
+				}
+			}
+			return true
+		}
+		if csum := ff.summaries[callee]; csum != nil && csum.sinkParams != 0 {
+			args := calleeArgs(pkg, call, callee)
+			for i, a := range args {
+				if a == nil || i >= 62 || csum.sinkParams&(1<<i) == 0 {
+					continue
+				}
+				mask := ff.exprTaint(pkg, f, a)
+				if mask&taintFresh != 0 {
+					ff.diag(a.Pos(), fmt.Sprintf("float-derived value reaches an exact predicate through %s; convert through internal/fixed",
+						callee.Name()))
+				}
+				if isDecl {
+					sum.sinkParams |= mask &^ taintFresh
+				}
+			}
+		}
+		return true
+	})
+}
+
+// diag reports a finding (second pass only, so summary iteration never
+// duplicates diagnostics).
+func (ff *floatFlow) diag(pos token.Pos, msg string) {
+	if !ff.report {
+		return
+	}
+	ff.diags = append(ff.diags, Diagnostic{
+		Pos:     ff.prog.Fset.Position(pos),
+		Check:   "floatflow",
+		Message: msg,
+	})
+}
+
+// exprTaint computes the taint mask of an expression under the current
+// facts.
+func (ff *floatFlow) exprTaint(pkg *Package, f flowFact, e ast.Expr) uint64 {
+	if e == nil {
+		return 0
+	}
+	mask := uint64(0)
+	if isFloatExpr(pkg, e) {
+		mask |= taintFresh
+	}
+	switch e := unparen(e).(type) {
+	case *ast.Ident:
+		if obj := identObj(pkg, e); obj != nil {
+			mask |= f[obj]
+		}
+	case *ast.BasicLit:
+		// the float-type check above covers float literals
+	case *ast.BinaryExpr:
+		if e.Op.IsOperator() && isComparison(e.Op.String()) {
+			return 0 // booleans do not carry data taint
+		}
+		mask |= ff.exprTaint(pkg, f, e.X) | ff.exprTaint(pkg, f, e.Y)
+	case *ast.UnaryExpr:
+		mask |= ff.exprTaint(pkg, f, e.X)
+	case *ast.StarExpr:
+		mask |= ff.exprTaint(pkg, f, e.X)
+	case *ast.IndexExpr:
+		mask |= ff.exprTaint(pkg, f, e.X)
+	case *ast.SliceExpr:
+		mask |= ff.exprTaint(pkg, f, e.X)
+	case *ast.SelectorExpr:
+		if obj := pkg.Info.Uses[e.Sel]; obj != nil {
+			if _, isField := pkg.Info.Selections[e]; !isField {
+				// Package-qualified name: its own taint only.
+				mask |= f[obj]
+				return mask
+			}
+		}
+		mask |= ff.exprTaint(pkg, f, e.X)
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				el = kv.Value
+			}
+			mask |= ff.exprTaint(pkg, f, el)
+		}
+	case *ast.TypeAssertExpr:
+		mask |= ff.exprTaint(pkg, f, e.X)
+	case *ast.CallExpr:
+		mask |= ff.callTaint(pkg, f, e)
+	case *ast.FuncLit:
+		return 0
+	}
+	return mask
+}
+
+func (ff *floatFlow) callTaint(pkg *Package, f flowFact, call *ast.CallExpr) uint64 {
+	// Conversions: T(x) keeps x's taint; conversion TO float is fresh by
+	// the type rule in exprTaint's caller.
+	if tv, ok := pkg.Info.Types[call.Fun]; ok && tv.IsType() {
+		if len(call.Args) == 1 {
+			return ff.exprTaint(pkg, f, call.Args[0])
+		}
+		return 0
+	}
+	if id, ok := unparen(call.Fun).(*ast.Ident); ok {
+		switch id.Name {
+		case "len", "cap", "make", "new":
+			if pkg.Info.Uses[id] == nil || pkg.Info.Uses[id].Parent() == types.Universe {
+				return 0
+			}
+		}
+	}
+	callee := calleeOf(pkg, call)
+	if callee != nil && callee.Pkg() != nil {
+		if pathMatch(callee.Pkg().Path(), ff.cfg.FixedPackages) {
+			return 0 // the sanctioned float→fixed boundary
+		}
+		if sum := ff.summaries[callee]; sum != nil {
+			args := calleeArgs(pkg, call, callee)
+			out := uint64(0)
+			for _, rt := range sum.resTaint {
+				if rt&taintFresh != 0 {
+					out |= taintFresh
+				}
+				for i, a := range args {
+					if a != nil && i < 62 && rt&(1<<i) != 0 {
+						out |= ff.exprTaint(pkg, f, a)
+					}
+				}
+			}
+			return out
+		}
+	}
+	// Unknown callee (stdlib, function value): tainted args taint the
+	// result.
+	out := uint64(0)
+	for _, a := range call.Args {
+		out |= ff.exprTaint(pkg, f, a)
+	}
+	return out
+}
+
+// baseObj resolves the object whose storage an lvalue or argument
+// expression roots in: dst[i], *p, s.f, and buf[lo:hi] all resolve to
+// the base variable (package-qualified names resolve to the named
+// object itself).
+func baseObj(pkg *Package, e ast.Expr) types.Object {
+	switch e := unparen(e).(type) {
+	case *ast.Ident:
+		return identObj(pkg, e)
+	case *ast.SelectorExpr:
+		if _, ok := pkg.Info.Selections[e]; ok {
+			return baseObj(pkg, e.X)
+		}
+		return pkg.Info.Uses[e.Sel]
+	case *ast.IndexExpr:
+		return baseObj(pkg, e.X)
+	case *ast.StarExpr:
+		return baseObj(pkg, e.X)
+	case *ast.UnaryExpr:
+		return baseObj(pkg, e.X)
+	case *ast.SliceExpr:
+		return baseObj(pkg, e.X)
+	}
+	return nil
+}
+
+func identObj(pkg *Package, id *ast.Ident) types.Object {
+	if obj := pkg.Info.Uses[id]; obj != nil {
+		return obj
+	}
+	return pkg.Info.Defs[id]
+}
+
+func typeOfIsFloat(pkg *Package, id *ast.Ident) bool {
+	obj := pkg.Info.Defs[id]
+	return obj != nil && typeHasFloat(obj.Type())
+}
+
+// indirect reports whether writes through a value of this type are
+// visible to the caller (pointer, slice, or map).
+func indirect(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Slice, *types.Map:
+		return true
+	}
+	return false
+}
+
+func isComparison(op string) bool {
+	switch op {
+	case "==", "!=", "<", "<=", ">", ">=", "&&", "||":
+		return true
+	}
+	return false
+}

@@ -27,6 +27,7 @@ import (
 	"go/token"
 	"regexp"
 	"sort"
+	"time"
 )
 
 // Diagnostic is one finding: a position, the check that produced it, and
@@ -73,6 +74,10 @@ func Default() []*Analyzer {
 		SlabBuffer(nil),
 		FilterExact(nil),
 		HandlerBound(nil),
+		FloatFlow(nil),
+		CtxFlow(nil),
+		LockHeld(),
+		PermitBalance(nil),
 	}
 }
 
@@ -85,13 +90,16 @@ type Result struct {
 	Counts map[string]int
 	// Suppressed counts findings silenced by valid ignore directives.
 	Suppressed int
+	// Times records each analyzer's wall-clock run time, for -v output
+	// and for spotting a check whose cost has quietly grown.
+	Times map[string]time.Duration
 }
 
 // Run executes the analyzers over the program, applies //lint:ignore
 // suppressions, validates the directives themselves, and returns the
 // surviving findings sorted by position.
 func (p *Program) Run(analyzers []*Analyzer) *Result {
-	res := &Result{Counts: make(map[string]int)}
+	res := &Result{Counts: make(map[string]int), Times: make(map[string]time.Duration)}
 	known := make(map[string]bool, len(analyzers))
 	for _, a := range analyzers {
 		known[a.Name] = true
@@ -100,12 +108,14 @@ func (p *Program) Run(analyzers []*Analyzer) *Result {
 
 	var diags []Diagnostic
 	for _, a := range analyzers {
+		start := time.Now()
 		for _, d := range a.Run(p) {
 			if d.Check == "" {
 				d.Check = a.Name
 			}
 			diags = append(diags, d)
 		}
+		res.Times[a.Name] = time.Since(start)
 	}
 
 	dirs := p.directives()

@@ -84,6 +84,40 @@ func TestTelemetryName(t *testing.T) {
 	)
 }
 
+func TestFloatFlow(t *testing.T) {
+	RunAnalyzerTestDirs(t,
+		[]string{
+			td("floatflow", "exactstub"),
+			td("floatflow", "fixedstub"),
+			td("floatflow", "flowpkg"),
+		},
+		FloatFlow(&FloatFlowConfig{
+			ExactPackages: []string{"exactstub"},
+			FixedPackages: []string{"fixedstub"},
+			SkipPackages:  []string{"exactstub", "fixedstub"},
+		}),
+	)
+}
+
+func TestCtxFlow(t *testing.T) {
+	RunAnalyzerTest(t, td("ctxflow", "ctxpkg"),
+		CtxFlow(&CtxFlowConfig{ScopedPackages: []string{"ctxpkg"}}),
+	)
+}
+
+func TestLockHeld(t *testing.T) {
+	RunAnalyzerTest(t, td("lockheld", "lockpkg"), LockHeld())
+}
+
+func TestPermitBalance(t *testing.T) {
+	RunAnalyzerTest(t, td("permitbalance", "permitpkg"),
+		PermitBalance(&PermitBalanceConfig{
+			Packages:     []string{"permitpkg"},
+			AcquireFuncs: []string{"acquire", "admit"},
+		}),
+	)
+}
+
 // TestIgnoreDirectives pins the suppression mechanism itself: valid
 // directives silence findings, while a missing reason, an unknown
 // check name, and a stale directive are each diagnostics.
@@ -129,7 +163,7 @@ func TestLoadModule(t *testing.T) {
 // TestDefaultSuiteNames pins the analyzer roster the Makefile's lint
 // gate advertises.
 func TestDefaultSuiteNames(t *testing.T) {
-	want := []string{"exactfloat", "floateq", "overflowmul", "panicfree", "typederr", "poolbalance", "telemetryname", "slabbuffer", "filterexact", "handlerbound"}
+	want := []string{"exactfloat", "floateq", "overflowmul", "panicfree", "typederr", "poolbalance", "telemetryname", "slabbuffer", "filterexact", "handlerbound", "floatflow", "ctxflow", "lockheld", "permitbalance"}
 	got := Default()
 	if len(got) != len(want) {
 		t.Fatalf("Default() has %d analyzers, want %d", len(got), len(want))

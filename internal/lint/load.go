@@ -9,9 +9,11 @@ import (
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 )
 
 // Package is one loaded, type-checked package of the program.
@@ -91,51 +93,96 @@ func LoadModule(root string) (*Program, error) {
 		return nil, err
 	}
 
-	// Type-check in dependency order so module-internal imports resolve
-	// to already-checked packages.
-	checked := make(map[string]*types.Package)
-	imp := &moduleImporter{
-		checked: checked,
+	// Type-check in dependency order, fanning independent packages over
+	// GOMAXPROCS workers. The stdlib source importer is not safe for
+	// concurrent use and module-internal results land in a shared map, so
+	// every Import goes through one mutex; the per-package checking
+	// itself — the dominant cost — runs in parallel once a package's
+	// module dependencies are resolved.
+	imp := &lockedImporter{
+		checked: make(map[string]*types.Package),
 		std:     importer.ForCompiler(prog.Fset, "source", nil),
 	}
+
+	remaining := make(map[string]int, len(raw)) // unchecked module deps
+	dependents := make(map[string][]string)
+	for path, rp := range raw {
+		deps := map[string]bool{}
+		for _, dep := range rp.imports {
+			if raw[dep] == nil {
+				return nil, fmt.Errorf("lint: module import %s has no source directory", dep)
+			}
+			if dep != path && !deps[dep] {
+				deps[dep] = true
+				dependents[dep] = append(dependents[dep], path)
+			}
+		}
+		remaining[path] = len(deps)
+	}
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(raw) {
+		workers = len(raw)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	type checkRes struct {
+		pkg *Package
+		err error
+	}
+	jobs := make(chan *rawPkg, len(raw))
+	results := make(chan checkRes, len(raw))
+	for w := 0; w < workers; w++ {
+		go func() {
+			for rp := range jobs {
+				pkg, err := checkPackage(prog.Fset, rp.path, rp.files, imp)
+				if pkg != nil {
+					pkg.Dir = rp.dir
+				}
+				results <- checkRes{pkg, err}
+			}
+		}()
+	}
+	defer close(jobs)
+
 	paths := make([]string, 0, len(raw))
 	for p := range raw {
 		paths = append(paths, p)
 	}
 	sort.Strings(paths)
-	done := make(map[string]bool)
-	var visit func(path string, stack []string) error
-	visit = func(path string, stack []string) error {
-		if done[path] {
-			return nil
-		}
-		for _, s := range stack {
-			if s == path {
-				return fmt.Errorf("lint: import cycle through %s", path)
-			}
-		}
-		rp := raw[path]
-		if rp == nil {
-			return fmt.Errorf("lint: module import %s has no source directory", path)
-		}
-		for _, dep := range rp.imports {
-			if err := visit(dep, append(stack, path)); err != nil {
-				return err
-			}
-		}
-		pkg, err := checkPackage(prog.Fset, rp.path, rp.files, imp)
-		if err != nil {
-			return err
-		}
-		pkg.Dir = rp.dir
-		checked[path] = pkg.Types
-		prog.Pkgs = append(prog.Pkgs, pkg)
-		done[path] = true
-		return nil
-	}
+	inflight := 0
 	for _, p := range paths {
-		if err := visit(p, nil); err != nil {
-			return nil, err
+		if remaining[p] == 0 {
+			jobs <- raw[p]
+			inflight++
+		}
+	}
+	pending := len(raw)
+	for pending > 0 {
+		if inflight == 0 {
+			// Every unchecked package still waits on another: a cycle.
+			for _, p := range paths {
+				if remaining[p] > 0 {
+					return nil, fmt.Errorf("lint: import cycle through %s", p)
+				}
+			}
+			return nil, fmt.Errorf("lint: scheduler stalled with %d packages pending", pending)
+		}
+		res := <-results
+		inflight--
+		if res.err != nil {
+			return nil, res.err
+		}
+		imp.set(res.pkg.Path, res.pkg.Types)
+		prog.Pkgs = append(prog.Pkgs, res.pkg)
+		pending--
+		for _, dep := range dependents[res.pkg.Path] {
+			remaining[dep]--
+			if remaining[dep] == 0 {
+				jobs <- raw[dep]
+				inflight++
+			}
 		}
 	}
 	sort.Slice(prog.Pkgs, func(i, j int) bool { return prog.Pkgs[i].Path < prog.Pkgs[j].Path })
@@ -227,6 +274,31 @@ func (m *moduleImporter) Import(path string) (*types.Package, error) {
 		return p, nil
 	}
 	return m.std.Import(path)
+}
+
+// lockedImporter is the concurrent variant: the parallel LoadModule
+// workers share one stdlib source importer (not goroutine-safe) and one
+// result map, so both sit behind a mutex. A fully checked
+// *types.Package is immutable and safe to read from any worker.
+type lockedImporter struct {
+	mu      sync.Mutex
+	checked map[string]*types.Package
+	std     types.Importer
+}
+
+func (m *lockedImporter) Import(path string) (*types.Package, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if p, ok := m.checked[path]; ok {
+		return p, nil
+	}
+	return m.std.Import(path)
+}
+
+func (m *lockedImporter) set(path string, pkg *types.Package) {
+	m.mu.Lock()
+	m.checked[path] = pkg
+	m.mu.Unlock()
 }
 
 func modulePath(gomod string) (string, error) {

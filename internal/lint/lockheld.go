@@ -1,0 +1,323 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// LockHeld verifies the two mutex invariants the dataflow engine can
+// see and the old defer-balance pattern check could not:
+//
+//  1. no mutex is held across a potentially blocking operation (channel
+//     send/receive, select — even deadline-gated, since the lock is
+//     then held for the full timeout — time.Sleep, WaitGroup/Cond.Wait,
+//     or a call into a module function summarized as may-block);
+//  2. every Lock is matched by an Unlock on every path out of the
+//     function, either directly or by a deferred unlock.
+//
+// Values per mutex root: bit0 = may-held, bit1 = may-unheld; the join
+// is the bitwise OR, Lock and Unlock are strong updates. Function
+// literals get their own graphs with every mutex unheld at entry —
+// an under-approximation when a literal runs while its parent holds
+// the lock, and an over-approximation never (literals that lock for
+// themselves are checked on their own).
+func LockHeld() *Analyzer {
+	return &Analyzer{
+		Name: "lockheld",
+		Doc:  "no mutex held across a blocking operation; unlock on all paths",
+		Run:  runLockHeld,
+	}
+}
+
+const (
+	lockMayHeld   uint64 = 1
+	lockMayUnheld uint64 = 2
+)
+
+// muCall matches a Lock/RLock/Unlock/RUnlock method call on a
+// sync.Mutex or sync.RWMutex and resolves the receiver's root object.
+func muCall(pkg *Package, call *ast.CallExpr) (types.Object, string) {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil, ""
+	}
+	var op string
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		op = "Lock"
+	case "Unlock", "RUnlock":
+		op = "Unlock"
+	default:
+		return nil, ""
+	}
+	s, ok := pkg.Info.Selections[sel]
+	if !ok {
+		return nil, ""
+	}
+	named, ok := derefType(s.Recv()).(*types.Named)
+	if !ok || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != "sync" {
+		return nil, ""
+	}
+	if n := named.Obj().Name(); n != "Mutex" && n != "RWMutex" {
+		return nil, ""
+	}
+	root := rootObj(pkg, sel.X)
+	if root == nil {
+		return nil, ""
+	}
+	return root, op
+}
+
+func runLockHeld(prog *Program) []Diagnostic {
+	g := prog.CallGraph()
+
+	// Bottom-up may-block summaries. Only the declaration body (not
+	// nested literals, which usually run on another goroutine) feeds the
+	// direct part — a documented under-approximation.
+	mayBlock := map[*types.Func]bool{}
+	for fn, fd := range g.decls {
+		if fd.Decl.Body == nil {
+			continue
+		}
+		direct := false
+		inspectShallow(fd.Decl.Body, func(n ast.Node) bool {
+			if direct {
+				return false
+			}
+			if lockBlockDesc(fd.Pkg, n, nil, nil) != "" {
+				direct = true
+			}
+			return !direct
+		})
+		mayBlock[fn] = direct
+	}
+	for _, comp := range g.SCCs() {
+		for changed := true; changed; {
+			changed = false
+			for _, fn := range comp {
+				if mayBlock[fn] {
+					continue
+				}
+				for _, callee := range g.callees[fn] {
+					if mayBlock[callee] {
+						mayBlock[fn] = true
+						changed = true
+						break
+					}
+				}
+			}
+		}
+	}
+
+	var diags []Diagnostic
+	fns := make([]*types.Func, 0, len(g.decls))
+	for fn := range g.decls {
+		fns = append(fns, fn)
+	}
+	sort.Slice(fns, func(i, j int) bool { return fns[i].FullName() < fns[j].FullName() })
+
+	for _, fn := range fns {
+		fd := g.decls[fn]
+		if fd.Decl.Body == nil {
+			continue
+		}
+		diags = append(diags, lockHeldFunc(prog, fd, mayBlock)...)
+	}
+	return diags
+}
+
+func lockHeldFunc(prog *Program, fd *funcDecl, mayBlock map[*types.Func]bool) []Diagnostic {
+	pkg := fd.Pkg
+
+	// Mutex roots touched anywhere in the body (literals included).
+	roots := map[types.Object]bool{}
+	ast.Inspect(fd.Decl.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if root, op := muCall(pkg, call); root != nil && op != "" {
+				roots[root] = true
+			}
+		}
+		return true
+	})
+	if len(roots) == 0 {
+		return nil
+	}
+
+	// Comm statements are accounted for at their select header.
+	comms := map[ast.Node]bool{}
+	ast.Inspect(fd.Decl.Body, func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectStmt); ok {
+			for _, cl := range sel.Body.List {
+				if cc, ok := cl.(*ast.CommClause); ok && cc.Comm != nil {
+					comms[cc.Comm] = true
+				}
+			}
+		}
+		return true
+	})
+
+	var diags []Diagnostic
+	for _, c := range funcCFGs(fd.Decl) {
+		// Deferred unlocks cover every exit of this graph.
+		deferred := map[types.Object]bool{}
+		for _, d := range c.defers {
+			if root, op := muCall(pkg, d.Call); root != nil && op == "Unlock" {
+				deferred[root] = true
+			}
+			if lit, ok := unparen(d.Call.Fun).(*ast.FuncLit); ok {
+				ast.Inspect(lit.Body, func(n ast.Node) bool {
+					if call, ok := n.(*ast.CallExpr); ok {
+						if root, op := muCall(pkg, call); root != nil && op == "Unlock" {
+							deferred[root] = true
+						}
+					}
+					return true
+				})
+			}
+		}
+
+		lockPos := map[types.Object]token.Pos{}
+		entry := flowFact{}
+		for root := range roots {
+			entry[root] = lockMayUnheld
+		}
+		spec := &flowSpec{
+			join: func(a, b uint64) uint64 { return a | b },
+			transfer: func(f flowFact, n ast.Node) {
+				// A deferred unlock runs at exit, not here; the deferred
+				// set accounts for it.
+				if _, ok := n.(*ast.DeferStmt); ok {
+					return
+				}
+				inspectCFGNode(n, func(m ast.Node) bool {
+					call, ok := m.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					root, op := muCall(pkg, call)
+					if root == nil {
+						return true
+					}
+					switch op {
+					case "Lock":
+						f[root] = lockMayHeld
+						if _, seen := lockPos[root]; !seen {
+							lockPos[root] = call.Pos()
+						}
+					case "Unlock":
+						f[root] = lockMayUnheld
+					}
+					return true
+				})
+			},
+			visit: func(f flowFact, n ast.Node) {
+				desc := lockBlockDesc(pkg, n, comms, mayBlock)
+				if desc == "" {
+					return
+				}
+				var held []types.Object
+				for root := range roots {
+					if f[root]&lockMayHeld != 0 {
+						held = append(held, root)
+					}
+				}
+				sort.Slice(held, func(i, j int) bool { return held[i].Name() < held[j].Name() })
+				for _, root := range held {
+					diags = append(diags, Diagnostic{
+						Pos:     prog.Fset.Position(n.Pos()),
+						Check:   "lockheld",
+						Message: fmt.Sprintf("mutex %s held across %s; unlock first or bound the wait", root.Name(), desc),
+					})
+				}
+			},
+		}
+		exit := c.run(spec, entry)
+		var leaked []types.Object
+		for root := range roots {
+			if exit[root]&lockMayHeld != 0 && !deferred[root] {
+				leaked = append(leaked, root)
+			}
+		}
+		sort.Slice(leaked, func(i, j int) bool { return leaked[i].Name() < leaked[j].Name() })
+		for _, root := range leaked {
+			pos := lockPos[root]
+			if !pos.IsValid() {
+				continue // locked only in another graph of this body
+			}
+			diags = append(diags, Diagnostic{
+				Pos:     prog.Fset.Position(pos),
+				Check:   "lockheld",
+				Message: fmt.Sprintf("mutex %s is not unlocked on every path; defer the unlock", root.Name()),
+			})
+		}
+	}
+	return diags
+}
+
+// lockBlockDesc describes how a cfg node can block, "" when it cannot.
+// Unlike ctxflow's gating, a select with only deadline cases still
+// counts: the lock is held for the full timeout.
+func lockHeldSelect(sel *ast.SelectStmt) bool {
+	for _, cl := range sel.Body.List {
+		if cc, ok := cl.(*ast.CommClause); ok && cc.Comm == nil {
+			return false // default case: never parks
+		}
+	}
+	return true
+}
+
+func lockBlockDesc(pkg *Package, n ast.Node, comms map[ast.Node]bool, mayBlock map[*types.Func]bool) string {
+	if comms[n] {
+		return "" // charged to its select header
+	}
+	switch n := n.(type) {
+	case *ast.SelectStmt:
+		if lockHeldSelect(n) {
+			return "select"
+		}
+		return ""
+	case *ast.RangeStmt:
+		if tv, ok := pkg.Info.Types[n.X]; ok {
+			if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+				return "range over channel"
+			}
+		}
+		return ""
+	case *ast.GoStmt:
+		return "" // the spawned goroutine blocks, not this one
+	case *ast.DeferStmt:
+		return "" // runs at exit, after the unlock decision
+	}
+	desc := ""
+	inspectShallow(n, func(m ast.Node) bool {
+		if desc != "" {
+			return false
+		}
+		switch m := m.(type) {
+		case *ast.SelectStmt:
+			return false // headers live in their own cfg node
+		case *ast.SendStmt:
+			desc = "channel send"
+		case *ast.UnaryExpr:
+			if m.Op == token.ARROW {
+				desc = "channel receive"
+			}
+		case *ast.CallExpr:
+			switch {
+			case isTimeSleep(pkg, m):
+				desc = "time.Sleep"
+			case isWaitCall(pkg, m):
+				desc = "Wait"
+			default:
+				if callee := calleeOf(pkg, m); callee != nil && mayBlock != nil && mayBlock[callee] {
+					desc = fmt.Sprintf("call to %s (may block)", callee.Name())
+				}
+			}
+		}
+		return desc == ""
+	})
+	return desc
+}

@@ -1,0 +1,112 @@
+// Package ctxpkg exercises ctxflow: blocking operations on the
+// request/slab path must sit under a checked context.
+package ctxpkg
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// BadRecv blocks with no context anywhere in sight.
+func BadRecv(ch chan int) int {
+	return <-ch // want "blocking channel receive in BadRecv"
+}
+
+// BadSend blocks pushing into a full channel.
+func BadSend(ch chan struct{}) {
+	ch <- struct{}{} // want "blocking channel send in BadSend"
+}
+
+// BadWait parks on a WaitGroup with no deadline.
+func BadWait(wg *sync.WaitGroup) {
+	wg.Wait() // want "blocking Wait in BadWait"
+}
+
+// BadSleep cannot observe cancellation for its full duration even
+// though the context is right there.
+func BadSleep(ctx context.Context) {
+	time.Sleep(10 * time.Millisecond) // want "time.Sleep on a request/slab path"
+	_ = ctx.Err()
+}
+
+// GoodSelect bounds the receive with the request context.
+func GoodSelect(ctx context.Context, ch chan int) int {
+	select {
+	case v := <-ch:
+		return v
+	case <-ctx.Done():
+		return 0
+	}
+}
+
+// GoodDefault polls: a select with a default never parks.
+func GoodDefault(ch chan int) int {
+	select {
+	case v := <-ch:
+		return v
+	default:
+		return 0
+	}
+}
+
+// helper blocks, but every caller carries and checks a context, so the
+// deadline is summarized as reaching it.
+func helper(ch chan int) int {
+	return <-ch
+}
+
+// Covered drains through helper under its own context check.
+func Covered(ctx context.Context, ch chan int) int {
+	if ctx.Err() != nil {
+		return 0
+	}
+	return helper(ch)
+}
+
+// leak blocks and its only caller checks nothing, so both are charged.
+func leak(ch chan int) {
+	<-ch // want "blocking channel receive in leak"
+}
+
+// Entry blocks via leak without any context to check.
+func Entry(ch chan int) { // want "Entry blocks .via leak. without receiving or checking a context"
+	leak(ch)
+}
+
+// opts carries its context in a struct, the shm Options pattern.
+type opts struct {
+	ctx context.Context
+}
+
+func (o *opts) done() <-chan struct{} {
+	if o.ctx == nil {
+		return nil
+	}
+	return o.ctx.Done()
+}
+
+// CoveredStruct reads the context out of the options struct.
+func CoveredStruct(o *opts, ch chan int) int {
+	if o.ctx.Err() != nil {
+		return 0
+	}
+	select {
+	case v := <-ch:
+		return v
+	case <-o.ctx.Done():
+		return 0
+	}
+}
+
+// CoveredDoneVar gates its select on a variable holding the done
+// channel returned by a summarized helper.
+func CoveredDoneVar(o *opts, ch chan int) int {
+	d := o.done()
+	select {
+	case v := <-ch:
+		return v
+	case <-d:
+		return 0
+	}
+}

@@ -1,0 +1,22 @@
+// Package exactstub stands in for internal/exact: its entry points are
+// floatflow sinks.
+package exactstub
+
+// Sign2 is a stand-in exact 2x2 sign-of-determinant predicate.
+func Sign2(a, b, c, d int64) int {
+	if a*d == b*c {
+		return 0
+	}
+	if a*d > b*c {
+		return 1
+	}
+	return -1
+}
+
+// Orient consumes one coordinate.
+func Orient(x int64) int {
+	if x > 0 {
+		return 1
+	}
+	return 0
+}

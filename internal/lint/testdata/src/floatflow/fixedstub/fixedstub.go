@@ -1,0 +1,8 @@
+// Package fixedstub stands in for internal/fixed: the one blessed
+// float→integer boundary, so its results are clean by definition.
+package fixedstub
+
+// FromFloat quantizes a float to the fixed-point grid.
+func FromFloat(x float64) int64 {
+	return int64(x * 4096)
+}

@@ -1,0 +1,72 @@
+// Package flowpkg exercises floatflow: float-derived values must not
+// reach exactstub entry points except through fixedstub.
+package flowpkg
+
+import (
+	"exactstub"
+	"fixedstub"
+)
+
+// Direct conversion at the call site.
+func Direct(x float64) int {
+	return exactstub.Orient(int64(x)) // want "float-derived value reaches exact predicate"
+}
+
+// Laundered through locals and arithmetic.
+func ThroughLocal(x float64) int {
+	v := int64(x)
+	w := v + 1
+	return exactstub.Orient(w) // want "float-derived value reaches exact predicate"
+}
+
+// conv's result is float-derived whatever the caller passes.
+func conv(x float64) int64 { return int64(x) }
+
+// Laundered through a helper's return value: the summary carries the
+// fresh taint back to the caller.
+func ThroughHelper(x float64) int {
+	return exactstub.Orient(conv(x)) // want "float-derived value reaches exact predicate"
+}
+
+// sink forwards its parameter into the exact package, so callers are
+// charged for tainted arguments.
+func sink(v int64) int { return exactstub.Orient(v) }
+
+func ThroughSink(x float64) int {
+	return sink(int64(x)) // want "float-derived value reaches an exact predicate through sink"
+}
+
+// fill writes float-derived values through its slice parameter; the
+// ptrTaint summary bit makes the caller's buffer dirty.
+func fill(dst []int64, x float64) {
+	for i := range dst {
+		dst[i] = int64(x) + int64(i)
+	}
+}
+
+func ThroughSlice(x float64) int {
+	buf := make([]int64, 4)
+	fill(buf, x)
+	return exactstub.Orient(buf[0]) // want "float-derived value reaches exact predicate"
+}
+
+// Taint survives a join: one branch is clean, the other is not.
+func Branch(x float64, flag bool) int {
+	var v int64
+	if flag {
+		v = 42
+	} else {
+		v = int64(x)
+	}
+	return exactstub.Orient(v) // want "float-derived value reaches exact predicate"
+}
+
+// The blessed path: quantize through the fixed stub first.
+func Clean(x float64) int {
+	return exactstub.Orient(fixedstub.FromFloat(x))
+}
+
+// Pure integer flow never taints.
+func CleanInt(a, b int64) int {
+	return exactstub.Sign2(a, b, b, a)
+}

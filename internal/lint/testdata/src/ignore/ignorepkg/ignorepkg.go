@@ -32,3 +32,9 @@ func stale(a, b int) bool {
 	// want-1 "suppresses nothing"
 	return a == b
 }
+
+func bareDirective(a, b float64) bool {
+	//lint:ignore
+	// want-1 "missing a reason"
+	return a == b // want "floating-point == comparison"
+}

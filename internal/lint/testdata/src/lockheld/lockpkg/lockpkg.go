@@ -1,0 +1,87 @@
+// Package lockpkg exercises lockheld: no mutex held across a blocking
+// operation, and every Lock unlocked on every path.
+package lockpkg
+
+import (
+	"sync"
+	"time"
+)
+
+// BadRecv parks on a channel while holding the lock.
+func BadRecv(mu *sync.Mutex, ch chan int) int {
+	mu.Lock()
+	v := <-ch // want "mutex mu held across channel receive"
+	mu.Unlock()
+	return v
+}
+
+// BadSleep holds the lock for the full sleep.
+func BadSleep(mu *sync.Mutex) {
+	mu.Lock()
+	defer mu.Unlock()
+	time.Sleep(time.Millisecond) // want "mutex mu held across time.Sleep"
+}
+
+// BadSelect: even a deadline-gated select holds the lock for the whole
+// timeout.
+func BadSelect(mu *sync.Mutex, ch chan int, done chan struct{}) int {
+	mu.Lock()
+	defer mu.Unlock()
+	select { // want "mutex mu held across select"
+	case v := <-ch:
+		return v
+	case <-done:
+		return 0
+	}
+}
+
+// GoodDefault never parks: the select has a default.
+func GoodDefault(mu *sync.Mutex, ch chan int) int {
+	mu.Lock()
+	defer mu.Unlock()
+	select {
+	case v := <-ch:
+		return v
+	default:
+		return 0
+	}
+}
+
+// Leak returns early without unlocking.
+func Leak(mu *sync.Mutex, cond bool) { // want+1 "mutex mu is not unlocked on every path"
+	mu.Lock()
+	if cond {
+		return
+	}
+	mu.Unlock()
+}
+
+// GoodBranches unlocks on both paths.
+func GoodBranches(mu *sync.Mutex, cond bool) {
+	mu.Lock()
+	if cond {
+		mu.Unlock()
+		return
+	}
+	mu.Unlock()
+}
+
+// drain blocks, so calling it with the lock held is charged through the
+// may-block summary.
+func drain(ch chan int) int {
+	return <-ch
+}
+
+// BadCall holds the lock across a call into a may-block helper.
+func BadCall(mu *sync.Mutex, ch chan int) int {
+	mu.Lock()
+	defer mu.Unlock()
+	return drain(ch) // want "mutex mu held across call to drain"
+}
+
+// GoodHandoff releases before parking.
+func GoodHandoff(mu *sync.Mutex, ch chan int) int {
+	mu.Lock()
+	mu.Unlock()
+	return <-ch
+}

@@ -266,7 +266,17 @@ func encodeSlab(i int, name string, po Options, span *telemetry.Span,
 		if attempt > 0 {
 			out.retries++
 			po.Rec.RecordKind(flightrec.KindRetry, name, i, attempt)
-			time.Sleep(po.retryBackoff() << (attempt - 1))
+			// Back off under the run context: a plain sleep would burn
+			// the full exponential wait for a request nobody will read
+			// before the canceled() check above could notice.
+			backoff := time.NewTimer(po.retryBackoff() << (attempt - 1))
+			select {
+			case <-po.done():
+				backoff.Stop()
+				out.err = ctxErr(name, po.Ctx)
+				return out
+			case <-backoff.C:
+			}
 		}
 		res, timedOut := runAttempt(i, attempt, po.SlabTimeout, po.Faults, span, encode)
 		if res.err == nil {
@@ -332,6 +342,8 @@ func firstSlabErr(errs []error) error {
 // Decompress2D decodes a Compress2D container, fanning the slab decodes
 // over `workers` goroutines (<= 0 means GOMAXPROCS) and stitching the
 // slabs back along Y. The result is identical for any worker count.
+//
+//lint:ignore ctxflow pool.Do fans out bounded CPU-only slab decodes with no I/O or channel waits inside; every worker terminates on its own, so a context could only be checked between slabs, which the caller can do by sizing its input
 func Decompress2D(data []byte, workers int) (*field.Field2D, error) {
 	r, err := archive.NewReader(data)
 	if err != nil {
@@ -372,6 +384,8 @@ func Decompress2D(data []byte, workers int) (*field.Field2D, error) {
 }
 
 // Decompress3D decodes a Compress3D container, stitching along Z.
+//
+//lint:ignore ctxflow pool.Do fans out bounded CPU-only slab decodes with no I/O or channel waits inside; every worker terminates on its own, so a context could only be checked between slabs, which the caller can do by sizing its input
 func Decompress3D(data []byte, workers int) (*field.Field3D, error) {
 	r, err := archive.NewReader(data)
 	if err != nil {

@@ -139,7 +139,7 @@ func streamRun(name string, rawBytes int64, slabs, workers int, po Options, w io
 			for {
 				t0 := time.Now()
 				select {
-				case sem <- struct{}{}: // admission permit, before taking a slab
+				case sem <- struct{}{}: //lint:ignore permitbalance the window permit is handed to the flush loop with its blob, and the flusher receives it back after AppendBlob retires the slab
 				case <-done:
 					// The request died while this worker waited for a
 					// window slot; stop before consuming one.
